@@ -1,0 +1,284 @@
+// Package repro's root benchmarks regenerate every table and figure
+// of the paper (see DESIGN.md §4 for the experiment index):
+//
+//	BenchmarkFigure1Timeline         — Figure 1, overhead anatomy
+//	BenchmarkTable1QueueOps          — Table 1, queue-op durations
+//	BenchmarkTable1FunctionCosts     — Section 3 rls/sch/cnt costs
+//	BenchmarkSection4AcceptanceRatio — the acceptance-ratio comparison
+//	BenchmarkAblationRemotePenalty   — ablation A (remote queue cost)
+//	BenchmarkAblationCPMD            — ablation B (migration CPMD)
+//	BenchmarkSimulatorThroughput     — simulator events/sec (engine)
+//
+// Each benchmark prints the regenerated rows once (on the first
+// iteration) and reports a throughput-style metric so `go test
+// -bench=.` both reproduces the artifacts and tracks performance.
+package repro
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/measure"
+	"repro/internal/partition"
+	"repro/internal/task"
+	"repro/internal/timeq"
+	"repro/internal/trace"
+)
+
+// printOnce guards the one-time artifact dumps so -benchtime loops
+// do not repeat them.
+var printOnce sync.Map
+
+func once(key string, f func()) {
+	if _, loaded := printOnce.LoadOrStore(key, true); !loaded {
+		f()
+	}
+}
+
+// BenchmarkFigure1Timeline regenerates the paper's Figure 1: the
+// anatomy of release, scheduling, context-switch and cache overheads
+// around a preemption, on the paper's overhead model.
+func BenchmarkFigure1Timeline(b *testing.B) {
+	t1 := &task.Task{ID: 1, WCET: 2 * timeq.Millisecond, Period: 10 * timeq.Millisecond, WSS: 256 << 10}
+	t2 := &task.Task{ID: 2, WCET: 5 * timeq.Millisecond, Period: 20 * timeq.Millisecond, WSS: 256 << 10}
+	mkAssign := func() *task.Assignment {
+		s := task.NewSet(t1, t2)
+		s.AssignRM()
+		a := task.NewAssignment(1)
+		a.Place(t1, 0)
+		a.Place(t2, 0)
+		return a
+	}
+	a := mkAssign()
+	cfg := core.SimConfig{
+		Model:   core.PaperOverheads(),
+		Horizon: 20 * timeq.Millisecond,
+		Offsets: map[task.ID]timeq.Time{1: 2 * timeq.Millisecond},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := &trace.Buffer{}
+		c := cfg
+		c.Recorder = buf
+		res, err := core.Simulate(a, c)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Schedulable() {
+			b.Fatal("figure-1 scenario missed a deadline")
+		}
+		once("figure1", func() {
+			fmt.Println("\n=== Figure 1: overhead timeline (paper model) ===")
+			fmt.Println(buf.Summary())
+		})
+	}
+}
+
+// BenchmarkTable1QueueOps regenerates Table 1 by measuring this
+// machine's binomial-heap and red-black-tree operation durations at
+// N = 4 and N = 64, local and remote.
+func BenchmarkTable1QueueOps(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := measure.Table1(300)
+		once("table1", func() {
+			fmt.Println("\n=== Table 1: queue operation durations ===")
+			fmt.Print(measure.FormatTable1(rows))
+		})
+	}
+}
+
+// BenchmarkTable1FunctionCosts regenerates the Section 3 function
+// cost measurements (rls, sch, cnt_swth analogs).
+func BenchmarkTable1FunctionCosts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		costs := measure.FunctionCosts(300)
+		once("funcosts", func() {
+			fmt.Println("\n=== Section 3: function costs ===")
+			fmt.Print(measure.FormatFunctionCosts(costs))
+		})
+	}
+}
+
+// section4 runs one Section 4 sweep (shared by the benches below).
+func section4(model *core.OverheadModel, sets int, seed int64) *core.SweepResults {
+	return core.Sweep(core.SweepConfig{
+		Cores:        4,
+		Tasks:        12,
+		SetsPerPoint: sets,
+		Utilizations: []float64{2.8, 3.0, 3.2, 3.4, 3.6, 3.8},
+		Model:        model,
+		Seed:         seed,
+	})
+}
+
+// BenchmarkSection4AcceptanceRatio regenerates the paper's Section 4
+// comparison: FP-TS vs FFD vs WFD acceptance ratios, with measured
+// overheads integrated (and the zero-overhead baseline).
+func BenchmarkSection4AcceptanceRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		zero := section4(core.ZeroOverheads(), 60, 42)
+		paper := section4(core.PaperOverheads(), 60, 42)
+		once("section4", func() {
+			fmt.Println("\n=== Section 4: acceptance ratio, zero overheads ===")
+			fmt.Print(zero.Table())
+			fmt.Println("=== Section 4: acceptance ratio, measured overheads ===")
+			fmt.Print(paper.Table())
+		})
+		if paper.WeightedScore("FP-TS") < paper.WeightedScore("FFD") {
+			b.Fatal("FP-TS should dominate FFD with overheads integrated")
+		}
+	}
+}
+
+// BenchmarkAblationRemotePenalty regenerates ablation A: how the
+// FP-TS advantage responds to scaling the remote queue-operation
+// penalty — the overhead component unique to task splitting.
+func BenchmarkAblationRemotePenalty(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out string
+		for _, p := range []float64{1, 2, 4, 8} {
+			r := section4(core.PaperOverheads().WithRemotePenalty(p), 40, 7)
+			out += fmt.Sprintf("  remote×%-3.0f FP-TS %.3f  FFD %.3f\n",
+				p, r.WeightedScore("FP-TS"), r.WeightedScore("FFD"))
+		}
+		once("ablationA", func() {
+			fmt.Println("\n=== Ablation A: remote queue penalty ===")
+			fmt.Print(out)
+		})
+	}
+}
+
+// BenchmarkAblationCPMD regenerates ablation B: migration CPMD factor
+// sweep (the paper measures ≈1× under a shared L3).
+func BenchmarkAblationCPMD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var out string
+		for _, f := range []float64{1, 2, 5, 10} {
+			m := core.PaperOverheads()
+			r := section4(m.WithCache(m.Cache.WithMigrationFactor(f)), 40, 7)
+			out += fmt.Sprintf("  CPMD×%-4.0f FP-TS %.3f  FFD %.3f\n",
+				f, r.WeightedScore("FP-TS"), r.WeightedScore("FFD"))
+		}
+		once("ablationB", func() {
+			fmt.Println("\n=== Ablation B: migration CPMD factor ===")
+			fmt.Print(out)
+		})
+	}
+}
+
+// BenchmarkAblationPriorityBoost regenerates the DESIGN.md §5
+// design-choice ablation: split parts at boosted top priority (the
+// shipped design) versus plain RM priority.
+func BenchmarkAblationPriorityBoost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.Sweep(core.SweepConfig{
+			Cores: 4, Tasks: 12, SetsPerPoint: 40,
+			Utilizations: []float64{3.4, 3.6, 3.8, 3.9},
+			Algorithms:   []core.Algorithm{partition.TS, partition.TSNoBoost, partition.FFD},
+			Model:        core.PaperOverheads(),
+			Seed:         7,
+		})
+		once("boost", func() {
+			fmt.Println("\n=== Ablation: split-part priority boosting ===")
+			fmt.Print(r.Table())
+			fmt.Println("(neither variant dominates universally: boosted parts migrate")
+			fmt.Println(" predictably but steal from every local task; plain-RM parts")
+			fmt.Println(" interfere less but push jitter downstream — see EXPERIMENTS.md)")
+		})
+		// Both variants extend FFD by a splitting fallback, so both
+		// must dominate FFD; the boost comparison itself is reported,
+		// not asserted.
+		if r.WeightedScore("FP-TS") < r.WeightedScore("FFD") ||
+			r.WeightedScore("FP-TS-noboost") < r.WeightedScore("FFD") {
+			b.Fatal("a splitting variant fell below plain FFD")
+		}
+	}
+}
+
+// BenchmarkExtensionEDF regenerates the EDF-extension comparison
+// (paper §2: the runtime "can be easily extended to support … EDF
+// scheduling"): EDF-WM vs EDF-FFD vs FP-TS acceptance with measured
+// overheads.
+func BenchmarkExtensionEDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.Sweep(core.SweepConfig{
+			Cores: 4, Tasks: 12, SetsPerPoint: 40,
+			Utilizations: []float64{3.2, 3.4, 3.6, 3.8, 3.9},
+			Algorithms:   []core.Algorithm{core.EDFWM, core.EDFFFD, core.FPTS},
+			Model:        core.PaperOverheads(),
+			Seed:         17,
+		})
+		once("edf", func() {
+			fmt.Println("\n=== Extension: EDF semi-partitioned scheduling ===")
+			fmt.Print(r.Table())
+		})
+		if r.WeightedScore("EDF-WM") < r.WeightedScore("EDF-FFD") {
+			b.Fatal("EDF-WM should dominate EDF-FFD")
+		}
+	}
+}
+
+// BenchmarkBreakdownUtilization regenerates the breakdown-utilization
+// comparison: the mean per-core utilization each algorithm sustains
+// before rejecting, overheads integrated — a scalar companion to the
+// Section 4 curves.
+func BenchmarkBreakdownUtilization(b *testing.B) {
+	gsets := core.GenerateTaskSets(core.GenConfig{N: 12, TotalUtilization: 2.8, Seed: 3}, 8)
+	algs := []core.Algorithm{core.FPTS, core.FFD, core.WFD, core.EDFWM}
+	for i := 0; i < b.N; i++ {
+		res := experiment.BreakdownComparison(gsets, 4, algs, core.PaperOverheads(), 200)
+		once("breakdown", func() {
+			fmt.Println("\n=== Breakdown utilization (mean per-core, overheads integrated) ===")
+			for _, alg := range algs {
+				fmt.Printf("  %-8s %.3f\n", alg.Name(), res[alg.Name()])
+			}
+		})
+		if res["FP-TS"] < res["FFD"] {
+			b.Fatal("FP-TS breakdown below FFD")
+		}
+	}
+}
+
+// BenchmarkOverheadCharacterization regenerates the paper's headline
+// quantity from simulation data: the extra kernel overhead task
+// splitting costs relative to plain partitioning, measured over
+// commonly-admitted sets.
+func BenchmarkOverheadCharacterization(b *testing.B) {
+	sets := core.GenerateTaskSets(core.GenConfig{N: 10, TotalUtilization: 3.7, Seed: 5150}, 25)
+	for i := 0; i < b.N; i++ {
+		c, err := experiment.CharacterizeSplitting(sets, 4, partition.TS, core.PaperOverheads(), timeq.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
+		once("charop", func() {
+			fmt.Println("\n=== Overhead characterization: splitting surcharge ===")
+			fmt.Print(c.Table())
+		})
+		if d := c.Surcharge(); d > 0.01 {
+			b.Fatalf("splitting surcharge %.4f implausibly high", d)
+		}
+	}
+}
+
+// BenchmarkSimulatorThroughput measures raw engine speed: simulated
+// kernel events per wall second on a loaded 4-core assignment.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	set := core.GenerateTaskSet(core.GenConfig{N: 16, TotalUtilization: 3.2, Seed: 5})
+	a, err := core.Schedule(set, 4, core.FPTS, core.PaperOverheads())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	events := 0
+	for i := 0; i < b.N; i++ {
+		res, err := core.Simulate(a, core.SimConfig{Model: core.PaperOverheads(), Horizon: timeq.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
+		events += res.Stats.Releases + res.Stats.Finishes + res.Stats.Preemptions + res.Stats.Migrations
+	}
+	b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/s")
+}

@@ -1,0 +1,249 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// EDF schedulability: the paper's Section 2 notes the implementation
+// "can be easily extended to support a wide range of semi-partitioned
+// algorithms based on both fixed-priority and EDF scheduling"; this
+// file provides the EDF admission side.
+//
+// Per-core EDF schedulability uses the processor-demand criterion for
+// constrained-deadline sporadic tasks,
+//
+//	∀t ∈ deadlines ≤ L:  Σᵢ dbfᵢ(t) + rel(t) + B ≤ t
+//	dbfᵢ(t) = max(0, ⌊(t − Dᵢ)/Tᵢ⌋ + 1) · C'ᵢ
+//
+// with the same overhead-inflated budgets C', release-path
+// interference rel(t) (every timer release consumes kernel time
+// regardless of deadline order) and non-preemptible-segment blocking
+// B as the fixed-priority analysis. Split tasks use EDF-WM-style
+// deadline windows: part k of a split is an independent sporadic
+// task (Budget, Window_k, T) on its core, released at the window
+// start — windows decouple the cores, so no cross-core fixpoint is
+// needed.
+
+// EDFCoreSchedulable runs the processor-demand test on one core.
+func (cs *CoreSet) EDFCoreSchedulable(m *overhead.Model) bool {
+	if len(cs.Entities) == 0 {
+		return true
+	}
+	// Inflated utilization must stay below 1 for the busy period to
+	// exist.
+	infl := make([]timeq.Time, len(cs.Entities))
+	rel := cs.ReleaseCost(m)
+	uNum := 0.0
+	for i, e := range cs.Entities {
+		infl[i] = cs.InflatedCost(e, m)
+		uNum += float64(infl[i]) / float64(e.T)
+		if !e.MigrIn && rel > 0 {
+			// Double-charge the release path as unconditional load;
+			// conservative (see rta.go for the FP analog).
+			uNum += float64(rel) / float64(e.T)
+		}
+		if e.D < infl[i] {
+			return false
+		}
+	}
+	if uNum > 1 {
+		return false
+	}
+	var b timeq.Time
+	for _, e := range cs.Entities {
+		b = timeq.Max(b, cs.edfBlocking(e, m))
+	}
+	l := cs.edfBusyPeriod(infl, rel, b)
+	if l == timeq.Infinity {
+		return false
+	}
+	// Test every absolute deadline up to L.
+	pts, ok := cs.deadlinePoints(l)
+	if !ok {
+		return false
+	}
+	for _, t := range pts {
+		var demand timeq.Time
+		for i, e := range cs.Entities {
+			if t < e.D {
+				continue
+			}
+			n := (int64(t)-int64(e.D))/int64(e.T) + 1
+			demand = timeq.AddSat(demand, timeq.MulCount(infl[i], n))
+		}
+		if rel > 0 {
+			for _, e := range cs.Entities {
+				if e.MigrIn {
+					continue
+				}
+				demand = timeq.AddSat(demand, timeq.MulCount(rel, timeq.CeilDiv(t, e.T)))
+			}
+		}
+		if timeq.AddSat(demand, b) > t {
+			return false
+		}
+	}
+	return true
+}
+
+// edfBlocking bounds the non-preemptible kernel segments that can
+// delay entity e under EDF: one in-progress departure, one spilled
+// arrival, and a simultaneous batch of other timer releases (EDF has
+// no static priority order, so every other entity's batch counts).
+func (cs *CoreSet) edfBlocking(e *Entity, m *overhead.Model) timeq.Time {
+	if m.IsZero() {
+		return 0
+	}
+	perRelease := m.Release +
+		cs.delta(m, overhead.SleepDelete, false) +
+		cs.delta(m, overhead.ReadyAdd, false)
+	var batch timeq.Time
+	for _, o := range cs.Entities {
+		if o != e && !o.MigrIn {
+			batch += perRelease
+		}
+	}
+	if batch > 0 {
+		batch += m.Sched
+	}
+	var maxDep, maxArr timeq.Time
+	for _, o := range cs.Entities {
+		if d := cs.departureCost(o, m); d > maxDep {
+			maxDep = d
+		}
+		if a := cs.arrivalCost(o, m); a > maxArr {
+			maxArr = a
+		}
+	}
+	return batch + maxDep + maxArr
+}
+
+// edfBusyPeriod computes the synchronous busy period with inflated
+// costs — the test horizon L.
+func (cs *CoreSet) edfBusyPeriod(infl []timeq.Time, rel, b timeq.Time) timeq.Time {
+	w := b
+	for _, c := range infl {
+		w += c
+	}
+	if w == 0 {
+		return 0
+	}
+	for iter := 0; iter < 10000; iter++ {
+		next := b
+		for i, e := range cs.Entities {
+			n := timeq.CeilDiv(w, e.T)
+			next = timeq.AddSat(next, timeq.MulCount(infl[i], n))
+			if rel > 0 && !e.MigrIn {
+				next = timeq.AddSat(next, timeq.MulCount(rel, n))
+			}
+		}
+		if next == w {
+			// Also cover the largest relative deadline.
+			for _, e := range cs.Entities {
+				w = timeq.Max(w, e.D)
+			}
+			return w
+		}
+		w = next
+	}
+	return timeq.Infinity
+}
+
+// deadlinePointCap bounds the number of absolute deadlines tested per
+// core; beyond it the set is treated as unschedulable rather than
+// spending unbounded analysis time (only pathological period ratios
+// reach it).
+const deadlinePointCap = 2_000_000
+
+// deadlinePoints enumerates the absolute deadlines ≤ l, sorted; the
+// second result is false when the cap was exceeded.
+func (cs *CoreSet) deadlinePoints(l timeq.Time) ([]timeq.Time, bool) {
+	var pts []timeq.Time
+	for _, e := range cs.Entities {
+		for t := e.D; t <= l; t += e.T {
+			pts = append(pts, t)
+			if len(pts) > deadlinePointCap {
+				return nil, false
+			}
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+	// Deduplicate.
+	out := pts[:0]
+	var prev timeq.Time = -1
+	for _, t := range pts {
+		if t != prev {
+			out = append(out, t)
+			prev = t
+		}
+	}
+	return out, true
+}
+
+// EDFBuildCores expands an assignment into per-core entity sets under
+// EDF semantics: split parts become window-deadline sporadic tasks.
+// Splits must carry Windows (see partition.EDFWM).
+func EDFBuildCores(a *task.Assignment, m *overhead.Model) []*CoreSet {
+	perCore := make([][]*Entity, a.NumCores)
+	for c := 0; c < a.NumCores; c++ {
+		for _, t := range a.Normal[c] {
+			perCore[c] = append(perCore[c], &Entity{
+				Task: t,
+				C:    t.WCET,
+				T:    t.Period,
+				D:    t.EffectiveDeadline(),
+			})
+		}
+	}
+	for _, sp := range a.Splits {
+		last := len(sp.Parts) - 1
+		for i, p := range sp.Parts {
+			d := sp.Task.EffectiveDeadline()
+			if sp.HasWindows() {
+				d = sp.Windows[i]
+			}
+			perCore[p.Core] = append(perCore[p.Core], &Entity{
+				Task:           sp.Task,
+				C:              p.Budget,
+				T:              sp.Task.Period,
+				D:              d,
+				PartIndex:      i,
+				MigrIn:         i > 0,
+				MigrOut:        i < last,
+				RemoteSleepAdd: i == last,
+			})
+		}
+	}
+	maxN := 0
+	for c := 0; c < a.NumCores; c++ {
+		if len(perCore[c]) > maxN {
+			maxN = len(perCore[c])
+		}
+	}
+	var out []*CoreSet
+	for c := 0; c < a.NumCores; c++ {
+		out = append(out, NewCoreSet(perCore[c], maxN, m))
+	}
+	return out
+}
+
+// EDFAssignmentSchedulable is the EDF admission test for a whole
+// assignment. Windows decouple cores, so it is a conjunction of
+// per-core demand tests.
+func EDFAssignmentSchedulable(a *task.Assignment, m *overhead.Model) bool {
+	for _, sp := range a.Splits {
+		if !sp.HasWindows() {
+			return false // EDF requires window-split tasks
+		}
+	}
+	for _, cs := range EDFBuildCores(a, m) {
+		if !cs.EDFCoreSchedulable(m) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,238 @@
+// Package analysis implements fixed-priority schedulability analysis
+// for partitioned and semi-partitioned assignments, with the paper's
+// measured overheads folded in (Section 4: "we integrate the obtained
+// overhead into the state-of-the-art partitioned scheduling and
+// semi-partitioned scheduling algorithms").
+//
+// The unit of analysis is the Entity: one schedulable object on one
+// core. An unsplit task is one entity; a split task contributes one
+// entity per part, linked into a chain whose release jitters are
+// resolved by fixed-point iteration across cores.
+//
+// # Overhead accounting
+//
+// Every overhead the simulator charges is billed to exactly one
+// entity, so the response-time analysis upper-bounds the simulation:
+//
+//   - timer arrival: rls + θdel + δadd (the release path), then
+//     sch + cnt1 plus the victim-requeue δadd and dispatch δdel of the
+//     preemption the arrival may cause;
+//   - migration arrival: sch + cnt1 + victim δadd + dispatch δdel,
+//     plus the migration cache reload (CPMD);
+//   - departure: sch + cnt2 + the sleep-queue insert (remote for a
+//     migrated tail) or the remote ready-queue insert (body parts),
+//     plus the δdel that dispatches the next local job;
+//   - one CacheMax charge per job for the cache reload of whichever
+//     task it preempted.
+//
+// Kernel segments are non-preemptible, so each entity also suffers a
+// blocking term B (lower-priority release batches, an in-progress
+// departure segment, and one spilled arrival segment) and
+// lower-priority timer releases are charged as interference — both
+// effects the paper's Figure 1 timeline makes visible.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// Entity is one schedulable object hosted on one core: either a whole
+// task or one part of a split task.
+type Entity struct {
+	// Task is the underlying task.
+	Task *task.Task
+	// C is the execution budget on this core: the WCET for an
+	// unsplit task, the part budget for a split part.
+	C timeq.Time
+	// T is the period (inherited from the task).
+	T timeq.Time
+	// D is the deadline the chain must meet (inherited; the chain
+	// constraint R_tail + J_tail ≤ D is what matters for splits).
+	D timeq.Time
+	// LocalPriority is the effective priority on this core; smaller
+	// is higher. Split parts run at the highest local priorities
+	// (task.SplitLocalPriority).
+	LocalPriority int
+	// Jitter is the release jitter: zero for timer-released
+	// entities, and the cumulative response time of the preceding
+	// parts for the 2nd..tail parts of a split task.
+	Jitter timeq.Time
+
+	// PartIndex is the position in the split chain (0 for unsplit
+	// tasks and first parts).
+	PartIndex int
+	// MigrIn marks an entity that arrives by migration (parts 1..tail).
+	MigrIn bool
+	// MigrOut marks an entity that departs by migration (body parts).
+	MigrOut bool
+	// RemoteSleepAdd marks the tail part: on completion the job is
+	// inserted into the *home* core's sleep queue, a remote add.
+	RemoteSleepAdd bool
+}
+
+// String renders the entity for diagnostics.
+func (e *Entity) String() string {
+	s := fmt.Sprintf("%v part=%d C=%v prio=%d", e.Task, e.PartIndex, e.C, e.LocalPriority)
+	if e.Jitter > 0 {
+		s += fmt.Sprintf(" J=%v", e.Jitter)
+	}
+	return s
+}
+
+// CoreSet is the set of entities hosted on one core, with the
+// parameters the overhead model needs.
+type CoreSet struct {
+	Entities []*Entity
+	// N is the queue-size bound used for δ(N) and θ(N). Following
+	// the paper ("N is the maximal number of tasks in the queue"),
+	// this is the maximum entity count over all cores of the
+	// assignment, shared by analysis and simulator.
+	N int
+	// CacheMax is the worst CPMD any entity on this core pays on
+	// resume; a preempting job is charged this once per release.
+	CacheMax timeq.Time
+}
+
+// NewCoreSet builds a CoreSet over the given queue-size bound n and
+// derives CacheMax from the entity list and the model's cache
+// parameters.
+func NewCoreSet(entities []*Entity, n int, m *overhead.Model) *CoreSet {
+	if n < len(entities) {
+		n = len(entities)
+	}
+	cs := &CoreSet{Entities: entities, N: n}
+	for _, e := range entities {
+		if d := m.Cache.MaxDelay(e.Task.WSS); d > cs.CacheMax {
+			cs.CacheMax = d
+		}
+	}
+	sort.SliceStable(cs.Entities, func(i, j int) bool {
+		return cs.Entities[i].LocalPriority < cs.Entities[j].LocalPriority
+	})
+	return cs
+}
+
+// delta is the local ready-queue op cost δ at this core's N.
+func (cs *CoreSet) delta(m *overhead.Model, op overhead.Op, remote bool) timeq.Time {
+	return m.QueueOpCost(op, cs.N, remote)
+}
+
+// ReleaseCost is the kernel time of one timer release excluding any
+// context switch: rls + θdel + δadd + sch. Lower-priority releases
+// hit a running entity with exactly this much interference.
+func (cs *CoreSet) ReleaseCost(m *overhead.Model) timeq.Time {
+	return m.Release +
+		cs.delta(m, overhead.SleepDelete, false) +
+		cs.delta(m, overhead.ReadyAdd, false) +
+		m.Sched
+}
+
+// arrivalCost is the total arrival charge of e: the release or
+// migration-arrival path plus the context switch it may cause
+// (victim requeue δadd, dispatch δdel, cnt1) and, for migrated parts,
+// the cache reload.
+func (cs *CoreSet) arrivalCost(e *Entity, m *overhead.Model) timeq.Time {
+	var c timeq.Time
+	if e.MigrIn {
+		c += m.Sched
+		c += m.Cache.Delay(e.Task.WSS, true)
+	} else {
+		c += cs.ReleaseCost(m) // includes sch
+	}
+	c += cs.delta(m, overhead.ReadyAdd, false)    // victim requeue
+	c += cs.delta(m, overhead.ReadyDelete, false) // own dispatch
+	c += m.CtxSwitch                              // cnt1
+	return c
+}
+
+// departureCost is the total departure charge of e: the finish or
+// budget-exhaustion path including the dispatch of the next local job.
+func (cs *CoreSet) departureCost(e *Entity, m *overhead.Model) timeq.Time {
+	c := m.Sched + m.CtxSwitch // sch + cnt2
+	if e.MigrOut {
+		c += cs.delta(m, overhead.ReadyAdd, true)
+	} else {
+		c += cs.delta(m, overhead.SleepAdd, e.RemoteSleepAdd)
+	}
+	c += cs.delta(m, overhead.ReadyDelete, false) // next job's dispatch
+	return c
+}
+
+// InflatedCost returns the entity's budget inflated with every
+// overhead charge billed to it (see the package comment).
+func (cs *CoreSet) InflatedCost(e *Entity, m *overhead.Model) timeq.Time {
+	return e.C + cs.arrivalCost(e, m) + cs.departureCost(e, m) + cs.CacheMax
+}
+
+// Blocking returns the non-preemptible-segment blocking term B for
+// entity e: a simultaneous batch of lower-priority timer releases, an
+// in-progress departure segment, and one spilled arrival segment.
+// Kernel segments are µs-scale, so B is small against ms deadlines,
+// but ignoring it would let the simulator overrun the analysis.
+func (cs *CoreSet) Blocking(e *Entity, m *overhead.Model) timeq.Time {
+	if m.IsZero() {
+		return 0
+	}
+	var b timeq.Time
+	perRelease := m.Release +
+		cs.delta(m, overhead.SleepDelete, false) +
+		cs.delta(m, overhead.ReadyAdd, false)
+	batch := timeq.Time(0)
+	for _, o := range cs.Entities {
+		if o.LocalPriority > e.LocalPriority && !o.MigrIn {
+			batch += perRelease
+		}
+	}
+	if batch > 0 {
+		batch += m.Sched
+	}
+	b += batch
+	var maxDep, maxArr timeq.Time
+	for _, o := range cs.Entities {
+		if d := cs.departureCost(o, m); d > maxDep {
+			maxDep = d
+		}
+		if a := cs.arrivalCost(o, m); a > maxArr {
+			maxArr = a
+		}
+	}
+	return b + maxDep + maxArr
+}
+
+// hp returns the entities with higher local priority than e.
+func (cs *CoreSet) hp(e *Entity) []*Entity {
+	var out []*Entity
+	for _, o := range cs.Entities {
+		if o != e && o.LocalPriority < e.LocalPriority {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// lpTimer returns the lower-priority timer-released entities, whose
+// release paths interfere with e regardless of priority.
+func (cs *CoreSet) lpTimer(e *Entity) []*Entity {
+	var out []*Entity
+	for _, o := range cs.Entities {
+		if o != e && o.LocalPriority > e.LocalPriority && !o.MigrIn {
+			out = append(out, o)
+		}
+	}
+	return out
+}
+
+// Utilization returns the total budget utilization on the core
+// (ΣC/T over entities, without overhead inflation).
+func (cs *CoreSet) Utilization() float64 {
+	u := 0.0
+	for _, e := range cs.Entities {
+		u += float64(e.C) / float64(e.T)
+	}
+	return u
+}

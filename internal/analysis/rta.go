@@ -1,0 +1,108 @@
+package analysis
+
+import (
+	"math"
+
+	"repro/internal/overhead"
+	"repro/internal/timeq"
+)
+
+// ResponseTime computes the worst-case response time of entity e on
+// core cs under preemptive fixed-priority scheduling with release
+// jitter and overheads, using the fixed-point iteration
+//
+//	R = C'ₑ + Bₑ + Σ_{j ∈ hp(e)} ⌈(R + Jⱼ)/Tⱼ⌉ · C'ⱼ
+//	             + Σ_{j ∈ lp(e), timer} ⌈(R + Jⱼ)/Tⱼ⌉ · rel(j)
+//
+// where C' are overhead-inflated budgets, Bₑ is the non-preemptible
+// kernel-segment blocking term, and rel(j) is the release-path cost a
+// lower-priority timer release charges regardless of priority. The
+// second result is false when the iteration exceeds the entity's
+// deadline budget (D − Jitter), i.e. the entity is unschedulable.
+//
+// The returned response time is measured from the entity's own
+// release (jitter excluded); the chain constraint is R + Jitter ≤ D.
+func (cs *CoreSet) ResponseTime(e *Entity, m *overhead.Model) (timeq.Time, bool) {
+	limit := e.D - e.Jitter
+	base := timeq.AddSat(cs.InflatedCost(e, m), cs.Blocking(e, m))
+	if base > limit {
+		return base, false
+	}
+	hp := cs.hp(e)
+	hpCost := make([]timeq.Time, len(hp))
+	for i, j := range hp {
+		hpCost[i] = cs.InflatedCost(j, m)
+	}
+	lp := cs.lpTimer(e)
+	relCost := cs.ReleaseCost(m)
+	r := base
+	for iter := 0; iter < 10000; iter++ {
+		total := base
+		for i, j := range hp {
+			n := timeq.CeilDiv(r+j.Jitter, j.T)
+			total = timeq.AddSat(total, timeq.MulCount(hpCost[i], n))
+		}
+		if relCost > 0 {
+			for _, j := range lp {
+				n := timeq.CeilDiv(r+j.Jitter, j.T)
+				total = timeq.AddSat(total, timeq.MulCount(relCost, n))
+			}
+		}
+		if total == r {
+			return r, true
+		}
+		if total > limit {
+			return total, false
+		}
+		r = total
+	}
+	// Non-convergence within the iteration cap means effective
+	// utilization ≥ 1 at this priority level; report unschedulable.
+	return timeq.Infinity, false
+}
+
+// CoreSchedulable reports whether every entity on the core meets its
+// deadline budget under the model.
+func (cs *CoreSet) CoreSchedulable(m *overhead.Model) bool {
+	for _, e := range cs.Entities {
+		if _, ok := cs.ResponseTime(e, m); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// LiuLaylandBound returns the classic RM utilization bound
+// n(2^{1/n} − 1) for n tasks; 1.0 for n ≤ 1. This is the per-core
+// threshold Θ(n) that the SPA algorithms fill each processor to.
+func LiuLaylandBound(n int) float64 {
+	if n <= 1 {
+		return 1.0
+	}
+	fn := float64(n)
+	return fn * (math.Pow(2, 1/fn) - 1)
+}
+
+// CoreUtilizationSchedulable is the Liu & Layland sufficient test:
+// the core is schedulable if its budget utilization does not exceed
+// Θ(n). Only meaningful for the overhead-free setting; the
+// overhead-aware path uses exact RTA.
+func (cs *CoreSet) CoreUtilizationSchedulable() bool {
+	return cs.Utilization() <= LiuLaylandBound(len(cs.Entities))+1e-12
+}
+
+// CoreHyperbolicSchedulable is Bini & Buttazzo's hyperbolic bound:
+// Π(Uᵢ + 1) ≤ 2 suffices for RM schedulability with implicit
+// deadlines. It is strictly less pessimistic than Liu & Layland and
+// still O(n), so it serves as a fast sufficient pre-filter before
+// exact RTA.
+func (cs *CoreSet) CoreHyperbolicSchedulable() bool {
+	p := 1.0
+	for _, e := range cs.Entities {
+		if e.D < e.T || e.Jitter > 0 {
+			return false // bound only valid for implicit deadlines
+		}
+		p *= float64(e.C)/float64(e.T) + 1
+	}
+	return p <= 2+1e-12
+}

@@ -1,0 +1,351 @@
+// Package binheap implements a binomial heap, the data structure the
+// paper uses for each core's ready queue (Section 2: "The ready queue
+// is implemented by a binomial heap").
+//
+// The heap is a mergeable min-heap: smaller keys are extracted first,
+// so the scheduler stores numeric priorities where a smaller number
+// means a higher priority (rate-monotonic: shorter period, smaller
+// key). Ties are broken FIFO by insertion order, matching the queueing
+// behaviour of a real ready queue.
+//
+// All operations return or accept *Item handles, which remain valid
+// across heap restructuring, so the scheduler can remove a specific
+// task from the middle of the queue (e.g. when a job is aborted) in
+// O(log n).
+package binheap
+
+import "fmt"
+
+// Item is a handle to one entry in the heap. The zero Item is not
+// valid; Items are created by Heap.Insert.
+type Item[V any] struct {
+	// Key is the ordering key. Smaller keys are extracted first.
+	// It must not be modified directly; use Heap.DecreaseKey.
+	Key int64
+	// Value is the payload, owned by the caller.
+	Value V
+
+	seq    uint64
+	forced bool // set transiently by Delete to win every comparison
+	node   *node[V]
+}
+
+// node is one node of a binomial tree. The item payload is kept
+// separate from the tree node so that bubbling a key towards the root
+// can swap payloads without invalidating caller-held *Item handles.
+type node[V any] struct {
+	item    *Item[V]
+	parent  *node[V]
+	child   *node[V] // leftmost child
+	sibling *node[V] // next tree to the right (root list or child list)
+	degree  int
+}
+
+// Heap is a binomial min-heap. The zero value is an empty heap ready
+// to use.
+type Heap[V any] struct {
+	head *node[V] // root list, strictly increasing degree
+	n    int
+	seq  uint64 // insertion counter for FIFO tie-breaking
+}
+
+// Len returns the number of items in the heap.
+func (h *Heap[V]) Len() int { return h.n }
+
+// less orders items by (Key, seq): FIFO among equal keys. An item
+// being deleted is forced ahead of everything else.
+func less[V any](a, b *Item[V]) bool {
+	if a.forced != b.forced {
+		return a.forced
+	}
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.seq < b.seq
+}
+
+// Insert adds value with the given key and returns its handle.
+// O(log n) worst case, O(1) amortized.
+func (h *Heap[V]) Insert(key int64, value V) *Item[V] {
+	it := &Item[V]{Key: key, Value: value, seq: h.seq}
+	h.seq++
+	nd := &node[V]{item: it}
+	it.node = nd
+	h.head = merge(h.head, nd)
+	h.n++
+	return it
+}
+
+// Min returns the item with the smallest key without removing it, or
+// nil if the heap is empty. O(log n).
+func (h *Heap[V]) Min() *Item[V] {
+	if h.head == nil {
+		return nil
+	}
+	best := h.head
+	for cur := h.head.sibling; cur != nil; cur = cur.sibling {
+		if less(cur.item, best.item) {
+			best = cur
+		}
+	}
+	return best.item
+}
+
+// ExtractMin removes and returns the item with the smallest key, or
+// nil if the heap is empty. O(log n).
+func (h *Heap[V]) ExtractMin() *Item[V] {
+	if h.head == nil {
+		return nil
+	}
+	// Find the minimum root and its predecessor in the root list.
+	var prevBest *node[V]
+	best := h.head
+	for prev, cur := h.head, h.head.sibling; cur != nil; prev, cur = cur, cur.sibling {
+		if less(cur.item, best.item) {
+			prevBest, best = prev, cur
+		}
+	}
+	// Unlink best from the root list.
+	if prevBest == nil {
+		h.head = best.sibling
+	} else {
+		prevBest.sibling = best.sibling
+	}
+	// Reverse best's children into a root list of increasing degree.
+	var rev *node[V]
+	for c := best.child; c != nil; {
+		next := c.sibling
+		c.sibling = rev
+		c.parent = nil
+		rev = c
+		c = next
+	}
+	h.head = merge(h.head, rev)
+	h.n--
+	it := best.item
+	it.node = nil
+	best.item = nil
+	return it
+}
+
+// DecreaseKey lowers it's key to key. It panics if key is larger than
+// the current key or if it is no longer in the heap. O(log n).
+func (h *Heap[V]) DecreaseKey(it *Item[V], key int64) {
+	if it.node == nil {
+		panic("binheap: DecreaseKey on removed item")
+	}
+	if key > it.Key {
+		panic("binheap: DecreaseKey would increase key")
+	}
+	it.Key = key
+	h.bubbleUp(it.node)
+}
+
+// Delete removes it from the heap. It panics if it was already
+// removed. O(log n).
+func (h *Heap[V]) Delete(it *Item[V]) {
+	if it.node == nil {
+		panic("binheap: Delete on removed item")
+	}
+	// Force the item ahead of every other, bubble it to its root,
+	// and extract it as the heap minimum.
+	it.forced = true
+	h.bubbleUp(it.node)
+	got := h.ExtractMin()
+	if got != it {
+		panic("binheap: internal error: Delete extracted wrong item")
+	}
+	it.forced = false
+}
+
+// Meld moves all items of other into h, leaving other empty.
+// O(log n). Handles held on items from either heap remain valid.
+func (h *Heap[V]) Meld(other *Heap[V]) {
+	if other == h || other.head == nil {
+		return
+	}
+	// Re-sequence the incoming items so FIFO tie-breaking stays
+	// globally consistent: everything already queued on h keeps its
+	// order, melded items follow in their own order.
+	reseq(other.head, h)
+	h.head = merge(h.head, other.head)
+	h.n += other.n
+	other.head = nil
+	other.n = 0
+}
+
+func reseq[V any](nd *node[V], h *Heap[V]) {
+	for ; nd != nil; nd = nd.sibling {
+		nd.item.seq = h.seq
+		h.seq++
+		reseq(nd.child, h)
+	}
+}
+
+// bubbleUp restores the heap order along the path from nd to its root
+// after nd's key decreased, by swapping item payloads.
+func (h *Heap[V]) bubbleUp(nd *node[V]) {
+	for p := nd.parent; p != nil && less(nd.item, p.item); p = nd.parent {
+		nd.item, p.item = p.item, nd.item
+		nd.item.node = nd
+		p.item.node = p
+		nd = p
+	}
+}
+
+// link makes b a child of a. Requires a.degree == b.degree and
+// a.item ≤ b.item.
+func link[V any](a, b *node[V]) {
+	b.parent = a
+	b.sibling = a.child
+	a.child = b
+	a.degree++
+}
+
+// merge combines two root lists into one with the binomial-heap
+// invariant (at most one tree per degree), linking equal-degree trees.
+func merge[V any](a, b *node[V]) *node[V] {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	// Merge by degree into a single list.
+	var head, tail *node[V]
+	appendNode := func(nd *node[V]) {
+		if tail == nil {
+			head, tail = nd, nd
+		} else {
+			tail.sibling = nd
+			tail = nd
+		}
+	}
+	for a != nil && b != nil {
+		if a.degree <= b.degree {
+			next := a.sibling
+			a.sibling = nil
+			appendNode(a)
+			a = next
+		} else {
+			next := b.sibling
+			b.sibling = nil
+			appendNode(b)
+			b = next
+		}
+	}
+	for a != nil {
+		next := a.sibling
+		a.sibling = nil
+		appendNode(a)
+		a = next
+	}
+	for b != nil {
+		next := b.sibling
+		b.sibling = nil
+		appendNode(b)
+		b = next
+	}
+	// Link trees of equal degree (CLRS binomial-heap-union).
+	var prev *node[V]
+	cur := head
+	next := cur.sibling
+	for next != nil {
+		if cur.degree != next.degree ||
+			(next.sibling != nil && next.sibling.degree == cur.degree) {
+			prev = cur
+			cur = next
+		} else if !less(next.item, cur.item) {
+			cur.sibling = next.sibling
+			link(cur, next)
+		} else {
+			if prev == nil {
+				head = next
+			} else {
+				prev.sibling = next
+			}
+			link(next, cur)
+			cur = next
+		}
+		next = cur.sibling
+	}
+	return head
+}
+
+// Items returns all items in the heap in unspecified order. Intended
+// for tests and diagnostics; O(n).
+func (h *Heap[V]) Items() []*Item[V] {
+	var out []*Item[V]
+	var walk func(nd *node[V])
+	walk = func(nd *node[V]) {
+		for ; nd != nil; nd = nd.sibling {
+			out = append(out, nd.item)
+			walk(nd.child)
+		}
+	}
+	walk(h.head)
+	return out
+}
+
+// checkInvariants validates the binomial-heap structural invariants.
+// Exposed to the package tests via export_test.go.
+func (h *Heap[V]) checkInvariants() error {
+	count := 0
+	lastDegree := -1
+	for root := h.head; root != nil; root = root.sibling {
+		if root.parent != nil {
+			return errf("root has parent")
+		}
+		if root.degree <= lastDegree {
+			return errf("root degrees not strictly increasing: %d after %d", root.degree, lastDegree)
+		}
+		lastDegree = root.degree
+		n, err := checkTree(root)
+		if err != nil {
+			return err
+		}
+		count += n
+	}
+	if count != h.n {
+		return errf("size mismatch: counted %d, recorded %d", count, h.n)
+	}
+	return nil
+}
+
+func checkTree[V any](nd *node[V]) (int, error) {
+	// A binomial tree of degree k has k children of degrees
+	// k-1, k-2, ..., 0 (in child-list order) and 2^k nodes.
+	if nd.item == nil || nd.item.node != nd {
+		return 0, errf("item/node backpointer mismatch")
+	}
+	n := 1
+	wantDegree := nd.degree - 1
+	for c := nd.child; c != nil; c = c.sibling {
+		if c.parent != nd {
+			return 0, errf("child parent pointer wrong")
+		}
+		if c.degree != wantDegree {
+			return 0, errf("child degree %d, want %d", c.degree, wantDegree)
+		}
+		if less(c.item, nd.item) {
+			return 0, errf("heap order violated")
+		}
+		cn, err := checkTree(c)
+		if err != nil {
+			return 0, err
+		}
+		n += cn
+		wantDegree--
+	}
+	if wantDegree != -1 {
+		return 0, errf("missing children: stopped at degree %d", wantDegree)
+	}
+	if n != 1<<uint(nd.degree) {
+		return 0, errf("tree of degree %d has %d nodes", nd.degree, n)
+	}
+	return n, nil
+}
+
+func errf(format string, args ...any) error {
+	return fmt.Errorf("binheap: "+format, args...)
+}

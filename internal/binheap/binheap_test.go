@@ -1,0 +1,343 @@
+package binheap
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func requireInvariants(t *testing.T, h *Heap[int]) {
+	t.Helper()
+	if err := h.CheckInvariants(); err != nil {
+		t.Fatalf("invariants violated: %v", err)
+	}
+}
+
+func TestEmptyHeap(t *testing.T) {
+	var h Heap[int]
+	if h.Len() != 0 {
+		t.Fatal("empty heap has nonzero length")
+	}
+	if h.Min() != nil {
+		t.Fatal("Min on empty heap should be nil")
+	}
+	if h.ExtractMin() != nil {
+		t.Fatal("ExtractMin on empty heap should be nil")
+	}
+	requireInvariants(t, &h)
+}
+
+func TestInsertExtractSorted(t *testing.T) {
+	var h Heap[int]
+	keys := []int64{5, 3, 8, 1, 9, 2, 7, 4, 6, 0}
+	for _, k := range keys {
+		h.Insert(k, int(k))
+		requireInvariants(t, &h)
+	}
+	if h.Len() != len(keys) {
+		t.Fatalf("Len = %d, want %d", h.Len(), len(keys))
+	}
+	for want := int64(0); want < 10; want++ {
+		it := h.ExtractMin()
+		if it == nil || it.Key != want {
+			t.Fatalf("extracted %v, want key %d", it, want)
+		}
+		if int64(it.Value) != want {
+			t.Fatalf("value %d, want %d", it.Value, want)
+		}
+		requireInvariants(t, &h)
+	}
+	if h.Len() != 0 {
+		t.Fatal("heap not empty after draining")
+	}
+}
+
+func TestFIFOAmongEqualKeys(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 10; i++ {
+		h.Insert(7, i)
+	}
+	for i := 0; i < 10; i++ {
+		it := h.ExtractMin()
+		if it.Value != i {
+			t.Fatalf("equal-key extraction order: got %d, want %d", it.Value, i)
+		}
+	}
+}
+
+func TestMinDoesNotRemove(t *testing.T) {
+	var h Heap[int]
+	h.Insert(2, 2)
+	h.Insert(1, 1)
+	if h.Min().Key != 1 || h.Len() != 2 {
+		t.Fatal("Min changed the heap")
+	}
+	if h.Min().Key != 1 {
+		t.Fatal("Min not repeatable")
+	}
+}
+
+func TestDecreaseKey(t *testing.T) {
+	var h Heap[int]
+	items := make([]*Item[int], 0, 16)
+	for i := 0; i < 16; i++ {
+		items = append(items, h.Insert(int64(i+100), i))
+	}
+	h.DecreaseKey(items[15], 1)
+	requireInvariants(t, &h)
+	if got := h.ExtractMin(); got.Value != 15 {
+		t.Fatalf("after DecreaseKey min is %d, want 15", got.Value)
+	}
+	// Decrease to the same key is a no-op but legal.
+	h.DecreaseKey(items[3], items[3].Key)
+	requireInvariants(t, &h)
+}
+
+func TestDecreaseKeyPanicsOnIncrease(t *testing.T) {
+	var h Heap[int]
+	it := h.Insert(5, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	h.DecreaseKey(it, 6)
+}
+
+func TestDeleteMiddle(t *testing.T) {
+	var h Heap[int]
+	items := make([]*Item[int], 0, 32)
+	for i := 0; i < 32; i++ {
+		items = append(items, h.Insert(int64(i), i))
+	}
+	h.Delete(items[17])
+	requireInvariants(t, &h)
+	if h.Len() != 31 {
+		t.Fatalf("Len = %d after delete", h.Len())
+	}
+	// Key restored on the handle after delete.
+	if items[17].Key != 17 {
+		t.Fatalf("deleted item key = %d, want 17", items[17].Key)
+	}
+	for i := 0; i < 32; i++ {
+		if i == 17 {
+			continue
+		}
+		it := h.ExtractMin()
+		if it.Value != i {
+			t.Fatalf("got %d, want %d", it.Value, i)
+		}
+	}
+}
+
+func TestDeletePanicsTwice(t *testing.T) {
+	var h Heap[int]
+	it := h.Insert(1, 1)
+	h.Delete(it)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on double delete")
+		}
+	}()
+	h.Delete(it)
+}
+
+func TestMeld(t *testing.T) {
+	var a, b Heap[int]
+	for i := 0; i < 10; i += 2 {
+		a.Insert(int64(i), i)
+	}
+	for i := 1; i < 10; i += 2 {
+		b.Insert(int64(i), i)
+	}
+	a.Meld(&b)
+	requireInvariants(t, &a)
+	if b.Len() != 0 {
+		t.Fatal("source heap not emptied by Meld")
+	}
+	if a.Len() != 10 {
+		t.Fatalf("melded Len = %d, want 10", a.Len())
+	}
+	for i := 0; i < 10; i++ {
+		if got := a.ExtractMin().Value; got != i {
+			t.Fatalf("got %d, want %d", got, i)
+		}
+	}
+}
+
+func TestMeldSelfAndEmpty(t *testing.T) {
+	var a, b Heap[int]
+	a.Insert(1, 1)
+	a.Meld(&a) // no-op
+	a.Meld(&b) // melding empty is a no-op
+	if a.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", a.Len())
+	}
+}
+
+func TestItemsEnumeratesAll(t *testing.T) {
+	var h Heap[int]
+	for i := 0; i < 13; i++ {
+		h.Insert(int64(i), i)
+	}
+	items := h.Items()
+	if len(items) != 13 {
+		t.Fatalf("Items returned %d, want 13", len(items))
+	}
+	seen := map[int]bool{}
+	for _, it := range items {
+		seen[it.Value] = true
+	}
+	for i := 0; i < 13; i++ {
+		if !seen[i] {
+			t.Fatalf("value %d missing from Items", i)
+		}
+	}
+}
+
+// TestRandomizedAgainstReference drives the heap with random
+// operations and cross-checks every result against a sorted-slice
+// reference implementation.
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	var h Heap[int]
+	type refEntry struct {
+		key  int64
+		seq  int
+		item *Item[int]
+	}
+	var ref []refEntry
+	seq := 0
+	refLess := func(i, j int) bool {
+		if ref[i].key != ref[j].key {
+			return ref[i].key < ref[j].key
+		}
+		return ref[i].seq < ref[j].seq
+	}
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5: // insert
+			k := int64(rng.Intn(50))
+			it := h.Insert(k, int(k))
+			ref = append(ref, refEntry{k, seq, it})
+			seq++
+		case r < 8: // extract min
+			sort.SliceStable(ref, refLess)
+			got := h.ExtractMin()
+			if len(ref) == 0 {
+				if got != nil {
+					t.Fatal("extracted from empty")
+				}
+				continue
+			}
+			want := ref[0]
+			ref = ref[1:]
+			if got != want.item {
+				t.Fatalf("op %d: extracted key %d seq?, want key %d", op, got.Key, want.key)
+			}
+		case r < 9: // delete random
+			if len(ref) == 0 {
+				continue
+			}
+			i := rng.Intn(len(ref))
+			h.Delete(ref[i].item)
+			ref = append(ref[:i], ref[i+1:]...)
+		default: // decrease key of random item
+			if len(ref) == 0 {
+				continue
+			}
+			i := rng.Intn(len(ref))
+			nk := ref[i].item.Key - int64(rng.Intn(10))
+			h.DecreaseKey(ref[i].item, nk)
+			ref[i].key = nk
+			// Note: DecreaseKey keeps the original insertion
+			// sequence, so the reference seq stays unchanged.
+		}
+		if h.Len() != len(ref) {
+			t.Fatalf("op %d: Len = %d, ref = %d", op, h.Len(), len(ref))
+		}
+		if op%97 == 0 {
+			if err := h.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+}
+
+// TestQuickHeapSort property: inserting any key slice and draining the
+// heap yields the keys in sorted order.
+func TestQuickHeapSort(t *testing.T) {
+	f := func(keys []int16) bool {
+		var h Heap[struct{}]
+		for _, k := range keys {
+			h.Insert(int64(k), struct{}{})
+		}
+		prev := int64(-1 << 62)
+		for h.Len() > 0 {
+			it := h.ExtractMin()
+			if it.Key < prev {
+				return false
+			}
+			prev = it.Key
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMeldPreservesMultiset property: melding two heaps yields
+// exactly the multiset union.
+func TestQuickMeldPreservesMultiset(t *testing.T) {
+	f := func(xs, ys []int8) bool {
+		var a, b Heap[struct{}]
+		counts := map[int64]int{}
+		for _, x := range xs {
+			a.Insert(int64(x), struct{}{})
+			counts[int64(x)]++
+		}
+		for _, y := range ys {
+			b.Insert(int64(y), struct{}{})
+			counts[int64(y)]++
+		}
+		a.Meld(&b)
+		if a.Len() != len(xs)+len(ys) {
+			return false
+		}
+		for a.Len() > 0 {
+			counts[a.ExtractMin().Key]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	var h Heap[int]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Insert(int64(i%1024), i)
+	}
+}
+
+func BenchmarkInsertExtractPair(b *testing.B) {
+	var h Heap[int]
+	for i := 0; i < 64; i++ {
+		h.Insert(int64(i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Insert(int64(i%128), i)
+		h.ExtractMin()
+	}
+}

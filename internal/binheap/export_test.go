@@ -1,0 +1,4 @@
+package binheap
+
+// CheckInvariants exposes the structural validator to tests.
+func (h *Heap[V]) CheckInvariants() error { return h.checkInvariants() }

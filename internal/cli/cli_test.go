@@ -1,0 +1,186 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAlgorithmByName(t *testing.T) {
+	for _, name := range []string{"fpts", "ffd", "wfd", "bfd", "spa1", "spa2", "edfwm", "edfffd", "edfwfd"} {
+		alg, err := AlgorithmByName(name)
+		if err != nil || alg == nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := AlgorithmByName("nope"); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestIsEDF(t *testing.T) {
+	edf, _ := AlgorithmByName("edfwm")
+	fp, _ := AlgorithmByName("fpts")
+	if !IsEDF(edf) || IsEDF(fp) {
+		t.Error("EDF detection wrong")
+	}
+}
+
+func TestSimHappyPath(t *testing.T) {
+	var sb strings.Builder
+	err := Sim([]string{"-tasks", "8", "-util", "2.4", "-horizon", "300ms", "-seed", "3"}, &sb)
+	if err != nil {
+		t.Fatalf("Sim: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	for _, want := range []string{"task set: 8 tasks", "FP-TS admitted", "all deadlines met", "core 0:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestSimEDFPath(t *testing.T) {
+	var sb strings.Builder
+	err := Sim([]string{"-alg", "edfwm", "-tasks", "8", "-util", "3.0", "-horizon", "300ms"}, &sb)
+	if err != nil {
+		t.Fatalf("Sim EDF: %v\n%s", err, sb.String())
+	}
+	if !strings.Contains(sb.String(), "EDF-WM admitted") {
+		t.Error("EDF algorithm not used")
+	}
+}
+
+func TestSimReportAndTimeline(t *testing.T) {
+	var sb strings.Builder
+	err := Sim([]string{"-tasks", "6", "-util", "2.0", "-horizon", "200ms", "-report", "-timeline"}, &sb)
+	if err != nil {
+		t.Fatalf("Sim: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "bound") || !strings.Contains(out, "timeline") {
+		t.Error("report/timeline missing")
+	}
+}
+
+func TestSimSporadic(t *testing.T) {
+	var sb strings.Builder
+	err := Sim([]string{"-tasks", "6", "-util", "2.0", "-horizon", "200ms", "-jitter", "2ms"}, &sb)
+	if err != nil {
+		t.Fatalf("Sim sporadic: %v", err)
+	}
+}
+
+func TestSimErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Sim([]string{"-alg", "bogus"}, &sb); err == nil {
+		t.Error("bad algorithm accepted")
+	}
+	if err := Sim([]string{"-overheads", "bogus"}, &sb); err == nil {
+		t.Error("bad overheads accepted")
+	}
+	if err := Sim([]string{"-demo", "bogus"}, &sb); err == nil {
+		t.Error("bad demo accepted")
+	}
+	if err := Sim([]string{"-scale", "-1"}, &sb); err == nil {
+		t.Error("negative scale accepted")
+	}
+	if err := Sim([]string{"-model", "/nonexistent.json"}, &sb); err == nil {
+		t.Error("missing model file accepted")
+	}
+	// Unschedulable: huge utilization on few cores.
+	if err := Sim([]string{"-tasks", "8", "-util", "3.9", "-cores", "2"}, &sb); err == nil {
+		t.Error("unschedulable set reported success")
+	}
+}
+
+func TestFigure1Demo(t *testing.T) {
+	var sb strings.Builder
+	if err := Sim([]string{"-demo", "figure1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 1", "rls 3µs", "cnt1 1.5µs", "cache", "max response"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure1 output missing %q", want)
+		}
+	}
+}
+
+func TestExpSmallSweep(t *testing.T) {
+	var sb strings.Builder
+	err := Exp([]string{"-tasks", "8", "-sets", "10", "-umin", "0.8", "-umax", "0.9", "-ustep", "0.05", "-overheads", "paper"}, &sb)
+	if err != nil {
+		t.Fatalf("Exp: %v", err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "FP-TS") || !strings.Contains(out, "0.800") {
+		t.Errorf("sweep output:\n%s", out)
+	}
+}
+
+func TestExpPlotCSVAndEDF(t *testing.T) {
+	var sb strings.Builder
+	err := Exp([]string{"-tasks", "6", "-sets", "5", "-umin", "0.8", "-umax", "0.85", "-ustep", "0.05", "-overheads", "zero", "-plot"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "acceptance ratio") {
+		t.Error("plot missing")
+	}
+	sb.Reset()
+	err = Exp([]string{"-tasks", "6", "-sets", "5", "-umin", "0.8", "-umax", "0.85", "-ustep", "0.05", "-overheads", "zero", "-csv"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "algorithm,total_utilization") {
+		t.Error("csv missing")
+	}
+	sb.Reset()
+	err = Exp([]string{"-tasks", "6", "-sets", "5", "-umin", "0.85", "-umax", "0.9", "-ustep", "0.05", "-overheads", "zero", "-edf"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "EDF-WM") {
+		t.Error("EDF comparison missing")
+	}
+}
+
+func TestExpErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := Exp([]string{"-umin", "-1"}, &sb); err == nil {
+		t.Error("bad grid accepted")
+	}
+	if err := Exp([]string{"-overheads", "bogus"}, &sb); err == nil {
+		t.Error("bad overheads accepted")
+	}
+	if err := Exp([]string{"-model", "/nonexistent.json"}, &sb); err == nil {
+		t.Error("missing model accepted")
+	}
+}
+
+func TestMeasureSmall(t *testing.T) {
+	var sb strings.Builder
+	if err := Measure([]string{"-samples", "30", "-raw"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table 1", "sleep queue – add", "Function costs", "paper 5µs"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("measure output missing %q", want)
+		}
+	}
+	if err := Measure([]string{"-samples", "1"}, &sb); err == nil {
+		t.Error("too-few samples accepted")
+	}
+}
+
+func TestSimGantt(t *testing.T) {
+	var sb strings.Builder
+	err := Sim([]string{"-tasks", "6", "-util", "2.0", "-horizon", "200ms", "-gantt"}, &sb)
+	if err != nil {
+		t.Fatalf("Sim gantt: %v", err)
+	}
+	if !strings.Contains(sb.String(), "gantt 0ns .. 50ms") {
+		t.Error("gantt output missing")
+	}
+}

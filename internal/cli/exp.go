@@ -1,0 +1,118 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/timeq"
+)
+
+// Exp is the spexp entry point: the Section 4 acceptance-ratio sweep.
+func Exp(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("spexp", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		cores    = fs.Int("cores", 4, "number of cores")
+		tasks    = fs.Int("tasks", 16, "tasks per set")
+		sets     = fs.Int("sets", 200, "task sets per grid point")
+		seed     = fs.Int64("seed", 1, "generator seed")
+		ovName   = fs.String("overheads", "both", "zero|paper|both")
+		modelF   = fs.String("model", "", "custom overhead model JSON file (overrides -overheads)")
+		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
+		plot     = fs.Bool("plot", false, "also draw ASCII acceptance curves")
+		edf      = fs.Bool("edf", false, "compare EDF algorithms instead")
+		validate = fs.Duration("validate", 0, "also simulate accepted sets for this horizon")
+		umin     = fs.Float64("umin", 0.600, "minimum per-core utilization")
+		umax     = fs.Float64("umax", 0.975, "maximum per-core utilization")
+		ustep    = fs.Float64("ustep", 0.025, "per-core utilization step")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *umin <= 0 || *umax < *umin || *ustep <= 0 {
+		return fmt.Errorf("bad utilization grid [%v, %v] step %v", *umin, *umax, *ustep)
+	}
+	var grid []float64
+	for u := *umin; u <= *umax+1e-9; u += *ustep {
+		grid = append(grid, u*float64(*cores))
+	}
+	run := func(model *core.OverheadModel, label string) {
+		cfg := core.SweepConfig{
+			Cores:        *cores,
+			Tasks:        *tasks,
+			SetsPerPoint: *sets,
+			Utilizations: grid,
+			Model:        model,
+			Seed:         *seed,
+			SimHorizon:   timeq.FromDuration(*validate),
+		}
+		if *edf {
+			cfg.Algorithms = []core.Algorithm{core.EDFWM, core.EDFFFD, core.FPTS}
+		}
+		start := time.Now()
+		r := core.Sweep(cfg)
+		if *csv {
+			fmt.Fprint(w, r.CSV())
+			return
+		}
+		fmt.Fprintf(w, "acceptance ratio — %s overheads (%d sets/point, %d tasks, %d cores, %v)\n",
+			label, *sets, *tasks, *cores, time.Since(start).Round(time.Millisecond))
+		fmt.Fprint(w, r.Table())
+		if *plot {
+			fmt.Fprintln(w)
+			fmt.Fprint(w, r.Plot(14))
+		}
+		if *validate > 0 {
+			fmt.Fprintf(w, "simulation validation: %d violations (expected 0)\n", r.TotalSimViolations())
+		}
+		fmt.Fprintln(w)
+	}
+	if *modelF != "" {
+		m, err := modelFromFlags("", *modelF, 1)
+		if err != nil {
+			return err
+		}
+		run(m, "custom")
+		return nil
+	}
+	switch *ovName {
+	case "zero":
+		run(core.ZeroOverheads(), "zero")
+	case "paper":
+		run(core.PaperOverheads(), "measured (paper)")
+	case "both":
+		run(core.ZeroOverheads(), "zero")
+		run(core.PaperOverheads(), "measured (paper)")
+	default:
+		return fmt.Errorf("unknown overhead model %q (zero|paper|both)", *ovName)
+	}
+	return nil
+}
+
+// Measure is the spmeasure entry point: Table 1 plus function costs.
+func Measure(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("spmeasure", flag.ContinueOnError)
+	fs.SetOutput(w)
+	samples := fs.Int("samples", 2000, "timing samples per cell")
+	raw := fs.Bool("raw", false, "also print the raw measurement rows")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *samples < 10 {
+		return fmt.Errorf("need at least 10 samples, got %d", *samples)
+	}
+	rows := measureTable1(*samples)
+	fmt.Fprint(w, formatTable1(rows))
+	if *raw {
+		fmt.Fprintln(w)
+		for _, r := range rows {
+			fmt.Fprintln(w, "  "+r.String())
+		}
+	}
+	fmt.Fprintln(w)
+	fmt.Fprint(w, formatFunctionCosts(*samples))
+	return nil
+}

@@ -1,0 +1,14 @@
+package cli
+
+import "repro/internal/measure"
+
+// Thin indirection over the measurement harness so exp.go reads as
+// flag wiring only.
+
+func measureTable1(samples int) []measure.Row { return measure.Table1(samples) }
+
+func formatTable1(rows []measure.Row) string { return measure.FormatTable1(rows) }
+
+func formatFunctionCosts(samples int) string {
+	return measure.FormatFunctionCosts(measure.FunctionCosts(samples))
+}

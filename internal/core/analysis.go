@@ -1,0 +1,17 @@
+package core
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/task"
+)
+
+// analysisSchedulable isolates the analysis dependency so core.go
+// reads as the API index.
+func analysisSchedulable(a *task.Assignment, m *overhead.Model) bool {
+	return analysis.AssignmentSchedulable(a, m)
+}
+
+func edfSchedulable(a *task.Assignment, m *overhead.Model) bool {
+	return analysis.EDFAssignmentSchedulable(a, m)
+}

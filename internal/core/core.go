@@ -1,0 +1,147 @@
+// Package core is the library's public surface: semi-partitioned
+// fixed-priority multi-core scheduling as implemented and evaluated in
+// "Towards the Implementation and Evaluation of Semi-Partitioned
+// Multi-Core Scheduling" (Zhang, Guan, Yi; PPES 2011).
+//
+// The pipeline mirrors the paper:
+//
+//	set := core.GenerateTaskSet(core.GenConfig{N: 16, TotalUtilization: 3.4, Seed: 1})
+//	a, err := core.Schedule(set, 4, core.FPTS, core.PaperOverheads())
+//	// err == nil ⇒ schedulable including measured overheads
+//	res, _ := core.Simulate(a, core.SimConfig{Model: core.PaperOverheads()})
+//	// res.Schedulable() — the kernel-simulator ground truth
+//
+// Subsystems (task model, analysis, partitioners, simulator, overhead
+// models, experiment driver) live in sibling packages; this package
+// re-exports the types a downstream user touches and provides the
+// high-level entry points.
+package core
+
+import (
+	"repro/internal/experiment"
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+	"repro/internal/trace"
+)
+
+// Re-exported model types.
+type (
+	// Task is a sporadic task (C, T, D, WSS, RM priority).
+	Task = task.Task
+	// TaskSet is an ordered collection of tasks.
+	TaskSet = task.Set
+	// Assignment maps tasks (and split-task parts) to cores.
+	Assignment = task.Assignment
+	// Split describes one split task and its per-core budgets.
+	Split = task.Split
+	// Part is one per-core share of a split task.
+	Part = task.Part
+	// Time is the fixed-point nanosecond time type.
+	Time = timeq.Time
+	// OverheadModel carries the Section 3 overhead parameters.
+	OverheadModel = overhead.Model
+	// Algorithm is a partitioning algorithm (FP-TS, FFD, WFD, …).
+	Algorithm = partition.Algorithm
+	// SimConfig parameterizes a simulation run.
+	SimConfig = sched.Config
+	// SimResult is a simulation outcome.
+	SimResult = sched.Result
+	// TraceBuffer retains a simulation event stream.
+	TraceBuffer = trace.Buffer
+	// GenConfig parameterizes random task-set generation.
+	GenConfig = taskgen.Config
+	// SweepConfig parameterizes an acceptance-ratio experiment.
+	SweepConfig = experiment.Config
+	// SweepResults is the outcome of an acceptance-ratio experiment.
+	SweepResults = experiment.Results
+)
+
+// Time units.
+const (
+	Microsecond = timeq.Microsecond
+	Millisecond = timeq.Millisecond
+	Second      = timeq.Second
+)
+
+// The algorithms the paper compares, plus the reference SPA
+// constructions.
+var (
+	// FPTS is the evaluated semi-partitioned algorithm.
+	FPTS Algorithm = partition.TS
+	// FFD is first-fit decreasing-utilization partitioning.
+	FFD Algorithm = partition.FFD
+	// WFD is worst-fit decreasing-utilization partitioning.
+	WFD Algorithm = partition.WFD
+	// BFD is best-fit decreasing-utilization partitioning.
+	BFD Algorithm = partition.BFD
+	// SPA1 and SPA2 are the literal RTAS'10 sequential constructions.
+	SPA1 Algorithm = partition.SPA1
+	SPA2 Algorithm = partition.SPA2
+	// EDFWM is semi-partitioned EDF with deadline-window splitting
+	// (the paper's "EDF scheduling" extension); EDFFFD and EDFWFD
+	// are its partitioned baselines. Simulate EDF assignments with
+	// SimConfig{Policy: core.EDF}.
+	EDFWM  Algorithm = partition.WM
+	EDFFFD Algorithm = partition.EDFFFD
+	EDFWFD Algorithm = partition.EDFWFD
+)
+
+// Scheduling policies for SimConfig.Policy.
+const (
+	FixedPriority = sched.FixedPriority
+	EDF           = sched.EDF
+)
+
+// ErrUnschedulable is returned by Schedule when the algorithm cannot
+// place the set.
+var ErrUnschedulable = partition.ErrUnschedulable
+
+// PaperOverheads returns the overhead model measured in the paper
+// (Table 1 plus the rls/sch/cnt function costs).
+func PaperOverheads() *OverheadModel { return overhead.PaperModel() }
+
+// ZeroOverheads returns the overhead-free "theoretical" model.
+func ZeroOverheads() *OverheadModel { return overhead.Zero() }
+
+// GenerateTaskSet draws one random task set (RM priorities assigned).
+func GenerateTaskSet(cfg GenConfig) *TaskSet { return taskgen.New(cfg).Next() }
+
+// GenerateTaskSets draws k independent task sets.
+func GenerateTaskSets(cfg GenConfig, k int) []*TaskSet { return taskgen.New(cfg).Batch(k) }
+
+// Schedule partitions the set onto cores with the given algorithm,
+// admitting via exact response-time analysis under the overhead
+// model. A nil model means zero overheads. The returned assignment is
+// guaranteed schedulable under that model.
+func Schedule(s *TaskSet, cores int, alg Algorithm, model *OverheadModel) (*Assignment, error) {
+	return alg.Partition(s, cores, model)
+}
+
+// Schedulable reports whether an existing assignment passes the
+// overhead-aware fixed-priority analysis (including split-chain
+// jitter resolution).
+func Schedulable(a *Assignment, model *OverheadModel) bool {
+	if model == nil {
+		model = overhead.Zero()
+	}
+	return analysisSchedulable(a, model)
+}
+
+// EDFSchedulable reports whether an assignment passes the EDF
+// processor-demand analysis (splits must carry deadline windows).
+func EDFSchedulable(a *Assignment, model *OverheadModel) bool {
+	if model == nil {
+		model = overhead.Zero()
+	}
+	return edfSchedulable(a, model)
+}
+
+// Simulate runs the assignment through the kernel-scheduler simulator.
+func Simulate(a *Assignment, cfg SimConfig) (*SimResult, error) { return sched.Run(a, cfg) }
+
+// Sweep runs an acceptance-ratio experiment (the Section 4 evaluation).
+func Sweep(cfg SweepConfig) *SweepResults { return experiment.Run(cfg) }

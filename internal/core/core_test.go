@@ -1,0 +1,76 @@
+package core
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	set := GenerateTaskSet(GenConfig{N: 12, TotalUtilization: 3.0, Seed: 11})
+	a, err := Schedule(set, 4, FPTS, PaperOverheads())
+	if err != nil {
+		t.Fatalf("Schedule: %v", err)
+	}
+	if !Schedulable(a, PaperOverheads()) {
+		t.Fatal("returned assignment fails Schedulable")
+	}
+	res, err := Simulate(a, SimConfig{Model: PaperOverheads(), Horizon: 2 * Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable() {
+		t.Fatalf("simulation missed deadlines: %v", res.Misses)
+	}
+}
+
+func TestScheduleUnschedulable(t *testing.T) {
+	// ΣU = 3.9 on 2 cores is impossible.
+	set := GenerateTaskSet(GenConfig{N: 8, TotalUtilization: 3.9, Seed: 1})
+	_, err := Schedule(set, 2, FFD, nil)
+	if !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestAlgorithmsExported(t *testing.T) {
+	names := map[string]Algorithm{
+		"FP-TS": FPTS, "FFD": FFD, "WFD": WFD, "BFD": BFD, "SPA1": SPA1, "SPA2": SPA2,
+	}
+	for want, alg := range names {
+		if alg.Name() != want {
+			t.Errorf("algorithm %q has name %q", want, alg.Name())
+		}
+	}
+}
+
+func TestSchedulableNilModel(t *testing.T) {
+	set := GenerateTaskSet(GenConfig{N: 6, TotalUtilization: 1.5, Seed: 3})
+	a, err := Schedule(set, 4, WFD, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Schedulable(a, nil) {
+		t.Fatal("nil model should mean zero overheads")
+	}
+}
+
+func TestSweepSmoke(t *testing.T) {
+	r := Sweep(SweepConfig{
+		Cores: 4, Tasks: 8, SetsPerPoint: 10,
+		Utilizations: []float64{3.0, 3.6},
+		Seed:         5,
+	})
+	if len(r.Series) != 3 {
+		t.Fatalf("series %d", len(r.Series))
+	}
+	if r.Table() == "" || r.CSV() == "" {
+		t.Fatal("empty outputs")
+	}
+}
+
+func TestGenerateTaskSets(t *testing.T) {
+	sets := GenerateTaskSets(GenConfig{N: 5, TotalUtilization: 1.0, Seed: 9}, 3)
+	if len(sets) != 3 {
+		t.Fatalf("got %d sets", len(sets))
+	}
+}

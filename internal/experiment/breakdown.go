@@ -1,0 +1,93 @@
+package experiment
+
+import (
+	"math"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// BreakdownFactor computes the breakdown utilization factor of a task
+// set under an algorithm: the largest α (on a 1/grid granularity)
+// such that the set with every WCET scaled by α is still admitted.
+// α·ΣU is the classic "breakdown utilization" metric — how far the
+// algorithm can push this workload before it gives up.
+//
+// Admission is not perfectly monotone in α for greedy packers, so the
+// result is the largest grid point that was admitted during the
+// bisection — a lower bound on the true breakdown.
+func BreakdownFactor(s *task.Set, cores int, alg partition.Algorithm, model *overhead.Model, grid int) float64 {
+	if grid <= 0 {
+		grid = 1000
+	}
+	// The factor can exceed 1 for under-utilized sets; cap where
+	// total utilization reaches the core count (beyond is impossible).
+	u := s.TotalUtilization()
+	hiF := float64(cores) / u
+	// Individual tasks cannot exceed U = 1.
+	if mu := s.MaxUtilization(); mu > 0 && 1/mu < hiF {
+		hiF = 1 / mu
+	}
+	hi := int(math.Floor(hiF * float64(grid)))
+	lo := 0
+	admits := func(k int) bool {
+		if k <= 0 {
+			return true
+		}
+		scaled := scaleWCET(s, float64(k)/float64(grid))
+		_, err := alg.Partition(scaled, cores, model)
+		return err == nil
+	}
+	if admits(hi) {
+		return float64(hi) / float64(grid)
+	}
+	best := 0
+	for lo < hi {
+		mid := (lo + hi + 1) / 2
+		if admits(mid) {
+			if mid > best {
+				best = mid
+			}
+			lo = mid
+		} else {
+			hi = mid - 1
+		}
+	}
+	return float64(best) / float64(grid)
+}
+
+// scaleWCET clones the set with every WCET multiplied by f (clamped
+// to [1ns, period]).
+func scaleWCET(s *task.Set, f float64) *task.Set {
+	out := s.Clone()
+	for _, t := range out.Tasks {
+		c := timeq.Time(math.Round(float64(t.WCET) * f))
+		if c < 1 {
+			c = 1
+		}
+		if c > t.Period {
+			c = t.Period
+		}
+		t.WCET = c
+	}
+	out.AssignRM()
+	return out
+}
+
+// BreakdownComparison runs BreakdownFactor for several algorithms
+// over a batch of sets and returns the mean breakdown *utilization*
+// (α · ΣU / cores, i.e. per-core) per algorithm name.
+func BreakdownComparison(sets []*task.Set, cores int, algs []partition.Algorithm, model *overhead.Model, grid int) map[string]float64 {
+	out := map[string]float64{}
+	for _, alg := range algs {
+		sum := 0.0
+		for _, s := range sets {
+			f := BreakdownFactor(s, cores, alg, model, grid)
+			sum += f * s.TotalUtilization() / float64(cores)
+		}
+		out[alg.Name()] = sum / float64(len(sets))
+	}
+	return out
+}

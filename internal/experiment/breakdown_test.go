@@ -1,0 +1,62 @@
+package experiment
+
+import (
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/taskgen"
+)
+
+func TestBreakdownFactorBasics(t *testing.T) {
+	g := taskgen.New(taskgen.Config{N: 8, TotalUtilization: 2.0, Seed: 10})
+	s := g.Next()
+	f := BreakdownFactor(s, 4, partition.TS, overhead.Zero(), 200)
+	if f <= 1.0 {
+		t.Fatalf("under-utilized set (ΣU=2 on 4 cores) should scale past 1, got %v", f)
+	}
+	// Scaling by the returned factor must still be admitted.
+	scaled := scaleWCET(s, f)
+	if _, err := partition.TS.Partition(scaled, 4, overhead.Zero()); err != nil {
+		t.Fatalf("breakdown factor %v not actually admitted: %v", f, err)
+	}
+}
+
+func TestBreakdownOrdering(t *testing.T) {
+	// FP-TS must reach at least FFD's breakdown on every set, and EDF
+	// at least RM's (on average).
+	g := taskgen.New(taskgen.Config{N: 8, TotalUtilization: 2.4, Seed: 11})
+	sets := g.Batch(5)
+	res := BreakdownComparison(sets, 4, []partition.Algorithm{
+		partition.TS, partition.FFD, partition.EDFFFD,
+	}, overhead.Zero(), 100)
+	if res["FP-TS"] < res["FFD"] {
+		t.Fatalf("FP-TS breakdown %.3f below FFD %.3f", res["FP-TS"], res["FFD"])
+	}
+	if res["EDF-FFD"] < res["FFD"]-0.01 {
+		t.Fatalf("EDF breakdown %.3f below RM %.3f", res["EDF-FFD"], res["FFD"])
+	}
+	// Per-core breakdown utilizations land in (0.5, 1].
+	for name, v := range res {
+		if v <= 0.5 || v > 1.0001 {
+			t.Fatalf("%s breakdown %.3f implausible", name, v)
+		}
+	}
+}
+
+func TestScaleWCETClamps(t *testing.T) {
+	g := taskgen.New(taskgen.Config{N: 4, TotalUtilization: 1.0, Seed: 12})
+	s := g.Next()
+	big := scaleWCET(s, 1e9)
+	for _, tk := range big.Tasks {
+		if tk.WCET > tk.Period {
+			t.Fatal("WCET exceeded period after scaling")
+		}
+	}
+	tiny := scaleWCET(s, 1e-15)
+	for _, tk := range tiny.Tasks {
+		if tk.WCET < 1 {
+			t.Fatal("WCET below one tick")
+		}
+	}
+}

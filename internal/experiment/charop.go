@@ -1,0 +1,99 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// SplittingCharacterization quantifies the paper's headline sentence —
+// "the extra overhead caused by task splitting in semi-partitioned
+// scheduling is very low" — with simulation data.
+//
+// FP-TS splits only when whole placement fails, so a paired
+// comparison against FFD on common sets is vacuous (the assignments
+// coincide). Instead, admitted FP-TS assignments are grouped by
+// whether they contain split tasks, each group is simulated, and the
+// kernel-overhead share of core time is compared: the difference is
+// the splitting surcharge, with migration rates reported alongside to
+// show what drives it.
+type SplittingCharacterization struct {
+	Algorithm string
+	// SplitSets and UnsplitSets count the group sizes.
+	SplitSets, UnsplitSets int
+	// OverheadShareSplit/Unsplit summarize the per-run overhead
+	// share of core time (fractions) in each group.
+	OverheadShareSplit, OverheadShareUnsplit stats.Summary
+	// MigrationsPerSec summarizes migration rates in the split group
+	// (zero by construction in the unsplit group).
+	MigrationsPerSec stats.Summary
+	// PreemptionsPerSecSplit/Unsplit summarize preemption rates.
+	PreemptionsPerSecSplit, PreemptionsPerSecUnsplit stats.Summary
+}
+
+// CharacterizeSplitting runs the grouped comparison over the given
+// sets (use a utilization high enough that some admitted sets need
+// splits and some do not).
+func CharacterizeSplitting(sets []*task.Set, cores int, alg partition.Algorithm, model *overhead.Model, horizon timeq.Time) (*SplittingCharacterization, error) {
+	if model == nil {
+		model = overhead.Zero()
+	}
+	if horizon <= 0 {
+		horizon = 2 * timeq.Second
+	}
+	out := &SplittingCharacterization{Algorithm: alg.Name()}
+	var shareS, shareU, mig, preS, preU []float64
+	secs := horizon.Seconds()
+	for _, s := range sets {
+		a, err := alg.Partition(s.Clone(), cores, model)
+		if err != nil {
+			continue
+		}
+		r, err := sched.Run(a, sched.Config{Model: model, Horizon: horizon})
+		if err != nil {
+			return nil, err
+		}
+		if a.NumSplit() > 0 {
+			out.SplitSets++
+			shareS = append(shareS, r.Stats.OverheadRatio(cores))
+			mig = append(mig, float64(r.Stats.Migrations)/secs)
+			preS = append(preS, float64(r.Stats.Preemptions)/secs)
+		} else {
+			out.UnsplitSets++
+			shareU = append(shareU, r.Stats.OverheadRatio(cores))
+			preU = append(preU, float64(r.Stats.Preemptions)/secs)
+		}
+	}
+	out.OverheadShareSplit = stats.Summarize(shareS)
+	out.OverheadShareUnsplit = stats.Summarize(shareU)
+	out.MigrationsPerSec = stats.Summarize(mig)
+	out.PreemptionsPerSecSplit = stats.Summarize(preS)
+	out.PreemptionsPerSecUnsplit = stats.Summarize(preU)
+	return out, nil
+}
+
+// Surcharge returns the mean extra overhead share of core time that
+// split assignments pay over unsplit ones.
+func (c *SplittingCharacterization) Surcharge() float64 {
+	return c.OverheadShareSplit.Mean - c.OverheadShareUnsplit.Mean
+}
+
+// Table renders the comparison.
+func (c *SplittingCharacterization) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s overhead characterization: %d split vs %d unsplit admitted sets\n",
+		c.Algorithm, c.SplitSets, c.UnsplitSets)
+	fmt.Fprintf(&sb, "%-26s %12s %12s\n", "", "with splits", "no splits")
+	fmt.Fprintf(&sb, "%-26s %11.4f%% %11.4f%%\n", "overhead share (mean)", 100*c.OverheadShareSplit.Mean, 100*c.OverheadShareUnsplit.Mean)
+	fmt.Fprintf(&sb, "%-26s %11.4f%% %11.4f%%\n", "overhead share (max)", 100*c.OverheadShareSplit.Max, 100*c.OverheadShareUnsplit.Max)
+	fmt.Fprintf(&sb, "%-26s %12.1f %12.1f\n", "preemptions / s (mean)", c.PreemptionsPerSecSplit.Mean, c.PreemptionsPerSecUnsplit.Mean)
+	fmt.Fprintf(&sb, "%-26s %12.1f %12s\n", "migrations / s (mean)", c.MigrationsPerSec.Mean, "0")
+	fmt.Fprintf(&sb, "splitting surcharge: %+.4f%% of core time\n", 100*c.Surcharge())
+	return sb.String()
+}

@@ -1,0 +1,60 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+)
+
+func TestCharacterizeSplitting(t *testing.T) {
+	// ΣU = 3.7 on 4 cores: FP-TS admits a mix of split and unsplit
+	// assignments.
+	g := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.7, Seed: 5150})
+	sets := g.Batch(25)
+	c, err := CharacterizeSplitting(sets, 4, partition.TS, overhead.PaperModel(), timeq.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SplitSets == 0 || c.UnsplitSets == 0 {
+		t.Fatalf("need both groups: split=%d unsplit=%d", c.SplitSets, c.UnsplitSets)
+	}
+	// µs overheads against ms periods: both groups stay tiny (the
+	// paper's conclusion) …
+	if c.OverheadShareSplit.Mean > 0.02 || c.OverheadShareUnsplit.Mean > 0.02 {
+		t.Fatalf("overhead shares implausibly high: %v vs %v",
+			c.OverheadShareSplit.Mean, c.OverheadShareUnsplit.Mean)
+	}
+	// … and the surcharge is well under 1% of core time.
+	if d := c.Surcharge(); d > 0.01 || d < -0.01 {
+		t.Fatalf("splitting surcharge %v out of band", d)
+	}
+	// Split assignments actually migrate.
+	if c.MigrationsPerSec.Mean <= 0 {
+		t.Fatal("split group reports no migrations")
+	}
+	tab := c.Table()
+	for _, want := range []string{"FP-TS", "with splits", "no splits", "migrations / s", "surcharge"} {
+		if !strings.Contains(tab, want) {
+			t.Errorf("table missing %q:\n%s", want, tab)
+		}
+	}
+}
+
+func TestCharacterizeEmptyGroups(t *testing.T) {
+	// Low utilization: no splits at all; the summary stays usable.
+	g := taskgen.New(taskgen.Config{N: 8, TotalUtilization: 2.0, Seed: 1})
+	c, err := CharacterizeSplitting(g.Batch(3), 4, partition.TS, nil, timeq.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.SplitSets != 0 || c.UnsplitSets != 3 {
+		t.Fatalf("groups: %d/%d", c.SplitSets, c.UnsplitSets)
+	}
+	if c.Table() == "" {
+		t.Fatal("empty table")
+	}
+}

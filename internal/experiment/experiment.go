@@ -1,0 +1,297 @@
+// Package experiment drives the paper's Section 4 evaluation: the
+// acceptance ratio of FP-TS versus the partitioned FFD and WFD
+// heuristics over randomly generated task sets, with the measured
+// overheads integrated into the admission analysis.
+//
+// One Run sweeps a grid of total utilizations; at each grid point it
+// generates SetsPerPoint task sets (shared across algorithms, so the
+// comparison is paired) and counts how many each algorithm schedules.
+// Optionally each accepted assignment is also simulated and checked
+// for deadline misses, tying the whole pipeline together.
+package experiment
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/task"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+)
+
+// Config parameterizes a sweep.
+type Config struct {
+	// Cores is the platform size (the paper: 4).
+	Cores int
+	// Tasks is the number of tasks per generated set.
+	Tasks int
+	// SetsPerPoint is the number of random sets per grid point.
+	SetsPerPoint int
+	// Utilizations is the ΣU grid. Empty means 0.600·m … 0.975·m in
+	// steps of 0.025·m.
+	Utilizations []float64
+	// Algorithms compared; empty means FP-TS, FFD, WFD.
+	Algorithms []partition.Algorithm
+	// Model is the overhead model for admission (nil = zero).
+	Model *overhead.Model
+	// Periods configures the period distribution.
+	Periods taskgen.PeriodDist
+	// PeriodMin/PeriodMax override the 10ms–1000ms default range.
+	PeriodMin, PeriodMax timeq.Time
+	// Seed makes the sweep deterministic.
+	Seed int64
+	// Workers bounds parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// SimHorizon, when nonzero, also simulates every accepted
+	// assignment for that long and records deadline-miss violations
+	// (an end-to-end soundness check; expected zero).
+	SimHorizon timeq.Time
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Cores == 0 {
+		out.Cores = 4
+	}
+	if out.Tasks == 0 {
+		out.Tasks = 16
+	}
+	if out.SetsPerPoint == 0 {
+		out.SetsPerPoint = 200
+	}
+	if len(out.Utilizations) == 0 {
+		m := float64(out.Cores)
+		for u := 0.600; u <= 0.9751; u += 0.025 {
+			out.Utilizations = append(out.Utilizations, u*m)
+		}
+	}
+	if len(out.Algorithms) == 0 {
+		out.Algorithms = []partition.Algorithm{partition.TS, partition.FFD, partition.WFD}
+	}
+	if out.Model == nil {
+		out.Model = overhead.Zero()
+	}
+	if out.Workers <= 0 {
+		out.Workers = runtime.GOMAXPROCS(0)
+	}
+	return out
+}
+
+// Point is one (utilization, algorithm) cell.
+type Point struct {
+	TotalUtilization float64
+	Accepted, Total  int
+	// Ratio is Accepted/Total; WilsonLo/Hi the 95% interval.
+	Ratio, WilsonLo, WilsonHi float64
+	// Splits is the mean number of split tasks among accepted
+	// assignments (0 for partitioned algorithms).
+	Splits float64
+	// Migratory is the mean fraction of tasks that are split.
+	Migratory float64
+	// SimViolations counts accepted assignments that missed a
+	// deadline in simulation (expected 0; see Config.SimHorizon).
+	SimViolations int
+}
+
+// Series is one algorithm's curve.
+type Series struct {
+	Algorithm string
+	Points    []Point
+}
+
+// Results is the outcome of a sweep.
+type Results struct {
+	Config Config
+	Series []Series
+}
+
+// Run executes the sweep.
+func Run(cfg Config) *Results {
+	cfg = cfg.withDefaults()
+	type cell struct {
+		accepted, total int
+		splits          int
+		splitTasks      int
+		violations      int
+	}
+	grid := make([][]cell, len(cfg.Algorithms))
+	for i := range grid {
+		grid[i] = make([]cell, len(cfg.Utilizations))
+	}
+
+	// EDF algorithms produce assignments that must also be simulated
+	// under EDF dispatching.
+	policyOf := func(alg partition.Algorithm) sched.Policy {
+		if m, ok := alg.(interface{ EDFPolicy() bool }); ok && m.EDFPolicy() {
+			return sched.EDF
+		}
+		return sched.FixedPriority
+	}
+
+	type unit struct {
+		ui  int
+		set *task.Set
+	}
+	work := make(chan unit)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for u := range work {
+				for ai, alg := range cfg.Algorithms {
+					a, err := alg.Partition(u.set.Clone(), cfg.Cores, cfg.Model)
+					ok := err == nil
+					violated := 0
+					nSplits := 0
+					if ok {
+						nSplits = a.NumSplit()
+						if cfg.SimHorizon > 0 {
+							r, serr := sched.Run(a, sched.Config{Model: cfg.Model, Horizon: cfg.SimHorizon, Policy: policyOf(alg)})
+							if serr != nil || !r.Schedulable() {
+								violated = 1
+							}
+						}
+					}
+					mu.Lock()
+					c := &grid[ai][u.ui]
+					c.total++
+					if ok {
+						c.accepted++
+						c.splits += nSplits
+						c.violations += violated
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+
+	for ui, u := range cfg.Utilizations {
+		gen := taskgen.New(taskgen.Config{
+			N:                cfg.Tasks,
+			TotalUtilization: u,
+			Periods:          cfg.Periods,
+			PeriodMin:        cfg.PeriodMin,
+			PeriodMax:        cfg.PeriodMax,
+			Seed:             cfg.Seed + int64(ui)*1_000_003,
+		})
+		for _, s := range gen.Batch(cfg.SetsPerPoint) {
+			work <- unit{ui: ui, set: s}
+		}
+	}
+	close(work)
+	wg.Wait()
+
+	res := &Results{Config: cfg}
+	for ai, alg := range cfg.Algorithms {
+		series := Series{Algorithm: alg.Name()}
+		for ui, u := range cfg.Utilizations {
+			c := grid[ai][ui]
+			lo, hi := stats.WilsonInterval(c.accepted, c.total)
+			p := Point{
+				TotalUtilization: u,
+				Accepted:         c.accepted,
+				Total:            c.total,
+				Ratio:            stats.Proportion(c.accepted, c.total),
+				WilsonLo:         lo,
+				WilsonHi:         hi,
+				SimViolations:    c.violations,
+			}
+			if c.accepted > 0 {
+				p.Splits = float64(c.splits) / float64(c.accepted)
+				p.Migratory = p.Splits / float64(cfg.Tasks)
+			}
+			series.Points = append(series.Points, p)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res
+}
+
+// TotalSimViolations sums simulation violations across the sweep.
+func (r *Results) TotalSimViolations() int {
+	n := 0
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			n += p.SimViolations
+		}
+	}
+	return n
+}
+
+// Table renders the acceptance-ratio comparison, one row per
+// utilization (normalized per core), one column per algorithm —
+// the paper's Section 4 result.
+func (r *Results) Table() string {
+	var sb strings.Builder
+	m := float64(r.Config.Cores)
+	width := 10
+	for _, s := range r.Series {
+		if len(s.Algorithm)+2 > width {
+			width = len(s.Algorithm) + 2
+		}
+	}
+	sb.WriteString(fmt.Sprintf("%-8s", "U/m"))
+	for _, s := range r.Series {
+		sb.WriteString(fmt.Sprintf("%*s", width, s.Algorithm))
+	}
+	sb.WriteString("\n")
+	for pi := range r.Series[0].Points {
+		sb.WriteString(fmt.Sprintf("%-8.3f", r.Series[0].Points[pi].TotalUtilization/m))
+		for _, s := range r.Series {
+			sb.WriteString(fmt.Sprintf("%*.3f", width, s.Points[pi].Ratio))
+		}
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CSV renders the full results for plotting: one row per
+// (algorithm, utilization).
+func (r *Results) CSV() string {
+	var sb strings.Builder
+	sb.WriteString("algorithm,total_utilization,per_core_utilization,accepted,total,ratio,wilson_lo,wilson_hi,mean_splits,sim_violations\n")
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			sb.WriteString(fmt.Sprintf("%s,%.4f,%.4f,%d,%d,%.4f,%.4f,%.4f,%.3f,%d\n",
+				s.Algorithm, p.TotalUtilization, p.TotalUtilization/float64(r.Config.Cores),
+				p.Accepted, p.Total, p.Ratio, p.WilsonLo, p.WilsonHi, p.Splits, p.SimViolations))
+		}
+	}
+	return sb.String()
+}
+
+// WeightedScore is the area under the acceptance curve (mean ratio
+// over the grid) — a scalar for comparing algorithms in ablations.
+func (r *Results) WeightedScore(algorithm string) float64 {
+	for _, s := range r.Series {
+		if s.Algorithm != algorithm {
+			continue
+		}
+		sum := 0.0
+		for _, p := range s.Points {
+			sum += p.Ratio
+		}
+		return sum / float64(len(s.Points))
+	}
+	return 0
+}
+
+// SeriesNames lists the algorithms in order.
+func (r *Results) SeriesNames() []string {
+	var out []string
+	for _, s := range r.Series {
+		out = append(out, s.Algorithm)
+	}
+	sort.Strings(out)
+	return out
+}

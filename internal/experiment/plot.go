@@ -1,0 +1,55 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Plot renders the acceptance-ratio curves as an ASCII chart
+// (utilization on x, acceptance on y), the closest a terminal gets to
+// the paper's figures. Each algorithm is drawn with its own marker;
+// coinciding points show the first algorithm's marker.
+func (r *Results) Plot(height int) string {
+	if height < 4 {
+		height = 10
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	m := float64(r.Config.Cores)
+	nCols := len(r.Config.Utilizations)
+	grid := make([][]byte, height+1)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", nCols*3))
+	}
+	for si, s := range r.Series {
+		mk := markers[si%len(markers)]
+		for pi, p := range s.Points {
+			row := height - int(p.Ratio*float64(height)+0.5)
+			if row < 0 {
+				row = 0
+			}
+			if row > height {
+				row = height
+			}
+			col := pi*3 + 1
+			if grid[row][col] == ' ' {
+				grid[row][col] = mk
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("acceptance ratio\n")
+	for i, line := range grid {
+		y := float64(height-i) / float64(height)
+		sb.WriteString(fmt.Sprintf("%5.2f |%s|\n", y, string(line)))
+	}
+	sb.WriteString("      +" + strings.Repeat("-", nCols*3) + "+\n")
+	sb.WriteString("       ")
+	for _, u := range r.Config.Utilizations {
+		sb.WriteString(fmt.Sprintf("%-3.0f", u/m*100))
+	}
+	sb.WriteString("  U/m (%)\n")
+	for si, s := range r.Series {
+		sb.WriteString(fmt.Sprintf("       %c %s\n", markers[si%len(markers)], s.Algorithm))
+	}
+	return sb.String()
+}

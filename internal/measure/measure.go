@@ -1,0 +1,311 @@
+// Package measure re-measures the paper's Table 1 on the host
+// machine: the worst-case duration of single ready-queue (binomial
+// heap) and sleep-queue (red-black tree) operations at N = 4 and
+// N = 64 queued tasks, for local and remote (cross-goroutine,
+// contended) access, plus analogs of the rls/sch/cnt_swth function
+// costs.
+//
+// The paper measured a patched Linux 2.6.32 kernel on a Core-i7;
+// there, queue operations cost microseconds because they include
+// lock acquisition across cores and cold-cache traversals. A
+// user-space Go microbenchmark on a time-shared machine reproduces
+// the *shape* — remote > local, costs growing with N — at nanosecond
+// scale; the calibrated paper numbers (overhead.PaperModel) remain
+// the canonical inputs to the analysis. See EXPERIMENTS.md.
+package measure
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/binheap"
+	"repro/internal/overhead"
+	"repro/internal/rbtree"
+	"repro/internal/stats"
+	"repro/internal/timeq"
+)
+
+// Row is one measured cell group of Table 1.
+type Row struct {
+	Op     overhead.Op
+	N      int
+	Remote bool
+	// Median, P90 and Max duration of a single operation.
+	Median, P90, Max timeq.Time
+	Samples          int
+}
+
+// String renders the row.
+func (r Row) String() string {
+	loc := "local"
+	if r.Remote {
+		loc = "remote"
+	}
+	return fmt.Sprintf("%-22s %-6s N=%-3d median=%v p90=%v max=%v", r.Op, loc, r.N, r.Median, r.P90, r.Max)
+}
+
+// batch sizes one timing sample: ops per time.Now() pair, amortizing
+// clock overhead below the per-op cost.
+const batch = 128
+
+// sampleToRow converts per-batch durations into a per-op Row.
+func sampleToRow(op overhead.Op, n int, remote bool, perOpNanos []float64) Row {
+	sort.Float64s(perOpNanos)
+	return Row{
+		Op: op, N: n, Remote: remote, Samples: len(perOpNanos),
+		Median: timeq.Time(stats.Percentile(perOpNanos, 50)),
+		P90:    timeq.Time(stats.Percentile(perOpNanos, 90)),
+		Max:    timeq.Time(stats.Percentile(perOpNanos, 100)),
+	}
+}
+
+// payload approximates a task_struct-sized ready-queue entry.
+type payload struct {
+	_ [64]byte
+}
+
+// MeasureReadyAdd times single inserts into a binomial heap held at
+// size n.
+func MeasureReadyAdd(n, samples int) Row {
+	rng := rand.New(rand.NewSource(1))
+	var h binheap.Heap[*payload]
+	for i := 0; i < n; i++ {
+		h.Insert(int64(rng.Intn(64)), &payload{})
+	}
+	durs := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		keys := make([]int64, batch)
+		for i := range keys {
+			keys[i] = int64(rng.Intn(64))
+		}
+		start := time.Now()
+		items := make([]*binheap.Item[*payload], batch)
+		for i := 0; i < batch; i++ {
+			items[i] = h.Insert(keys[i], &payload{})
+		}
+		el := time.Since(start)
+		// Restore size untimed.
+		for _, it := range items {
+			h.Delete(it)
+		}
+		durs = append(durs, float64(el.Nanoseconds())/batch)
+	}
+	return sampleToRow(overhead.ReadyAdd, n, false, durs)
+}
+
+// MeasureReadyDelete times single deletions from a binomial heap held
+// at size n.
+func MeasureReadyDelete(n, samples int) Row {
+	rng := rand.New(rand.NewSource(2))
+	var h binheap.Heap[*payload]
+	items := make([]*binheap.Item[*payload], 0, n+batch)
+	add := func() {
+		items = append(items, h.Insert(int64(rng.Intn(64)), &payload{}))
+	}
+	for i := 0; i < n; i++ {
+		add()
+	}
+	durs := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		for i := 0; i < batch; i++ {
+			add()
+		}
+		// Delete the batch's items (random positions) timed.
+		victims := items[len(items)-batch:]
+		start := time.Now()
+		for _, it := range victims {
+			h.Delete(it)
+		}
+		el := time.Since(start)
+		items = items[:len(items)-batch]
+		durs = append(durs, float64(el.Nanoseconds())/batch)
+	}
+	return sampleToRow(overhead.ReadyDelete, n, false, durs)
+}
+
+// MeasureSleepAdd times single inserts into a red-black tree held at
+// size n.
+func MeasureSleepAdd(n, samples int) Row {
+	rng := rand.New(rand.NewSource(3))
+	var tr rbtree.Tree[*payload]
+	for i := 0; i < n; i++ {
+		tr.Insert(rng.Int63n(1_000_000), &payload{})
+	}
+	durs := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		keys := make([]int64, batch)
+		for i := range keys {
+			keys[i] = rng.Int63n(1_000_000)
+		}
+		start := time.Now()
+		nodes := make([]*rbtree.Node[*payload], batch)
+		for i := 0; i < batch; i++ {
+			nodes[i] = tr.Insert(keys[i], &payload{})
+		}
+		el := time.Since(start)
+		for _, nd := range nodes {
+			tr.Delete(nd)
+		}
+		durs = append(durs, float64(el.Nanoseconds())/batch)
+	}
+	return sampleToRow(overhead.SleepAdd, n, false, durs)
+}
+
+// MeasureSleepDelete times single deletions from a red-black tree
+// held at size n.
+func MeasureSleepDelete(n, samples int) Row {
+	rng := rand.New(rand.NewSource(4))
+	var tr rbtree.Tree[*payload]
+	nodes := make([]*rbtree.Node[*payload], 0, n+batch)
+	add := func() {
+		nodes = append(nodes, tr.Insert(rng.Int63n(1_000_000), &payload{}))
+	}
+	for i := 0; i < n; i++ {
+		add()
+	}
+	durs := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		for i := 0; i < batch; i++ {
+			add()
+		}
+		victims := nodes[len(nodes)-batch:]
+		start := time.Now()
+		for _, nd := range victims {
+			tr.Delete(nd)
+		}
+		el := time.Since(start)
+		nodes = nodes[:len(nodes)-batch]
+		durs = append(durs, float64(el.Nanoseconds())/batch)
+	}
+	return sampleToRow(overhead.SleepDelete, n, false, durs)
+}
+
+// MeasureRemoteAdd times inserts into a mutex-guarded queue while
+// another goroutine contends for the same lock — the user-space
+// analog of a cross-core queue insert (lock transfer + cache-line
+// bouncing), the paper's "remote" columns.
+func MeasureRemoteAdd(op overhead.Op, n, samples int) Row {
+	rng := rand.New(rand.NewSource(5))
+	var mu sync.Mutex
+	var h binheap.Heap[*payload]
+	var tr rbtree.Tree[*payload]
+	useHeap := op == overhead.ReadyAdd
+	for i := 0; i < n; i++ {
+		if useHeap {
+			h.Insert(int64(rng.Intn(64)), &payload{})
+		} else {
+			tr.Insert(rng.Int63n(1_000_000), &payload{})
+		}
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// The "owner core": brief critical sections in a tight loop.
+		r := rand.New(rand.NewSource(6))
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			mu.Lock()
+			if useHeap {
+				it := h.Insert(int64(r.Intn(64)), &payload{})
+				h.Delete(it)
+			} else {
+				nd := tr.Insert(r.Int63n(1_000_000), &payload{})
+				tr.Delete(nd)
+			}
+			mu.Unlock()
+		}
+	}()
+	// Time only the locked insert (the remote op); restore the queue
+	// size in a separate untimed critical section.
+	durs := make([]float64, 0, samples)
+	for s := 0; s < samples; s++ {
+		var it *binheap.Item[*payload]
+		var nd *rbtree.Node[*payload]
+		k := rng.Int63n(1_000_000)
+		start := time.Now()
+		mu.Lock()
+		if useHeap {
+			it = h.Insert(k%64, &payload{})
+		} else {
+			nd = tr.Insert(k, &payload{})
+		}
+		mu.Unlock()
+		el := time.Since(start)
+		mu.Lock()
+		if useHeap {
+			h.Delete(it)
+		} else {
+			tr.Delete(nd)
+		}
+		mu.Unlock()
+		durs = append(durs, float64(el.Nanoseconds()))
+	}
+	close(stop)
+	wg.Wait()
+	return sampleToRow(op, n, true, durs)
+}
+
+// Table1 reproduces the paper's Table 1 grid on this machine:
+// all four operations at N ∈ {4, 64}, local, plus the two remote add
+// columns.
+func Table1(samples int) []Row {
+	var rows []Row
+	for _, n := range []int{4, 64} {
+		rows = append(rows,
+			MeasureSleepAdd(n, samples),
+			MeasureSleepDelete(n, samples),
+			MeasureReadyAdd(n, samples),
+			MeasureReadyDelete(n, samples),
+			MeasureRemoteAdd(overhead.SleepAdd, n, samples),
+			MeasureRemoteAdd(overhead.ReadyAdd, n, samples),
+		)
+	}
+	return rows
+}
+
+// FormatTable1 renders measured rows in the paper's layout with the
+// paper's values alongside. Durations print in µs with three
+// decimals because the measured values are nanosecond-scale.
+func FormatTable1(rows []Row) string {
+	paper := overhead.PaperModel()
+	// The paper reports the maximal measured duration on a quiesced
+	// kernel; in time-shared user space the max catches GC and OS
+	// scheduler noise, so the table reports the 90th percentile (the
+	// raw rows carry max for completeness).
+	cell := func(op overhead.Op, n int, remote bool) string {
+		for _, r := range rows {
+			if r.Op == op && r.N == n && r.Remote == remote {
+				return fmt.Sprintf("%8.3f", r.P90.Micros())
+			}
+		}
+		return "     N/A"
+	}
+	paperCell := func(op overhead.Op, n int, remote bool) string {
+		if remote && (op == overhead.SleepDelete || op == overhead.ReadyDelete) {
+			return "  N/A"
+		}
+		return fmt.Sprintf("%5.1f", paper.QueueOpCost(op, n, remote).Micros())
+	}
+	var sb strings.Builder
+	sb.WriteString("Table 1 — measured queue operation durations (µs); paper values in [brackets]\n")
+	sb.WriteString(fmt.Sprintf("%-22s %-17s %-17s %-17s %-17s\n", "Operation",
+		"local (N=4)", "remote (N=4)", "local (N=64)", "remote (N=64)"))
+	for _, op := range []overhead.Op{overhead.SleepAdd, overhead.SleepDelete, overhead.ReadyAdd, overhead.ReadyDelete} {
+		sb.WriteString(fmt.Sprintf("%-22s %s [%s] %s [%s] %s [%s] %s [%s]\n", op,
+			cell(op, 4, false), paperCell(op, 4, false),
+			cell(op, 4, true), paperCell(op, 4, true),
+			cell(op, 64, false), paperCell(op, 64, false),
+			cell(op, 64, true), paperCell(op, 64, true)))
+	}
+	return sb.String()
+}

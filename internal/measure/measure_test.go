@@ -1,0 +1,93 @@
+package measure
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/overhead"
+)
+
+const testSamples = 50
+
+func TestLocalRowsWellFormed(t *testing.T) {
+	rows := []Row{
+		MeasureReadyAdd(4, testSamples),
+		MeasureReadyDelete(4, testSamples),
+		MeasureSleepAdd(4, testSamples),
+		MeasureSleepDelete(4, testSamples),
+	}
+	for _, r := range rows {
+		if r.Samples != testSamples {
+			t.Errorf("%v: samples %d", r, r.Samples)
+		}
+		if r.Median <= 0 || r.Max < r.Median || r.P90 < r.Median {
+			t.Errorf("%v: implausible percentiles", r)
+		}
+		if r.Remote {
+			t.Errorf("%v: local row marked remote", r)
+		}
+		if r.String() == "" {
+			t.Error("empty row string")
+		}
+	}
+}
+
+func TestRemoteRowsWellFormed(t *testing.T) {
+	for _, op := range []overhead.Op{overhead.ReadyAdd, overhead.SleepAdd} {
+		r := MeasureRemoteAdd(op, 4, testSamples)
+		if !r.Remote || r.Op != op || r.N != 4 {
+			t.Errorf("row mislabeled: %v", r)
+		}
+		if r.Median <= 0 {
+			t.Errorf("%v: non-positive median", r)
+		}
+	}
+}
+
+func TestTable1Coverage(t *testing.T) {
+	rows := Table1(testSamples)
+	// 6 rows per N (4 local + 2 remote), 2 values of N.
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		key := r.Op.String() + ":" + map[bool]string{true: "r", false: "l"}[r.Remote]
+		seen[key] = true
+		if r.N != 4 && r.N != 64 {
+			t.Errorf("unexpected N=%d", r.N)
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("op coverage %d, want 6 distinct op/locality combos", len(seen))
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	rows := Table1(testSamples)
+	out := FormatTable1(rows)
+	for _, want := range []string{"sleep queue – add", "ready queue – delete", "N/A", "local (N=4)", "remote (N=64)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFunctionCosts(t *testing.T) {
+	costs := FunctionCosts(testSamples)
+	for _, name := range []string{"rls", "sch", "cnt"} {
+		if costs[name] <= 0 {
+			t.Errorf("%s cost %v", name, costs[name])
+		}
+	}
+	out := FormatFunctionCosts(costs)
+	if !strings.Contains(out, "rls") || !strings.Contains(out, "paper 5µs") {
+		t.Errorf("format output:\n%s", out)
+	}
+}
+
+func BenchmarkReadyAddN4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MeasureReadyAdd(4, 10)
+	}
+}

@@ -1,0 +1,121 @@
+package overhead
+
+import (
+	"math"
+
+	"repro/internal/timeq"
+)
+
+// CacheModel computes cache-related preemption and migration delay
+// (CPMD): the time a resuming job spends re-loading the part of its
+// working set that was evicted while it was preempted or migrated.
+//
+// Section 3 of the paper observes that with a shared last-level cache
+// (L3 on the Core-i7), the working set of a preempted task is evicted
+// from the *private* levels (L1/L2) either way, and survives in the
+// shared L3 both for a local resume and for a resume on another core —
+// so migration CPMD and local-preemption CPMD are the same order of
+// magnitude. Only when the working set is much smaller than the
+// private cache (rare) does a local resume win, because the set may
+// survive in L1/L2.
+//
+// The model captures exactly that mechanism:
+//
+//	delay(local)    = reload(min(WSS, private)) · survival + reload(WSS − retained)
+//	delay(migrated) = reload(WSS) · MigrationFactor
+//
+// where reload is a per-byte cost from the shared cache.
+type CacheModel struct {
+	// PrivateBytes is the per-core private cache capacity (L1+L2).
+	// Core-i7 (Nehalem): 32KiB L1d + 256KiB L2 per core.
+	PrivateBytes int64
+	// SharedBytes is the shared last-level cache capacity (L3).
+	SharedBytes int64
+	// ReloadPerKiB is the time to re-fetch 1 KiB of working set from
+	// the shared cache into the private levels.
+	ReloadPerKiB timeq.Time
+	// MemPerKiB is the time to re-fetch 1 KiB from DRAM, paid for
+	// the portion of the working set beyond the shared cache.
+	MemPerKiB timeq.Time
+	// SmallWSSRetention is the fraction of reload cost still paid on
+	// a *local* resume when the working set fits in the private
+	// cache (the paper's "better chance to stay in the private
+	// cache"). 0 = free local resume for tiny sets, 1 = no benefit.
+	SmallWSSRetention float64
+	// MigrationFactor scales migration CPMD relative to local CPMD
+	// for the ablation bench. The paper measures ≈ 1 (same order of
+	// magnitude) on shared-L3 hardware.
+	MigrationFactor float64
+}
+
+// DefaultCacheModel returns a CacheModel calibrated to the paper's
+// platform: Core-i7 private L1+L2 (288 KiB), shared 8 MiB L3, and
+// reload costs giving a few-µs CPMD for typical working sets —
+// the same order of magnitude as the queue overheads of Table 1.
+func DefaultCacheModel() CacheModel {
+	return CacheModel{
+		PrivateBytes:      288 << 10,
+		SharedBytes:       8 << 20,
+		ReloadPerKiB:      50 * timeq.Nanosecond,  // ~20 GiB/s from L3
+		MemPerKiB:         200 * timeq.Nanosecond, // ~5 GiB/s from DRAM
+		SmallWSSRetention: 0.1,
+		MigrationFactor:   1.0,
+	}
+}
+
+// Delay returns the CPMD paid when a job with working-set size wss
+// resumes execution after being preempted (migrated = false) or after
+// migrating to another core (migrated = true).
+func (c CacheModel) Delay(wss int64, migrated bool) timeq.Time {
+	if wss <= 0 || (c == CacheModel{}) {
+		return 0
+	}
+	inShared := wss
+	if inShared > c.SharedBytes {
+		inShared = c.SharedBytes
+	}
+	fromMem := wss - inShared
+	base := perKiB(inShared, c.ReloadPerKiB) + perKiB(fromMem, c.MemPerKiB)
+	if migrated {
+		f := c.MigrationFactor
+		if f == 0 {
+			f = 1
+		}
+		return timeq.Time(math.Round(float64(base) * f))
+	}
+	if wss <= c.PrivateBytes {
+		// Tiny working set, local resume: likely still in L1/L2.
+		return timeq.Time(math.Round(float64(base) * c.SmallWSSRetention))
+	}
+	return base
+}
+
+// MaxDelay returns the worst-case CPMD the model can charge for a
+// task with working-set size wss regardless of resume kind; the
+// analysis uses it to stay conservative.
+func (c CacheModel) MaxDelay(wss int64) timeq.Time {
+	l := c.Delay(wss, false)
+	m := c.Delay(wss, true)
+	return timeq.Max(l, m)
+}
+
+func perKiB(bytes int64, cost timeq.Time) timeq.Time {
+	if bytes <= 0 {
+		return 0
+	}
+	kib := (bytes + 1023) / 1024
+	return timeq.MulCount(cost, kib)
+}
+
+func (c CacheModel) scale(f float64) CacheModel {
+	c.ReloadPerKiB = timeq.Time(math.Round(float64(c.ReloadPerKiB) * f))
+	c.MemPerKiB = timeq.Time(math.Round(float64(c.MemPerKiB) * f))
+	return c
+}
+
+// WithMigrationFactor returns a copy with the migration CPMD factor
+// set (ablation knob).
+func (c CacheModel) WithMigrationFactor(f float64) CacheModel {
+	c.MigrationFactor = f
+	return c
+}

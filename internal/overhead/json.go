@@ -1,0 +1,134 @@
+package overhead
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/timeq"
+)
+
+// jsonModel is the serialized form of a Model: all durations in
+// nanoseconds, queue costs keyed by the paper's row names.
+type jsonModel struct {
+	ReleaseNs   int64            `json:"release_ns"`
+	SchedNs     int64            `json:"sched_ns"`
+	CtxSwitchNs int64            `json:"ctx_switch_ns"`
+	Queues      map[string]cells `json:"queues"`
+	Cache       jsonCache        `json:"cache"`
+	RemotePen   float64          `json:"remote_penalty"`
+}
+
+type cells struct {
+	LocalN4Ns   int64 `json:"local_n4_ns"`
+	LocalN64Ns  int64 `json:"local_n64_ns"`
+	RemoteN4Ns  int64 `json:"remote_n4_ns,omitempty"`
+	RemoteN64Ns int64 `json:"remote_n64_ns,omitempty"`
+}
+
+type jsonCache struct {
+	PrivateBytes      int64   `json:"private_bytes"`
+	SharedBytes       int64   `json:"shared_bytes"`
+	ReloadPerKiBNs    int64   `json:"reload_per_kib_ns"`
+	MemPerKiBNs       int64   `json:"mem_per_kib_ns"`
+	SmallWSSRetention float64 `json:"small_wss_retention"`
+	MigrationFactor   float64 `json:"migration_factor"`
+}
+
+var opKeys = map[Op]string{
+	SleepAdd:    "sleep_add",
+	SleepDelete: "sleep_delete",
+	ReadyAdd:    "ready_add",
+	ReadyDelete: "ready_delete",
+}
+
+// MarshalJSON serializes the model.
+func (m *Model) MarshalJSON() ([]byte, error) {
+	jm := jsonModel{
+		ReleaseNs:   int64(m.Release),
+		SchedNs:     int64(m.Sched),
+		CtxSwitchNs: int64(m.CtxSwitch),
+		Queues:      map[string]cells{},
+		Cache: jsonCache{
+			PrivateBytes:      m.Cache.PrivateBytes,
+			SharedBytes:       m.Cache.SharedBytes,
+			ReloadPerKiBNs:    int64(m.Cache.ReloadPerKiB),
+			MemPerKiBNs:       int64(m.Cache.MemPerKiB),
+			SmallWSSRetention: m.Cache.SmallWSSRetention,
+			MigrationFactor:   m.Cache.MigrationFactor,
+		},
+		RemotePen: m.RemotePenalty,
+	}
+	for op, key := range opKeys {
+		jm.Queues[key] = cells{
+			LocalN4Ns:   int64(m.Queues.LocalN4[op]),
+			LocalN64Ns:  int64(m.Queues.LocalN64[op]),
+			RemoteN4Ns:  int64(m.Queues.RemoteN4[op]),
+			RemoteN64Ns: int64(m.Queues.RemoteN64[op]),
+		}
+	}
+	return json.Marshal(jm)
+}
+
+// UnmarshalJSON deserializes a model; unknown queue keys are an error.
+func (m *Model) UnmarshalJSON(data []byte) error {
+	var jm jsonModel
+	if err := json.Unmarshal(data, &jm); err != nil {
+		return err
+	}
+	*m = Model{
+		Release:       timeq.Time(jm.ReleaseNs),
+		Sched:         timeq.Time(jm.SchedNs),
+		CtxSwitch:     timeq.Time(jm.CtxSwitchNs),
+		RemotePenalty: jm.RemotePen,
+		Cache: CacheModel{
+			PrivateBytes:      jm.Cache.PrivateBytes,
+			SharedBytes:       jm.Cache.SharedBytes,
+			ReloadPerKiB:      timeq.Time(jm.Cache.ReloadPerKiBNs),
+			MemPerKiB:         timeq.Time(jm.Cache.MemPerKiBNs),
+			SmallWSSRetention: jm.Cache.SmallWSSRetention,
+			MigrationFactor:   jm.Cache.MigrationFactor,
+		},
+	}
+	if m.RemotePenalty == 0 {
+		m.RemotePenalty = 1
+	}
+	known := map[string]Op{}
+	for op, key := range opKeys {
+		known[key] = op
+	}
+	for key, c := range jm.Queues {
+		op, ok := known[key]
+		if !ok {
+			return fmt.Errorf("overhead: unknown queue op %q", key)
+		}
+		m.Queues.LocalN4[op] = timeq.Time(c.LocalN4Ns)
+		m.Queues.LocalN64[op] = timeq.Time(c.LocalN64Ns)
+		m.Queues.RemoteN4[op] = timeq.Time(c.RemoteN4Ns)
+		m.Queues.RemoteN64[op] = timeq.Time(c.RemoteN64Ns)
+	}
+	return nil
+}
+
+// LoadModel reads a Model from a JSON file (the spsim/spexp
+// `-model file.json` input).
+func LoadModel(path string) (*Model, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{}
+	if err := json.Unmarshal(data, m); err != nil {
+		return nil, fmt.Errorf("overhead: parsing %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// SaveModel writes the model as indented JSON.
+func SaveModel(path string, m *Model) error {
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,280 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// EDF partitioning — the extension the paper's Section 2 sketches
+// ("a wide range of semi-partitioned algorithms based on both
+// fixed-priority and EDF scheduling").
+//
+// EDFHeuristic is partitioned EDF with bin-packing placement;
+// EDFWM adds EDF-WM-style task splitting: a task that fits nowhere is
+// split across k cores, each part confined to a deadline window of
+// D/k and sized to the largest budget its core admits. Windows
+// decouple the cores, so admission is a per-core processor-demand
+// test (analysis.EDFCoreSchedulable).
+
+// EDFHeuristic is a partitioned (no-splitting) EDF bin-packer.
+type EDFHeuristic struct {
+	Fit  Fit
+	name string
+}
+
+// Partitioned EDF baselines.
+var (
+	// EDFFFD is first-fit decreasing-utilization partitioned EDF.
+	EDFFFD = &EDFHeuristic{Fit: FirstFit, name: "EDF-FFD"}
+	// EDFWFD is worst-fit decreasing-utilization partitioned EDF.
+	EDFWFD = &EDFHeuristic{Fit: WorstFit, name: "EDF-WFD"}
+)
+
+// EDFPolicy marks assignments from this algorithm as requiring EDF
+// dispatching at run time (see the experiment driver and simulator).
+func (h *EDFHeuristic) EDFPolicy() bool { return true }
+
+// Name returns the algorithm name.
+func (h *EDFHeuristic) Name() string {
+	if h.name != "" {
+		return h.name
+	}
+	return fmt.Sprintf("EDF/%v", h.Fit)
+}
+
+// edfCoreFits tests core c of the assignment under the EDF demand
+// criterion.
+func edfCoreFits(a *task.Assignment, c int, model *overhead.Model) bool {
+	return analysis.EDFBuildCores(a, model)[c].EDFCoreSchedulable(model)
+}
+
+// Partition assigns every task whole to some core under EDF, or
+// fails with ErrUnschedulable.
+func (h *EDFHeuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	model = normalizeModel(model)
+	if err := validateInputEDF(s, m); err != nil {
+		return nil, err
+	}
+	a := task.NewAssignment(m)
+	for _, t := range s.SortedByUtilizationDesc() {
+		best := -1
+		var bestU float64
+		for c := 0; c < m; c++ {
+			a.Place(t, c)
+			fits := edfCoreFits(a, c, model)
+			a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
+			if !fits {
+				continue
+			}
+			u := a.CoreUtilization(c)
+			switch h.Fit {
+			case FirstFit:
+				best = c
+			case BestFit:
+				if best == -1 || u > bestU {
+					best, bestU = c, u
+				}
+			case WorstFit:
+				if best == -1 || u < bestU {
+					best, bestU = c, u
+				}
+			}
+			if h.Fit == FirstFit {
+				break
+			}
+		}
+		if best == -1 {
+			return nil, ErrUnschedulable
+		}
+		a.Place(t, best)
+	}
+	return finalizeEDF(a, model)
+}
+
+// EDFWM is semi-partitioned EDF with window-constrained task
+// splitting (after Kato & Yamasaki's EDF-WM).
+type EDFWM struct{}
+
+// WM is the ready-to-use EDF-WM instance.
+var WM = &EDFWM{}
+
+// Name returns "EDF-WM".
+func (*EDFWM) Name() string { return "EDF-WM" }
+
+// EDFPolicy marks assignments from this algorithm as requiring EDF
+// dispatching at run time.
+func (*EDFWM) EDFPolicy() bool { return true }
+
+// Partition places tasks first-fit in decreasing utilization order
+// and splits a task over k equal deadline windows when it fits
+// nowhere whole, growing k until the split succeeds or cores run out.
+func (w *EDFWM) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	model = normalizeModel(model)
+	if err := validateInputEDF(s, m); err != nil {
+		return nil, err
+	}
+	a := task.NewAssignment(m)
+	for _, t := range s.SortedByUtilizationDesc() {
+		if edfPlaceWholeFirstFit(a, t, m, model) {
+			continue
+		}
+		if !w.split(a, t, m, model) {
+			return nil, ErrUnschedulable
+		}
+	}
+	return finalizeEDF(a, model)
+}
+
+func edfPlaceWholeFirstFit(a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
+	for c := 0; c < m; c++ {
+		a.Place(t, c)
+		if edfCoreFits(a, c, model) {
+			return true
+		}
+		a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
+	}
+	return false
+}
+
+// split tries k = 2..m equal windows of D/k: for each window it finds
+// the core admitting the largest budget; if the k budgets cover the
+// WCET the split is installed (last window trimmed to the remainder).
+func (w *EDFWM) split(a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
+	d := t.EffectiveDeadline()
+	for k := 2; k <= m; k++ {
+		window := d / timeq.Time(k)
+		if window < minPartBudget {
+			return false
+		}
+		parts, windows, ok := w.trySplit(a, t, k, window, m, model)
+		if ok {
+			a.Splits = append(a.Splits, &task.Split{Task: t, Parts: parts, Windows: windows})
+			return true
+		}
+	}
+	return false
+}
+
+// trySplit greedily assigns each of the k windows to the core that
+// admits the largest budget for a (budget, window, T) sporadic task,
+// one part per core.
+func (w *EDFWM) trySplit(a *task.Assignment, t *task.Task, k int, window timeq.Time, m int, model *overhead.Model) ([]task.Part, []timeq.Time, bool) {
+	remaining := t.WCET
+	var parts []task.Part
+	var windows []timeq.Time
+	used := make([]bool, m)
+	for i := 0; i < k && remaining > 0; i++ {
+		bestCore := -1
+		var bestBudget timeq.Time
+		for c := 0; c < m; c++ {
+			if used[c] {
+				continue
+			}
+			b := w.maxWindowBudget(a, parts, windows, t, c, window, remaining, used, m, model)
+			if b > bestBudget {
+				bestCore, bestBudget = c, b
+			}
+		}
+		if bestCore == -1 || bestBudget < minPartBudget {
+			return nil, nil, false
+		}
+		used[bestCore] = true
+		if bestBudget > remaining {
+			bestBudget = remaining
+		}
+		parts = append(parts, task.Part{Core: bestCore, Budget: bestBudget})
+		windows = append(windows, window)
+		remaining -= bestBudget
+	}
+	if remaining > 0 || len(parts) < 2 {
+		return nil, nil, false
+	}
+	return parts, windows, true
+}
+
+// maxWindowBudget binary-searches the largest budget b ≤
+// min(remaining, window) such that core c admits the tentative part
+// with deadline window `window`. With the window fixed, feasibility
+// is monotone in the budget. A non-final part (b < remaining) is
+// probed with a remainder placeholder on another unused core so the
+// migration flags — and hence the departure overhead — are correct.
+func (w *EDFWM) maxWindowBudget(a *task.Assignment, priorParts []task.Part, priorWindows []timeq.Time, t *task.Task, c int, window, remaining timeq.Time, used []bool, m int, model *overhead.Model) timeq.Time {
+	placeholder := -1
+	for o := 0; o < m; o++ {
+		if o != c && !used[o] {
+			placeholder = o
+			break
+		}
+	}
+	fits := func(b timeq.Time) bool {
+		final := b >= remaining
+		parts := make([]task.Part, len(priorParts), len(priorParts)+2)
+		copy(parts, priorParts)
+		parts = append(parts, task.Part{Core: c, Budget: b})
+		windows := make([]timeq.Time, len(priorWindows), len(priorWindows)+2)
+		copy(windows, priorWindows)
+		windows = append(windows, window)
+		if !final {
+			if placeholder == -1 {
+				return false
+			}
+			parts = append(parts, task.Part{Core: placeholder, Budget: remaining - b})
+			windows = append(windows, window)
+		}
+		sp := &task.Split{Task: t, Parts: parts, Windows: windows}
+		a.Splits = append(a.Splits, sp)
+		ok := edfCoreFits(a, c, model)
+		a.Splits = a.Splits[:len(a.Splits)-1]
+		return ok
+	}
+	cap := remaining
+	if cap > window {
+		cap = window
+	}
+	if cap < minPartBudget {
+		return 0
+	}
+	if fits(cap) {
+		return cap
+	}
+	loUS, hiUS := int64(1), int64(cap/timeq.Microsecond)
+	if hiUS < 1 || !fits(timeq.Time(loUS)*timeq.Microsecond) {
+		return 0
+	}
+	for loUS < hiUS {
+		mid := (loUS + hiUS + 1) / 2
+		if fits(timeq.Time(mid) * timeq.Microsecond) {
+			loUS = mid
+		} else {
+			hiUS = mid - 1
+		}
+	}
+	return timeq.Time(loUS) * timeq.Microsecond
+}
+
+// validateInputEDF mirrors validateInput but does not require RM
+// priorities (EDF ignores them).
+func validateInputEDF(s *task.Set, m int) error {
+	if m <= 0 {
+		return fmt.Errorf("partition: %d cores", m)
+	}
+	if s.Len() == 0 {
+		return fmt.Errorf("partition: empty task set")
+	}
+	return s.Validate()
+}
+
+// finalizeEDF validates the complete assignment under EDF.
+func finalizeEDF(a *task.Assignment, model *overhead.Model) (*task.Assignment, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: produced invalid assignment: %w", err)
+	}
+	if !analysis.EDFAssignmentSchedulable(a, model) {
+		return nil, ErrUnschedulable
+	}
+	return a, nil
+}

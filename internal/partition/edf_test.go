@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/taskgen"
+)
+
+func TestEDFNames(t *testing.T) {
+	if EDFFFD.Name() != "EDF-FFD" || EDFWFD.Name() != "EDF-WFD" || WM.Name() != "EDF-WM" {
+		t.Error("EDF algorithm names")
+	}
+	anon := &EDFHeuristic{Fit: BestFit}
+	if anon.Name() == "" {
+		t.Error("anonymous EDF heuristic name")
+	}
+}
+
+func TestEDFFFDPartitionsFullCores(t *testing.T) {
+	// EDF packs each core to U = 1: two pairs of (0.5, 0.5).
+	s := newSet(t, [2]int64{10, 20}, [2]int64{10, 20}, [2]int64{10, 20}, [2]int64{10, 20})
+	a, err := EDFFFD.Partition(s, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSplit() != 0 {
+		t.Fatal("EDF-FFD must not split")
+	}
+	if u0 := a.CoreUtilization(0); u0 != 1.0 {
+		t.Fatalf("EDF first-fit should fill core 0 to 1.0, got %v", u0)
+	}
+	if !analysis.EDFAssignmentSchedulable(a, overhead.Zero()) {
+		t.Fatal("not EDF schedulable")
+	}
+}
+
+func TestEDFWMSplitsPathology(t *testing.T) {
+	// 3 × U=0.7 on 2 cores: no partitioned placement (1.4 > 1), but
+	// ΣU = 2.1 > 2 — truly infeasible. Use 0.65: ΣU = 1.95 ≤ 2.
+	s := newSet(t, [2]int64{13, 20}, [2]int64{13, 20}, [2]int64{13, 20})
+	if _, err := EDFFFD.Partition(s, 2, nil); err != ErrUnschedulable {
+		t.Fatalf("EDF-FFD should fail the pathology, got %v", err)
+	}
+	a, err := WM.Partition(s, 2, nil)
+	if err != nil {
+		t.Fatalf("EDF-WM failed: %v", err)
+	}
+	if a.NumSplit() == 0 {
+		t.Fatal("EDF-WM should split")
+	}
+	for _, sp := range a.Splits {
+		if !sp.HasWindows() {
+			t.Fatal("EDF-WM split lacks windows")
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !analysis.EDFAssignmentSchedulable(a, overhead.Zero()) {
+		t.Fatal("EDF-WM assignment fails its own admission")
+	}
+}
+
+func TestEDFWMWithPaperOverheads(t *testing.T) {
+	s := newSet(t, [2]int64{13, 20}, [2]int64{13, 20}, [2]int64{13, 20})
+	m := overhead.PaperModel()
+	a, err := WM.Partition(s, 2, m)
+	if err != nil {
+		t.Fatalf("EDF-WM with overheads failed: %v", err)
+	}
+	if !analysis.EDFAssignmentSchedulable(a, m) {
+		t.Fatal("not schedulable under admission model")
+	}
+}
+
+// EDF-WM accepts every EDF-FFD-schedulable set (splitting is a
+// fallback), and strictly more at high utilization.
+func TestEDFWMDominatesEDFFFD(t *testing.T) {
+	g := taskgen.New(taskgen.Config{N: 8, TotalUtilization: 3.8, Seed: 123})
+	sets := g.Batch(30)
+	wm, ffd := 0, 0
+	for _, s := range sets {
+		if _, err := EDFFFD.Partition(s.Clone(), 4, nil); err == nil {
+			ffd++
+			if _, err := WM.Partition(s.Clone(), 4, nil); err != nil {
+				t.Fatal("EDF-WM rejected an EDF-FFD-schedulable set")
+			}
+		}
+		if _, err := WM.Partition(s.Clone(), 4, nil); err == nil {
+			wm++
+		}
+	}
+	if wm <= ffd {
+		t.Fatalf("EDF-WM=%d should strictly beat EDF-FFD=%d at ΣU=3.8", wm, ffd)
+	}
+}
+
+// EDF partitioning beats RM partitioning on the same sets (U≤1 cores
+// vs the RM bound).
+func TestEDFBeatsRMPartitioning(t *testing.T) {
+	g := taskgen.New(taskgen.Config{N: 8, TotalUtilization: 3.6, Seed: 321})
+	edf, rm := 0, 0
+	for _, s := range g.Batch(30) {
+		if _, err := EDFFFD.Partition(s.Clone(), 4, nil); err == nil {
+			edf++
+		}
+		if _, err := FFD.Partition(s.Clone(), 4, nil); err == nil {
+			rm++
+		}
+	}
+	if edf < rm {
+		t.Fatalf("EDF-FFD=%d should be ≥ RM FFD=%d", edf, rm)
+	}
+}
+
+func TestEDFRandomSetsValid(t *testing.T) {
+	g := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.2, Seed: 55})
+	m := overhead.PaperModel()
+	for si, s := range g.Batch(10) {
+		for _, alg := range []Algorithm{EDFFFD, EDFWFD, WM} {
+			a, err := alg.Partition(s.Clone(), 4, m)
+			if err == ErrUnschedulable {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s set %d: %v", alg.Name(), si, err)
+			}
+			if err := a.Validate(); err != nil {
+				t.Fatalf("%s set %d: %v", alg.Name(), si, err)
+			}
+			if !analysis.EDFAssignmentSchedulable(a, m) {
+				t.Fatalf("%s set %d: admission disagreement", alg.Name(), si)
+			}
+			if got := len(a.AllTasks()); got != s.Len() {
+				t.Fatalf("%s set %d: %d tasks, want %d", alg.Name(), si, got, s.Len())
+			}
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+)
+
+// Fit selects the bin-packing placement rule.
+type Fit int
+
+const (
+	// FirstFit places the task on the lowest-indexed core that
+	// admits it.
+	FirstFit Fit = iota
+	// BestFit places the task on the admitting core with the least
+	// remaining utilization (tightest fit).
+	BestFit
+	// WorstFit places the task on the admitting core with the most
+	// remaining utilization (spreads load; the paper's WFD).
+	WorstFit
+)
+
+// String names the fit rule.
+func (f Fit) String() string {
+	switch f {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	case WorstFit:
+		return "worst-fit"
+	default:
+		return fmt.Sprintf("Fit(%d)", int(f))
+	}
+}
+
+// Order selects the order in which tasks are offered to the packer.
+type Order int
+
+const (
+	// DecreasingUtilization is the "D" in FFD/WFD/BFD.
+	DecreasingUtilization Order = iota
+	// PriorityOrder offers tasks from highest to lowest RM priority.
+	PriorityOrder
+)
+
+// Heuristic is a partitioned (no-splitting) bin-packing algorithm.
+type Heuristic struct {
+	Fit   Fit
+	Order Order
+	name  string
+}
+
+// The paper's two partitioned baselines, plus companions.
+var (
+	// FFD is first-fit decreasing-utilization partitioning.
+	FFD = &Heuristic{Fit: FirstFit, Order: DecreasingUtilization, name: "FFD"}
+	// WFD is worst-fit decreasing-utilization partitioning.
+	WFD = &Heuristic{Fit: WorstFit, Order: DecreasingUtilization, name: "WFD"}
+	// BFD is best-fit decreasing-utilization partitioning.
+	BFD = &Heuristic{Fit: BestFit, Order: DecreasingUtilization, name: "BFD"}
+	// FF is first-fit in priority order.
+	FF = &Heuristic{Fit: FirstFit, Order: PriorityOrder, name: "FF"}
+)
+
+// Name returns the conventional algorithm name.
+func (h *Heuristic) Name() string {
+	if h.name != "" {
+		return h.name
+	}
+	return fmt.Sprintf("%v/%v", h.Fit, h.Order)
+}
+
+// Partition assigns every task whole to some core, admitting via
+// overhead-aware RTA, or fails with ErrUnschedulable.
+func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	model = normalizeModel(model)
+	if err := validateInput(s, m); err != nil {
+		return nil, err
+	}
+	var order []*task.Task
+	switch h.Order {
+	case PriorityOrder:
+		order = s.SortedByPriority()
+	default:
+		order = s.SortedByUtilizationDesc()
+	}
+	a := task.NewAssignment(m)
+	for _, t := range order {
+		best := -1
+		var bestU float64
+		for c := 0; c < m; c++ {
+			a.Place(t, c)
+			fits := coreFits(a, c, model)
+			// Undo the tentative placement.
+			a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
+			if !fits {
+				continue
+			}
+			u := a.CoreUtilization(c)
+			switch h.Fit {
+			case FirstFit:
+				best = c
+			case BestFit:
+				if best == -1 || u > bestU {
+					best, bestU = c, u
+				}
+			case WorstFit:
+				if best == -1 || u < bestU {
+					best, bestU = c, u
+				}
+			}
+			if h.Fit == FirstFit {
+				break
+			}
+		}
+		if best == -1 {
+			return nil, ErrUnschedulable
+		}
+		a.Place(t, best)
+	}
+	return finalize(a, model)
+}

@@ -1,0 +1,84 @@
+// Package partition implements the task-to-core assignment algorithms
+// the paper compares in Section 4:
+//
+//   - FFD, WFD (and companions FF, BF, BFD): partitioned
+//     fixed-priority scheduling with bin-packing heuristics ordered by
+//     decreasing utilization;
+//   - SPA1 and SPA2: the semi-partitioned task-splitting algorithms of
+//     Guan et al. (RTAS 2010) — the "FP-TS" the paper implements —
+//     which fill each core up to a threshold and split the overflowing
+//     task across core boundaries.
+//
+// Every algorithm takes an overhead model; admission is the exact
+// overhead-aware response-time analysis of package analysis, so an
+// assignment is returned only if it is schedulable *including*
+// overheads. Passing overhead.Zero() yields the "theoretical"
+// comparison.
+package partition
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/task"
+)
+
+// ErrUnschedulable is returned when the algorithm cannot produce a
+// schedulable assignment on the given number of cores.
+var ErrUnschedulable = errors.New("partition: task set not schedulable by this algorithm")
+
+// Algorithm produces an assignment of a task set onto m cores, or
+// ErrUnschedulable. Implementations must return assignments that pass
+// analysis.AssignmentSchedulable under the same model.
+type Algorithm interface {
+	Name() string
+	Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error)
+}
+
+// normalizeModel maps nil to the zero model.
+func normalizeModel(m *overhead.Model) *overhead.Model {
+	if m == nil {
+		return overhead.Zero()
+	}
+	return m
+}
+
+// validateInput performs the shared sanity checks.
+func validateInput(s *task.Set, m int) error {
+	if m <= 0 {
+		return fmt.Errorf("partition: %d cores", m)
+	}
+	if s.Len() == 0 {
+		return errors.New("partition: empty task set")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for _, t := range s.Tasks {
+		if t.Priority == 0 {
+			return fmt.Errorf("partition: task %v has no priority; call Set.AssignRM first", t)
+		}
+	}
+	return nil
+}
+
+// coreFits reports whether core c of the (possibly provisional)
+// assignment remains schedulable, with split-chain jitters resolved
+// across the whole assignment.
+func coreFits(a *task.Assignment, c int, model *overhead.Model) bool {
+	cores := analysis.BuildCores(a, model)
+	return cores.SchedulableCore(c, model)
+}
+
+// finalize validates the complete assignment, chains included.
+func finalize(a *task.Assignment, model *overhead.Model) (*task.Assignment, error) {
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("partition: produced invalid assignment: %w", err)
+	}
+	if !analysis.AssignmentSchedulable(a, model) {
+		return nil, ErrUnschedulable
+	}
+	return a, nil
+}

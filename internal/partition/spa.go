@@ -1,0 +1,249 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// minPartBudget is the smallest split-part budget worth creating. A
+// part smaller than this is treated as "does not fit": each part
+// costs at least one migration (two scheduler invocations plus a
+// remote queue insert, ≈ 15µs under the paper's model), so slivers
+// below 1µs of budget are never useful and would explode the part
+// count in the zero-overhead setting.
+const minPartBudget = timeq.Microsecond
+
+// SPA implements the semi-partitioned task-splitting algorithms of
+// Guan et al. (RTAS 2010) — the paper's FP-TS. Cores are filled one
+// at a time with tasks in increasing priority order; a task that does
+// not fit entirely on the current core is split: the largest
+// admissible budget stays, the remainder continues on the next core.
+// Split parts execute at the highest local priorities (DESIGN.md §5).
+//
+// Variant 2 (SPA2) additionally pre-assigns heavy tasks — utilization
+// above the Liu & Layland threshold — to dedicated cores so they are
+// never split; this is what lets SPA2 keep the L&L utilization bound
+// for arbitrary task sets.
+type SPA struct {
+	// Variant is 1 or 2.
+	Variant int
+	// FillByBound fills each core to the Liu & Layland utilization
+	// threshold (the original bound-preserving construction) instead
+	// of the default exact-RTA maximal budget. RTA fill admits more
+	// sets; bound fill reproduces the theoretical construction.
+	FillByBound bool
+}
+
+// The two variants with RTA fill (used in the Section 4 comparison,
+// where admission is overhead-aware RTA for every algorithm).
+var (
+	// SPA1 is the light-task splitting algorithm.
+	SPA1 = &SPA{Variant: 1}
+	// SPA2 is the general algorithm; this is the paper's FP-TS.
+	SPA2 = &SPA{Variant: 2}
+)
+
+// Name returns "SPA1", "SPA2", or the bound-fill variants
+// "SPA1-bound"/"SPA2-bound". The paper refers to SPA2 as FP-TS.
+func (alg *SPA) Name() string {
+	n := "SPA1"
+	if alg.Variant == 2 {
+		n = "SPA2"
+	}
+	if alg.FillByBound {
+		n += "-bound"
+	}
+	return n
+}
+
+// Partition runs the splitting assignment. The returned assignment
+// passes full overhead-aware chain analysis or an error is returned.
+func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	model = normalizeModel(model)
+	if err := validateInput(s, m); err != nil {
+		return nil, err
+	}
+	a := task.NewAssignment(m)
+
+	// Task order: increasing priority (longest period first), the
+	// SPA fill order.
+	order := s.SortedByPriority()
+	for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+		order[i], order[j] = order[j], order[i]
+	}
+
+	// SPA2 reserves the tail of the core sequence for heavy tasks,
+	// one each; the sequential fill (which starts at core 0) reaches
+	// those cores last and tops them up with light tasks if room
+	// remains.
+	if alg.Variant == 2 {
+		heavy := heavyTasks(s)
+		if len(heavy) > m {
+			return nil, ErrUnschedulable
+		}
+		// Pre-assign heavy tasks to the last cores, largest first on
+		// the last core (they are filled last by the sequence).
+		for i, t := range heavy {
+			a.Place(t, m-1-i)
+			if !coreFits(a, m-1-i, model) {
+				return nil, ErrUnschedulable
+			}
+		}
+		// Remove heavy tasks from the fill order.
+		isHeavy := make(map[task.ID]bool, len(heavy))
+		for _, t := range heavy {
+			isHeavy[t.ID] = true
+		}
+		var light []*task.Task
+		for _, t := range order {
+			if !isHeavy[t.ID] {
+				light = append(light, t)
+			}
+		}
+		order = light
+	}
+
+	cur := 0 // current core of the sequential fill
+	for _, t := range order {
+		remaining := t.WCET
+		var parts []task.Part
+		for remaining > 0 {
+			if cur >= m {
+				return nil, ErrUnschedulable
+			}
+			c := cur
+			b := alg.maxBudget(a, parts, t, remaining, c, m, model)
+			switch {
+			case b >= remaining:
+				// The remainder fits entirely: place and stay on
+				// this core.
+				if len(parts) == 0 {
+					a.Place(t, c)
+				} else {
+					parts = append(parts, task.Part{Core: c, Budget: remaining})
+					a.Splits = append(a.Splits, &task.Split{Task: t, Parts: parts})
+				}
+				remaining = 0
+			case b < minPartBudget:
+				// Nothing useful fits: the core is full; advance.
+				cur++
+			default:
+				parts = append(parts, task.Part{Core: c, Budget: b})
+				remaining -= b
+				cur++
+			}
+		}
+	}
+	return finalize(a, model)
+}
+
+// heavyTasks returns the tasks whose utilization exceeds the Liu &
+// Layland threshold for the set size, ordered by decreasing
+// utilization. These are the tasks SPA2 refuses to split.
+func heavyTasks(s *task.Set) []*task.Task {
+	theta := analysis.LiuLaylandBound(s.Len())
+	var heavy []*task.Task
+	for _, t := range s.Tasks {
+		if t.Utilization() > theta {
+			heavy = append(heavy, t)
+		}
+	}
+	sort.SliceStable(heavy, func(i, j int) bool {
+		ui, uj := heavy[i].Utilization(), heavy[j].Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		return heavy[i].ID < heavy[j].ID
+	})
+	return heavy
+}
+
+// maxBudget returns the largest budget b ≤ remaining such that core c
+// stays schedulable with a tentative split part (priorParts…, (c,b))
+// added. Feasibility is monotone in b (a larger part only adds
+// interference), so the RTA fill uses binary search.
+func (alg *SPA) maxBudget(a *task.Assignment, priorParts []task.Part, t *task.Task, remaining timeq.Time, c, m int, model *overhead.Model) timeq.Time {
+	if alg.FillByBound {
+		return alg.boundBudget(a, t, remaining, c)
+	}
+	fits := func(b timeq.Time) bool {
+		return alg.partFits(a, priorParts, t, remaining, b, c, m, model)
+	}
+	if fits(remaining) {
+		return remaining
+	}
+	// Binary search on a 1µs grid for the exact largest admissible
+	// budget. A grid (rather than raw nanoseconds) makes the search
+	// land on the critical value exactly when task parameters are
+	// round, so knife-edge sets are not lost to search slack.
+	loUS, hiUS := int64(1), int64(remaining/timeq.Microsecond)
+	if hiUS < 1 || !fits(timeq.Time(loUS)*timeq.Microsecond) {
+		return 0
+	}
+	for loUS < hiUS {
+		mid := (loUS + hiUS + 1) / 2
+		if fits(timeq.Time(mid) * timeq.Microsecond) {
+			loUS = mid
+		} else {
+			hiUS = mid - 1
+		}
+	}
+	return timeq.Time(loUS) * timeq.Microsecond
+}
+
+// boundBudget fills the core to the Liu & Layland utilization
+// threshold Θ(n+1): b = (Θ − U_core)·T, the original SPA
+// construction.
+func (alg *SPA) boundBudget(a *task.Assignment, t *task.Task, remaining timeq.Time, c int) timeq.Time {
+	n := a.TaskCountOnCore(c) + 1
+	theta := analysis.LiuLaylandBound(n)
+	slack := theta - a.CoreUtilization(c)
+	if slack <= 0 {
+		return 0
+	}
+	b := timeq.Time(slack * float64(t.Period))
+	if b > remaining {
+		b = remaining
+	}
+	return b
+}
+
+// partFits tests schedulability of core c with the tentative part
+// added. A non-final part is modeled with its remainder placed on the
+// next core so migration flags (and hence overhead charges) are
+// correct; the remainder's own schedulability is decided later, when
+// the fill reaches that core.
+func (alg *SPA) partFits(a *task.Assignment, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, m int, model *overhead.Model) bool {
+	if b <= 0 {
+		return true
+	}
+	final := b >= remaining
+	if final && len(priorParts) == 0 {
+		// Whole-task placement.
+		a.Place(t, c)
+		ok := coreFits(a, c, model)
+		a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
+		return ok
+	}
+	parts := make([]task.Part, len(priorParts), len(priorParts)+2)
+	copy(parts, priorParts)
+	parts = append(parts, task.Part{Core: c, Budget: b})
+	if !final {
+		// Remainder lives on the next core for flag purposes; if
+		// there is no next core the split cannot complete.
+		next := c + 1
+		if next >= m {
+			return false
+		}
+		parts = append(parts, task.Part{Core: next, Budget: remaining - b})
+	}
+	sp := &task.Split{Task: t, Parts: parts}
+	a.Splits = append(a.Splits, sp)
+	ok := coreFits(a, c, model)
+	a.Splits = a.Splits[:len(a.Splits)-1]
+	return ok
+}

@@ -1,0 +1,4 @@
+package rbtree
+
+// CheckInvariants exposes the structural validator to tests.
+func (t *Tree[V]) CheckInvariants() error { return t.checkInvariants() }

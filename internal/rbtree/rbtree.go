@@ -1,0 +1,393 @@
+// Package rbtree implements a red-black tree, the data structure the
+// paper uses for each core's sleep queue (Section 2: "the sleep queue
+// is implemented by a red-black tree").
+//
+// The sleep queue holds inactive tasks ordered by next release time,
+// so the tree is keyed by an int64 time value with FIFO tie-breaking,
+// and the release timer repeatedly inspects and removes the minimum.
+// Nodes are handles: the scheduler keeps the *Node returned by Insert
+// so it can remove a specific task in O(log n) when it is woken early
+// (e.g. a split task's tail returning to its home core).
+package rbtree
+
+import "fmt"
+
+type color bool
+
+const (
+	red   color = false
+	black color = true
+)
+
+// Node is a handle to one entry in the tree. Nodes are created by
+// Tree.Insert and invalidated by Delete/DeleteMin.
+type Node[V any] struct {
+	// Key is the ordering key (absolute release time, in the
+	// scheduler's use). It must not be modified while the node is in
+	// the tree.
+	Key int64
+	// Value is the payload, owned by the caller.
+	Value V
+
+	seq                 uint64
+	left, right, parent *Node[V]
+	color               color
+	inTree              bool
+}
+
+// Tree is a red-black tree ordered by (Key, insertion order). The
+// zero value is an empty tree ready to use.
+type Tree[V any] struct {
+	root *Node[V]
+	nil_ *Node[V] // shared sentinel leaf
+	n    int
+	seq  uint64
+}
+
+func (t *Tree[V]) sentinel() *Node[V] {
+	if t.nil_ == nil {
+		t.nil_ = &Node[V]{color: black}
+	}
+	return t.nil_
+}
+
+// Len returns the number of entries.
+func (t *Tree[V]) Len() int { return t.n }
+
+func nodeLess[V any](a, b *Node[V]) bool {
+	if a.Key != b.Key {
+		return a.Key < b.Key
+	}
+	return a.seq < b.seq
+}
+
+// Insert adds value under key and returns its handle. O(log n).
+func (t *Tree[V]) Insert(key int64, value V) *Node[V] {
+	nilN := t.sentinel()
+	z := &Node[V]{Key: key, Value: value, seq: t.seq, left: nilN, right: nilN, parent: nilN, inTree: true}
+	t.seq++
+	y := nilN
+	x := t.root
+	if x == nil {
+		x = nilN
+	}
+	for x != nilN {
+		y = x
+		if nodeLess(z, x) {
+			x = x.left
+		} else {
+			x = x.right
+		}
+	}
+	z.parent = y
+	if y == nilN {
+		t.root = z
+	} else if nodeLess(z, y) {
+		y.left = z
+	} else {
+		y.right = z
+	}
+	z.color = red
+	t.insertFixup(z)
+	t.n++
+	return z
+}
+
+func (t *Tree[V]) insertFixup(z *Node[V]) {
+	for z.parent.color == red {
+		if z.parent == z.parent.parent.left {
+			y := z.parent.parent.right
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.right {
+					z = z.parent
+					t.rotateLeft(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateRight(z.parent.parent)
+			}
+		} else {
+			y := z.parent.parent.left
+			if y.color == red {
+				z.parent.color = black
+				y.color = black
+				z.parent.parent.color = red
+				z = z.parent.parent
+			} else {
+				if z == z.parent.left {
+					z = z.parent
+					t.rotateRight(z)
+				}
+				z.parent.color = black
+				z.parent.parent.color = red
+				t.rotateLeft(z.parent.parent)
+			}
+		}
+	}
+	t.root.color = black
+}
+
+func (t *Tree[V]) rotateLeft(x *Node[V]) {
+	nilN := t.nil_
+	y := x.right
+	x.right = y.left
+	if y.left != nilN {
+		y.left.parent = x
+	}
+	y.parent = x.parent
+	if x.parent == nilN {
+		t.root = y
+	} else if x == x.parent.left {
+		x.parent.left = y
+	} else {
+		x.parent.right = y
+	}
+	y.left = x
+	x.parent = y
+}
+
+func (t *Tree[V]) rotateRight(x *Node[V]) {
+	nilN := t.nil_
+	y := x.left
+	x.left = y.right
+	if y.right != nilN {
+		y.right.parent = x
+	}
+	y.parent = x.parent
+	if x.parent == nilN {
+		t.root = y
+	} else if x == x.parent.right {
+		x.parent.right = y
+	} else {
+		x.parent.left = y
+	}
+	y.right = x
+	x.parent = y
+}
+
+// Min returns the entry with the smallest key without removing it, or
+// nil if the tree is empty. O(log n).
+func (t *Tree[V]) Min() *Node[V] {
+	if t.n == 0 {
+		return nil
+	}
+	return t.minimum(t.root)
+}
+
+func (t *Tree[V]) minimum(x *Node[V]) *Node[V] {
+	for x.left != t.nil_ {
+		x = x.left
+	}
+	return x
+}
+
+// DeleteMin removes and returns the entry with the smallest key, or
+// nil if the tree is empty. O(log n).
+func (t *Tree[V]) DeleteMin() *Node[V] {
+	m := t.Min()
+	if m == nil {
+		return nil
+	}
+	t.Delete(m)
+	return m
+}
+
+// Delete removes z from the tree. It panics if z is not in the tree.
+// O(log n).
+func (t *Tree[V]) Delete(z *Node[V]) {
+	if !z.inTree {
+		panic("rbtree: Delete on removed node")
+	}
+	nilN := t.nil_
+	y := z
+	yOriginalColor := y.color
+	var x *Node[V]
+	switch {
+	case z.left == nilN:
+		x = z.right
+		t.transplant(z, z.right)
+	case z.right == nilN:
+		x = z.left
+		t.transplant(z, z.left)
+	default:
+		y = t.minimum(z.right)
+		yOriginalColor = y.color
+		x = y.right
+		if y.parent == z {
+			x.parent = y
+		} else {
+			t.transplant(y, y.right)
+			y.right = z.right
+			y.right.parent = y
+		}
+		t.transplant(z, y)
+		y.left = z.left
+		y.left.parent = y
+		y.color = z.color
+	}
+	if yOriginalColor == black {
+		t.deleteFixup(x)
+	}
+	// The sentinel's parent may have been scribbled on during fixup;
+	// that is fine, it is never read before being written.
+	z.left, z.right, z.parent = nil, nil, nil
+	z.inTree = false
+	t.n--
+	if t.n == 0 {
+		t.root = nilN
+	}
+}
+
+func (t *Tree[V]) transplant(u, v *Node[V]) {
+	if u.parent == t.nil_ {
+		t.root = v
+	} else if u == u.parent.left {
+		u.parent.left = v
+	} else {
+		u.parent.right = v
+	}
+	v.parent = u.parent
+}
+
+func (t *Tree[V]) deleteFixup(x *Node[V]) {
+	for x != t.root && x.color == black {
+		if x == x.parent.left {
+			w := x.parent.right
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateLeft(x.parent)
+				w = x.parent.right
+			}
+			if w.left.color == black && w.right.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.right.color == black {
+					w.left.color = black
+					w.color = red
+					t.rotateRight(w)
+					w = x.parent.right
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.right.color = black
+				t.rotateLeft(x.parent)
+				x = t.root
+			}
+		} else {
+			w := x.parent.left
+			if w.color == red {
+				w.color = black
+				x.parent.color = red
+				t.rotateRight(x.parent)
+				w = x.parent.left
+			}
+			if w.right.color == black && w.left.color == black {
+				w.color = red
+				x = x.parent
+			} else {
+				if w.left.color == black {
+					w.right.color = black
+					w.color = red
+					t.rotateLeft(w)
+					w = x.parent.left
+				}
+				w.color = x.parent.color
+				x.parent.color = black
+				w.left.color = black
+				t.rotateRight(x.parent)
+				x = t.root
+			}
+		}
+	}
+	x.color = black
+}
+
+// Ascend calls fn on every entry in ascending (Key, insertion) order
+// until fn returns false. O(n).
+func (t *Tree[V]) Ascend(fn func(*Node[V]) bool) {
+	if t.n == 0 {
+		return
+	}
+	var walk func(x *Node[V]) bool
+	walk = func(x *Node[V]) bool {
+		if x == t.nil_ {
+			return true
+		}
+		if !walk(x.left) {
+			return false
+		}
+		if !fn(x) {
+			return false
+		}
+		return walk(x.right)
+	}
+	walk(t.root)
+}
+
+// checkInvariants validates the red-black and BST invariants.
+func (t *Tree[V]) checkInvariants() error {
+	if t.n == 0 {
+		return nil
+	}
+	if t.root.color != black {
+		return fmt.Errorf("rbtree: root is red")
+	}
+	count := 0
+	var prev *Node[V]
+	_, err := t.check(t.root, &count, &prev)
+	if err != nil {
+		return err
+	}
+	if count != t.n {
+		return fmt.Errorf("rbtree: counted %d nodes, recorded %d", count, t.n)
+	}
+	return nil
+}
+
+// check returns the black height of the subtree rooted at x and
+// validates order, colors, and parent pointers along the way.
+func (t *Tree[V]) check(x *Node[V], count *int, prev **Node[V]) (int, error) {
+	if x == t.nil_ {
+		if x.color != black {
+			return 0, fmt.Errorf("rbtree: sentinel is red")
+		}
+		return 1, nil
+	}
+	if x.color == red && (x.left.color == red || x.right.color == red) {
+		return 0, fmt.Errorf("rbtree: red node with red child")
+	}
+	if x.left != t.nil_ && x.left.parent != x {
+		return 0, fmt.Errorf("rbtree: bad left parent pointer")
+	}
+	if x.right != t.nil_ && x.right.parent != x {
+		return 0, fmt.Errorf("rbtree: bad right parent pointer")
+	}
+	lh, err := t.check(x.left, count, prev)
+	if err != nil {
+		return 0, err
+	}
+	if *prev != nil && !nodeLess(*prev, x) {
+		return 0, fmt.Errorf("rbtree: order violated at key %d", x.Key)
+	}
+	*prev = x
+	*count++
+	rh, err := t.check(x.right, count, prev)
+	if err != nil {
+		return 0, err
+	}
+	if lh != rh {
+		return 0, fmt.Errorf("rbtree: black height mismatch %d vs %d", lh, rh)
+	}
+	bh := lh
+	if x.color == black {
+		bh++
+	}
+	return bh, nil
+}

@@ -1,0 +1,244 @@
+package rbtree
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func requireInvariants(t *testing.T, tr *Tree[int]) {
+	t.Helper()
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmpty(t *testing.T) {
+	var tr Tree[int]
+	if tr.Len() != 0 || tr.Min() != nil || tr.DeleteMin() != nil {
+		t.Fatal("empty tree misbehaves")
+	}
+	requireInvariants(t, &tr)
+}
+
+func TestInsertAscendSorted(t *testing.T) {
+	var tr Tree[int]
+	keys := []int64{41, 38, 31, 12, 19, 8, 45, 3, 99, 60}
+	for _, k := range keys {
+		tr.Insert(k, int(k))
+		requireInvariants(t, &tr)
+	}
+	var got []int64
+	tr.Ascend(func(n *Node[int]) bool {
+		got = append(got, n.Key)
+		return true
+	})
+	want := append([]int64(nil), keys...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	if len(got) != len(want) {
+		t.Fatalf("Ascend visited %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 20; i++ {
+		tr.Insert(int64(i), i)
+	}
+	visited := 0
+	tr.Ascend(func(n *Node[int]) bool {
+		visited++
+		return visited < 5
+	})
+	if visited != 5 {
+		t.Fatalf("visited %d, want 5", visited)
+	}
+}
+
+func TestDeleteMinDrains(t *testing.T) {
+	var tr Tree[int]
+	for i := 63; i >= 0; i-- {
+		tr.Insert(int64(i), i)
+	}
+	for i := 0; i < 64; i++ {
+		n := tr.DeleteMin()
+		if n == nil || n.Key != int64(i) {
+			t.Fatalf("DeleteMin #%d = %v", i, n)
+		}
+		requireInvariants(t, &tr)
+	}
+	if tr.Len() != 0 {
+		t.Fatal("tree not empty")
+	}
+	// Reuse after draining.
+	tr.Insert(5, 5)
+	if tr.Min().Key != 5 {
+		t.Fatal("tree unusable after drain")
+	}
+	requireInvariants(t, &tr)
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var tr Tree[int]
+	for i := 0; i < 8; i++ {
+		tr.Insert(100, i)
+	}
+	for i := 0; i < 8; i++ {
+		n := tr.DeleteMin()
+		if n.Value != i {
+			t.Fatalf("equal-key order: got %d, want %d", n.Value, i)
+		}
+	}
+}
+
+func TestDeleteArbitrary(t *testing.T) {
+	var tr Tree[int]
+	nodes := make([]*Node[int], 0, 100)
+	for i := 0; i < 100; i++ {
+		nodes = append(nodes, tr.Insert(int64(i*3%101), i))
+	}
+	rng := rand.New(rand.NewSource(7))
+	perm := rng.Perm(100)
+	for cnt, i := range perm {
+		tr.Delete(nodes[i])
+		if tr.Len() != 100-cnt-1 {
+			t.Fatalf("Len = %d", tr.Len())
+		}
+		requireInvariants(t, &tr)
+	}
+}
+
+func TestDeletePanicsTwice(t *testing.T) {
+	var tr Tree[int]
+	n := tr.Insert(1, 1)
+	tr.Delete(n)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tr.Delete(n)
+}
+
+func TestRandomizedAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	var tr Tree[int]
+	type entry struct {
+		key  int64
+		seq  int
+		node *Node[int]
+	}
+	var ref []entry
+	seq := 0
+	sortRef := func() {
+		sort.SliceStable(ref, func(i, j int) bool {
+			if ref[i].key != ref[j].key {
+				return ref[i].key < ref[j].key
+			}
+			return ref[i].seq < ref[j].seq
+		})
+	}
+	for op := 0; op < 6000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5:
+			k := int64(rng.Intn(40))
+			nd := tr.Insert(k, int(k))
+			ref = append(ref, entry{k, seq, nd})
+			seq++
+		case r < 8:
+			sortRef()
+			got := tr.DeleteMin()
+			if len(ref) == 0 {
+				if got != nil {
+					t.Fatal("DeleteMin from empty returned node")
+				}
+				continue
+			}
+			want := ref[0]
+			ref = ref[1:]
+			if got != want.node {
+				t.Fatalf("op %d: wrong min: key %d, want %d", op, got.Key, want.key)
+			}
+		default:
+			if len(ref) == 0 {
+				continue
+			}
+			i := rng.Intn(len(ref))
+			tr.Delete(ref[i].node)
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+		if tr.Len() != len(ref) {
+			t.Fatalf("op %d: Len %d, ref %d", op, tr.Len(), len(ref))
+		}
+		if op%101 == 0 {
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatalf("op %d: %v", op, err)
+			}
+		}
+	}
+}
+
+// Property: for any key sequence, repeated DeleteMin yields sorted order.
+func TestQuickTreeSort(t *testing.T) {
+	f := func(keys []int16) bool {
+		var tr Tree[struct{}]
+		for _, k := range keys {
+			tr.Insert(int64(k), struct{}{})
+		}
+		prev := int64(-1 << 62)
+		for tr.Len() > 0 {
+			n := tr.DeleteMin()
+			if n.Key < prev {
+				return false
+			}
+			prev = n.Key
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: after any interleaving of inserts and arbitrary deletes,
+// the red-black invariants hold.
+func TestQuickInvariantsUnderChurn(t *testing.T) {
+	f := func(keys []int8, delIdx []uint8) bool {
+		var tr Tree[struct{}]
+		var nodes []*Node[struct{}]
+		for _, k := range keys {
+			nodes = append(nodes, tr.Insert(int64(k), struct{}{}))
+		}
+		for _, d := range delIdx {
+			if len(nodes) == 0 {
+				break
+			}
+			i := int(d) % len(nodes)
+			tr.Delete(nodes[i])
+			nodes = append(nodes[:i], nodes[i+1:]...)
+		}
+		return tr.CheckInvariants() == nil && tr.Len() == len(nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInsertDeleteMin(b *testing.B) {
+	var tr Tree[int]
+	for i := 0; i < 64; i++ {
+		tr.Insert(int64(i), i)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(int64(i%128), i)
+		tr.DeleteMin()
+	}
+}

@@ -1,0 +1,134 @@
+// Package report renders the cross-validation artifacts a user wants
+// after scheduling a task set: the assignment summary, the per-task
+// comparison of analysis response-time bounds against simulated
+// maxima, and the overhead breakdown in the paper's categories.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/sched"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// TaskRow is one line of the response-time comparison.
+type TaskRow struct {
+	Task *task.Task
+	// Split reports the number of parts (1 = unsplit).
+	Parts int
+	// Bound is the analysis worst-case response time (chain-wide for
+	// split tasks); zero when the analysis path is unavailable.
+	Bound timeq.Time
+	// Observed is the largest simulated response time.
+	Observed timeq.Time
+	// Jobs is the number of completed jobs observed.
+	Jobs int
+}
+
+// Margin returns Bound − Observed (how much slack the analysis left).
+func (r TaskRow) Margin() timeq.Time { return r.Bound - r.Observed }
+
+// Report captures one assignment's validation artifacts.
+type Report struct {
+	Assignment *task.Assignment
+	Model      *overhead.Model
+	Result     *sched.Result
+	Rows       []TaskRow
+}
+
+// New builds a report for a fixed-priority assignment: it derives the
+// per-task analysis bounds (cumulative jitter + final-part response)
+// and joins them with the simulation result.
+func New(a *task.Assignment, model *overhead.Model, res *sched.Result) (*Report, error) {
+	if model == nil {
+		model = overhead.Zero()
+	}
+	rts, ok := analysis.ResponseTimes(a, model)
+	if !ok {
+		return nil, fmt.Errorf("report: assignment fails the analysis it was admitted under")
+	}
+	bound := map[task.ID]timeq.Time{}
+	for e, r := range rts {
+		if tot := e.Jitter + r; tot > bound[e.Task.ID] {
+			bound[e.Task.ID] = tot
+		}
+	}
+	rep := &Report{Assignment: a, Model: model, Result: res}
+	for _, t := range a.AllTasks() {
+		row := TaskRow{Task: t, Parts: 1, Bound: bound[t.ID]}
+		if sp := a.SplitOf(t); sp != nil {
+			row.Parts = len(sp.Parts)
+		}
+		if res != nil {
+			row.Observed = res.MaxResponse[t.ID]
+			row.Jobs = res.Jobs[t.ID]
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	sort.SliceStable(rep.Rows, func(i, j int) bool { return rep.Rows[i].Task.ID < rep.Rows[j].Task.ID })
+	return rep, nil
+}
+
+// Violations returns the rows whose observation exceeds the bound —
+// always empty unless the analysis or simulator has a bug.
+func (r *Report) Violations() []TaskRow {
+	var out []TaskRow
+	for _, row := range r.Rows {
+		if row.Observed > row.Bound {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// ResponseTable renders the bound-vs-observed comparison.
+func (r *Report) ResponseTable() string {
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("%-6s %-7s %-5s %-12s %-12s %-12s %-12s %s\n",
+		"task", "period", "parts", "WCET", "bound", "observed", "margin", "jobs"))
+	for _, row := range r.Rows {
+		sb.WriteString(fmt.Sprintf("τ%-5d %-7v %-5d %-12v %-12v %-12v %-12v %d\n",
+			row.Task.ID, row.Task.Period, row.Parts, row.Task.WCET,
+			row.Bound, row.Observed, row.Margin(), row.Jobs))
+	}
+	return sb.String()
+}
+
+// OverheadTable renders the simulated overhead breakdown using the
+// paper's category names, with per-category shares.
+func (r *Report) OverheadTable() string {
+	if r.Result == nil {
+		return "no simulation attached\n"
+	}
+	s := r.Result.Stats
+	total := s.TotalOverhead()
+	var cats []string
+	for c := range s.OverheadTime {
+		cats = append(cats, c)
+	}
+	sort.Strings(cats)
+	var sb strings.Builder
+	sb.WriteString(fmt.Sprintf("overhead %v over %v on %d cores (%.4f%% of core time)\n",
+		total, s.Horizon, r.Assignment.NumCores, 100*s.OverheadRatio(r.Assignment.NumCores)))
+	for _, c := range cats {
+		v := s.OverheadTime[c]
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(v) / float64(total)
+		}
+		sb.WriteString(fmt.Sprintf("  %-7s %-12v %5.1f%%\n", c, v, share))
+	}
+	sb.WriteString(fmt.Sprintf("events: %d releases, %d finishes, %d preemptions, %d migrations, %d misses\n",
+		s.Releases, s.Finishes, s.Preemptions, s.Migrations, s.Misses))
+	return sb.String()
+}
+
+// String renders the full report.
+func (r *Report) String() string {
+	return r.Assignment.String() + "\n" + r.ResponseTable() + "\n" + r.OverheadTable()
+}

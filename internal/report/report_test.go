@@ -1,0 +1,127 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+)
+
+func buildReport(t *testing.T) *Report {
+	t.Helper()
+	g := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.2, Seed: 77})
+	model := overhead.PaperModel()
+	var rep *Report
+	for _, s := range g.Batch(5) {
+		a, err := partition.TS.Partition(s.Clone(), 4, model)
+		if err != nil {
+			continue
+		}
+		res, err := sched.Run(a, sched.Config{Model: model, Horizon: 2 * timeq.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err = New(a, model, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	t.Fatal("no set admitted")
+	return nil
+}
+
+func TestReportRowsComplete(t *testing.T) {
+	rep := buildReport(t)
+	if len(rep.Rows) != 10 {
+		t.Fatalf("rows %d, want 10", len(rep.Rows))
+	}
+	for _, row := range rep.Rows {
+		if row.Bound <= 0 {
+			t.Errorf("τ%d: bound %v", row.Task.ID, row.Bound)
+		}
+		if row.Jobs <= 0 {
+			t.Errorf("τ%d: no jobs observed", row.Task.ID)
+		}
+		if row.Observed <= 0 {
+			t.Errorf("τ%d: no response observed", row.Task.ID)
+		}
+		if row.Parts < 1 {
+			t.Errorf("τ%d: parts %d", row.Task.ID, row.Parts)
+		}
+	}
+}
+
+func TestNoViolations(t *testing.T) {
+	rep := buildReport(t)
+	if v := rep.Violations(); len(v) != 0 {
+		t.Fatalf("bound violations: %v", v)
+	}
+	for _, row := range rep.Rows {
+		if row.Margin() < 0 {
+			t.Fatalf("negative margin on τ%d", row.Task.ID)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	rep := buildReport(t)
+	rt := rep.ResponseTable()
+	for _, want := range []string{"task", "bound", "observed", "margin", "τ1"} {
+		if !strings.Contains(rt, want) {
+			t.Errorf("response table missing %q", want)
+		}
+	}
+	ot := rep.OverheadTable()
+	for _, want := range []string{"overhead", "rls", "sch", "releases"} {
+		if !strings.Contains(ot, want) {
+			t.Errorf("overhead table missing %q:\n%s", want, ot)
+		}
+	}
+	if !strings.Contains(rep.String(), "assignment over") {
+		t.Error("full report missing assignment summary")
+	}
+}
+
+func TestReportWithoutSimulation(t *testing.T) {
+	g := taskgen.New(taskgen.Config{N: 6, TotalUtilization: 1.5, Seed: 3})
+	a, err := partition.TS.Partition(g.Next(), 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := New(a, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.OverheadTable(), "no simulation") {
+		t.Error("nil-result overhead table")
+	}
+	for _, row := range rep.Rows {
+		if row.Observed != 0 || row.Jobs != 0 {
+			t.Error("phantom observations")
+		}
+	}
+}
+
+func TestReportRejectsUnschedulable(t *testing.T) {
+	// Build an assignment that fails analysis: everything on core 0.
+	g := taskgen.New(taskgen.Config{N: 8, TotalUtilization: 3.0, Seed: 5})
+	s := g.Next()
+	a, err := partition.TS.Partition(s, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overload it behind the analysis' back.
+	extra := g.Next()
+	for _, tk := range extra.Tasks {
+		tk.ID += 100
+		a.Place(tk, 0)
+	}
+	if _, err := New(a, nil, nil); err == nil {
+		t.Fatal("overloaded assignment accepted by report")
+	}
+}

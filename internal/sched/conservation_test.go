@@ -1,0 +1,112 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/task"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+)
+
+// Work conservation and accounting invariants of the engine, checked
+// over random admitted assignments under both policies:
+//
+//  1. ExecTime + TotalOverhead ≤ cores × horizon (no core is ever
+//     double-booked);
+//  2. ExecTime equals the executed budget: ΣC over completed jobs,
+//     plus at most one partially executed job per core;
+//  3. Finishes ≤ Releases ≤ Finishes + one in-flight job per task;
+//  4. every completed job of a split task migrated exactly
+//     parts−1 times.
+func TestAccountingInvariants(t *testing.T) {
+	model := overhead.PaperModel()
+	cases := []struct {
+		name   string
+		alg    partition.Algorithm
+		policy Policy
+	}{
+		{"fp/fpts", partition.TS, FixedPriority},
+		{"edf/wm", partition.WM, EDF},
+	}
+	for _, tc := range cases {
+		g := taskgen.New(taskgen.Config{N: 12, TotalUtilization: 3.4, Seed: 1337})
+		checked := 0
+		for _, s := range g.Batch(6) {
+			a, err := tc.alg.Partition(s.Clone(), 4, model)
+			if err != nil {
+				continue
+			}
+			checked++
+			horizon := 2 * timeq.Second
+			r, err := Run(a, Config{Policy: tc.policy, Model: model, Horizon: horizon})
+			if err != nil {
+				t.Fatalf("%s: %v", tc.name, err)
+			}
+			if !r.Schedulable() {
+				t.Fatalf("%s: admitted set missed", tc.name)
+			}
+			// (1) core time not double-booked.
+			total := timeq.MulCount(horizon, int64(a.NumCores))
+			if used := r.Stats.ExecTime + r.Stats.TotalOverhead(); used > total {
+				t.Fatalf("%s: used %v of %v core time", tc.name, used, total)
+			}
+			// (2) executed budget accounting.
+			var completed timeq.Time
+			for _, tk := range a.AllTasks() {
+				completed += timeq.MulCount(tk.WCET, int64(r.Jobs[tk.ID]))
+			}
+			slack := timeq.Time(0)
+			for _, tk := range a.AllTasks() {
+				slack += tk.WCET // at most one partial job per task
+			}
+			if r.Stats.ExecTime < completed || r.Stats.ExecTime > completed+slack {
+				t.Fatalf("%s: exec %v outside [%v, %v]", tc.name, r.Stats.ExecTime, completed, completed+slack)
+			}
+			// (3) release/finish balance.
+			if r.Stats.Finishes > r.Stats.Releases {
+				t.Fatalf("%s: finishes %d > releases %d", tc.name, r.Stats.Finishes, r.Stats.Releases)
+			}
+			if r.Stats.Releases-r.Stats.Finishes > s.Len() {
+				t.Fatalf("%s: %d jobs in flight, more than one per task", tc.name, r.Stats.Releases-r.Stats.Finishes)
+			}
+			// (4) migrations per split job.
+			wantMigr := 0
+			for _, sp := range a.Splits {
+				wantMigr += (len(sp.Parts) - 1) * r.Jobs[sp.Task.ID]
+			}
+			// In-flight split jobs may add partial chains.
+			extra := 0
+			for _, sp := range a.Splits {
+				extra += len(sp.Parts) - 1
+			}
+			if r.Stats.Migrations < wantMigr || r.Stats.Migrations > wantMigr+extra {
+				t.Fatalf("%s: migrations %d outside [%d, %d]", tc.name, r.Stats.Migrations, wantMigr, wantMigr+extra)
+			}
+		}
+		if checked == 0 {
+			t.Fatalf("%s: nothing admitted; invariants unchecked", tc.name)
+		}
+	}
+}
+
+// Zero-overhead simulation of an idle-heavy set: exec time must be
+// exactly jobs × WCET and overhead identically zero.
+func TestExactExecAccountingZeroModel(t *testing.T) {
+	a := singleCore(
+		&task.Task{ID: 1, WCET: ms(1), Period: ms(10)},
+		&task.Task{ID: 2, WCET: ms(2), Period: ms(20)},
+	)
+	r, err := Run(a, Config{Horizon: ms(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := timeq.MulCount(ms(1), 20) + timeq.MulCount(ms(2), 10)
+	if r.Stats.ExecTime != want {
+		t.Fatalf("exec %v, want %v", r.Stats.ExecTime, want)
+	}
+	if r.Stats.TotalOverhead() != 0 {
+		t.Fatalf("overhead %v under zero model", r.Stats.TotalOverhead())
+	}
+}

@@ -1,0 +1,134 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/task"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+	"repro/internal/trace"
+)
+
+func TestEDFScheduleBeatsRM(t *testing.T) {
+	// C=(2,4), T=(5,7): EDF-schedulable (U≈0.971), RM is not.
+	mk := func() *task.Assignment {
+		return singleCore(
+			&task.Task{ID: 1, WCET: ms(2), Period: ms(5)},
+			&task.Task{ID: 2, WCET: ms(4), Period: ms(7)},
+		)
+	}
+	edf, err := Run(mk(), Config{Policy: EDF, Horizon: ms(350)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !edf.Schedulable() {
+		t.Fatalf("EDF missed: %v", edf.Misses[0])
+	}
+	fp, err := Run(mk(), Config{Policy: FixedPriority, Horizon: ms(350)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Schedulable() {
+		t.Fatal("RM should miss on this classic set")
+	}
+}
+
+func TestEDFFullUtilization(t *testing.T) {
+	a := singleCore(
+		&task.Task{ID: 1, WCET: ms(2), Period: ms(4)},
+		&task.Task{ID: 2, WCET: ms(5), Period: ms(10)},
+	)
+	r, err := Run(a, Config{Policy: EDF, Horizon: ms(400)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schedulable() {
+		t.Fatalf("EDF at U=1 missed: %v", r.Misses[0])
+	}
+}
+
+func TestEDFRequiresWindowsOnSplits(t *testing.T) {
+	t1 := &task.Task{ID: 1, WCET: ms(6), Period: ms(20)}
+	a := task.NewAssignment(2)
+	a.Splits = append(a.Splits, &task.Split{Task: t1, Parts: []task.Part{
+		{Core: 0, Budget: ms(3)}, {Core: 1, Budget: ms(3)},
+	}})
+	if _, err := Run(a, Config{Policy: EDF}); err == nil {
+		t.Fatal("windowless split accepted under EDF")
+	}
+}
+
+func TestEDFWindowConstrainedMigration(t *testing.T) {
+	// A split with 10ms windows: the second part must never become
+	// ready before release + 10ms even though the first part
+	// finishes at 3ms.
+	t1 := &task.Task{ID: 1, WCET: ms(6), Period: ms(20)}
+	a := task.NewAssignment(2)
+	a.Splits = append(a.Splits, &task.Split{
+		Task:    t1,
+		Parts:   []task.Part{{Core: 0, Budget: ms(3)}, {Core: 1, Budget: ms(3)}},
+		Windows: []timeq.Time{ms(10), ms(10)},
+	})
+	buf := &trace.Buffer{}
+	r, err := Run(a, Config{Policy: EDF, Horizon: ms(100), Recorder: buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schedulable() {
+		t.Fatalf("missed: %v", r.Misses)
+	}
+	ins := buf.Filter(trace.MigrateIn)
+	if len(ins) != 5 {
+		t.Fatalf("migrations in: %d, want 5", len(ins))
+	}
+	for i, ev := range ins {
+		release := timeq.Time(i) * ms(20)
+		if ev.T < release+ms(10) {
+			t.Fatalf("part 1 arrived at %v, before window start %v", ev.T, release+ms(10))
+		}
+	}
+	// Response time = window start + part budget = 13ms.
+	if r.MaxResponse[1] != ms(13) {
+		t.Fatalf("response %v, want 13ms", r.MaxResponse[1])
+	}
+}
+
+func TestPolicyString(t *testing.T) {
+	if FixedPriority.String() != "fixed-priority" || EDF.String() != "EDF" {
+		t.Error("policy names")
+	}
+	if Policy(7).String() == "" {
+		t.Error("unknown policy name empty")
+	}
+}
+
+// The EDF soundness property: assignments admitted by the EDF
+// demand-bound analysis never miss in an EDF simulation.
+func TestEDFAdmittedNeverMisses(t *testing.T) {
+	models := map[string]*overhead.Model{
+		"zero":  overhead.Zero(),
+		"paper": overhead.PaperModel(),
+	}
+	algs := []partition.Algorithm{partition.WM, partition.EDFFFD, partition.EDFWFD}
+	for name, model := range models {
+		for _, alg := range algs {
+			g := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.4, Seed: 909})
+			for si, s := range g.Batch(8) {
+				a, err := alg.Partition(s.Clone(), 4, model)
+				if err != nil {
+					continue
+				}
+				r, err := Run(a, Config{Policy: EDF, Model: model, Horizon: 3 * timeq.Second})
+				if err != nil {
+					t.Fatalf("%s/%s set %d: %v", alg.Name(), name, si, err)
+				}
+				if !r.Schedulable() {
+					t.Errorf("%s/%s set %d: admitted but missed: %v (first of %d)",
+						alg.Name(), name, si, r.Misses[0], len(r.Misses))
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,503 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/task"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+	"repro/internal/trace"
+)
+
+func ms(x int64) timeq.Time { return timeq.Time(x) * timeq.Millisecond }
+
+func singleCore(tasks ...*task.Task) *task.Assignment {
+	s := task.NewSet(tasks...)
+	s.AssignRM()
+	a := task.NewAssignment(1)
+	for _, t := range s.Tasks {
+		a.Place(t, 0)
+	}
+	return a
+}
+
+func TestSingleTaskPeriodic(t *testing.T) {
+	a := singleCore(&task.Task{ID: 1, WCET: ms(2), Period: ms(10)})
+	r, err := Run(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schedulable() {
+		t.Fatalf("misses: %v", r.Misses)
+	}
+	// Horizon defaults to 10 periods: 10 releases, all complete.
+	if r.Stats.Releases != 10 || r.Stats.Finishes != 10 {
+		t.Fatalf("releases=%d finishes=%d, want 10/10", r.Stats.Releases, r.Stats.Finishes)
+	}
+	if r.MaxResponse[1] != ms(2) {
+		t.Fatalf("response %v, want 2ms", r.MaxResponse[1])
+	}
+	if r.Stats.Preemptions != 0 || r.Stats.Migrations != 0 {
+		t.Fatal("phantom preemptions/migrations")
+	}
+	if r.Stats.ExecTime != 10*ms(2) {
+		t.Fatalf("exec time %v", r.Stats.ExecTime)
+	}
+}
+
+func TestTwoTasksPreemption(t *testing.T) {
+	// τ1 (C=1,T=4) preempts τ2 (C=5,T=20) repeatedly. Response of τ2:
+	// RTA gives R2 = 5 + ceil(R2/4)·1 → 7.
+	a := singleCore(
+		&task.Task{ID: 1, WCET: ms(1), Period: ms(4)},
+		&task.Task{ID: 2, WCET: ms(5), Period: ms(20)},
+	)
+	r, err := Run(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schedulable() {
+		t.Fatalf("misses: %v", r.Misses)
+	}
+	if r.MaxResponse[1] != ms(1) {
+		t.Fatalf("R1 = %v", r.MaxResponse[1])
+	}
+	if r.MaxResponse[2] != ms(7) {
+		t.Fatalf("R2 = %v, want 7ms", r.MaxResponse[2])
+	}
+	if r.Stats.Preemptions == 0 {
+		t.Fatal("expected preemptions")
+	}
+}
+
+func TestSimMatchesRTAOnTextbookSet(t *testing.T) {
+	// The synchronous release is the critical instant on one core, so
+	// the simulated max response must equal the RTA fixed point.
+	tasks := []*task.Task{
+		{ID: 1, WCET: ms(1), Period: ms(4)},
+		{ID: 2, WCET: ms(2), Period: ms(6)},
+		{ID: 3, WCET: ms(3), Period: ms(12)},
+	}
+	a := singleCore(tasks...)
+	r, err := Run(a, Config{Horizon: ms(240)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[task.ID]timeq.Time{1: ms(1), 2: ms(3), 3: ms(10)}
+	for id, w := range want {
+		if r.MaxResponse[id] != w {
+			t.Errorf("R%d = %v, want %v", id, r.MaxResponse[id], w)
+		}
+	}
+}
+
+func TestOverloadedCoreMisses(t *testing.T) {
+	a := singleCore(
+		&task.Task{ID: 1, WCET: ms(3), Period: ms(4)},
+		&task.Task{ID: 2, WCET: ms(3), Period: ms(6)},
+	)
+	r, err := Run(a, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schedulable() {
+		t.Fatal("overloaded core reported schedulable")
+	}
+	// Under persistent overload jobs finish ever later: misses pile
+	// up and the release grid lags the ideal count (τ1 alone would
+	// release 15 times in 60ms).
+	late := 0
+	for _, m := range r.Misses {
+		if !m.Overrun && m.At > m.Deadline {
+			late++
+		}
+	}
+	if late == 0 {
+		t.Fatal("expected late completions under overload")
+	}
+	if r.Stats.Releases >= 15+10 {
+		t.Fatalf("release grid should lag under overload, got %d releases", r.Stats.Releases)
+	}
+}
+
+func TestSplitTaskMigrates(t *testing.T) {
+	// τ3 split 5ms+3ms across two cores, with a normal task on each.
+	t1 := &task.Task{ID: 1, WCET: ms(4), Period: ms(10)}
+	t2 := &task.Task{ID: 2, WCET: ms(4), Period: ms(10)}
+	t3 := &task.Task{ID: 3, WCET: ms(8), Period: ms(20)}
+	s := task.NewSet(t1, t2, t3)
+	s.AssignRM()
+	a := task.NewAssignment(2)
+	a.Place(t1, 0)
+	a.Place(t2, 1)
+	a.Splits = append(a.Splits, &task.Split{Task: t3, Parts: []task.Part{
+		{Core: 0, Budget: ms(5)},
+		{Core: 1, Budget: ms(3)},
+	}})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	buf := &trace.Buffer{}
+	r, err := Run(a, Config{Horizon: ms(100), Recorder: buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schedulable() {
+		t.Fatalf("misses: %v", r.Misses)
+	}
+	// 5 jobs of τ3 in 100ms, one migration each.
+	if r.Stats.Migrations != 5 {
+		t.Fatalf("migrations = %d, want 5", r.Stats.Migrations)
+	}
+	// Split parts run at highest local priority with zero overhead:
+	// body completes at 5ms, tail runs 5..8ms, so R3 = 8ms.
+	if r.MaxResponse[3] != ms(8) {
+		t.Fatalf("R3 = %v, want 8ms", r.MaxResponse[3])
+	}
+	// The migration must appear in the trace as out+in pairs.
+	outs := buf.Filter(trace.MigrateOut)
+	ins := buf.Filter(trace.MigrateIn)
+	if len(outs) != 5 || len(ins) != 5 {
+		t.Fatalf("trace migrations out=%d in=%d", len(outs), len(ins))
+	}
+	// Normal tasks see the split parts as interference: τ1's response
+	// is 4+5=9ms on core 0.
+	if r.MaxResponse[1] != ms(9) {
+		t.Fatalf("R1 = %v, want 9ms", r.MaxResponse[1])
+	}
+}
+
+func TestPaperOverheadsCharged(t *testing.T) {
+	m := overhead.PaperModel()
+	a := singleCore(
+		&task.Task{ID: 1, WCET: ms(1), Period: ms(4)},
+		&task.Task{ID: 2, WCET: ms(5), Period: ms(20)},
+	)
+	buf := &trace.Buffer{}
+	r, err := Run(a, Config{Model: m, Horizon: ms(200), Recorder: buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Schedulable() {
+		t.Fatalf("misses with paper overheads: %v", r.Misses)
+	}
+	ot := r.Stats.OverheadTime
+	// Every release charges exactly rls once.
+	if want := timeq.MulCount(m.Release, int64(r.Stats.Releases)); ot["rls"] != want {
+		t.Errorf("rls total %v, want %v", ot["rls"], want)
+	}
+	for _, cat := range []string{"rls", "sch", "cnt1", "cnt2", "rq-add", "rq-del", "sq-add", "sq-del"} {
+		if ot[cat] == 0 {
+			t.Errorf("category %s never charged", cat)
+		}
+	}
+	// Overhead must be a small fraction of core time for ms-scale
+	// tasks (the paper's conclusion).
+	if ratio := r.Stats.OverheadRatio(1); ratio > 0.05 {
+		t.Errorf("overhead ratio %.3f implausibly high", ratio)
+	}
+	// Stats and trace must agree.
+	byLabel := buf.OverheadByLabel()
+	for cat, v := range ot {
+		if byLabel[cat] != v {
+			t.Errorf("trace/stats disagree on %s: %v vs %v", cat, byLabel[cat], v)
+		}
+	}
+}
+
+func TestCacheReloadChargedOnPreemption(t *testing.T) {
+	m := overhead.PaperModel()
+	a := singleCore(
+		&task.Task{ID: 1, WCET: ms(1), Period: ms(4), WSS: 1 << 20},
+		&task.Task{ID: 2, WCET: ms(5), Period: ms(20), WSS: 1 << 20},
+	)
+	r, err := Run(a, Config{Model: m, Horizon: ms(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.OverheadTime["cache"] == 0 {
+		t.Fatal("no cache reload charged despite preemptions and 1MiB WSS")
+	}
+}
+
+func TestOffsetsDelayFirstRelease(t *testing.T) {
+	a := singleCore(&task.Task{ID: 1, WCET: ms(2), Period: ms(10)})
+	r, err := Run(a, Config{
+		Horizon: ms(100),
+		Offsets: map[task.ID]timeq.Time{1: ms(5)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Releases at 5,15,...,95: 10 releases, but the last (95) cannot
+	// finish by 100... it finishes at 97 < 100. All 10 complete.
+	if r.Stats.Releases != 10 {
+		t.Fatalf("releases = %d", r.Stats.Releases)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	g := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 2.0, Seed: 3})
+	s := g.Next()
+	a, err := partition.TS.Partition(s, 4, overhead.PaperModel())
+	if err != nil {
+		t.Skip("set not admitted; generator drift")
+	}
+	run := func() *Result {
+		r, err := Run(a, Config{Model: overhead.PaperModel(), Horizon: ms(500)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1, r2 := run(), run()
+	if r1.Stats.Releases != r2.Stats.Releases ||
+		r1.Stats.Preemptions != r2.Stats.Preemptions ||
+		r1.Stats.Migrations != r2.Stats.Migrations ||
+		r1.Stats.TotalOverhead() != r2.Stats.TotalOverhead() {
+		t.Fatal("simulation is not deterministic")
+	}
+}
+
+// The central validation property (DESIGN.md §5): an assignment
+// admitted by the overhead-aware analysis never misses a deadline in
+// a simulation with the same overhead model.
+func TestAdmittedNeverMisses(t *testing.T) {
+	models := map[string]*overhead.Model{
+		"zero":  overhead.Zero(),
+		"paper": overhead.PaperModel(),
+	}
+	algs := []partition.Algorithm{partition.TS, partition.FFD, partition.WFD, partition.SPA2}
+	for name, model := range models {
+		for _, alg := range algs {
+			g := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.2, Seed: 4242})
+			for si, s := range g.Batch(8) {
+				a, err := alg.Partition(s.Clone(), 4, model)
+				if err != nil {
+					continue
+				}
+				r, err := Run(a, Config{Model: model, Horizon: 3 * timeq.Second})
+				if err != nil {
+					t.Fatalf("%s/%s set %d: %v", alg.Name(), name, si, err)
+				}
+				if !r.Schedulable() {
+					t.Errorf("%s/%s set %d: admitted but missed: %v (first of %d)",
+						alg.Name(), name, si, r.Misses[0], len(r.Misses))
+				}
+			}
+		}
+	}
+}
+
+// Simulated response times never exceed the analysis bound.
+func TestSimResponseBoundedByRTA(t *testing.T) {
+	model := overhead.PaperModel()
+	g := taskgen.New(taskgen.Config{N: 8, TotalUtilization: 3.0, Seed: 99})
+	for si, s := range g.Batch(6) {
+		a, err := partition.TS.Partition(s.Clone(), 4, model)
+		if err != nil {
+			continue
+		}
+		rts, ok := analysis.ResponseTimes(a, model)
+		if !ok {
+			t.Fatalf("set %d: admitted but analysis rejects", si)
+		}
+		// Collapse analysis entities to per-task chain bounds
+		// (cumulative jitter + response of the final part).
+		bound := map[task.ID]timeq.Time{}
+		for e, r := range rts {
+			if tot := e.Jitter + r; tot > bound[e.Task.ID] {
+				bound[e.Task.ID] = tot
+			}
+		}
+		r, err := Run(a, Config{Model: model, Horizon: 2 * timeq.Second})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for id, simR := range r.MaxResponse {
+			if simR > bound[id] {
+				t.Errorf("set %d τ%d: simulated response %v exceeds analysis bound %v", si, id, simR, bound[id])
+			}
+		}
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	tk := &task.Task{ID: 1, WCET: ms(1), Period: ms(4)}
+	bad := task.NewAssignment(1)
+	bad.Place(tk, 0)
+	bad.Place(tk, 0) // duplicate
+	if _, err := Run(bad, Config{}); err == nil {
+		t.Fatal("invalid assignment accepted")
+	}
+	ok := task.NewAssignment(1)
+	ok.Place(tk, 0)
+	if _, err := Run(ok, Config{Horizon: -1}); err == nil {
+		t.Fatal("negative horizon accepted")
+	}
+}
+
+func TestMissStringAndStatsHelpers(t *testing.T) {
+	m := Miss{Task: 3, Release: ms(10), Deadline: ms(20), At: ms(25)}
+	if m.String() == "" {
+		t.Fatal("empty miss string")
+	}
+	m.Overrun = true
+	if m.String() == "" {
+		t.Fatal("empty overrun string")
+	}
+	s := Stats{OverheadTime: map[string]timeq.Time{"sch": ms(1), "rls": ms(2)}, Horizon: ms(100)}
+	if s.TotalOverhead() != ms(3) {
+		t.Fatal("TotalOverhead wrong")
+	}
+	if s.OverheadRatio(1) != 0.03 {
+		t.Fatalf("ratio %v", s.OverheadRatio(1))
+	}
+	if s.OverheadRatio(0) != 0 {
+		t.Fatal("zero cores should give zero ratio")
+	}
+}
+
+func TestTardinessTracking(t *testing.T) {
+	// Overloaded core: tardiness recorded and positive.
+	a := singleCore(
+		&task.Task{ID: 1, WCET: ms(3), Period: ms(4)},
+		&task.Task{ID: 2, WCET: ms(3), Period: ms(6)},
+	)
+	r, err := Run(a, Config{Horizon: ms(120)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WorstTardiness() <= 0 {
+		t.Fatal("no tardiness under overload")
+	}
+	// A clean run has zero tardiness.
+	ok := singleCore(&task.Task{ID: 1, WCET: ms(1), Period: ms(10)})
+	r2, err := Run(ok, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.WorstTardiness() != 0 || len(r2.MaxTardiness) != 0 {
+		t.Fatal("phantom tardiness")
+	}
+}
+
+// Sporadic arrivals (inter-arrival ≥ T) are never harder than the
+// strictly periodic critical instant: admitted sets stay miss-free.
+func TestSporadicArrivalsSound(t *testing.T) {
+	model := overhead.PaperModel()
+	g := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.2, Seed: 2024})
+	checked := 0
+	for _, s := range g.Batch(5) {
+		a, err := partition.TS.Partition(s.Clone(), 4, model)
+		if err != nil {
+			continue
+		}
+		checked++
+		for _, seed := range []int64{1, 2, 3} {
+			r, err := Run(a, Config{
+				Model:         model,
+				Horizon:       2 * timeq.Second,
+				ArrivalJitter: 5 * timeq.Millisecond,
+				Seed:          seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !r.Schedulable() {
+				t.Fatalf("sporadic run missed: %v", r.Misses[0])
+			}
+		}
+	}
+	if checked == 0 {
+		t.Fatal("nothing admitted")
+	}
+}
+
+func TestSporadicJitterValidation(t *testing.T) {
+	a := singleCore(&task.Task{ID: 1, WCET: ms(1), Period: ms(10)})
+	if _, err := Run(a, Config{ArrivalJitter: -1}); err == nil {
+		t.Fatal("negative jitter accepted")
+	}
+	// With jitter, fewer releases fit in the horizon than periodic.
+	r, err := Run(a, Config{Horizon: ms(1000), ArrivalJitter: ms(10), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Releases >= 100 {
+		t.Fatalf("jittered releases %d should be < 100", r.Stats.Releases)
+	}
+	if r.Stats.Releases < 50 {
+		t.Fatalf("jittered releases %d implausibly few", r.Stats.Releases)
+	}
+}
+
+// Per-core accounting sums to the totals.
+func TestPerCoreStats(t *testing.T) {
+	model := overhead.PaperModel()
+	g := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.0, Seed: 31337})
+	a, err := partition.TS.Partition(g.Next(), 4, model)
+	if err != nil {
+		t.Skip("not admitted")
+	}
+	r, err := Run(a, Config{Model: model, Horizon: timeq.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Stats.PerCore) != 4 {
+		t.Fatalf("per-core entries: %d", len(r.Stats.PerCore))
+	}
+	var exec, ovh timeq.Time
+	for _, cs := range r.Stats.PerCore {
+		exec += cs.Exec
+		ovh += cs.Overhead
+		if u := cs.Utilization(r.Stats.Horizon); u < 0 || u > 1 {
+			t.Fatalf("core utilization %v out of range", u)
+		}
+	}
+	if exec != r.Stats.ExecTime {
+		t.Fatalf("per-core exec %v != total %v", exec, r.Stats.ExecTime)
+	}
+	if ovh != r.Stats.TotalOverhead() {
+		t.Fatalf("per-core overhead %v != total %v", ovh, r.Stats.TotalOverhead())
+	}
+	if (CoreStats{}).Utilization(0) != 0 {
+		t.Fatal("zero-horizon utilization")
+	}
+}
+
+// Metamorphic invariant: with zero overheads, scaling every period
+// and WCET by the same factor scales every response time by exactly
+// that factor.
+func TestScalingMetamorphic(t *testing.T) {
+	base := []*task.Task{
+		{ID: 1, WCET: ms(1), Period: ms(4)},
+		{ID: 2, WCET: ms(2), Period: ms(6)},
+		{ID: 3, WCET: ms(3), Period: ms(12)},
+	}
+	run := func(k timeq.Time) map[task.ID]timeq.Time {
+		scaled := make([]*task.Task, len(base))
+		for i, tk := range base {
+			cp := *tk
+			cp.WCET *= k
+			cp.Period *= k
+			scaled[i] = &cp
+		}
+		a := singleCore(scaled...)
+		r, err := Run(a, Config{Horizon: k * ms(120)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.MaxResponse
+	}
+	r1 := run(1)
+	r3 := run(3)
+	for id, v := range r1 {
+		if r3[id] != 3*v {
+			t.Fatalf("τ%d: scaled response %v, want %v", id, r3[id], 3*v)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package sched
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+)
+
+func TestSoundnessAcrossAlgorithmsAndModels(t *testing.T) {
+	models := map[string]*overhead.Model{"zero": overhead.Zero(), "paper": overhead.PaperModel(), "paper10x": overhead.PaperModel().Scale(10)}
+	algs := []partition.Algorithm{partition.TS, partition.TSNoBoost, partition.FFD, partition.SPA1, partition.SPA2, &partition.SPA{Variant: 2, FillByBound: true}}
+	total, admitted := 0, 0
+	for name, model := range models {
+		for _, n := range []int{4, 8, 16, 32} {
+			for _, u := range []float64{2.0, 3.0, 3.5, 3.8} {
+				g := taskgen.New(taskgen.Config{N: n, TotalUtilization: u, Seed: int64(n*1000) + int64(u*10)})
+				for si, s := range g.Batch(5) {
+					for _, alg := range algs {
+						total++
+						a, err := alg.Partition(s.Clone(), 4, model)
+						if err != nil {
+							continue
+						}
+						admitted++
+						r, err := Run(a, Config{Model: model, Horizon: 3 * timeq.Second})
+						if err != nil {
+							t.Fatalf("%s/%s n=%d u=%.1f set %d: %v", alg.Name(), name, n, u, si, err)
+						}
+						if !r.Schedulable() {
+							t.Errorf("UNSOUND %s/%s n=%d u=%.1f set %d: %v", alg.Name(), name, n, u, si, r.Misses[0])
+						}
+					}
+				}
+			}
+		}
+	}
+	fmt.Printf("stress: %d/%d admitted+verified\n", admitted, total)
+}

@@ -1,0 +1,105 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("std %v", s.Std)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty sample")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Median != 7 || s.P99 != 7 {
+		t.Fatalf("single sample %+v", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if Percentile(xs, 0) != 10 || Percentile(xs, 100) != 40 {
+		t.Fatal("extremes")
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("median %v", got)
+	}
+}
+
+func TestPercentilePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Percentile(nil, 50)
+}
+
+func TestProportion(t *testing.T) {
+	if Proportion(1, 4) != 0.25 || Proportion(0, 0) != 0 {
+		t.Fatal("proportion")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	lo, hi := WilsonInterval(50, 100)
+	if !(lo < 0.5 && 0.5 < hi) {
+		t.Fatalf("interval [%v,%v] should contain 0.5", lo, hi)
+	}
+	if hi-lo > 0.25 {
+		t.Fatalf("interval [%v,%v] too wide for n=100", lo, hi)
+	}
+	lo0, hi0 := WilsonInterval(0, 0)
+	if lo0 != 0 || hi0 != 1 {
+		t.Fatal("n=0 should be vacuous")
+	}
+	lo1, hi1 := WilsonInterval(100, 100)
+	if hi1 != 1 || lo1 < 0.9 {
+		t.Fatalf("k=n interval [%v,%v]", lo1, hi1)
+	}
+}
+
+func TestQuickPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, pRaw uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		sorted := append([]float64(nil), raw...)
+		sort.Float64s(sorted)
+		p := float64(pRaw % 101)
+		v := Percentile(sorted, p)
+		return v >= sorted[0] && v <= sorted[len(sorted)-1]
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickWilsonContainsPointEstimate(t *testing.T) {
+	f := func(kRaw, nRaw uint16) bool {
+		n := int(nRaw%1000) + 1
+		k := int(kRaw) % (n + 1)
+		lo, hi := WilsonInterval(k, n)
+		p := float64(k) / float64(n)
+		return lo <= p+1e-9 && p-1e-9 <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

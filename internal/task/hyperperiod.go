@@ -1,0 +1,43 @@
+package task
+
+import "repro/internal/timeq"
+
+// HyperPeriod returns the least common multiple of the set's periods
+// — the cycle after which a synchronous periodic schedule repeats.
+// The second result is false when the LCM overflows the cap (randomly
+// generated nanosecond periods are usually coprime, so an exact
+// hyperperiod simulation is only meaningful for hand-built or
+// harmonic sets).
+func (s *Set) HyperPeriod(cap timeq.Time) (timeq.Time, bool) {
+	if cap <= 0 {
+		cap = timeq.Time(1) << 50 // ~13 days
+	}
+	l := timeq.Time(1)
+	for _, t := range s.Tasks {
+		l = lcm(l, t.Period)
+		if l <= 0 || l > cap {
+			return 0, false
+		}
+	}
+	return l, true
+}
+
+func gcd(a, b timeq.Time) timeq.Time {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func lcm(a, b timeq.Time) timeq.Time {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	g := gcd(a, b)
+	q := a / g
+	// Overflow-conscious multiply.
+	if q > 0 && b > (1<<62)/q {
+		return -1
+	}
+	return q * b
+}

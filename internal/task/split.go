@@ -1,0 +1,273 @@
+package task
+
+import (
+	"fmt"
+
+	"repro/internal/timeq"
+)
+
+// splitPriorityBoost pushes split parts above every normal task on
+// their host cores while preserving RM order among parts. A body part
+// must drain its budget promptly — every tick it is delayed is a tick
+// stolen from the downstream parts' slack — so the splitting scheme
+// runs migratory parts at the highest local priorities. The analysis
+// and the simulator must agree on this rule, which is why it lives
+// here.
+const splitPriorityBoost = 1 << 20
+
+// SplitLocalPriority maps a split task's RM priority to the effective
+// local priority its parts use on their host cores (smaller is
+// higher; all split parts outrank all normal tasks, RM order among
+// parts).
+func SplitLocalPriority(rmPriority int) int { return rmPriority - splitPriorityBoost }
+
+// Part is one per-core share of a split task: the job executes for
+// Budget time units on Core, then migrates to the next Part's core
+// (or finishes, for the tail part).
+type Part struct {
+	Core   int
+	Budget timeq.Time
+}
+
+// Split describes a task divided among several cores (Section 2 of
+// the paper). Parts are ordered: Parts[0] is the body subtask on the
+// core that releases the job, Parts[len-1] is the tail subtask. When
+// the tail finishes, the job returns to the sleep queue of Parts[0]'s
+// core ("the core hosting the first subtask").
+type Split struct {
+	Task  *Task
+	Parts []Part
+	// Windows optionally assigns each part a relative deadline
+	// window (EDF-WM-style splitting): part k's jobs execute in
+	// [release + ΣWindows[<k], release + ΣWindows[≤k]] and carry the
+	// window end as their EDF deadline. Empty for fixed-priority
+	// splitting, where parts run boosted and chain by jitter.
+	Windows []timeq.Time
+	// NoBoost keeps the parts at the task's plain RM priority
+	// instead of the boosted top-priority band — the ablation knob
+	// for the design choice documented in DESIGN.md §5. Fixed
+	// priority only; EDF ignores it.
+	NoBoost bool
+}
+
+// LocalPriority returns the effective fixed-priority key of this
+// split's parts on their host cores.
+func (sp *Split) LocalPriority() int {
+	if sp.NoBoost {
+		return sp.Task.Priority
+	}
+	return SplitLocalPriority(sp.Task.Priority)
+}
+
+// HasWindows reports whether the split uses EDF deadline windows.
+func (sp *Split) HasWindows() bool { return len(sp.Windows) > 0 }
+
+// WindowStart returns the offset of part k's window from the job
+// release (0 for fixed-priority splits, where parts run on arrival).
+func (sp *Split) WindowStart(k int) timeq.Time {
+	var off timeq.Time
+	if sp.HasWindows() {
+		for i := 0; i < k; i++ {
+			off += sp.Windows[i]
+		}
+	}
+	return off
+}
+
+// WindowDeadline returns the offset of part k's deadline from the job
+// release: the window end for EDF splits, the task deadline otherwise.
+func (sp *Split) WindowDeadline(k int) timeq.Time {
+	if !sp.HasWindows() {
+		return sp.Task.EffectiveDeadline()
+	}
+	return sp.WindowStart(k) + sp.Windows[k]
+}
+
+// Validate checks that the split is well-formed: at least two parts,
+// positive budgets summing exactly to the WCET, and no two adjacent
+// parts on the same core.
+func (sp *Split) Validate() error {
+	if sp.Task == nil {
+		return fmt.Errorf("split: nil task")
+	}
+	if len(sp.Parts) < 2 {
+		return fmt.Errorf("split %s: %d part(s); a split task needs ≥ 2", sp.Task.label(), len(sp.Parts))
+	}
+	var sum timeq.Time
+	for i, p := range sp.Parts {
+		if p.Budget <= 0 {
+			return fmt.Errorf("split %s part %d: non-positive budget %v", sp.Task.label(), i, p.Budget)
+		}
+		if p.Core < 0 {
+			return fmt.Errorf("split %s part %d: negative core", sp.Task.label(), i)
+		}
+		if i > 0 && sp.Parts[i-1].Core == p.Core {
+			return fmt.Errorf("split %s: parts %d and %d on the same core %d", sp.Task.label(), i-1, i, p.Core)
+		}
+		sum += p.Budget
+	}
+	if sum != sp.Task.WCET {
+		return fmt.Errorf("split %s: budgets sum to %v, WCET is %v", sp.Task.label(), sum, sp.Task.WCET)
+	}
+	if sp.HasWindows() {
+		if len(sp.Windows) != len(sp.Parts) {
+			return fmt.Errorf("split %s: %d windows for %d parts", sp.Task.label(), len(sp.Windows), len(sp.Parts))
+		}
+		var wsum timeq.Time
+		for i, w := range sp.Windows {
+			if w < sp.Parts[i].Budget {
+				return fmt.Errorf("split %s window %d: %v shorter than budget %v", sp.Task.label(), i, w, sp.Parts[i].Budget)
+			}
+			wsum += w
+		}
+		if wsum > sp.Task.EffectiveDeadline() {
+			return fmt.Errorf("split %s: windows sum to %v beyond deadline %v", sp.Task.label(), wsum, sp.Task.EffectiveDeadline())
+		}
+	}
+	return nil
+}
+
+// Assignment is the output of a partitioning algorithm: which core
+// each task runs on, and which tasks are split and how. It is the
+// input both to the schedulability analysis and to the simulator.
+type Assignment struct {
+	NumCores int
+	// Normal[c] lists the unsplit tasks assigned to core c.
+	Normal [][]*Task
+	// Splits lists the split tasks with their per-core budgets.
+	Splits []*Split
+}
+
+// NewAssignment returns an empty assignment over m cores.
+func NewAssignment(m int) *Assignment {
+	return &Assignment{NumCores: m, Normal: make([][]*Task, m)}
+}
+
+// Place assigns an unsplit task to core c.
+func (a *Assignment) Place(t *Task, c int) {
+	a.Normal[c] = append(a.Normal[c], t)
+}
+
+// Validate checks structural soundness: cores in range, every task
+// appears exactly once (either unsplit on one core or as one split),
+// split budgets conserved.
+func (a *Assignment) Validate() error {
+	if a.NumCores <= 0 {
+		return fmt.Errorf("assignment: %d cores", a.NumCores)
+	}
+	if len(a.Normal) != a.NumCores {
+		return fmt.Errorf("assignment: Normal has %d cores, NumCores is %d", len(a.Normal), a.NumCores)
+	}
+	seen := map[ID]string{}
+	for c, ts := range a.Normal {
+		for _, t := range ts {
+			if where, dup := seen[t.ID]; dup {
+				return fmt.Errorf("task %s assigned twice (%s and core %d)", t.label(), where, c)
+			}
+			seen[t.ID] = fmt.Sprintf("core %d", c)
+		}
+	}
+	for _, sp := range a.Splits {
+		if err := sp.Validate(); err != nil {
+			return err
+		}
+		for _, p := range sp.Parts {
+			if p.Core >= a.NumCores {
+				return fmt.Errorf("split %s: core %d out of range (%d cores)", sp.Task.label(), p.Core, a.NumCores)
+			}
+		}
+		if where, dup := seen[sp.Task.ID]; dup {
+			return fmt.Errorf("task %s assigned twice (%s and split)", sp.Task.label(), where)
+		}
+		seen[sp.Task.ID] = "split"
+	}
+	return nil
+}
+
+// SplitOf returns the Split for t, or nil if t is not split.
+func (a *Assignment) SplitOf(t *Task) *Split {
+	for _, sp := range a.Splits {
+		if sp.Task == t {
+			return sp
+		}
+	}
+	return nil
+}
+
+// CoreUtilization returns the utilization contributed to core c by
+// both unsplit tasks and split-task shares (Budget/T per part).
+func (a *Assignment) CoreUtilization(c int) float64 {
+	u := 0.0
+	for _, t := range a.Normal[c] {
+		u += t.Utilization()
+	}
+	for _, sp := range a.Splits {
+		for _, p := range sp.Parts {
+			if p.Core == c {
+				u += float64(p.Budget) / float64(sp.Task.Period)
+			}
+		}
+	}
+	return u
+}
+
+// TaskCountOnCore returns the number of schedulable entities hosted
+// on core c (unsplit tasks plus split parts). This is the N that
+// bounds the core's queue sizes in the overhead model.
+func (a *Assignment) TaskCountOnCore(c int) int {
+	n := len(a.Normal[c])
+	for _, sp := range a.Splits {
+		for _, p := range sp.Parts {
+			if p.Core == c {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// MaxTasksPerCore returns max over cores of TaskCountOnCore.
+func (a *Assignment) MaxTasksPerCore() int {
+	m := 0
+	for c := 0; c < a.NumCores; c++ {
+		if n := a.TaskCountOnCore(c); n > m {
+			m = n
+		}
+	}
+	return m
+}
+
+// AllTasks returns every task in the assignment exactly once.
+func (a *Assignment) AllTasks() []*Task {
+	var out []*Task
+	for _, ts := range a.Normal {
+		out = append(out, ts...)
+	}
+	for _, sp := range a.Splits {
+		out = append(out, sp.Task)
+	}
+	return out
+}
+
+// NumSplit returns the number of split tasks.
+func (a *Assignment) NumSplit() int { return len(a.Splits) }
+
+// String summarizes the assignment per core.
+func (a *Assignment) String() string {
+	s := fmt.Sprintf("assignment over %d cores, %d split task(s)\n", a.NumCores, len(a.Splits))
+	for c := 0; c < a.NumCores; c++ {
+		s += fmt.Sprintf("  core %d (U=%.3f):", c, a.CoreUtilization(c))
+		for _, t := range a.Normal[c] {
+			s += " " + t.label()
+		}
+		for _, sp := range a.Splits {
+			for i, p := range sp.Parts {
+				if p.Core == c {
+					s += fmt.Sprintf(" %s/%d[%v]", sp.Task.label(), i, p.Budget)
+				}
+			}
+		}
+		s += "\n"
+	}
+	return s
+}

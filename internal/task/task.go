@@ -1,0 +1,200 @@
+// Package task defines the sporadic task model of the paper: periodic
+// real-time tasks with worst-case execution times and implicit
+// deadlines, rate-monotonic priorities, and — the paper's subject —
+// split tasks whose execution is divided into per-core budgets so a
+// job migrates across cores as each budget is exhausted.
+package task
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/timeq"
+)
+
+// ID identifies a task within a Set.
+type ID int
+
+// Task is one sporadic task. C (WCET), T (period / minimum
+// inter-arrival time) and D (relative deadline) follow the standard
+// notation. The paper evaluates implicit deadlines (D = T); the model
+// supports constrained deadlines (D ≤ T) because the tail subtask of a
+// split task effectively has one.
+type Task struct {
+	ID   ID
+	Name string
+
+	// WCET is the worst-case execution time C.
+	WCET timeq.Time
+	// Period is the minimum inter-arrival time T.
+	Period timeq.Time
+	// Deadline is the relative deadline D. Zero means implicit (D=T).
+	Deadline timeq.Time
+
+	// Priority is the fixed priority; smaller is higher. Assigned by
+	// Set.AssignRM (rate-monotonic) before partitioning.
+	Priority int
+
+	// WSS is the task's working-set size in bytes, used by the cache
+	// model to compute preemption/migration delays.
+	WSS int64
+}
+
+// EffectiveDeadline returns D, or T when the deadline is implicit.
+func (t *Task) EffectiveDeadline() timeq.Time {
+	if t.Deadline == 0 {
+		return t.Period
+	}
+	return t.Deadline
+}
+
+// Utilization returns C/T.
+func (t *Task) Utilization() float64 {
+	return float64(t.WCET) / float64(t.Period)
+}
+
+// String renders the task compactly, e.g. "τ3(C=2ms,T=10ms)".
+func (t *Task) String() string {
+	return fmt.Sprintf("%s(C=%v,T=%v)", t.label(), t.WCET, t.Period)
+}
+
+func (t *Task) label() string {
+	if t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("τ%d", t.ID)
+}
+
+// Validate reports whether the task parameters are physically
+// meaningful (0 < C ≤ D ≤ T).
+func (t *Task) Validate() error {
+	if t.WCET <= 0 {
+		return fmt.Errorf("task %s: non-positive WCET %v", t.label(), t.WCET)
+	}
+	if t.Period <= 0 {
+		return fmt.Errorf("task %s: non-positive period %v", t.label(), t.Period)
+	}
+	d := t.EffectiveDeadline()
+	if d < t.WCET {
+		return fmt.Errorf("task %s: deadline %v < WCET %v", t.label(), d, t.WCET)
+	}
+	if d > t.Period {
+		return fmt.Errorf("task %s: deadline %v > period %v (only constrained deadlines supported)", t.label(), d, t.Period)
+	}
+	if t.WSS < 0 {
+		return fmt.Errorf("task %s: negative WSS", t.label())
+	}
+	return nil
+}
+
+// Set is an ordered collection of tasks.
+type Set struct {
+	Tasks []*Task
+}
+
+// NewSet builds a Set, assigning sequential IDs to tasks that have
+// none (ID 0 and no name).
+func NewSet(tasks ...*Task) *Set {
+	s := &Set{Tasks: tasks}
+	for i, t := range s.Tasks {
+		if t.ID == 0 {
+			t.ID = ID(i + 1)
+		}
+	}
+	return s
+}
+
+// Validate checks every task and that IDs are unique.
+func (s *Set) Validate() error {
+	seen := make(map[ID]bool, len(s.Tasks))
+	for _, t := range s.Tasks {
+		if err := t.Validate(); err != nil {
+			return err
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("duplicate task ID %d", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// TotalUtilization returns ΣC/T.
+func (s *Set) TotalUtilization() float64 {
+	u := 0.0
+	for _, t := range s.Tasks {
+		u += t.Utilization()
+	}
+	return u
+}
+
+// MaxUtilization returns the largest single-task utilization.
+func (s *Set) MaxUtilization() float64 {
+	u := 0.0
+	for _, t := range s.Tasks {
+		if tu := t.Utilization(); tu > u {
+			u = tu
+		}
+	}
+	return u
+}
+
+// Len returns the number of tasks.
+func (s *Set) Len() int { return len(s.Tasks) }
+
+// AssignRM assigns rate-monotonic priorities: the shorter the period,
+// the higher the priority (smaller number). Ties are broken by ID so
+// the assignment is deterministic. Priorities start at 1.
+func (s *Set) AssignRM() {
+	order := make([]*Task, len(s.Tasks))
+	copy(order, s.Tasks)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Period != order[j].Period {
+			return order[i].Period < order[j].Period
+		}
+		return order[i].ID < order[j].ID
+	})
+	for i, t := range order {
+		t.Priority = i + 1
+	}
+}
+
+// SortedByPriority returns the tasks ordered from highest priority
+// (smallest Priority value) to lowest.
+func (s *Set) SortedByPriority() []*Task {
+	order := make([]*Task, len(s.Tasks))
+	copy(order, s.Tasks)
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].Priority != order[j].Priority {
+			return order[i].Priority < order[j].Priority
+		}
+		return order[i].ID < order[j].ID
+	})
+	return order
+}
+
+// SortedByUtilizationDesc returns the tasks ordered from largest to
+// smallest utilization (the "decreasing" in FFD/WFD).
+func (s *Set) SortedByUtilizationDesc() []*Task {
+	order := make([]*Task, len(s.Tasks))
+	copy(order, s.Tasks)
+	sort.SliceStable(order, func(i, j int) bool {
+		ui, uj := order[i].Utilization(), order[j].Utilization()
+		if ui != uj {
+			return ui > uj
+		}
+		return order[i].ID < order[j].ID
+	})
+	return order
+}
+
+// Clone deep-copies the set (tasks are copied, so priority assignment
+// on the clone does not affect the original).
+func (s *Set) Clone() *Set {
+	out := &Set{Tasks: make([]*Task, len(s.Tasks))}
+	for i, t := range s.Tasks {
+		cp := *t
+		out.Tasks[i] = &cp
+	}
+	return out
+}

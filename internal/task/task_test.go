@@ -1,0 +1,249 @@
+package task
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/timeq"
+)
+
+func ms(x int64) timeq.Time { return timeq.Time(x) * timeq.Millisecond }
+
+func TestEffectiveDeadline(t *testing.T) {
+	tk := &Task{WCET: ms(1), Period: ms(10)}
+	if tk.EffectiveDeadline() != ms(10) {
+		t.Fatal("implicit deadline should equal period")
+	}
+	tk.Deadline = ms(7)
+	if tk.EffectiveDeadline() != ms(7) {
+		t.Fatal("explicit deadline ignored")
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	tk := &Task{WCET: ms(2), Period: ms(10)}
+	if u := tk.Utilization(); u != 0.2 {
+		t.Fatalf("U = %v, want 0.2", u)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := &Task{ID: 1, WCET: ms(1), Period: ms(4)}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid task rejected: %v", err)
+	}
+	bad := []*Task{
+		{ID: 1, WCET: 0, Period: ms(4)},
+		{ID: 1, WCET: ms(1), Period: 0},
+		{ID: 1, WCET: ms(5), Period: ms(4)},
+		{ID: 1, WCET: ms(1), Period: ms(4), Deadline: ms(5)},
+		{ID: 1, WCET: ms(2), Period: ms(4), Deadline: ms(1)},
+		{ID: 1, WCET: ms(1), Period: ms(4), WSS: -1},
+	}
+	for i, tk := range bad {
+		if err := tk.Validate(); err == nil {
+			t.Errorf("bad task %d accepted", i)
+		}
+	}
+}
+
+func TestSetValidateDuplicateID(t *testing.T) {
+	s := &Set{Tasks: []*Task{
+		{ID: 1, WCET: ms(1), Period: ms(4)},
+		{ID: 1, WCET: ms(1), Period: ms(5)},
+	}}
+	if err := s.Validate(); err == nil {
+		t.Fatal("duplicate IDs accepted")
+	}
+}
+
+func TestNewSetAssignsIDs(t *testing.T) {
+	s := NewSet(
+		&Task{WCET: ms(1), Period: ms(4)},
+		&Task{WCET: ms(1), Period: ms(5)},
+	)
+	if s.Tasks[0].ID == 0 || s.Tasks[1].ID == 0 || s.Tasks[0].ID == s.Tasks[1].ID {
+		t.Fatalf("IDs not assigned: %d, %d", s.Tasks[0].ID, s.Tasks[1].ID)
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAssignRM(t *testing.T) {
+	s := NewSet(
+		&Task{ID: 1, WCET: ms(1), Period: ms(20)},
+		&Task{ID: 2, WCET: ms(1), Period: ms(5)},
+		&Task{ID: 3, WCET: ms(1), Period: ms(10)},
+		&Task{ID: 4, WCET: ms(1), Period: ms(5)}, // tie with ID 2
+	)
+	s.AssignRM()
+	get := func(id ID) *Task {
+		for _, tk := range s.Tasks {
+			if tk.ID == id {
+				return tk
+			}
+		}
+		t.Fatalf("task %d missing", id)
+		return nil
+	}
+	if get(2).Priority != 1 {
+		t.Errorf("shortest period, lowest ID should be priority 1, got %d", get(2).Priority)
+	}
+	if get(4).Priority != 2 {
+		t.Errorf("tie broken by ID: want 2, got %d", get(4).Priority)
+	}
+	if get(3).Priority != 3 || get(1).Priority != 4 {
+		t.Errorf("priorities: %d %d", get(3).Priority, get(1).Priority)
+	}
+}
+
+func TestSortedByPriorityAndUtilization(t *testing.T) {
+	s := NewSet(
+		&Task{ID: 1, WCET: ms(8), Period: ms(20)}, // U=0.4
+		&Task{ID: 2, WCET: ms(1), Period: ms(5)},  // U=0.2
+		&Task{ID: 3, WCET: ms(6), Period: ms(10)}, // U=0.6
+	)
+	s.AssignRM()
+	byP := s.SortedByPriority()
+	if byP[0].ID != 2 || byP[1].ID != 3 || byP[2].ID != 1 {
+		t.Errorf("priority order wrong: %v %v %v", byP[0].ID, byP[1].ID, byP[2].ID)
+	}
+	byU := s.SortedByUtilizationDesc()
+	if byU[0].ID != 3 || byU[1].ID != 1 || byU[2].ID != 2 {
+		t.Errorf("utilization order wrong: %v %v %v", byU[0].ID, byU[1].ID, byU[2].ID)
+	}
+}
+
+func TestTotalAndMaxUtilization(t *testing.T) {
+	s := NewSet(
+		&Task{ID: 1, WCET: ms(2), Period: ms(10)},
+		&Task{ID: 2, WCET: ms(3), Period: ms(10)},
+	)
+	if u := s.TotalUtilization(); u != 0.5 {
+		t.Fatalf("total U = %v", u)
+	}
+	if u := s.MaxUtilization(); u != 0.3 {
+		t.Fatalf("max U = %v", u)
+	}
+}
+
+func TestClone(t *testing.T) {
+	s := NewSet(&Task{ID: 1, WCET: ms(1), Period: ms(4)})
+	c := s.Clone()
+	c.Tasks[0].Priority = 99
+	if s.Tasks[0].Priority == 99 {
+		t.Fatal("Clone aliases tasks")
+	}
+}
+
+func TestSplitValidate(t *testing.T) {
+	tk := &Task{ID: 1, WCET: ms(6), Period: ms(20)}
+	good := &Split{Task: tk, Parts: []Part{{Core: 0, Budget: ms(4)}, {Core: 1, Budget: ms(2)}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid split rejected: %v", err)
+	}
+	bad := []*Split{
+		{Task: tk, Parts: []Part{{Core: 0, Budget: ms(6)}}},                                            // one part
+		{Task: tk, Parts: []Part{{Core: 0, Budget: ms(4)}, {Core: 1, Budget: ms(3)}}},                  // sum ≠ C
+		{Task: tk, Parts: []Part{{Core: 0, Budget: ms(4)}, {Core: 0, Budget: ms(2)}}},                  // same core adjacent
+		{Task: tk, Parts: []Part{{Core: 0, Budget: ms(6)}, {Core: 1, Budget: 0}}},                      // zero budget
+		{Task: tk, Parts: []Part{{Core: 0, Budget: ms(7)}, {Core: 1, Budget: timeq.Time(-1) * ms(1)}}}, // negative
+		{Task: nil, Parts: []Part{{Core: 0, Budget: ms(4)}, {Core: 1, Budget: ms(2)}}},                 // nil task
+		{Task: tk, Parts: []Part{{Core: -1, Budget: ms(4)}, {Core: 1, Budget: ms(2)}}},                 // negative core
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("bad split %d accepted", i)
+		}
+	}
+}
+
+func TestAssignmentValidateAndAccounting(t *testing.T) {
+	t1 := &Task{ID: 1, WCET: ms(2), Period: ms(10)}
+	t2 := &Task{ID: 2, WCET: ms(4), Period: ms(10)}
+	t3 := &Task{ID: 3, WCET: ms(6), Period: ms(20)}
+	a := NewAssignment(2)
+	a.Place(t1, 0)
+	a.Place(t2, 1)
+	a.Splits = append(a.Splits, &Split{Task: t3, Parts: []Part{{Core: 0, Budget: ms(4)}, {Core: 1, Budget: ms(2)}}})
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if u := a.CoreUtilization(0); u != 0.2+0.2 {
+		t.Errorf("core 0 U = %v", u)
+	}
+	if u := a.CoreUtilization(1); u != 0.4+0.1 {
+		t.Errorf("core 1 U = %v", u)
+	}
+	if n := a.TaskCountOnCore(0); n != 2 {
+		t.Errorf("core 0 count = %d", n)
+	}
+	if a.MaxTasksPerCore() != 2 {
+		t.Errorf("max per core = %d", a.MaxTasksPerCore())
+	}
+	if len(a.AllTasks()) != 3 {
+		t.Errorf("AllTasks = %d", len(a.AllTasks()))
+	}
+	if a.SplitOf(t3) == nil || a.SplitOf(t1) != nil {
+		t.Error("SplitOf wrong")
+	}
+	if !strings.Contains(a.String(), "core 0") {
+		t.Error("String missing core line")
+	}
+}
+
+func TestAssignmentRejectsDoubleAssignment(t *testing.T) {
+	t1 := &Task{ID: 1, WCET: ms(2), Period: ms(10)}
+	a := NewAssignment(2)
+	a.Place(t1, 0)
+	a.Place(t1, 1)
+	if err := a.Validate(); err == nil {
+		t.Fatal("double placement accepted")
+	}
+
+	b := NewAssignment(2)
+	b.Place(t1, 0)
+	b.Splits = append(b.Splits, &Split{Task: t1, Parts: []Part{{Core: 0, Budget: ms(1)}, {Core: 1, Budget: ms(1)}}})
+	if err := b.Validate(); err == nil {
+		t.Fatal("place+split accepted")
+	}
+}
+
+func TestAssignmentRejectsCoreOutOfRange(t *testing.T) {
+	t1 := &Task{ID: 1, WCET: ms(2), Period: ms(10)}
+	a := NewAssignment(1)
+	a.Splits = append(a.Splits, &Split{Task: t1, Parts: []Part{{Core: 0, Budget: ms(1)}, {Core: 5, Budget: ms(1)}}})
+	if err := a.Validate(); err == nil {
+		t.Fatal("core out of range accepted")
+	}
+}
+
+func TestHyperPeriod(t *testing.T) {
+	s := NewSet(
+		&Task{ID: 1, WCET: ms(1), Period: ms(4)},
+		&Task{ID: 2, WCET: ms(1), Period: ms(6)},
+		&Task{ID: 3, WCET: ms(1), Period: ms(10)},
+	)
+	h, ok := s.HyperPeriod(0)
+	if !ok || h != ms(60) {
+		t.Fatalf("hyperperiod %v ok=%v, want 60ms", h, ok)
+	}
+	// Coprime nanosecond periods overflow the cap.
+	big := NewSet(
+		&Task{ID: 1, WCET: 1, Period: 1_000_003},
+		&Task{ID: 2, WCET: 1, Period: 999_983},
+		&Task{ID: 3, WCET: 1, Period: 1_000_033},
+		&Task{ID: 4, WCET: 1, Period: 999_979},
+		&Task{ID: 5, WCET: 1, Period: 1_000_037},
+		&Task{ID: 6, WCET: 1, Period: 999_961},
+		&Task{ID: 7, WCET: 1, Period: 1_000_039},
+	)
+	if _, ok := big.HyperPeriod(timeq.Time(1) << 40); ok {
+		t.Fatal("coprime periods should overflow the cap")
+	}
+	one := NewSet(&Task{ID: 1, WCET: ms(1), Period: ms(7)})
+	if h, ok := one.HyperPeriod(0); !ok || h != ms(7) {
+		t.Fatalf("single-task hyperperiod %v", h)
+	}
+}

@@ -1,0 +1,258 @@
+// Package taskgen generates random sporadic task sets for the
+// empirical evaluation, following the methodology standard in the
+// semi-partitioned scheduling literature (and used by Guan et al.,
+// RTAS 2010, which the paper's Section 4 evaluation adopts):
+//
+//   - per-task utilizations drawn with UUniFast (Bini & Buttazzo),
+//     or UUniFast-discard when individual utilizations must be ≤ 1;
+//   - periods drawn log-uniformly from a configurable range;
+//   - WCETs derived as C = U·T (rounded, clamped to ≥ 1 tick);
+//   - working-set sizes drawn log-uniformly for the cache model.
+//
+// All generation is deterministic given the Config seed.
+package taskgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// PeriodDist selects the period distribution.
+type PeriodDist int
+
+const (
+	// LogUniform draws periods log-uniformly from [PeriodMin, PeriodMax]
+	// — the standard choice: each order of magnitude equally likely.
+	LogUniform PeriodDist = iota
+	// Uniform draws periods uniformly from [PeriodMin, PeriodMax].
+	Uniform
+	// Harmonic draws periods as PeriodMin · 2^k, k uniform, capped at
+	// PeriodMax (models harmonic task sets common in control systems).
+	Harmonic
+	// Automotive draws periods from the distribution reported for
+	// production engine-management software (Kramer, Ziegenbein &
+	// Hamann, WATERS 2015): {1,2,5,10,20,50,100,200,1000} ms with
+	// their published share weights. PeriodMin/PeriodMax are ignored.
+	Automotive
+)
+
+// automotivePeriods and automotiveWeights encode the WATERS 2015
+// benchmark period histogram (weights in per mille).
+var (
+	automotivePeriods = [...]timeq.Time{
+		1 * timeq.Millisecond, 2 * timeq.Millisecond, 5 * timeq.Millisecond,
+		10 * timeq.Millisecond, 20 * timeq.Millisecond, 50 * timeq.Millisecond,
+		100 * timeq.Millisecond, 200 * timeq.Millisecond, 1000 * timeq.Millisecond,
+	}
+	automotiveWeights = [...]int{30, 20, 20, 250, 250, 30, 200, 150, 50}
+)
+
+// String names the distribution.
+func (d PeriodDist) String() string {
+	switch d {
+	case LogUniform:
+		return "log-uniform"
+	case Uniform:
+		return "uniform"
+	case Harmonic:
+		return "harmonic"
+	case Automotive:
+		return "automotive"
+	default:
+		return fmt.Sprintf("PeriodDist(%d)", int(d))
+	}
+}
+
+// Config parameterizes a generator.
+type Config struct {
+	// N is the number of tasks per set.
+	N int
+	// TotalUtilization is the target ΣU of each generated set.
+	TotalUtilization float64
+	// MaxTaskUtilization caps individual utilizations; sets with a
+	// larger task are re-drawn (UUniFast-discard). 0 means 1.0.
+	MaxTaskUtilization float64
+	// PeriodMin and PeriodMax bound the period range. Zero values
+	// default to the conventional 10ms and 1000ms.
+	PeriodMin, PeriodMax timeq.Time
+	// Periods selects the period distribution.
+	Periods PeriodDist
+	// WSSMin and WSSMax bound the per-task working-set size
+	// (log-uniform). Zero values default to 16KiB and 2MiB.
+	WSSMin, WSSMax int64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.MaxTaskUtilization == 0 {
+		out.MaxTaskUtilization = 1.0
+	}
+	if out.PeriodMin == 0 {
+		out.PeriodMin = 10 * timeq.Millisecond
+	}
+	if out.PeriodMax == 0 {
+		out.PeriodMax = 1000 * timeq.Millisecond
+	}
+	if out.WSSMin == 0 {
+		out.WSSMin = 16 << 10
+	}
+	if out.WSSMax == 0 {
+		out.WSSMax = 2 << 20
+	}
+	return out
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	d := c.withDefaults()
+	if d.N <= 0 {
+		return fmt.Errorf("taskgen: N = %d", d.N)
+	}
+	if d.TotalUtilization <= 0 {
+		return fmt.Errorf("taskgen: total utilization %v", d.TotalUtilization)
+	}
+	if d.MaxTaskUtilization <= 0 || d.MaxTaskUtilization > 1 {
+		return fmt.Errorf("taskgen: max task utilization %v", d.MaxTaskUtilization)
+	}
+	if d.TotalUtilization > float64(d.N)*d.MaxTaskUtilization {
+		return fmt.Errorf("taskgen: ΣU=%v impossible with N=%d tasks of U≤%v",
+			d.TotalUtilization, d.N, d.MaxTaskUtilization)
+	}
+	if d.PeriodMin <= 0 || d.PeriodMax < d.PeriodMin {
+		return fmt.Errorf("taskgen: period range [%v,%v]", d.PeriodMin, d.PeriodMax)
+	}
+	if d.WSSMin <= 0 || d.WSSMax < d.WSSMin {
+		return fmt.Errorf("taskgen: WSS range [%d,%d]", d.WSSMin, d.WSSMax)
+	}
+	return nil
+}
+
+// Generator produces task sets from a Config.
+type Generator struct {
+	cfg Config
+	rng *rand.Rand
+}
+
+// New returns a Generator; it panics if the config is invalid (a
+// programming error in the experiment driver, not an input error).
+func New(cfg Config) *Generator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := cfg.withDefaults()
+	return &Generator{cfg: d, rng: rand.New(rand.NewSource(d.Seed))}
+}
+
+// UUniFast draws n utilizations summing to u, uniformly over the
+// simplex (Bini & Buttazzo, "Measuring the performance of
+// schedulability tests").
+func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
+	out := make([]float64, n)
+	sum := u
+	for i := 1; i < n; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i))
+		out[i-1] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}
+
+// uuniFastDiscard redraws until every utilization is ≤ cap.
+func (g *Generator) uuniFastDiscard() []float64 {
+	for attempt := 0; ; attempt++ {
+		us := UUniFast(g.rng, g.cfg.N, g.cfg.TotalUtilization)
+		ok := true
+		for _, u := range us {
+			if u > g.cfg.MaxTaskUtilization || u <= 0 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return us
+		}
+		if attempt > 100000 {
+			panic("taskgen: UUniFast-discard did not converge; utilization target too tight")
+		}
+	}
+}
+
+// period draws one period from the configured distribution.
+func (g *Generator) period() timeq.Time {
+	lo, hi := float64(g.cfg.PeriodMin), float64(g.cfg.PeriodMax)
+	switch g.cfg.Periods {
+	case Uniform:
+		return timeq.Time(lo + g.rng.Float64()*(hi-lo))
+	case Harmonic:
+		maxK := int(math.Floor(math.Log2(hi / lo)))
+		k := g.rng.Intn(maxK + 1)
+		return timeq.Time(lo * math.Pow(2, float64(k)))
+	case Automotive:
+		total := 0
+		for _, w := range automotiveWeights {
+			total += w
+		}
+		r := g.rng.Intn(total)
+		for i, w := range automotiveWeights {
+			if r < w {
+				return automotivePeriods[i]
+			}
+			r -= w
+		}
+		return automotivePeriods[len(automotivePeriods)-1]
+	default: // LogUniform
+		l := math.Log(lo) + g.rng.Float64()*(math.Log(hi)-math.Log(lo))
+		return timeq.Time(math.Round(math.Exp(l)))
+	}
+}
+
+// wss draws one working-set size (log-uniform).
+func (g *Generator) wss() int64 {
+	lo, hi := float64(g.cfg.WSSMin), float64(g.cfg.WSSMax)
+	if lo == hi {
+		return g.cfg.WSSMin
+	}
+	l := math.Log(lo) + g.rng.Float64()*(math.Log(hi)-math.Log(lo))
+	return int64(math.Round(math.Exp(l)))
+}
+
+// Next generates one task set with RM priorities assigned.
+func (g *Generator) Next() *task.Set {
+	us := g.uuniFastDiscard()
+	tasks := make([]*task.Task, g.cfg.N)
+	for i, u := range us {
+		t := g.period()
+		c := timeq.Time(math.Round(u * float64(t)))
+		if c < 1 {
+			c = 1
+		}
+		if c > t {
+			c = t
+		}
+		tasks[i] = &task.Task{
+			ID:     task.ID(i + 1),
+			WCET:   c,
+			Period: t,
+			WSS:    g.wss(),
+		}
+	}
+	s := &task.Set{Tasks: tasks}
+	s.AssignRM()
+	return s
+}
+
+// Batch generates k independent task sets.
+func (g *Generator) Batch(k int) []*task.Set {
+	out := make([]*task.Set, k)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}

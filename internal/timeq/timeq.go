@@ -1,0 +1,133 @@
+// Package timeq provides the fixed-point time representation used
+// throughout the scheduler, the analysis, and the simulator.
+//
+// Real-time scheduling analysis is exact integer arithmetic: response
+// times are fixed points of ceiling divisions, budgets are subtracted
+// tick by tick, and floating point would introduce admission errors at
+// the boundary. All times are therefore int64 nanosecond ticks.
+package timeq
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an absolute instant or a duration in nanoseconds. The
+// simulator starts at Time(0). A nanosecond granularity comfortably
+// covers both the microsecond-scale overheads of the paper's Table 1
+// and the millisecond-scale periods of its task sets without overflow:
+// int64 nanoseconds span ~292 years.
+type Time int64
+
+// Common units, mirroring time.Duration but in our fixed-point type.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// Infinity is a sentinel for "never" (unreachable deadline, empty
+// timer queue). It is far larger than any simulated horizon.
+const Infinity Time = math.MaxInt64
+
+// FromDuration converts a time.Duration to a Time.
+func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
+
+// Duration converts t to a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Micros reports t in microseconds as a float (for human-facing tables;
+// never used in admission arithmetic).
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+// Millis reports t in milliseconds as a float.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Seconds reports t in seconds as a float.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders t with an adaptive unit, e.g. "3.3µs", "40ms".
+func (t Time) String() string {
+	if t == Infinity {
+		return "∞"
+	}
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return trimZero(fmt.Sprintf("%.3f", t.Micros())) + "µs"
+	case t < Second:
+		return trimZero(fmt.Sprintf("%.3f", t.Millis())) + "ms"
+	default:
+		return trimZero(fmt.Sprintf("%.3f", t.Seconds())) + "s"
+	}
+}
+
+func trimZero(s string) string {
+	for len(s) > 0 && s[len(s)-1] == '0' {
+		s = s[:len(s)-1]
+	}
+	if len(s) > 0 && s[len(s)-1] == '.' {
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// Min returns the smaller of a and b.
+func Min(a, b Time) Time {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// Max returns the larger of a and b.
+func Max(a, b Time) Time {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// CeilDiv returns ⌈a/b⌉ for positive a, b. It is the workhorse of
+// response-time analysis: the number of jobs of a period-b task
+// released in a window of length a.
+func CeilDiv(a, b Time) int64 {
+	if b <= 0 {
+		panic("timeq: CeilDiv by non-positive divisor")
+	}
+	if a <= 0 {
+		return 0
+	}
+	return (int64(a) + int64(b) - 1) / int64(b)
+}
+
+// MulCount multiplies a time by an event count, panicking on overflow.
+// Analysis code multiplies WCETs by job counts; silent wraparound
+// would turn an unschedulable set into an admitted one.
+func MulCount(t Time, n int64) Time {
+	if n == 0 || t == 0 {
+		return 0
+	}
+	r := int64(t) * n
+	if r/n != int64(t) {
+		panic("timeq: time multiplication overflow")
+	}
+	return Time(r)
+}
+
+// AddSat adds two times, saturating at Infinity instead of wrapping.
+func AddSat(a, b Time) Time {
+	if a == Infinity || b == Infinity {
+		return Infinity
+	}
+	s := a + b
+	if b > 0 && s < a {
+		return Infinity
+	}
+	return s
+}

@@ -1,0 +1,133 @@
+package timeq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUnits(t *testing.T) {
+	if Microsecond != 1000 {
+		t.Fatalf("Microsecond = %d, want 1000", int64(Microsecond))
+	}
+	if Millisecond != 1_000_000 {
+		t.Fatalf("Millisecond = %d", int64(Millisecond))
+	}
+	if Second != 1_000_000_000 {
+		t.Fatalf("Second = %d", int64(Second))
+	}
+}
+
+func TestFromDurationRoundTrip(t *testing.T) {
+	cases := []time.Duration{0, time.Nanosecond, 3300 * time.Nanosecond, 40 * time.Millisecond, time.Hour}
+	for _, d := range cases {
+		if got := FromDuration(d).Duration(); got != d {
+			t.Errorf("round trip %v -> %v", d, got)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{3300, "3.3µs"},
+		{5 * Microsecond, "5µs"},
+		{1500, "1.5µs"},
+		{40 * Millisecond, "40ms"},
+		{2 * Second, "2s"},
+		{Infinity, "∞"},
+		{-1500, "-1.5µs"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	cases := []struct {
+		a, b Time
+		want int64
+	}{
+		{0, 5, 0},
+		{-3, 5, 0},
+		{1, 5, 1},
+		{5, 5, 1},
+		{6, 5, 2},
+		{10, 5, 2},
+		{11, 5, 3},
+	}
+	for _, c := range cases {
+		if got := CeilDiv(c.a, c.b); got != c.want {
+			t.Errorf("CeilDiv(%d,%d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCeilDivPanicsOnZeroDivisor(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CeilDiv(1, 0)
+}
+
+func TestCeilDivProperty(t *testing.T) {
+	// ⌈a/b⌉·b ≥ a and (⌈a/b⌉−1)·b < a for positive a.
+	f := func(a, b int32) bool {
+		if a <= 0 || b <= 0 {
+			return true
+		}
+		q := CeilDiv(Time(a), Time(b))
+		return q*int64(b) >= int64(a) && (q-1)*int64(b) < int64(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Min(3, 5) != 3 || Min(5, 3) != 3 {
+		t.Error("Min broken")
+	}
+	if Max(3, 5) != 5 || Max(5, 3) != 5 {
+		t.Error("Max broken")
+	}
+}
+
+func TestMulCount(t *testing.T) {
+	if MulCount(3*Microsecond, 4) != 12*Microsecond {
+		t.Error("MulCount basic")
+	}
+	if MulCount(0, 100) != 0 || MulCount(5, 0) != 0 {
+		t.Error("MulCount zero")
+	}
+}
+
+func TestMulCountOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MulCount(Time(math.MaxInt64/2), 3)
+}
+
+func TestAddSat(t *testing.T) {
+	if AddSat(1, 2) != 3 {
+		t.Error("AddSat basic")
+	}
+	if AddSat(Infinity, 1) != Infinity || AddSat(1, Infinity) != Infinity {
+		t.Error("AddSat infinity")
+	}
+	if AddSat(Time(math.MaxInt64-1), 5) != Infinity {
+		t.Error("AddSat should saturate")
+	}
+}

@@ -1,0 +1,137 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// Gantt renders a bucketed per-core occupancy chart for [from, to):
+// one row per core, one character per time bucket —
+//
+//	.  idle
+//	#  kernel overhead
+//	1  executing τ1 (task IDs ≥ 10 print as letters a, b, …)
+//
+// Mixed buckets show the dominant occupant. This is the dense
+// companion to Timeline: Figure 1 at a glance.
+func (b *Buffer) Gantt(w io.Writer, from, to timeq.Time, width int) error {
+	if width <= 0 {
+		width = 80
+	}
+	if to <= from {
+		return fmt.Errorf("trace: empty gantt window [%v, %v)", from, to)
+	}
+	span := to - from
+	bucket := func(t timeq.Time) int {
+		i := int(int64(t-from) * int64(width) / int64(span))
+		if i < 0 {
+			i = 0
+		}
+		if i >= width {
+			i = width - 1
+		}
+		return i
+	}
+
+	// Reconstruct per-core occupancy intervals from the event stream.
+	type interval struct {
+		start, end timeq.Time
+		sym        byte
+	}
+	perCore := map[int][]interval{}
+	running := map[int]struct {
+		t   task.ID
+		at  timeq.Time
+		set bool
+	}{}
+	endRun := func(core int, at timeq.Time) {
+		r := running[core]
+		if !r.set {
+			return
+		}
+		perCore[core] = append(perCore[core], interval{r.at, at, symbolFor(r.t)})
+		running[core] = struct {
+			t   task.ID
+			at  timeq.Time
+			set bool
+		}{}
+	}
+	var maxT timeq.Time
+	for _, e := range b.Events {
+		if e.T > maxT {
+			maxT = e.T
+		}
+		switch e.Kind {
+		case Overhead:
+			// Kernel segments pause execution implicitly.
+			endRun(e.Core, e.T)
+			perCore[e.Core] = append(perCore[e.Core], interval{e.T, e.T + e.Dur, '#'})
+		case Dispatch:
+			endRun(e.Core, e.T)
+			running[e.Core] = struct {
+				t   task.ID
+				at  timeq.Time
+				set bool
+			}{e.Task, e.T, true}
+		case Preempt, Finish, MigrateOut, Idle:
+			endRun(e.Core, e.T)
+		}
+	}
+	for core := range running {
+		endRun(core, timeq.Min(maxT, to))
+	}
+
+	var cores []int
+	for c := range perCore {
+		cores = append(cores, c)
+	}
+	if len(cores) == 0 {
+		return fmt.Errorf("trace: no events in gantt window")
+	}
+	// Sort the small core list.
+	for i := 0; i < len(cores); i++ {
+		for j := i + 1; j < len(cores); j++ {
+			if cores[j] < cores[i] {
+				cores[i], cores[j] = cores[j], cores[i]
+			}
+		}
+	}
+
+	fmt.Fprintf(w, "gantt %v .. %v (%v per column)\n", from, to, span/timeq.Time(width))
+	for _, c := range cores {
+		row := []byte(strings.Repeat(".", width))
+		for _, iv := range perCore[c] {
+			if iv.end <= from || iv.start >= to {
+				continue
+			}
+			lo := bucket(timeq.Max(iv.start, from))
+			hi := bucket(timeq.Min(iv.end, to) - 1)
+			for i := lo; i <= hi && i < width; i++ {
+				// Overhead marks win over execution in mixed buckets
+				// only if the bucket is still idle; execution wins
+				// otherwise (it dominates duration in practice).
+				if row[i] == '.' || row[i] == '#' {
+					row[i] = iv.sym
+				}
+			}
+		}
+		fmt.Fprintf(w, "core %d |%s|\n", c, row)
+	}
+	return nil
+}
+
+// symbolFor maps a task ID to a single display character.
+func symbolFor(id task.ID) byte {
+	if id < 10 {
+		return byte('0' + id)
+	}
+	c := 'a' + int(id) - 10
+	if c > 'z' {
+		return '+'
+	}
+	return byte(c)
+}

@@ -1,0 +1,214 @@
+// Package trace records and renders simulator event streams. The
+// renderer reproduces the paper's Figure 1: a per-core timeline in
+// which job execution is interleaved with labeled overhead segments
+// (rls, sch, cnt1, cnt2, cache).
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// Kind classifies a trace event.
+type Kind int
+
+// Event kinds.
+const (
+	// Release: a job was released (timer fired on its home core).
+	Release Kind = iota
+	// Dispatch: a job started or resumed execution on a core.
+	Dispatch
+	// Preempt: a running job was preempted and requeued.
+	Preempt
+	// Finish: a job completed all its execution.
+	Finish
+	// MigrateOut: a body part exhausted its budget; the job was
+	// pushed to the next core.
+	MigrateOut
+	// MigrateIn: the job landed in the destination core's ready queue.
+	MigrateIn
+	// Overhead: kernel time charged on a core; Label names the
+	// category (rls, sch, cnt1, cnt2, rq-add, rq-del, sq-add,
+	// sq-del, cache).
+	Overhead
+	// DeadlineMiss: a job completed after its deadline or was
+	// aborted by the next release of its task.
+	DeadlineMiss
+	// Idle: a core went idle.
+	Idle
+)
+
+var kindNames = map[Kind]string{
+	Release: "release", Dispatch: "dispatch", Preempt: "preempt",
+	Finish: "finish", MigrateOut: "migrate-out", MigrateIn: "migrate-in",
+	Overhead: "overhead", DeadlineMiss: "MISS", Idle: "idle",
+}
+
+// String names the kind.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one record in the stream.
+type Event struct {
+	T     timeq.Time
+	Core  int
+	Kind  Kind
+	Task  task.ID
+	Part  int
+	Dur   timeq.Time // for Overhead and execution spans
+	Label string     // overhead category or free-form detail
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%12v] core%d %-11v τ%d", e.T, e.Core, e.Kind, e.Task)
+	if e.Part > 0 {
+		s += fmt.Sprintf("/%d", e.Part)
+	}
+	if e.Label != "" {
+		s += " " + e.Label
+	}
+	if e.Dur > 0 {
+		s += fmt.Sprintf(" (%v)", e.Dur)
+	}
+	return s
+}
+
+// Recorder consumes simulator events.
+type Recorder interface {
+	Record(Event)
+}
+
+// Buffer is a Recorder that retains every event in order.
+type Buffer struct {
+	Events []Event
+}
+
+// Record appends the event.
+func (b *Buffer) Record(e Event) { b.Events = append(b.Events, e) }
+
+// Filter returns the events of the given kinds, in order.
+func (b *Buffer) Filter(kinds ...Kind) []Event {
+	want := map[Kind]bool{}
+	for _, k := range kinds {
+		want[k] = true
+	}
+	var out []Event
+	for _, e := range b.Events {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OverheadByLabel sums Overhead event durations per category.
+func (b *Buffer) OverheadByLabel() map[string]timeq.Time {
+	out := map[string]timeq.Time{}
+	for _, e := range b.Events {
+		if e.Kind == Overhead {
+			out[e.Label] += e.Dur
+		}
+	}
+	return out
+}
+
+// WriteLog writes the full event log to w, one line per event.
+func (b *Buffer) WriteLog(w io.Writer) error {
+	for _, e := range b.Events {
+		if _, err := fmt.Fprintln(w, e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Discard is a Recorder that drops everything (the default).
+type Discard struct{}
+
+// Record drops the event.
+func (Discard) Record(Event) {}
+
+// Timeline renders a Figure-1-style textual timeline: for each core,
+// the chronological sequence of execution and overhead spans between
+// from and to.
+func (b *Buffer) Timeline(w io.Writer, from, to timeq.Time) error {
+	type span struct {
+		t    timeq.Time
+		text string
+	}
+	perCore := map[int][]span{}
+	cores := map[int]bool{}
+	for _, e := range b.Events {
+		if e.T < from || e.T > to {
+			continue
+		}
+		cores[e.Core] = true
+		var text string
+		switch e.Kind {
+		case Overhead:
+			text = fmt.Sprintf("|%s %v|", e.Label, e.Dur)
+		case Dispatch:
+			text = fmt.Sprintf("→τ%d run", e.Task)
+		case Preempt:
+			text = fmt.Sprintf("τ%d preempted", e.Task)
+		case Release:
+			text = fmt.Sprintf("release τ%d", e.Task)
+		case Finish:
+			text = fmt.Sprintf("τ%d done", e.Task)
+		case MigrateOut:
+			text = fmt.Sprintf("τ%d/%d ↷ migrate", e.Task, e.Part)
+		case MigrateIn:
+			text = fmt.Sprintf("τ%d/%d ↴ arrive", e.Task, e.Part)
+		case DeadlineMiss:
+			text = fmt.Sprintf("** τ%d MISS **", e.Task)
+		case Idle:
+			text = "idle"
+		default:
+			continue
+		}
+		perCore[e.Core] = append(perCore[e.Core], span{e.T, text})
+	}
+	var ids []int
+	for c := range cores {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	for _, c := range ids {
+		if _, err := fmt.Fprintf(w, "core %d:\n", c); err != nil {
+			return err
+		}
+		for _, s := range perCore[c] {
+			if _, err := fmt.Fprintf(w, "  %12v  %s\n", s.t, s.text); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Summary formats the per-category overhead totals as the paper's
+// terminology (rls, sch, cnt, queue ops, cache).
+func (b *Buffer) Summary() string {
+	by := b.OverheadByLabel()
+	var labels []string
+	for l := range by {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var sb strings.Builder
+	sb.WriteString("overhead totals:\n")
+	for _, l := range labels {
+		fmt.Fprintf(&sb, "  %-6s %v\n", l, by[l])
+	}
+	return sb.String()
+}

@@ -1,0 +1,149 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/timeq"
+)
+
+func sample() *Buffer {
+	b := &Buffer{}
+	b.Record(Event{T: 0, Core: 0, Kind: Release, Task: 2})
+	b.Record(Event{T: 0, Core: 0, Kind: Overhead, Label: "rls", Dur: 3 * timeq.Microsecond})
+	b.Record(Event{T: 0, Core: 0, Kind: Overhead, Label: "sch", Dur: 5 * timeq.Microsecond})
+	b.Record(Event{T: 17 * timeq.Microsecond, Core: 0, Kind: Dispatch, Task: 2})
+	b.Record(Event{T: 2 * timeq.Millisecond, Core: 0, Kind: Preempt, Task: 2})
+	b.Record(Event{T: 2 * timeq.Millisecond, Core: 0, Kind: Overhead, Label: "rls", Dur: 3 * timeq.Microsecond})
+	b.Record(Event{T: 4 * timeq.Millisecond, Core: 1, Kind: MigrateIn, Task: 3, Part: 1})
+	b.Record(Event{T: 5 * timeq.Millisecond, Core: 0, Kind: Finish, Task: 2})
+	b.Record(Event{T: 6 * timeq.Millisecond, Core: 0, Kind: DeadlineMiss, Task: 2})
+	b.Record(Event{T: 7 * timeq.Millisecond, Core: 0, Kind: Idle})
+	b.Record(Event{T: 8 * timeq.Millisecond, Core: 1, Kind: MigrateOut, Task: 3, Part: 1})
+	return b
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Release; k <= Idle; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind fallback")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	e := Event{T: timeq.Millisecond, Core: 2, Kind: Overhead, Task: 5, Part: 1, Dur: 3 * timeq.Microsecond, Label: "rls"}
+	s := e.String()
+	for _, want := range []string{"core2", "overhead", "τ5", "/1", "rls", "3µs"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("event string %q missing %q", s, want)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	b := sample()
+	if got := b.Filter(Overhead); len(got) != 3 {
+		t.Fatalf("overhead events: %d", len(got))
+	}
+	if got := b.Filter(Release, Finish); len(got) != 2 {
+		t.Fatalf("release+finish: %d", len(got))
+	}
+	if got := b.Filter(); len(got) != 0 {
+		t.Fatalf("empty filter: %d", len(got))
+	}
+}
+
+func TestOverheadByLabel(t *testing.T) {
+	by := sample().OverheadByLabel()
+	if by["rls"] != 6*timeq.Microsecond || by["sch"] != 5*timeq.Microsecond {
+		t.Fatalf("totals %v", by)
+	}
+}
+
+func TestWriteLog(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().WriteLog(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(sb.String(), "\n") != 11 {
+		t.Fatalf("log lines: %d", strings.Count(sb.String(), "\n"))
+	}
+}
+
+func TestTimelineWindowAndCores(t *testing.T) {
+	var sb strings.Builder
+	if err := sample().Timeline(&sb, 0, 5*timeq.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "core 0:") || !strings.Contains(out, "core 1:") {
+		t.Fatalf("cores missing:\n%s", out)
+	}
+	if !strings.Contains(out, "release τ2") || !strings.Contains(out, "|rls 3µs|") {
+		t.Fatalf("events missing:\n%s", out)
+	}
+	if !strings.Contains(out, "↴ arrive") {
+		t.Fatalf("migration arrow missing:\n%s", out)
+	}
+	// Events outside the window are excluded.
+	if strings.Contains(out, "MISS") || strings.Contains(out, "idle") || strings.Contains(out, "↷") {
+		t.Fatalf("out-of-window events leaked:\n%s", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sample().Summary()
+	if !strings.Contains(s, "rls") || !strings.Contains(s, "6µs") {
+		t.Fatalf("summary:\n%s", s)
+	}
+}
+
+func TestDiscard(t *testing.T) {
+	var d Discard
+	d.Record(Event{}) // must not panic
+}
+
+func TestGantt(t *testing.T) {
+	b := &Buffer{}
+	// core 0: overhead at 0 (10µs), τ1 runs 10µs..1ms, preempted,
+	// overhead, τ2 runs 1ms..2ms, idle after.
+	b.Record(Event{T: 0, Core: 0, Kind: Overhead, Label: "rls", Dur: 10 * timeq.Microsecond})
+	b.Record(Event{T: 10 * timeq.Microsecond, Core: 0, Kind: Dispatch, Task: 1})
+	b.Record(Event{T: timeq.Millisecond, Core: 0, Kind: Preempt, Task: 1})
+	b.Record(Event{T: timeq.Millisecond, Core: 0, Kind: Overhead, Label: "sch", Dur: 5 * timeq.Microsecond})
+	b.Record(Event{T: timeq.Millisecond + 5*timeq.Microsecond, Core: 0, Kind: Dispatch, Task: 12})
+	b.Record(Event{T: 2 * timeq.Millisecond, Core: 0, Kind: Finish, Task: 12})
+	var sb strings.Builder
+	if err := b.Gantt(&sb, 0, 3*timeq.Millisecond, 30); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "core 0 |") {
+		t.Fatalf("gantt:\n%s", out)
+	}
+	row := out[strings.Index(out, "|")+1:]
+	if !strings.Contains(row, "1") || !strings.Contains(row, "c") {
+		t.Fatalf("gantt missing execution symbols (τ1 → '1', τ12 → 'c'):\n%s", out)
+	}
+	if !strings.Contains(row, ".") {
+		t.Fatalf("gantt missing idle tail:\n%s", out)
+	}
+	// Errors: empty window, no events.
+	if err := b.Gantt(&sb, 5, 5, 10); err == nil {
+		t.Error("empty window accepted")
+	}
+	empty := &Buffer{}
+	if err := empty.Gantt(&sb, 0, timeq.Millisecond, 10); err == nil {
+		t.Error("empty buffer accepted")
+	}
+}
+
+func TestSymbolFor(t *testing.T) {
+	if symbolFor(3) != '3' || symbolFor(10) != 'a' || symbolFor(35) != 'z' || symbolFor(99) != '+' {
+		t.Error("symbol mapping")
+	}
+}

@@ -7,6 +7,7 @@
 //	BenchmarkSection4AcceptanceRatio — the acceptance-ratio comparison
 //	BenchmarkAblationRemotePenalty   — ablation A (remote queue cost)
 //	BenchmarkAblationCPMD            — ablation B (migration CPMD)
+//	BenchmarkMixedPolicySweep        — FP vs EDF as one paired sweep
 //	BenchmarkSimulatorThroughput     — simulator events/sec (engine)
 //
 // Each benchmark prints the regenerated rows once (on the first
@@ -217,6 +218,34 @@ func BenchmarkExtensionEDF(b *testing.B) {
 		})
 		if r.WeightedScore("EDF-WM") < r.WeightedScore("EDF-FFD") {
 			b.Fatal("EDF-WM should dominate EDF-FFD")
+		}
+	}
+}
+
+// BenchmarkMixedPolicySweep runs the FP-vs-EDF acceptance comparison
+// as a single mixed-policy paired sweep — one config, every algorithm
+// admitted through its policy's analyzer, every accepted assignment
+// simulated under its own policy. Before the Analyzer layer this took
+// two separate runs.
+func BenchmarkMixedPolicySweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := core.Sweep(core.SweepConfig{
+			Cores: 4, Tasks: 12, SetsPerPoint: 30,
+			Utilizations: []float64{3.0, 3.4, 3.8},
+			Algorithms:   []core.Algorithm{core.FPTS, core.EDFWM, core.FFD, core.EDFFFD},
+			Model:        core.PaperOverheads(),
+			Seed:         23,
+			SimHorizon:   timeq.Second,
+		})
+		once("mixed", func() {
+			fmt.Println("\n=== Mixed-policy paired sweep: FP-TS vs EDF-WM vs FFD vs EDF-FFD ===")
+			fmt.Print(r.Table())
+		})
+		if v := r.TotalSimViolations(); v != 0 {
+			b.Fatalf("%d simulation violations in mixed sweep", v)
+		}
+		if r.WeightedScore("FP-TS") < r.WeightedScore("FFD") {
+			b.Fatal("FP-TS should dominate FFD in the mixed sweep")
 		}
 	}
 }

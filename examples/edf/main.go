@@ -36,7 +36,7 @@ func main() {
 	if err != nil {
 		log.Fatal("EDF-FFD rejected a feasible set: ", err)
 	}
-	res, err := core.Simulate(a, core.SimConfig{Policy: core.EDF, Horizon: 350 * core.Millisecond})
+	res, err := core.Simulate(a, core.SimConfig{Horizon: 350 * core.Millisecond})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -62,7 +62,7 @@ func main() {
 	for _, sp := range a2.Splits {
 		fmt.Printf("   windows: %v\n", sp.Windows)
 	}
-	res2, err := core.Simulate(a2, core.SimConfig{Policy: core.EDF, Model: model, Horizon: 2 * core.Second})
+	res2, err := core.Simulate(a2, core.SimConfig{Model: model, Horizon: 2 * core.Second})
 	if err != nil {
 		log.Fatal(err)
 	}

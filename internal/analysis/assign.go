@@ -72,6 +72,25 @@ func BuildCores(a *task.Assignment, m *overhead.Model) *Cores {
 	return out
 }
 
+// BuildCore expands only core c of a split-free assignment. Without
+// chains there is no cross-core coupling, so single-core admission
+// probes (the inner loop of every bin-packing partitioner) need not
+// materialize the other cores. The queue bound N stays the global
+// maximum, shared with the simulator.
+func BuildCore(a *task.Assignment, c int, m *overhead.Model) *CoreSet {
+	entities := make([]*Entity, 0, len(a.Normal[c]))
+	for _, t := range a.Normal[c] {
+		entities = append(entities, &Entity{
+			Task:          t,
+			C:             t.WCET,
+			T:             t.Period,
+			D:             t.EffectiveDeadline(),
+			LocalPriority: t.Priority,
+		})
+	}
+	return NewCoreSet(entities, a.MaxTasksPerCore(), m)
+}
+
 // owner maps each entity to its hosting CoreSet.
 func (cs *Cores) owner() map[*Entity]*CoreSet {
 	out := make(map[*Entity]*CoreSet)
@@ -161,10 +180,13 @@ func (cs *Cores) SchedulableCore(c int, m *overhead.Model) bool {
 	return true
 }
 
-// AssignmentSchedulable is the package's main entry point: does the
-// assignment meet all deadlines under the overhead model?
+// AssignmentSchedulable reports whether the assignment meets all
+// deadlines under fixed-priority dispatching and the overhead model.
+//
+// Deprecated: use FixedPriorityRTA.Schedulable, or the policy-generic
+// Schedulable which dispatches on the assignment's own Policy.
 func AssignmentSchedulable(a *task.Assignment, m *overhead.Model) bool {
-	return BuildCores(a, m).Schedulable(m)
+	return FixedPriorityRTA.Schedulable(a, m)
 }
 
 // ResponseTimes returns the final per-entity response times of a

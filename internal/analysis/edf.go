@@ -184,29 +184,30 @@ func (cs *CoreSet) deadlinePoints(l timeq.Time) ([]timeq.Time, bool) {
 	return out, true
 }
 
-// EDFBuildCores expands an assignment into per-core entity sets under
-// EDF semantics: split parts become window-deadline sporadic tasks.
-// Splits must carry Windows (see partition.EDFWM).
-func EDFBuildCores(a *task.Assignment, m *overhead.Model) []*CoreSet {
-	perCore := make([][]*Entity, a.NumCores)
-	for c := 0; c < a.NumCores; c++ {
-		for _, t := range a.Normal[c] {
-			perCore[c] = append(perCore[c], &Entity{
-				Task: t,
-				C:    t.WCET,
-				T:    t.Period,
-				D:    t.EffectiveDeadline(),
-			})
-		}
+// edfEntities collects core c's entities under EDF semantics: split
+// parts become window-deadline sporadic tasks. Splits must carry
+// Windows (see partition.EDFWM).
+func edfEntities(a *task.Assignment, c int) []*Entity {
+	var out []*Entity
+	for _, t := range a.Normal[c] {
+		out = append(out, &Entity{
+			Task: t,
+			C:    t.WCET,
+			T:    t.Period,
+			D:    t.EffectiveDeadline(),
+		})
 	}
 	for _, sp := range a.Splits {
 		last := len(sp.Parts) - 1
 		for i, p := range sp.Parts {
+			if p.Core != c {
+				continue
+			}
 			d := sp.Task.EffectiveDeadline()
 			if sp.HasWindows() {
 				d = sp.Windows[i]
 			}
-			perCore[p.Core] = append(perCore[p.Core], &Entity{
+			out = append(out, &Entity{
 				Task:           sp.Task,
 				C:              p.Budget,
 				T:              sp.Task.Period,
@@ -218,15 +219,23 @@ func EDFBuildCores(a *task.Assignment, m *overhead.Model) []*CoreSet {
 			})
 		}
 	}
-	maxN := 0
-	for c := 0; c < a.NumCores; c++ {
-		if len(perCore[c]) > maxN {
-			maxN = len(perCore[c])
-		}
-	}
+	return out
+}
+
+// EDFBuildCore expands only core c. Deadline windows decouple the
+// cores under EDF, so single-core admission probes — including ones
+// on split parts — never need the rest of the assignment.
+func EDFBuildCore(a *task.Assignment, c int, m *overhead.Model) *CoreSet {
+	return NewCoreSet(edfEntities(a, c), a.MaxTasksPerCore(), m)
+}
+
+// EDFBuildCores expands an assignment into per-core entity sets under
+// EDF semantics.
+func EDFBuildCores(a *task.Assignment, m *overhead.Model) []*CoreSet {
+	maxN := a.MaxTasksPerCore()
 	var out []*CoreSet
 	for c := 0; c < a.NumCores; c++ {
-		out = append(out, NewCoreSet(perCore[c], maxN, m))
+		out = append(out, NewCoreSet(edfEntities(a, c), maxN, m))
 	}
 	return out
 }
@@ -234,16 +243,9 @@ func EDFBuildCores(a *task.Assignment, m *overhead.Model) []*CoreSet {
 // EDFAssignmentSchedulable is the EDF admission test for a whole
 // assignment. Windows decouple cores, so it is a conjunction of
 // per-core demand tests.
+//
+// Deprecated: use EDFDemand.Schedulable, or the policy-generic
+// Schedulable which dispatches on the assignment's own Policy.
 func EDFAssignmentSchedulable(a *task.Assignment, m *overhead.Model) bool {
-	for _, sp := range a.Splits {
-		if !sp.HasWindows() {
-			return false // EDF requires window-split tasks
-		}
-	}
-	for _, cs := range EDFBuildCores(a, m) {
-		if !cs.EDFCoreSchedulable(m) {
-			return false
-		}
-	}
-	return true
+	return EDFDemand.Schedulable(a, m)
 }

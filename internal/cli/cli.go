@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/overhead"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/task"
 	"repro/internal/timeq"
 	"repro/internal/trace"
@@ -49,8 +50,7 @@ func AlgorithmByName(name string) (core.Algorithm, error) {
 // IsEDF reports whether the algorithm's assignments need EDF
 // dispatching in the simulator.
 func IsEDF(alg core.Algorithm) bool {
-	m, ok := alg.(interface{ EDFPolicy() bool })
-	return ok && m.EDFPolicy()
+	return alg.Policy() == core.EDF
 }
 
 // modelFromFlags resolves -overheads/-model/-scale.
@@ -94,6 +94,7 @@ func Sim(args []string, w io.Writer) error {
 		horizon  = fs.Duration("horizon", 2*time.Second, "simulated duration")
 		jitter   = fs.Duration("jitter", 0, "sporadic arrival jitter")
 		seed     = fs.Int64("seed", 1, "generator seed")
+		rq       = fs.String("rq", "binheap", "ready-queue backend: binheap|rbtree")
 		timeline = fs.Bool("timeline", false, "print the event timeline (first 5ms)")
 		gantt    = fs.Bool("gantt", false, "print a bucketed per-core gantt chart (first 50ms)")
 		logAll   = fs.Bool("log", false, "print the raw event log")
@@ -117,6 +118,15 @@ func Sim(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	var backend sched.QueueBackend
+	switch *rq {
+	case "binheap":
+		backend = sched.BinomialHeap
+	case "rbtree":
+		backend = sched.RedBlackTree
+	default:
+		return fmt.Errorf("unknown ready-queue backend %q (binheap|rbtree)", *rq)
+	}
 
 	set := core.GenerateTaskSet(core.GenConfig{N: *tasks, TotalUtilization: *util, Seed: *seed})
 	fmt.Fprintf(w, "task set: %d tasks, ΣU = %.3f\n", set.Len(), set.TotalUtilization())
@@ -133,10 +143,9 @@ func Sim(args []string, w io.Writer) error {
 		Recorder:      buf,
 		ArrivalJitter: timeq.FromDuration(*jitter),
 		Seed:          *seed,
+		ReadyQueue:    backend,
 	}
-	if IsEDF(alg) {
-		cfg.Policy = core.EDF
-	}
+	// The assignment carries its policy; no need to restate it.
 	res, err := core.Simulate(a, cfg)
 	if err != nil {
 		return err

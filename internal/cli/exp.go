@@ -4,6 +4,8 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -24,6 +26,8 @@ func Exp(args []string, w io.Writer) error {
 		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
 		plot     = fs.Bool("plot", false, "also draw ASCII acceptance curves")
 		edf      = fs.Bool("edf", false, "compare EDF algorithms instead")
+		algsF    = fs.String("algs", "", "comma-separated algorithm list (mixed FP/EDF allowed), e.g. fpts,edfwm,ffd")
+		progress = fs.Bool("progress", false, "stream per-cell progress lines as shards complete")
 		validate = fs.Duration("validate", 0, "also simulate accepted sets for this horizon")
 		umin     = fs.Float64("umin", 0.600, "minimum per-core utilization")
 		umax     = fs.Float64("umax", 0.975, "maximum per-core utilization")
@@ -35,9 +39,28 @@ func Exp(args []string, w io.Writer) error {
 	if *umin <= 0 || *umax < *umin || *ustep <= 0 {
 		return fmt.Errorf("bad utilization grid [%v, %v] step %v", *umin, *umax, *ustep)
 	}
+	// Generate the grid from an integer step count so the points are
+	// exact: a float accumulator (u += step) drifts by ULPs and can
+	// drop the last point.
 	var grid []float64
-	for u := *umin; u <= *umax+1e-9; u += *ustep {
-		grid = append(grid, u*float64(*cores))
+	steps := int(math.Floor((*umax-*umin) / *ustep * (1 + 1e-12)))
+	for i := 0; i <= steps; i++ {
+		grid = append(grid, (*umin+float64(i)**ustep)*float64(*cores))
+	}
+	var algs []core.Algorithm
+	switch {
+	case *algsF != "" && *edf:
+		return fmt.Errorf("-edf and -algs are mutually exclusive; add EDF algorithms to -algs instead")
+	case *algsF != "":
+		for _, name := range strings.Split(*algsF, ",") {
+			alg, err := AlgorithmByName(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			algs = append(algs, alg)
+		}
+	case *edf:
+		algs = []core.Algorithm{core.EDFWM, core.EDFFFD, core.FPTS}
 	}
 	run := func(model *core.OverheadModel, label string) {
 		cfg := core.SweepConfig{
@@ -45,12 +68,17 @@ func Exp(args []string, w io.Writer) error {
 			Tasks:        *tasks,
 			SetsPerPoint: *sets,
 			Utilizations: grid,
+			Algorithms:   algs,
 			Model:        model,
 			Seed:         *seed,
 			SimHorizon:   timeq.FromDuration(*validate),
 		}
-		if *edf {
-			cfg.Algorithms = []core.Algorithm{core.EDFWM, core.EDFFFD, core.FPTS}
+		if *progress {
+			cfg.Progress = func(u core.SweepProgress) {
+				fmt.Fprintf(w, "[%3d/%3d] %-10s U=%.3f %4d/%-4d %.3f [%.3f,%.3f]\n",
+					u.DoneShards, u.TotalShards, u.Algorithm, u.TotalUtilization,
+					u.Accepted, u.Total, u.Ratio, u.WilsonLo, u.WilsonHi)
+			}
 		}
 		start := time.Now()
 		r := core.Sweep(cfg)

@@ -7,11 +7,11 @@ import (
 )
 
 // analysisSchedulable isolates the analysis dependency so core.go
-// reads as the API index.
+// reads as the API index. It dispatches on the assignment's policy.
 func analysisSchedulable(a *task.Assignment, m *overhead.Model) bool {
-	return analysis.AssignmentSchedulable(a, m)
+	return analysis.Schedulable(a, m)
 }
 
 func edfSchedulable(a *task.Assignment, m *overhead.Model) bool {
-	return analysis.EDFAssignmentSchedulable(a, m)
+	return analysis.EDFDemand.Schedulable(a, m)
 }

@@ -18,6 +18,7 @@
 package core
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/experiment"
 	"repro/internal/overhead"
 	"repro/internal/partition"
@@ -56,8 +57,15 @@ type (
 	GenConfig = taskgen.Config
 	// SweepConfig parameterizes an acceptance-ratio experiment.
 	SweepConfig = experiment.Config
+	// SweepProgress is one streaming partial-result update of a sweep.
+	SweepProgress = experiment.CellUpdate
 	// SweepResults is the outcome of an acceptance-ratio experiment.
 	SweepResults = experiment.Results
+	// Policy is a per-core scheduling discipline (FixedPriority, EDF).
+	Policy = task.Policy
+	// Analyzer is the policy-generic admission test every partitioning
+	// algorithm admits through.
+	Analyzer = analysis.Analyzer
 )
 
 // Time units.
@@ -90,11 +98,26 @@ var (
 	EDFWFD Algorithm = partition.EDFWFD
 )
 
-// Scheduling policies for SimConfig.Policy.
+// Scheduling policies. Assignments carry their policy; SimConfig
+// derives dispatching from it unless explicitly overridden.
 const (
-	FixedPriority = sched.FixedPriority
-	EDF           = sched.EDF
+	FixedPriority = task.FixedPriority
+	EDF           = task.EDF
 )
+
+// The admission analyzers behind the two policies; AnalyzerFor maps a
+// policy to its analyzer.
+var (
+	// FixedPriorityAnalyzer is overhead-aware exact response-time
+	// analysis with split-chain jitter resolution.
+	FixedPriorityAnalyzer = analysis.FixedPriorityRTA
+	// EDFAnalyzer is the overhead-aware processor-demand criterion
+	// with EDF-WM deadline windows.
+	EDFAnalyzer = analysis.EDFDemand
+)
+
+// AnalyzerFor returns the admission analyzer for a policy.
+func AnalyzerFor(p Policy) Analyzer { return analysis.ForPolicy(p) }
 
 // ErrUnschedulable is returned by Schedule when the algorithm cannot
 // place the set.
@@ -122,21 +145,21 @@ func Schedule(s *TaskSet, cores int, alg Algorithm, model *OverheadModel) (*Assi
 }
 
 // Schedulable reports whether an existing assignment passes the
-// overhead-aware fixed-priority analysis (including split-chain
-// jitter resolution).
+// overhead-aware admission analysis for its own policy: exact
+// fixed-priority RTA (including split-chain jitter resolution) for
+// fixed-priority assignments, the processor-demand criterion for EDF
+// ones. Hand-built assignments default to fixed priority.
 func Schedulable(a *Assignment, model *OverheadModel) bool {
-	if model == nil {
-		model = overhead.Zero()
-	}
 	return analysisSchedulable(a, model)
 }
 
 // EDFSchedulable reports whether an assignment passes the EDF
 // processor-demand analysis (splits must carry deadline windows).
+//
+// Deprecated: assignments produced by EDF algorithms carry their
+// policy, so Schedulable dispatches correctly; for hand-built EDF
+// assignments use AnalyzerFor(EDF).Schedulable.
 func EDFSchedulable(a *Assignment, model *OverheadModel) bool {
-	if model == nil {
-		model = overhead.Zero()
-	}
 	return edfSchedulable(a, model)
 }
 

@@ -8,6 +8,19 @@
 // comparison is paired) and counts how many each algorithm schedules.
 // Optionally each accepted assignment is also simulated and checked
 // for deadline misses, tying the whole pipeline together.
+//
+// # Pipeline
+//
+// Run is a streaming sharded pipeline: the sweep is cut into
+// (utilization point × set-index range) shards, a fixed worker pool
+// consumes them from a channel, and each completed shard is folded
+// into a streaming aggregator that recomputes the affected cells'
+// acceptance counts and Wilson intervals and reports them through the
+// optional Progress callback. Task sets are seeded per (point, index),
+// so results are bit-identical regardless of worker count, shard size
+// or which other algorithms share the sweep — a mixed fixed-priority +
+// EDF algorithm list is one paired sweep, and each algorithm's curve
+// equals the one a single-algorithm run would produce.
 package experiment
 
 import (
@@ -21,7 +34,6 @@ import (
 	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/stats"
-	"repro/internal/task"
 	"repro/internal/taskgen"
 	"repro/internal/timeq"
 )
@@ -45,14 +57,40 @@ type Config struct {
 	Periods taskgen.PeriodDist
 	// PeriodMin/PeriodMax override the 10ms–1000ms default range.
 	PeriodMin, PeriodMax timeq.Time
-	// Seed makes the sweep deterministic.
+	// Seed makes the sweep deterministic. Every task set is derived
+	// from (Seed, grid point, set index) alone, so results do not
+	// depend on Workers, ShardSize or the algorithm list.
 	Seed int64
 	// Workers bounds parallelism; 0 means GOMAXPROCS.
 	Workers int
+	// ShardSize is the number of task sets per work shard; 0 picks a
+	// size that keeps every worker busy even at small SetsPerPoint.
+	ShardSize int
+	// Progress, when non-nil, receives one CellUpdate per algorithm
+	// each time a shard completes, carrying that cell's running
+	// acceptance count and Wilson interval. Callbacks are serialized
+	// by the aggregator and must return quickly.
+	Progress func(CellUpdate)
 	// SimHorizon, when nonzero, also simulates every accepted
-	// assignment for that long and records deadline-miss violations
-	// (an end-to-end soundness check; expected zero).
+	// assignment for that long (under the assignment's own policy)
+	// and records deadline-miss violations (an end-to-end soundness
+	// check; expected zero).
 	SimHorizon timeq.Time
+}
+
+// CellUpdate is one streaming partial result: the state of a single
+// (algorithm × utilization) cell after another shard folded in, plus
+// overall sweep progress.
+type CellUpdate struct {
+	Algorithm        string
+	TotalUtilization float64
+	// Accepted/Total and the Wilson interval are the cell's running
+	// values; Total reaches Config.SetsPerPoint when the cell is done.
+	Accepted, Total    int
+	Ratio              float64
+	WilsonLo, WilsonHi float64
+	// DoneShards/TotalShards track the whole sweep.
+	DoneShards, TotalShards int
 }
 
 func (c *Config) withDefaults() Config {
@@ -67,10 +105,7 @@ func (c *Config) withDefaults() Config {
 		out.SetsPerPoint = 200
 	}
 	if len(out.Utilizations) == 0 {
-		m := float64(out.Cores)
-		for u := 0.600; u <= 0.9751; u += 0.025 {
-			out.Utilizations = append(out.Utilizations, u*m)
-		}
+		out.Utilizations = DefaultGrid(out.Cores)
 	}
 	if len(out.Algorithms) == 0 {
 		out.Algorithms = []partition.Algorithm{partition.TS, partition.FFD, partition.WFD}
@@ -81,7 +116,50 @@ func (c *Config) withDefaults() Config {
 	if out.Workers <= 0 {
 		out.Workers = runtime.GOMAXPROCS(0)
 	}
+	if out.ShardSize <= 0 {
+		// Aim for several shards per worker over the whole sweep so
+		// the pool stays busy even at small SetsPerPoint, without
+		// degenerating into one-set shards on big sweeps.
+		total := out.SetsPerPoint * len(out.Utilizations)
+		out.ShardSize = total / (4 * out.Workers)
+		if out.ShardSize < 1 {
+			out.ShardSize = 1
+		}
+	}
+	if out.ShardSize > out.SetsPerPoint {
+		out.ShardSize = out.SetsPerPoint
+	}
 	return out
+}
+
+// DefaultGrid returns the paper's utilization grid for m cores:
+// per-core utilization 0.600 … 0.975 in steps of 0.025, scaled by m.
+// The points are generated from integer per-mille steps so the values
+// are exact and identical across platforms — a floating-point
+// accumulator (u += 0.025) drifts by ULPs and can drop the last point.
+func DefaultGrid(cores int) []float64 {
+	m := float64(cores)
+	var out []float64
+	for pm := 600; pm <= 975; pm += 25 {
+		out = append(out, float64(pm)/1000*m)
+	}
+	return out
+}
+
+// setSeed derives the generator seed of one task set from the sweep
+// seed and the set's grid coordinates, via a splitmix64-style mix, so
+// a set's identity is independent of sharding, worker scheduling and
+// the algorithm list.
+func setSeed(base int64, ui, si int) int64 {
+	z := uint64(base) ^ 0x9e3779b97f4a7c15
+	z += uint64(ui+1) * 0xbf58476d1ce4e5b9
+	z += uint64(si+1) * 0x94d049bb133111eb
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return int64(z)
 }
 
 // Point is one (utilization, algorithm) cell.
@@ -112,81 +190,108 @@ type Results struct {
 	Series []Series
 }
 
-// Run executes the sweep.
-func Run(cfg Config) *Results {
-	cfg = cfg.withDefaults()
-	type cell struct {
-		accepted, total int
-		splits          int
-		splitTasks      int
-		violations      int
-	}
+// cell accumulates one (algorithm × utilization) grid cell.
+type cell struct {
+	accepted, total int
+	splits          int
+	violations      int
+}
+
+// merge folds another partial cell in.
+func (c *cell) merge(o cell) {
+	c.accepted += o.accepted
+	c.total += o.total
+	c.splits += o.splits
+	c.violations += o.violations
+}
+
+// shard is one unit of pool work: set indices [lo, hi) of grid
+// point ui.
+type shard struct{ ui, lo, hi int }
+
+// aggregator folds completed shards into the result grid and streams
+// per-cell partial results (with incrementally recomputed Wilson
+// intervals) to the Progress callback.
+type aggregator struct {
+	mu          sync.Mutex
+	cfg         *Config
+	grid        [][]cell // [algorithm][utilization]
+	doneShards  int
+	totalShards int
+}
+
+func newAggregator(cfg *Config, totalShards int) *aggregator {
 	grid := make([][]cell, len(cfg.Algorithms))
 	for i := range grid {
 		grid[i] = make([]cell, len(cfg.Utilizations))
 	}
+	return &aggregator{cfg: cfg, grid: grid, totalShards: totalShards}
+}
 
-	// EDF algorithms produce assignments that must also be simulated
-	// under EDF dispatching.
-	policyOf := func(alg partition.Algorithm) sched.Policy {
-		if m, ok := alg.(interface{ EDFPolicy() bool }); ok && m.EDFPolicy() {
-			return sched.EDF
+// fold merges one shard's per-algorithm partial cells and emits the
+// updated cells. Progress callbacks run under the aggregator lock, so
+// updates arrive serialized and each cell's counts are monotone.
+func (ag *aggregator) fold(sh shard, partial []cell) {
+	ag.mu.Lock()
+	defer ag.mu.Unlock()
+	ag.doneShards++
+	for ai := range partial {
+		ag.grid[ai][sh.ui].merge(partial[ai])
+	}
+	if ag.cfg.Progress == nil {
+		return
+	}
+	for ai, alg := range ag.cfg.Algorithms {
+		c := ag.grid[ai][sh.ui]
+		lo, hi := stats.WilsonInterval(c.accepted, c.total)
+		ag.cfg.Progress(CellUpdate{
+			Algorithm:        alg.Name(),
+			TotalUtilization: ag.cfg.Utilizations[sh.ui],
+			Accepted:         c.accepted,
+			Total:            c.total,
+			Ratio:            stats.Proportion(c.accepted, c.total),
+			WilsonLo:         lo,
+			WilsonHi:         hi,
+			DoneShards:       ag.doneShards,
+			TotalShards:      ag.totalShards,
+		})
+	}
+}
+
+// Run executes the sweep as a streaming sharded pipeline: a fixed
+// worker pool consumes (grid point × set range) shards from a channel;
+// each worker generates its sets on the fly, offers every set to every
+// algorithm (clones keep the comparison paired), optionally simulates
+// accepted assignments under their own policy, and folds the shard
+// into the aggregator.
+func Run(cfg Config) *Results {
+	cfg = cfg.withDefaults()
+
+	var shards []shard
+	for ui := range cfg.Utilizations {
+		for lo := 0; lo < cfg.SetsPerPoint; lo += cfg.ShardSize {
+			hi := lo + cfg.ShardSize
+			if hi > cfg.SetsPerPoint {
+				hi = cfg.SetsPerPoint
+			}
+			shards = append(shards, shard{ui: ui, lo: lo, hi: hi})
 		}
-		return sched.FixedPriority
 	}
+	ag := newAggregator(&cfg, len(shards))
 
-	type unit struct {
-		ui  int
-		set *task.Set
-	}
-	work := make(chan unit)
-	var mu sync.Mutex
+	work := make(chan shard)
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for u := range work {
-				for ai, alg := range cfg.Algorithms {
-					a, err := alg.Partition(u.set.Clone(), cfg.Cores, cfg.Model)
-					ok := err == nil
-					violated := 0
-					nSplits := 0
-					if ok {
-						nSplits = a.NumSplit()
-						if cfg.SimHorizon > 0 {
-							r, serr := sched.Run(a, sched.Config{Model: cfg.Model, Horizon: cfg.SimHorizon, Policy: policyOf(alg)})
-							if serr != nil || !r.Schedulable() {
-								violated = 1
-							}
-						}
-					}
-					mu.Lock()
-					c := &grid[ai][u.ui]
-					c.total++
-					if ok {
-						c.accepted++
-						c.splits += nSplits
-						c.violations += violated
-					}
-					mu.Unlock()
-				}
+			for sh := range work {
+				ag.fold(sh, runShard(&cfg, sh))
 			}
 		}()
 	}
-
-	for ui, u := range cfg.Utilizations {
-		gen := taskgen.New(taskgen.Config{
-			N:                cfg.Tasks,
-			TotalUtilization: u,
-			Periods:          cfg.Periods,
-			PeriodMin:        cfg.PeriodMin,
-			PeriodMax:        cfg.PeriodMax,
-			Seed:             cfg.Seed + int64(ui)*1_000_003,
-		})
-		for _, s := range gen.Batch(cfg.SetsPerPoint) {
-			work <- unit{ui: ui, set: s}
-		}
+	for _, sh := range shards {
+		work <- sh
 	}
 	close(work)
 	wg.Wait()
@@ -195,7 +300,7 @@ func Run(cfg Config) *Results {
 	for ai, alg := range cfg.Algorithms {
 		series := Series{Algorithm: alg.Name()}
 		for ui, u := range cfg.Utilizations {
-			c := grid[ai][ui]
+			c := ag.grid[ai][ui]
 			lo, hi := stats.WilsonInterval(c.accepted, c.total)
 			p := Point{
 				TotalUtilization: u,
@@ -215,6 +320,43 @@ func Run(cfg Config) *Results {
 		res.Series = append(res.Series, series)
 	}
 	return res
+}
+
+// runShard generates the shard's task sets and offers each to every
+// algorithm, returning one partial cell per algorithm.
+func runShard(cfg *Config, sh shard) []cell {
+	partial := make([]cell, len(cfg.Algorithms))
+	u := cfg.Utilizations[sh.ui]
+	for si := sh.lo; si < sh.hi; si++ {
+		set := taskgen.New(taskgen.Config{
+			N:                cfg.Tasks,
+			TotalUtilization: u,
+			Periods:          cfg.Periods,
+			PeriodMin:        cfg.PeriodMin,
+			PeriodMax:        cfg.PeriodMax,
+			Seed:             setSeed(cfg.Seed, sh.ui, si),
+		}).Next()
+		for ai, alg := range cfg.Algorithms {
+			c := &partial[ai]
+			c.total++
+			a, err := alg.Partition(set.Clone(), cfg.Cores, cfg.Model)
+			if err != nil {
+				continue
+			}
+			c.accepted++
+			c.splits += a.NumSplit()
+			if cfg.SimHorizon > 0 {
+				// The assignment carries its policy, so a mixed
+				// fixed-priority + EDF sweep needs no per-algorithm
+				// dispatch plumbing here.
+				r, serr := sched.Run(a, sched.Config{Model: cfg.Model, Horizon: cfg.SimHorizon})
+				if serr != nil || !r.Schedulable() {
+					c.violations++
+				}
+			}
+		}
+	}
+	return partial
 }
 
 // TotalSimViolations sums simulation violations across the sweep.

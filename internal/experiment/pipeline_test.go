@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/timeq"
+)
+
+// seriesEqual compares two series point by point on the paired
+// quantities (counts, not floats derived from them).
+func seriesEqual(t *testing.T, a, b Series) {
+	t.Helper()
+	if a.Algorithm != b.Algorithm {
+		t.Fatalf("series %q vs %q", a.Algorithm, b.Algorithm)
+	}
+	if len(a.Points) != len(b.Points) {
+		t.Fatalf("%s: %d vs %d points", a.Algorithm, len(a.Points), len(b.Points))
+	}
+	for i := range a.Points {
+		p, q := a.Points[i], b.Points[i]
+		if p.TotalUtilization != q.TotalUtilization || p.Accepted != q.Accepted ||
+			p.Total != q.Total || p.Splits != q.Splits || p.SimViolations != q.SimViolations {
+			t.Fatalf("%s point %d: %+v vs %+v", a.Algorithm, i, p, q)
+		}
+	}
+}
+
+// A mixed fixed-priority + EDF algorithm list is one paired sweep:
+// each algorithm's curve is bit-identical to the curve a back-to-back
+// single-algorithm run with the same seed produces. (Acceptance
+// criterion of the Analyzer refactor.)
+func TestMixedPolicyPairedSweepMatchesSingleRuns(t *testing.T) {
+	base := Config{
+		Cores:        4,
+		Tasks:        8,
+		SetsPerPoint: 15,
+		Utilizations: []float64{2.8, 3.4, 3.8},
+		Model:        overhead.PaperModel(),
+		Seed:         11,
+		SimHorizon:   timeq.Second,
+	}
+	mixed := base
+	mixed.Algorithms = []partition.Algorithm{partition.TS, partition.WM}
+	rm := Run(mixed)
+
+	for i, alg := range mixed.Algorithms {
+		single := base
+		single.Algorithms = []partition.Algorithm{alg}
+		rs := Run(single)
+		seriesEqual(t, rm.Series[i], rs.Series[0])
+	}
+	if rm.TotalSimViolations() != 0 {
+		t.Fatalf("%d simulation violations in mixed sweep", rm.TotalSimViolations())
+	}
+}
+
+// Sharding and worker count must not change results: per-set seeding
+// makes the sweep bit-deterministic under any decomposition.
+func TestShardingInvariance(t *testing.T) {
+	base := Config{
+		Cores:        4,
+		Tasks:        8,
+		SetsPerPoint: 17, // deliberately not a multiple of any shard size
+		Utilizations: []float64{3.0, 3.6},
+		Seed:         5,
+	}
+	ref := Run(base)
+	for _, variant := range []Config{
+		{Workers: 1, ShardSize: 1},
+		{Workers: 7, ShardSize: 3},
+		{Workers: 2, ShardSize: 17},
+	} {
+		cfg := base
+		cfg.Workers = variant.Workers
+		cfg.ShardSize = variant.ShardSize
+		r := Run(cfg)
+		for i := range ref.Series {
+			seriesEqual(t, ref.Series[i], r.Series[i])
+		}
+	}
+}
+
+// The default utilization grid is generated from integer steps, so
+// every point is exact and the last point (0.975·m) is present.
+func TestDefaultGridExact(t *testing.T) {
+	grid := DefaultGrid(4)
+	if len(grid) != 16 {
+		t.Fatalf("grid has %d points, want 16: %v", len(grid), grid)
+	}
+	for i, u := range grid {
+		want := float64(600+25*i) / 1000 * 4
+		if u != want {
+			t.Fatalf("point %d: %v, want exactly %v", i, u, want)
+		}
+	}
+	if grid[len(grid)-1] != 0.975*4 {
+		t.Fatalf("last point %v, want 3.9", grid[len(grid)-1])
+	}
+	// And the config default uses it.
+	cfg := (&Config{Cores: 4}).withDefaults()
+	if len(cfg.Utilizations) != 16 || cfg.Utilizations[15] != 3.9 {
+		t.Fatalf("withDefaults grid: %v", cfg.Utilizations)
+	}
+}
+
+// The streaming aggregator reports every shard exactly once, keeps
+// per-cell counts monotone, and its final snapshot matches the
+// returned results.
+func TestProgressStreaming(t *testing.T) {
+	var mu sync.Mutex
+	type key struct {
+		alg string
+		u   float64
+	}
+	last := map[key]CellUpdate{}
+	maxDone, total := 0, 0
+	cfg := Config{
+		Cores:        4,
+		Tasks:        8,
+		SetsPerPoint: 12,
+		Utilizations: []float64{3.0, 3.8},
+		Seed:         3,
+		ShardSize:    4,
+		Progress: func(u CellUpdate) {
+			mu.Lock()
+			defer mu.Unlock()
+			k := key{u.Algorithm, u.TotalUtilization}
+			if prev, ok := last[k]; ok {
+				if u.Total < prev.Total || u.Accepted < prev.Accepted {
+					t.Errorf("cell %v went backwards: %+v after %+v", k, u, prev)
+				}
+			}
+			if u.Ratio < u.WilsonLo-1e-9 || u.Ratio > u.WilsonHi+1e-9 {
+				t.Errorf("ratio outside streamed Wilson interval: %+v", u)
+			}
+			last[k] = u
+			if u.DoneShards > maxDone {
+				maxDone = u.DoneShards
+			}
+			total = u.TotalShards
+		},
+	}
+	r := Run(cfg)
+	if total != 6 { // 2 points × ceil(12/4) shards
+		t.Fatalf("TotalShards %d, want 6", total)
+	}
+	if maxDone != total {
+		t.Fatalf("DoneShards reached %d of %d", maxDone, total)
+	}
+	for _, s := range r.Series {
+		for _, p := range s.Points {
+			fin := last[key{s.Algorithm, p.TotalUtilization}]
+			if fin.Accepted != p.Accepted || fin.Total != p.Total {
+				t.Fatalf("final stream state %+v disagrees with result %+v", fin, p)
+			}
+		}
+	}
+}

@@ -18,7 +18,7 @@ import (
 // split across k cores, each part confined to a deadline window of
 // D/k and sized to the largest budget its core admits. Windows
 // decouple the cores, so admission is a per-core processor-demand
-// test (analysis.EDFCoreSchedulable).
+// test, reached through the shared analysis.EDFDemand analyzer.
 
 // EDFHeuristic is a partitioned (no-splitting) EDF bin-packer.
 type EDFHeuristic struct {
@@ -34,8 +34,12 @@ var (
 	EDFWFD = &EDFHeuristic{Fit: WorstFit, name: "EDF-WFD"}
 )
 
-// EDFPolicy marks assignments from this algorithm as requiring EDF
-// dispatching at run time (see the experiment driver and simulator).
+// Policy declares EDF dispatching.
+func (h *EDFHeuristic) Policy() task.Policy { return task.EDF }
+
+// EDFPolicy reports EDF dispatching.
+//
+// Deprecated: use Policy.
 func (h *EDFHeuristic) EDFPolicy() bool { return true }
 
 // Name returns the algorithm name.
@@ -46,17 +50,12 @@ func (h *EDFHeuristic) Name() string {
 	return fmt.Sprintf("EDF/%v", h.Fit)
 }
 
-// edfCoreFits tests core c of the assignment under the EDF demand
-// criterion.
-func edfCoreFits(a *task.Assignment, c int, model *overhead.Model) bool {
-	return analysis.EDFBuildCores(a, model)[c].EDFCoreSchedulable(model)
-}
-
 // Partition assigns every task whole to some core under EDF, or
 // fails with ErrUnschedulable.
 func (h *EDFHeuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
 	model = normalizeModel(model)
-	if err := validateInputEDF(s, m); err != nil {
+	an := analyzerFor(h)
+	if err := validateInput(s, m, h.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
@@ -65,7 +64,7 @@ func (h *EDFHeuristic) Partition(s *task.Set, m int, model *overhead.Model) (*ta
 		var bestU float64
 		for c := 0; c < m; c++ {
 			a.Place(t, c)
-			fits := edfCoreFits(a, c, model)
+			fits := coreFits(an, a, c, model)
 			a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
 			if !fits {
 				continue
@@ -92,7 +91,7 @@ func (h *EDFHeuristic) Partition(s *task.Set, m int, model *overhead.Model) (*ta
 		}
 		a.Place(t, best)
 	}
-	return finalizeEDF(a, model)
+	return finalize(an, a, model)
 }
 
 // EDFWM is semi-partitioned EDF with window-constrained task
@@ -105,8 +104,12 @@ var WM = &EDFWM{}
 // Name returns "EDF-WM".
 func (*EDFWM) Name() string { return "EDF-WM" }
 
-// EDFPolicy marks assignments from this algorithm as requiring EDF
-// dispatching at run time.
+// Policy declares EDF dispatching.
+func (*EDFWM) Policy() task.Policy { return task.EDF }
+
+// EDFPolicy reports EDF dispatching.
+//
+// Deprecated: use Policy.
 func (*EDFWM) EDFPolicy() bool { return true }
 
 // Partition places tasks first-fit in decreasing utilization order
@@ -114,43 +117,33 @@ func (*EDFWM) EDFPolicy() bool { return true }
 // nowhere whole, growing k until the split succeeds or cores run out.
 func (w *EDFWM) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
 	model = normalizeModel(model)
-	if err := validateInputEDF(s, m); err != nil {
+	an := analyzerFor(w)
+	if err := validateInput(s, m, w.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
 	for _, t := range s.SortedByUtilizationDesc() {
-		if edfPlaceWholeFirstFit(a, t, m, model) {
+		if placeWholeFirstFit(an, a, t, m, model) {
 			continue
 		}
-		if !w.split(a, t, m, model) {
+		if !w.split(an, a, t, m, model) {
 			return nil, ErrUnschedulable
 		}
 	}
-	return finalizeEDF(a, model)
-}
-
-func edfPlaceWholeFirstFit(a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
-	for c := 0; c < m; c++ {
-		a.Place(t, c)
-		if edfCoreFits(a, c, model) {
-			return true
-		}
-		a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
-	}
-	return false
+	return finalize(an, a, model)
 }
 
 // split tries k = 2..m equal windows of D/k: for each window it finds
 // the core admitting the largest budget; if the k budgets cover the
 // WCET the split is installed (last window trimmed to the remainder).
-func (w *EDFWM) split(a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
+func (w *EDFWM) split(an analysis.Analyzer, a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
 	d := t.EffectiveDeadline()
 	for k := 2; k <= m; k++ {
 		window := d / timeq.Time(k)
 		if window < minPartBudget {
 			return false
 		}
-		parts, windows, ok := w.trySplit(a, t, k, window, m, model)
+		parts, windows, ok := w.trySplit(an, a, t, k, window, m, model)
 		if ok {
 			a.Splits = append(a.Splits, &task.Split{Task: t, Parts: parts, Windows: windows})
 			return true
@@ -162,7 +155,7 @@ func (w *EDFWM) split(a *task.Assignment, t *task.Task, m int, model *overhead.M
 // trySplit greedily assigns each of the k windows to the core that
 // admits the largest budget for a (budget, window, T) sporadic task,
 // one part per core.
-func (w *EDFWM) trySplit(a *task.Assignment, t *task.Task, k int, window timeq.Time, m int, model *overhead.Model) ([]task.Part, []timeq.Time, bool) {
+func (w *EDFWM) trySplit(an analysis.Analyzer, a *task.Assignment, t *task.Task, k int, window timeq.Time, m int, model *overhead.Model) ([]task.Part, []timeq.Time, bool) {
 	remaining := t.WCET
 	var parts []task.Part
 	var windows []timeq.Time
@@ -174,7 +167,7 @@ func (w *EDFWM) trySplit(a *task.Assignment, t *task.Task, k int, window timeq.T
 			if used[c] {
 				continue
 			}
-			b := w.maxWindowBudget(a, parts, windows, t, c, window, remaining, used, m, model)
+			b := w.maxWindowBudget(an, a, parts, windows, t, c, window, remaining, used, m, model)
 			if b > bestBudget {
 				bestCore, bestBudget = c, b
 			}
@@ -202,7 +195,7 @@ func (w *EDFWM) trySplit(a *task.Assignment, t *task.Task, k int, window timeq.T
 // is monotone in the budget. A non-final part (b < remaining) is
 // probed with a remainder placeholder on another unused core so the
 // migration flags — and hence the departure overhead — are correct.
-func (w *EDFWM) maxWindowBudget(a *task.Assignment, priorParts []task.Part, priorWindows []timeq.Time, t *task.Task, c int, window, remaining timeq.Time, used []bool, m int, model *overhead.Model) timeq.Time {
+func (w *EDFWM) maxWindowBudget(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, priorWindows []timeq.Time, t *task.Task, c int, window, remaining timeq.Time, used []bool, m int, model *overhead.Model) timeq.Time {
 	placeholder := -1
 	for o := 0; o < m; o++ {
 		if o != c && !used[o] {
@@ -227,7 +220,7 @@ func (w *EDFWM) maxWindowBudget(a *task.Assignment, priorParts []task.Part, prio
 		}
 		sp := &task.Split{Task: t, Parts: parts, Windows: windows}
 		a.Splits = append(a.Splits, sp)
-		ok := edfCoreFits(a, c, model)
+		ok := coreFits(an, a, c, model)
 		a.Splits = a.Splits[:len(a.Splits)-1]
 		return ok
 	}
@@ -254,27 +247,4 @@ func (w *EDFWM) maxWindowBudget(a *task.Assignment, priorParts []task.Part, prio
 		}
 	}
 	return timeq.Time(loUS) * timeq.Microsecond
-}
-
-// validateInputEDF mirrors validateInput but does not require RM
-// priorities (EDF ignores them).
-func validateInputEDF(s *task.Set, m int) error {
-	if m <= 0 {
-		return fmt.Errorf("partition: %d cores", m)
-	}
-	if s.Len() == 0 {
-		return fmt.Errorf("partition: empty task set")
-	}
-	return s.Validate()
-}
-
-// finalizeEDF validates the complete assignment under EDF.
-func finalizeEDF(a *task.Assignment, model *overhead.Model) (*task.Assignment, error) {
-	if err := a.Validate(); err != nil {
-		return nil, fmt.Errorf("partition: produced invalid assignment: %w", err)
-	}
-	if !analysis.EDFAssignmentSchedulable(a, model) {
-		return nil, ErrUnschedulable
-	}
-	return a, nil
 }

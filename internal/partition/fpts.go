@@ -1,6 +1,7 @@
 package partition
 
 import (
+	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/task"
 	"repro/internal/timeq"
@@ -51,31 +52,35 @@ func (f *FPTS) Name() string {
 	return "FP-TS"
 }
 
+// Policy declares fixed-priority dispatching.
+func (f *FPTS) Policy() task.Policy { return task.FixedPriority }
+
 // Partition assigns the set, splitting tasks when whole placement
 // fails, or returns ErrUnschedulable.
 func (f *FPTS) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
 	model = normalizeModel(model)
-	if err := validateInput(s, m); err != nil {
+	an := analyzerFor(f)
+	if err := validateInput(s, m, f.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
 	for _, t := range s.SortedByUtilizationDesc() {
-		if placeWholeFirstFit(a, t, m, model) {
+		if placeWholeFirstFit(an, a, t, m, model) {
 			continue
 		}
-		if !f.split(a, t, m, model) {
+		if !f.split(an, a, t, m, model) {
 			return nil, ErrUnschedulable
 		}
 	}
-	return finalize(a, model)
+	return finalize(an, a, model)
 }
 
 // placeWholeFirstFit puts t whole on the lowest-indexed core that
 // admits it, reporting success.
-func placeWholeFirstFit(a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
+func placeWholeFirstFit(an analysis.Analyzer, a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
 	for c := 0; c < m; c++ {
 		a.Place(t, c)
-		if coreFits(a, c, model) {
+		if coreFits(an, a, c, model) {
 			return true
 		}
 		a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
@@ -86,7 +91,7 @@ func placeWholeFirstFit(a *task.Assignment, t *task.Task, m int, model *overhead
 // split carves t across several cores: repeatedly find the core with
 // the largest admissible budget for the next part and place it there,
 // until the remainder fits. Each core hosts at most one part of t.
-func (f *FPTS) split(a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
+func (f *FPTS) split(an analysis.Analyzer, a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
 	remaining := t.WCET
 	var parts []task.Part
 	used := make([]bool, m)
@@ -97,7 +102,7 @@ func (f *FPTS) split(a *task.Assignment, t *task.Task, m int, model *overhead.Mo
 			if used[c] {
 				continue
 			}
-			b := maxBudgetOnCore(a, parts, t, remaining, c, used, m, f.NoBoost, model)
+			b := maxBudgetOnCore(an, a, parts, t, remaining, c, used, m, f.NoBoost, model)
 			if b > bestBudget {
 				bestCore, bestBudget = c, b
 			}
@@ -127,7 +132,7 @@ func (f *FPTS) split(a *task.Assignment, t *task.Task, m int, model *overhead.Mo
 // core c admits a tentative part (priorParts…, (c,b)), searching the
 // same 1µs grid as the SPA fill. A non-final part needs a remainder
 // placeholder on some other unused core for correct migration flags.
-func maxBudgetOnCore(a *task.Assignment, priorParts []task.Part, t *task.Task, remaining timeq.Time, c int, used []bool, m int, noBoost bool, model *overhead.Model) timeq.Time {
+func maxBudgetOnCore(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining timeq.Time, c int, used []bool, m int, noBoost bool, model *overhead.Model) timeq.Time {
 	// Pick a placeholder core for the remainder of a non-final part.
 	placeholder := -1
 	for o := 0; o < m; o++ {
@@ -137,7 +142,7 @@ func maxBudgetOnCore(a *task.Assignment, priorParts []task.Part, t *task.Task, r
 		}
 	}
 	fits := func(b timeq.Time) bool {
-		return tentativePartFits(a, priorParts, t, remaining, b, c, placeholder, noBoost, model)
+		return tentativePartFits(an, a, priorParts, t, remaining, b, c, placeholder, noBoost, model)
 	}
 	if fits(remaining) {
 		return remaining
@@ -163,7 +168,7 @@ func maxBudgetOnCore(a *task.Assignment, priorParts []task.Part, t *task.Task, r
 
 // tentativePartFits tests core c with the tentative split
 // (priorParts…, (c,b)[, remainder on placeholder]) added.
-func tentativePartFits(a *task.Assignment, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, placeholder int, noBoost bool, model *overhead.Model) bool {
+func tentativePartFits(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, placeholder int, noBoost bool, model *overhead.Model) bool {
 	if b <= 0 {
 		return true
 	}
@@ -185,7 +190,7 @@ func tentativePartFits(a *task.Assignment, priorParts []task.Part, t *task.Task,
 	}
 	sp := &task.Split{Task: t, Parts: parts, NoBoost: noBoost}
 	a.Splits = append(a.Splits, sp)
-	ok := coreFits(a, c, model)
+	ok := coreFits(an, a, c, model)
 	a.Splits = a.Splits[:len(a.Splits)-1]
 	return ok
 }

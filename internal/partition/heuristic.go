@@ -73,11 +73,15 @@ func (h *Heuristic) Name() string {
 	return fmt.Sprintf("%v/%v", h.Fit, h.Order)
 }
 
-// Partition assigns every task whole to some core, admitting via
-// overhead-aware RTA, or fails with ErrUnschedulable.
+// Policy declares fixed-priority dispatching.
+func (h *Heuristic) Policy() task.Policy { return task.FixedPriority }
+
+// Partition assigns every task whole to some core, admitting via the
+// shared analyzer, or fails with ErrUnschedulable.
 func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
 	model = normalizeModel(model)
-	if err := validateInput(s, m); err != nil {
+	an := analyzerFor(h)
+	if err := validateInput(s, m, h.Policy()); err != nil {
 		return nil, err
 	}
 	var order []*task.Task
@@ -93,7 +97,7 @@ func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.
 		var bestU float64
 		for c := 0; c < m; c++ {
 			a.Place(t, c)
-			fits := coreFits(a, c, model)
+			fits := coreFits(an, a, c, model)
 			// Undo the tentative placement.
 			a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
 			if !fits {
@@ -121,5 +125,5 @@ func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.
 		}
 		a.Place(t, best)
 	}
-	return finalize(a, model)
+	return finalize(an, a, model)
 }

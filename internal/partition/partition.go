@@ -7,10 +7,13 @@
 //   - SPA1 and SPA2: the semi-partitioned task-splitting algorithms of
 //     Guan et al. (RTAS 2010) — the "FP-TS" the paper implements —
 //     which fill each core up to a threshold and split the overflowing
-//     task across core boundaries.
+//     task across core boundaries;
+//   - EDF-FFD, EDF-WFD and EDF-WM: the partitioned and
+//     window-splitting EDF extensions.
 //
-// Every algorithm takes an overhead model; admission is the exact
-// overhead-aware response-time analysis of package analysis, so an
+// Every algorithm declares its scheduling policy and admits every
+// placement through the analysis.Analyzer for that policy — the
+// shared overhead-aware admission test of package analysis — so an
 // assignment is returned only if it is schedulable *including*
 // overheads. Passing overhead.Zero() yields the "theoretical"
 // comparison.
@@ -30,11 +33,23 @@ import (
 var ErrUnschedulable = errors.New("partition: task set not schedulable by this algorithm")
 
 // Algorithm produces an assignment of a task set onto m cores, or
-// ErrUnschedulable. Implementations must return assignments that pass
-// analysis.AssignmentSchedulable under the same model.
+// ErrUnschedulable. Every implementation declares the scheduling
+// policy its assignments require; admission goes through the
+// analysis.Analyzer for that policy, and returned assignments are
+// stamped with it and pass the analyzer's full test under the same
+// model.
 type Algorithm interface {
 	Name() string
+	// Policy is the dispatching discipline the algorithm's
+	// assignments are built (and admitted) for.
+	Policy() task.Policy
 	Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error)
+}
+
+// analyzerFor returns the shared admission analyzer bound to the
+// algorithm's declared policy.
+func analyzerFor(alg Algorithm) analysis.Analyzer {
+	return analysis.ForPolicy(alg.Policy())
 }
 
 // normalizeModel maps nil to the zero model.
@@ -45,8 +60,9 @@ func normalizeModel(m *overhead.Model) *overhead.Model {
 	return m
 }
 
-// validateInput performs the shared sanity checks.
-func validateInput(s *task.Set, m int) error {
+// validateInput performs the shared sanity checks. Fixed-priority
+// algorithms additionally require priorities to be assigned.
+func validateInput(s *task.Set, m int, p task.Policy) error {
 	if m <= 0 {
 		return fmt.Errorf("partition: %d cores", m)
 	}
@@ -56,28 +72,31 @@ func validateInput(s *task.Set, m int) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
-	for _, t := range s.Tasks {
-		if t.Priority == 0 {
-			return fmt.Errorf("partition: task %v has no priority; call Set.AssignRM first", t)
+	if p == task.FixedPriority {
+		for _, t := range s.Tasks {
+			if t.Priority == 0 {
+				return fmt.Errorf("partition: task %v has no priority; call Set.AssignRM first", t)
+			}
 		}
 	}
 	return nil
 }
 
 // coreFits reports whether core c of the (possibly provisional)
-// assignment remains schedulable, with split-chain jitters resolved
-// across the whole assignment.
-func coreFits(a *task.Assignment, c int, model *overhead.Model) bool {
-	cores := analysis.BuildCores(a, model)
-	return cores.SchedulableCore(c, model)
+// assignment remains schedulable under the analyzer — the incremental
+// admission every placement probe goes through.
+func coreFits(an analysis.Analyzer, a *task.Assignment, c int, model *overhead.Model) bool {
+	return an.CoreSchedulable(a, c, model)
 }
 
-// finalize validates the complete assignment, chains included.
-func finalize(a *task.Assignment, model *overhead.Model) (*task.Assignment, error) {
+// finalize stamps the assignment with the analyzer's policy and
+// validates it in full, chains included.
+func finalize(an analysis.Analyzer, a *task.Assignment, model *overhead.Model) (*task.Assignment, error) {
+	a.Policy = an.Policy()
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("partition: produced invalid assignment: %w", err)
 	}
-	if !analysis.AssignmentSchedulable(a, model) {
+	if !an.Schedulable(a, model) {
 		return nil, ErrUnschedulable
 	}
 	return a, nil

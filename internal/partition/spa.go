@@ -47,6 +47,9 @@ var (
 	SPA2 = &SPA{Variant: 2}
 )
 
+// Policy declares fixed-priority dispatching.
+func (alg *SPA) Policy() task.Policy { return task.FixedPriority }
+
 // Name returns "SPA1", "SPA2", or the bound-fill variants
 // "SPA1-bound"/"SPA2-bound". The paper refers to SPA2 as FP-TS.
 func (alg *SPA) Name() string {
@@ -64,7 +67,8 @@ func (alg *SPA) Name() string {
 // passes full overhead-aware chain analysis or an error is returned.
 func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
 	model = normalizeModel(model)
-	if err := validateInput(s, m); err != nil {
+	an := analyzerFor(alg)
+	if err := validateInput(s, m, alg.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
@@ -89,7 +93,7 @@ func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assi
 		// the last core (they are filled last by the sequence).
 		for i, t := range heavy {
 			a.Place(t, m-1-i)
-			if !coreFits(a, m-1-i, model) {
+			if !coreFits(an, a, m-1-i, model) {
 				return nil, ErrUnschedulable
 			}
 		}
@@ -116,7 +120,7 @@ func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assi
 				return nil, ErrUnschedulable
 			}
 			c := cur
-			b := alg.maxBudget(a, parts, t, remaining, c, m, model)
+			b := alg.maxBudget(an, a, parts, t, remaining, c, m, model)
 			switch {
 			case b >= remaining:
 				// The remainder fits entirely: place and stay on
@@ -138,7 +142,7 @@ func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assi
 			}
 		}
 	}
-	return finalize(a, model)
+	return finalize(an, a, model)
 }
 
 // heavyTasks returns the tasks whose utilization exceeds the Liu &
@@ -166,12 +170,12 @@ func heavyTasks(s *task.Set) []*task.Task {
 // stays schedulable with a tentative split part (priorParts…, (c,b))
 // added. Feasibility is monotone in b (a larger part only adds
 // interference), so the RTA fill uses binary search.
-func (alg *SPA) maxBudget(a *task.Assignment, priorParts []task.Part, t *task.Task, remaining timeq.Time, c, m int, model *overhead.Model) timeq.Time {
+func (alg *SPA) maxBudget(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining timeq.Time, c, m int, model *overhead.Model) timeq.Time {
 	if alg.FillByBound {
 		return alg.boundBudget(a, t, remaining, c)
 	}
 	fits := func(b timeq.Time) bool {
-		return alg.partFits(a, priorParts, t, remaining, b, c, m, model)
+		return alg.partFits(an, a, priorParts, t, remaining, b, c, m, model)
 	}
 	if fits(remaining) {
 		return remaining
@@ -217,7 +221,7 @@ func (alg *SPA) boundBudget(a *task.Assignment, t *task.Task, remaining timeq.Ti
 // next core so migration flags (and hence overhead charges) are
 // correct; the remainder's own schedulability is decided later, when
 // the fill reaches that core.
-func (alg *SPA) partFits(a *task.Assignment, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, m int, model *overhead.Model) bool {
+func (alg *SPA) partFits(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, m int, model *overhead.Model) bool {
 	if b <= 0 {
 		return true
 	}
@@ -225,7 +229,7 @@ func (alg *SPA) partFits(a *task.Assignment, priorParts []task.Part, t *task.Tas
 	if final && len(priorParts) == 0 {
 		// Whole-task placement.
 		a.Place(t, c)
-		ok := coreFits(a, c, model)
+		ok := coreFits(an, a, c, model)
 		a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
 		return ok
 	}
@@ -243,7 +247,7 @@ func (alg *SPA) partFits(a *task.Assignment, priorParts []task.Part, t *task.Tas
 	}
 	sp := &task.Split{Task: t, Parts: parts}
 	a.Splits = append(a.Splits, sp)
-	ok := coreFits(a, c, model)
+	ok := coreFits(an, a, c, model)
 	a.Splits = a.Splits[:len(a.Splits)-1]
 	return ok
 }

@@ -1,0 +1,90 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+	"repro/internal/trace"
+)
+
+// The binomial-heap and red-black-tree ready-queue backends implement
+// the same (key, FIFO) ordering, so a simulation run must be
+// event-for-event identical across them. Randomized task sets, both
+// policies, splits included.
+func TestReadyQueueBackendsEquivalent(t *testing.T) {
+	model := overhead.PaperModel()
+	algs := []partition.Algorithm{partition.TS, partition.WM}
+	runs := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		set := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.5, Seed: seed}).Next()
+		for _, alg := range algs {
+			a, err := alg.Partition(set.Clone(), 4, model)
+			if err != nil {
+				continue // unschedulable draw; try the next
+			}
+			var traces [2]*trace.Buffer
+			for i, backend := range []QueueBackend{BinomialHeap, RedBlackTree} {
+				buf := &trace.Buffer{}
+				res, err := Run(a, Config{
+					Model:      model,
+					Horizon:    500 * timeq.Millisecond,
+					Recorder:   buf,
+					ReadyQueue: backend,
+				})
+				if err != nil {
+					t.Fatalf("seed %d %s %v: %v", seed, alg.Name(), backend, err)
+				}
+				if !res.Schedulable() {
+					t.Fatalf("seed %d %s %v: admitted set missed deadlines", seed, alg.Name(), backend)
+				}
+				traces[i] = buf
+			}
+			if len(traces[0].Events) == 0 {
+				t.Fatalf("seed %d %s: empty trace", seed, alg.Name())
+			}
+			if len(traces[0].Events) != len(traces[1].Events) {
+				t.Fatalf("seed %d %s: %d events on %v vs %d on %v", seed, alg.Name(),
+					len(traces[0].Events), BinomialHeap, len(traces[1].Events), RedBlackTree)
+			}
+			for i := range traces[0].Events {
+				if traces[0].Events[i] != traces[1].Events[i] {
+					t.Fatalf("seed %d %s: event %d diverges:\n  %v: %v\n  %v: %v",
+						seed, alg.Name(), i,
+						BinomialHeap, traces[0].Events[i], RedBlackTree, traces[1].Events[i])
+				}
+			}
+			runs++
+		}
+	}
+	if runs < 8 {
+		t.Fatalf("only %d schedulable draws; test grid too hard", runs)
+	}
+}
+
+// The backend must not change aggregate outcomes either (a cheaper
+// invariant that would catch ordering-neutral accounting bugs).
+func TestReadyQueueBackendStats(t *testing.T) {
+	set := taskgen.New(taskgen.Config{N: 12, TotalUtilization: 3.0, Seed: 99}).Next()
+	a, err := partition.FFD.Partition(set, 4, nil)
+	if err != nil {
+		t.Skip("draw not schedulable")
+	}
+	var stats [2]Stats
+	for i, backend := range []QueueBackend{BinomialHeap, RedBlackTree} {
+		res, err := Run(a, Config{Horizon: timeq.Second, ReadyQueue: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats[i] = res.Stats
+	}
+	if stats[0].Releases != stats[1].Releases ||
+		stats[0].Finishes != stats[1].Finishes ||
+		stats[0].Preemptions != stats[1].Preemptions ||
+		stats[0].Migrations != stats[1].Migrations ||
+		stats[0].ExecTime != stats[1].ExecTime {
+		t.Fatalf("aggregate stats diverge:\n  %+v\n  %+v", stats[0], stats[1])
+	}
+}

@@ -37,8 +37,7 @@ type job struct {
 	state jobState
 	core  int // hosting core while ready/running
 
-	// Handles into the hosting queues.
-	readyItem *binheap.Item[*job]
+	// Handle into the hosting sleep queue.
 	sleepNode *rbtree.Node[*job]
 
 	// Per-instance fields.
@@ -79,7 +78,7 @@ func (j *job) partCore(i int) int {
 type core struct {
 	id    int
 	n     int // entities hosted here: the N of δ(N)/θ(N)
-	ready binheap.Heap[*job]
+	ready readyQueue
 	sleep rbtree.Tree[*job]
 
 	running *job
@@ -137,7 +136,7 @@ type engine struct {
 // above any legitimate experiment.
 const maxEvents = 100_000_000
 
-func newEngine(a *task.Assignment, model *overhead.Model, rec trace.Recorder, horizon timeq.Time, offsets map[task.ID]timeq.Time) *engine {
+func newEngine(a *task.Assignment, model *overhead.Model, rec trace.Recorder, horizon timeq.Time, offsets map[task.ID]timeq.Time, backend QueueBackend) *engine {
 	e := &engine{
 		a: a, model: model, rec: rec, horizon: horizon,
 		maxResponse:  make(map[task.ID]timeq.Time),
@@ -151,7 +150,7 @@ func newEngine(a *task.Assignment, model *overhead.Model, rec trace.Recorder, ho
 	// tasks in the queue" (Section 3) — and shared with the analysis.
 	n := a.MaxTasksPerCore()
 	for c := 0; c < a.NumCores; c++ {
-		e.cores = append(e.cores, &core{id: c, n: n})
+		e.cores = append(e.cores, &core{id: c, n: n, ready: newReadyQueue(backend)})
 	}
 	mkJob := func(t *task.Task, sp *task.Split, home int, prio int64) {
 		j := &job{t: t, split: sp, home: home, staticPrio: prio, prio: prio, state: jsSleeping, core: home}
@@ -234,11 +233,13 @@ func (e *engine) run() error {
 	return nil
 }
 
-// deferred reschedules the event to the end of the core's kernel
-// segment, reporting whether it did so.
-func (e *engine) deferred(c *core, ev *event) bool {
+// deferred reschedules an event of the given kind (targeting the
+// core itself) to the end of the core's kernel segment, reporting
+// whether it did so. The event is only allocated on the defer path,
+// which keeps the common case allocation-free.
+func (e *engine) deferred(c *core, kind evKind) bool {
 	if c.kernelUntil > e.now {
-		e.schedule(c.kernelUntil, ev)
+		e.schedule(c.kernelUntil, &event{kind: kind, core: c.id})
 		return true
 	}
 	return false
@@ -302,7 +303,7 @@ func (e *engine) dispatch(c *core, j *job) {
 // them, and runs the scheduler — the paper's release() + sch() path.
 func (e *engine) handleWake(cid int) {
 	c := e.cores[cid]
-	if e.deferred(c, &event{kind: evWake, core: cid}) {
+	if e.deferred(c, evWake) {
 		return
 	}
 	var dur timeq.Time
@@ -335,7 +336,7 @@ func (e *engine) handleWake(cid int) {
 		dur += e.charge(cid, "rls", e.model.Release)
 		dur += e.charge(cid, "sq-del", e.model.QueueOpCost(overhead.SleepDelete, c.n, false))
 		dur += e.charge(cid, "rq-add", e.model.QueueOpCost(overhead.ReadyAdd, c.n, false))
-		j.readyItem = c.ready.Insert(j.prio, j)
+		c.ready.Insert(j.prio, j)
 		e.stats.Releases++
 		released++
 		e.rec.Record(trace.Event{T: e.now, Core: cid, Kind: trace.Release, Task: j.t.ID})
@@ -353,9 +354,9 @@ func (e *engine) handleWake(cid int) {
 func (e *engine) schedulerPass(c *core) (timeq.Time, *job) {
 	var dur timeq.Time
 	dur += e.charge(c.id, "sch", e.model.Sched)
-	cand := c.ready.Min()
+	candKey, _, haveCand := c.ready.Min()
 	cur := c.running
-	switchTo := cand != nil && (cur == nil || cand.Key < cur.prio)
+	switchTo := haveCand && (cur == nil || candKey < cur.prio)
 	if cur != nil {
 		e.pauseRunning(c)
 	}
@@ -367,15 +368,14 @@ func (e *engine) schedulerPass(c *core) (timeq.Time, *job) {
 		// when it resumes.
 		dur += e.charge(c.id, "rq-add", e.model.QueueOpCost(overhead.ReadyAdd, c.n, false))
 		cur.state = jsReady
-		cur.readyItem = c.ready.Insert(cur.prio, cur)
+		c.ready.Insert(cur.prio, cur)
 		cur.extra += e.model.Cache.Delay(cur.t.WSS, false)
 		e.stats.Preemptions++
 		e.rec.Record(trace.Event{T: e.now, Core: c.id, Kind: trace.Preempt, Task: cur.t.ID, Part: cur.partIdx})
 	}
 	dur += e.charge(c.id, "rq-del", e.model.QueueOpCost(overhead.ReadyDelete, c.n, false))
 	dur += e.charge(c.id, "cnt1", e.model.CtxSwitch)
-	chosen := c.ready.ExtractMin().Value
-	chosen.readyItem = nil
+	chosen := c.ready.ExtractMin()
 	chosen.state = jsRunning // staged: the switch to it is in progress
 	chosen.core = c.id
 	return dur, chosen
@@ -499,8 +499,7 @@ func (e *engine) pickNext(c *core) (timeq.Time, *job) {
 		return 0, nil
 	}
 	dur := e.charge(c.id, "rq-del", e.model.QueueOpCost(overhead.ReadyDelete, c.n, false))
-	chosen := c.ready.ExtractMin().Value
-	chosen.readyItem = nil
+	chosen := c.ready.ExtractMin()
 	chosen.state = jsRunning
 	chosen.core = c.id
 	return dur, chosen
@@ -515,7 +514,7 @@ func (e *engine) handleMigArrive(cid int, j *job, gen int) {
 	c := e.cores[cid]
 	j.state = jsReady
 	j.core = cid
-	j.readyItem = c.ready.Insert(j.prio, j)
+	c.ready.Insert(j.prio, j)
 	e.rec.Record(trace.Event{T: e.now, Core: cid, Kind: trace.MigrateIn, Task: j.t.ID, Part: j.partIdx})
 	e.reschedule(cid)
 }
@@ -525,14 +524,14 @@ func (e *engine) handleMigArrive(cid int, j *job, gen int) {
 // higher-priority job is waiting.
 func (e *engine) reschedule(cid int) {
 	c := e.cores[cid]
-	if e.deferred(c, &event{kind: evResched, core: cid}) {
+	if e.deferred(c, evResched) {
 		return
 	}
-	cand := c.ready.Min()
-	if cand == nil {
+	candKey, _, haveCand := c.ready.Min()
+	if !haveCand {
 		return
 	}
-	if c.running != nil && cand.Key >= c.running.prio {
+	if c.running != nil && candKey >= c.running.prio {
 		return // no preemption; the waiting job costs nothing now
 	}
 	dur, resume := e.schedulerPass(c)

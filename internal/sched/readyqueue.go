@@ -1,0 +1,73 @@
+package sched
+
+import (
+	"repro/internal/binheap"
+	"repro/internal/rbtree"
+)
+
+// readyQueue abstracts the per-core ready queue so the engine can run
+// on either of the paper's two kernel data structures. Both backends
+// order by (key, FIFO insertion), so every scheduling decision — and
+// hence the whole event trace — is identical across them; only the
+// measured operation costs differ (Table 1).
+type readyQueue interface {
+	Len() int
+	Insert(key int64, j *job)
+	// Min returns the smallest (key, job) without removing it; ok is
+	// false when the queue is empty.
+	Min() (key int64, j *job, ok bool)
+	// ExtractMin removes and returns the smallest job, or nil.
+	ExtractMin() *job
+}
+
+// newReadyQueue builds the backend selected by the config.
+func newReadyQueue(b QueueBackend) readyQueue {
+	if b == RedBlackTree {
+		return &rbtreeReady{}
+	}
+	return &binheapReady{}
+}
+
+// binheapReady is the paper's binomial-heap ready queue.
+type binheapReady struct{ h binheap.Heap[*job] }
+
+func (q *binheapReady) Len() int                 { return q.h.Len() }
+func (q *binheapReady) Insert(key int64, j *job) { q.h.Insert(key, j) }
+
+func (q *binheapReady) Min() (int64, *job, bool) {
+	it := q.h.Min()
+	if it == nil {
+		return 0, nil, false
+	}
+	return it.Key, it.Value, true
+}
+
+func (q *binheapReady) ExtractMin() *job {
+	it := q.h.ExtractMin()
+	if it == nil {
+		return nil
+	}
+	return it.Value
+}
+
+// rbtreeReady backs the ready queue with a red-black tree.
+type rbtreeReady struct{ t rbtree.Tree[*job] }
+
+func (q *rbtreeReady) Len() int                 { return q.t.Len() }
+func (q *rbtreeReady) Insert(key int64, j *job) { q.t.Insert(key, j) }
+
+func (q *rbtreeReady) Min() (int64, *job, bool) {
+	n := q.t.Min()
+	if n == nil {
+		return 0, nil, false
+	}
+	return n.Key, n.Value, true
+}
+
+func (q *rbtreeReady) ExtractMin() *job {
+	n := q.t.DeleteMin()
+	if n == nil {
+		return nil
+	}
+	return n.Value
+}

@@ -25,28 +25,44 @@ import (
 	"repro/internal/trace"
 )
 
-// Policy selects the per-core scheduling discipline.
-type Policy int
+// Policy selects the per-core scheduling discipline. It is an alias
+// of task.Policy: assignments carry their policy, and Run derives the
+// dispatching discipline from it.
+type Policy = task.Policy
 
 const (
 	// FixedPriority is rate-monotonic fixed-priority scheduling with
 	// boosted split parts — the paper's FP-TS runtime.
-	FixedPriority Policy = iota
+	FixedPriority = task.FixedPriority
 	// EDF schedules by earliest absolute deadline; split tasks must
 	// carry EDF-WM deadline windows (task.Split.Windows), and a
 	// migrated part becomes eligible at its window start.
-	EDF
+	EDF = task.EDF
 )
 
-// String names the policy.
-func (p Policy) String() string {
-	switch p {
-	case FixedPriority:
-		return "fixed-priority"
-	case EDF:
-		return "EDF"
+// QueueBackend selects the data structure backing each core's ready
+// queue. Both backends implement the same (key, FIFO) ordering, so a
+// run is event-for-event identical across them; the choice exists for
+// measurement and cross-validation (see Table 1).
+type QueueBackend int
+
+const (
+	// BinomialHeap is the paper's ready-queue structure (default).
+	BinomialHeap QueueBackend = iota
+	// RedBlackTree backs the ready queue with the sleep queue's
+	// red-black tree instead.
+	RedBlackTree
+)
+
+// String names the backend.
+func (b QueueBackend) String() string {
+	switch b {
+	case BinomialHeap:
+		return "binomial-heap"
+	case RedBlackTree:
+		return "red-black-tree"
 	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
+		return fmt.Sprintf("QueueBackend(%d)", int(b))
 	}
 }
 
@@ -54,8 +70,18 @@ func (p Policy) String() string {
 type Config struct {
 	// Model is the overhead model to inject; nil means overhead.Zero().
 	Model *overhead.Model
-	// Policy selects fixed-priority (default) or EDF dispatching.
+	// Policy overrides the dispatching discipline. The zero value
+	// defers to the assignment's own policy (stamped by the
+	// partitioning algorithm), which is almost always what you want;
+	// setting EDF forces EDF dispatching of a hand-built assignment.
+	// Note the deliberate asymmetry: fixed-priority dispatching
+	// cannot be forced onto an EDF-stamped assignment (EDF split
+	// windows are meaningless under fixed priority, and FixedPriority
+	// is indistinguishable from "unset").
 	Policy Policy
+	// ReadyQueue selects the ready-queue backend (default binomial
+	// heap, the paper's structure).
+	ReadyQueue QueueBackend
 	// Horizon is the simulated duration; 0 means 10× the longest
 	// period in the assignment.
 	Horizon timeq.Time
@@ -204,7 +230,14 @@ func Run(a *task.Assignment, cfg Config) (*Result, error) {
 	if horizon <= 0 {
 		return nil, errors.New("sched: non-positive horizon")
 	}
-	if cfg.Policy == EDF {
+	// The effective policy is the assignment's own unless the config
+	// explicitly forces EDF; the caller no longer has to restate what
+	// the partitioning algorithm already decided.
+	policy := cfg.Policy
+	if policy == FixedPriority {
+		policy = a.Policy
+	}
+	if policy == EDF {
 		for _, sp := range a.Splits {
 			if !sp.HasWindows() {
 				return nil, fmt.Errorf("sched: EDF policy requires deadline windows on split %v", sp.Task)
@@ -214,8 +247,8 @@ func Run(a *task.Assignment, cfg Config) (*Result, error) {
 	if cfg.ArrivalJitter < 0 {
 		return nil, errors.New("sched: negative arrival jitter")
 	}
-	e := newEngine(a, model, rec, horizon, cfg.Offsets)
-	e.policy = cfg.Policy
+	e := newEngine(a, model, rec, horizon, cfg.Offsets, cfg.ReadyQueue)
+	e.policy = policy
 	if cfg.ArrivalJitter > 0 {
 		e.jitter = cfg.ArrivalJitter
 		e.rng = rand.New(rand.NewSource(cfg.Seed))

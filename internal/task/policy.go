@@ -1,0 +1,34 @@
+package task
+
+import "fmt"
+
+// Policy is the per-core scheduling discipline an assignment is built
+// for. It is attached to every Assignment by the partitioning
+// algorithms so that admission analysis and the simulator agree on how
+// the assignment is to be dispatched without the caller restating it.
+//
+// The zero value is FixedPriority, so hand-built assignments (tests,
+// examples) keep their historical fixed-priority semantics.
+type Policy int
+
+const (
+	// FixedPriority is rate-monotonic fixed-priority scheduling with
+	// boosted split parts — the paper's FP-TS runtime.
+	FixedPriority Policy = iota
+	// EDF schedules by earliest absolute deadline; split tasks must
+	// carry EDF-WM deadline windows (Split.Windows), and a migrated
+	// part becomes eligible at its window start.
+	EDF
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case FixedPriority:
+		return "fixed-priority"
+	case EDF:
+		return "EDF"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}

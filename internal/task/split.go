@@ -136,6 +136,10 @@ type Assignment struct {
 	Normal [][]*Task
 	// Splits lists the split tasks with their per-core budgets.
 	Splits []*Split
+	// Policy is the scheduling discipline the assignment was admitted
+	// under. Partitioning algorithms stamp it; analysis and simulator
+	// dispatch on it. The zero value is FixedPriority.
+	Policy Policy
 }
 
 // NewAssignment returns an empty assignment over m cores.

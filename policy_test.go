@@ -1,0 +1,108 @@
+package repro
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/core"
+	"repro/internal/partition"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+)
+
+// allAlgorithms is the full roster the paper's evaluation touches:
+// the six fixed-priority partitioners/splitters and the three EDF
+// ones. Every one must admit through the shared Analyzer interface.
+func allAlgorithms() []partition.Algorithm {
+	return []partition.Algorithm{
+		partition.TS, partition.FFD, partition.WFD, partition.BFD,
+		partition.SPA1, partition.SPA2,
+		partition.WM, partition.EDFFFD, partition.EDFWFD,
+	}
+}
+
+// Every algorithm declares a policy, stamps its assignments with it,
+// and those assignments re-pass the policy's analyzer — the admission
+// contract of the unified layer.
+func TestAllAlgorithmsAdmitThroughAnalyzer(t *testing.T) {
+	model := core.PaperOverheads()
+	for _, alg := range allAlgorithms() {
+		admitted := 0
+		for seed := int64(1); seed <= 10; seed++ {
+			set := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 2.9, Seed: seed}).Next()
+			a, err := alg.Partition(set, 4, model)
+			if errors.Is(err, partition.ErrUnschedulable) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", alg.Name(), seed, err)
+			}
+			admitted++
+			if a.Policy != alg.Policy() {
+				t.Fatalf("%s: assignment policy %v, algorithm declares %v", alg.Name(), a.Policy, alg.Policy())
+			}
+			an := analysis.ForPolicy(alg.Policy())
+			if an.Policy() != alg.Policy() {
+				t.Fatalf("%s: analyzer policy mismatch", alg.Name())
+			}
+			if !an.Schedulable(a, model) {
+				t.Fatalf("%s seed %d: admitted assignment fails its own analyzer", alg.Name(), seed)
+			}
+			if !analysis.Schedulable(a, model) {
+				t.Fatalf("%s seed %d: policy-dispatched Schedulable disagrees", alg.Name(), seed)
+			}
+		}
+		if admitted == 0 {
+			t.Fatalf("%s admitted nothing at U=2.9 on 4 cores; grid too hard", alg.Name())
+		}
+	}
+}
+
+// Cross-policy soundness: every assignment any algorithm admits via
+// the Analyzer runs miss-free in the kernel simulator under the
+// paper's overhead model — the end-to-end guarantee the analysis
+// exists to provide.
+func TestAnalyzerAdmissionImpliesZeroMisses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation sweep")
+	}
+	model := core.PaperOverheads()
+	for _, alg := range allAlgorithms() {
+		for seed := int64(20); seed < 26; seed++ {
+			set := taskgen.New(taskgen.Config{N: 8, TotalUtilization: 3.1, Seed: seed}).Next()
+			a, err := alg.Partition(set, 4, model)
+			if err != nil {
+				continue
+			}
+			res, err := core.Simulate(a, core.SimConfig{Model: model, Horizon: 2 * timeq.Second})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", alg.Name(), seed, err)
+			}
+			if !res.Schedulable() {
+				t.Fatalf("%s seed %d: analyzer-admitted assignment missed %d deadlines; first: %v",
+					alg.Name(), seed, len(res.Misses), res.Misses[0])
+			}
+		}
+	}
+}
+
+// The deprecated wrappers stay behaviorally identical to the unified
+// entry points.
+func TestDeprecatedWrappersAgree(t *testing.T) {
+	model := core.PaperOverheads()
+	set := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 3.0, Seed: 4}).Next()
+	if a, err := partition.TS.Partition(set.Clone(), 4, model); err == nil {
+		if !core.Schedulable(a, model) {
+			t.Fatal("FP assignment must pass unified Schedulable")
+		}
+	}
+	if a, err := partition.WM.Partition(set.Clone(), 4, model); err == nil {
+		if !core.Schedulable(a, model) {
+			t.Fatal("EDF assignment must pass unified Schedulable (policy dispatch)")
+		}
+		if !core.EDFSchedulable(a, model) {
+			t.Fatal("EDF assignment must pass deprecated EDFSchedulable")
+		}
+	}
+}

@@ -292,6 +292,45 @@ func BenchmarkOverheadCharacterization(b *testing.B) {
 	}
 }
 
+// BenchmarkPartitionProbes measures raw admission speed: placement
+// probes per wall second across all nine partitioning algorithms on a
+// mixed batch of task sets under the paper overhead model. This is
+// the regression guard for the incremental admission-context layer
+// (warm-started fixed points, per-core caches); the probe counts come
+// from the contexts' flushed statistics, so the metric tracks the
+// true probe rate rather than partitions per second.
+func BenchmarkPartitionProbes(b *testing.B) {
+	algs := []core.Algorithm{
+		core.FPTS, core.FFD, core.WFD, core.BFD,
+		core.SPA1, core.SPA2,
+		core.EDFWM, core.EDFFFD, core.EDFWFD,
+	}
+	var sets []*core.TaskSet
+	for _, u := range []float64{3.0, 3.4, 3.7} {
+		sets = append(sets, core.GenerateTaskSets(core.GenConfig{N: 12, TotalUtilization: u, Seed: int64(1000 * u)}, 4)...)
+	}
+	model := core.PaperOverheads()
+	before := core.AdmissionStatsSnapshot()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, set := range sets {
+			for _, alg := range algs {
+				_, _ = alg.Partition(set.Clone(), 4, model) //nolint:errcheck // rejections are expected at high U
+			}
+		}
+	}
+	b.StopTimer()
+	delta := core.AdmissionStatsSnapshot().Sub(before)
+	once("probes", func() {
+		fmt.Printf("\n=== Partition probe statistics (paper model) ===\n  %v\n", delta)
+	})
+	if delta.Probes == 0 {
+		b.Fatal("no admission probes recorded")
+	}
+	b.ReportMetric(float64(delta.Probes)/b.Elapsed().Seconds(), "probes/s")
+	b.ReportMetric(delta.MeanFPIterations(), "fp-iters/solve")
+}
+
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated
 // kernel events per wall second on a loaded 4-core assignment.
 func BenchmarkSimulatorThroughput(b *testing.B) {

@@ -20,12 +20,22 @@ type Analyzer interface {
 	// Schedulable runs the full admission test on a complete
 	// assignment under the overhead model (nil means zero overheads).
 	Schedulable(a *task.Assignment, m *overhead.Model) bool
-	// CoreSchedulable is the incremental admission used inside
-	// partitioning loops: it tests only core c of a possibly
-	// provisional assignment, with any cross-core coupling (split
-	// chains' release jitters) resolved across the whole assignment
-	// but failures elsewhere not vetoing the probe.
+	// CoreSchedulable is the stateless incremental admission test: it
+	// probes only core c of a possibly provisional assignment, with
+	// any cross-core coupling (split chains' release jitters) resolved
+	// across the whole assignment but failures elsewhere not vetoing
+	// the probe. Packing loops that issue many probes against one
+	// evolving assignment should use NewContext instead, which gives
+	// the same decisions at a fraction of the cost.
 	CoreSchedulable(a *task.Assignment, c int, m *overhead.Model) bool
+	// NewContext opens a stateful admission context over the
+	// assignment: the incremental counterpart of CoreSchedulable that
+	// caches per-core entity sets, warm-starts fixed points from
+	// previously converged values, and memoizes per-core verdicts,
+	// invalidating only the cores a mutation touches. Decisions are
+	// bit-identical to the stateless path. The context owns all
+	// mutations of a for its lifetime.
+	NewContext(a *task.Assignment, m *overhead.Model) Context
 }
 
 // The two concrete analyzers the paper's evaluation needs.
@@ -50,16 +60,7 @@ func ForPolicy(p task.Policy) Analyzer {
 // own policy — the single entry point replacing the historical
 // AssignmentSchedulable / EDFAssignmentSchedulable pair.
 func Schedulable(a *task.Assignment, m *overhead.Model) bool {
-	return ForPolicy(a.Policy).Schedulable(a, normalizeModel(m))
-}
-
-// normalizeModel maps nil to the zero-overhead model so every analyzer
-// method accepts nil.
-func normalizeModel(m *overhead.Model) *overhead.Model {
-	if m == nil {
-		return overhead.Zero()
-	}
-	return m
+	return ForPolicy(a.Policy).Schedulable(a, overhead.Normalize(m))
 }
 
 type fpAnalyzer struct{}
@@ -67,12 +68,12 @@ type fpAnalyzer struct{}
 func (fpAnalyzer) Policy() task.Policy { return task.FixedPriority }
 
 func (fpAnalyzer) Schedulable(a *task.Assignment, m *overhead.Model) bool {
-	m = normalizeModel(m)
+	m = overhead.Normalize(m)
 	return BuildCores(a, m).Schedulable(m)
 }
 
 func (fpAnalyzer) CoreSchedulable(a *task.Assignment, c int, m *overhead.Model) bool {
-	m = normalizeModel(m)
+	m = overhead.Normalize(m)
 	if len(a.Splits) == 0 {
 		// No chains, no cross-core coupling: probe core c alone.
 		return BuildCore(a, c, m).CoreSchedulable(m)
@@ -80,12 +81,17 @@ func (fpAnalyzer) CoreSchedulable(a *task.Assignment, c int, m *overhead.Model) 
 	return BuildCores(a, m).SchedulableCore(c, m)
 }
 
+func (an fpAnalyzer) NewContext(a *task.Assignment, m *overhead.Model) Context {
+	m = overhead.Normalize(m)
+	return wrapChecked(newFPContext(an, a, m), m)
+}
+
 type edfAnalyzer struct{}
 
 func (edfAnalyzer) Policy() task.Policy { return task.EDF }
 
 func (edfAnalyzer) Schedulable(a *task.Assignment, m *overhead.Model) bool {
-	m = normalizeModel(m)
+	m = overhead.Normalize(m)
 	for _, sp := range a.Splits {
 		if !sp.HasWindows() {
 			return false // EDF requires window-split tasks
@@ -100,7 +106,12 @@ func (edfAnalyzer) Schedulable(a *task.Assignment, m *overhead.Model) bool {
 }
 
 func (edfAnalyzer) CoreSchedulable(a *task.Assignment, c int, m *overhead.Model) bool {
-	m = normalizeModel(m)
+	m = overhead.Normalize(m)
 	// Windows decouple the cores: build only the probed one.
 	return EDFBuildCore(a, c, m).EDFCoreSchedulable(m)
+}
+
+func (an edfAnalyzer) NewContext(a *task.Assignment, m *overhead.Model) Context {
+	m = overhead.Normalize(m)
+	return wrapChecked(newEDFContext(an, a, m), m)
 }

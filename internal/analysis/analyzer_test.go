@@ -35,7 +35,7 @@ func twoTaskAssignment() *task.Assignment {
 func TestAnalyzerMatchesLegacyEntryPoints(t *testing.T) {
 	a := twoTaskAssignment()
 	for _, m := range []*overhead.Model{nil, overhead.Zero(), overhead.PaperModel()} {
-		norm := normalizeModel(m)
+		norm := overhead.Normalize(m)
 		if FixedPriorityRTA.Schedulable(a, m) != AssignmentSchedulable(a, norm) {
 			t.Fatal("FP analyzer disagrees with AssignmentSchedulable")
 		}

@@ -1,0 +1,310 @@
+// Incremental admission contexts.
+//
+// The Section 4 evaluation is dominated by admission probes: every
+// placement a packing loop tries is one CoreSchedulable call, and the
+// stateless path rebuilds all per-core entity sets and re-runs every
+// fixed point from a cold start per probe, even though consecutive
+// probes differ by exactly one task placement. A Context makes the
+// probe sequence stateful: it is created once per (assignment,
+// overhead model), tracks which cores each mutation dirties (a split
+// chain dirties every core in the chain), keeps the per-core entity
+// sets built incrementally, warm-starts response-time and busy-period
+// fixed points from the previously converged values, memoizes EDF
+// demand-bound test points, and caches per-core verdicts keyed by
+// (content revision, queue bound, jitter generation).
+//
+// # Decision identity
+//
+// A Context must answer every probe exactly as the stateless
+// Analyzer.CoreSchedulable / Analyzer.Schedulable would on the same
+// assignment state. Two mechanisms guarantee it:
+//
+//   - Warm starts only ever begin a fixed-point iteration at a value
+//     that is provably at or below the least fixed point being
+//     sought: converged values of the committed system, which probes
+//     only ever extend (entities are added, never removed, and every
+//     overhead term is nondecreasing in the additions). A monotone
+//     iteration started at or below its least fixed point converges
+//     to exactly that fixed point.
+//   - The monotonicity argument needs queue-operation costs that do
+//     not shrink as the queue bound N grows. Models are checked once
+//     at context creation; a pathological (inverted) model simply
+//     disables warm starts and memos, falling back to cold
+//     iterations everywhere.
+//
+// The test suite enforces identity with randomized differential runs
+// (see context_diff_test.go) and with SelfCheck, which shadows every
+// context decision with the stateless computation.
+package analysis
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+)
+
+// Context is a stateful admission session over one evolving
+// assignment under one overhead model. It owns all mutations of the
+// assignment for its lifetime: partitioning loops place tasks and
+// install splits through it, never on the assignment directly, so the
+// context's caches stay coherent with the assignment.
+//
+// Probes follow a two-phase protocol: TryPlace/TrySplit mutate the
+// assignment provisionally and return the admission verdict for the
+// probed core; exactly one probe may be pending at a time and must be
+// resolved with Commit (keep the mutation) or Rollback (undo it)
+// before the next call. Place and AddSplit commit a mutation without
+// probing, for placements the caller already knows are admissible
+// (or that the final full test is meant to judge).
+type Context interface {
+	// Analyzer returns the analyzer whose test this context runs.
+	Analyzer() Analyzer
+	// Assignment returns the assignment the context is bound to.
+	Assignment() *task.Assignment
+	// TryPlace provisionally places t whole on core c and reports
+	// whether the core still admits under the model.
+	TryPlace(t *task.Task, c int) bool
+	// TrySplit provisionally installs the split and reports whether
+	// core c (which must host one of its parts, or be coupled to them)
+	// still admits.
+	TrySplit(sp *task.Split, c int) bool
+	// Commit keeps the pending provisional mutation.
+	Commit()
+	// Rollback undoes the pending provisional mutation.
+	Rollback()
+	// Place commits t onto core c without probing.
+	Place(t *task.Task, c int)
+	// AddSplit commits the split without probing.
+	AddSplit(sp *task.Split)
+	// Schedulable runs the full admission test on the committed
+	// assignment — the finalize check — reusing every per-core verdict
+	// that no mutation invalidated.
+	Schedulable() bool
+	// Stats returns the counters accumulated by this context since
+	// creation (or the last Flush).
+	Stats() AdmissionStats
+	// Flush folds the context's counters into the process-wide
+	// admission totals (see StatsSnapshot) and zeroes them locally.
+	Flush()
+}
+
+// AdmissionStats counts admission work. Contexts accumulate them
+// locally (uncontended) and Flush folds them into process-wide totals
+// so sweeps can report probe counts, cache hit rates and fixed-point
+// effort without threading a collector through every layer.
+type AdmissionStats struct {
+	// Probes counts TryPlace + TrySplit calls; FullTests counts
+	// Schedulable calls.
+	Probes, FullTests int64
+	// CoreTests counts single-core admission evaluations requested;
+	// VerdictHits the subset served from the per-core verdict cache.
+	CoreTests, VerdictHits int64
+	// FPSolves counts response-time fixed points solved, FPIterations
+	// the iterations they took, WarmStarts the solves that began from
+	// a previously converged value.
+	FPSolves, FPIterations, WarmStarts int64
+}
+
+// Sub returns s − o, for before/after snapshots around a sweep.
+func (s AdmissionStats) Sub(o AdmissionStats) AdmissionStats {
+	return AdmissionStats{
+		Probes:       s.Probes - o.Probes,
+		FullTests:    s.FullTests - o.FullTests,
+		CoreTests:    s.CoreTests - o.CoreTests,
+		VerdictHits:  s.VerdictHits - o.VerdictHits,
+		FPSolves:     s.FPSolves - o.FPSolves,
+		FPIterations: s.FPIterations - o.FPIterations,
+		WarmStarts:   s.WarmStarts - o.WarmStarts,
+	}
+}
+
+// CacheHitRate is the fraction of core evaluations served from the
+// verdict cache.
+func (s AdmissionStats) CacheHitRate() float64 {
+	if s.CoreTests == 0 {
+		return 0
+	}
+	return float64(s.VerdictHits) / float64(s.CoreTests)
+}
+
+// MeanFPIterations is the mean fixed-point iteration count per
+// response-time solve.
+func (s AdmissionStats) MeanFPIterations() float64 {
+	if s.FPSolves == 0 {
+		return 0
+	}
+	return float64(s.FPIterations) / float64(s.FPSolves)
+}
+
+// WarmStartRate is the fraction of solves that began warm.
+func (s AdmissionStats) WarmStartRate() float64 {
+	if s.FPSolves == 0 {
+		return 0
+	}
+	return float64(s.WarmStarts) / float64(s.FPSolves)
+}
+
+// String renders the counters compactly for CLI/bench reporting.
+func (s AdmissionStats) String() string {
+	return fmt.Sprintf("probes=%d full=%d core-tests=%d cache-hits=%.1f%% fp-iters/solve=%.2f warm=%.1f%%",
+		s.Probes, s.FullTests, s.CoreTests, 100*s.CacheHitRate(), s.MeanFPIterations(), 100*s.WarmStartRate())
+}
+
+// totals is the process-wide aggregate, updated atomically by Flush.
+var totals struct {
+	probes, fullTests, coreTests, verdictHits, fpSolves, fpIterations, warmStarts atomic.Int64
+}
+
+// StatsSnapshot returns the process-wide admission totals flushed so
+// far. Diff two snapshots (Sub) to scope a sweep.
+func StatsSnapshot() AdmissionStats {
+	return AdmissionStats{
+		Probes:       totals.probes.Load(),
+		FullTests:    totals.fullTests.Load(),
+		CoreTests:    totals.coreTests.Load(),
+		VerdictHits:  totals.verdictHits.Load(),
+		FPSolves:     totals.fpSolves.Load(),
+		FPIterations: totals.fpIterations.Load(),
+		WarmStarts:   totals.warmStarts.Load(),
+	}
+}
+
+// recordStats folds s into the process-wide totals.
+func recordStats(s AdmissionStats) {
+	totals.probes.Add(s.Probes)
+	totals.fullTests.Add(s.FullTests)
+	totals.coreTests.Add(s.CoreTests)
+	totals.verdictHits.Add(s.VerdictHits)
+	totals.fpSolves.Add(s.FPSolves)
+	totals.fpIterations.Add(s.FPIterations)
+	totals.warmStarts.Add(s.WarmStarts)
+}
+
+// modelMonotone reports whether every effective queue-operation cost
+// (remote penalty applied) is nondecreasing in the queue bound N.
+// This is the property the warm-start and memoization machinery
+// relies on: entity additions then only ever grow every overhead
+// term, so previously converged fixed points are valid lower bounds.
+//
+// Local and remote anchor costs are piecewise linear in log2(N), so
+// anchor order (N64 ≥ N4) makes each nondecreasing. A scaling remote
+// penalty (p ∉ {0, 1}) amplifies the remote−local gap, whose
+// *rounded* per-N values are not monotone even when the anchor gaps
+// are (each interpolant rounds to integer nanoseconds independently,
+// so the gap can dip by a tick as N grows) — any scaled penalty is
+// therefore treated as non-monotone outright. The remote-penalty
+// ablations (p = 2, 4, 8) thus run cold, which is correct, just
+// slower. The shipped models at p = 1 (Zero, PaperModel, and
+// anything measured on a real log-time queue) are monotone; any
+// model failing the check disables the fast paths but keeps
+// decisions bit-identical.
+func modelMonotone(m *overhead.Model) bool {
+	p := m.RemotePenalty
+	if p != 0 && p != 1 {
+		return false
+	}
+	for op := range m.Queues.LocalN4 {
+		if m.Queues.LocalN64[op] < m.Queues.LocalN4[op] {
+			return false
+		}
+		if m.Queues.RemoteN64[op] < m.Queues.RemoteN4[op] {
+			return false
+		}
+	}
+	return true
+}
+
+// ctxBase carries the state and plumbing shared by both concrete
+// contexts; its fields and methods are promoted by embedding.
+type ctxBase struct {
+	an    Analyzer
+	a     *task.Assignment
+	m     *overhead.Model
+	mono  bool
+	stats AdmissionStats
+
+	maxN      int   // committed MaxTasksPerCore
+	commitSeq int64 // bumped on every committed mutation
+}
+
+func (b *ctxBase) Analyzer() Analyzer           { return b.an }
+func (b *ctxBase) Assignment() *task.Assignment { return b.a }
+func (b *ctxBase) Stats() AdmissionStats        { return b.stats }
+
+func (b *ctxBase) Flush() {
+	recordStats(b.stats)
+	b.stats = AdmissionStats{}
+}
+
+// checkNoPending panics when a probe is pending: contexts allow
+// exactly one provisional mutation at a time.
+func (b *ctxBase) checkNoPending(kind int, op string) {
+	if kind != pendNone {
+		panic(fmt.Sprintf("analysis: %s with an unresolved probe pending (Commit or Rollback first)", op))
+	}
+}
+
+// SelfCheck, when true, wraps every new Context so each decision is
+// shadowed by the stateless Analyzer computation on the same
+// assignment state; a divergence panics with both verdicts. It exists
+// for the differential test suite and costs a full stateless
+// evaluation per probe — never enable it outside tests.
+var SelfCheck bool
+
+// wrapChecked applies the SelfCheck shadow when enabled; m is the
+// normalized model the context was bound to.
+func wrapChecked(ctx Context, m *overhead.Model) Context {
+	if SelfCheck {
+		return &checkedContext{ctx: ctx, m: m}
+	}
+	return ctx
+}
+
+// checkedContext shadows a real context with the stateless path.
+type checkedContext struct {
+	ctx Context
+	m   *overhead.Model
+}
+
+func (cc *checkedContext) Analyzer() Analyzer           { return cc.ctx.Analyzer() }
+func (cc *checkedContext) Assignment() *task.Assignment { return cc.ctx.Assignment() }
+func (cc *checkedContext) Place(t *task.Task, c int)    { cc.ctx.Place(t, c) }
+func (cc *checkedContext) AddSplit(sp *task.Split)      { cc.ctx.AddSplit(sp) }
+func (cc *checkedContext) Commit()                      { cc.ctx.Commit() }
+func (cc *checkedContext) Rollback()                    { cc.ctx.Rollback() }
+func (cc *checkedContext) Stats() AdmissionStats        { return cc.ctx.Stats() }
+func (cc *checkedContext) Flush()                       { cc.ctx.Flush() }
+
+func (cc *checkedContext) TryPlace(t *task.Task, c int) bool {
+	got := cc.ctx.TryPlace(t, c)
+	// The inner context has applied the provisional mutation, so the
+	// stateless probe sees the identical assignment state.
+	want := cc.ctx.Analyzer().CoreSchedulable(cc.ctx.Assignment(), c, cc.model())
+	if got != want {
+		panic(fmt.Sprintf("analysis: context TryPlace(%v, core %d) = %v, stateless CoreSchedulable = %v", t, c, got, want))
+	}
+	return got
+}
+
+func (cc *checkedContext) TrySplit(sp *task.Split, c int) bool {
+	got := cc.ctx.TrySplit(sp, c)
+	want := cc.ctx.Analyzer().CoreSchedulable(cc.ctx.Assignment(), c, cc.model())
+	if got != want {
+		panic(fmt.Sprintf("analysis: context TrySplit(%v, core %d) = %v, stateless CoreSchedulable = %v", sp.Task, c, got, want))
+	}
+	return got
+}
+
+func (cc *checkedContext) Schedulable() bool {
+	got := cc.ctx.Schedulable()
+	want := cc.ctx.Analyzer().Schedulable(cc.ctx.Assignment(), cc.model())
+	if got != want {
+		panic(fmt.Sprintf("analysis: context Schedulable = %v, stateless Schedulable = %v", got, want))
+	}
+	return got
+}
+
+// model returns the overhead model the shadowed context is bound to.
+func (cc *checkedContext) model() *overhead.Model { return cc.m }

@@ -1,0 +1,350 @@
+package analysis
+
+import (
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// edfContext is the incremental EDF admission context. Deadline
+// windows decouple the cores, so there is no cross-core fixed point:
+// each core keeps its entity list in the canonical build order (the
+// processor-demand test accumulates a floating-point utilization sum,
+// so the order must match the stateless build exactly), a memo of the
+// demand-bound test points already enumerated, a warm busy-period
+// start, and a cached verdict keyed by (content revision, queue
+// bound). A probe dirties only the probed core; a split install
+// dirties every core hosting one of its parts.
+type edfContext struct {
+	ctxBase
+
+	cores []edfCoreState
+
+	lastProbe []edfProbeRecord
+	pend      edfPending
+
+	// scratch
+	probeBuf [][]*Entity
+	probeCS  []CoreSet
+}
+
+// edfCoreState is one core's committed entity list (normals in
+// Normal[c] order, then split parts in a.Splits order — the canonical
+// stateless build order) plus its caches.
+type edfCoreState struct {
+	ents     []*Entity
+	nNormals int
+	cacheMax timeq.Time
+	rev      int64
+	verdict  fpVerdict
+	memo     *edfDemandMemo
+}
+
+// edfProbeRecord remembers the latest rolled-back probe so an
+// unprobed Place of the identical task can promote its verdict and
+// memo (the heuristics' probe-all-then-place pattern). tent is the
+// probe's tentative entity: the memo's covered set references it, and
+// promotion must swap it for the newly adopted entity.
+type edfProbeRecord struct {
+	seq  int64
+	key  fpWarmKey
+	ok   bool
+	memo *edfDemandMemo
+	tent *Entity
+}
+
+// edfPending is the one in-flight provisional mutation.
+type edfPending struct {
+	kind      int
+	probeCore int
+	fits      bool
+	probeN    int
+	addEnts   []*Entity
+	addCores  []int
+	memo      *edfDemandMemo
+}
+
+func newEDFContext(an Analyzer, a *task.Assignment, m *overhead.Model) *edfContext {
+	nc := a.NumCores
+	x := &edfContext{
+		ctxBase:   ctxBase{an: an, a: a, m: m, mono: modelMonotone(m)},
+		cores:     make([]edfCoreState, nc),
+		lastProbe: make([]edfProbeRecord, nc),
+		probeBuf:  make([][]*Entity, nc),
+		probeCS:   make([]CoreSet, nc),
+	}
+	for c := 0; c < nc; c++ {
+		for _, t := range a.Normal[c] {
+			x.adoptNormal(newEDFEntity(t), c)
+		}
+	}
+	for _, sp := range a.Splits {
+		ents, cores := edfSplitEntities(sp)
+		for i, e := range ents {
+			x.adoptPart(e, cores[i])
+		}
+	}
+	return x
+}
+
+// newEDFEntity mirrors the whole-task entity of edfEntities.
+func newEDFEntity(t *task.Task) *Entity {
+	return &Entity{Task: t, C: t.WCET, T: t.Period, D: t.EffectiveDeadline()}
+}
+
+// edfSplitEntities mirrors the split-part entities of edfEntities.
+func edfSplitEntities(sp *task.Split) ([]*Entity, []int) {
+	last := len(sp.Parts) - 1
+	var ents []*Entity
+	var cores []int
+	for i, p := range sp.Parts {
+		d := sp.Task.EffectiveDeadline()
+		if sp.HasWindows() {
+			d = sp.Windows[i]
+		}
+		ents = append(ents, &Entity{
+			Task:           sp.Task,
+			C:              p.Budget,
+			T:              sp.Task.Period,
+			D:              d,
+			PartIndex:      i,
+			MigrIn:         i > 0,
+			MigrOut:        i < last,
+			RemoteSleepAdd: i == last,
+		})
+		cores = append(cores, p.Core)
+	}
+	return ents, cores
+}
+
+// adoptNormal commits a whole-task entity onto core c, before the
+// split parts (canonical order).
+func (x *edfContext) adoptNormal(e *Entity, c int) {
+	s := &x.cores[c]
+	s.ents = append(s.ents, nil)
+	copy(s.ents[s.nNormals+1:], s.ents[s.nNormals:])
+	s.ents[s.nNormals] = e
+	s.nNormals++
+	x.adopted(e, s)
+}
+
+// adoptPart commits a split-part entity onto core c, after everything
+// else (canonical order: the split is the newest in a.Splits).
+func (x *edfContext) adoptPart(e *Entity, c int) {
+	s := &x.cores[c]
+	s.ents = append(s.ents, e)
+	x.adopted(e, s)
+}
+
+func (x *edfContext) adopted(e *Entity, s *edfCoreState) {
+	if d := x.m.Cache.MaxDelay(e.Task.WSS); d > s.cacheMax {
+		s.cacheMax = d
+	}
+	if n := len(s.ents); n > x.maxN {
+		x.maxN = n
+	}
+	s.rev++
+	s.memo = nil
+	s.verdict = fpVerdict{}
+}
+
+func (x *edfContext) ensureNoPending(op string) { x.checkNoPending(x.pend.kind, op) }
+
+// probeN returns the queue bound of the probe state.
+func (x *edfContext) probeN(addCores []int) int {
+	n := x.maxN
+	for c := range x.cores {
+		grow := 0
+		for _, d := range addCores {
+			if d == c {
+				grow++
+			}
+		}
+		if k := len(x.cores[c].ents) + grow; k > n {
+			n = k
+		}
+	}
+	return n
+}
+
+// evalProbe runs the demand test on core c with the pending tentative
+// entities inserted canonically, reusing the committed memo.
+func (x *edfContext) evalProbe(c int) bool {
+	s := &x.cores[c]
+	buf := x.probeBuf[c][:0]
+	cm := s.cacheMax
+	if x.pend.kind == pendPlace {
+		// The tentative normal sits after the committed normals,
+		// before any split parts (a.Normal[c] append order).
+		buf = append(buf, s.ents[:s.nNormals]...)
+		buf = append(buf, x.pend.addEnts[0])
+		buf = append(buf, s.ents[s.nNormals:]...)
+		if d := x.m.Cache.MaxDelay(x.pend.addEnts[0].Task.WSS); d > cm {
+			cm = d
+		}
+	} else {
+		// Tentative split parts go last (the split is newest in
+		// a.Splits).
+		buf = append(buf, s.ents...)
+		for i, e := range x.pend.addEnts {
+			if x.pend.addCores[i] != c {
+				continue
+			}
+			buf = append(buf, e)
+			if d := x.m.Cache.MaxDelay(e.Task.WSS); d > cm {
+				cm = d
+			}
+		}
+	}
+	x.probeBuf[c] = buf
+	cs := &x.probeCS[c]
+	cs.Entities = buf
+	cs.N = x.pend.probeN
+	cs.CacheMax = cm
+	cs.invalidateCosts()
+	var memo *edfDemandMemo
+	if x.mono {
+		memo = s.memo
+	}
+	x.stats.CoreTests++
+	ok, out := cs.edfSchedulable(x.m, memo, x.mono)
+	x.pend.memo = out
+	return ok
+}
+
+func (x *edfContext) TryPlace(t *task.Task, c int) bool {
+	x.ensureNoPending("TryPlace")
+	x.stats.Probes++
+	x.a.Place(t, c)
+	e := newEDFEntity(t)
+	x.pend = edfPending{kind: pendPlace, probeCore: c, addEnts: []*Entity{e}, addCores: []int{c}}
+	x.pend.probeN = x.probeN(x.pend.addCores)
+	x.pend.fits = x.evalProbe(c)
+	return x.pend.fits
+}
+
+func (x *edfContext) TrySplit(sp *task.Split, c int) bool {
+	x.ensureNoPending("TrySplit")
+	x.stats.Probes++
+	x.a.Splits = append(x.a.Splits, sp)
+	ents, cores := edfSplitEntities(sp)
+	x.pend = edfPending{kind: pendSplit, probeCore: c, addEnts: ents, addCores: cores}
+	x.pend.probeN = x.probeN(cores)
+	x.pend.fits = x.evalProbe(c)
+	return x.pend.fits
+}
+
+func (x *edfContext) Commit() {
+	if x.pend.kind == pendNone {
+		panic("analysis: Commit with no pending probe")
+	}
+	pc := x.pend.probeCore
+	if x.pend.kind == pendPlace {
+		x.adoptNormal(x.pend.addEnts[0], pc)
+	} else {
+		for i, e := range x.pend.addEnts {
+			x.adoptPart(e, x.pend.addCores[i])
+		}
+	}
+	x.commitSeq++
+	s := &x.cores[pc]
+	s.verdict = fpVerdict{valid: true, ok: x.pend.fits, rev: s.rev, n: x.maxN}
+	if x.mono && x.pend.memo != nil {
+		// The probe's entity set is now the committed one.
+		s.memo = x.pend.memo
+	}
+	x.pend = edfPending{}
+}
+
+func (x *edfContext) Rollback() {
+	switch x.pend.kind {
+	case pendNone:
+		panic("analysis: Rollback with no pending probe")
+	case pendPlace:
+		c := x.pend.probeCore
+		x.a.Normal[c] = x.a.Normal[c][:len(x.a.Normal[c])-1]
+		x.lastProbe[c] = edfProbeRecord{
+			seq:  x.commitSeq,
+			key:  fpKey(x.pend.addEnts[0]),
+			ok:   x.pend.fits,
+			memo: x.pend.memo,
+			tent: x.pend.addEnts[0],
+		}
+	case pendSplit:
+		x.a.Splits = x.a.Splits[:len(x.a.Splits)-1]
+	}
+	x.pend = edfPending{}
+}
+
+func (x *edfContext) Place(t *task.Task, c int) {
+	x.ensureNoPending("Place")
+	x.a.Place(t, c)
+	e := newEDFEntity(t)
+	rec := x.lastProbe[c]
+	promote := x.mono && rec.ok && rec.seq == x.commitSeq && rec.key == fpKey(e)
+	x.adoptNormal(e, c)
+	x.commitSeq++
+	if promote {
+		s := &x.cores[c]
+		s.verdict = fpVerdict{valid: true, ok: true, rev: s.rev, n: x.maxN}
+		if rec.memo != nil {
+			// The memo covered the probe's tentative entity; the
+			// adopted entity has identical (D, T), so its enumerated
+			// points and raw count carry over — only the identity in
+			// the covered set must be swapped.
+			delete(rec.memo.covered, rec.tent)
+			rec.memo.covered[e] = true
+			s.memo = rec.memo
+		}
+	}
+}
+
+func (x *edfContext) AddSplit(sp *task.Split) {
+	x.ensureNoPending("AddSplit")
+	x.a.Splits = append(x.a.Splits, sp)
+	ents, cores := edfSplitEntities(sp)
+	for i, e := range ents {
+		x.adoptPart(e, cores[i])
+	}
+	x.commitSeq++
+}
+
+func (x *edfContext) Schedulable() bool {
+	x.ensureNoPending("Schedulable")
+	x.stats.FullTests++
+	for _, sp := range x.a.Splits {
+		if !sp.HasWindows() {
+			return false // EDF requires window-split tasks
+		}
+	}
+	for c := range x.cores {
+		s := &x.cores[c]
+		if s.verdict.valid && s.verdict.rev == s.rev && s.verdict.n == x.maxN {
+			x.stats.CoreTests++
+			x.stats.VerdictHits++
+			if !s.verdict.ok {
+				return false
+			}
+			continue
+		}
+		cs := &x.probeCS[c]
+		cs.Entities = s.ents
+		cs.N = x.maxN
+		cs.CacheMax = s.cacheMax
+		cs.invalidateCosts()
+		var memo *edfDemandMemo
+		if x.mono {
+			memo = s.memo
+		}
+		x.stats.CoreTests++
+		ok, out := cs.edfSchedulable(x.m, memo, x.mono)
+		if x.mono && out != nil {
+			s.memo = out
+		}
+		s.verdict = fpVerdict{valid: true, ok: ok, rev: s.rev, n: x.maxN}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

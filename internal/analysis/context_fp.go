@@ -1,0 +1,634 @@
+package analysis
+
+import (
+	"sort"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// fpContext is the incremental fixed-priority admission context: the
+// stateful counterpart of fpAnalyzer.CoreSchedulable. It keeps the
+// per-core entity sets built (entities are only ever added, so each
+// mutation is a sorted insert, never a rebuild), warm-starts every
+// response-time fixed point and the split-chain jitter resolution
+// from the committed converged values, and caches per-core verdicts
+// keyed by (content revision, queue bound N, jitter generation) so a
+// core no mutation dirtied is never re-analyzed.
+//
+// Dirty tracking: a whole-task placement dirties one core; a split
+// dirties every core in its chain (each part's host), and a jitter
+// resolution that moves a chain's converged jitters dirties every
+// core hosting an entity whose jitter changed.
+type fpContext struct {
+	ctxBase
+
+	sets   []*CoreSet // committed per-core sets, entities sorted by priority
+	revs   []int64    // per-core content revision
+	chains []*fpChain // committed chains, in a.Splits order
+
+	// Warm-start values live directly on the (context-owned) entities:
+	// Entity.warmR is the committed converged response time, and
+	// Entity.warmProbe/warmSeq carry the pending probe's values —
+	// rollback is O(1), the sequence simply moves on. probeSeq is the
+	// current probe's tag; inProbe routes converged values to the
+	// probe slot (probes) or the committed slot (full tests).
+	probeSeq int64
+	inProbe  bool
+
+	jEpoch   int64   // jitter generation counter
+	coreJGen []int64 // last generation a chain jitter on core c changed
+
+	verdicts  []fpVerdict
+	lastProbe []fpProbeRecord
+
+	resolveSeq int64 // commitSeq the last committed resolution was valid for
+	lastFailed map[*Entity]bool
+
+	pend fpPending
+
+	// scratch (reused across probes)
+	views       []*CoreSet
+	probeBuf    [][]*Entity
+	probeCS     []CoreSet
+	chainBuf    []*fpChain
+	jSnapBuf    []timeq.Time
+	builtBuf    []int
+	jChangedBuf map[int]bool
+	scratchEnt  Entity
+	placeEnts   [1]*Entity
+	placeCores  [1]int
+}
+
+// fpWarmKey identifies one schedulable entity stably across probes: a
+// task appears either whole (split=false, part 0) or as split parts.
+type fpWarmKey struct {
+	id    task.ID
+	part  int
+	split bool
+}
+
+func fpKey(e *Entity) fpWarmKey {
+	return fpWarmKey{id: e.Task.ID, part: e.PartIndex, split: e.MigrIn || e.MigrOut}
+}
+
+// fpChain is the committed analysis view of one split: its entities
+// in part order with their host cores.
+type fpChain struct {
+	sp    *task.Split
+	ents  []*Entity
+	cores []int
+}
+
+// fpVerdict caches one core's last admission verdict.
+type fpVerdict struct {
+	valid bool
+	ok    bool
+	rev   int64
+	n     int
+	jGen  int64
+}
+
+// fpProbeRecord remembers the latest rolled-back probe against a core
+// so an unprobed Place of the identical task in the same committed
+// epoch promotes the probe's verdict and warm values — the
+// probe-every-core-then-place-on-best pattern of the bin-packing
+// heuristics. probeSeq identifies the probe's warm tags; tentR is the
+// tentative entity's own converged response time (its scratch slot is
+// overwritten by later probes).
+type fpProbeRecord struct {
+	seq      int64
+	probeSeq int64
+	key      fpWarmKey
+	ok       bool
+	valid    bool
+	tentR    timeq.Time
+}
+
+const (
+	pendNone = iota
+	pendPlace
+	pendSplit
+)
+
+// fpPending is the state of the one in-flight provisional mutation.
+type fpPending struct {
+	kind      int
+	probeCore int
+	fits      bool
+	probeN    int
+	addEnts   []*Entity // tentative entities
+	addCores  []int     // their host cores (parallel)
+	chain     *fpChain  // tentative chain (splits only)
+	resolved  bool      // a jitter resolution ran
+	jChanged  map[int]bool
+	failed    map[*Entity]bool
+}
+
+func newFPContext(an Analyzer, a *task.Assignment, m *overhead.Model) *fpContext {
+	nc := a.NumCores
+	x := &fpContext{
+		ctxBase:   ctxBase{an: an, a: a, m: m, mono: modelMonotone(m)},
+		sets:      make([]*CoreSet, nc),
+		revs:      make([]int64, nc),
+		coreJGen:  make([]int64, nc),
+		verdicts:  make([]fpVerdict, nc),
+		lastProbe: make([]fpProbeRecord, nc),
+		views:     make([]*CoreSet, nc),
+		probeBuf:  make([][]*Entity, nc),
+		probeCS:   make([]CoreSet, nc),
+	}
+	x.resolveSeq = -1
+	for c := 0; c < nc; c++ {
+		x.sets[c] = &CoreSet{}
+	}
+	// Adopt whatever the assignment already contains (contexts may be
+	// opened over hand-built assignments, not just empty ones).
+	for c := 0; c < nc; c++ {
+		for _, t := range a.Normal[c] {
+			x.adoptEntity(newFPEntity(t), c)
+		}
+	}
+	for _, sp := range a.Splits {
+		ch := buildFPChain(sp)
+		for i, e := range ch.ents {
+			x.adoptEntity(e, ch.cores[i])
+		}
+		x.chains = append(x.chains, ch)
+	}
+	return x
+}
+
+// newFPEntity mirrors the whole-task entity of BuildCores.
+func newFPEntity(t *task.Task) *Entity {
+	return newFPEntityInto(new(Entity), t)
+}
+
+// newFPEntityInto fills e in place (scratch reuse on the probe path).
+func newFPEntityInto(e *Entity, t *task.Task) *Entity {
+	*e = Entity{
+		Task:          t,
+		C:             t.WCET,
+		T:             t.Period,
+		D:             t.EffectiveDeadline(),
+		LocalPriority: t.Priority,
+	}
+	return e
+}
+
+// buildFPChain mirrors the split-chain entities of BuildCores.
+func buildFPChain(sp *task.Split) *fpChain {
+	ch := &fpChain{sp: sp}
+	last := len(sp.Parts) - 1
+	for i, p := range sp.Parts {
+		ch.ents = append(ch.ents, &Entity{
+			Task:           sp.Task,
+			C:              p.Budget,
+			T:              sp.Task.Period,
+			D:              sp.Task.EffectiveDeadline(),
+			LocalPriority:  sp.LocalPriority(),
+			PartIndex:      i,
+			MigrIn:         i > 0,
+			MigrOut:        i < last,
+			RemoteSleepAdd: i == last,
+		})
+		ch.cores = append(ch.cores, p.Core)
+	}
+	return ch
+}
+
+// adoptEntity commits e onto core c's live set.
+func (x *fpContext) adoptEntity(e *Entity, c int) {
+	s := x.sets[c]
+	s.Entities = insertByPriority(s.Entities, e)
+	s.invalidateCosts()
+	if d := x.m.Cache.MaxDelay(e.Task.WSS); d > s.CacheMax {
+		s.CacheMax = d
+	}
+	if n := len(s.Entities); n > x.maxN {
+		x.maxN = n
+	}
+	x.revs[c]++
+}
+
+// insertByPriority inserts e into a priority-sorted entity slice,
+// after any equal-priority entities (matching the stable sort of
+// NewCoreSet over the canonical build order).
+func insertByPriority(ents []*Entity, e *Entity) []*Entity {
+	i := sort.Search(len(ents), func(k int) bool { return ents[k].LocalPriority > e.LocalPriority })
+	ents = append(ents, nil)
+	copy(ents[i+1:], ents[i:])
+	ents[i] = e
+	return ents
+}
+
+func (x *fpContext) ensureNoPending(op string) { x.checkNoPending(x.pend.kind, op) }
+
+// solve runs one warm-started response-time fixed point of e on its
+// host set, recording the converged value for future warm starts.
+func (x *fpContext) solve(host *CoreSet, e *Entity) (timeq.Time, bool) {
+	var start timeq.Time
+	if x.mono {
+		if x.inProbe && e.warmSeq == x.probeSeq {
+			start = e.warmProbe
+		} else {
+			start = e.warmR
+		}
+	}
+	r, ok, iters := host.responseTime(e, x.m, start)
+	x.stats.FPSolves++
+	x.stats.FPIterations += int64(iters)
+	if start > 0 {
+		x.stats.WarmStarts++
+	}
+	if ok && x.mono {
+		if x.inProbe {
+			e.warmProbe = r
+			e.warmSeq = x.probeSeq
+		} else {
+			e.warmR = r
+		}
+	}
+	return r, ok
+}
+
+// evalCore tests every entity of the set, mirroring the per-core part
+// of Cores.SchedulableCore (failed veto, then response times).
+func (x *fpContext) evalCore(cs *CoreSet, failed map[*Entity]bool) bool {
+	x.stats.CoreTests++
+	for _, e := range cs.Entities {
+		if failed != nil && failed[e] {
+			return false
+		}
+		if _, ok := x.solve(cs, e); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve runs the split-chain jitter fixed point, mirroring
+// Cores.resolveJitters pass for pass; jitters warm-start from the
+// values left in the (committed) entities. jChanged collects the
+// cores whose hosted chain jitters moved.
+func (x *fpContext) resolve(views []*CoreSet, chains []*fpChain, jChanged map[int]bool) map[*Entity]bool {
+	const maxPasses = 1000
+	var failed map[*Entity]bool // lazily allocated; nil means no failures
+	if len(chains) == 0 {
+		return nil
+	}
+	if !x.mono {
+		// Non-monotone model: the committed jitters may overshoot this
+		// evaluation's least fixed point, so start cold from zero like
+		// the stateless path's freshly built entities.
+		for _, ch := range chains {
+			for _, e := range ch.ents {
+				e.Jitter = 0
+			}
+		}
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, ch := range chains {
+			cum := timeq.Time(0)
+			for i, e := range ch.ents {
+				if e.Jitter != cum {
+					e.Jitter = cum
+					changed = true
+					if jChanged != nil {
+						jChanged[ch.cores[i]] = true
+					}
+				}
+				r, ok := x.solve(views[ch.cores[i]], e)
+				if !ok {
+					if failed == nil {
+						failed = make(map[*Entity]bool)
+					}
+					failed[e] = true
+					r = e.D
+				} else {
+					delete(failed, e)
+				}
+				cum = timeq.AddSat(cum, r)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return failed
+}
+
+// probeSet builds the provisional CoreSet for core c with tentative
+// entities inserted, reusing the per-core scratch buffers.
+func (x *fpContext) probeSet(c int, add []*Entity, addCores []int, probeN int) *CoreSet {
+	base := x.sets[c]
+	buf := append(x.probeBuf[c][:0], base.Entities...)
+	cm := base.CacheMax
+	for i, e := range add {
+		if addCores[i] != c {
+			continue
+		}
+		buf = insertByPriority(buf, e)
+		if d := x.m.Cache.MaxDelay(e.Task.WSS); d > cm {
+			cm = d
+		}
+	}
+	x.probeBuf[c] = buf
+	cs := &x.probeCS[c]
+	cs.Entities = buf
+	cs.N = probeN
+	cs.CacheMax = cm
+	cs.invalidateCosts()
+	return cs
+}
+
+// probeN returns the queue bound of the probe state: the committed
+// bound, raised by any core that tentatively grew past it.
+func (x *fpContext) probeN(addCores []int) int {
+	n := x.maxN
+	for c := range x.sets {
+		grow := 0
+		for _, d := range addCores {
+			if d == c {
+				grow++
+			}
+		}
+		if k := len(x.sets[c].Entities) + grow; k > n {
+			n = k
+		}
+	}
+	return n
+}
+
+func (x *fpContext) TryPlace(t *task.Task, c int) bool {
+	x.ensureNoPending("TryPlace")
+	x.stats.Probes++
+	x.a.Place(t, c)
+	// The tentative entity lives in a reused scratch slot; Commit
+	// clones it onto the heap before adopting it.
+	x.scratchEnt = *newFPEntityInto(&x.scratchEnt, t)
+	e := &x.scratchEnt
+	x.placeEnts[0], x.placeCores[0] = e, c
+	x.pend = fpPending{
+		kind:      pendPlace,
+		probeCore: c,
+		addEnts:   x.placeEnts[:],
+		addCores:  x.placeCores[:],
+	}
+	x.beginProbe()
+	x.pend.probeN = x.probeN(x.pend.addCores)
+	if len(x.chains) == 0 {
+		// No chains, no cross-core coupling: probe core c alone
+		// (mirrors the stateless fast path).
+		ps := x.probeSet(c, x.pend.addEnts, x.pend.addCores, x.pend.probeN)
+		x.pend.fits = x.evalCore(ps, nil)
+	} else {
+		x.pend.fits = x.probeWithChains()
+	}
+	return x.pend.fits
+}
+
+func (x *fpContext) TrySplit(sp *task.Split, c int) bool {
+	x.ensureNoPending("TrySplit")
+	x.stats.Probes++
+	x.a.Splits = append(x.a.Splits, sp)
+	ch := buildFPChain(sp)
+	x.pend = fpPending{
+		kind:      pendSplit,
+		probeCore: c,
+		addEnts:   ch.ents,
+		addCores:  ch.cores,
+		chain:     ch,
+	}
+	x.beginProbe()
+	x.pend.probeN = x.probeN(x.pend.addCores)
+	x.pend.fits = x.probeWithChains()
+	return x.pend.fits
+}
+
+// probeWithChains evaluates the pending probe with split chains in
+// play: per-core views (committed sets, probe sets for dirtied
+// cores), a full warm-started jitter resolution, then the probed
+// core's test — mirroring Cores.SchedulableCore on the probe state.
+func (x *fpContext) probeWithChains() bool {
+	probeN := x.pend.probeN
+	for d := range x.sets {
+		x.sets[d].N = probeN
+		x.views[d] = x.sets[d]
+	}
+	x.builtBuf = x.builtBuf[:0]
+	for _, d := range x.pend.addCores {
+		seen := false
+		for _, o := range x.builtBuf {
+			if o == d {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			x.builtBuf = append(x.builtBuf, d)
+			x.views[d] = x.probeSet(d, x.pend.addEnts, x.pend.addCores, probeN)
+		}
+	}
+	// Snapshot committed chain jitters so Rollback can restore them.
+	x.jSnapBuf = x.jSnapBuf[:0]
+	for _, ch := range x.chains {
+		for _, e := range ch.ents {
+			x.jSnapBuf = append(x.jSnapBuf, e.Jitter)
+		}
+	}
+	chains := x.chains
+	if x.pend.chain != nil {
+		chains = append(append(x.chainBuf[:0], x.chains...), x.pend.chain)
+		x.chainBuf = chains[:len(chains)-1]
+	}
+	if x.jChangedBuf == nil {
+		x.jChangedBuf = make(map[int]bool, 4)
+	} else {
+		clear(x.jChangedBuf)
+	}
+	x.pend.jChanged = x.jChangedBuf
+	x.pend.failed = x.resolve(x.views, chains, x.pend.jChanged)
+	x.pend.resolved = true
+	return x.evalCore(x.views[x.pend.probeCore], x.pend.failed)
+}
+
+func (x *fpContext) Commit() {
+	if x.pend.kind == pendNone {
+		panic("analysis: Commit with no pending probe")
+	}
+	if x.mono {
+		// Promote the probe's converged values: they are the new
+		// committed system's least fixed points.
+		x.promoteWarm(x.probeSeq, x.pend.addEnts)
+		for _, d := range x.pend.addCores {
+			x.promoteWarm(x.probeSeq, x.sets[d].Entities)
+		}
+		if x.pend.resolved {
+			x.promoteWarm(x.probeSeq, x.sets[x.pend.probeCore].Entities)
+			for _, ch := range x.chains {
+				x.promoteWarm(x.probeSeq, ch.ents)
+			}
+		}
+	}
+	if x.pend.kind == pendPlace {
+		// The tentative entity is the reused scratch slot: clone it.
+		e := new(Entity)
+		*e = *x.pend.addEnts[0]
+		x.adoptEntity(e, x.pend.addCores[0])
+	} else {
+		for i, e := range x.pend.addEnts {
+			x.adoptEntity(e, x.pend.addCores[i])
+		}
+		x.chains = append(x.chains, x.pend.chain)
+	}
+	if x.pend.resolved {
+		// The probe's converged jitters are the committed system's:
+		// keep them, dirty the cores they moved on, and reuse the
+		// resolution outcome for the next full test.
+		for d := range x.pend.jChanged {
+			x.jEpoch++
+			x.coreJGen[d] = x.jEpoch
+		}
+		x.lastFailed = x.pend.failed
+	}
+	x.commitSeq++
+	if x.pend.resolved {
+		x.resolveSeq = x.commitSeq
+	}
+	pc := x.pend.probeCore
+	x.verdicts[pc] = fpVerdict{valid: true, ok: x.pend.fits, rev: x.revs[pc], n: x.maxN, jGen: x.coreJGen[pc]}
+	x.inProbe = false
+	x.pend = fpPending{}
+}
+
+func (x *fpContext) Rollback() {
+	switch x.pend.kind {
+	case pendNone:
+		panic("analysis: Rollback with no pending probe")
+	case pendPlace:
+		c := x.pend.addCores[0]
+		x.a.Normal[c] = x.a.Normal[c][:len(x.a.Normal[c])-1]
+		// Remember the probe so an unprobed Place of the same task in
+		// this committed epoch can promote its verdict and warm values.
+		tent := x.pend.addEnts[0]
+		rec := &x.lastProbe[c]
+		rec.seq = x.commitSeq
+		rec.probeSeq = x.probeSeq
+		rec.key = fpKey(tent)
+		rec.ok = x.pend.fits
+		rec.valid = true
+		rec.tentR = 0
+		if tent.warmSeq == x.probeSeq {
+			rec.tentR = tent.warmProbe
+		}
+	case pendSplit:
+		x.a.Splits = x.a.Splits[:len(x.a.Splits)-1]
+	}
+	if x.pend.resolved {
+		i := 0
+		for _, ch := range x.chains {
+			for _, e := range ch.ents {
+				e.Jitter = x.jSnapBuf[i]
+				i++
+			}
+		}
+	}
+	x.inProbe = false
+	x.pend = fpPending{}
+}
+
+// beginProbe opens a fresh warm-tag epoch for the pending probe.
+func (x *fpContext) beginProbe() {
+	x.probeSeq++
+	x.inProbe = true
+}
+
+// promoteWarm copies probe-epoch converged values into the committed
+// warm slots for every entity the probe solved on the given cores and
+// chains (tag-guarded, so values from other probes are never taken).
+func (x *fpContext) promoteWarm(seq int64, ents []*Entity) {
+	for _, e := range ents {
+		if e.warmSeq == seq {
+			e.warmR = e.warmProbe
+		}
+	}
+}
+
+func (x *fpContext) Place(t *task.Task, c int) {
+	x.ensureNoPending("Place")
+	x.a.Place(t, c)
+	e := newFPEntity(t)
+	rec := x.lastProbe[c]
+	promote := x.mono && rec.valid && rec.ok && rec.seq == x.commitSeq && rec.key == fpKey(e)
+	if promote {
+		// The probe's converged values are the new committed system's
+		// least fixed points; tags guard against later probes having
+		// overwritten an entity's probe slot.
+		e.warmR = rec.tentR
+		x.promoteWarm(rec.probeSeq, x.sets[c].Entities)
+		for _, ch := range x.chains {
+			x.promoteWarm(rec.probeSeq, ch.ents)
+		}
+	}
+	x.adoptEntity(e, c)
+	x.commitSeq++
+	if promote {
+		x.verdicts[c] = fpVerdict{valid: true, ok: true, rev: x.revs[c], n: x.maxN, jGen: x.coreJGen[c]}
+	} else {
+		x.verdicts[c] = fpVerdict{}
+	}
+}
+
+func (x *fpContext) AddSplit(sp *task.Split) {
+	x.ensureNoPending("AddSplit")
+	x.a.Splits = append(x.a.Splits, sp)
+	ch := buildFPChain(sp)
+	for i, e := range ch.ents {
+		x.adoptEntity(e, ch.cores[i])
+		x.verdicts[ch.cores[i]] = fpVerdict{}
+	}
+	x.chains = append(x.chains, ch)
+	x.commitSeq++
+}
+
+func (x *fpContext) Schedulable() bool {
+	x.ensureNoPending("Schedulable")
+	x.stats.FullTests++
+	for d := range x.sets {
+		x.sets[d].N = x.maxN
+	}
+	failed := x.lastFailed
+	if x.resolveSeq != x.commitSeq {
+		jc := make(map[int]bool, 4)
+		failed = x.resolve(x.sets, x.chains, jc)
+		for d := range jc {
+			x.jEpoch++
+			x.coreJGen[d] = x.jEpoch
+		}
+		x.lastFailed = failed
+		x.resolveSeq = x.commitSeq
+	}
+	if len(failed) > 0 {
+		return false
+	}
+	for c := range x.sets {
+		v := x.verdicts[c]
+		if v.valid && v.rev == x.revs[c] && v.n == x.maxN && v.jGen == x.coreJGen[c] {
+			x.stats.CoreTests++
+			x.stats.VerdictHits++
+			if !v.ok {
+				return false
+			}
+			continue
+		}
+		ok := x.evalCore(x.sets[c], nil)
+		x.verdicts[c] = fpVerdict{valid: true, ok: ok, rev: x.revs[c], n: x.maxN, jGen: x.coreJGen[c]}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

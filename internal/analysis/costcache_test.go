@@ -1,0 +1,100 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// The evaluation-cost cache (ensureCosts) and the EDF max-blocking
+// closed form (edfMaxBlocking) are one-pass re-derivations of the
+// per-entity methods that the hot paths now use exclusively — and the
+// differential context tests compare context against stateless where
+// BOTH sides read the cache, so a drift between the cache and the
+// reference methods would be invisible to them. These tests pin the
+// equivalence directly: for randomized entity sets, models and queue
+// bounds, the cached values must equal the per-entity methods
+// exactly.
+
+// randomCoreSet builds a CoreSet of k entities with randomized
+// parameters and migration flags over a random queue bound.
+func randomCoreSet(rng *rand.Rand, k int) *CoreSet {
+	var ents []*Entity
+	for i := 0; i < k; i++ {
+		period := timeq.Time(5+rng.Intn(200)) * timeq.Millisecond
+		c := timeq.Time(1+rng.Intn(40)) * 100 * timeq.Microsecond
+		e := &Entity{
+			Task:          &task.Task{ID: task.ID(i + 1), WCET: c, Period: period, Priority: i + 1, WSS: int64(rng.Intn(1 << 20))},
+			C:             c,
+			T:             period,
+			D:             period,
+			LocalPriority: i + 1,
+		}
+		switch rng.Intn(4) {
+		case 1: // body part
+			e.MigrOut = true
+			e.LocalPriority = task.SplitLocalPriority(i + 1)
+		case 2: // middle part
+			e.MigrIn, e.MigrOut = true, true
+			e.PartIndex = 1
+			e.LocalPriority = task.SplitLocalPriority(i + 1)
+		case 3: // tail part
+			e.MigrIn, e.RemoteSleepAdd = true, true
+			e.PartIndex = 2
+			e.LocalPriority = task.SplitLocalPriority(i + 1)
+		}
+		ents = append(ents, e)
+	}
+	return NewCoreSet(ents, k+rng.Intn(12), overhead.PaperModel())
+}
+
+func costModels() []*overhead.Model {
+	scaled := overhead.PaperModel().WithRemotePenalty(4)
+	return []*overhead.Model{overhead.Zero(), overhead.PaperModel(), scaled}
+}
+
+// TestEnsureCostsMatchesMethods pins the cache to the reference
+// methods: InflatedCost, Blocking and ReleaseCost.
+func TestEnsureCostsMatchesMethods(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for round := 0; round < 50; round++ {
+		cs := randomCoreSet(rng, 1+rng.Intn(10))
+		for _, m := range costModels() {
+			cs.invalidateCosts()
+			cs.ensureCosts(m)
+			if got, want := cs.relCost, cs.ReleaseCost(m); got != want {
+				t.Fatalf("round %d: relCost %v != ReleaseCost %v", round, got, want)
+			}
+			for i, e := range cs.Entities {
+				if got, want := cs.infl[i], cs.InflatedCost(e, m); got != want {
+					t.Fatalf("round %d entity %d: cached infl %v != InflatedCost %v", round, i, got, want)
+				}
+				if got, want := cs.blocking[i], cs.Blocking(e, m); got != want {
+					t.Fatalf("round %d entity %d: cached blocking %v != Blocking %v", round, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestEDFMaxBlockingMatchesPerEntity pins the closed form to the
+// per-entity reference: max over entities of edfBlocking.
+func TestEDFMaxBlockingMatchesPerEntity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 50; round++ {
+		cs := randomCoreSet(rng, 1+rng.Intn(10))
+		for _, m := range costModels() {
+			cs.invalidateCosts()
+			var want timeq.Time
+			for _, e := range cs.Entities {
+				want = timeq.Max(want, cs.edfBlocking(e, m))
+			}
+			if got := cs.edfMaxBlocking(m); got != want {
+				t.Fatalf("round %d: edfMaxBlocking %v != max edfBlocking %v (%d entities)", round, got, want, len(cs.Entities))
+			}
+		}
+	}
+}

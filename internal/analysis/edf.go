@@ -30,16 +30,48 @@ import (
 
 // EDFCoreSchedulable runs the processor-demand test on one core.
 func (cs *CoreSet) EDFCoreSchedulable(m *overhead.Model) bool {
+	ok, _ := cs.edfSchedulable(m, nil, false)
+	return ok
+}
+
+// edfDemandMemo is the incremental state an admission Context keeps
+// per core: the converged (pre-extension) busy period as a warm start
+// for the next one, and the sorted deadline test points already
+// enumerated for a known entity set up to a known horizon. Both are
+// valid accelerators for any evaluation whose entity set is a
+// superset and whose overhead terms did not shrink — exactly the
+// probe pattern, where entities are only ever added.
+type edfDemandMemo struct {
+	// busyWarm is the converged busy period before the max-deadline
+	// extension: a lower bound on any extension's busy period.
+	busyWarm timeq.Time
+	// pts are the sorted, deduplicated absolute deadlines ≤ ptsL of
+	// the entities in covered; rawPts counts them pre-deduplication
+	// (the deadlinePointCap accounting must match the cold path).
+	pts     []timeq.Time
+	rawPts  int
+	ptsL    timeq.Time
+	covered map[*Entity]bool
+}
+
+// edfSchedulable is the demand test behind EDFCoreSchedulable,
+// optionally accelerated by a memo (nil reproduces the cold path bit
+// for bit). When keep is true and the test passes, the converged
+// artifacts are returned for the caller to cache.
+func (cs *CoreSet) edfSchedulable(m *overhead.Model, memo *edfDemandMemo, keep bool) (bool, *edfDemandMemo) {
 	if len(cs.Entities) == 0 {
-		return true
+		if keep {
+			return true, &edfDemandMemo{covered: map[*Entity]bool{}}
+		}
+		return true, nil
 	}
 	// Inflated utilization must stay below 1 for the busy period to
 	// exist.
-	infl := make([]timeq.Time, len(cs.Entities))
-	rel := cs.ReleaseCost(m)
+	cs.ensureCosts(m)
+	infl := cs.infl
+	rel := cs.relCost
 	uNum := 0.0
 	for i, e := range cs.Entities {
-		infl[i] = cs.InflatedCost(e, m)
 		uNum += float64(infl[i]) / float64(e.T)
 		if !e.MigrIn && rel > 0 {
 			// Double-charge the release path as unconditional load;
@@ -47,24 +79,25 @@ func (cs *CoreSet) EDFCoreSchedulable(m *overhead.Model) bool {
 			uNum += float64(rel) / float64(e.T)
 		}
 		if e.D < infl[i] {
-			return false
+			return false, nil
 		}
 	}
 	if uNum > 1 {
-		return false
+		return false, nil
 	}
-	var b timeq.Time
-	for _, e := range cs.Entities {
-		b = timeq.Max(b, cs.edfBlocking(e, m))
+	b := cs.edfMaxBlocking(m)
+	var busyStart timeq.Time
+	if memo != nil {
+		busyStart = memo.busyWarm
 	}
-	l := cs.edfBusyPeriod(infl, rel, b)
+	l, busyConverged := cs.edfBusyPeriod(infl, rel, b, busyStart)
 	if l == timeq.Infinity {
-		return false
+		return false, nil
 	}
 	// Test every absolute deadline up to L.
-	pts, ok := cs.deadlinePoints(l)
+	pts, raw, ok := cs.deadlinePointsMemo(l, memo)
 	if !ok {
-		return false
+		return false, nil
 	}
 	for _, t := range pts {
 		var demand timeq.Time
@@ -84,10 +117,41 @@ func (cs *CoreSet) EDFCoreSchedulable(m *overhead.Model) bool {
 			}
 		}
 		if timeq.AddSat(demand, b) > t {
-			return false
+			return false, nil
 		}
 	}
-	return true
+	if !keep {
+		return true, nil
+	}
+	cov := make(map[*Entity]bool, len(cs.Entities))
+	for _, e := range cs.Entities {
+		cov[e] = true
+	}
+	return true, &edfDemandMemo{busyWarm: busyConverged, pts: pts, rawPts: raw, ptsL: l, covered: cov}
+}
+
+// edfMaxBlocking is max over entities of edfBlocking, computed in one
+// pass from the evaluation-cost cache: the departure/arrival maxima
+// are shared, so only the release-batch count varies — it is largest
+// for a migration-arrival entity (every timer release counts) and
+// nonMigr−1 otherwise.
+func (cs *CoreSet) edfMaxBlocking(m *overhead.Model) timeq.Time {
+	if m.IsZero() || len(cs.Entities) == 0 {
+		return 0
+	}
+	cs.ensureCosts(m)
+	cnt := cs.nonMigr
+	if cnt == len(cs.Entities) {
+		cnt-- // every entity timer-released: the batch excludes e itself
+	}
+	if cnt < 0 {
+		cnt = 0
+	}
+	batch := cs.perRelease * timeq.Time(cnt)
+	if batch > 0 {
+		batch += m.Sched
+	}
+	return batch + cs.maxDep + cs.maxArr
 }
 
 // edfBlocking bounds the non-preemptible kernel segments that can
@@ -123,14 +187,21 @@ func (cs *CoreSet) edfBlocking(e *Entity, m *overhead.Model) timeq.Time {
 }
 
 // edfBusyPeriod computes the synchronous busy period with inflated
-// costs — the test horizon L.
-func (cs *CoreSet) edfBusyPeriod(infl []timeq.Time, rel, b timeq.Time) timeq.Time {
+// costs — the test horizon L (first result) — plus the converged
+// value before the max-deadline extension (second result), which is
+// what a Context may pass back as the warm start of a later, larger
+// evaluation. start must be at or below the least fixed point (0
+// reproduces the cold iteration exactly).
+func (cs *CoreSet) edfBusyPeriod(infl []timeq.Time, rel, b, start timeq.Time) (timeq.Time, timeq.Time) {
 	w := b
 	for _, c := range infl {
 		w += c
 	}
 	if w == 0 {
-		return 0
+		return 0, 0
+	}
+	if start > w {
+		w = start
 	}
 	for iter := 0; iter < 10000; iter++ {
 		next := b
@@ -142,15 +213,16 @@ func (cs *CoreSet) edfBusyPeriod(infl []timeq.Time, rel, b timeq.Time) timeq.Tim
 			}
 		}
 		if next == w {
+			converged := w
 			// Also cover the largest relative deadline.
 			for _, e := range cs.Entities {
 				w = timeq.Max(w, e.D)
 			}
-			return w
+			return w, converged
 		}
 		w = next
 	}
-	return timeq.Infinity
+	return timeq.Infinity, 0
 }
 
 // deadlinePointCap bounds the number of absolute deadlines tested per
@@ -159,29 +231,85 @@ func (cs *CoreSet) edfBusyPeriod(infl []timeq.Time, rel, b timeq.Time) timeq.Tim
 // reach it).
 const deadlinePointCap = 2_000_000
 
-// deadlinePoints enumerates the absolute deadlines ≤ l, sorted; the
-// second result is false when the cap was exceeded.
-func (cs *CoreSet) deadlinePoints(l timeq.Time) ([]timeq.Time, bool) {
-	var pts []timeq.Time
+// deadlinePointsMemo enumerates the absolute deadlines ≤ l, sorted
+// and deduplicated, plus the pre-deduplication count (for the cap);
+// the final result is false when the cap was exceeded. With a memo
+// whose horizon the new one extends, only the points beyond the
+// cached horizon (and those of entities the memo does not cover) are
+// generated and merged — the resulting point set, raw count and
+// verdict are identical to the cold enumeration.
+func (cs *CoreSet) deadlinePointsMemo(l timeq.Time, memo *edfDemandMemo) ([]timeq.Time, int, bool) {
+	if memo == nil || memo.covered == nil || l < memo.ptsL {
+		var pts []timeq.Time
+		raw := 0
+		for _, e := range cs.Entities {
+			for t := e.D; t <= l; t += e.T {
+				pts = append(pts, t)
+				raw++
+				if raw > deadlinePointCap {
+					return nil, raw, false
+				}
+			}
+		}
+		sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+		// Deduplicate.
+		out := pts[:0]
+		var prev timeq.Time = -1
+		for _, t := range pts {
+			if t != prev {
+				out = append(out, t)
+				prev = t
+			}
+		}
+		return out, raw, true
+	}
+	raw := memo.rawPts
+	var extra []timeq.Time
 	for _, e := range cs.Entities {
-		for t := e.D; t <= l; t += e.T {
-			pts = append(pts, t)
-			if len(pts) > deadlinePointCap {
-				return nil, false
+		t0 := e.D
+		if memo.covered[e] && e.D <= memo.ptsL {
+			// Resume just past the cached horizon.
+			k := (int64(memo.ptsL)-int64(e.D))/int64(e.T) + 1
+			t0 = e.D + timeq.Time(k)*e.T
+		}
+		for t := t0; t <= l; t += e.T {
+			extra = append(extra, t)
+			raw++
+			if raw > deadlinePointCap {
+				return nil, raw, false
 			}
 		}
 	}
-	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
-	// Deduplicate.
-	out := pts[:0]
+	if len(extra) == 0 {
+		return memo.pts, raw, true
+	}
+	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
+	// Merge the two sorted runs, deduplicating.
+	out := make([]timeq.Time, 0, len(memo.pts)+len(extra))
+	i, j := 0, 0
 	var prev timeq.Time = -1
-	for _, t := range pts {
+	for i < len(memo.pts) || j < len(extra) {
+		var t timeq.Time
+		switch {
+		case i == len(memo.pts):
+			t = extra[j]
+			j++
+		case j == len(extra):
+			t = memo.pts[i]
+			i++
+		case memo.pts[i] <= extra[j]:
+			t = memo.pts[i]
+			i++
+		default:
+			t = extra[j]
+			j++
+		}
 		if t != prev {
 			out = append(out, t)
 			prev = t
 		}
 	}
-	return out, true
+	return out, raw, true
 }
 
 // edfEntities collects core c's entities under EDF semantics: split

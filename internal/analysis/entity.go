@@ -73,6 +73,16 @@ type Entity struct {
 	// RemoteSleepAdd marks the tail part: on completion the job is
 	// inserted into the *home* core's sleep queue, a remote add.
 	RemoteSleepAdd bool
+
+	// Warm-start slots owned by the admission context that built the
+	// entity (contexts never share entities): warmR is the response
+	// time converged for the committed system — a valid lower bound
+	// for any probe, since probes only add entities — and warmProbe
+	// holds the value converged during probe warmSeq, discarded by
+	// the next probe simply by the sequence moving on.
+	warmR     timeq.Time
+	warmProbe timeq.Time
+	warmSeq   int64
 }
 
 // String renders the entity for diagnostics.
@@ -96,6 +106,115 @@ type CoreSet struct {
 	// CacheMax is the worst CPMD any entity on this core pays on
 	// resume; a preempting job is charged this once per release.
 	CacheMax timeq.Time
+
+	// Evaluation-cost cache (see ensureCosts): the per-entity
+	// inflated budgets and blocking terms, plus the shared release
+	// cost and departure/arrival maxima, computed once per
+	// (entity set, N, model) instead of once per fixed-point solve.
+	// Everything here is a pure function of the fields above, so the
+	// cache never changes a decision — it only removes repeated
+	// queue-cost interpolation from the solver's hot path.
+	costsOK    bool
+	costsModel *overhead.Model
+	costsN     int
+	costsLen   int
+	relCost    timeq.Time
+	infl       []timeq.Time
+	blocking   []timeq.Time
+	maxDep     timeq.Time
+	maxArr     timeq.Time
+	perRelease timeq.Time
+	nonMigr    int
+}
+
+// invalidateCosts drops the evaluation-cost cache; callers that
+// mutate Entities in place (the admission contexts' scratch sets)
+// must call it, since a same-length entity swap is invisible to the
+// (model, N, len) key.
+func (cs *CoreSet) invalidateCosts() { cs.costsOK = false }
+
+// ensureCosts fills the evaluation-cost cache. The cached values are
+// exactly what InflatedCost, Blocking and ReleaseCost return for the
+// current (Entities, N, CacheMax, model); they are computed in one
+// pass so a k-entity evaluation performs O(k) queue-cost
+// interpolations instead of O(k²).
+func (cs *CoreSet) ensureCosts(m *overhead.Model) {
+	if cs.costsOK && cs.costsModel == m && cs.costsN == cs.N && cs.costsLen == len(cs.Entities) {
+		return
+	}
+	k := len(cs.Entities)
+	if cap(cs.infl) < k {
+		cs.infl = make([]timeq.Time, k)
+		cs.blocking = make([]timeq.Time, k)
+	}
+	cs.infl = cs.infl[:k]
+	cs.blocking = cs.blocking[:k]
+	// The six queue-operation costs at this N, interpolated once and
+	// reused for every entity (arrivalCost/departureCost/ReleaseCost
+	// spelled out with the shared constants).
+	dReadyAddL := m.QueueOpCost(overhead.ReadyAdd, cs.N, false)
+	dReadyDelL := m.QueueOpCost(overhead.ReadyDelete, cs.N, false)
+	dReadyAddR := m.QueueOpCost(overhead.ReadyAdd, cs.N, true)
+	dSleepAddL := m.QueueOpCost(overhead.SleepAdd, cs.N, false)
+	dSleepAddR := m.QueueOpCost(overhead.SleepAdd, cs.N, true)
+	dSleepDelL := m.QueueOpCost(overhead.SleepDelete, cs.N, false)
+	cs.relCost = m.Release + dSleepDelL + dReadyAddL + m.Sched
+	cs.maxDep, cs.maxArr = 0, 0
+	cs.nonMigr = 0
+	for i, e := range cs.Entities {
+		var arr timeq.Time
+		if e.MigrIn {
+			arr = m.Sched + m.Cache.Delay(e.Task.WSS, true)
+		} else {
+			arr = cs.relCost
+		}
+		arr += dReadyAddL + dReadyDelL + m.CtxSwitch
+		dep := m.Sched + m.CtxSwitch
+		switch {
+		case e.MigrOut:
+			dep += dReadyAddR
+		case e.RemoteSleepAdd:
+			dep += dSleepAddR
+		default:
+			dep += dSleepAddL
+		}
+		dep += dReadyDelL
+		cs.infl[i] = e.C + arr + dep + cs.CacheMax
+		if dep > cs.maxDep {
+			cs.maxDep = dep
+		}
+		if arr > cs.maxArr {
+			cs.maxArr = arr
+		}
+		if !e.MigrIn {
+			cs.nonMigr++
+		}
+	}
+	if m.IsZero() {
+		cs.perRelease = 0
+		for i := range cs.blocking {
+			cs.blocking[i] = 0
+		}
+	} else {
+		cs.perRelease = m.Release + dSleepDelL + dReadyAddL
+		for i, e := range cs.Entities {
+			n := 0
+			for _, o := range cs.Entities {
+				if o != e && o.LocalPriority > e.LocalPriority && !o.MigrIn {
+					n++
+				}
+			}
+			batch := cs.perRelease * timeq.Time(n)
+			if batch > 0 {
+				batch += m.Sched
+			}
+			cs.blocking[i] = batch + cs.maxDep + cs.maxArr
+		}
+	}
+	cs.costsOK = true
+	cs.costsModel = m
+	cs.costsN = cs.N
+	cs.costsLen = k
 }
 
 // NewCoreSet builds a CoreSet over the given queue-size bound n and
@@ -202,29 +321,6 @@ func (cs *CoreSet) Blocking(e *Entity, m *overhead.Model) timeq.Time {
 		}
 	}
 	return b + maxDep + maxArr
-}
-
-// hp returns the entities with higher local priority than e.
-func (cs *CoreSet) hp(e *Entity) []*Entity {
-	var out []*Entity
-	for _, o := range cs.Entities {
-		if o != e && o.LocalPriority < e.LocalPriority {
-			out = append(out, o)
-		}
-	}
-	return out
-}
-
-// lpTimer returns the lower-priority timer-released entities, whose
-// release paths interfere with e regardless of priority.
-func (cs *CoreSet) lpTimer(e *Entity) []*Entity {
-	var out []*Entity
-	for _, o := range cs.Entities {
-		if o != e && o.LocalPriority > e.LocalPriority && !o.MigrIn {
-			out = append(out, o)
-		}
-	}
-	return out
 }
 
 // Utilization returns the total budget utilization on the core

@@ -23,42 +23,78 @@ import (
 // The returned response time is measured from the entity's own
 // release (jitter excluded); the chain constraint is R + Jitter ≤ D.
 func (cs *CoreSet) ResponseTime(e *Entity, m *overhead.Model) (timeq.Time, bool) {
+	r, ok, _ := cs.responseTime(e, m, 0)
+	return r, ok
+}
+
+// responseTime is the solver behind ResponseTime, extended with a
+// warm-start value and an iteration count (consumed by the incremental
+// admission Context). start must be a lower bound on the least fixed
+// point — e.g. the converged response time of the same entity in a
+// system with strictly fewer entities and no larger overhead terms.
+// The iteration R ← f(R) is monotone, so from any point at or below
+// the least fixed point it converges to exactly that fixed point: the
+// result is identical to a cold start, only fewer iterations are
+// spent. A start of 0 reproduces the cold start bit for bit.
+func (cs *CoreSet) responseTime(e *Entity, m *overhead.Model, start timeq.Time) (timeq.Time, bool, int) {
+	cs.ensureCosts(m)
+	self := -1
+	for i, o := range cs.Entities {
+		if o == e {
+			self = i
+			break
+		}
+	}
 	limit := e.D - e.Jitter
-	base := timeq.AddSat(cs.InflatedCost(e, m), cs.Blocking(e, m))
+	var base timeq.Time
+	if self >= 0 {
+		base = timeq.AddSat(cs.infl[self], cs.blocking[self])
+	} else {
+		// Entity not hosted here (defensive; callers always solve an
+		// entity on its own set).
+		base = timeq.AddSat(cs.InflatedCost(e, m), cs.Blocking(e, m))
+	}
 	if base > limit {
-		return base, false
+		return base, false, 0
 	}
-	hp := cs.hp(e)
-	hpCost := make([]timeq.Time, len(hp))
-	for i, j := range hp {
-		hpCost[i] = cs.InflatedCost(j, m)
-	}
-	lp := cs.lpTimer(e)
-	relCost := cs.ReleaseCost(m)
+	relCost := cs.relCost
+	ep := e.LocalPriority
 	r := base
+	if start > r {
+		r = start
+	}
 	for iter := 0; iter < 10000; iter++ {
 		total := base
-		for i, j := range hp {
-			n := timeq.CeilDiv(r+j.Jitter, j.T)
-			total = timeq.AddSat(total, timeq.MulCount(hpCost[i], n))
-		}
-		if relCost > 0 {
-			for _, j := range lp {
-				n := timeq.CeilDiv(r+j.Jitter, j.T)
+		for j, o := range cs.Entities {
+			if j == self {
+				continue
+			}
+			if o.LocalPriority < ep {
+				// Higher-priority interference with inflated budgets.
+				n := timeq.CeilDiv(r+o.Jitter, o.T)
+				total = timeq.AddSat(total, timeq.MulCount(cs.infl[j], n))
+			} else if relCost > 0 && o.LocalPriority > ep && !o.MigrIn {
+				// Lower-priority timer releases interfere with their
+				// release-path cost regardless of priority.
+				n := timeq.CeilDiv(r+o.Jitter, o.T)
 				total = timeq.AddSat(total, timeq.MulCount(relCost, n))
 			}
 		}
 		if total == r {
-			return r, true
+			// A cold start can only converge at r ≤ limit (larger
+			// totals exit below first); a warm start may land on a
+			// fixed point beyond a limit that shrank since the start
+			// value converged, which must still report unschedulable.
+			return r, r <= limit, iter + 1
 		}
 		if total > limit {
-			return total, false
+			return total, false, iter + 1
 		}
 		r = total
 	}
 	// Non-convergence within the iteration cap means effective
 	// utilization ≥ 1 at this priority level; report unschedulable.
-	return timeq.Infinity, false
+	return timeq.Infinity, false, 10000
 }
 
 // CoreSchedulable reports whether every entity on the core meets its

@@ -28,6 +28,7 @@ func Exp(args []string, w io.Writer) error {
 		edf      = fs.Bool("edf", false, "compare EDF algorithms instead")
 		algsF    = fs.String("algs", "", "comma-separated algorithm list (mixed FP/EDF allowed), e.g. fpts,edfwm,ffd")
 		progress = fs.Bool("progress", false, "stream per-cell progress lines as shards complete")
+		stats    = fs.Bool("stats", false, "report admission-probe counts, cache hit rate and fixed-point effort per sweep")
 		validate = fs.Duration("validate", 0, "also simulate accepted sets for this horizon")
 		umin     = fs.Float64("umin", 0.600, "minimum per-core utilization")
 		umax     = fs.Float64("umax", 0.975, "maximum per-core utilization")
@@ -43,7 +44,7 @@ func Exp(args []string, w io.Writer) error {
 	// exact: a float accumulator (u += step) drifts by ULPs and can
 	// drop the last point.
 	var grid []float64
-	steps := int(math.Floor((*umax-*umin) / *ustep * (1 + 1e-12)))
+	steps := int(math.Floor((*umax - *umin) / *ustep * (1 + 1e-12)))
 	for i := 0; i <= steps; i++ {
 		grid = append(grid, (*umin+float64(i)**ustep)*float64(*cores))
 	}
@@ -75,9 +76,15 @@ func Exp(args []string, w io.Writer) error {
 		}
 		if *progress {
 			cfg.Progress = func(u core.SweepProgress) {
-				fmt.Fprintf(w, "[%3d/%3d] %-10s U=%.3f %4d/%-4d %.3f [%.3f,%.3f]\n",
+				line := fmt.Sprintf("[%3d/%3d] %-10s U=%.3f %4d/%-4d %.3f [%.3f,%.3f]",
 					u.DoneShards, u.TotalShards, u.Algorithm, u.TotalUtilization,
 					u.Accepted, u.Total, u.Ratio, u.WilsonLo, u.WilsonHi)
+				if *stats {
+					// The admission totals ride the same progress
+					// stream as the acceptance counts.
+					line += fmt.Sprintf("  probes=%d", u.Admission.Probes)
+				}
+				fmt.Fprintln(w, line)
 			}
 		}
 		start := time.Now()
@@ -89,6 +96,9 @@ func Exp(args []string, w io.Writer) error {
 		fmt.Fprintf(w, "acceptance ratio — %s overheads (%d sets/point, %d tasks, %d cores, %v)\n",
 			label, *sets, *tasks, *cores, time.Since(start).Round(time.Millisecond))
 		fmt.Fprint(w, r.Table())
+		if *stats {
+			fmt.Fprintf(w, "admission: %v\n", r.Admission)
+		}
 		if *plot {
 			fmt.Fprintln(w)
 			fmt.Fprint(w, r.Plot(14))

@@ -66,6 +66,14 @@ type (
 	// Analyzer is the policy-generic admission test every partitioning
 	// algorithm admits through.
 	Analyzer = analysis.Analyzer
+	// AdmissionContext is the stateful incremental admission session
+	// the partitioners thread through their packing loops: per-core
+	// caches, warm-started fixed points and memoized verdicts, with
+	// decisions bit-identical to the stateless Analyzer path.
+	AdmissionContext = analysis.Context
+	// AdmissionStats counts admission work (probes, cache hits,
+	// fixed-point iterations); see AdmissionStatsSnapshot.
+	AdmissionStats = analysis.AdmissionStats
 )
 
 // Time units.
@@ -118,6 +126,21 @@ var (
 
 // AnalyzerFor returns the admission analyzer for a policy.
 func AnalyzerFor(p Policy) Analyzer { return analysis.ForPolicy(p) }
+
+// NewAdmissionContext opens an incremental admission context over the
+// assignment for the given policy: the stateful counterpart of
+// repeated Schedulable probes. The context owns all mutations of a
+// for its lifetime (TryPlace/TrySplit/Commit/Rollback/Place/AddSplit)
+// and answers exactly as the stateless analyzer would, doing only
+// O(changed-core) work per probe.
+func NewAdmissionContext(a *Assignment, p Policy, model *OverheadModel) AdmissionContext {
+	return analysis.ForPolicy(p).NewContext(a, model)
+}
+
+// AdmissionStatsSnapshot returns the process-wide admission counters
+// (probes, cache hits, fixed-point effort) flushed by admission
+// contexts so far; diff two snapshots with Sub to scope a sweep.
+func AdmissionStatsSnapshot() AdmissionStats { return analysis.StatsSnapshot() }
 
 // ErrUnschedulable is returned by Schedule when the algorithm cannot
 // place the set.

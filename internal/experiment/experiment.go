@@ -30,6 +30,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/partition"
 	"repro/internal/sched"
@@ -91,6 +92,12 @@ type CellUpdate struct {
 	WilsonLo, WilsonHi float64
 	// DoneShards/TotalShards track the whole sweep.
 	DoneShards, TotalShards int
+	// Admission carries the running admission-layer totals of this
+	// sweep (probes, cache hit rate, fixed-point effort), accumulated
+	// across every partitioner context the workers flushed so far.
+	// Totals are process-wide deltas since Run started, so two sweeps
+	// running concurrently in one process see each other's probes.
+	Admission analysis.AdmissionStats
 }
 
 func (c *Config) withDefaults() Config {
@@ -188,6 +195,14 @@ type Series struct {
 type Results struct {
 	Config Config
 	Series []Series
+	// Admission is the admission-layer work the sweep performed: one
+	// context per (task set × algorithm) cell spans every probe of
+	// that cell's packing loop, so these counters expose the
+	// incremental layer's cache hit rate and fixed-point effort.
+	// Like CellUpdate.Admission, it is a process-wide delta since Run
+	// started: a second sweep (or any other partitioning) running
+	// concurrently in the same process contaminates the totals.
+	Admission analysis.AdmissionStats
 }
 
 // cell accumulates one (algorithm × utilization) grid cell.
@@ -218,6 +233,7 @@ type aggregator struct {
 	grid        [][]cell // [algorithm][utilization]
 	doneShards  int
 	totalShards int
+	startStats  analysis.AdmissionStats
 }
 
 func newAggregator(cfg *Config, totalShards int) *aggregator {
@@ -225,7 +241,7 @@ func newAggregator(cfg *Config, totalShards int) *aggregator {
 	for i := range grid {
 		grid[i] = make([]cell, len(cfg.Utilizations))
 	}
-	return &aggregator{cfg: cfg, grid: grid, totalShards: totalShards}
+	return &aggregator{cfg: cfg, grid: grid, totalShards: totalShards, startStats: analysis.StatsSnapshot()}
 }
 
 // fold merges one shard's per-algorithm partial cells and emits the
@@ -241,6 +257,7 @@ func (ag *aggregator) fold(sh shard, partial []cell) {
 	if ag.cfg.Progress == nil {
 		return
 	}
+	adm := analysis.StatsSnapshot().Sub(ag.startStats)
 	for ai, alg := range ag.cfg.Algorithms {
 		c := ag.grid[ai][sh.ui]
 		lo, hi := stats.WilsonInterval(c.accepted, c.total)
@@ -254,6 +271,7 @@ func (ag *aggregator) fold(sh shard, partial []cell) {
 			WilsonHi:         hi,
 			DoneShards:       ag.doneShards,
 			TotalShards:      ag.totalShards,
+			Admission:        adm,
 		})
 	}
 }
@@ -296,7 +314,7 @@ func Run(cfg Config) *Results {
 	close(work)
 	wg.Wait()
 
-	res := &Results{Config: cfg}
+	res := &Results{Config: cfg, Admission: analysis.StatsSnapshot().Sub(ag.startStats)}
 	for ai, alg := range cfg.Algorithms {
 		series := Series{Algorithm: alg.Name()}
 		for ui, u := range cfg.Utilizations {
@@ -323,7 +341,12 @@ func Run(cfg Config) *Results {
 }
 
 // runShard generates the shard's task sets and offers each to every
-// algorithm, returning one partial cell per algorithm.
+// algorithm, returning one partial cell per algorithm. Each
+// (task set × algorithm) cell runs under one admission context that
+// every probe of that cell's packing loop reuses (partitioners open
+// it and thread it through; see analysis.Context), so a cell does
+// O(changed-core) admission work per probe; the contexts flush their
+// probe/cache/fixed-point counters into the sweep's Admission totals.
 func runShard(cfg *Config, sh shard) []cell {
 	partial := make([]cell, len(cfg.Algorithms))
 	u := cfg.Utilizations[sh.ui]

@@ -105,6 +105,16 @@ type Model struct {
 // "theoretical" schedulability setting.
 func Zero() *Model { return &Model{RemotePenalty: 1} }
 
+// Normalize maps a nil model to the zero-overhead model, so every
+// admission entry point (analyzers, contexts, partitioners) accepts
+// nil. Non-nil models are returned unchanged.
+func Normalize(m *Model) *Model {
+	if m == nil {
+		return Zero()
+	}
+	return m
+}
+
 // IsZero reports whether the model charges no overhead at all.
 func (m *Model) IsZero() bool {
 	return m.Release == 0 && m.Sched == 0 && m.CtxSwitch == 0 &&

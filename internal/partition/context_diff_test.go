@@ -1,0 +1,70 @@
+package partition
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/taskgen"
+)
+
+// allNineAlgorithms is the full Section 4 roster: the semi-partitioned
+// FP-TS, the three partitioned fixed-priority heuristics, the two SPA
+// constructions, and the three EDF algorithms.
+func allNineAlgorithms() []Algorithm {
+	return []Algorithm{TS, FFD, WFD, BFD, SPA1, SPA2, WM, EDFFFD, EDFWFD}
+}
+
+// TestNinePartitionersContextDecisionIdentical proves the context
+// path decision-identical to the stateless analyzer path for every
+// algorithm under both the zero and the paper overhead model:
+// analysis.SelfCheck shadows every TryPlace/TrySplit/Schedulable a
+// partitioner issues with the stateless CoreSchedulable/Schedulable
+// computation on the identical assignment state and panics on any
+// divergence. Randomized sets across the interesting utilization
+// range exercise whole placements, split searches and rejections.
+func TestNinePartitionersContextDecisionIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential sweep is not short")
+	}
+	old := analysis.SelfCheck
+	analysis.SelfCheck = true
+	defer func() { analysis.SelfCheck = old }()
+
+	models := map[string]*overhead.Model{
+		"zero":  overhead.Zero(),
+		"paper": overhead.PaperModel(),
+		// Scaled remote penalty defeats the monotonicity gate, so this
+		// exercises the cold-fallback context paths end to end.
+		"paper-remote8": overhead.PaperModel().WithRemotePenalty(8),
+	}
+	accepted, rejected := 0, 0
+	for seed := int64(1); seed <= 12; seed++ {
+		// Sweep the range where acceptance flips: low-U sets accept
+		// everywhere, high-U sets force splits and rejections.
+		u := 2.6 + 0.1*float64(seed%12)
+		set := taskgen.New(taskgen.Config{N: 10, TotalUtilization: u, Seed: seed}).Next()
+		for name, m := range models {
+			for _, alg := range allNineAlgorithms() {
+				a, err := alg.Partition(set.Clone(), 4, m)
+				switch {
+				case err == nil:
+					accepted++
+					// The returned assignment must also pass the
+					// stateless full test directly.
+					if !analysis.ForPolicy(alg.Policy()).Schedulable(a, m) {
+						t.Fatalf("%s/%s seed %d: accepted assignment fails stateless analysis", alg.Name(), name, seed)
+					}
+				case errors.Is(err, ErrUnschedulable):
+					rejected++
+				default:
+					t.Fatalf("%s/%s seed %d: unexpected error %v", alg.Name(), name, seed, err)
+				}
+			}
+		}
+	}
+	if accepted == 0 || rejected == 0 {
+		t.Fatalf("degenerate differential sweep: %d accepted, %d rejected", accepted, rejected)
+	}
+}

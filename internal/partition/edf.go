@@ -51,21 +51,22 @@ func (h *EDFHeuristic) Name() string {
 }
 
 // Partition assigns every task whole to some core under EDF, or
-// fails with ErrUnschedulable.
+// fails with ErrUnschedulable. Probes thread one admission context
+// across the whole packing loop.
 func (h *EDFHeuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
-	model = normalizeModel(model)
-	an := analyzerFor(h)
+	model = overhead.Normalize(model)
 	if err := validateInput(s, m, h.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
+	ctx := newContext(h, a, model)
+	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {
 		best := -1
 		var bestU float64
 		for c := 0; c < m; c++ {
-			a.Place(t, c)
-			fits := coreFits(an, a, c, model)
-			a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
+			fits := ctx.TryPlace(t, c)
+			ctx.Rollback()
 			if !fits {
 				continue
 			}
@@ -89,9 +90,9 @@ func (h *EDFHeuristic) Partition(s *task.Set, m int, model *overhead.Model) (*ta
 		if best == -1 {
 			return nil, ErrUnschedulable
 		}
-		a.Place(t, best)
+		ctx.Place(t, best)
 	}
-	return finalize(an, a, model)
+	return finalize(ctx, a)
 }
 
 // EDFWM is semi-partitioned EDF with window-constrained task
@@ -116,36 +117,37 @@ func (*EDFWM) EDFPolicy() bool { return true }
 // and splits a task over k equal deadline windows when it fits
 // nowhere whole, growing k until the split succeeds or cores run out.
 func (w *EDFWM) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
-	model = normalizeModel(model)
-	an := analyzerFor(w)
+	model = overhead.Normalize(model)
 	if err := validateInput(s, m, w.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
+	ctx := newContext(w, a, model)
+	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {
-		if placeWholeFirstFit(an, a, t, m, model) {
+		if placeWholeFirstFit(ctx, t, m) {
 			continue
 		}
-		if !w.split(an, a, t, m, model) {
+		if !w.split(ctx, t, m) {
 			return nil, ErrUnschedulable
 		}
 	}
-	return finalize(an, a, model)
+	return finalize(ctx, a)
 }
 
 // split tries k = 2..m equal windows of D/k: for each window it finds
 // the core admitting the largest budget; if the k budgets cover the
 // WCET the split is installed (last window trimmed to the remainder).
-func (w *EDFWM) split(an analysis.Analyzer, a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
+func (w *EDFWM) split(ctx analysis.Context, t *task.Task, m int) bool {
 	d := t.EffectiveDeadline()
 	for k := 2; k <= m; k++ {
 		window := d / timeq.Time(k)
 		if window < minPartBudget {
 			return false
 		}
-		parts, windows, ok := w.trySplit(an, a, t, k, window, m, model)
+		parts, windows, ok := w.trySplit(ctx, t, k, window, m)
 		if ok {
-			a.Splits = append(a.Splits, &task.Split{Task: t, Parts: parts, Windows: windows})
+			ctx.AddSplit(&task.Split{Task: t, Parts: parts, Windows: windows})
 			return true
 		}
 	}
@@ -155,7 +157,7 @@ func (w *EDFWM) split(an analysis.Analyzer, a *task.Assignment, t *task.Task, m 
 // trySplit greedily assigns each of the k windows to the core that
 // admits the largest budget for a (budget, window, T) sporadic task,
 // one part per core.
-func (w *EDFWM) trySplit(an analysis.Analyzer, a *task.Assignment, t *task.Task, k int, window timeq.Time, m int, model *overhead.Model) ([]task.Part, []timeq.Time, bool) {
+func (w *EDFWM) trySplit(ctx analysis.Context, t *task.Task, k int, window timeq.Time, m int) ([]task.Part, []timeq.Time, bool) {
 	remaining := t.WCET
 	var parts []task.Part
 	var windows []timeq.Time
@@ -167,7 +169,7 @@ func (w *EDFWM) trySplit(an analysis.Analyzer, a *task.Assignment, t *task.Task,
 			if used[c] {
 				continue
 			}
-			b := w.maxWindowBudget(an, a, parts, windows, t, c, window, remaining, used, m, model)
+			b := w.maxWindowBudget(ctx, parts, windows, t, c, window, remaining, used, m)
 			if b > bestBudget {
 				bestCore, bestBudget = c, b
 			}
@@ -195,7 +197,7 @@ func (w *EDFWM) trySplit(an analysis.Analyzer, a *task.Assignment, t *task.Task,
 // is monotone in the budget. A non-final part (b < remaining) is
 // probed with a remainder placeholder on another unused core so the
 // migration flags — and hence the departure overhead — are correct.
-func (w *EDFWM) maxWindowBudget(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, priorWindows []timeq.Time, t *task.Task, c int, window, remaining timeq.Time, used []bool, m int, model *overhead.Model) timeq.Time {
+func (w *EDFWM) maxWindowBudget(ctx analysis.Context, priorParts []task.Part, priorWindows []timeq.Time, t *task.Task, c int, window, remaining timeq.Time, used []bool, m int) timeq.Time {
 	placeholder := -1
 	for o := 0; o < m; o++ {
 		if o != c && !used[o] {
@@ -218,10 +220,8 @@ func (w *EDFWM) maxWindowBudget(an analysis.Analyzer, a *task.Assignment, priorP
 			parts = append(parts, task.Part{Core: placeholder, Budget: remaining - b})
 			windows = append(windows, window)
 		}
-		sp := &task.Split{Task: t, Parts: parts, Windows: windows}
-		a.Splits = append(a.Splits, sp)
-		ok := coreFits(an, a, c, model)
-		a.Splits = a.Splits[:len(a.Splits)-1]
+		ok := ctx.TrySplit(&task.Split{Task: t, Parts: parts, Windows: windows}, c)
+		ctx.Rollback()
 		return ok
 	}
 	cap := remaining

@@ -56,34 +56,37 @@ func (f *FPTS) Name() string {
 func (f *FPTS) Policy() task.Policy { return task.FixedPriority }
 
 // Partition assigns the set, splitting tasks when whole placement
-// fails, or returns ErrUnschedulable.
+// fails, or returns ErrUnschedulable. All probes thread one admission
+// context, so each differs from the committed state by exactly the
+// tentative placement being tested.
 func (f *FPTS) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
-	model = normalizeModel(model)
-	an := analyzerFor(f)
+	model = overhead.Normalize(model)
 	if err := validateInput(s, m, f.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
+	ctx := newContext(f, a, model)
+	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {
-		if placeWholeFirstFit(an, a, t, m, model) {
+		if placeWholeFirstFit(ctx, t, m) {
 			continue
 		}
-		if !f.split(an, a, t, m, model) {
+		if !f.split(ctx, t, m) {
 			return nil, ErrUnschedulable
 		}
 	}
-	return finalize(an, a, model)
+	return finalize(ctx, a)
 }
 
 // placeWholeFirstFit puts t whole on the lowest-indexed core that
 // admits it, reporting success.
-func placeWholeFirstFit(an analysis.Analyzer, a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
+func placeWholeFirstFit(ctx analysis.Context, t *task.Task, m int) bool {
 	for c := 0; c < m; c++ {
-		a.Place(t, c)
-		if coreFits(an, a, c, model) {
+		if ctx.TryPlace(t, c) {
+			ctx.Commit()
 			return true
 		}
-		a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
+		ctx.Rollback()
 	}
 	return false
 }
@@ -91,7 +94,7 @@ func placeWholeFirstFit(an analysis.Analyzer, a *task.Assignment, t *task.Task, 
 // split carves t across several cores: repeatedly find the core with
 // the largest admissible budget for the next part and place it there,
 // until the remainder fits. Each core hosts at most one part of t.
-func (f *FPTS) split(an analysis.Analyzer, a *task.Assignment, t *task.Task, m int, model *overhead.Model) bool {
+func (f *FPTS) split(ctx analysis.Context, t *task.Task, m int) bool {
 	remaining := t.WCET
 	var parts []task.Part
 	used := make([]bool, m)
@@ -102,7 +105,7 @@ func (f *FPTS) split(an analysis.Analyzer, a *task.Assignment, t *task.Task, m i
 			if used[c] {
 				continue
 			}
-			b := maxBudgetOnCore(an, a, parts, t, remaining, c, used, m, f.NoBoost, model)
+			b := maxBudgetOnCore(ctx, parts, t, remaining, c, used, m, f.NoBoost)
 			if b > bestBudget {
 				bestCore, bestBudget = c, b
 			}
@@ -124,7 +127,7 @@ func (f *FPTS) split(an analysis.Analyzer, a *task.Assignment, t *task.Task, m i
 		// first part never swallows the entire WCET. Guard anyway.
 		return false
 	}
-	a.Splits = append(a.Splits, &task.Split{Task: t, Parts: parts, NoBoost: f.NoBoost})
+	ctx.AddSplit(&task.Split{Task: t, Parts: parts, NoBoost: f.NoBoost})
 	return true
 }
 
@@ -132,7 +135,7 @@ func (f *FPTS) split(an analysis.Analyzer, a *task.Assignment, t *task.Task, m i
 // core c admits a tentative part (priorParts…, (c,b)), searching the
 // same 1µs grid as the SPA fill. A non-final part needs a remainder
 // placeholder on some other unused core for correct migration flags.
-func maxBudgetOnCore(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining timeq.Time, c int, used []bool, m int, noBoost bool, model *overhead.Model) timeq.Time {
+func maxBudgetOnCore(ctx analysis.Context, priorParts []task.Part, t *task.Task, remaining timeq.Time, c int, used []bool, m int, noBoost bool) timeq.Time {
 	// Pick a placeholder core for the remainder of a non-final part.
 	placeholder := -1
 	for o := 0; o < m; o++ {
@@ -142,7 +145,7 @@ func maxBudgetOnCore(an analysis.Analyzer, a *task.Assignment, priorParts []task
 		}
 	}
 	fits := func(b timeq.Time) bool {
-		return tentativePartFits(an, a, priorParts, t, remaining, b, c, placeholder, noBoost, model)
+		return tentativePartFits(ctx, priorParts, t, remaining, b, c, placeholder, noBoost)
 	}
 	if fits(remaining) {
 		return remaining
@@ -166,9 +169,9 @@ func maxBudgetOnCore(an analysis.Analyzer, a *task.Assignment, priorParts []task
 	return timeq.Time(loUS) * timeq.Microsecond
 }
 
-// tentativePartFits tests core c with the tentative split
-// (priorParts…, (c,b)[, remainder on placeholder]) added.
-func tentativePartFits(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, placeholder int, noBoost bool, model *overhead.Model) bool {
+// tentativePartFits probes core c with the tentative split
+// (priorParts…, (c,b)[, remainder on placeholder]) installed.
+func tentativePartFits(ctx analysis.Context, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, placeholder int, noBoost bool) bool {
 	if b <= 0 {
 		return true
 	}
@@ -188,9 +191,7 @@ func tentativePartFits(an analysis.Analyzer, a *task.Assignment, priorParts []ta
 		}
 		parts = append(parts, task.Part{Core: placeholder, Budget: remaining - b})
 	}
-	sp := &task.Split{Task: t, Parts: parts, NoBoost: noBoost}
-	a.Splits = append(a.Splits, sp)
-	ok := coreFits(an, a, c, model)
-	a.Splits = a.Splits[:len(a.Splits)-1]
+	ok := ctx.TrySplit(&task.Split{Task: t, Parts: parts, NoBoost: noBoost}, c)
+	ctx.Rollback()
 	return ok
 }

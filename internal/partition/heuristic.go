@@ -76,11 +76,11 @@ func (h *Heuristic) Name() string {
 // Policy declares fixed-priority dispatching.
 func (h *Heuristic) Policy() task.Policy { return task.FixedPriority }
 
-// Partition assigns every task whole to some core, admitting via the
-// shared analyzer, or fails with ErrUnschedulable.
+// Partition assigns every task whole to some core, admitting every
+// probe through one admission context threaded across the whole
+// packing loop, or fails with ErrUnschedulable.
 func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
-	model = normalizeModel(model)
-	an := analyzerFor(h)
+	model = overhead.Normalize(model)
 	if err := validateInput(s, m, h.Policy()); err != nil {
 		return nil, err
 	}
@@ -92,14 +92,14 @@ func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.
 		order = s.SortedByUtilizationDesc()
 	}
 	a := task.NewAssignment(m)
+	ctx := newContext(h, a, model)
+	defer ctx.Flush()
 	for _, t := range order {
 		best := -1
 		var bestU float64
 		for c := 0; c < m; c++ {
-			a.Place(t, c)
-			fits := coreFits(an, a, c, model)
-			// Undo the tentative placement.
-			a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
+			fits := ctx.TryPlace(t, c)
+			ctx.Rollback()
 			if !fits {
 				continue
 			}
@@ -123,7 +123,9 @@ func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.
 		if best == -1 {
 			return nil, ErrUnschedulable
 		}
-		a.Place(t, best)
+		// The winning core was probed in this committed epoch, so the
+		// context promotes that probe's verdict and warm values.
+		ctx.Place(t, best)
 	}
-	return finalize(an, a, model)
+	return finalize(ctx, a)
 }

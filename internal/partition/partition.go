@@ -17,6 +17,12 @@
 // assignment is returned only if it is schedulable *including*
 // overheads. Passing overhead.Zero() yields the "theoretical"
 // comparison.
+//
+// Admission is stateful: each Partition call opens one incremental
+// analysis.Context over its growing assignment and threads it through
+// every probe of the packing loop, so consecutive probes cost only
+// the work of the cores they touch (DESIGN.md §2). Decisions are
+// bit-identical to the stateless analyzer path.
 package partition
 
 import (
@@ -46,18 +52,15 @@ type Algorithm interface {
 	Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error)
 }
 
-// analyzerFor returns the shared admission analyzer bound to the
-// algorithm's declared policy.
-func analyzerFor(alg Algorithm) analysis.Analyzer {
-	return analysis.ForPolicy(alg.Policy())
-}
-
-// normalizeModel maps nil to the zero model.
-func normalizeModel(m *overhead.Model) *overhead.Model {
-	if m == nil {
-		return overhead.Zero()
-	}
-	return m
+// newContext opens the incremental admission context every packing
+// loop threads through its probes: one stateful session per
+// (assignment, overhead model), bound to the analyzer of the
+// algorithm's declared policy. All assignment mutations go through
+// the context so its per-core caches, warm-started fixed points and
+// verdict memos stay coherent; decisions are bit-identical to the
+// stateless analyzer path.
+func newContext(alg Algorithm, a *task.Assignment, model *overhead.Model) analysis.Context {
+	return analysis.ForPolicy(alg.Policy()).NewContext(a, model)
 }
 
 // validateInput performs the shared sanity checks. Fixed-priority
@@ -82,21 +85,17 @@ func validateInput(s *task.Set, m int, p task.Policy) error {
 	return nil
 }
 
-// coreFits reports whether core c of the (possibly provisional)
-// assignment remains schedulable under the analyzer — the incremental
-// admission every placement probe goes through.
-func coreFits(an analysis.Analyzer, a *task.Assignment, c int, model *overhead.Model) bool {
-	return an.CoreSchedulable(a, c, model)
-}
-
-// finalize stamps the assignment with the analyzer's policy and
-// validates it in full, chains included.
-func finalize(an analysis.Analyzer, a *task.Assignment, model *overhead.Model) (*task.Assignment, error) {
-	a.Policy = an.Policy()
+// finalize stamps the assignment with the context's policy and
+// validates it in full, chains included. The full test runs through
+// the context, so per-core verdicts the packing loop already
+// established (and no later mutation invalidated) are reused instead
+// of re-analyzed.
+func finalize(ctx analysis.Context, a *task.Assignment) (*task.Assignment, error) {
+	a.Policy = ctx.Analyzer().Policy()
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("partition: produced invalid assignment: %w", err)
 	}
-	if !an.Schedulable(a, model) {
+	if !ctx.Schedulable() {
 		return nil, ErrUnschedulable
 	}
 	return a, nil

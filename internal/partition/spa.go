@@ -65,13 +65,16 @@ func (alg *SPA) Name() string {
 
 // Partition runs the splitting assignment. The returned assignment
 // passes full overhead-aware chain analysis or an error is returned.
+// One admission context is threaded through the entire sequential
+// fill, so each probe costs only the work of the core it touches.
 func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
-	model = normalizeModel(model)
-	an := analyzerFor(alg)
+	model = overhead.Normalize(model)
 	if err := validateInput(s, m, alg.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
+	ctx := newContext(alg, a, model)
+	defer ctx.Flush()
 
 	// Task order: increasing priority (longest period first), the
 	// SPA fill order.
@@ -92,10 +95,11 @@ func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assi
 		// Pre-assign heavy tasks to the last cores, largest first on
 		// the last core (they are filled last by the sequence).
 		for i, t := range heavy {
-			a.Place(t, m-1-i)
-			if !coreFits(an, a, m-1-i, model) {
+			if !ctx.TryPlace(t, m-1-i) {
+				ctx.Rollback()
 				return nil, ErrUnschedulable
 			}
+			ctx.Commit()
 		}
 		// Remove heavy tasks from the fill order.
 		isHeavy := make(map[task.ID]bool, len(heavy))
@@ -120,16 +124,16 @@ func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assi
 				return nil, ErrUnschedulable
 			}
 			c := cur
-			b := alg.maxBudget(an, a, parts, t, remaining, c, m, model)
+			b := alg.maxBudget(ctx, a, parts, t, remaining, c, m)
 			switch {
 			case b >= remaining:
 				// The remainder fits entirely: place and stay on
 				// this core.
 				if len(parts) == 0 {
-					a.Place(t, c)
+					ctx.Place(t, c)
 				} else {
 					parts = append(parts, task.Part{Core: c, Budget: remaining})
-					a.Splits = append(a.Splits, &task.Split{Task: t, Parts: parts})
+					ctx.AddSplit(&task.Split{Task: t, Parts: parts})
 				}
 				remaining = 0
 			case b < minPartBudget:
@@ -142,7 +146,7 @@ func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assi
 			}
 		}
 	}
-	return finalize(an, a, model)
+	return finalize(ctx, a)
 }
 
 // heavyTasks returns the tasks whose utilization exceeds the Liu &
@@ -170,12 +174,12 @@ func heavyTasks(s *task.Set) []*task.Task {
 // stays schedulable with a tentative split part (priorParts…, (c,b))
 // added. Feasibility is monotone in b (a larger part only adds
 // interference), so the RTA fill uses binary search.
-func (alg *SPA) maxBudget(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining timeq.Time, c, m int, model *overhead.Model) timeq.Time {
+func (alg *SPA) maxBudget(ctx analysis.Context, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining timeq.Time, c, m int) timeq.Time {
 	if alg.FillByBound {
 		return alg.boundBudget(a, t, remaining, c)
 	}
 	fits := func(b timeq.Time) bool {
-		return alg.partFits(an, a, priorParts, t, remaining, b, c, m, model)
+		return alg.partFits(ctx, priorParts, t, remaining, b, c, m)
 	}
 	if fits(remaining) {
 		return remaining
@@ -221,16 +225,15 @@ func (alg *SPA) boundBudget(a *task.Assignment, t *task.Task, remaining timeq.Ti
 // next core so migration flags (and hence overhead charges) are
 // correct; the remainder's own schedulability is decided later, when
 // the fill reaches that core.
-func (alg *SPA) partFits(an analysis.Analyzer, a *task.Assignment, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, m int, model *overhead.Model) bool {
+func (alg *SPA) partFits(ctx analysis.Context, priorParts []task.Part, t *task.Task, remaining, b timeq.Time, c, m int) bool {
 	if b <= 0 {
 		return true
 	}
 	final := b >= remaining
 	if final && len(priorParts) == 0 {
 		// Whole-task placement.
-		a.Place(t, c)
-		ok := coreFits(an, a, c, model)
-		a.Normal[c] = a.Normal[c][:len(a.Normal[c])-1]
+		ok := ctx.TryPlace(t, c)
+		ctx.Rollback()
 		return ok
 	}
 	parts := make([]task.Part, len(priorParts), len(priorParts)+2)
@@ -245,9 +248,7 @@ func (alg *SPA) partFits(an analysis.Analyzer, a *task.Assignment, priorParts []
 		}
 		parts = append(parts, task.Part{Core: next, Budget: remaining - b})
 	}
-	sp := &task.Split{Task: t, Parts: parts}
-	a.Splits = append(a.Splits, sp)
-	ok := coreFits(an, a, c, model)
-	a.Splits = a.Splits[:len(a.Splits)-1]
+	ok := ctx.TrySplit(&task.Split{Task: t, Parts: parts}, c)
+	ctx.Rollback()
 	return ok
 }

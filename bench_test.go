@@ -1,5 +1,5 @@
 // Package repro's root benchmarks regenerate every table and figure
-// of the paper (see DESIGN.md §4 for the experiment index):
+// of the paper (see DESIGN.md §5 for the experiment index):
 //
 //	BenchmarkFigure1Timeline         — Figure 1, overhead anatomy
 //	BenchmarkTable1QueueOps          — Table 1, queue-op durations
@@ -8,6 +8,7 @@
 //	BenchmarkAblationRemotePenalty   — ablation A (remote queue cost)
 //	BenchmarkAblationCPMD            — ablation B (migration CPMD)
 //	BenchmarkMixedPolicySweep        — FP vs EDF as one paired sweep
+//	BenchmarkAdmitdThroughput        — admission daemon requests/sec
 //	BenchmarkSimulatorThroughput     — simulator events/sec (engine)
 //
 // Each benchmark prints the regenerated rows once (on the first
@@ -16,10 +17,12 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
 
+	"repro/internal/admitd"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/measure"
@@ -170,7 +173,7 @@ func BenchmarkAblationCPMD(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationPriorityBoost regenerates the DESIGN.md §5
+// BenchmarkAblationPriorityBoost regenerates the DESIGN.md §6
 // design-choice ablation: split parts at boosted top priority (the
 // shipped design) versus plain RM priority.
 func BenchmarkAblationPriorityBoost(b *testing.B) {
@@ -329,6 +332,38 @@ func BenchmarkPartitionProbes(b *testing.B) {
 	}
 	b.ReportMetric(float64(delta.Probes)/b.Elapsed().Seconds(), "probes/s")
 	b.ReportMetric(delta.MeanFPIterations(), "fp-iters/solve")
+}
+
+// BenchmarkAdmitdThroughput measures the admission-control daemon:
+// requests per wall second through the full HTTP handler path, with
+// a mixed try/admit/remove/state workload spread over concurrent
+// warm sessions (each backed by a live incremental admission
+// context). One load-generator iteration is one complete run; the
+// metric is the sustained request rate.
+func BenchmarkAdmitdThroughput(b *testing.B) {
+	requests := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh server per iteration keeps the workload stationary:
+		// reusing one would re-seed the same session names into
+		// already-loaded sessions and drift the admit/reject mix.
+		srv, err := admitd.New(admitd.Config{MaxSessions: 64})
+		if err != nil {
+			b.Fatal(err)
+		}
+		stats, err := admitd.RunLoad(context.Background(), admitd.InProcess{H: srv}, admitd.LoadConfig{
+			Sessions: 16, Requests: 20_000, Cores: 4, TasksPerSession: 12, Seed: int64(i + 1),
+		})
+		srv.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if stats.Errors > 0 {
+			b.Fatalf("%d load errors", stats.Errors)
+		}
+		requests += stats.Requests
+	}
+	b.ReportMetric(float64(requests)/b.Elapsed().Seconds(), "req/s")
 }
 
 // BenchmarkSimulatorThroughput measures raw engine speed: simulated

@@ -1,0 +1,28 @@
+// Command spadmitd is the online admission-control daemon: the
+// paper's overhead-aware schedulability test served over HTTP against
+// live cluster sessions, each backed by an incremental admission
+// context (warm probes, not cold re-analysis).
+//
+// Usage:
+//
+//	spadmitd serve [-addr :7007] [-snapshots dir] [-max-sessions 1024]
+//	spadmitd load  [-addr http://host:7007] [-sessions 64] [-requests 100000]
+//
+// See DESIGN.md §3 for the architecture (session actors, sharded
+// store, LRU eviction + snapshot/restore, removal invalidation) and
+// README.md for a curl quickstart.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/cli"
+)
+
+func main() {
+	if err := cli.Admitd(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "spadmitd:", err)
+		os.Exit(1)
+	}
+}

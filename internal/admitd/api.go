@@ -1,0 +1,228 @@
+// Package admitd is the online admission-control service: the
+// paper's overhead-aware schedulability test served as a long-running
+// HTTP/JSON daemon over live cluster sessions.
+//
+// A client creates a named session (a core count, a scheduling policy
+// and an overhead model) and then asks, request by request, "can this
+// task join this core set right now?". Each session owns one live
+// analysis.Context — the incremental admission machinery the batch
+// sweeps use — so consecutive admissions are warm incremental probes
+// against the session's committed state, not cold re-analyses of the
+// whole assignment. Sessions are serialized by a per-session actor
+// goroutine, stored in a striped shard map, evicted LRU under a
+// session cap (snapshotted to disk first, restored transparently on
+// next touch), and snapshotted on graceful shutdown. See DESIGN.md §3.
+package admitd
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/task"
+	"repro/internal/taskgen"
+	"repro/internal/timeq"
+)
+
+// TaskJSON is the wire form of one sporadic task. Durations are
+// nanoseconds. Core carries the placement in state/snapshot output
+// (and is ignored on input — admission decides the placement).
+type TaskJSON struct {
+	ID         int64  `json:"id"`
+	Name       string `json:"name,omitempty"`
+	WCETNs     int64  `json:"wcet_ns"`
+	PeriodNs   int64  `json:"period_ns"`
+	DeadlineNs int64  `json:"deadline_ns,omitempty"`
+	Priority   int    `json:"priority,omitempty"`
+	WSS        int64  `json:"wss,omitempty"`
+	Core       int    `json:"core,omitempty"`
+}
+
+// toTask validates and converts the wire task. Fixed-priority
+// sessions require an explicit priority: admission is online, so
+// there is no whole set to run rate-monotonic assignment over.
+func (j TaskJSON) toTask(p task.Policy) (*task.Task, error) {
+	t := &task.Task{
+		ID:       task.ID(j.ID),
+		Name:     j.Name,
+		WCET:     timeq.Time(j.WCETNs),
+		Period:   timeq.Time(j.PeriodNs),
+		Deadline: timeq.Time(j.DeadlineNs),
+		Priority: j.Priority,
+		WSS:      j.WSS,
+	}
+	if j.ID == 0 {
+		return nil, fmt.Errorf("task needs a nonzero id")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if p == task.FixedPriority && t.Priority == 0 {
+		return nil, fmt.Errorf("task %d: fixed-priority sessions need an explicit priority (smaller = higher)", j.ID)
+	}
+	return t, nil
+}
+
+// fromTask converts a task back to the wire form.
+func fromTask(t *task.Task, core int) TaskJSON {
+	return TaskJSON{
+		ID:         int64(t.ID),
+		Name:       t.Name,
+		WCETNs:     int64(t.WCET),
+		PeriodNs:   int64(t.Period),
+		DeadlineNs: int64(t.Deadline),
+		Priority:   t.Priority,
+		WSS:        t.WSS,
+		Core:       core,
+	}
+}
+
+// PartJSON is one per-core share of a split task.
+type PartJSON struct {
+	Core     int   `json:"core"`
+	BudgetNs int64 `json:"budget_ns"`
+}
+
+// SplitJSON is the wire form of a split task: the task, its per-core
+// budgets, and (EDF sessions) the deadline windows.
+type SplitJSON struct {
+	Task      TaskJSON   `json:"task"`
+	Parts     []PartJSON `json:"parts"`
+	WindowsNs []int64    `json:"windows_ns,omitempty"`
+}
+
+// toSplit validates and converts the wire split.
+func (j SplitJSON) toSplit(p task.Policy) (*task.Split, error) {
+	t, err := j.Task.toTask(p)
+	if err != nil {
+		return nil, err
+	}
+	sp := &task.Split{Task: t}
+	for _, pt := range j.Parts {
+		sp.Parts = append(sp.Parts, task.Part{Core: pt.Core, Budget: timeq.Time(pt.BudgetNs)})
+	}
+	for _, w := range j.WindowsNs {
+		sp.Windows = append(sp.Windows, timeq.Time(w))
+	}
+	if p == task.EDF && !sp.HasWindows() {
+		return nil, fmt.Errorf("split %d: EDF sessions need windows_ns (EDF-WM deadline windows)", j.Task.ID)
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	return sp, nil
+}
+
+// fromSplit converts a split back to the wire form.
+func fromSplit(sp *task.Split) SplitJSON {
+	j := SplitJSON{Task: fromTask(sp.Task, sp.Parts[0].Core)}
+	for _, p := range sp.Parts {
+		j.Parts = append(j.Parts, PartJSON{Core: p.Core, BudgetNs: int64(p.Budget)})
+	}
+	for _, w := range sp.Windows {
+		j.WindowsNs = append(j.WindowsNs, int64(w))
+	}
+	return j
+}
+
+// CreateSessionRequest opens a named cluster session.
+type CreateSessionRequest struct {
+	Name  string `json:"name"`
+	Cores int    `json:"cores"`
+	// Policy is "fp" (default) or "edf".
+	Policy string `json:"policy,omitempty"`
+	// Model is "paper" (default), "zero", or an inline overhead-model
+	// object in the spexp -model JSON schema.
+	Model json.RawMessage `json:"model,omitempty"`
+}
+
+// AdmitRequest asks whether a task can join the session. A nil Core
+// means first-fit over all cores; Hold (try endpoint only) keeps the
+// probe pending for an explicit commit/rollback.
+type AdmitRequest struct {
+	Task TaskJSON `json:"task"`
+	Core *int     `json:"core,omitempty"`
+	Hold bool     `json:"hold,omitempty"`
+}
+
+// SplitRequest probes or admits a split task.
+type SplitRequest struct {
+	Split SplitJSON `json:"split"`
+	Hold  bool      `json:"hold,omitempty"`
+}
+
+// RemoveRequest removes a previously admitted task by ID.
+type RemoveRequest struct {
+	ID int64 `json:"id"`
+}
+
+// VerdictResponse is the outcome of one admission request.
+type VerdictResponse struct {
+	TaskID   int64 `json:"task_id"`
+	Admitted bool  `json:"admitted"`
+	// Core is the placement (-1 when rejected or for splits).
+	Core int `json:"core"`
+	// Pending marks a held probe awaiting commit/rollback.
+	Pending bool `json:"pending,omitempty"`
+	// Probes counts the cores probed to reach the verdict.
+	Probes int `json:"probes"`
+}
+
+// StateResponse describes a session's committed assignment.
+type StateResponse struct {
+	Name            string      `json:"name"`
+	Cores           int         `json:"cores"`
+	Policy          string      `json:"policy"`
+	Tasks           []TaskJSON  `json:"tasks"`
+	Splits          []SplitJSON `json:"splits,omitempty"`
+	CoreUtilization []float64   `json:"core_utilization"`
+	// Schedulable is the full admission test on the committed state;
+	// omitted while a held probe is pending.
+	Schedulable  *bool `json:"schedulable,omitempty"`
+	ProbePending bool  `json:"probe_pending,omitempty"`
+}
+
+// BatchRequest admits a whole task set task by task, streaming one
+// verdict line per task (NDJSON). Exactly one of Tasks or Generate
+// must be set; Generate draws the set server-side with taskgen (the
+// load-test path). Order "util-desc" offers tasks in decreasing
+// utilization (the FFD replay order); default is input order.
+type BatchRequest struct {
+	Tasks    []TaskJSON      `json:"tasks,omitempty"`
+	Generate *taskgen.Config `json:"generate,omitempty"`
+	Order    string          `json:"order,omitempty"`
+}
+
+// BatchSummary is the final NDJSON line of a batch response.
+type BatchSummary struct {
+	Done        bool `json:"done"`
+	Admitted    int  `json:"admitted"`
+	Rejected    int  `json:"rejected"`
+	Schedulable bool `json:"schedulable"`
+	TaskCount   int  `json:"task_count"`
+	Canceled    bool `json:"canceled,omitempty"`
+}
+
+// errorResponse is the uniform error body.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// parsePolicy maps the wire policy names.
+func parsePolicy(s string) (task.Policy, error) {
+	switch s {
+	case "", "fp", "fixed-priority":
+		return task.FixedPriority, nil
+	case "edf", "EDF":
+		return task.EDF, nil
+	default:
+		return 0, fmt.Errorf("unknown policy %q (fp|edf)", s)
+	}
+}
+
+// policyName is the canonical wire name.
+func policyName(p task.Policy) string {
+	if p == task.EDF {
+		return "edf"
+	}
+	return "fp"
+}

@@ -1,0 +1,37 @@
+package admitd
+
+import (
+	"context"
+	"testing"
+)
+
+// TestAdmitdLoad is the load-generator smoke/acceptance run: ≥100k
+// admission requests across ≥64 concurrent sessions through the full
+// HTTP handler path, with zero unexpected errors. Short mode (the CI
+// race job) scales the request count down but keeps the session
+// fan-out.
+func TestAdmitdLoad(t *testing.T) {
+	cfg := LoadConfig{Sessions: 64, Requests: 100_000, Cores: 4, TasksPerSession: 12, Seed: 1}
+	if testing.Short() {
+		cfg.Requests = 10_000
+	}
+	srv, err := New(Config{MaxSessions: 2 * cfg.Sessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stats, err := RunLoad(context.Background(), InProcess{H: srv}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(stats)
+	if stats.Requests < int64(cfg.Requests) {
+		t.Fatalf("issued %d/%d requests", stats.Requests, cfg.Requests)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("%d unexpected errors", stats.Errors)
+	}
+	if stats.Admitted == 0 || stats.Tries == 0 || stats.Removes == 0 {
+		t.Fatalf("degenerate mix: %v", stats)
+	}
+}

@@ -1,0 +1,292 @@
+package admitd
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Doer issues one HTTP request — http.Client satisfies it for a
+// remote server, InProcess adapts a handler for zero-network load
+// runs (tests, benchmarks, the self-contained `spadmitd load` mode).
+type Doer interface {
+	Do(*http.Request) (*http.Response, error)
+}
+
+// InProcess adapts an http.Handler into a Doer.
+type InProcess struct {
+	H http.Handler
+}
+
+// Do serves the request directly through the handler.
+func (p InProcess) Do(req *http.Request) (*http.Response, error) {
+	rec := httptest.NewRecorder()
+	p.H.ServeHTTP(rec, req)
+	return rec.Result(), nil
+}
+
+// LoadConfig parameterizes a load run.
+type LoadConfig struct {
+	// BaseURL prefixes every request path ("" for in-process).
+	BaseURL string
+	// Sessions is the number of concurrent cluster sessions.
+	Sessions int
+	// Requests is the total number of admission requests to issue
+	// (seeding requests not counted).
+	Requests int
+	// Workers bounds client concurrency; 0 means 2×Sessions capped
+	// at 64.
+	Workers int
+	// Cores per session (default 4); TasksPerSession seeds each
+	// session's resident set via the server-side generator (default
+	// 12).
+	Cores           int
+	TasksPerSession int
+	// Policy is "fp" (default) or "edf".
+	Policy string
+	// Seed makes the generated workload deterministic.
+	Seed int64
+}
+
+// LoadStats summarizes a load run.
+type LoadStats struct {
+	Requests int64         `json:"requests"`
+	Errors   int64         `json:"errors"`
+	Admitted int64         `json:"admitted"`
+	Rejected int64         `json:"rejected"`
+	Tries    int64         `json:"tries"`
+	Removes  int64         `json:"removes"`
+	Elapsed  time.Duration `json:"elapsed_ns"`
+}
+
+// Throughput is requests per second.
+func (ls *LoadStats) Throughput() float64 {
+	if ls.Elapsed <= 0 {
+		return 0
+	}
+	return float64(ls.Requests) / ls.Elapsed.Seconds()
+}
+
+// String renders the run for CLI output.
+func (ls *LoadStats) String() string {
+	return fmt.Sprintf("%d requests in %v (%.0f req/s): %d admitted, %d rejected, %d tries, %d removes, %d errors",
+		ls.Requests, ls.Elapsed.Round(time.Millisecond), ls.Throughput(),
+		ls.Admitted, ls.Rejected, ls.Tries, ls.Removes, ls.Errors)
+}
+
+// RunLoad drives a mixed admission workload — admit, try, remove,
+// state, stats — across many sessions concurrently. Sessions are
+// created and seeded first (server-side taskgen batches), then
+// Workers goroutines issue the request mix; several workers share
+// each session, so the server's cross-goroutine session access is
+// exercised, not just its throughput.
+func RunLoad(ctx context.Context, d Doer, cfg LoadConfig) (*LoadStats, error) {
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = 8
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 1000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2 * cfg.Sessions
+		if cfg.Workers > 64 {
+			cfg.Workers = 64
+		}
+	}
+	if cfg.Cores <= 0 {
+		cfg.Cores = 4
+	}
+	if cfg.TasksPerSession <= 0 {
+		cfg.TasksPerSession = 12
+	}
+	lg := &loadGen{cfg: cfg, d: d}
+	if err := lg.seed(ctx); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	var wg sync.WaitGroup
+	per := cfg.Requests / cfg.Workers
+	extra := cfg.Requests % cfg.Workers
+	for wi := 0; wi < cfg.Workers; wi++ {
+		n := per
+		if wi < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(wi, n int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(wi)*7919))
+			for i := 0; i < n && ctx.Err() == nil; i++ {
+				lg.one(ctx, rng)
+			}
+		}(wi, n)
+	}
+	wg.Wait()
+	lg.stats.Elapsed = time.Since(start)
+	lg.stats.Requests = lg.requests.Load()
+	lg.stats.Errors = lg.errors.Load()
+	lg.stats.Admitted = lg.admitted.Load()
+	lg.stats.Rejected = lg.rejected.Load()
+	lg.stats.Tries = lg.tries.Load()
+	lg.stats.Removes = lg.removes.Load()
+	if err := ctx.Err(); err != nil {
+		return &lg.stats, err
+	}
+	return &lg.stats, nil
+}
+
+type loadGen struct {
+	cfg LoadConfig
+	d   Doer
+
+	// nextID[s] hands out unique task IDs per session; a rolling
+	// window of recent IDs feeds the remove mix.
+	nextID []atomic.Int64
+
+	requests, errors                   atomic.Int64
+	admitted, rejected, tries, removes atomic.Int64
+	stats                              LoadStats
+}
+
+func (lg *loadGen) sessionName(i int) string { return fmt.Sprintf("load-%04d", i) }
+
+// seed creates and populates the sessions.
+func (lg *loadGen) seed(ctx context.Context) error {
+	lg.nextID = make([]atomic.Int64, lg.cfg.Sessions)
+	for i := 0; i < lg.cfg.Sessions; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		name := lg.sessionName(i)
+		status, body, err := lg.do(ctx, "POST", "/v1/sessions", CreateSessionRequest{
+			Name: name, Cores: lg.cfg.Cores, Policy: lg.cfg.Policy,
+		})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusCreated && status != http.StatusConflict {
+			return fmt.Errorf("loadgen: creating %s: HTTP %d: %s", name, status, body)
+		}
+		// Seed the resident set with a server-side generated batch at
+		// modest utilization so later probes mostly succeed.
+		status, body, err = lg.do(ctx, "POST", "/v1/sessions/"+name+"/batch", map[string]any{
+			"generate": map[string]any{
+				"n":                 lg.cfg.TasksPerSession,
+				"total_utilization": 0.5 * float64(lg.cfg.Cores),
+				"seed":              lg.cfg.Seed + int64(i),
+			},
+		})
+		if err != nil {
+			return err
+		}
+		if status != http.StatusOK {
+			return fmt.Errorf("loadgen: seeding %s: HTTP %d: %s", name, status, body)
+		}
+		// Generated IDs start above the resident set; leave headroom.
+		lg.nextID[i].Store(int64(lg.cfg.TasksPerSession) + 1000)
+	}
+	return nil
+}
+
+// one issues a single request from the mix.
+func (lg *loadGen) one(ctx context.Context, rng *rand.Rand) {
+	si := rng.Intn(lg.cfg.Sessions)
+	name := lg.sessionName(si)
+	kind := rng.Intn(10)
+	var status int
+	var body []byte
+	var err error
+	switch {
+	case kind < 2: // admit (first-fit) a small task, then forget about it later
+		id := lg.nextID[si].Add(1)
+		status, body, err = lg.do(ctx, "POST", "/v1/sessions/"+name+"/admit",
+			AdmitRequest{Task: lg.smallTask(id, rng)})
+		if err == nil && status == http.StatusOK {
+			var v VerdictResponse
+			if json.Unmarshal(body, &v) == nil && v.Admitted {
+				lg.admitted.Add(1)
+			} else {
+				lg.rejected.Add(1)
+			}
+		}
+	case kind < 4: // remove one of the recently admitted tasks
+		lo := int64(lg.cfg.TasksPerSession) + 1000
+		hi := lg.nextID[si].Load()
+		if hi <= lo {
+			status, body, err = lg.do(ctx, "GET", "/v1/sessions/"+name, nil)
+			break
+		}
+		id := lo + 1 + rng.Int63n(hi-lo)
+		status, body, err = lg.do(ctx, "POST", "/v1/sessions/"+name+"/remove", RemoveRequest{ID: id})
+		if status == http.StatusNotFound {
+			status = http.StatusOK // already removed / never admitted: an expected miss
+		}
+		lg.removes.Add(1)
+	case kind < 8: // try (probe-only): the warm-path hot loop
+		id := int64(1 << 40) // never admitted, so never a duplicate
+		status, body, err = lg.do(ctx, "POST", "/v1/sessions/"+name+"/try",
+			AdmitRequest{Task: lg.smallTask(id, rng)})
+		lg.tries.Add(1)
+	case kind < 9: // state
+		status, body, err = lg.do(ctx, "GET", "/v1/sessions/"+name, nil)
+	default: // stats
+		status, body, err = lg.do(ctx, "GET", "/v1/sessions/"+name+"/stats", nil)
+	}
+	lg.requests.Add(1)
+	if err != nil || status >= 500 || (status >= 400 && status != http.StatusConflict) {
+		lg.errors.Add(1)
+	}
+	_ = body
+}
+
+// smallTask draws a light task (≤2% core utilization) so sessions
+// stay schedulable while the mix churns.
+func (lg *loadGen) smallTask(id int64, rng *rand.Rand) TaskJSON {
+	periodMs := int64(20 + rng.Intn(200))
+	period := periodMs * int64(time.Millisecond)
+	wcet := period / int64(50+rng.Intn(50))
+	if wcet < 1000 {
+		wcet = 1000
+	}
+	return TaskJSON{
+		ID: id, WCETNs: wcet, PeriodNs: period,
+		Priority: int(1000 + id%1000), WSS: 64 << 10,
+	}
+}
+
+// do issues one request and returns (status, body).
+func (lg *loadGen) do(ctx context.Context, method, path string, payload any) (int, []byte, error) {
+	var body io.Reader
+	if payload != nil {
+		data, err := json.Marshal(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, lg.cfg.BaseURL+path, body)
+	if err != nil {
+		return 0, nil, err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := lg.d.Do(req)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close() //nolint:errcheck // read-side close
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, nil, err
+	}
+	return resp.StatusCode, data, nil
+}

@@ -1,0 +1,270 @@
+package admitd
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/task"
+)
+
+// TestConcurrentSessionsDeterministic is the concurrency soundness
+// test: many goroutines drive many sessions at once — one writer per
+// session issuing a deterministic mixed try/admit/commit/rollback/
+// remove sequence, plus reader goroutines hammering state and stats
+// across all sessions — and every verdict must still be bit-identical
+// to a stateless analyzer replay of that session's own op sequence.
+// Cross-session interference of any kind (shared caches, stats,
+// store state) would show up as a verdict divergence; memory races
+// show up under -race (the CI race job runs this).
+func TestConcurrentSessionsDeterministic(t *testing.T) {
+	sessions, ops := 24, 120
+	if testing.Short() {
+		sessions, ops = 12, 60
+	}
+	srv := newTestServer(t, Config{MaxSessions: sessions * 2})
+	model := overhead.Normalize(overhead.PaperModel())
+
+	for i := 0; i < sessions; i++ {
+		name := fmt.Sprintf("c-%02d", i)
+		policy := "fp"
+		if i%3 == 2 {
+			policy = "edf"
+		}
+		mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: name, Cores: 2 + i%3, Policy: policy}, http.StatusCreated)
+	}
+
+	// Readers overlap the writers with a bounded number of state and
+	// stats reads across random sessions (bounded, not run-to-stop:
+	// unbounded readers serialize against the session actors and can
+	// starve the writers into minutes of wall clock).
+	stopReaders := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < sessions/2+1; r++ {
+		readers.Add(1)
+		go func(r int) {
+			defer readers.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + r)))
+			for n := 0; n < 2*ops; n++ {
+				select {
+				case <-stopReaders:
+					return
+				default:
+				}
+				name := fmt.Sprintf("c-%02d", rng.Intn(sessions))
+				if rng.Intn(2) == 0 {
+					doRaw(srv, "GET", "/v1/sessions/"+name, nil)
+				} else {
+					doRaw(srv, "GET", "/v1/sessions/"+name+"/stats", nil)
+				}
+			}
+		}(r)
+	}
+
+	var writers sync.WaitGroup
+	errs := make(chan error, sessions)
+	for i := 0; i < sessions; i++ {
+		writers.Add(1)
+		go func(i int) {
+			defer writers.Done()
+			if err := driveSession(srv, i, ops, model); err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	writers.Wait()
+	close(stopReaders)
+	readers.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// driveSession runs one session's deterministic op sequence and
+// checks every verdict against the stateless replay.
+func driveSession(srv *Server, i, ops int, model *overhead.Model) error {
+	name := fmt.Sprintf("c-%02d", i)
+	cores := 2 + i%3
+	policy := task.FixedPriority
+	if i%3 == 2 {
+		policy = task.EDF
+	}
+	an := analysis.ForPolicy(policy)
+	mirror := task.NewAssignment(cores)
+	mirror.Policy = policy
+	rng := rand.New(rand.NewSource(int64(31 + i)))
+	var admitted []*task.Task
+	nextID := int64(1)
+
+	verdict := func(method, path string, payload any) (VerdictResponse, int, error) {
+		status, body := doRaw(srv, method, path, payload)
+		var v VerdictResponse
+		if status == http.StatusOK {
+			if err := json.Unmarshal(body, &v); err != nil {
+				return v, status, fmt.Errorf("%s: %s: %w", name, path, err)
+			}
+		}
+		return v, status, nil
+	}
+	check := func(op string, v VerdictResponse, wantOK bool, wantCore int) error {
+		if v.Admitted != wantOK || (wantOK && v.Core != wantCore) {
+			return fmt.Errorf("%s %s task %d: server (%v, core %d) != replay (%v, core %d)",
+				name, op, v.TaskID, v.Admitted, v.Core, wantOK, wantCore)
+		}
+		return nil
+	}
+	pop := func(core int) {
+		mirror.Normal[core] = mirror.Normal[core][:len(mirror.Normal[core])-1]
+	}
+
+	for n := 0; n < ops; n++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // try: probe-only, no state change
+			tk := randomLoadTask(rng, nextID, policy)
+			nextID++
+			wantOK, wantCore := firstFitReplay(an, mirror, model, tk.task())
+			if wantOK {
+				pop(wantCore) // try never keeps the placement
+			}
+			v, status, err := verdict("POST", "/v1/sessions/"+name+"/try", AdmitRequest{Task: tk})
+			if err != nil {
+				return err
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("%s try: HTTP %d", name, status)
+			}
+			if err := check("try", v, wantOK, wantCore); err != nil {
+				return err
+			}
+		case op < 7: // admit: committed on success
+			tk := randomLoadTask(rng, nextID, policy)
+			nextID++
+			goTask := tk.task()
+			wantOK, wantCore := firstFitReplay(an, mirror, model, goTask)
+			v, status, err := verdict("POST", "/v1/sessions/"+name+"/admit", AdmitRequest{Task: tk})
+			if err != nil {
+				return err
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("%s admit: HTTP %d", name, status)
+			}
+			if err := check("admit", v, wantOK, wantCore); err != nil {
+				return err
+			}
+			if wantOK {
+				admitted = append(admitted, goTask)
+			}
+		case op < 9: // hold-try then commit or rollback
+			tk := randomLoadTask(rng, nextID, policy)
+			nextID++
+			goTask := tk.task()
+			wantOK, wantCore := firstFitReplay(an, mirror, model, goTask)
+			v, status, err := verdict("POST", "/v1/sessions/"+name+"/try", AdmitRequest{Task: tk, Hold: true})
+			if err != nil {
+				return err
+			}
+			if status != http.StatusOK {
+				return fmt.Errorf("%s hold-try: HTTP %d", name, status)
+			}
+			if err := check("hold-try", v, wantOK, wantCore); err != nil {
+				return err
+			}
+			if !wantOK {
+				// Nothing held on a full-miss first-fit.
+				continue
+			}
+			if rng.Intn(2) == 0 {
+				if _, status, err = verdict("POST", "/v1/sessions/"+name+"/commit", nil); err != nil || status != http.StatusOK {
+					return fmt.Errorf("%s commit: HTTP %d %v", name, status, err)
+				}
+				admitted = append(admitted, goTask)
+			} else {
+				if _, status, err = verdict("POST", "/v1/sessions/"+name+"/rollback", nil); err != nil || status != http.StatusOK {
+					return fmt.Errorf("%s rollback: HTTP %d %v", name, status, err)
+				}
+				pop(wantCore)
+			}
+		default: // remove a random admitted task
+			if len(admitted) == 0 {
+				continue
+			}
+			k := rng.Intn(len(admitted))
+			tk := admitted[k]
+			admitted = append(admitted[:k], admitted[k+1:]...)
+			_, status, err := verdict("POST", "/v1/sessions/"+name+"/remove", RemoveRequest{ID: int64(tk.ID)})
+			if err != nil || status != http.StatusOK {
+				return fmt.Errorf("%s remove %d: HTTP %d %v", name, tk.ID, status, err)
+			}
+			removeFromMirror(mirror, tk.ID)
+		}
+	}
+	// Final identity: the session's committed placements must equal
+	// the mirror exactly.
+	status, body := doRaw(srv, "GET", "/v1/sessions/"+name, nil)
+	if status != http.StatusOK {
+		return fmt.Errorf("%s state: HTTP %d", name, status)
+	}
+	var state StateResponse
+	if err := json.Unmarshal(body, &state); err != nil {
+		return err
+	}
+	for c := 0; c < cores; c++ {
+		var got []int64
+		for _, j := range state.Tasks {
+			if j.Core == c {
+				got = append(got, j.ID)
+			}
+		}
+		var want []int64
+		for _, tk := range mirror.Normal[c] {
+			want = append(want, int64(tk.ID))
+		}
+		if fmt.Sprint(got) != fmt.Sprint(want) {
+			return fmt.Errorf("%s core %d: server %v != mirror %v", name, c, got, want)
+		}
+	}
+	return nil
+}
+
+// doRaw is doReq without the testing.T (usable from goroutines that
+// report through a channel).
+func doRaw(h http.Handler, method, path string, payload any) (int, []byte) {
+	var data []byte
+	if payload != nil {
+		data, _ = json.Marshal(payload)
+	}
+	req := httptest.NewRequest(method, path, bytes.NewReader(data))
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.Bytes()
+}
+
+// randomLoadTask draws a small task in wire form; FP tasks get a
+// deterministic unique-ish priority.
+func randomLoadTask(rng *rand.Rand, id int64, p task.Policy) TaskJSON {
+	period := int64(10+rng.Intn(90)) * 1e6
+	wcet := period / int64(8+rng.Intn(24))
+	j := TaskJSON{ID: id, WCETNs: wcet, PeriodNs: period, WSS: 32 << 10}
+	if p == task.FixedPriority {
+		j.Priority = int(id)
+	}
+	return j
+}
+
+// task converts the wire task for mirror replay (policy-agnostic
+// fields only; priority is already set for FP).
+func (j TaskJSON) task() *task.Task {
+	t, err := j.toTask(task.EDF) // skip the FP priority check; set below
+	if err != nil {
+		panic(err)
+	}
+	return t
+}

@@ -1,0 +1,459 @@
+package admitd
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/experiment"
+	"repro/internal/overhead"
+	"repro/internal/partition"
+	"repro/internal/report"
+	"repro/internal/task"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// MaxSessions caps live sessions (LRU eviction beyond it); 0
+	// means 1024.
+	MaxSessions int
+	// SnapshotDir, when set, persists evicted sessions and snapshots
+	// everything live on Close.
+	SnapshotDir string
+}
+
+// Server is the admission-control HTTP surface over a session Store.
+//
+//	POST   /v1/sessions                    create a session
+//	GET    /v1/sessions                    list live sessions
+//	GET    /v1/sessions/{name}             committed state + schedulability
+//	DELETE /v1/sessions/{name}             close and forget
+//	POST   /v1/sessions/{name}/admit       probe + commit (first-fit or explicit core)
+//	POST   /v1/sessions/{name}/try         probe only; "hold":true keeps it pending
+//	POST   /v1/sessions/{name}/split       probe/admit a split task
+//	POST   /v1/sessions/{name}/commit      keep the held probe
+//	POST   /v1/sessions/{name}/rollback    undo the held probe
+//	POST   /v1/sessions/{name}/remove      remove an admitted task
+//	GET    /v1/sessions/{name}/stats       per-session admission stats
+//	POST   /v1/sessions/{name}/batch       admit a whole set, streaming NDJSON verdicts
+//	POST   /v1/sweep                       run an acceptance-ratio sweep (cancelable)
+//	GET    /v1/stats                       server-wide counters
+//	GET    /healthz                        liveness
+type Server struct {
+	store *Store
+	mux   *http.ServeMux
+
+	requests atomic.Int64
+}
+
+// New builds a Server (and its snapshot directory, when configured).
+func New(cfg Config) (*Server, error) {
+	store, err := NewStore(StoreConfig{MaxSessions: cfg.MaxSessions, SnapshotDir: cfg.SnapshotDir})
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{store: store, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{name}", s.handleState)
+	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/admit", s.sessionVerdict(func(sess *Session, req AdmitRequest) (VerdictResponse, error) {
+		if req.Hold {
+			return VerdictResponse{}, fmt.Errorf("hold is only valid on try (admit commits immediately)")
+		}
+		return sess.admitLocked(req)
+	}))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/try", s.sessionVerdict((*Session).tryLocked))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/split", s.handleSplit)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/commit", s.handleResolve((*Session).commitLocked))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/rollback", s.handleResolve((*Session).rollbackLocked))
+	s.mux.HandleFunc("POST /v1/sessions/{name}/remove", s.handleRemove)
+	s.mux.HandleFunc("GET /v1/sessions/{name}/stats", s.handleSessionStats)
+	s.mux.HandleFunc("POST /v1/sessions/{name}/batch", s.handleBatch)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// Close snapshots every live session and stops the actors (graceful
+// shutdown; call after the HTTP listener has drained).
+func (s *Server) Close() {
+	s.store.Close()
+}
+
+// Store exposes the session registry (tests, load generator).
+func (s *Server) Store() *Store { return s.store }
+
+// --- helpers ---------------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v) //nolint:errcheck // client gone; nothing to do
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusBadRequest
+	switch {
+	case errors.Is(err, ErrSessionNotFound), errors.Is(err, ErrUnknownTask):
+		status = http.StatusNotFound
+	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrProbePending),
+		errors.Is(err, ErrNoProbePending), errors.Is(err, ErrProbeRejected),
+		errors.Is(err, ErrDuplicateTask):
+		status = http.StatusConflict
+	case errors.Is(err, ErrSessionClosed):
+		status = http.StatusGone
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	return nil
+}
+
+// parseModel resolves the wire model: absent → paper, "paper"/"zero"
+// by name, anything else an inline model object.
+func parseModel(raw json.RawMessage) (*overhead.Model, error) {
+	if len(raw) == 0 {
+		return overhead.PaperModel(), nil
+	}
+	var name string
+	if err := json.Unmarshal(raw, &name); err == nil {
+		switch name {
+		case "", "paper":
+			return overhead.PaperModel(), nil
+		case "zero":
+			return overhead.Zero(), nil
+		default:
+			return nil, fmt.Errorf("unknown model %q (paper|zero|inline object)", name)
+		}
+	}
+	m := &overhead.Model{}
+	if err := json.Unmarshal(raw, m); err != nil {
+		return nil, fmt.Errorf("bad inline model: %w", err)
+	}
+	return m, nil
+}
+
+// session resolves the path's session and stamps its LRU position.
+func (s *Server) session(w http.ResponseWriter, r *http.Request) *Session {
+	sess, err := s.store.Get(r.PathValue("name"))
+	if err != nil {
+		writeError(w, err)
+		return nil
+	}
+	return sess
+}
+
+// callSession runs f on the session's actor, mapping a closed session
+// to its status code.
+func callSession(w http.ResponseWriter, sess *Session, f func()) bool {
+	if err := sess.call(f); err != nil {
+		writeError(w, err)
+		return false
+	}
+	return true
+}
+
+// --- session lifecycle -----------------------------------------------
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	p, err := parsePolicy(req.Policy)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	model, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if _, err := s.store.Create(req.Name, req.Cores, p, model); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]any{
+		"name": req.Name, "cores": req.Cores, "policy": policyName(p),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	var names []string
+	s.store.Range(func(sess *Session) { names = append(names, sess.name) })
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": names, "count": len(names)})
+}
+
+func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var resp StateResponse
+	if !callSession(w, sess, func() { resp = sess.stateLocked() }) {
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if err := s.store.Delete(r.PathValue("name")); err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+}
+
+// --- admission -------------------------------------------------------
+
+// sessionVerdict adapts a session operation taking an AdmitRequest.
+func (s *Server) sessionVerdict(op func(*Session, AdmitRequest) (VerdictResponse, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess := s.session(w, r)
+		if sess == nil {
+			return
+		}
+		var req AdmitRequest
+		if err := decodeBody(r, &req); err != nil {
+			writeError(w, err)
+			return
+		}
+		var resp VerdictResponse
+		var opErr error
+		if !callSession(w, sess, func() { resp, opErr = op(sess, req) }) {
+			return
+		}
+		if opErr != nil {
+			writeError(w, opErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleSplit(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req SplitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	var resp VerdictResponse
+	var opErr error
+	if !callSession(w, sess, func() { resp, opErr = sess.splitLocked(req, req.Hold) }) {
+		return
+	}
+	if opErr != nil {
+		writeError(w, opErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleResolve adapts commit/rollback.
+func (s *Server) handleResolve(op func(*Session) (VerdictResponse, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sess := s.session(w, r)
+		if sess == nil {
+			return
+		}
+		var resp VerdictResponse
+		var opErr error
+		if !callSession(w, sess, func() { resp, opErr = op(sess) }) {
+			return
+		}
+		if opErr != nil {
+			writeError(w, opErr)
+			return
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req RemoveRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	var opErr error
+	if !callSession(w, sess, func() { opErr = sess.removeLocked(task.ID(req.ID)) }) {
+		return
+	}
+	if opErr != nil {
+		writeError(w, opErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"removed": true, "id": req.ID})
+}
+
+// --- stats -----------------------------------------------------------
+
+func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var adm report.AdmissionStatsJSON
+	var taskCount int
+	if !callSession(w, sess, func() {
+		adm = report.AdmissionJSON(sess.statsLocked())
+		taskCount = len(sess.tasks)
+	}) {
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"name":      sess.name,
+		"tasks":     taskCount,
+		"admitted":  sess.admitted.Load(),
+		"rejected":  sess.rejected.Load(),
+		"removed":   sess.removed.Load(),
+		"admission": adm,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.store
+	writeJSON(w, http.StatusOK, map[string]any{
+		"requests":          s.requests.Load(),
+		"sessions_live":     st.count.Load(),
+		"sessions_created":  st.created.Load(),
+		"sessions_evicted":  st.evicted.Load(),
+		"sessions_restored": st.restored.Load(),
+		"sessions_deleted":  st.deleted.Load(),
+		// Admission totals flushed by closed/evicted sessions plus
+		// nothing from live ones (contexts flush on close); live
+		// session detail is at /v1/sessions/{name}/stats.
+		"admission_flushed": report.AdmissionJSON(st.coll.Snapshot()),
+	})
+}
+
+// --- batch & sweep ---------------------------------------------------
+
+// handleBatch admits a whole set through the session's live context,
+// streaming one NDJSON verdict per task and a final summary line. The
+// request context cancels the remainder (client disconnect).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req BatchRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	var sum BatchSummary
+	var opErr error
+	ok := callSession(w, sess, func() {
+		sum, opErr = sess.batchLocked(r.Context(), req, func(v VerdictResponse) {
+			_ = enc.Encode(v) //nolint:errcheck // stream best-effort; summary still lands
+			if flusher != nil {
+				flusher.Flush()
+			}
+		})
+	})
+	if !ok {
+		return
+	}
+	if opErr != nil {
+		// Headers are sent; deliver the error as the final line.
+		_ = enc.Encode(errorResponse{Error: opErr.Error()}) //nolint:errcheck
+		return
+	}
+	_ = enc.Encode(sum) //nolint:errcheck
+}
+
+// SweepRequest runs a whole acceptance-ratio sweep server-side —
+// spexp as a service, sharing its JSON schema with the CLI. Stream
+// adds NDJSON progress lines before the final result object.
+type SweepRequest struct {
+	Cores        int             `json:"cores"`
+	Tasks        int             `json:"tasks"`
+	SetsPerPoint int             `json:"sets_per_point"`
+	Algorithms   []string        `json:"algorithms,omitempty"`
+	Model        json.RawMessage `json:"model,omitempty"`
+	Seed         int64           `json:"seed,omitempty"`
+	Utilizations []float64       `json:"utilizations,omitempty"`
+	Stream       bool            `json:"stream,omitempty"`
+}
+
+// handleSweep runs the experiment pipeline under the request context:
+// a dropped connection cancels the in-flight sweep between
+// placements (experiment.RunContext).
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var req SweepRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	model, err := parseModel(req.Model)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	var algs []partition.Algorithm
+	for _, name := range req.Algorithms {
+		alg, err := partition.ByName(name)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		algs = append(algs, alg)
+	}
+	cfg := experiment.Config{
+		Cores:        req.Cores,
+		Tasks:        req.Tasks,
+		SetsPerPoint: req.SetsPerPoint,
+		Algorithms:   algs,
+		Model:        model,
+		Seed:         req.Seed,
+		Utilizations: req.Utilizations,
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	if req.Stream {
+		flusher, _ := w.(http.Flusher)
+		cfg.Progress = func(u experiment.CellUpdate) {
+			_ = enc.Encode(report.ProgressJSON(u)) //nolint:errcheck
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+	}
+	res := experiment.RunContext(r.Context(), cfg)
+	_ = enc.Encode(report.SweepResultJSON(res)) //nolint:errcheck
+}

@@ -1,0 +1,504 @@
+package admitd
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/taskgen"
+)
+
+// Errors surfaced to the HTTP layer with distinct status codes.
+var (
+	// ErrSessionClosed is returned by calls against a session whose
+	// actor has exited (evicted or deleted concurrently).
+	ErrSessionClosed = errors.New("admitd: session closed")
+	// ErrProbePending rejects a new mutation while a held probe
+	// awaits commit/rollback.
+	ErrProbePending = errors.New("admitd: a held probe is pending (commit or rollback first)")
+	// ErrNoProbePending rejects commit/rollback with nothing held.
+	ErrNoProbePending = errors.New("admitd: no probe pending")
+	// ErrDuplicateTask rejects admitting an ID the session already
+	// hosts.
+	ErrDuplicateTask = errors.New("admitd: task id already admitted")
+	// ErrUnknownTask is returned by remove for an absent ID.
+	ErrUnknownTask = errors.New("admitd: no such task in session")
+)
+
+const (
+	pendNone = iota
+	pendPlace
+	pendSplit
+)
+
+// Session is one live cluster session: an evolving assignment, the
+// incremental admission context bound to it, and the actor goroutine
+// that serializes every request against them. All fields below mu are
+// owned by the actor; the HTTP layer only ever touches them through
+// call.
+type Session struct {
+	name   string
+	policy task.Policy
+	model  *overhead.Model
+
+	a     *task.Assignment
+	actx  analysis.Context
+	tasks map[task.ID]bool
+
+	// Held-probe state (the two-phase try/commit|rollback protocol).
+	pendKind  int
+	pendFits  bool
+	pendTask  *task.Task
+	pendSplit *task.Split
+	pendCore  int
+
+	// Request counters (atomics: read by /stats without the actor).
+	admitted, rejected, removed atomic.Int64
+	// baseStats carries admission counters restored from a snapshot,
+	// so eviction/restore cycles don't zero the reported totals.
+	baseStats analysis.AdmissionStats
+
+	lastUsed atomic.Int64 // store's logical clock at last touch
+
+	mu     sync.Mutex
+	closed bool
+	reqs   chan *sessionCall
+	done   chan struct{}
+}
+
+type sessionCall struct {
+	f    func()
+	done chan struct{}
+}
+
+// newSession builds a session over an already-populated assignment
+// (empty for fresh sessions, rebuilt for restores) and starts its
+// actor.
+func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assignment, coll *analysis.Collector) *Session {
+	a.Policy = p
+	s := &Session{
+		name:   name,
+		policy: p,
+		model:  model,
+		a:      a,
+		actx:   analysis.ForPolicy(p).NewContext(a, model),
+		tasks:  make(map[task.ID]bool),
+		reqs:   make(chan *sessionCall, 16),
+		done:   make(chan struct{}),
+	}
+	if coll != nil {
+		s.actx.SetCollector(coll)
+	}
+	for _, ts := range a.Normal {
+		for _, t := range ts {
+			s.tasks[t.ID] = true
+		}
+	}
+	for _, sp := range a.Splits {
+		s.tasks[sp.Task.ID] = true
+	}
+	go s.loop()
+	return s
+}
+
+// loop is the actor: it owns the context and runs every request in
+// arrival order, so per-session state needs no further locking.
+func (s *Session) loop() {
+	for c := range s.reqs {
+		c.f()
+		close(c.done)
+	}
+	close(s.done)
+}
+
+// call runs f on the actor and waits for it.
+func (s *Session) call(f func()) error {
+	c := &sessionCall{f: f, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return ErrSessionClosed
+	}
+	s.reqs <- c
+	s.mu.Unlock()
+	<-c.done
+	return nil
+}
+
+// close stops the actor after draining queued requests; the final
+// flush folds the context's counters into the attached collector and
+// the process aggregate.
+func (s *Session) close() {
+	s.mu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.reqs)
+	}
+	s.mu.Unlock()
+	<-s.done
+	s.actx.Flush()
+}
+
+// admitLocked runs one admission on the actor: explicit-core or
+// first-fit probe, committed when it fits. Two-phase admission goes
+// through try with "hold" (or split's Hold) instead.
+func (s *Session) admitLocked(req AdmitRequest) (VerdictResponse, error) {
+	if s.pendKind != pendNone {
+		return VerdictResponse{}, ErrProbePending
+	}
+	t, err := req.Task.toTask(s.policy)
+	if err != nil {
+		return VerdictResponse{}, err
+	}
+	if s.tasks[t.ID] {
+		return VerdictResponse{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
+	}
+	resp := VerdictResponse{TaskID: int64(t.ID), Core: -1}
+	probe := func(c int) bool {
+		resp.Probes++
+		return s.actx.TryPlace(t, c)
+	}
+	if req.Core != nil {
+		c := *req.Core
+		if c < 0 || c >= s.a.NumCores {
+			return VerdictResponse{}, fmt.Errorf("core %d out of range (%d cores)", c, s.a.NumCores)
+		}
+		resp.Admitted = probe(c)
+		if resp.Admitted {
+			resp.Core = c
+		}
+		s.resolveProbe(&resp, false, t, nil, c)
+		return resp, nil
+	}
+	// First fit over all cores.
+	for c := 0; c < s.a.NumCores; c++ {
+		if probe(c) {
+			resp.Admitted, resp.Core = true, c
+			s.resolveProbe(&resp, false, t, nil, c)
+			return resp, nil
+		}
+		s.actx.Rollback()
+	}
+	s.rejected.Add(1)
+	return resp, nil
+}
+
+// tryLocked answers an admission query without changing the
+// committed state: the probe is rolled back after the verdict —
+// unless req.Hold keeps it pending for an explicit commit/rollback
+// (the two-phase protocol).
+func (s *Session) tryLocked(req AdmitRequest) (VerdictResponse, error) {
+	if s.pendKind != pendNone {
+		return VerdictResponse{}, ErrProbePending
+	}
+	t, err := req.Task.toTask(s.policy)
+	if err != nil {
+		return VerdictResponse{}, err
+	}
+	if s.tasks[t.ID] {
+		return VerdictResponse{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
+	}
+	resp := VerdictResponse{TaskID: int64(t.ID), Core: -1}
+	hold := func(c int) {
+		resp.Pending = true
+		s.pendKind = pendPlace
+		s.pendFits = resp.Admitted
+		s.pendTask, s.pendCore = t, c
+	}
+	if req.Core != nil {
+		c := *req.Core
+		if c < 0 || c >= s.a.NumCores {
+			return VerdictResponse{}, fmt.Errorf("core %d out of range (%d cores)", c, s.a.NumCores)
+		}
+		resp.Probes = 1
+		resp.Admitted = s.actx.TryPlace(t, c)
+		if resp.Admitted {
+			resp.Core = c
+		}
+		if req.Hold {
+			hold(c)
+		} else {
+			s.actx.Rollback()
+		}
+		return resp, nil
+	}
+	for c := 0; c < s.a.NumCores; c++ {
+		resp.Probes++
+		if s.actx.TryPlace(t, c) {
+			resp.Admitted, resp.Core = true, c
+			if req.Hold {
+				hold(c)
+			} else {
+				s.actx.Rollback()
+			}
+			return resp, nil
+		}
+		s.actx.Rollback()
+	}
+	return resp, nil
+}
+
+// splitLocked probes/admits a split task.
+func (s *Session) splitLocked(req SplitRequest, hold bool) (VerdictResponse, error) {
+	if s.pendKind != pendNone {
+		return VerdictResponse{}, ErrProbePending
+	}
+	sp, err := req.Split.toSplit(s.policy)
+	if err != nil {
+		return VerdictResponse{}, err
+	}
+	if s.tasks[sp.Task.ID] {
+		return VerdictResponse{}, fmt.Errorf("%w: %d", ErrDuplicateTask, sp.Task.ID)
+	}
+	for _, p := range sp.Parts {
+		if p.Core < 0 || p.Core >= s.a.NumCores {
+			return VerdictResponse{}, fmt.Errorf("split part core %d out of range (%d cores)", p.Core, s.a.NumCores)
+		}
+	}
+	resp := VerdictResponse{TaskID: int64(sp.Task.ID), Core: -1, Probes: 1}
+	resp.Admitted = s.actx.TrySplit(sp, sp.Parts[0].Core)
+	s.resolveProbe(&resp, hold, nil, sp, -1)
+	return resp, nil
+}
+
+// resolveProbe finishes a resolved TryPlace/TrySplit: commit the
+// admitted mutation, roll a rejection back, or hold the probe for the
+// explicit two-phase protocol.
+func (s *Session) resolveProbe(resp *VerdictResponse, hold bool, t *task.Task, sp *task.Split, core int) {
+	if hold {
+		resp.Pending = true
+		s.pendFits = resp.Admitted
+		s.pendTask, s.pendSplit, s.pendCore = t, sp, core
+		if sp != nil {
+			s.pendKind = pendSplit
+		} else {
+			s.pendKind = pendPlace
+		}
+		return
+	}
+	if resp.Admitted {
+		s.actx.Commit()
+		s.registerAdmitted(t, sp)
+	} else {
+		s.actx.Rollback()
+		s.rejected.Add(1)
+	}
+}
+
+// registerAdmitted records a committed admission.
+func (s *Session) registerAdmitted(t *task.Task, sp *task.Split) {
+	if sp != nil {
+		s.tasks[sp.Task.ID] = true
+	} else {
+		s.tasks[t.ID] = true
+	}
+	s.admitted.Add(1)
+}
+
+// ErrProbeRejected refuses committing a held probe whose verdict was
+// negative — committing it would install an inadmissible task.
+var ErrProbeRejected = errors.New("admitd: held probe was rejected; rollback it")
+
+// commitLocked resolves a held probe by keeping the mutation. Only
+// an admitted probe may be committed: a rejected one would put the
+// session into a committed-but-unschedulable state.
+func (s *Session) commitLocked() (VerdictResponse, error) {
+	if s.pendKind == pendNone {
+		return VerdictResponse{}, ErrNoProbePending
+	}
+	if !s.pendFits {
+		return VerdictResponse{}, ErrProbeRejected
+	}
+	resp := VerdictResponse{Admitted: true, Core: s.pendCore}
+	if s.pendSplit != nil {
+		resp.TaskID = int64(s.pendSplit.Task.ID)
+	} else {
+		resp.TaskID = int64(s.pendTask.ID)
+	}
+	s.actx.Commit()
+	s.registerAdmitted(s.pendTask, s.pendSplit)
+	s.clearPending()
+	return resp, nil
+}
+
+// rollbackLocked resolves a held probe by undoing the mutation.
+func (s *Session) rollbackLocked() (VerdictResponse, error) {
+	if s.pendKind == pendNone {
+		return VerdictResponse{}, ErrNoProbePending
+	}
+	resp := VerdictResponse{Admitted: false, Core: -1}
+	if s.pendSplit != nil {
+		resp.TaskID = int64(s.pendSplit.Task.ID)
+	} else {
+		resp.TaskID = int64(s.pendTask.ID)
+	}
+	s.actx.Rollback()
+	s.rejected.Add(1)
+	s.clearPending()
+	return resp, nil
+}
+
+func (s *Session) clearPending() {
+	s.pendKind, s.pendFits = pendNone, false
+	s.pendTask, s.pendSplit, s.pendCore = nil, nil, -1
+}
+
+// removeLocked deletes an admitted task — the analysis layer's
+// removal invalidation path.
+func (s *Session) removeLocked(id task.ID) error {
+	if s.pendKind != pendNone {
+		return ErrProbePending
+	}
+	if !s.tasks[id] {
+		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	if !s.actx.Remove(id) {
+		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
+	}
+	delete(s.tasks, id)
+	s.removed.Add(1)
+	return nil
+}
+
+// stateLocked renders the committed assignment. A held probe's
+// tentative mutation lives provisionally inside the assignment
+// (TryPlace/TrySplit mutate in place until Commit/Rollback), so it
+// is filtered out here: state always describes committed state only.
+func (s *Session) stateLocked() StateResponse {
+	resp := StateResponse{
+		Name:         s.name,
+		Cores:        s.a.NumCores,
+		Policy:       policyName(s.policy),
+		ProbePending: s.pendKind != pendNone,
+	}
+	tentTask, tentSplit := s.pendTask, s.pendSplit
+	for c := 0; c < s.a.NumCores; c++ {
+		u := 0.0
+		for _, t := range s.a.Normal[c] {
+			if t == tentTask {
+				continue
+			}
+			resp.Tasks = append(resp.Tasks, fromTask(t, c))
+			u += t.Utilization()
+		}
+		for _, sp := range s.a.Splits {
+			if sp == tentSplit {
+				continue
+			}
+			for _, p := range sp.Parts {
+				if p.Core == c {
+					u += float64(p.Budget) / float64(sp.Task.Period)
+				}
+			}
+		}
+		resp.CoreUtilization = append(resp.CoreUtilization, u)
+	}
+	for _, sp := range s.a.Splits {
+		if sp == tentSplit {
+			continue
+		}
+		resp.Splits = append(resp.Splits, fromSplit(sp))
+	}
+	if s.pendKind == pendNone {
+		ok := s.actx.Schedulable()
+		resp.Schedulable = &ok
+	}
+	return resp
+}
+
+// statsLocked returns this session's admission counters: the live
+// context counters plus whatever a snapshot restore carried over.
+func (s *Session) statsLocked() analysis.AdmissionStats {
+	st := s.actx.Stats()
+	b := s.baseStats
+	return analysis.AdmissionStats{
+		Probes:       st.Probes + b.Probes,
+		FullTests:    st.FullTests + b.FullTests,
+		CoreTests:    st.CoreTests + b.CoreTests,
+		VerdictHits:  st.VerdictHits + b.VerdictHits,
+		FPSolves:     st.FPSolves + b.FPSolves,
+		FPIterations: st.FPIterations + b.FPIterations,
+		WarmStarts:   st.WarmStarts + b.WarmStarts,
+	}
+}
+
+// batchLocked admits a whole set task by task, emitting one verdict
+// per task; ctx aborts the remainder (client disconnect).
+func (s *Session) batchLocked(ctx context.Context, req BatchRequest, emit func(VerdictResponse)) (BatchSummary, error) {
+	if s.pendKind != pendNone {
+		return BatchSummary{}, ErrProbePending
+	}
+	var wire []TaskJSON
+	switch {
+	case req.Generate != nil && len(req.Tasks) > 0:
+		return BatchSummary{}, fmt.Errorf("batch: tasks and generate are mutually exclusive")
+	case req.Generate != nil:
+		cfg := *req.Generate
+		if err := cfg.Validate(); err != nil {
+			return BatchSummary{}, err
+		}
+		set := taskgen.New(cfg).Next()
+		base := s.nextFreeID()
+		for i, t := range set.Tasks {
+			j := fromTask(t, -1)
+			j.ID = base + int64(i)
+			wire = append(wire, j)
+		}
+	case len(req.Tasks) > 0:
+		wire = req.Tasks
+	default:
+		return BatchSummary{}, fmt.Errorf("batch: need tasks or generate")
+	}
+	if req.Order == "util-desc" {
+		sort.SliceStable(wire, func(i, k int) bool {
+			ui := float64(wire[i].WCETNs) / float64(wire[i].PeriodNs)
+			uk := float64(wire[k].WCETNs) / float64(wire[k].PeriodNs)
+			if ui != uk {
+				return ui > uk
+			}
+			return wire[i].ID < wire[k].ID
+		})
+	} else if req.Order != "" && req.Order != "input" {
+		return BatchSummary{}, fmt.Errorf("batch: unknown order %q (input|util-desc)", req.Order)
+	}
+	sum := BatchSummary{Done: true}
+	for _, j := range wire {
+		if ctx.Err() != nil {
+			sum.Canceled = true
+			break
+		}
+		v, err := s.admitLocked(AdmitRequest{Task: j})
+		if err != nil {
+			return sum, err
+		}
+		if v.Admitted {
+			sum.Admitted++
+		} else {
+			sum.Rejected++
+		}
+		if emit != nil {
+			emit(v)
+		}
+	}
+	sum.Schedulable = s.actx.Schedulable()
+	sum.TaskCount = len(s.tasks)
+	return sum, nil
+}
+
+// nextFreeID picks a base ID above everything the session hosts, so
+// generated batches never collide with admitted tasks.
+func (s *Session) nextFreeID() int64 {
+	max := int64(0)
+	for id := range s.tasks {
+		if int64(id) > max {
+			max = int64(id)
+		}
+	}
+	return max + 1
+}

@@ -1,0 +1,150 @@
+package admitd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/task"
+)
+
+// sessionSnapshot is the on-disk form of one session: enough to
+// rebuild the assignment in its canonical order (tasks listed per
+// core in placement order, splits in install order) so a restored
+// context answers bit-identically to the evicted one. A held probe
+// is never snapshotted: snapshotLocked rolls a pending probe back
+// first — the session is being evicted or shut down, so the probe
+// could never be resolved anyway, and its tentative mutation must
+// not be persisted as committed state.
+type sessionSnapshot struct {
+	Name   string          `json:"name"`
+	Cores  int             `json:"cores"`
+	Policy string          `json:"policy"`
+	Model  json.RawMessage `json:"model"`
+	Tasks  []TaskJSON      `json:"tasks"`
+	Splits []SplitJSON     `json:"splits,omitempty"`
+
+	Admitted int64 `json:"admitted"`
+	Rejected int64 `json:"rejected"`
+	Removed  int64 `json:"removed"`
+	// Admission carries the session's cumulative admission counters
+	// across eviction/restore cycles.
+	Admission analysis.AdmissionStats `json:"admission"`
+}
+
+// snapshotLocked captures the session's committed state; it must run
+// on the actor. A held probe is discarded (rolled back) first.
+func (s *Session) snapshotLocked() (*sessionSnapshot, error) {
+	if s.pendKind != pendNone {
+		_, _ = s.rollbackLocked() //nolint:errcheck // pending by the check above
+	}
+	model, err := json.Marshal(s.model)
+	if err != nil {
+		return nil, err
+	}
+	snap := &sessionSnapshot{
+		Name:      s.name,
+		Cores:     s.a.NumCores,
+		Policy:    policyName(s.policy),
+		Model:     model,
+		Admitted:  s.admitted.Load(),
+		Rejected:  s.rejected.Load(),
+		Removed:   s.removed.Load(),
+		Admission: s.statsLocked(),
+	}
+	for c := 0; c < s.a.NumCores; c++ {
+		for _, t := range s.a.Normal[c] {
+			snap.Tasks = append(snap.Tasks, fromTask(t, c))
+		}
+	}
+	for _, sp := range s.a.Splits {
+		snap.Splits = append(snap.Splits, fromSplit(sp))
+	}
+	return snap, nil
+}
+
+// restoreSession rebuilds a session from its snapshot: the assignment
+// is reconstructed in canonical order and a fresh (cold) context is
+// opened over it — decisions are bit-identical to the stateless
+// analyzer, hence to the warm context that was evicted.
+func restoreSession(snap *sessionSnapshot, coll *analysis.Collector) (*Session, error) {
+	p, err := parsePolicy(snap.Policy)
+	if err != nil {
+		return nil, err
+	}
+	if snap.Cores <= 0 {
+		return nil, fmt.Errorf("admitd: snapshot %q: %d cores", snap.Name, snap.Cores)
+	}
+	model := &overhead.Model{}
+	if err := json.Unmarshal(snap.Model, model); err != nil {
+		return nil, fmt.Errorf("admitd: snapshot %q model: %w", snap.Name, err)
+	}
+	model = overhead.Normalize(model)
+	a := task.NewAssignment(snap.Cores)
+	for _, j := range snap.Tasks {
+		t, err := j.toTask(p)
+		if err != nil {
+			return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
+		}
+		if j.Core < 0 || j.Core >= snap.Cores {
+			return nil, fmt.Errorf("admitd: snapshot %q: task %d on core %d", snap.Name, j.ID, j.Core)
+		}
+		a.Place(t, j.Core)
+	}
+	for _, j := range snap.Splits {
+		sp, err := j.toSplit(p)
+		if err != nil {
+			return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
+		}
+		a.Splits = append(a.Splits, sp)
+	}
+	if err := a.Validate(); err != nil {
+		return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
+	}
+	s := newSession(snap.Name, p, model, a, coll)
+	s.admitted.Store(snap.Admitted)
+	s.rejected.Store(snap.Rejected)
+	s.removed.Store(snap.Removed)
+	s.baseStats = snap.Admission
+	return s, nil
+}
+
+// snapshotPath maps a session name to its file (path-escaped, so any
+// name is safe on disk).
+func snapshotPath(dir, name string) string {
+	return filepath.Join(dir, url.PathEscape(name)+".json")
+}
+
+// writeSnapshot persists one snapshot atomically (write + rename).
+func writeSnapshot(dir string, snap *sessionSnapshot) error {
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := snapshotPath(dir, snap.Name)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// readSnapshot loads one snapshot; a missing file returns (nil, nil).
+func readSnapshot(dir, name string) (*sessionSnapshot, error) {
+	data, err := os.ReadFile(snapshotPath(dir, name))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	snap := &sessionSnapshot{}
+	if err := json.Unmarshal(data, snap); err != nil {
+		return nil, fmt.Errorf("admitd: parsing snapshot %s: %w", name, err)
+	}
+	return snap, nil
+}

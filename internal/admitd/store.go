@@ -1,0 +1,274 @@
+package admitd
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/analysis"
+	"repro/internal/overhead"
+	"repro/internal/task"
+)
+
+// numShards stripes the session map so unrelated sessions never
+// contend on one lock; per-session serialization is the actor's job,
+// the shards only guard the name → session mapping.
+const numShards = 16
+
+// ErrSessionExists rejects creating a name that is already live (or
+// snapshotted, when persistence is on).
+var ErrSessionExists = errors.New("admitd: session already exists")
+
+// ErrSessionNotFound is the lookup miss.
+var ErrSessionNotFound = errors.New("admitd: session not found")
+
+type storeShard struct {
+	mu sync.Mutex
+	m  map[string]*Session
+}
+
+// Store is the sharded session registry: striped maps, a logical
+// clock for LRU, an eviction cap, and the snapshot directory evicted
+// sessions park in until their next touch.
+type Store struct {
+	shards      [numShards]storeShard
+	maxSessions int
+	dir         string // "" disables persistence
+
+	clock atomic.Int64 // logical LRU clock, bumped per touch
+	count atomic.Int64
+
+	created, evicted, restored, deleted atomic.Int64
+
+	// coll aggregates admission stats across every session the store
+	// ever hosted — the server-wide /stats view.
+	coll *analysis.Collector
+}
+
+// StoreConfig parameterizes a Store.
+type StoreConfig struct {
+	// MaxSessions caps live sessions; 0 means 1024. Creation beyond
+	// the cap evicts the least-recently-used session (snapshotting it
+	// first when SnapshotDir is set).
+	MaxSessions int
+	// SnapshotDir, when non-empty, persists evicted sessions and
+	// everything live at Close; missing sessions are restored from it
+	// transparently.
+	SnapshotDir string
+}
+
+// NewStore builds the registry (and the snapshot directory, if any).
+func NewStore(cfg StoreConfig) (*Store, error) {
+	max := cfg.MaxSessions
+	if max <= 0 {
+		max = 1024
+	}
+	if cfg.SnapshotDir != "" {
+		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	st := &Store{maxSessions: max, dir: cfg.SnapshotDir, coll: &analysis.Collector{}}
+	for i := range st.shards {
+		st.shards[i].m = make(map[string]*Session)
+	}
+	return st, nil
+}
+
+func (st *Store) shardFor(name string) *storeShard {
+	h := fnv.New32a()
+	h.Write([]byte(name))
+	return &st.shards[h.Sum32()%numShards]
+}
+
+// touch stamps the session's LRU position.
+func (st *Store) touch(s *Session) {
+	s.lastUsed.Store(st.clock.Add(1))
+}
+
+// Create opens a fresh session. The eviction loop runs before the
+// shard lock is taken (evicting scans all shards), so the cap can
+// transiently overshoot under concurrent creates — it is a resource
+// bound, not an invariant.
+func (st *Store) Create(name string, cores int, p task.Policy, model *overhead.Model) (*Session, error) {
+	if name == "" {
+		return nil, fmt.Errorf("admitd: empty session name")
+	}
+	if cores <= 0 {
+		return nil, fmt.Errorf("admitd: %d cores", cores)
+	}
+	for st.count.Load() >= int64(st.maxSessions) {
+		if !st.evictOne() {
+			break
+		}
+	}
+	sh := st.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[name]; ok {
+		return nil, fmt.Errorf("%w: %q", ErrSessionExists, name)
+	}
+	if st.dir != "" {
+		if snap, _ := readSnapshot(st.dir, name); snap != nil {
+			return nil, fmt.Errorf("%w: %q (snapshotted)", ErrSessionExists, name)
+		}
+	}
+	s := newSession(name, p, overhead.Normalize(model), task.NewAssignment(cores), st.coll)
+	st.touch(s)
+	sh.m[name] = s
+	st.count.Add(1)
+	st.created.Add(1)
+	return s, nil
+}
+
+// Get returns a live session, restoring it from its snapshot when the
+// store persists and the name was evicted.
+func (st *Store) Get(name string) (*Session, error) {
+	sh := st.shardFor(name)
+	sh.mu.Lock()
+	if s, ok := sh.m[name]; ok {
+		st.touch(s)
+		sh.mu.Unlock()
+		return s, nil
+	}
+	if st.dir == "" {
+		sh.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, name)
+	}
+	snap, err := readSnapshot(st.dir, name)
+	if err != nil || snap == nil {
+		sh.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, name)
+	}
+	s, err := restoreSession(snap, st.coll)
+	if err != nil {
+		sh.mu.Unlock()
+		return nil, err
+	}
+	st.touch(s)
+	sh.m[name] = s
+	st.count.Add(1)
+	st.restored.Add(1)
+	sh.mu.Unlock()
+	// Restoring may push past the cap: evict someone else.
+	for st.count.Load() > int64(st.maxSessions) {
+		if !st.evictOne() {
+			break
+		}
+	}
+	return s, nil
+}
+
+// Delete closes and forgets a session, snapshot included.
+func (st *Store) Delete(name string) error {
+	sh := st.shardFor(name)
+	sh.mu.Lock()
+	s, ok := sh.m[name]
+	if ok {
+		delete(sh.m, name)
+		st.count.Add(-1)
+	}
+	sh.mu.Unlock()
+	found := ok
+	if st.dir != "" {
+		if err := os.Remove(snapshotPath(st.dir, name)); err == nil {
+			found = true
+		}
+	}
+	if s != nil {
+		s.close()
+	}
+	if !found {
+		return fmt.Errorf("%w: %q", ErrSessionNotFound, name)
+	}
+	st.deleted.Add(1)
+	return nil
+}
+
+// evictOne removes the least-recently-used session: snapshot (when
+// persisting), close, forget. Reports whether anything was evicted.
+func (st *Store) evictOne() bool {
+	var victim *Session
+	var victimShard *storeShard
+	best := int64(1<<62 - 1)
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		for _, s := range sh.m {
+			if lu := s.lastUsed.Load(); lu < best {
+				best, victim, victimShard = lu, s, sh
+			}
+		}
+		sh.mu.Unlock()
+	}
+	if victim == nil {
+		return false
+	}
+	victimShard.mu.Lock()
+	if cur, ok := victimShard.m[victim.name]; !ok || cur != victim {
+		victimShard.mu.Unlock()
+		return true // someone else removed it; progress was made
+	}
+	delete(victimShard.m, victim.name)
+	st.count.Add(-1)
+	victimShard.mu.Unlock()
+	st.snapshotAndClose(victim)
+	st.evicted.Add(1)
+	return true
+}
+
+// snapshotAndClose persists a session (when the store does) and stops
+// its actor. The snapshot runs on the actor, so it sees committed
+// state only.
+func (st *Store) snapshotAndClose(s *Session) {
+	if st.dir != "" {
+		var snap *sessionSnapshot
+		var serr error
+		if err := s.call(func() { snap, serr = s.snapshotLocked() }); err == nil && serr == nil && snap != nil {
+			serr = writeSnapshot(st.dir, snap)
+		}
+		_ = serr // a failed snapshot loses the session's state, not the server
+	}
+	s.close()
+}
+
+// Range calls f on every live session (no particular order).
+func (st *Store) Range(f func(*Session)) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		live := make([]*Session, 0, len(sh.m))
+		for _, s := range sh.m {
+			live = append(live, s)
+		}
+		sh.mu.Unlock()
+		for _, s := range live {
+			f(s)
+		}
+	}
+}
+
+// Close snapshots every live session and stops all actors — the
+// graceful-shutdown path.
+func (st *Store) Close() {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		live := make([]*Session, 0, len(sh.m))
+		for name, s := range sh.m {
+			live = append(live, s)
+			delete(sh.m, name)
+			st.count.Add(-1)
+		}
+		sh.mu.Unlock()
+		for _, s := range live {
+			st.snapshotAndClose(s)
+		}
+	}
+}

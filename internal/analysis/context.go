@@ -78,6 +78,18 @@ type Context interface {
 	Place(t *task.Task, c int)
 	// AddSplit commits the split without probing.
 	AddSplit(sp *task.Split)
+	// Remove deletes the task with the given ID — whole placement or
+	// split — from the assignment and the context's incremental
+	// state, reporting whether it was present. Removal is the one
+	// mutation that shrinks the system, so warm-started values and
+	// cached verdicts that could overshoot the smaller system's least
+	// fixed points are invalidated: the removed task's core always,
+	// and the whole context whenever split chains or the shared queue
+	// bound N are involved (see DESIGN.md §3, "removal
+	// invalidation"). Decisions after a removal remain bit-identical
+	// to the stateless analyzer on the shrunken assignment. No probe
+	// may be pending.
+	Remove(id task.ID) bool
 	// Schedulable runs the full admission test on the committed
 	// assignment — the finalize check — reusing every per-core verdict
 	// that no mutation invalidated.
@@ -85,8 +97,13 @@ type Context interface {
 	// Stats returns the counters accumulated by this context since
 	// creation (or the last Flush).
 	Stats() AdmissionStats
-	// Flush folds the context's counters into the process-wide
-	// admission totals (see StatsSnapshot) and zeroes them locally.
+	// SetCollector attaches a per-context stats sink: Flush then
+	// folds the counters into it in addition to the process-wide
+	// aggregate. A nil collector detaches.
+	SetCollector(*Collector)
+	// Flush folds the context's counters into the attached Collector
+	// (if any) and the process-wide admission totals (see
+	// StatsSnapshot), then zeroes them locally.
 	Flush()
 }
 
@@ -152,35 +169,51 @@ func (s AdmissionStats) String() string {
 		s.Probes, s.FullTests, s.CoreTests, 100*s.CacheHitRate(), s.MeanFPIterations(), 100*s.WarmStartRate())
 }
 
-// totals is the process-wide aggregate, updated atomically by Flush.
-var totals struct {
+// Collector accumulates AdmissionStats from many contexts atomically.
+// Each consumer of admission statistics owns its own Collector — a
+// sweep, an admission-control session, a benchmark — and attaches it
+// to the contexts whose work it wants scoped (Context.SetCollector),
+// so concurrent consumers in one process no longer contaminate each
+// other the way diffing the process-global totals did.
+type Collector struct {
 	probes, fullTests, coreTests, verdictHits, fpSolves, fpIterations, warmStarts atomic.Int64
 }
 
-// StatsSnapshot returns the process-wide admission totals flushed so
-// far. Diff two snapshots (Sub) to scope a sweep.
-func StatsSnapshot() AdmissionStats {
+// Add folds s into the collector.
+func (c *Collector) Add(s AdmissionStats) {
+	c.probes.Add(s.Probes)
+	c.fullTests.Add(s.FullTests)
+	c.coreTests.Add(s.CoreTests)
+	c.verdictHits.Add(s.VerdictHits)
+	c.fpSolves.Add(s.FPSolves)
+	c.fpIterations.Add(s.FPIterations)
+	c.warmStarts.Add(s.WarmStarts)
+}
+
+// Snapshot returns the totals folded in so far.
+func (c *Collector) Snapshot() AdmissionStats {
 	return AdmissionStats{
-		Probes:       totals.probes.Load(),
-		FullTests:    totals.fullTests.Load(),
-		CoreTests:    totals.coreTests.Load(),
-		VerdictHits:  totals.verdictHits.Load(),
-		FPSolves:     totals.fpSolves.Load(),
-		FPIterations: totals.fpIterations.Load(),
-		WarmStarts:   totals.warmStarts.Load(),
+		Probes:       c.probes.Load(),
+		FullTests:    c.fullTests.Load(),
+		CoreTests:    c.coreTests.Load(),
+		VerdictHits:  c.verdictHits.Load(),
+		FPSolves:     c.fpSolves.Load(),
+		FPIterations: c.fpIterations.Load(),
+		WarmStarts:   c.warmStarts.Load(),
 	}
 }
 
-// recordStats folds s into the process-wide totals.
-func recordStats(s AdmissionStats) {
-	totals.probes.Add(s.Probes)
-	totals.fullTests.Add(s.FullTests)
-	totals.coreTests.Add(s.CoreTests)
-	totals.verdictHits.Add(s.VerdictHits)
-	totals.fpSolves.Add(s.FPSolves)
-	totals.fpIterations.Add(s.FPIterations)
-	totals.warmStarts.Add(s.WarmStarts)
-}
+// totals is the process-wide aggregate, updated by every Flush
+// regardless of attached collectors, so StatsSnapshot remains a
+// whole-process view.
+var totals Collector
+
+// StatsSnapshot returns the process-wide admission totals flushed so
+// far — the aggregate over every context in the process. Scoped
+// accounting (one sweep, one session) should attach a Collector
+// instead; diffing two snapshots only isolates a workload when
+// nothing else in the process flushes concurrently.
+func StatsSnapshot() AdmissionStats { return totals.Snapshot() }
 
 // modelMonotone reports whether every effective queue-operation cost
 // (remote penalty applied) is nondecreasing in the queue bound N.
@@ -224,6 +257,7 @@ type ctxBase struct {
 	m     *overhead.Model
 	mono  bool
 	stats AdmissionStats
+	coll  *Collector // optional per-context sink (SetCollector)
 
 	maxN      int   // committed MaxTasksPerCore
 	commitSeq int64 // bumped on every committed mutation
@@ -232,9 +266,13 @@ type ctxBase struct {
 func (b *ctxBase) Analyzer() Analyzer           { return b.an }
 func (b *ctxBase) Assignment() *task.Assignment { return b.a }
 func (b *ctxBase) Stats() AdmissionStats        { return b.stats }
+func (b *ctxBase) SetCollector(c *Collector)    { b.coll = c }
 
 func (b *ctxBase) Flush() {
-	recordStats(b.stats)
+	totals.Add(b.stats)
+	if b.coll != nil {
+		b.coll.Add(b.stats)
+	}
 	b.stats = AdmissionStats{}
 }
 
@@ -274,7 +312,9 @@ func (cc *checkedContext) Place(t *task.Task, c int)    { cc.ctx.Place(t, c) }
 func (cc *checkedContext) AddSplit(sp *task.Split)      { cc.ctx.AddSplit(sp) }
 func (cc *checkedContext) Commit()                      { cc.ctx.Commit() }
 func (cc *checkedContext) Rollback()                    { cc.ctx.Rollback() }
+func (cc *checkedContext) Remove(id task.ID) bool       { return cc.ctx.Remove(id) }
 func (cc *checkedContext) Stats() AdmissionStats        { return cc.ctx.Stats() }
+func (cc *checkedContext) SetCollector(c *Collector)    { cc.ctx.SetCollector(c) }
 func (cc *checkedContext) Flush()                       { cc.ctx.Flush() }
 
 func (cc *checkedContext) TryPlace(t *task.Task, c int) bool {

@@ -309,6 +309,97 @@ func (x *edfContext) AddSplit(sp *task.Split) {
 	x.commitSeq++
 }
 
+// dropped records the removal of an entity from core c: CacheMax may
+// shrink, the demand memo's covered set references the removed entity
+// (its test points must not survive), and the verdict is stale.
+func (x *edfContext) dropped(c int) {
+	s := &x.cores[c]
+	s.cacheMax = 0
+	for _, e := range s.ents {
+		if d := x.m.Cache.MaxDelay(e.Task.WSS); d > s.cacheMax {
+			s.cacheMax = d
+		}
+	}
+	s.rev++
+	s.memo = nil
+	s.verdict = fpVerdict{}
+}
+
+// Remove deletes the task (whole or window-split) from the
+// assignment and the per-core state. Deadline windows decouple the
+// cores, so invalidation is local to the touched cores — except the
+// shared queue bound N: when the removal lowers MaxTasksPerCore,
+// every core's inflated costs shrink, so all memos (whose warm busy
+// periods could overshoot) are dropped; verdicts are keyed by N and
+// invalidate themselves. The canonical entity order (normals in
+// placement order, then split parts in split order) is preserved, so
+// decisions — including the order-sensitive floating-point
+// utilization sum — stay bit-identical to the stateless build.
+func (x *edfContext) Remove(id task.ID) bool {
+	x.ensureNoPending("Remove")
+	oldMaxN := x.maxN
+	found := false
+search:
+	for c := range x.a.Normal {
+		for i, t := range x.a.Normal[c] {
+			if t.ID != id {
+				continue
+			}
+			x.a.Normal[c] = append(x.a.Normal[c][:i], x.a.Normal[c][i+1:]...)
+			s := &x.cores[c]
+			for j := 0; j < s.nNormals; j++ {
+				if s.ents[j].Task.ID == id {
+					s.ents = append(s.ents[:j], s.ents[j+1:]...)
+					s.nNormals--
+					break
+				}
+			}
+			x.dropped(c)
+			found = true
+			break search
+		}
+	}
+	if !found {
+		for si, sp := range x.a.Splits {
+			if sp.Task.ID != id {
+				continue
+			}
+			x.a.Splits = append(x.a.Splits[:si], x.a.Splits[si+1:]...)
+			for _, p := range sp.Parts {
+				s := &x.cores[p.Core]
+				for j := s.nNormals; j < len(s.ents); j++ {
+					if s.ents[j].Task.ID == id {
+						s.ents = append(s.ents[:j], s.ents[j+1:]...)
+						break
+					}
+				}
+				x.dropped(p.Core)
+			}
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	x.maxN = 0
+	for c := range x.cores {
+		if n := len(x.cores[c].ents); n > x.maxN {
+			x.maxN = n
+		}
+	}
+	if x.maxN != oldMaxN {
+		// Smaller N shrinks every inflated cost: warm busy periods in
+		// the memos may overshoot. Verdicts are keyed by N and go
+		// stale on their own.
+		for c := range x.cores {
+			x.cores[c].memo = nil
+		}
+	}
+	x.commitSeq++
+	return true
+}
+
 func (x *edfContext) Schedulable() bool {
 	x.ensureNoPending("Schedulable")
 	x.stats.FullTests++

@@ -594,6 +594,115 @@ func (x *fpContext) AddSplit(sp *task.Split) {
 	x.commitSeq++
 }
 
+// dropEntity deletes the first entity on core c matching the
+// predicate, recomputing the core's CacheMax (removal can lower it)
+// and bumping its content revision.
+func (x *fpContext) dropEntity(c int, match func(*Entity) bool) {
+	s := x.sets[c]
+	for i, e := range s.Entities {
+		if match(e) {
+			s.Entities = append(s.Entities[:i], s.Entities[i+1:]...)
+			break
+		}
+	}
+	s.CacheMax = 0
+	for _, e := range s.Entities {
+		if d := x.m.Cache.MaxDelay(e.Task.WSS); d > s.CacheMax {
+			s.CacheMax = d
+		}
+	}
+	s.invalidateCosts()
+	x.revs[c]++
+}
+
+// Remove deletes the task (whole placement or split chain) and
+// invalidates whatever the shrink could have left overshooting.
+// Removal is the only mutation under which committed warm-start
+// values stop being lower bounds of the least fixed points — less
+// interference, a smaller queue bound N, or smaller chain jitters
+// all shrink response times — so warm state is reset: on the removed
+// task's core always, and context-wide when chains exist or N
+// dropped (chain jitters and the shared N couple every core).
+// Entity order within each core is preserved, so decisions stay
+// bit-identical to the stateless build of the shrunken assignment.
+func (x *fpContext) Remove(id task.ID) bool {
+	x.ensureNoPending("Remove")
+	oldMaxN := x.maxN
+	removedSplit := false
+	affected := -1
+	found := false
+search:
+	for c := range x.a.Normal {
+		for i, t := range x.a.Normal[c] {
+			if t.ID == id {
+				x.a.Normal[c] = append(x.a.Normal[c][:i], x.a.Normal[c][i+1:]...)
+				x.dropEntity(c, func(e *Entity) bool {
+					return e.Task.ID == id && !e.MigrIn && !e.MigrOut
+				})
+				affected = c
+				found = true
+				break search
+			}
+		}
+	}
+	if !found {
+		for si, sp := range x.a.Splits {
+			if sp.Task.ID != id {
+				continue
+			}
+			x.a.Splits = append(x.a.Splits[:si], x.a.Splits[si+1:]...)
+			for ci, ch := range x.chains {
+				if ch.sp != sp {
+					continue
+				}
+				for i, e := range ch.ents {
+					ent := e
+					x.dropEntity(ch.cores[i], func(o *Entity) bool { return o == ent })
+				}
+				x.chains = append(x.chains[:ci], x.chains[ci+1:]...)
+				break
+			}
+			removedSplit = true
+			found = true
+			break
+		}
+	}
+	if !found {
+		return false
+	}
+	x.maxN = 0
+	for _, s := range x.sets {
+		if n := len(s.Entities); n > x.maxN {
+			x.maxN = n
+		}
+	}
+	x.commitSeq++
+	if removedSplit || len(x.chains) > 0 || x.maxN != oldMaxN {
+		// Chain jitters and the shared queue bound couple the cores:
+		// reset warm state everywhere and force a fresh resolution.
+		for d := range x.sets {
+			for _, e := range x.sets[d].Entities {
+				e.warmR, e.warmProbe, e.warmSeq = 0, 0, 0
+			}
+			x.verdicts[d] = fpVerdict{}
+		}
+		for _, ch := range x.chains {
+			for _, e := range ch.ents {
+				e.Jitter = 0
+			}
+		}
+		x.resolveSeq = -1
+		x.lastFailed = nil
+	} else {
+		// No chains and N unchanged: the removal is local to one core.
+		for _, e := range x.sets[affected].Entities {
+			e.warmR, e.warmProbe, e.warmSeq = 0, 0, 0
+		}
+		x.verdicts[affected] = fpVerdict{}
+	}
+	return true
+}
+
 func (x *fpContext) Schedulable() bool {
 	x.ensureNoPending("Schedulable")
 	x.stats.FullTests++

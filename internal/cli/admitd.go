@@ -1,0 +1,126 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/admitd"
+)
+
+// Admitd is the spadmitd entry point: the admission-control daemon
+// and its load generator.
+//
+//	spadmitd serve [-addr :7007] [-snapshots dir] [-max-sessions 1024]
+//	spadmitd load  [-addr http://host:7007] [-sessions 64] [-requests 100000]
+//	               [-workers 0] [-cores 4] [-tasks 12] [-policy fp] [-seed 1]
+//
+// `load` without -addr runs against an in-process server — a
+// self-contained smoke/throughput run needing no listener.
+func Admitd(args []string, w io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: spadmitd <serve|load> [flags]")
+	}
+	switch args[0] {
+	case "serve":
+		return admitdServe(args[1:], w)
+	case "load":
+		return admitdLoad(args[1:], w)
+	default:
+		return fmt.Errorf("unknown subcommand %q (serve|load)", args[0])
+	}
+}
+
+// admitdServe runs the HTTP daemon until SIGINT/SIGTERM, then shuts
+// down gracefully: the listener drains and every live session is
+// snapshotted.
+func admitdServe(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("spadmitd serve", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		addr     = fs.String("addr", ":7007", "listen address")
+		snapshot = fs.String("snapshots", "", "session snapshot directory (enables persistence)")
+		maxSess  = fs.Int("max-sessions", 1024, "live-session cap (LRU eviction beyond it)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	srv, err := admitd.New(admitd.Config{MaxSessions: *maxSess, SnapshotDir: *snapshot})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(w, "spadmitd listening on %s (max sessions %d, snapshots %q)\n", *addr, *maxSess, *snapshot)
+	select {
+	case err := <-errc:
+		srv.Close()
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(w, "spadmitd: shutting down (snapshotting live sessions)")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	_ = httpSrv.Shutdown(shutCtx) //nolint:errcheck // drain best-effort before snapshotting
+	srv.Close()
+	return nil
+}
+
+// admitdLoad drives the request mix against a remote server (-addr)
+// or an in-process one.
+func admitdLoad(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("spadmitd load", flag.ContinueOnError)
+	fs.SetOutput(w)
+	var (
+		addr     = fs.String("addr", "", "server base URL (empty: run in-process)")
+		sessions = fs.Int("sessions", 64, "concurrent cluster sessions")
+		requests = fs.Int("requests", 100000, "total admission requests")
+		workers  = fs.Int("workers", 0, "client concurrency (0: 2x sessions, capped at 64)")
+		cores    = fs.Int("cores", 4, "cores per session")
+		tasks    = fs.Int("tasks", 12, "resident tasks seeded per session")
+		policy   = fs.String("policy", "fp", "session policy: fp|edf")
+		seed     = fs.Int64("seed", 1, "workload seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := admitd.LoadConfig{
+		BaseURL:         *addr,
+		Sessions:        *sessions,
+		Requests:        *requests,
+		Workers:         *workers,
+		Cores:           *cores,
+		TasksPerSession: *tasks,
+		Policy:          *policy,
+		Seed:            *seed,
+	}
+	var d admitd.Doer
+	if *addr == "" {
+		srv, err := admitd.New(admitd.Config{MaxSessions: 2 * *sessions})
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		d = admitd.InProcess{H: srv}
+	} else {
+		d = &http.Client{Timeout: 30 * time.Second}
+	}
+	stats, err := admitd.RunLoad(context.Background(), d, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, stats)
+	if stats.Errors > 0 {
+		return fmt.Errorf("load run finished with %d unexpected errors", stats.Errors)
+	}
+	return nil
+}

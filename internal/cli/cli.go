@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/overhead"
+	"repro/internal/partition"
 	"repro/internal/report"
 	"repro/internal/sched"
 	"repro/internal/task"
@@ -21,30 +22,10 @@ import (
 	"repro/internal/trace"
 )
 
-// AlgorithmByName maps the CLI names to algorithms.
+// AlgorithmByName maps the CLI names to algorithms (the shared
+// partition.ByName lookup, also used by the admitd sweep endpoint).
 func AlgorithmByName(name string) (core.Algorithm, error) {
-	switch name {
-	case "fpts":
-		return core.FPTS, nil
-	case "ffd":
-		return core.FFD, nil
-	case "wfd":
-		return core.WFD, nil
-	case "bfd":
-		return core.BFD, nil
-	case "spa1":
-		return core.SPA1, nil
-	case "spa2":
-		return core.SPA2, nil
-	case "edfwm":
-		return core.EDFWM, nil
-	case "edfffd":
-		return core.EDFFFD, nil
-	case "edfwfd":
-		return core.EDFWFD, nil
-	default:
-		return nil, fmt.Errorf("unknown algorithm %q (fpts|ffd|wfd|bfd|spa1|spa2|edfwm|edfffd|edfwfd)", name)
-	}
+	return partition.ByName(name)
 }
 
 // IsEDF reports whether the algorithm's assignments need EDF

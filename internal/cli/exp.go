@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/report"
 	"repro/internal/timeq"
 )
 
@@ -24,6 +25,7 @@ func Exp(args []string, w io.Writer) error {
 		ovName   = fs.String("overheads", "both", "zero|paper|both")
 		modelF   = fs.String("model", "", "custom overhead model JSON file (overrides -overheads)")
 		csv      = fs.Bool("csv", false, "emit CSV instead of tables")
+		jsonOut  = fs.Bool("json", false, "emit JSON (the serialization shared with admitd) instead of tables")
 		plot     = fs.Bool("plot", false, "also draw ASCII acceptance curves")
 		edf      = fs.Bool("edf", false, "compare EDF algorithms instead")
 		algsF    = fs.String("algs", "", "comma-separated algorithm list (mixed FP/EDF allowed), e.g. fpts,edfwm,ffd")
@@ -89,6 +91,10 @@ func Exp(args []string, w io.Writer) error {
 		}
 		start := time.Now()
 		r := core.Sweep(cfg)
+		if *jsonOut {
+			_ = report.SweepResultJSON(r).Encode(w) //nolint:errcheck // writer errors surface downstream
+			return
+		}
 		if *csv {
 			fmt.Fprint(w, r.CSV())
 			return

@@ -18,6 +18,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/analysis"
 	"repro/internal/experiment"
 	"repro/internal/overhead"
@@ -74,6 +76,15 @@ type (
 	// AdmissionStats counts admission work (probes, cache hits,
 	// fixed-point iterations); see AdmissionStatsSnapshot.
 	AdmissionStats = analysis.AdmissionStats
+	// AdmissionCollector is a scoped admission-stats sink: attach one
+	// to a context (AdmissionContext.SetCollector) or thread one
+	// through a partition call (PartitionOptions.Stats) to account
+	// one consumer's admission work without process-global
+	// contamination.
+	AdmissionCollector = analysis.Collector
+	// PartitionOptions carries cancellation and a stats sink through
+	// a partitioning call (Algorithm.PartitionOpts).
+	PartitionOptions = partition.Options
 )
 
 // Time units.
@@ -191,3 +202,11 @@ func Simulate(a *Assignment, cfg SimConfig) (*SimResult, error) { return sched.R
 
 // Sweep runs an acceptance-ratio experiment (the Section 4 evaluation).
 func Sweep(cfg SweepConfig) *SweepResults { return experiment.Run(cfg) }
+
+// SweepContext is Sweep with cancellation: when ctx is canceled the
+// pipeline aborts between placements and returns partial results with
+// Canceled set. The admitd server runs client sweeps through this so
+// a disconnect tears the work down.
+func SweepContext(ctx context.Context, cfg SweepConfig) *SweepResults {
+	return experiment.RunContext(ctx, cfg)
+}

@@ -24,6 +24,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -95,8 +96,9 @@ type CellUpdate struct {
 	// Admission carries the running admission-layer totals of this
 	// sweep (probes, cache hit rate, fixed-point effort), accumulated
 	// across every partitioner context the workers flushed so far.
-	// Totals are process-wide deltas since Run started, so two sweeps
-	// running concurrently in one process see each other's probes.
+	// The totals come from a per-run analysis.Collector, so
+	// concurrent sweeps (or any other admission work in the process)
+	// do not contaminate each other.
 	Admission analysis.AdmissionStats
 }
 
@@ -199,10 +201,13 @@ type Results struct {
 	// context per (task set × algorithm) cell spans every probe of
 	// that cell's packing loop, so these counters expose the
 	// incremental layer's cache hit rate and fixed-point effort.
-	// Like CellUpdate.Admission, it is a process-wide delta since Run
-	// started: a second sweep (or any other partitioning) running
-	// concurrently in the same process contaminates the totals.
+	// The totals are scoped to this run by a per-run
+	// analysis.Collector, so concurrent sweeps do not see each
+	// other's work.
 	Admission analysis.AdmissionStats
+	// Canceled reports that the run's context was canceled before the
+	// sweep completed; the cells hold whatever shards finished.
+	Canceled bool
 }
 
 // cell accumulates one (algorithm × utilization) grid cell.
@@ -233,7 +238,7 @@ type aggregator struct {
 	grid        [][]cell // [algorithm][utilization]
 	doneShards  int
 	totalShards int
-	startStats  analysis.AdmissionStats
+	coll        *analysis.Collector // this run's admission totals
 }
 
 func newAggregator(cfg *Config, totalShards int) *aggregator {
@@ -241,7 +246,7 @@ func newAggregator(cfg *Config, totalShards int) *aggregator {
 	for i := range grid {
 		grid[i] = make([]cell, len(cfg.Utilizations))
 	}
-	return &aggregator{cfg: cfg, grid: grid, totalShards: totalShards, startStats: analysis.StatsSnapshot()}
+	return &aggregator{cfg: cfg, grid: grid, totalShards: totalShards, coll: &analysis.Collector{}}
 }
 
 // fold merges one shard's per-algorithm partial cells and emits the
@@ -257,7 +262,7 @@ func (ag *aggregator) fold(sh shard, partial []cell) {
 	if ag.cfg.Progress == nil {
 		return
 	}
-	adm := analysis.StatsSnapshot().Sub(ag.startStats)
+	adm := ag.coll.Snapshot()
 	for ai, alg := range ag.cfg.Algorithms {
 		c := ag.grid[ai][sh.ui]
 		lo, hi := stats.WilsonInterval(c.accepted, c.total)
@@ -283,6 +288,15 @@ func (ag *aggregator) fold(sh shard, partial []cell) {
 // accepted assignments under their own policy, and folds the shard
 // into the aggregator.
 func Run(cfg Config) *Results {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: when ctx is canceled, workers
+// stop picking up shards, the in-flight packing loops abort between
+// placements, and the call returns promptly with whatever shards
+// completed (Results.Canceled set). Servers use this to tear down
+// sweeps whose client disconnected.
+func RunContext(ctx context.Context, cfg Config) *Results {
 	cfg = cfg.withDefaults()
 
 	var shards []shard
@@ -304,17 +318,25 @@ func Run(cfg Config) *Results {
 		go func() {
 			defer wg.Done()
 			for sh := range work {
-				ag.fold(sh, runShard(&cfg, sh))
+				if ctx.Err() != nil {
+					continue // drain without working
+				}
+				ag.fold(sh, runShard(ctx, &cfg, sh, ag.coll))
 			}
 		}()
 	}
+feed:
 	for _, sh := range shards {
-		work <- sh
+		select {
+		case work <- sh:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
 
-	res := &Results{Config: cfg, Admission: analysis.StatsSnapshot().Sub(ag.startStats)}
+	res := &Results{Config: cfg, Admission: ag.coll.Snapshot(), Canceled: ctx.Err() != nil}
 	for ai, alg := range cfg.Algorithms {
 		series := Series{Algorithm: alg.Name()}
 		for ui, u := range cfg.Utilizations {
@@ -347,10 +369,14 @@ func Run(cfg Config) *Results {
 // it and thread it through; see analysis.Context), so a cell does
 // O(changed-core) admission work per probe; the contexts flush their
 // probe/cache/fixed-point counters into the sweep's Admission totals.
-func runShard(cfg *Config, sh shard) []cell {
+func runShard(ctx context.Context, cfg *Config, sh shard, coll *analysis.Collector) []cell {
 	partial := make([]cell, len(cfg.Algorithms))
 	u := cfg.Utilizations[sh.ui]
+	opts := partition.Options{Ctx: ctx, Stats: coll}
 	for si := sh.lo; si < sh.hi; si++ {
+		if ctx.Err() != nil {
+			return partial // partial cells; the run is canceled anyway
+		}
 		set := taskgen.New(taskgen.Config{
 			N:                cfg.Tasks,
 			TotalUtilization: u,
@@ -361,11 +387,15 @@ func runShard(cfg *Config, sh shard) []cell {
 		}).Next()
 		for ai, alg := range cfg.Algorithms {
 			c := &partial[ai]
-			c.total++
-			a, err := alg.Partition(set.Clone(), cfg.Cores, cfg.Model)
+			a, err := alg.PartitionOpts(set.Clone(), cfg.Cores, cfg.Model, opts)
 			if err != nil {
+				if ctx.Err() != nil {
+					return partial // canceled mid-set: don't count it
+				}
+				c.total++
 				continue
 			}
+			c.total++
 			c.accepted++
 			c.splits += a.NumSplit()
 			if cfg.SimHorizon > 0 {

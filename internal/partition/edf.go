@@ -54,14 +54,22 @@ func (h *EDFHeuristic) Name() string {
 // fails with ErrUnschedulable. Probes thread one admission context
 // across the whole packing loop.
 func (h *EDFHeuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	return h.PartitionOpts(s, m, model, Options{})
+}
+
+// PartitionOpts is Partition with cancellation and a stats sink.
+func (h *EDFHeuristic) PartitionOpts(s *task.Set, m int, model *overhead.Model, o Options) (*task.Assignment, error) {
 	model = overhead.Normalize(model)
 	if err := validateInput(s, m, h.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
-	ctx := newContext(h, a, model)
+	ctx := newContext(h, a, model, o)
 	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		best := -1
 		var bestU float64
 		for c := 0; c < m; c++ {
@@ -117,14 +125,22 @@ func (*EDFWM) EDFPolicy() bool { return true }
 // and splits a task over k equal deadline windows when it fits
 // nowhere whole, growing k until the split succeeds or cores run out.
 func (w *EDFWM) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	return w.PartitionOpts(s, m, model, Options{})
+}
+
+// PartitionOpts is Partition with cancellation and a stats sink.
+func (w *EDFWM) PartitionOpts(s *task.Set, m int, model *overhead.Model, o Options) (*task.Assignment, error) {
 	model = overhead.Normalize(model)
 	if err := validateInput(s, m, w.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
-	ctx := newContext(w, a, model)
+	ctx := newContext(w, a, model, o)
 	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		if placeWholeFirstFit(ctx, t, m) {
 			continue
 		}

@@ -19,7 +19,7 @@ import (
 // and the remainder continues on the remaining cores the same way.
 // Split parts run at the highest local priorities so each part drains
 // its budget promptly, maximizing the slack left for the downstream
-// parts (DESIGN.md §5).
+// parts (DESIGN.md §6).
 //
 // The literal SPA1/SPA2 sequential constructions of Guan et al.
 // (RTAS 2010), whose worst-case utilization bound FP-TS inherits, are
@@ -31,7 +31,7 @@ import (
 // evaluations".
 type FPTS struct {
 	// NoBoost runs split parts at their plain RM priority instead of
-	// the boosted band — the DESIGN.md §5 design-choice ablation.
+	// the boosted band — the DESIGN.md §6 design-choice ablation.
 	// Body parts then suffer local interference, inflating the
 	// downstream jitter, so acceptance is expected to drop.
 	NoBoost bool
@@ -60,14 +60,22 @@ func (f *FPTS) Policy() task.Policy { return task.FixedPriority }
 // context, so each differs from the committed state by exactly the
 // tentative placement being tested.
 func (f *FPTS) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	return f.PartitionOpts(s, m, model, Options{})
+}
+
+// PartitionOpts is Partition with cancellation and a stats sink.
+func (f *FPTS) PartitionOpts(s *task.Set, m int, model *overhead.Model, o Options) (*task.Assignment, error) {
 	model = overhead.Normalize(model)
 	if err := validateInput(s, m, f.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
-	ctx := newContext(f, a, model)
+	ctx := newContext(f, a, model, o)
 	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		if placeWholeFirstFit(ctx, t, m) {
 			continue
 		}

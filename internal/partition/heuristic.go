@@ -80,6 +80,11 @@ func (h *Heuristic) Policy() task.Policy { return task.FixedPriority }
 // probe through one admission context threaded across the whole
 // packing loop, or fails with ErrUnschedulable.
 func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	return h.PartitionOpts(s, m, model, Options{})
+}
+
+// PartitionOpts is Partition with cancellation and a stats sink.
+func (h *Heuristic) PartitionOpts(s *task.Set, m int, model *overhead.Model, o Options) (*task.Assignment, error) {
 	model = overhead.Normalize(model)
 	if err := validateInput(s, m, h.Policy()); err != nil {
 		return nil, err
@@ -92,9 +97,12 @@ func (h *Heuristic) Partition(s *task.Set, m int, model *overhead.Model) (*task.
 		order = s.SortedByUtilizationDesc()
 	}
 	a := task.NewAssignment(m)
-	ctx := newContext(h, a, model)
+	ctx := newContext(h, a, model, o)
 	defer ctx.Flush()
 	for _, t := range order {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		best := -1
 		var bestU float64
 		for c := 0; c < m; c++ {

@@ -26,6 +26,7 @@
 package partition
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -37,6 +38,30 @@ import (
 // ErrUnschedulable is returned when the algorithm cannot produce a
 // schedulable assignment on the given number of cores.
 var ErrUnschedulable = errors.New("partition: task set not schedulable by this algorithm")
+
+// Options carries the cross-cutting concerns of one Partition call.
+// The zero value is the historical behavior: no cancellation, stats
+// folded into the process-wide aggregate only.
+type Options struct {
+	// Ctx, when non-nil, cancels the packing loop between placements;
+	// the call then returns the context's error. In-flight single
+	// probes are not interrupted (they are microseconds-scale).
+	Ctx context.Context
+	// Stats, when non-nil, additionally receives the admission
+	// counters this call's context flushes, so concurrent callers in
+	// one process can each scope their own admission work (the
+	// process-wide aggregate behind analysis.StatsSnapshot is always
+	// updated too).
+	Stats *analysis.Collector
+}
+
+// err reports the cancellation state.
+func (o Options) err() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
 
 // Algorithm produces an assignment of a task set onto m cores, or
 // ErrUnschedulable. Every implementation declares the scheduling
@@ -50,6 +75,37 @@ type Algorithm interface {
 	// assignments are built (and admitted) for.
 	Policy() task.Policy
 	Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error)
+	// PartitionOpts is Partition with explicit cross-cutting options:
+	// cancellation and a per-call admission-stats sink.
+	PartitionOpts(s *task.Set, m int, model *overhead.Model, o Options) (*task.Assignment, error)
+}
+
+// ByName maps the conventional CLI/API names to algorithms — the
+// single lookup shared by the spexp/spsim flag parsing and the admitd
+// sweep endpoint.
+func ByName(name string) (Algorithm, error) {
+	switch name {
+	case "fpts":
+		return TS, nil
+	case "ffd":
+		return FFD, nil
+	case "wfd":
+		return WFD, nil
+	case "bfd":
+		return BFD, nil
+	case "spa1":
+		return SPA1, nil
+	case "spa2":
+		return SPA2, nil
+	case "edfwm":
+		return WM, nil
+	case "edfffd":
+		return EDFFFD, nil
+	case "edfwfd":
+		return EDFWFD, nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q (fpts|ffd|wfd|bfd|spa1|spa2|edfwm|edfffd|edfwfd)", name)
+	}
 }
 
 // newContext opens the incremental admission context every packing
@@ -58,9 +114,15 @@ type Algorithm interface {
 // algorithm's declared policy. All assignment mutations go through
 // the context so its per-core caches, warm-started fixed points and
 // verdict memos stay coherent; decisions are bit-identical to the
-// stateless analyzer path.
-func newContext(alg Algorithm, a *task.Assignment, model *overhead.Model) analysis.Context {
-	return analysis.ForPolicy(alg.Policy()).NewContext(a, model)
+// stateless analyzer path. The options' stats sink, if any, is
+// attached so the call's admission work lands in the caller's
+// collector.
+func newContext(alg Algorithm, a *task.Assignment, model *overhead.Model, o Options) analysis.Context {
+	ctx := analysis.ForPolicy(alg.Policy()).NewContext(a, model)
+	if o.Stats != nil {
+		ctx.SetCollector(o.Stats)
+	}
+	return ctx
 }
 
 // validateInput performs the shared sanity checks. Fixed-priority

@@ -22,7 +22,7 @@ const minPartBudget = timeq.Microsecond
 // at a time with tasks in increasing priority order; a task that does
 // not fit entirely on the current core is split: the largest
 // admissible budget stays, the remainder continues on the next core.
-// Split parts execute at the highest local priorities (DESIGN.md §5).
+// Split parts execute at the highest local priorities (DESIGN.md §6).
 //
 // Variant 2 (SPA2) additionally pre-assigns heavy tasks — utilization
 // above the Liu & Layland threshold — to dedicated cores so they are
@@ -68,12 +68,17 @@ func (alg *SPA) Name() string {
 // One admission context is threaded through the entire sequential
 // fill, so each probe costs only the work of the core it touches.
 func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assignment, error) {
+	return alg.PartitionOpts(s, m, model, Options{})
+}
+
+// PartitionOpts is Partition with cancellation and a stats sink.
+func (alg *SPA) PartitionOpts(s *task.Set, m int, model *overhead.Model, o Options) (*task.Assignment, error) {
 	model = overhead.Normalize(model)
 	if err := validateInput(s, m, alg.Policy()); err != nil {
 		return nil, err
 	}
 	a := task.NewAssignment(m)
-	ctx := newContext(alg, a, model)
+	ctx := newContext(alg, a, model, o)
 	defer ctx.Flush()
 
 	// Task order: increasing priority (longest period first), the
@@ -117,6 +122,9 @@ func (alg *SPA) Partition(s *task.Set, m int, model *overhead.Model) (*task.Assi
 
 	cur := 0 // current core of the sequential fill
 	for _, t := range order {
+		if err := o.err(); err != nil {
+			return nil, err
+		}
 		remaining := t.WCET
 		var parts []task.Part
 		for remaining > 0 {

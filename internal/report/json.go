@@ -1,0 +1,145 @@
+package report
+
+// JSON export of sweep and admission results — the one serialization
+// shared by the spexp CLI (-json) and the admitd server (batch and
+// sweep endpoints), so downstream tooling parses a single schema no
+// matter which surface produced the numbers.
+
+import (
+	"encoding/json"
+	"io"
+
+	"repro/internal/analysis"
+	"repro/internal/experiment"
+)
+
+// AdmissionStatsJSON is the wire form of analysis.AdmissionStats,
+// with the derived rates precomputed so consumers need no formulas.
+type AdmissionStatsJSON struct {
+	Probes           int64   `json:"probes"`
+	FullTests        int64   `json:"full_tests"`
+	CoreTests        int64   `json:"core_tests"`
+	VerdictHits      int64   `json:"verdict_hits"`
+	FPSolves         int64   `json:"fp_solves"`
+	FPIterations     int64   `json:"fp_iterations"`
+	WarmStarts       int64   `json:"warm_starts"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	MeanFPIterations float64 `json:"mean_fp_iterations"`
+	WarmStartRate    float64 `json:"warm_start_rate"`
+}
+
+// AdmissionJSON converts admission counters to their wire form.
+func AdmissionJSON(s analysis.AdmissionStats) AdmissionStatsJSON {
+	return AdmissionStatsJSON{
+		Probes:           s.Probes,
+		FullTests:        s.FullTests,
+		CoreTests:        s.CoreTests,
+		VerdictHits:      s.VerdictHits,
+		FPSolves:         s.FPSolves,
+		FPIterations:     s.FPIterations,
+		WarmStarts:       s.WarmStarts,
+		CacheHitRate:     s.CacheHitRate(),
+		MeanFPIterations: s.MeanFPIterations(),
+		WarmStartRate:    s.WarmStartRate(),
+	}
+}
+
+// SweepPointJSON is one (algorithm × utilization) cell.
+type SweepPointJSON struct {
+	TotalUtilization   float64 `json:"total_utilization"`
+	PerCoreUtilization float64 `json:"per_core_utilization"`
+	Accepted           int     `json:"accepted"`
+	Total              int     `json:"total"`
+	Ratio              float64 `json:"ratio"`
+	WilsonLo           float64 `json:"wilson_lo"`
+	WilsonHi           float64 `json:"wilson_hi"`
+	MeanSplits         float64 `json:"mean_splits"`
+	SimViolations      int     `json:"sim_violations"`
+}
+
+// SweepSeriesJSON is one algorithm's acceptance curve.
+type SweepSeriesJSON struct {
+	Algorithm string           `json:"algorithm"`
+	Points    []SweepPointJSON `json:"points"`
+}
+
+// SweepJSON is the wire form of a whole acceptance-ratio sweep.
+type SweepJSON struct {
+	Cores        int                `json:"cores"`
+	Tasks        int                `json:"tasks"`
+	SetsPerPoint int                `json:"sets_per_point"`
+	Seed         int64              `json:"seed"`
+	Canceled     bool               `json:"canceled,omitempty"`
+	Series       []SweepSeriesJSON  `json:"series"`
+	Admission    AdmissionStatsJSON `json:"admission"`
+}
+
+// SweepResultJSON converts sweep results to their wire form.
+func SweepResultJSON(r *experiment.Results) *SweepJSON {
+	out := &SweepJSON{
+		Cores:        r.Config.Cores,
+		Tasks:        r.Config.Tasks,
+		SetsPerPoint: r.Config.SetsPerPoint,
+		Seed:         r.Config.Seed,
+		Canceled:     r.Canceled,
+		Admission:    AdmissionJSON(r.Admission),
+	}
+	m := float64(r.Config.Cores)
+	for _, s := range r.Series {
+		series := SweepSeriesJSON{Algorithm: s.Algorithm}
+		for _, p := range s.Points {
+			series.Points = append(series.Points, SweepPointJSON{
+				TotalUtilization:   p.TotalUtilization,
+				PerCoreUtilization: p.TotalUtilization / m,
+				Accepted:           p.Accepted,
+				Total:              p.Total,
+				Ratio:              p.Ratio,
+				WilsonLo:           p.WilsonLo,
+				WilsonHi:           p.WilsonHi,
+				MeanSplits:         p.Splits,
+				SimViolations:      p.SimViolations,
+			})
+		}
+		out.Series = append(out.Series, series)
+	}
+	return out
+}
+
+// Encode writes the sweep as indented JSON.
+func (s *SweepJSON) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SweepProgressJSON is one streaming partial-result line (NDJSON):
+// the wire form of experiment.CellUpdate, emitted by spexp -progress
+// -json and by the admitd sweep endpoint while the sweep runs.
+type SweepProgressJSON struct {
+	Algorithm        string             `json:"algorithm"`
+	TotalUtilization float64            `json:"total_utilization"`
+	Accepted         int                `json:"accepted"`
+	Total            int                `json:"total"`
+	Ratio            float64            `json:"ratio"`
+	WilsonLo         float64            `json:"wilson_lo"`
+	WilsonHi         float64            `json:"wilson_hi"`
+	DoneShards       int                `json:"done_shards"`
+	TotalShards      int                `json:"total_shards"`
+	Admission        AdmissionStatsJSON `json:"admission"`
+}
+
+// ProgressJSON converts one streaming update to its wire form.
+func ProgressJSON(u experiment.CellUpdate) SweepProgressJSON {
+	return SweepProgressJSON{
+		Algorithm:        u.Algorithm,
+		TotalUtilization: u.TotalUtilization,
+		Accepted:         u.Accepted,
+		Total:            u.Total,
+		Ratio:            u.Ratio,
+		WilsonLo:         u.WilsonLo,
+		WilsonHi:         u.WilsonHi,
+		DoneShards:       u.DoneShards,
+		TotalShards:      u.TotalShards,
+		Admission:        AdmissionJSON(u.Admission),
+	}
+}

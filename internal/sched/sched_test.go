@@ -262,7 +262,7 @@ func TestDeterministicRuns(t *testing.T) {
 	}
 }
 
-// The central validation property (DESIGN.md §5): an assignment
+// The central validation property (DESIGN.md §7): an assignment
 // admitted by the overhead-aware analysis never misses a deadline in
 // a simulation with the same overhead model.
 func TestAdmittedNeverMisses(t *testing.T) {

@@ -45,7 +45,7 @@ type Split struct {
 	Windows []timeq.Time
 	// NoBoost keeps the parts at the task's plain RM priority
 	// instead of the boosted top-priority band — the ablation knob
-	// for the design choice documented in DESIGN.md §5. Fixed
+	// for the design choice documented in DESIGN.md §6. Fixed
 	// priority only; EDF ignores it.
 	NoBoost bool
 }

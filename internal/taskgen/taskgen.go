@@ -13,6 +13,7 @@
 package taskgen
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"math/rand"
@@ -67,25 +68,54 @@ func (d PeriodDist) String() string {
 	}
 }
 
-// Config parameterizes a generator.
+// MarshalJSON serializes the distribution by name.
+func (d PeriodDist) MarshalJSON() ([]byte, error) { return json.Marshal(d.String()) }
+
+// UnmarshalJSON accepts the distribution by name (an empty string
+// means the LogUniform default).
+func (d *PeriodDist) UnmarshalJSON(b []byte) error {
+	var name string
+	if err := json.Unmarshal(b, &name); err != nil {
+		return err
+	}
+	switch name {
+	case "", "log-uniform", "loguniform":
+		*d = LogUniform
+	case "uniform":
+		*d = Uniform
+	case "harmonic":
+		*d = Harmonic
+	case "automotive":
+		*d = Automotive
+	default:
+		return fmt.Errorf("taskgen: unknown period distribution %q (log-uniform|uniform|harmonic|automotive)", name)
+	}
+	return nil
+}
+
+// Config parameterizes a generator. The JSON form (durations in
+// nanoseconds, the period distribution by name) is accepted verbatim
+// by the admitd batch endpoint for server-side set generation.
 type Config struct {
 	// N is the number of tasks per set.
-	N int
+	N int `json:"n"`
 	// TotalUtilization is the target ΣU of each generated set.
-	TotalUtilization float64
+	TotalUtilization float64 `json:"total_utilization"`
 	// MaxTaskUtilization caps individual utilizations; sets with a
 	// larger task are re-drawn (UUniFast-discard). 0 means 1.0.
-	MaxTaskUtilization float64
+	MaxTaskUtilization float64 `json:"max_task_utilization,omitempty"`
 	// PeriodMin and PeriodMax bound the period range. Zero values
 	// default to the conventional 10ms and 1000ms.
-	PeriodMin, PeriodMax timeq.Time
+	PeriodMin timeq.Time `json:"period_min_ns,omitempty"`
+	PeriodMax timeq.Time `json:"period_max_ns,omitempty"`
 	// Periods selects the period distribution.
-	Periods PeriodDist
+	Periods PeriodDist `json:"periods,omitempty"`
 	// WSSMin and WSSMax bound the per-task working-set size
 	// (log-uniform). Zero values default to 16KiB and 2MiB.
-	WSSMin, WSSMax int64
+	WSSMin int64 `json:"wss_min,omitempty"`
+	WSSMax int64 `json:"wss_max,omitempty"`
 	// Seed makes generation deterministic.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 }
 
 func (c *Config) withDefaults() Config {

@@ -1,0 +1,90 @@
+package api
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// SweepRequest runs a whole acceptance-ratio sweep server-side —
+// the batch experiment driver as a service, sharing its result
+// schema with the spexp CLI. Stream adds NDJSON SweepProgress lines
+// before the final SweepResult object.
+type SweepRequest struct {
+	Cores        int             `json:"cores"`
+	Tasks        int             `json:"tasks"`
+	SetsPerPoint int             `json:"sets_per_point"`
+	Algorithms   []string        `json:"algorithms,omitempty"`
+	Model        json.RawMessage `json:"model,omitempty"`
+	Seed         int64           `json:"seed,omitempty"`
+	Utilizations []float64       `json:"utilizations,omitempty"`
+	Stream       bool            `json:"stream,omitempty"`
+}
+
+// AdmissionStats is the wire form of the admission-work counters,
+// with the derived rates precomputed so consumers need no formulas.
+type AdmissionStats struct {
+	Probes           int64   `json:"probes"`
+	FullTests        int64   `json:"full_tests"`
+	CoreTests        int64   `json:"core_tests"`
+	VerdictHits      int64   `json:"verdict_hits"`
+	FPSolves         int64   `json:"fp_solves"`
+	FPIterations     int64   `json:"fp_iterations"`
+	WarmStarts       int64   `json:"warm_starts"`
+	CacheHitRate     float64 `json:"cache_hit_rate"`
+	MeanFPIterations float64 `json:"mean_fp_iterations"`
+	WarmStartRate    float64 `json:"warm_start_rate"`
+}
+
+// SweepPoint is one (algorithm × utilization) cell.
+type SweepPoint struct {
+	TotalUtilization   float64 `json:"total_utilization"`
+	PerCoreUtilization float64 `json:"per_core_utilization"`
+	Accepted           int     `json:"accepted"`
+	Total              int     `json:"total"`
+	Ratio              float64 `json:"ratio"`
+	WilsonLo           float64 `json:"wilson_lo"`
+	WilsonHi           float64 `json:"wilson_hi"`
+	MeanSplits         float64 `json:"mean_splits"`
+	SimViolations      int     `json:"sim_violations"`
+}
+
+// SweepSeries is one algorithm's acceptance curve.
+type SweepSeries struct {
+	Algorithm string       `json:"algorithm"`
+	Points    []SweepPoint `json:"points"`
+}
+
+// SweepResult is the wire form of a whole acceptance-ratio sweep —
+// the same schema whether produced by spexp -json or the sweep
+// route.
+type SweepResult struct {
+	Cores        int            `json:"cores"`
+	Tasks        int            `json:"tasks"`
+	SetsPerPoint int            `json:"sets_per_point"`
+	Seed         int64          `json:"seed"`
+	Canceled     bool           `json:"canceled,omitempty"`
+	Series       []SweepSeries  `json:"series"`
+	Admission    AdmissionStats `json:"admission"`
+}
+
+// Encode writes the sweep as indented JSON.
+func (s *SweepResult) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// SweepProgress is one streaming partial-result line (NDJSON),
+// emitted while a streamed sweep runs.
+type SweepProgress struct {
+	Algorithm        string         `json:"algorithm"`
+	TotalUtilization float64        `json:"total_utilization"`
+	Accepted         int            `json:"accepted"`
+	Total            int            `json:"total"`
+	Ratio            float64        `json:"ratio"`
+	WilsonLo         float64        `json:"wilson_lo"`
+	WilsonHi         float64        `json:"wilson_hi"`
+	DoneShards       int            `json:"done_shards"`
+	TotalShards      int            `json:"total_shards"`
+	Admission        AdmissionStats `json:"admission"`
+}

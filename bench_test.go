@@ -22,6 +22,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/client"
 	"repro/internal/admitd"
 	"repro/internal/core"
 	"repro/internal/experiment"
@@ -351,7 +352,7 @@ func BenchmarkAdmitdThroughput(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		stats, err := admitd.RunLoad(context.Background(), admitd.InProcess{H: srv}, admitd.LoadConfig{
+		stats, err := admitd.RunLoad(context.Background(), client.InProcess(srv), admitd.LoadConfig{
 			Sessions: 16, Requests: 20_000, Cores: 4, TasksPerSession: 12, Seed: int64(i + 1),
 		})
 		srv.Close()

@@ -1,0 +1,104 @@
+package client
+
+import (
+	"context"
+	"net/http"
+
+	"repro/api"
+)
+
+// Session is the typed handle of one named cluster session. Methods
+// mirror the session-scoped routes one to one, taking and returning
+// api-package types; the handle itself is stateless (safe for
+// concurrent use — the server serializes per-session operations).
+type Session struct {
+	c    *Client
+	name string
+}
+
+// Name is the session's wire name.
+func (s *Session) Name() string { return s.name }
+
+func (s *Session) post(ctx context.Context, op string, in, out any) error {
+	return s.c.do(ctx, http.MethodPost, api.SessionOpPath(s.name, op), in, out)
+}
+
+// Admit probes and, on a fitting verdict, commits the task —
+// first-fit over all cores when req.Core is nil. req.Hold is invalid
+// here (admit commits immediately).
+func (s *Session) Admit(ctx context.Context, req api.AdmitRequest) (api.Verdict, error) {
+	var v api.Verdict
+	err := s.post(ctx, api.OpAdmit, req, &v)
+	return v, err
+}
+
+// Try answers the admission question without changing committed
+// state — unless req.Hold keeps the probe pending for an explicit
+// Commit or Rollback (the two-phase protocol).
+func (s *Session) Try(ctx context.Context, req api.AdmitRequest) (api.Verdict, error) {
+	var v api.Verdict
+	err := s.post(ctx, api.OpTry, req, &v)
+	return v, err
+}
+
+// Split probes (req.Hold) or admits a split task across its parts'
+// cores.
+func (s *Session) Split(ctx context.Context, req api.SplitRequest) (api.Verdict, error) {
+	var v api.Verdict
+	err := s.post(ctx, api.OpSplit, req, &v)
+	return v, err
+}
+
+// Commit keeps the held probe's mutation. Only an admitted probe may
+// be committed (api.CodeProbeRejected otherwise).
+func (s *Session) Commit(ctx context.Context) (api.Verdict, error) {
+	var v api.Verdict
+	err := s.post(ctx, api.OpCommit, nil, &v)
+	return v, err
+}
+
+// Rollback undoes the held probe's mutation.
+func (s *Session) Rollback(ctx context.Context) (api.Verdict, error) {
+	var v api.Verdict
+	err := s.post(ctx, api.OpRollback, nil, &v)
+	return v, err
+}
+
+// Remove deletes an admitted task by ID — the analysis layer's
+// removal-invalidation path.
+func (s *Session) Remove(ctx context.Context, id int64) (api.Removed, error) {
+	var out api.Removed
+	err := s.post(ctx, api.OpRemove, api.RemoveRequest{ID: id}, &out)
+	return out, err
+}
+
+// State reads the committed assignment and its schedulability.
+func (s *Session) State(ctx context.Context) (api.State, error) {
+	var out api.State
+	err := s.c.do(ctx, http.MethodGet, api.SessionPath(s.name), nil, &out)
+	return out, err
+}
+
+// Stats reads the session's request and admission counters.
+func (s *Session) Stats(ctx context.Context) (api.SessionStats, error) {
+	var out api.SessionStats
+	err := s.c.do(ctx, http.MethodGet, api.SessionOpPath(s.name, api.OpStats), nil, &out)
+	return out, err
+}
+
+// Delete closes and forgets the session (snapshot included).
+func (s *Session) Delete(ctx context.Context) error {
+	var out api.SessionDeleted
+	return s.c.do(ctx, http.MethodDelete, api.SessionPath(s.name), nil, &out)
+}
+
+// Batch admits a whole task set task by task, returning the NDJSON
+// verdict stream as an iterator. Canceling ctx aborts the remainder
+// server-side.
+func (s *Session) Batch(ctx context.Context, req api.BatchRequest) (*BatchStream, error) {
+	body, done, err := s.c.stream(ctx, api.SessionOpPath(s.name, api.OpBatch), req)
+	if err != nil {
+		return nil, err
+	}
+	return newBatchStream(body, done), nil
+}

@@ -1,0 +1,141 @@
+// Remote admission end-to-end through the typed client SDK: this
+// example boots a real admitd server on a loopback TCP listener,
+// connects the client package to it over HTTP — exactly what an
+// external embedder on another machine would do — and walks the v1
+// surface: create a session, admit tasks first-fit, probe without
+// committing, run the two-phase hold/commit protocol, stream a
+// generated batch, remove a task, and read state and stats. Swap
+// client.New for client.InProcess(srv) and the same code runs with
+// zero sockets.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/admitd"
+)
+
+func main() {
+	// Boot the daemon on an ephemeral loopback port — stand-in for a
+	// long-running `spadmitd serve` somewhere on the network.
+	srv, err := admitd.New(admitd.Config{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go httpSrv.Serve(ln) //nolint:errcheck // closed on exit
+	defer httpSrv.Close()
+
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("admitd listening on %s\n", baseURL)
+
+	// The client an embedder writes: retries for flaky networks, a
+	// request timeout, and a typed handle per session.
+	c, err := client.New(baseURL,
+		client.WithTimeout(10*time.Second),
+		client.WithRetry(2, 50*time.Millisecond),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if err := c.Health(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	sess, err := c.CreateSession(ctx, api.CreateSessionRequest{
+		Name: "rack1", Cores: 4, Policy: "fp", // paper overhead model by default
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("created session rack1: 4 cores, fixed-priority, paper overheads")
+
+	// Admit a few tasks first-fit; the verdict names the core.
+	for i := 1; i <= 4; i++ {
+		v, err := sess.Admit(ctx, api.AdmitRequest{Task: api.Task{
+			ID: int64(i), WCETNs: int64(i) * 1e6, PeriodNs: 2e7, Priority: i,
+		}})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("admit task %d: admitted=%v core=%d (%d probes)\n", i, v.Admitted, v.Core, v.Probes)
+	}
+
+	// Probe only: can a heavy task join? Nothing is committed.
+	v, err := sess.Try(ctx, api.AdmitRequest{Task: api.Task{ID: 99, WCETNs: 15e6, PeriodNs: 2e7, Priority: 99}})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("try heavy task 99: admitted=%v (state unchanged)\n", v.Admitted)
+
+	// Two-phase protocol: hold the probe, decide, then commit.
+	v, err = sess.Try(ctx, api.AdmitRequest{Task: api.Task{ID: 5, WCETNs: 2e6, PeriodNs: 2e7, Priority: 5}, Hold: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("held probe for task 5: admitted=%v pending=%v\n", v.Admitted, v.Pending)
+	if v.Admitted {
+		if _, err := sess.Commit(ctx); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("committed task 5")
+	} else if _, err := sess.Rollback(ctx); err != nil {
+		log.Fatal(err)
+	}
+
+	// Typed error handling: duplicate IDs come back as a stable code,
+	// not a string to parse.
+	if _, err := sess.Admit(ctx, api.AdmitRequest{Task: api.Task{ID: 5, WCETNs: 1e6, PeriodNs: 2e7, Priority: 5}}); api.IsCode(err, api.CodeDuplicateTask) {
+		fmt.Println("re-admitting task 5 correctly rejected:", err)
+	}
+
+	// Stream a server-side generated batch, one verdict per task.
+	stream, err := sess.Batch(ctx, api.BatchRequest{
+		Generate: &api.TaskGen{N: 12, TotalUtilization: 1.5, Seed: 7},
+		Order:    "util-desc",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for stream.Next() {
+		bv := stream.Verdict()
+		fmt.Printf("  batch verdict: task %d admitted=%v core=%d\n", bv.TaskID, bv.Admitted, bv.Core)
+	}
+	sum, err := stream.Summary()
+	stream.Close() //nolint:errcheck // read-side close
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("batch done: %d admitted, %d rejected, schedulable=%v\n", sum.Admitted, sum.Rejected, sum.Schedulable)
+
+	// Churn: remove a task, then inspect committed state and the
+	// admission-work counters of the warm incremental context.
+	if _, err := sess.Remove(ctx, 1); err != nil {
+		log.Fatal(err)
+	}
+	state, err := sess.State(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("state: %d tasks over %d cores, schedulable=%v, utilization=%v\n",
+		len(state.Tasks), state.Cores, *state.Schedulable, state.CoreUtilization)
+	stats, err := sess.Stats(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("stats: %d probes, cache hit rate %.2f, %.1f FP iterations/solve\n",
+		stats.Admission.Probes, stats.Admission.CacheHitRate, stats.Admission.MeanFPIterations)
+}

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/api"
 	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/partition"
@@ -100,15 +101,15 @@ func TestEndToEndFFDIdentity(t *testing.T) {
 	an := analysis.FixedPriorityRTA
 	set := testSet(16, 0.55*4, 42)
 
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "e2e", Cores: 4, Policy: "fp", Model: json.RawMessage(`"paper"`)}, http.StatusCreated)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "e2e", Cores: 4, Policy: "fp", Model: json.RawMessage(`"paper"`)}, http.StatusCreated)
 
 	mirror := task.NewAssignment(4)
 	order := set.SortedByUtilizationDesc()
 	for _, tk := range order {
 		wantOK, wantCore := firstFitReplay(an, mirror, model, tk)
 		body := mustStatus(t, srv, "POST", "/v1/sessions/e2e/admit",
-			AdmitRequest{Task: fromTask(tk, -1)}, http.StatusOK)
-		var v VerdictResponse
+			api.AdmitRequest{Task: fromTask(tk, -1)}, http.StatusOK)
+		var v api.Verdict
 		if err := json.Unmarshal(body, &v); err != nil {
 			t.Fatal(err)
 		}
@@ -127,7 +128,7 @@ func TestEndToEndFFDIdentity(t *testing.T) {
 	if err != nil {
 		t.Fatalf("offline FFD rejected the set the server accepted: %v", err)
 	}
-	var state StateResponse
+	var state api.State
 	body := mustStatus(t, srv, "GET", "/v1/sessions/e2e", nil, http.StatusOK)
 	if err := json.Unmarshal(body, &state); err != nil {
 		t.Fatal(err)
@@ -154,7 +155,7 @@ func TestEndToEndFFDIdentity(t *testing.T) {
 	}
 }
 
-func placementsByCore(t *testing.T, state StateResponse) [][]int64 {
+func placementsByCore(t *testing.T, state api.State) [][]int64 {
 	t.Helper()
 	out := make([][]int64, state.Cores)
 	for _, j := range state.Tasks {
@@ -170,30 +171,30 @@ func placementsByCore(t *testing.T, state StateResponse) [][]int64 {
 // conflict handling.
 func TestTryHoldCommitRollback(t *testing.T) {
 	srv := newTestServer(t, Config{})
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "s", Cores: 2}, http.StatusCreated)
-	tk := TaskJSON{ID: 1, WCETNs: 1e6, PeriodNs: 1e7, Priority: 1}
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "s", Cores: 2}, http.StatusCreated)
+	tk := api.Task{ID: 1, WCETNs: 1e6, PeriodNs: 1e7, Priority: 1}
 
 	// Held probe, then a second mutation must 409.
-	body := mustStatus(t, srv, "POST", "/v1/sessions/s/try", AdmitRequest{Task: tk, Hold: true}, http.StatusOK)
-	var v VerdictResponse
+	body := mustStatus(t, srv, "POST", "/v1/sessions/s/try", api.AdmitRequest{Task: tk, Hold: true}, http.StatusOK)
+	var v api.Verdict
 	if err := json.Unmarshal(body, &v); err != nil {
 		t.Fatal(err)
 	}
 	if !v.Admitted || !v.Pending {
 		t.Fatalf("held try: %+v", v)
 	}
-	mustStatus(t, srv, "POST", "/v1/sessions/s/admit", AdmitRequest{Task: TaskJSON{ID: 2, WCETNs: 1e6, PeriodNs: 1e7, Priority: 2}}, http.StatusConflict)
+	mustStatus(t, srv, "POST", "/v1/sessions/s/admit", api.AdmitRequest{Task: api.Task{ID: 2, WCETNs: 1e6, PeriodNs: 1e7, Priority: 2}}, http.StatusConflict)
 	mustStatus(t, srv, "POST", "/v1/sessions/s/rollback", nil, http.StatusOK)
 	mustStatus(t, srv, "POST", "/v1/sessions/s/rollback", nil, http.StatusConflict)
 
 	// Rolled back: the task is not in the session; admit it for real.
-	mustStatus(t, srv, "POST", "/v1/sessions/s/try", AdmitRequest{Task: tk, Hold: true}, http.StatusOK)
+	mustStatus(t, srv, "POST", "/v1/sessions/s/try", api.AdmitRequest{Task: tk, Hold: true}, http.StatusOK)
 	mustStatus(t, srv, "POST", "/v1/sessions/s/commit", nil, http.StatusOK)
-	mustStatus(t, srv, "POST", "/v1/sessions/s/admit", AdmitRequest{Task: tk}, http.StatusConflict) // duplicate ID
+	mustStatus(t, srv, "POST", "/v1/sessions/s/admit", api.AdmitRequest{Task: tk}, http.StatusConflict) // duplicate ID
 
 	// Probe-only try leaves no state.
-	mustStatus(t, srv, "POST", "/v1/sessions/s/try", AdmitRequest{Task: TaskJSON{ID: 3, WCETNs: 1e6, PeriodNs: 1e7, Priority: 3}}, http.StatusOK)
-	var state StateResponse
+	mustStatus(t, srv, "POST", "/v1/sessions/s/try", api.AdmitRequest{Task: api.Task{ID: 3, WCETNs: 1e6, PeriodNs: 1e7, Priority: 3}}, http.StatusOK)
+	var state api.State
 	if err := json.Unmarshal(mustStatus(t, srv, "GET", "/v1/sessions/s", nil, http.StatusOK), &state); err != nil {
 		t.Fatal(err)
 	}
@@ -202,12 +203,12 @@ func TestTryHoldCommitRollback(t *testing.T) {
 	}
 
 	// Hold is try-only: admit with hold is rejected outright.
-	mustStatus(t, srv, "POST", "/v1/sessions/s/admit", AdmitRequest{Task: TaskJSON{ID: 4, WCETNs: 1e6, PeriodNs: 1e7, Priority: 4}, Hold: true}, http.StatusBadRequest)
+	mustStatus(t, srv, "POST", "/v1/sessions/s/admit", api.AdmitRequest{Task: api.Task{ID: 4, WCETNs: 1e6, PeriodNs: 1e7, Priority: 4}, Hold: true}, http.StatusBadRequest)
 
 	// A held probe's tentative task never leaks into state, and a
 	// held REJECTED probe cannot be committed (only rolled back).
-	mustStatus(t, srv, "POST", "/v1/sessions/s/try", AdmitRequest{Task: TaskJSON{ID: 5, WCETNs: 1e6, PeriodNs: 1e7, Priority: 5}, Hold: true}, http.StatusOK)
-	var held StateResponse
+	mustStatus(t, srv, "POST", "/v1/sessions/s/try", api.AdmitRequest{Task: api.Task{ID: 5, WCETNs: 1e6, PeriodNs: 1e7, Priority: 5}, Hold: true}, http.StatusOK)
+	var held api.State
 	if err := json.Unmarshal(mustStatus(t, srv, "GET", "/v1/sessions/s", nil, http.StatusOK), &held); err != nil {
 		t.Fatal(err)
 	}
@@ -216,7 +217,7 @@ func TestTryHoldCommitRollback(t *testing.T) {
 	}
 	mustStatus(t, srv, "POST", "/v1/sessions/s/rollback", nil, http.StatusOK)
 	hog := 0
-	mustStatus(t, srv, "POST", "/v1/sessions/s/try", AdmitRequest{Task: TaskJSON{ID: 6, WCETNs: 95e5, PeriodNs: 1e7, Priority: 6}, Core: &hog, Hold: true}, http.StatusOK)
+	mustStatus(t, srv, "POST", "/v1/sessions/s/try", api.AdmitRequest{Task: api.Task{ID: 6, WCETNs: 95e5, PeriodNs: 1e7, Priority: 6}, Core: &hog, Hold: true}, http.StatusOK)
 	mustStatus(t, srv, "POST", "/v1/sessions/s/commit", nil, http.StatusConflict) // rejected probe: commit refused
 	mustStatus(t, srv, "POST", "/v1/sessions/s/rollback", nil, http.StatusOK)
 }
@@ -227,15 +228,15 @@ func TestRemoveEndpoint(t *testing.T) {
 	srv := newTestServer(t, Config{})
 	model := overhead.Normalize(overhead.PaperModel())
 	an := analysis.FixedPriorityRTA
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "rm", Cores: 2}, http.StatusCreated)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "rm", Cores: 2}, http.StatusCreated)
 
 	mirror := task.NewAssignment(2)
 	set := testSet(14, 0.9*2, 7)
 	admitted := []*task.Task{}
 	for _, tk := range set.SortedByUtilizationDesc() {
 		wantOK, wantCore := firstFitReplay(an, mirror, model, tk)
-		var v VerdictResponse
-		body := mustStatus(t, srv, "POST", "/v1/sessions/rm/admit", AdmitRequest{Task: fromTask(tk, -1)}, http.StatusOK)
+		var v api.Verdict
+		body := mustStatus(t, srv, "POST", "/v1/sessions/rm/admit", api.AdmitRequest{Task: fromTask(tk, -1)}, http.StatusOK)
 		if err := json.Unmarshal(body, &v); err != nil {
 			t.Fatal(err)
 		}
@@ -255,10 +256,10 @@ func TestRemoveEndpoint(t *testing.T) {
 		if i%2 == 1 {
 			continue
 		}
-		mustStatus(t, srv, "POST", "/v1/sessions/rm/remove", RemoveRequest{ID: int64(tk.ID)}, http.StatusOK)
+		mustStatus(t, srv, "POST", "/v1/sessions/rm/remove", api.RemoveRequest{ID: int64(tk.ID)}, http.StatusOK)
 		removeFromMirror(mirror, tk.ID)
 	}
-	mustStatus(t, srv, "POST", "/v1/sessions/rm/remove", RemoveRequest{ID: 99999}, http.StatusNotFound)
+	mustStatus(t, srv, "POST", "/v1/sessions/rm/remove", api.RemoveRequest{ID: 99999}, http.StatusNotFound)
 	for i, tk := range admitted {
 		if i%2 == 1 {
 			continue
@@ -266,8 +267,8 @@ func TestRemoveEndpoint(t *testing.T) {
 		twin := *tk
 		twin.ID = tk.ID + 1000
 		wantOK, wantCore := firstFitReplay(an, mirror, model, &twin)
-		var v VerdictResponse
-		body := mustStatus(t, srv, "POST", "/v1/sessions/rm/admit", AdmitRequest{Task: fromTask(&twin, -1)}, http.StatusOK)
+		var v api.Verdict
+		body := mustStatus(t, srv, "POST", "/v1/sessions/rm/admit", api.AdmitRequest{Task: fromTask(&twin, -1)}, http.StatusOK)
 		if err := json.Unmarshal(body, &v); err != nil {
 			t.Fatal(err)
 		}
@@ -281,16 +282,16 @@ func TestRemoveEndpoint(t *testing.T) {
 // the NDJSON stream shape, and the stats endpoints.
 func TestBatchGenerateAndStats(t *testing.T) {
 	srv := newTestServer(t, Config{})
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "b", Cores: 4}, http.StatusCreated)
-	body := mustStatus(t, srv, "POST", "/v1/sessions/b/batch", BatchRequest{
-		Generate: &taskgen.Config{N: 12, TotalUtilization: 2.0, Seed: 5},
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "b", Cores: 4}, http.StatusCreated)
+	body := mustStatus(t, srv, "POST", "/v1/sessions/b/batch", api.BatchRequest{
+		Generate: &api.TaskGen{N: 12, TotalUtilization: 2.0, Seed: 5},
 		Order:    "util-desc",
 	}, http.StatusOK)
 	lines := strings.Split(strings.TrimSpace(string(body)), "\n")
 	if len(lines) != 13 {
 		t.Fatalf("batch stream: %d lines (want 12 verdicts + summary)", len(lines))
 	}
-	var sum BatchSummary
+	var sum api.BatchSummary
 	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &sum); err != nil {
 		t.Fatal(err)
 	}
@@ -326,14 +327,14 @@ func TestSnapshotRestoreIdentity(t *testing.T) {
 	model := overhead.Normalize(overhead.PaperModel())
 	an := analysis.FixedPriorityRTA
 
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "a", Cores: 2}, http.StatusCreated)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "a", Cores: 2}, http.StatusCreated)
 	mirror := task.NewAssignment(2)
 	set := testSet(8, 0.8*2, 11)
 	half := set.SortedByUtilizationDesc()
 	for _, tk := range half[:4] {
 		wantOK, wantCore := firstFitReplay(an, mirror, model, tk)
-		var v VerdictResponse
-		if err := json.Unmarshal(mustStatus(t, srv, "POST", "/v1/sessions/a/admit", AdmitRequest{Task: fromTask(tk, -1)}, http.StatusOK), &v); err != nil {
+		var v api.Verdict
+		if err := json.Unmarshal(mustStatus(t, srv, "POST", "/v1/sessions/a/admit", api.AdmitRequest{Task: fromTask(tk, -1)}, http.StatusOK), &v); err != nil {
 			t.Fatal(err)
 		}
 		if v.Admitted != wantOK || v.Core != wantCore {
@@ -341,8 +342,8 @@ func TestSnapshotRestoreIdentity(t *testing.T) {
 		}
 	}
 	// Two more sessions push "a" (the LRU) out.
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "b", Cores: 2}, http.StatusCreated)
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "c", Cores: 2}, http.StatusCreated)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "b", Cores: 2}, http.StatusCreated)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "c", Cores: 2}, http.StatusCreated)
 	if srv.Store().evicted.Load() == 0 {
 		t.Fatal("creating past the cap must evict")
 	}
@@ -350,8 +351,8 @@ func TestSnapshotRestoreIdentity(t *testing.T) {
 	// must still match the uninterrupted stateless replay.
 	for _, tk := range half[4:] {
 		wantOK, wantCore := firstFitReplay(an, mirror, model, tk)
-		var v VerdictResponse
-		if err := json.Unmarshal(mustStatus(t, srv, "POST", "/v1/sessions/a/admit", AdmitRequest{Task: fromTask(tk, -1)}, http.StatusOK), &v); err != nil {
+		var v api.Verdict
+		if err := json.Unmarshal(mustStatus(t, srv, "POST", "/v1/sessions/a/admit", api.AdmitRequest{Task: fromTask(tk, -1)}, http.StatusOK), &v); err != nil {
 			t.Fatal(err)
 		}
 		if v.Admitted != wantOK || v.Core != wantCore {
@@ -363,13 +364,13 @@ func TestSnapshotRestoreIdentity(t *testing.T) {
 	}
 	// Graceful shutdown snapshots everything; a fresh server over the
 	// same directory sees identical state.
-	var before StateResponse
+	var before api.State
 	if err := json.Unmarshal(mustStatus(t, srv, "GET", "/v1/sessions/a", nil, http.StatusOK), &before); err != nil {
 		t.Fatal(err)
 	}
 	srv.Close()
 	srv2 := newTestServer(t, Config{MaxSessions: 8, SnapshotDir: dir})
-	var after StateResponse
+	var after api.State
 	if err := json.Unmarshal(mustStatus(t, srv2, "GET", "/v1/sessions/a", nil, http.StatusOK), &after); err != nil {
 		t.Fatal(err)
 	}
@@ -385,12 +386,12 @@ func TestSnapshotRestoreIdentity(t *testing.T) {
 func TestSnapshotDiscardsHeldProbe(t *testing.T) {
 	dir := t.TempDir()
 	srv := newTestServer(t, Config{SnapshotDir: dir})
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "h", Cores: 2}, http.StatusCreated)
-	mustStatus(t, srv, "POST", "/v1/sessions/h/admit", AdmitRequest{Task: TaskJSON{ID: 1, WCETNs: 1e6, PeriodNs: 1e7, Priority: 1}}, http.StatusOK)
-	mustStatus(t, srv, "POST", "/v1/sessions/h/try", AdmitRequest{Task: TaskJSON{ID: 2, WCETNs: 1e6, PeriodNs: 1e7, Priority: 2}, Hold: true}, http.StatusOK)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "h", Cores: 2}, http.StatusCreated)
+	mustStatus(t, srv, "POST", "/v1/sessions/h/admit", api.AdmitRequest{Task: api.Task{ID: 1, WCETNs: 1e6, PeriodNs: 1e7, Priority: 1}}, http.StatusOK)
+	mustStatus(t, srv, "POST", "/v1/sessions/h/try", api.AdmitRequest{Task: api.Task{ID: 2, WCETNs: 1e6, PeriodNs: 1e7, Priority: 2}, Hold: true}, http.StatusOK)
 	srv.Close() // snapshots with the probe still held
 	srv2 := newTestServer(t, Config{SnapshotDir: dir})
-	var state StateResponse
+	var state api.State
 	if err := json.Unmarshal(mustStatus(t, srv2, "GET", "/v1/sessions/h", nil, http.StatusOK), &state); err != nil {
 		t.Fatal(err)
 	}
@@ -403,13 +404,13 @@ func TestSnapshotDiscardsHeldProbe(t *testing.T) {
 // endpoint.
 func TestEDFSessionAndSplit(t *testing.T) {
 	srv := newTestServer(t, Config{})
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "e", Cores: 2, Policy: "edf", Model: json.RawMessage(`"zero"`)}, http.StatusCreated)
-	mustStatus(t, srv, "POST", "/v1/sessions/e/admit", AdmitRequest{Task: TaskJSON{ID: 1, WCETNs: 4e6, PeriodNs: 1e7}}, http.StatusOK)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "e", Cores: 2, Policy: "edf", Model: json.RawMessage(`"zero"`)}, http.StatusCreated)
+	mustStatus(t, srv, "POST", "/v1/sessions/e/admit", api.AdmitRequest{Task: api.Task{ID: 1, WCETNs: 4e6, PeriodNs: 1e7}}, http.StatusOK)
 	// A split with windows: 6ms budget over two cores, 5ms windows.
-	var v VerdictResponse
-	body := mustStatus(t, srv, "POST", "/v1/sessions/e/split", SplitRequest{Split: SplitJSON{
-		Task:      TaskJSON{ID: 2, WCETNs: 6e6, PeriodNs: 1e7},
-		Parts:     []PartJSON{{Core: 0, BudgetNs: 3e6}, {Core: 1, BudgetNs: 3e6}},
+	var v api.Verdict
+	body := mustStatus(t, srv, "POST", "/v1/sessions/e/split", api.SplitRequest{Split: api.Split{
+		Task:      api.Task{ID: 2, WCETNs: 6e6, PeriodNs: 1e7},
+		Parts:     []api.Part{{Core: 0, BudgetNs: 3e6}, {Core: 1, BudgetNs: 3e6}},
 		WindowsNs: []int64{5e6, 5e6},
 	}}, http.StatusOK)
 	if err := json.Unmarshal(body, &v); err != nil {
@@ -419,11 +420,11 @@ func TestEDFSessionAndSplit(t *testing.T) {
 		t.Fatalf("EDF split must admit under zero overheads: %+v", v)
 	}
 	// Windowless split must be rejected up front.
-	mustStatus(t, srv, "POST", "/v1/sessions/e/split", SplitRequest{Split: SplitJSON{
-		Task:  TaskJSON{ID: 3, WCETNs: 6e6, PeriodNs: 1e7},
-		Parts: []PartJSON{{Core: 0, BudgetNs: 3e6}, {Core: 1, BudgetNs: 3e6}},
+	mustStatus(t, srv, "POST", "/v1/sessions/e/split", api.SplitRequest{Split: api.Split{
+		Task:  api.Task{ID: 3, WCETNs: 6e6, PeriodNs: 1e7},
+		Parts: []api.Part{{Core: 0, BudgetNs: 3e6}, {Core: 1, BudgetNs: 3e6}},
 	}}, http.StatusBadRequest)
-	var state StateResponse
+	var state api.State
 	if err := json.Unmarshal(mustStatus(t, srv, "GET", "/v1/sessions/e", nil, http.StatusOK), &state); err != nil {
 		t.Fatal(err)
 	}
@@ -431,8 +432,8 @@ func TestEDFSessionAndSplit(t *testing.T) {
 		t.Fatalf("EDF state: %+v", state)
 	}
 	// Remove the split; the session shrinks back to one task.
-	mustStatus(t, srv, "POST", "/v1/sessions/e/remove", RemoveRequest{ID: 2}, http.StatusOK)
-	var after StateResponse
+	mustStatus(t, srv, "POST", "/v1/sessions/e/remove", api.RemoveRequest{ID: 2}, http.StatusOK)
+	var after api.State
 	if err := json.Unmarshal(mustStatus(t, srv, "GET", "/v1/sessions/e", nil, http.StatusOK), &after); err != nil {
 		t.Fatal(err)
 	}
@@ -445,7 +446,7 @@ func TestEDFSessionAndSplit(t *testing.T) {
 // shared report JSON schema comes back.
 func TestSweepEndpoint(t *testing.T) {
 	srv := newTestServer(t, Config{})
-	body := mustStatus(t, srv, "POST", "/v1/sweep", SweepRequest{
+	body := mustStatus(t, srv, "POST", "/v1/sweep", api.SweepRequest{
 		Cores: 2, Tasks: 6, SetsPerPoint: 4,
 		Algorithms:   []string{"fpts", "ffd"},
 		Model:        json.RawMessage(`"zero"`),
@@ -483,16 +484,16 @@ func TestSweepEndpoint(t *testing.T) {
 func TestSessionLifecycleErrors(t *testing.T) {
 	srv := newTestServer(t, Config{})
 	mustStatus(t, srv, "GET", "/v1/sessions/nope", nil, http.StatusNotFound)
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "", Cores: 4}, http.StatusBadRequest)
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "x", Cores: 0}, http.StatusBadRequest)
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "x", Cores: 2, Policy: "weird"}, http.StatusBadRequest)
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "x", Cores: 2}, http.StatusCreated)
-	mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: "x", Cores: 2}, http.StatusConflict)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "", Cores: 4}, http.StatusBadRequest)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "x", Cores: 0}, http.StatusBadRequest)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "x", Cores: 2, Policy: "weird"}, http.StatusBadRequest)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "x", Cores: 2}, http.StatusCreated)
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "x", Cores: 2}, http.StatusConflict)
 	// FP tasks need a priority; zero-WCET tasks are invalid.
-	mustStatus(t, srv, "POST", "/v1/sessions/x/admit", AdmitRequest{Task: TaskJSON{ID: 1, WCETNs: 1e6, PeriodNs: 1e7}}, http.StatusBadRequest)
-	mustStatus(t, srv, "POST", "/v1/sessions/x/admit", AdmitRequest{Task: TaskJSON{ID: 1, PeriodNs: 1e7, Priority: 1}}, http.StatusBadRequest)
+	mustStatus(t, srv, "POST", "/v1/sessions/x/admit", api.AdmitRequest{Task: api.Task{ID: 1, WCETNs: 1e6, PeriodNs: 1e7}}, http.StatusBadRequest)
+	mustStatus(t, srv, "POST", "/v1/sessions/x/admit", api.AdmitRequest{Task: api.Task{ID: 1, PeriodNs: 1e7, Priority: 1}}, http.StatusBadRequest)
 	core := 7
-	mustStatus(t, srv, "POST", "/v1/sessions/x/admit", AdmitRequest{Task: TaskJSON{ID: 1, WCETNs: 1e6, PeriodNs: 1e7, Priority: 1}, Core: &core}, http.StatusBadRequest)
+	mustStatus(t, srv, "POST", "/v1/sessions/x/admit", api.AdmitRequest{Task: api.Task{ID: 1, WCETNs: 1e6, PeriodNs: 1e7, Priority: 1}, Core: &core}, http.StatusBadRequest)
 	mustStatus(t, srv, "DELETE", "/v1/sessions/x", nil, http.StatusOK)
 	mustStatus(t, srv, "DELETE", "/v1/sessions/x", nil, http.StatusNotFound)
 	mustStatus(t, srv, "GET", "/healthz", nil, http.StatusOK)

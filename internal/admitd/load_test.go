@@ -3,6 +3,8 @@ package admitd
 import (
 	"context"
 	"testing"
+
+	"repro/client"
 )
 
 // TestAdmitdLoad is the load-generator smoke/acceptance run: ≥100k
@@ -20,7 +22,7 @@ func TestAdmitdLoad(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer srv.Close()
-	stats, err := RunLoad(context.Background(), InProcess{H: srv}, cfg)
+	stats, err := RunLoad(context.Background(), client.InProcess(srv), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

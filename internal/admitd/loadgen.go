@@ -1,42 +1,25 @@
 package admitd
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
-	"net/http/httptest"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/api"
+	"repro/client"
 )
 
-// Doer issues one HTTP request — http.Client satisfies it for a
-// remote server, InProcess adapts a handler for zero-network load
-// runs (tests, benchmarks, the self-contained `spadmitd load` mode).
-type Doer interface {
-	Do(*http.Request) (*http.Response, error)
-}
-
-// InProcess adapts an http.Handler into a Doer.
-type InProcess struct {
-	H http.Handler
-}
-
-// Do serves the request directly through the handler.
-func (p InProcess) Do(req *http.Request) (*http.Response, error) {
-	rec := httptest.NewRecorder()
-	p.H.ServeHTTP(rec, req)
-	return rec.Result(), nil
-}
+// The load generator drives the server exclusively through the
+// typed client SDK — it declares no wire types of its own, so a
+// schema change breaks it at compile time, not at run time. The
+// client's two transports (HTTP and in-process) make the same code
+// serve as a remote load tool and a zero-socket smoke test.
 
 // LoadConfig parameterizes a load run.
 type LoadConfig struct {
-	// BaseURL prefixes every request path ("" for in-process).
-	BaseURL string
 	// Sessions is the number of concurrent cluster sessions.
 	Sessions int
 	// Requests is the total number of admission requests to issue
@@ -56,15 +39,16 @@ type LoadConfig struct {
 	Seed int64
 }
 
-// LoadStats summarizes a load run.
+// LoadStats summarizes a load run (a local report, not a wire type —
+// nothing in this file defines schema).
 type LoadStats struct {
-	Requests int64         `json:"requests"`
-	Errors   int64         `json:"errors"`
-	Admitted int64         `json:"admitted"`
-	Rejected int64         `json:"rejected"`
-	Tries    int64         `json:"tries"`
-	Removes  int64         `json:"removes"`
-	Elapsed  time.Duration `json:"elapsed_ns"`
+	Requests int64
+	Errors   int64
+	Admitted int64
+	Rejected int64
+	Tries    int64
+	Removes  int64
+	Elapsed  time.Duration
 }
 
 // Throughput is requests per second.
@@ -83,12 +67,13 @@ func (ls *LoadStats) String() string {
 }
 
 // RunLoad drives a mixed admission workload — admit, try, remove,
-// state, stats — across many sessions concurrently. Sessions are
-// created and seeded first (server-side taskgen batches), then
-// Workers goroutines issue the request mix; several workers share
-// each session, so the server's cross-goroutine session access is
+// state, stats — across many sessions concurrently, through the
+// typed client (remote or in-process). Sessions are created and
+// seeded first (server-side generated batches), then Workers
+// goroutines issue the request mix; several workers share each
+// session, so the server's cross-goroutine session access is
 // exercised, not just its throughput.
-func RunLoad(ctx context.Context, d Doer, cfg LoadConfig) (*LoadStats, error) {
+func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats, error) {
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = 8
 	}
@@ -107,7 +92,7 @@ func RunLoad(ctx context.Context, d Doer, cfg LoadConfig) (*LoadStats, error) {
 	if cfg.TasksPerSession <= 0 {
 		cfg.TasksPerSession = 12
 	}
-	lg := &loadGen{cfg: cfg, d: d}
+	lg := &loadGen{cfg: cfg, c: c}
 	if err := lg.seed(ctx); err != nil {
 		return nil, err
 	}
@@ -145,51 +130,54 @@ func RunLoad(ctx context.Context, d Doer, cfg LoadConfig) (*LoadStats, error) {
 
 type loadGen struct {
 	cfg LoadConfig
-	d   Doer
+	c   *client.Client
 
-	// nextID[s] hands out unique task IDs per session; a rolling
-	// window of recent IDs feeds the remove mix.
-	nextID []atomic.Int64
+	// sessions holds one shared handle per seeded session; nextID[s]
+	// hands out unique task IDs, and a rolling window of recent IDs
+	// feeds the remove mix.
+	sessions []*client.Session
+	nextID   []atomic.Int64
 
 	requests, errors                   atomic.Int64
 	admitted, rejected, tries, removes atomic.Int64
 	stats                              LoadStats
 }
 
-func (lg *loadGen) sessionName(i int) string { return fmt.Sprintf("load-%04d", i) }
-
 // seed creates and populates the sessions.
 func (lg *loadGen) seed(ctx context.Context) error {
+	lg.sessions = make([]*client.Session, lg.cfg.Sessions)
 	lg.nextID = make([]atomic.Int64, lg.cfg.Sessions)
 	for i := 0; i < lg.cfg.Sessions; i++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		name := lg.sessionName(i)
-		status, body, err := lg.do(ctx, "POST", "/v1/sessions", CreateSessionRequest{
+		name := fmt.Sprintf("load-%04d", i)
+		sess, err := lg.c.CreateSession(ctx, api.CreateSessionRequest{
 			Name: name, Cores: lg.cfg.Cores, Policy: lg.cfg.Policy,
 		})
-		if err != nil {
-			return err
-		}
-		if status != http.StatusCreated && status != http.StatusConflict {
-			return fmt.Errorf("loadgen: creating %s: HTTP %d: %s", name, status, body)
+		if api.IsCode(err, api.CodeSessionExists) {
+			sess = lg.c.Session(name)
+		} else if err != nil {
+			return fmt.Errorf("loadgen: creating %s: %w", name, err)
 		}
 		// Seed the resident set with a server-side generated batch at
 		// modest utilization so later probes mostly succeed.
-		status, body, err = lg.do(ctx, "POST", "/v1/sessions/"+name+"/batch", map[string]any{
-			"generate": map[string]any{
-				"n":                 lg.cfg.TasksPerSession,
-				"total_utilization": 0.5 * float64(lg.cfg.Cores),
-				"seed":              lg.cfg.Seed + int64(i),
-			},
-		})
+		stream, err := sess.Batch(ctx, api.BatchRequest{Generate: &api.TaskGen{
+			N:                lg.cfg.TasksPerSession,
+			TotalUtilization: 0.5 * float64(lg.cfg.Cores),
+			Seed:             lg.cfg.Seed + int64(i),
+		}})
 		if err != nil {
-			return err
+			return fmt.Errorf("loadgen: seeding %s: %w", name, err)
 		}
-		if status != http.StatusOK {
-			return fmt.Errorf("loadgen: seeding %s: HTTP %d: %s", name, status, body)
+		for stream.Next() {
 		}
+		_, err = stream.Summary()
+		stream.Close() //nolint:errcheck // read-side close
+		if err != nil {
+			return fmt.Errorf("loadgen: seeding %s: %w", name, err)
+		}
+		lg.sessions[i] = sess
 		// Generated IDs start above the resident set; leave headroom.
 		lg.nextID[i].Store(int64(lg.cfg.TasksPerSession) + 1000)
 	}
@@ -199,19 +187,15 @@ func (lg *loadGen) seed(ctx context.Context) error {
 // one issues a single request from the mix.
 func (lg *loadGen) one(ctx context.Context, rng *rand.Rand) {
 	si := rng.Intn(lg.cfg.Sessions)
-	name := lg.sessionName(si)
-	kind := rng.Intn(10)
-	var status int
-	var body []byte
+	sess := lg.sessions[si]
 	var err error
-	switch {
+	switch kind := rng.Intn(10); {
 	case kind < 2: // admit (first-fit) a small task, then forget about it later
 		id := lg.nextID[si].Add(1)
-		status, body, err = lg.do(ctx, "POST", "/v1/sessions/"+name+"/admit",
-			AdmitRequest{Task: lg.smallTask(id, rng)})
-		if err == nil && status == http.StatusOK {
-			var v VerdictResponse
-			if json.Unmarshal(body, &v) == nil && v.Admitted {
+		var v api.Verdict
+		v, err = sess.Admit(ctx, api.AdmitRequest{Task: lg.smallTask(id, rng)})
+		if err == nil {
+			if v.Admitted {
 				lg.admitted.Add(1)
 			} else {
 				lg.rejected.Add(1)
@@ -221,72 +205,41 @@ func (lg *loadGen) one(ctx context.Context, rng *rand.Rand) {
 		lo := int64(lg.cfg.TasksPerSession) + 1000
 		hi := lg.nextID[si].Load()
 		if hi <= lo {
-			status, body, err = lg.do(ctx, "GET", "/v1/sessions/"+name, nil)
+			_, err = sess.State(ctx)
 			break
 		}
 		id := lo + 1 + rng.Int63n(hi-lo)
-		status, body, err = lg.do(ctx, "POST", "/v1/sessions/"+name+"/remove", RemoveRequest{ID: id})
-		if status == http.StatusNotFound {
-			status = http.StatusOK // already removed / never admitted: an expected miss
+		_, err = sess.Remove(ctx, id)
+		if api.IsCode(err, api.CodeUnknownTask) {
+			err = nil // already removed / never admitted: an expected miss
 		}
 		lg.removes.Add(1)
 	case kind < 8: // try (probe-only): the warm-path hot loop
 		id := int64(1 << 40) // never admitted, so never a duplicate
-		status, body, err = lg.do(ctx, "POST", "/v1/sessions/"+name+"/try",
-			AdmitRequest{Task: lg.smallTask(id, rng)})
+		_, err = sess.Try(ctx, api.AdmitRequest{Task: lg.smallTask(id, rng)})
 		lg.tries.Add(1)
 	case kind < 9: // state
-		status, body, err = lg.do(ctx, "GET", "/v1/sessions/"+name, nil)
+		_, err = sess.State(ctx)
 	default: // stats
-		status, body, err = lg.do(ctx, "GET", "/v1/sessions/"+name+"/stats", nil)
+		_, err = sess.Stats(ctx)
 	}
 	lg.requests.Add(1)
-	if err != nil || status >= 500 || (status >= 400 && status != http.StatusConflict) {
+	if err != nil {
 		lg.errors.Add(1)
 	}
-	_ = body
 }
 
 // smallTask draws a light task (≤2% core utilization) so sessions
 // stay schedulable while the mix churns.
-func (lg *loadGen) smallTask(id int64, rng *rand.Rand) TaskJSON {
+func (lg *loadGen) smallTask(id int64, rng *rand.Rand) api.Task {
 	periodMs := int64(20 + rng.Intn(200))
 	period := periodMs * int64(time.Millisecond)
 	wcet := period / int64(50+rng.Intn(50))
 	if wcet < 1000 {
 		wcet = 1000
 	}
-	return TaskJSON{
+	return api.Task{
 		ID: id, WCETNs: wcet, PeriodNs: period,
 		Priority: int(1000 + id%1000), WSS: 64 << 10,
 	}
-}
-
-// do issues one request and returns (status, body).
-func (lg *loadGen) do(ctx context.Context, method, path string, payload any) (int, []byte, error) {
-	var body io.Reader
-	if payload != nil {
-		data, err := json.Marshal(payload)
-		if err != nil {
-			return 0, nil, err
-		}
-		body = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, lg.cfg.BaseURL+path, body)
-	if err != nil {
-		return 0, nil, err
-	}
-	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := lg.d.Do(req)
-	if err != nil {
-		return 0, nil, err
-	}
-	defer resp.Body.Close() //nolint:errcheck // read-side close
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return resp.StatusCode, nil, err
-	}
-	return resp.StatusCode, data, nil
 }

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/api"
 	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/task"
@@ -38,7 +39,7 @@ func TestConcurrentSessionsDeterministic(t *testing.T) {
 		if i%3 == 2 {
 			policy = "edf"
 		}
-		mustStatus(t, srv, "POST", "/v1/sessions", CreateSessionRequest{Name: name, Cores: 2 + i%3, Policy: policy}, http.StatusCreated)
+		mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: name, Cores: 2 + i%3, Policy: policy}, http.StatusCreated)
 	}
 
 	// Readers overlap the writers with a bounded number of state and
@@ -104,9 +105,9 @@ func driveSession(srv *Server, i, ops int, model *overhead.Model) error {
 	var admitted []*task.Task
 	nextID := int64(1)
 
-	verdict := func(method, path string, payload any) (VerdictResponse, int, error) {
+	verdict := func(method, path string, payload any) (api.Verdict, int, error) {
 		status, body := doRaw(srv, method, path, payload)
-		var v VerdictResponse
+		var v api.Verdict
 		if status == http.StatusOK {
 			if err := json.Unmarshal(body, &v); err != nil {
 				return v, status, fmt.Errorf("%s: %s: %w", name, path, err)
@@ -114,7 +115,7 @@ func driveSession(srv *Server, i, ops int, model *overhead.Model) error {
 		}
 		return v, status, nil
 	}
-	check := func(op string, v VerdictResponse, wantOK bool, wantCore int) error {
+	check := func(op string, v api.Verdict, wantOK bool, wantCore int) error {
 		if v.Admitted != wantOK || (wantOK && v.Core != wantCore) {
 			return fmt.Errorf("%s %s task %d: server (%v, core %d) != replay (%v, core %d)",
 				name, op, v.TaskID, v.Admitted, v.Core, wantOK, wantCore)
@@ -130,11 +131,11 @@ func driveSession(srv *Server, i, ops int, model *overhead.Model) error {
 		case op < 4: // try: probe-only, no state change
 			tk := randomLoadTask(rng, nextID, policy)
 			nextID++
-			wantOK, wantCore := firstFitReplay(an, mirror, model, tk.task())
+			wantOK, wantCore := firstFitReplay(an, mirror, model, wireTask(tk))
 			if wantOK {
 				pop(wantCore) // try never keeps the placement
 			}
-			v, status, err := verdict("POST", "/v1/sessions/"+name+"/try", AdmitRequest{Task: tk})
+			v, status, err := verdict("POST", "/v1/sessions/"+name+"/try", api.AdmitRequest{Task: tk})
 			if err != nil {
 				return err
 			}
@@ -147,9 +148,9 @@ func driveSession(srv *Server, i, ops int, model *overhead.Model) error {
 		case op < 7: // admit: committed on success
 			tk := randomLoadTask(rng, nextID, policy)
 			nextID++
-			goTask := tk.task()
+			goTask := wireTask(tk)
 			wantOK, wantCore := firstFitReplay(an, mirror, model, goTask)
-			v, status, err := verdict("POST", "/v1/sessions/"+name+"/admit", AdmitRequest{Task: tk})
+			v, status, err := verdict("POST", "/v1/sessions/"+name+"/admit", api.AdmitRequest{Task: tk})
 			if err != nil {
 				return err
 			}
@@ -165,9 +166,9 @@ func driveSession(srv *Server, i, ops int, model *overhead.Model) error {
 		case op < 9: // hold-try then commit or rollback
 			tk := randomLoadTask(rng, nextID, policy)
 			nextID++
-			goTask := tk.task()
+			goTask := wireTask(tk)
 			wantOK, wantCore := firstFitReplay(an, mirror, model, goTask)
-			v, status, err := verdict("POST", "/v1/sessions/"+name+"/try", AdmitRequest{Task: tk, Hold: true})
+			v, status, err := verdict("POST", "/v1/sessions/"+name+"/try", api.AdmitRequest{Task: tk, Hold: true})
 			if err != nil {
 				return err
 			}
@@ -199,7 +200,7 @@ func driveSession(srv *Server, i, ops int, model *overhead.Model) error {
 			k := rng.Intn(len(admitted))
 			tk := admitted[k]
 			admitted = append(admitted[:k], admitted[k+1:]...)
-			_, status, err := verdict("POST", "/v1/sessions/"+name+"/remove", RemoveRequest{ID: int64(tk.ID)})
+			_, status, err := verdict("POST", "/v1/sessions/"+name+"/remove", api.RemoveRequest{ID: int64(tk.ID)})
 			if err != nil || status != http.StatusOK {
 				return fmt.Errorf("%s remove %d: HTTP %d %v", name, tk.ID, status, err)
 			}
@@ -212,7 +213,7 @@ func driveSession(srv *Server, i, ops int, model *overhead.Model) error {
 	if status != http.StatusOK {
 		return fmt.Errorf("%s state: HTTP %d", name, status)
 	}
-	var state StateResponse
+	var state api.State
 	if err := json.Unmarshal(body, &state); err != nil {
 		return err
 	}
@@ -249,20 +250,20 @@ func doRaw(h http.Handler, method, path string, payload any) (int, []byte) {
 
 // randomLoadTask draws a small task in wire form; FP tasks get a
 // deterministic unique-ish priority.
-func randomLoadTask(rng *rand.Rand, id int64, p task.Policy) TaskJSON {
+func randomLoadTask(rng *rand.Rand, id int64, p task.Policy) api.Task {
 	period := int64(10+rng.Intn(90)) * 1e6
 	wcet := period / int64(8+rng.Intn(24))
-	j := TaskJSON{ID: id, WCETNs: wcet, PeriodNs: period, WSS: 32 << 10}
+	j := api.Task{ID: id, WCETNs: wcet, PeriodNs: period, WSS: 32 << 10}
 	if p == task.FixedPriority {
 		j.Priority = int(id)
 	}
 	return j
 }
 
-// task converts the wire task for mirror replay (policy-agnostic
+// wireTask converts the wire task for mirror replay (policy-agnostic
 // fields only; priority is already set for FP).
-func (j TaskJSON) task() *task.Task {
-	t, err := j.toTask(task.EDF) // skip the FP priority check; set below
+func wireTask(j api.Task) *task.Task {
+	t, err := toTask(j, task.EDF) // skip the FP priority check; set above
 	if err != nil {
 		panic(err)
 	}

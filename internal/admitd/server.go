@@ -2,12 +2,12 @@ package admitd
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"sync/atomic"
 
+	"repro/api"
 	"repro/internal/experiment"
 	"repro/internal/overhead"
 	"repro/internal/partition"
@@ -25,7 +25,10 @@ type Config struct {
 	SnapshotDir string
 }
 
-// Server is the admission-control HTTP surface over a session Store.
+// Server is the admission-control transport: a thin HTTP layer that
+// decodes api-package requests, runs them against the session Store,
+// and encodes api-package responses. All wire types and error codes
+// live in the api package; nothing here defines schema.
 //
 //	POST   /v1/sessions                    create a session
 //	GET    /v1/sessions                    list live sessions
@@ -56,34 +59,37 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{store: store, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
-	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
-	s.mux.HandleFunc("GET /v1/sessions/{name}", s.handleState)
-	s.mux.HandleFunc("DELETE /v1/sessions/{name}", s.handleDelete)
-	s.mux.HandleFunc("POST /v1/sessions/{name}/admit", s.sessionVerdict(func(sess *Session, req AdmitRequest) (VerdictResponse, error) {
+	s.mux.HandleFunc("POST "+api.PathSessions, s.handleCreate)
+	s.mux.HandleFunc("GET "+api.PathSessions, s.handleList)
+	s.mux.HandleFunc("GET "+api.PathSessions+"/{name}", s.handleState)
+	s.mux.HandleFunc("DELETE "+api.PathSessions+"/{name}", s.handleDelete)
+	op := func(name string) string { return "POST " + api.PathSessions + "/{name}/" + name }
+	s.mux.HandleFunc(op(api.OpAdmit), s.sessionVerdict(func(sess *Session, req api.AdmitRequest) (api.Verdict, error) {
 		if req.Hold {
-			return VerdictResponse{}, fmt.Errorf("hold is only valid on try (admit commits immediately)")
+			return api.Verdict{}, fmt.Errorf("hold is only valid on try (admit commits immediately)")
 		}
 		return sess.admitLocked(req)
 	}))
-	s.mux.HandleFunc("POST /v1/sessions/{name}/try", s.sessionVerdict((*Session).tryLocked))
-	s.mux.HandleFunc("POST /v1/sessions/{name}/split", s.handleSplit)
-	s.mux.HandleFunc("POST /v1/sessions/{name}/commit", s.handleResolve((*Session).commitLocked))
-	s.mux.HandleFunc("POST /v1/sessions/{name}/rollback", s.handleResolve((*Session).rollbackLocked))
-	s.mux.HandleFunc("POST /v1/sessions/{name}/remove", s.handleRemove)
-	s.mux.HandleFunc("GET /v1/sessions/{name}/stats", s.handleSessionStats)
-	s.mux.HandleFunc("POST /v1/sessions/{name}/batch", s.handleBatch)
-	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	s.mux.HandleFunc(op(api.OpTry), s.sessionVerdict((*Session).tryLocked))
+	s.mux.HandleFunc(op(api.OpSplit), s.handleSplit)
+	s.mux.HandleFunc(op(api.OpCommit), s.handleResolve((*Session).commitLocked))
+	s.mux.HandleFunc(op(api.OpRollback), s.handleResolve((*Session).rollbackLocked))
+	s.mux.HandleFunc(op(api.OpRemove), s.handleRemove)
+	s.mux.HandleFunc("GET "+api.PathSessions+"/{name}/"+api.OpStats, s.handleSessionStats)
+	s.mux.HandleFunc(op(api.OpBatch), s.handleBatch)
+	s.mux.HandleFunc("POST "+api.PathSweep, s.handleSweep)
+	s.mux.HandleFunc("GET "+api.PathStats, s.handleStats)
+	s.mux.HandleFunc("GET "+api.PathHealth, func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
 	})
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every response is stamped with
+// the schema version so clients can detect what they talk to.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
+	w.Header().Set(api.VersionHeader, api.Version)
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -93,7 +99,7 @@ func (s *Server) Close() {
 	s.store.Close()
 }
 
-// Store exposes the session registry (tests, load generator).
+// Store exposes the session registry (tests, embedders).
 func (s *Server) Store() *Store { return s.store }
 
 // --- helpers ---------------------------------------------------------
@@ -105,25 +111,18 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v) //nolint:errcheck // client gone; nothing to do
 }
 
+// writeError renders the uniform error envelope with the status
+// derived from its code.
 func writeError(w http.ResponseWriter, err error) {
-	status := http.StatusBadRequest
-	switch {
-	case errors.Is(err, ErrSessionNotFound), errors.Is(err, ErrUnknownTask):
-		status = http.StatusNotFound
-	case errors.Is(err, ErrSessionExists), errors.Is(err, ErrProbePending),
-		errors.Is(err, ErrNoProbePending), errors.Is(err, ErrProbeRejected),
-		errors.Is(err, ErrDuplicateTask):
-		status = http.StatusConflict
-	case errors.Is(err, ErrSessionClosed):
-		status = http.StatusGone
-	}
-	writeJSON(w, status, errorResponse{Error: err.Error()})
+	ae := toAPIError(err)
+	writeJSON(w, ae.HTTPStatus(), ae)
 }
 
+// decodeBody decodes a request body. Unknown fields are ignored —
+// the schema's forward-compatibility rule: a newer client may send
+// fields this server does not know yet.
 func decodeBody(r *http.Request, v any) error {
-	dec := json.NewDecoder(r.Body)
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(v); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		return fmt.Errorf("bad request body: %w", err)
 	}
 	return nil
@@ -176,7 +175,7 @@ func callSession(w http.ResponseWriter, sess *Session, f func()) bool {
 // --- session lifecycle -----------------------------------------------
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
-	var req CreateSessionRequest
+	var req api.CreateSessionRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
@@ -195,8 +194,8 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusCreated, map[string]any{
-		"name": req.Name, "cores": req.Cores, "policy": policyName(p),
+	writeJSON(w, http.StatusCreated, api.SessionCreated{
+		Name: req.Name, Cores: req.Cores, Policy: policyName(p), Version: api.Version,
 	})
 }
 
@@ -204,7 +203,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	var names []string
 	s.store.Range(func(sess *Session) { names = append(names, sess.name) })
 	sort.Strings(names)
-	writeJSON(w, http.StatusOK, map[string]any{"sessions": names, "count": len(names)})
+	writeJSON(w, http.StatusOK, api.SessionList{Sessions: names, Count: len(names)})
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
@@ -212,7 +211,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	var resp StateResponse
+	var resp api.State
 	if !callSession(w, sess, func() { resp = sess.stateLocked() }) {
 		return
 	}
@@ -224,24 +223,24 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]bool{"deleted": true})
+	writeJSON(w, http.StatusOK, api.SessionDeleted{Deleted: true})
 }
 
 // --- admission -------------------------------------------------------
 
 // sessionVerdict adapts a session operation taking an AdmitRequest.
-func (s *Server) sessionVerdict(op func(*Session, AdmitRequest) (VerdictResponse, error)) http.HandlerFunc {
+func (s *Server) sessionVerdict(op func(*Session, api.AdmitRequest) (api.Verdict, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sess := s.session(w, r)
 		if sess == nil {
 			return
 		}
-		var req AdmitRequest
+		var req api.AdmitRequest
 		if err := decodeBody(r, &req); err != nil {
 			writeError(w, err)
 			return
 		}
-		var resp VerdictResponse
+		var resp api.Verdict
 		var opErr error
 		if !callSession(w, sess, func() { resp, opErr = op(sess, req) }) {
 			return
@@ -259,12 +258,12 @@ func (s *Server) handleSplit(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	var req SplitRequest
+	var req api.SplitRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
 	}
-	var resp VerdictResponse
+	var resp api.Verdict
 	var opErr error
 	if !callSession(w, sess, func() { resp, opErr = sess.splitLocked(req, req.Hold) }) {
 		return
@@ -277,13 +276,13 @@ func (s *Server) handleSplit(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleResolve adapts commit/rollback.
-func (s *Server) handleResolve(op func(*Session) (VerdictResponse, error)) http.HandlerFunc {
+func (s *Server) handleResolve(op func(*Session) (api.Verdict, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sess := s.session(w, r)
 		if sess == nil {
 			return
 		}
-		var resp VerdictResponse
+		var resp api.Verdict
 		var opErr error
 		if !callSession(w, sess, func() { resp, opErr = op(sess) }) {
 			return
@@ -301,7 +300,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	var req RemoveRequest
+	var req api.RemoveRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
@@ -314,7 +313,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, opErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"removed": true, "id": req.ID})
+	writeJSON(w, http.StatusOK, api.Removed{Removed: true, ID: req.ID})
 }
 
 // --- stats -----------------------------------------------------------
@@ -324,37 +323,34 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	var adm report.AdmissionStatsJSON
-	var taskCount int
+	var resp api.SessionStats
 	if !callSession(w, sess, func() {
-		adm = report.AdmissionJSON(sess.statsLocked())
-		taskCount = len(sess.tasks)
+		resp = api.SessionStats{
+			Name:      sess.name,
+			Tasks:     len(sess.tasks),
+			Admitted:  sess.admitted.Load(),
+			Rejected:  sess.rejected.Load(),
+			Removed:   sess.removed.Load(),
+			Admission: report.AdmissionJSON(sess.statsLocked()),
+		}
 	}) {
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"name":      sess.name,
-		"tasks":     taskCount,
-		"admitted":  sess.admitted.Load(),
-		"rejected":  sess.rejected.Load(),
-		"removed":   sess.removed.Load(),
-		"admission": adm,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.store
-	writeJSON(w, http.StatusOK, map[string]any{
-		"requests":          s.requests.Load(),
-		"sessions_live":     st.count.Load(),
-		"sessions_created":  st.created.Load(),
-		"sessions_evicted":  st.evicted.Load(),
-		"sessions_restored": st.restored.Load(),
-		"sessions_deleted":  st.deleted.Load(),
-		// Admission totals flushed by closed/evicted sessions plus
-		// nothing from live ones (contexts flush on close); live
+	writeJSON(w, http.StatusOK, api.ServerStats{
+		Requests:         s.requests.Load(),
+		SessionsLive:     st.count.Load(),
+		SessionsCreated:  st.created.Load(),
+		SessionsEvicted:  st.evicted.Load(),
+		SessionsRestored: st.restored.Load(),
+		SessionsDeleted:  st.deleted.Load(),
+		// Admission totals flushed by closed/evicted sessions; live
 		// session detail is at /v1/sessions/{name}/stats.
-		"admission_flushed": report.AdmissionJSON(st.coll.Snapshot()),
+		AdmissionFlushed: report.AdmissionJSON(st.coll.Snapshot()),
 	})
 }
 
@@ -368,7 +364,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	var req BatchRequest
+	var req api.BatchRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return
@@ -376,10 +372,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	var sum BatchSummary
+	var sum api.BatchSummary
 	var opErr error
 	ok := callSession(w, sess, func() {
-		sum, opErr = sess.batchLocked(r.Context(), req, func(v VerdictResponse) {
+		sum, opErr = sess.batchLocked(r.Context(), req, func(v api.Verdict) {
 			_ = enc.Encode(v) //nolint:errcheck // stream best-effort; summary still lands
 			if flusher != nil {
 				flusher.Flush()
@@ -390,32 +386,18 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if opErr != nil {
-		// Headers are sent; deliver the error as the final line.
-		_ = enc.Encode(errorResponse{Error: opErr.Error()}) //nolint:errcheck
+		// Headers are sent; deliver the error envelope as the final line.
+		_ = enc.Encode(toAPIError(opErr)) //nolint:errcheck
 		return
 	}
 	_ = enc.Encode(sum) //nolint:errcheck
-}
-
-// SweepRequest runs a whole acceptance-ratio sweep server-side —
-// spexp as a service, sharing its JSON schema with the CLI. Stream
-// adds NDJSON progress lines before the final result object.
-type SweepRequest struct {
-	Cores        int             `json:"cores"`
-	Tasks        int             `json:"tasks"`
-	SetsPerPoint int             `json:"sets_per_point"`
-	Algorithms   []string        `json:"algorithms,omitempty"`
-	Model        json.RawMessage `json:"model,omitempty"`
-	Seed         int64           `json:"seed,omitempty"`
-	Utilizations []float64       `json:"utilizations,omitempty"`
-	Stream       bool            `json:"stream,omitempty"`
 }
 
 // handleSweep runs the experiment pipeline under the request context:
 // a dropped connection cancels the in-flight sweep between
 // placements (experiment.RunContext).
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
-	var req SweepRequest
+	var req api.SweepRequest
 	if err := decodeBody(r, &req); err != nil {
 		writeError(w, err)
 		return

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/api"
 	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/task"
@@ -148,18 +149,18 @@ func (s *Session) close() {
 // admitLocked runs one admission on the actor: explicit-core or
 // first-fit probe, committed when it fits. Two-phase admission goes
 // through try with "hold" (or split's Hold) instead.
-func (s *Session) admitLocked(req AdmitRequest) (VerdictResponse, error) {
+func (s *Session) admitLocked(req api.AdmitRequest) (api.Verdict, error) {
 	if s.pendKind != pendNone {
-		return VerdictResponse{}, ErrProbePending
+		return api.Verdict{}, ErrProbePending
 	}
-	t, err := req.Task.toTask(s.policy)
+	t, err := toTask(req.Task, s.policy)
 	if err != nil {
-		return VerdictResponse{}, err
+		return api.Verdict{}, err
 	}
 	if s.tasks[t.ID] {
-		return VerdictResponse{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
+		return api.Verdict{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
 	}
-	resp := VerdictResponse{TaskID: int64(t.ID), Core: -1}
+	resp := api.Verdict{TaskID: int64(t.ID), Core: -1}
 	probe := func(c int) bool {
 		resp.Probes++
 		return s.actx.TryPlace(t, c)
@@ -167,7 +168,7 @@ func (s *Session) admitLocked(req AdmitRequest) (VerdictResponse, error) {
 	if req.Core != nil {
 		c := *req.Core
 		if c < 0 || c >= s.a.NumCores {
-			return VerdictResponse{}, fmt.Errorf("core %d out of range (%d cores)", c, s.a.NumCores)
+			return api.Verdict{}, fmt.Errorf("core %d out of range (%d cores)", c, s.a.NumCores)
 		}
 		resp.Admitted = probe(c)
 		if resp.Admitted {
@@ -193,18 +194,18 @@ func (s *Session) admitLocked(req AdmitRequest) (VerdictResponse, error) {
 // committed state: the probe is rolled back after the verdict —
 // unless req.Hold keeps it pending for an explicit commit/rollback
 // (the two-phase protocol).
-func (s *Session) tryLocked(req AdmitRequest) (VerdictResponse, error) {
+func (s *Session) tryLocked(req api.AdmitRequest) (api.Verdict, error) {
 	if s.pendKind != pendNone {
-		return VerdictResponse{}, ErrProbePending
+		return api.Verdict{}, ErrProbePending
 	}
-	t, err := req.Task.toTask(s.policy)
+	t, err := toTask(req.Task, s.policy)
 	if err != nil {
-		return VerdictResponse{}, err
+		return api.Verdict{}, err
 	}
 	if s.tasks[t.ID] {
-		return VerdictResponse{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
+		return api.Verdict{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
 	}
-	resp := VerdictResponse{TaskID: int64(t.ID), Core: -1}
+	resp := api.Verdict{TaskID: int64(t.ID), Core: -1}
 	hold := func(c int) {
 		resp.Pending = true
 		s.pendKind = pendPlace
@@ -214,7 +215,7 @@ func (s *Session) tryLocked(req AdmitRequest) (VerdictResponse, error) {
 	if req.Core != nil {
 		c := *req.Core
 		if c < 0 || c >= s.a.NumCores {
-			return VerdictResponse{}, fmt.Errorf("core %d out of range (%d cores)", c, s.a.NumCores)
+			return api.Verdict{}, fmt.Errorf("core %d out of range (%d cores)", c, s.a.NumCores)
 		}
 		resp.Probes = 1
 		resp.Admitted = s.actx.TryPlace(t, c)
@@ -245,23 +246,23 @@ func (s *Session) tryLocked(req AdmitRequest) (VerdictResponse, error) {
 }
 
 // splitLocked probes/admits a split task.
-func (s *Session) splitLocked(req SplitRequest, hold bool) (VerdictResponse, error) {
+func (s *Session) splitLocked(req api.SplitRequest, hold bool) (api.Verdict, error) {
 	if s.pendKind != pendNone {
-		return VerdictResponse{}, ErrProbePending
+		return api.Verdict{}, ErrProbePending
 	}
-	sp, err := req.Split.toSplit(s.policy)
+	sp, err := toSplit(req.Split, s.policy)
 	if err != nil {
-		return VerdictResponse{}, err
+		return api.Verdict{}, err
 	}
 	if s.tasks[sp.Task.ID] {
-		return VerdictResponse{}, fmt.Errorf("%w: %d", ErrDuplicateTask, sp.Task.ID)
+		return api.Verdict{}, fmt.Errorf("%w: %d", ErrDuplicateTask, sp.Task.ID)
 	}
 	for _, p := range sp.Parts {
 		if p.Core < 0 || p.Core >= s.a.NumCores {
-			return VerdictResponse{}, fmt.Errorf("split part core %d out of range (%d cores)", p.Core, s.a.NumCores)
+			return api.Verdict{}, fmt.Errorf("split part core %d out of range (%d cores)", p.Core, s.a.NumCores)
 		}
 	}
-	resp := VerdictResponse{TaskID: int64(sp.Task.ID), Core: -1, Probes: 1}
+	resp := api.Verdict{TaskID: int64(sp.Task.ID), Core: -1, Probes: 1}
 	resp.Admitted = s.actx.TrySplit(sp, sp.Parts[0].Core)
 	s.resolveProbe(&resp, hold, nil, sp, -1)
 	return resp, nil
@@ -270,7 +271,7 @@ func (s *Session) splitLocked(req SplitRequest, hold bool) (VerdictResponse, err
 // resolveProbe finishes a resolved TryPlace/TrySplit: commit the
 // admitted mutation, roll a rejection back, or hold the probe for the
 // explicit two-phase protocol.
-func (s *Session) resolveProbe(resp *VerdictResponse, hold bool, t *task.Task, sp *task.Split, core int) {
+func (s *Session) resolveProbe(resp *api.Verdict, hold bool, t *task.Task, sp *task.Split, core int) {
 	if hold {
 		resp.Pending = true
 		s.pendFits = resp.Admitted
@@ -308,14 +309,14 @@ var ErrProbeRejected = errors.New("admitd: held probe was rejected; rollback it"
 // commitLocked resolves a held probe by keeping the mutation. Only
 // an admitted probe may be committed: a rejected one would put the
 // session into a committed-but-unschedulable state.
-func (s *Session) commitLocked() (VerdictResponse, error) {
+func (s *Session) commitLocked() (api.Verdict, error) {
 	if s.pendKind == pendNone {
-		return VerdictResponse{}, ErrNoProbePending
+		return api.Verdict{}, ErrNoProbePending
 	}
 	if !s.pendFits {
-		return VerdictResponse{}, ErrProbeRejected
+		return api.Verdict{}, ErrProbeRejected
 	}
-	resp := VerdictResponse{Admitted: true, Core: s.pendCore}
+	resp := api.Verdict{Admitted: true, Core: s.pendCore}
 	if s.pendSplit != nil {
 		resp.TaskID = int64(s.pendSplit.Task.ID)
 	} else {
@@ -328,11 +329,11 @@ func (s *Session) commitLocked() (VerdictResponse, error) {
 }
 
 // rollbackLocked resolves a held probe by undoing the mutation.
-func (s *Session) rollbackLocked() (VerdictResponse, error) {
+func (s *Session) rollbackLocked() (api.Verdict, error) {
 	if s.pendKind == pendNone {
-		return VerdictResponse{}, ErrNoProbePending
+		return api.Verdict{}, ErrNoProbePending
 	}
-	resp := VerdictResponse{Admitted: false, Core: -1}
+	resp := api.Verdict{Admitted: false, Core: -1}
 	if s.pendSplit != nil {
 		resp.TaskID = int64(s.pendSplit.Task.ID)
 	} else {
@@ -370,8 +371,8 @@ func (s *Session) removeLocked(id task.ID) error {
 // tentative mutation lives provisionally inside the assignment
 // (TryPlace/TrySplit mutate in place until Commit/Rollback), so it
 // is filtered out here: state always describes committed state only.
-func (s *Session) stateLocked() StateResponse {
-	resp := StateResponse{
+func (s *Session) stateLocked() api.State {
+	resp := api.State{
 		Name:         s.name,
 		Cores:        s.a.NumCores,
 		Policy:       policyName(s.policy),
@@ -430,18 +431,21 @@ func (s *Session) statsLocked() analysis.AdmissionStats {
 
 // batchLocked admits a whole set task by task, emitting one verdict
 // per task; ctx aborts the remainder (client disconnect).
-func (s *Session) batchLocked(ctx context.Context, req BatchRequest, emit func(VerdictResponse)) (BatchSummary, error) {
+func (s *Session) batchLocked(ctx context.Context, req api.BatchRequest, emit func(api.Verdict)) (api.BatchSummary, error) {
 	if s.pendKind != pendNone {
-		return BatchSummary{}, ErrProbePending
+		return api.BatchSummary{}, ErrProbePending
 	}
-	var wire []TaskJSON
+	var wire []api.Task
 	switch {
 	case req.Generate != nil && len(req.Tasks) > 0:
-		return BatchSummary{}, fmt.Errorf("batch: tasks and generate are mutually exclusive")
+		return api.BatchSummary{}, fmt.Errorf("batch: tasks and generate are mutually exclusive")
 	case req.Generate != nil:
-		cfg := *req.Generate
+		cfg, err := toTaskGen(req.Generate)
+		if err != nil {
+			return api.BatchSummary{}, err
+		}
 		if err := cfg.Validate(); err != nil {
-			return BatchSummary{}, err
+			return api.BatchSummary{}, err
 		}
 		set := taskgen.New(cfg).Next()
 		base := s.nextFreeID()
@@ -453,7 +457,7 @@ func (s *Session) batchLocked(ctx context.Context, req BatchRequest, emit func(V
 	case len(req.Tasks) > 0:
 		wire = req.Tasks
 	default:
-		return BatchSummary{}, fmt.Errorf("batch: need tasks or generate")
+		return api.BatchSummary{}, fmt.Errorf("batch: need tasks or generate")
 	}
 	if req.Order == "util-desc" {
 		sort.SliceStable(wire, func(i, k int) bool {
@@ -465,15 +469,15 @@ func (s *Session) batchLocked(ctx context.Context, req BatchRequest, emit func(V
 			return wire[i].ID < wire[k].ID
 		})
 	} else if req.Order != "" && req.Order != "input" {
-		return BatchSummary{}, fmt.Errorf("batch: unknown order %q (input|util-desc)", req.Order)
+		return api.BatchSummary{}, fmt.Errorf("batch: unknown order %q (input|util-desc)", req.Order)
 	}
-	sum := BatchSummary{Done: true}
+	sum := api.BatchSummary{Done: true}
 	for _, j := range wire {
 		if ctx.Err() != nil {
 			sum.Canceled = true
 			break
 		}
-		v, err := s.admitLocked(AdmitRequest{Task: j})
+		v, err := s.admitLocked(api.AdmitRequest{Task: j})
 		if err != nil {
 			return sum, err
 		}

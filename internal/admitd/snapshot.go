@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/api"
 	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/task"
@@ -25,8 +26,8 @@ type sessionSnapshot struct {
 	Cores  int             `json:"cores"`
 	Policy string          `json:"policy"`
 	Model  json.RawMessage `json:"model"`
-	Tasks  []TaskJSON      `json:"tasks"`
-	Splits []SplitJSON     `json:"splits,omitempty"`
+	Tasks  []api.Task      `json:"tasks"`
+	Splits []api.Split     `json:"splits,omitempty"`
 
 	Admitted int64 `json:"admitted"`
 	Rejected int64 `json:"rejected"`
@@ -86,7 +87,7 @@ func restoreSession(snap *sessionSnapshot, coll *analysis.Collector) (*Session, 
 	model = overhead.Normalize(model)
 	a := task.NewAssignment(snap.Cores)
 	for _, j := range snap.Tasks {
-		t, err := j.toTask(p)
+		t, err := toTask(j, p)
 		if err != nil {
 			return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
 		}
@@ -96,7 +97,7 @@ func restoreSession(snap *sessionSnapshot, coll *analysis.Collector) (*Session, 
 		a.Place(t, j.Core)
 	}
 	for _, j := range snap.Splits {
-		sp, err := j.toSplit(p)
+		sp, err := toSplit(j, p)
 		if err != nil {
 			return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
 		}

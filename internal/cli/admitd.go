@@ -11,11 +11,12 @@ import (
 	"syscall"
 	"time"
 
+	"repro/client"
 	"repro/internal/admitd"
 )
 
 // Admitd is the spadmitd entry point: the admission-control daemon
-// and its load generator.
+// and its load generator (driven through the typed client SDK).
 //
 //	spadmitd serve [-addr :7007] [-snapshots dir] [-max-sessions 1024]
 //	spadmitd load  [-addr http://host:7007] [-sessions 64] [-requests 100000]
@@ -94,7 +95,6 @@ func admitdLoad(args []string, w io.Writer) error {
 		return err
 	}
 	cfg := admitd.LoadConfig{
-		BaseURL:         *addr,
 		Sessions:        *sessions,
 		Requests:        *requests,
 		Workers:         *workers,
@@ -103,18 +103,21 @@ func admitdLoad(args []string, w io.Writer) error {
 		Policy:          *policy,
 		Seed:            *seed,
 	}
-	var d admitd.Doer
+	var c *client.Client
 	if *addr == "" {
 		srv, err := admitd.New(admitd.Config{MaxSessions: 2 * *sessions})
 		if err != nil {
 			return err
 		}
 		defer srv.Close()
-		d = admitd.InProcess{H: srv}
+		c = client.InProcess(srv)
 	} else {
-		d = &http.Client{Timeout: 30 * time.Second}
+		var err error
+		if c, err = client.New(*addr, client.WithTimeout(30*time.Second)); err != nil {
+			return err
+		}
 	}
-	stats, err := admitd.RunLoad(context.Background(), d, cfg)
+	stats, err := admitd.RunLoad(context.Background(), c, cfg)
 	if err != nil {
 		return err
 	}

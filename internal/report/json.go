@@ -1,36 +1,36 @@
 package report
 
-// JSON export of sweep and admission results — the one serialization
-// shared by the spexp CLI (-json) and the admitd server (batch and
-// sweep endpoints), so downstream tooling parses a single schema no
-// matter which surface produced the numbers.
+// JSON export of sweep and admission results. The wire types
+// themselves live in the public api package — the single versioned
+// schema shared by the spexp CLI (-json), the admitd server (batch
+// and sweep endpoints), and the client SDK — this file holds the
+// converters from the internal result structs, plus aliases keeping
+// the historical report.*JSON names valid.
 
 import (
-	"encoding/json"
-	"io"
-
+	"repro/api"
 	"repro/internal/analysis"
 	"repro/internal/experiment"
 )
 
-// AdmissionStatsJSON is the wire form of analysis.AdmissionStats,
-// with the derived rates precomputed so consumers need no formulas.
-type AdmissionStatsJSON struct {
-	Probes           int64   `json:"probes"`
-	FullTests        int64   `json:"full_tests"`
-	CoreTests        int64   `json:"core_tests"`
-	VerdictHits      int64   `json:"verdict_hits"`
-	FPSolves         int64   `json:"fp_solves"`
-	FPIterations     int64   `json:"fp_iterations"`
-	WarmStarts       int64   `json:"warm_starts"`
-	CacheHitRate     float64 `json:"cache_hit_rate"`
-	MeanFPIterations float64 `json:"mean_fp_iterations"`
-	WarmStartRate    float64 `json:"warm_start_rate"`
-}
+// Aliases: the report package's historical names for the wire types.
+type (
+	// AdmissionStatsJSON is the wire form of analysis.AdmissionStats.
+	AdmissionStatsJSON = api.AdmissionStats
+	// SweepPointJSON is one (algorithm × utilization) cell.
+	SweepPointJSON = api.SweepPoint
+	// SweepSeriesJSON is one algorithm's acceptance curve.
+	SweepSeriesJSON = api.SweepSeries
+	// SweepJSON is the wire form of a whole acceptance-ratio sweep.
+	SweepJSON = api.SweepResult
+	// SweepProgressJSON is one streaming partial-result line (NDJSON).
+	SweepProgressJSON = api.SweepProgress
+)
 
-// AdmissionJSON converts admission counters to their wire form.
-func AdmissionJSON(s analysis.AdmissionStats) AdmissionStatsJSON {
-	return AdmissionStatsJSON{
+// AdmissionJSON converts admission counters to their wire form, with
+// the derived rates precomputed so consumers need no formulas.
+func AdmissionJSON(s analysis.AdmissionStats) api.AdmissionStats {
+	return api.AdmissionStats{
 		Probes:           s.Probes,
 		FullTests:        s.FullTests,
 		CoreTests:        s.CoreTests,
@@ -44,39 +44,9 @@ func AdmissionJSON(s analysis.AdmissionStats) AdmissionStatsJSON {
 	}
 }
 
-// SweepPointJSON is one (algorithm × utilization) cell.
-type SweepPointJSON struct {
-	TotalUtilization   float64 `json:"total_utilization"`
-	PerCoreUtilization float64 `json:"per_core_utilization"`
-	Accepted           int     `json:"accepted"`
-	Total              int     `json:"total"`
-	Ratio              float64 `json:"ratio"`
-	WilsonLo           float64 `json:"wilson_lo"`
-	WilsonHi           float64 `json:"wilson_hi"`
-	MeanSplits         float64 `json:"mean_splits"`
-	SimViolations      int     `json:"sim_violations"`
-}
-
-// SweepSeriesJSON is one algorithm's acceptance curve.
-type SweepSeriesJSON struct {
-	Algorithm string           `json:"algorithm"`
-	Points    []SweepPointJSON `json:"points"`
-}
-
-// SweepJSON is the wire form of a whole acceptance-ratio sweep.
-type SweepJSON struct {
-	Cores        int                `json:"cores"`
-	Tasks        int                `json:"tasks"`
-	SetsPerPoint int                `json:"sets_per_point"`
-	Seed         int64              `json:"seed"`
-	Canceled     bool               `json:"canceled,omitempty"`
-	Series       []SweepSeriesJSON  `json:"series"`
-	Admission    AdmissionStatsJSON `json:"admission"`
-}
-
 // SweepResultJSON converts sweep results to their wire form.
-func SweepResultJSON(r *experiment.Results) *SweepJSON {
-	out := &SweepJSON{
+func SweepResultJSON(r *experiment.Results) *api.SweepResult {
+	out := &api.SweepResult{
 		Cores:        r.Config.Cores,
 		Tasks:        r.Config.Tasks,
 		SetsPerPoint: r.Config.SetsPerPoint,
@@ -86,9 +56,9 @@ func SweepResultJSON(r *experiment.Results) *SweepJSON {
 	}
 	m := float64(r.Config.Cores)
 	for _, s := range r.Series {
-		series := SweepSeriesJSON{Algorithm: s.Algorithm}
+		series := api.SweepSeries{Algorithm: s.Algorithm}
 		for _, p := range s.Points {
-			series.Points = append(series.Points, SweepPointJSON{
+			series.Points = append(series.Points, api.SweepPoint{
 				TotalUtilization:   p.TotalUtilization,
 				PerCoreUtilization: p.TotalUtilization / m,
 				Accepted:           p.Accepted,
@@ -105,32 +75,9 @@ func SweepResultJSON(r *experiment.Results) *SweepJSON {
 	return out
 }
 
-// Encode writes the sweep as indented JSON.
-func (s *SweepJSON) Encode(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(s)
-}
-
-// SweepProgressJSON is one streaming partial-result line (NDJSON):
-// the wire form of experiment.CellUpdate, emitted by spexp -progress
-// -json and by the admitd sweep endpoint while the sweep runs.
-type SweepProgressJSON struct {
-	Algorithm        string             `json:"algorithm"`
-	TotalUtilization float64            `json:"total_utilization"`
-	Accepted         int                `json:"accepted"`
-	Total            int                `json:"total"`
-	Ratio            float64            `json:"ratio"`
-	WilsonLo         float64            `json:"wilson_lo"`
-	WilsonHi         float64            `json:"wilson_hi"`
-	DoneShards       int                `json:"done_shards"`
-	TotalShards      int                `json:"total_shards"`
-	Admission        AdmissionStatsJSON `json:"admission"`
-}
-
 // ProgressJSON converts one streaming update to its wire form.
-func ProgressJSON(u experiment.CellUpdate) SweepProgressJSON {
-	return SweepProgressJSON{
+func ProgressJSON(u experiment.CellUpdate) api.SweepProgress {
+	return api.SweepProgress{
 		Algorithm:        u.Algorithm,
 		TotalUtilization: u.TotalUtilization,
 		Accepted:         u.Accepted,

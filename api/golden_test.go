@@ -138,9 +138,19 @@ var goldenCases = []struct {
 		`{"generate":{"n":16,"total_utilization":2.5,"seed":7},"order":"util-desc"}`,
 	},
 	{
+		"BatchRequest-try-only",
+		BatchRequest{Tasks: []Task{{ID: 1, WCETNs: 1e6, PeriodNs: 1e7}}, TryOnly: true},
+		`{"tasks":[{"id":1,"wcet_ns":1000000,"period_ns":10000000}],"try_only":true}`,
+	},
+	{
 		"BatchSummary",
 		BatchSummary{Done: true, Admitted: 10, Rejected: 2, Schedulable: true, TaskCount: 10, Canceled: true},
 		`{"done":true,"admitted":10,"rejected":2,"schedulable":true,"task_count":10,"canceled":true}`,
+	},
+	{
+		"BatchSummary-try-only",
+		BatchSummary{Done: true, Admitted: 3, Rejected: 1, Schedulable: true, TaskCount: 5, TryOnly: true},
+		`{"done":true,"admitted":3,"rejected":1,"schedulable":true,"task_count":5,"try_only":true}`,
 	},
 	{
 		"SweepRequest",
@@ -163,6 +173,19 @@ var goldenCases = []struct {
 		"Error",
 		Error{Code: CodeDuplicateTask, Message: "admitd: task id already admitted: 7"},
 		`{"code":"duplicate_task","message":"admitd: task id already admitted: 7"}`,
+	},
+	{
+		// The two held-probe conflict envelopes, pinned byte for byte
+		// (both map to 409; admitd's readpath_test pins them end to
+		// end over HTTP).
+		"Error-probe-pending",
+		Error{Code: CodeProbePending, Message: "admitd: a held probe is pending (commit or rollback first)"},
+		`{"code":"probe_pending","message":"admitd: a held probe is pending (commit or rollback first)"}`,
+	},
+	{
+		"Error-no-probe-pending",
+		Error{Code: CodeNoProbePending, Message: "admitd: no probe pending"},
+		`{"code":"no_probe_pending","message":"admitd: no probe pending"}`,
 	},
 }
 

@@ -162,13 +162,23 @@ type TaskGen struct {
 // Exactly one of Tasks or Generate must be set; Generate draws the
 // set server-side. Order "util-desc" offers tasks in decreasing
 // utilization (the FFD replay order); default is input order.
+//
+// TryOnly switches the batch to the server's concurrent read path:
+// nothing is committed, and every task is probed independently
+// against one immutable snapshot of the committed state (fanned
+// across a bounded worker pool). Each verdict then answers "would
+// this task fit right now, alone?" — successive tasks do not see
+// each other, unlike the sequential admitting batch.
 type BatchRequest struct {
 	Tasks    []Task   `json:"tasks,omitempty"`
 	Generate *TaskGen `json:"generate,omitempty"`
 	Order    string   `json:"order,omitempty"`
+	TryOnly  bool     `json:"try_only,omitempty"`
 }
 
-// BatchSummary is the final NDJSON line of a batch response.
+// BatchSummary is the final NDJSON line of a batch response. TryOnly
+// echoes the request's read-path mode: counts are would-admit
+// answers and the session was not mutated.
 type BatchSummary struct {
 	Done        bool `json:"done"`
 	Admitted    int  `json:"admitted"`
@@ -176,4 +186,5 @@ type BatchSummary struct {
 	Schedulable bool `json:"schedulable"`
 	TaskCount   int  `json:"task_count"`
 	Canceled    bool `json:"canceled,omitempty"`
+	TryOnly     bool `json:"try_only,omitempty"`
 }

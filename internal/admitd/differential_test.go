@@ -248,6 +248,50 @@ func driveClientE2E(t *testing.T, c *client.Client) {
 		t.Fatalf("batch: %d verdicts, %+v, %v", verdicts, sum, err)
 	}
 
+	// Try-only batch: the concurrent read path — nothing committed,
+	// summary stamped try_only, task count unchanged.
+	before := sum.TaskCount
+	stream, err = sess.Batch(ctx, api.BatchRequest{
+		Generate: &api.TaskGen{N: 6, TotalUtilization: 0.8, Seed: 9}, TryOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verdicts = 0
+	for stream.Next() {
+		verdicts++
+	}
+	trySum, err := stream.Summary()
+	stream.Close()
+	if err != nil || verdicts != 6 || !trySum.TryOnly || trySum.TaskCount != before {
+		t.Fatalf("try-only batch: %d verdicts, %+v, %v", verdicts, trySum, err)
+	}
+
+	// A held probe rejects a committing batch with the branchable 409
+	// code through the SDK — but not a try-only (read) batch. The
+	// explicit core holds the probe regardless of its verdict.
+	core0 := 0
+	hv, err := sess.Try(ctx, api.AdmitRequest{Task: api.Task{ID: 40, WCETNs: 1e6, PeriodNs: 1e7, Priority: 40}, Core: &core0, Hold: true})
+	if err != nil || !hv.Pending {
+		t.Fatalf("hold try: %+v, %v", hv, err)
+	}
+	if _, err := sess.Batch(ctx, api.BatchRequest{Generate: &api.TaskGen{N: 2, TotalUtilization: 0.2, Seed: 4}}); !api.IsCode(err, api.CodeProbePending) {
+		t.Fatalf("batch under held probe: %v", err)
+	}
+	stream, err = sess.Batch(ctx, api.BatchRequest{Generate: &api.TaskGen{N: 2, TotalUtilization: 0.2, Seed: 4}, TryOnly: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for stream.Next() {
+	}
+	if _, err := stream.Summary(); err != nil {
+		t.Fatalf("try-only batch under held probe must serve: %v", err)
+	}
+	stream.Close()
+	if _, err := sess.Rollback(ctx); err != nil {
+		t.Fatal(err)
+	}
+
 	// EDF split through the SDK.
 	esess, err := c.CreateSession(ctx, api.CreateSessionRequest{Name: "e", Cores: 2, Policy: "edf", Model: json.RawMessage(`"zero"`)})
 	if err != nil {

@@ -36,4 +36,40 @@ func TestAdmitdLoad(t *testing.T) {
 	if stats.Admitted == 0 || stats.Tries == 0 || stats.Removes == 0 {
 		t.Fatalf("degenerate mix: %v", stats)
 	}
+	if stats.ReadLatency.N == 0 || stats.WriteLatency.N == 0 || stats.ReadLatency.P99 < stats.ReadLatency.P50 {
+		t.Fatalf("degenerate latency report: %v", stats)
+	}
+}
+
+// TestAdmitdLoadReadHeavy drives the 90/10 read-heavy mix — the
+// workload shape the lock-free read path exists for — and checks the
+// mix parser's error paths.
+func TestAdmitdLoadReadHeavy(t *testing.T) {
+	for _, bad := range []string{"90", "90/20", "-1/101", "x/y", "90/10/50", "90/10x", " 90/10"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Fatalf("mix %q must be rejected", bad)
+		}
+	}
+	cfg := LoadConfig{Sessions: 8, Requests: 4_000, Cores: 4, TasksPerSession: 12, Seed: 2, Mix: "90/10"}
+	if testing.Short() {
+		cfg.Requests = 1_500
+	}
+	srv, err := New(Config{MaxSessions: 2 * cfg.Sessions})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	stats, err := RunLoad(context.Background(), client.InProcess(srv), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(stats)
+	if stats.Errors != 0 {
+		t.Fatalf("%d unexpected errors", stats.Errors)
+	}
+	reads := int64(stats.ReadLatency.N)
+	writes := int64(stats.WriteLatency.N)
+	if reads+writes != stats.Requests || reads < 8*writes {
+		t.Fatalf("mix drifted: %d reads, %d writes of %d", reads, writes, stats.Requests)
+	}
 }

@@ -4,6 +4,9 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +40,63 @@ type LoadConfig struct {
 	Policy string
 	// Seed makes the generated workload deterministic.
 	Seed int64
+	// Mix is the read/write split as "R/W" percentages, e.g. "90/10":
+	// R percent of requests are reads (try/state/stats — the server's
+	// lock-free snapshot path), W percent writes (admit/remove — the
+	// serialized actor path). Empty means "60/40", matching the
+	// historical mix. Within reads: 70% try, 20% state, 10% stats;
+	// within writes: admit and remove alternate by availability.
+	Mix string
+}
+
+// parseMix validates "R/W" (strictly — no trailing input) and
+// returns the read percentage.
+func parseMix(mix string) (int, error) {
+	if mix == "" {
+		return 60, nil
+	}
+	rs, ws, ok := strings.Cut(mix, "/")
+	if !ok {
+		return 0, fmt.Errorf("loadgen: bad mix %q (want \"R/W\", e.g. 90/10)", mix)
+	}
+	r, err1 := strconv.Atoi(rs)
+	w, err2 := strconv.Atoi(ws)
+	if err1 != nil || err2 != nil {
+		return 0, fmt.Errorf("loadgen: bad mix %q (want \"R/W\", e.g. 90/10)", mix)
+	}
+	if r < 0 || w < 0 || r+w != 100 {
+		return 0, fmt.Errorf("loadgen: mix %q must be nonnegative and sum to 100", mix)
+	}
+	return r, nil
+}
+
+// LatencySummary is one op class's latency distribution.
+type LatencySummary struct {
+	N             int
+	P50, P95, P99 time.Duration
+}
+
+// String renders "n=… p50=… p95=… p99=…".
+func (l LatencySummary) String() string {
+	if l.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d p50=%v p95=%v p99=%v",
+		l.N, l.P50.Round(time.Microsecond), l.P95.Round(time.Microsecond), l.P99.Round(time.Microsecond))
+}
+
+// summarize computes percentiles over a latency sample (sorts in
+// place).
+func summarize(lat []time.Duration) LatencySummary {
+	if len(lat) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pick := func(p float64) time.Duration {
+		i := int(p * float64(len(lat)-1))
+		return lat[i]
+	}
+	return LatencySummary{N: len(lat), P50: pick(0.50), P95: pick(0.95), P99: pick(0.99)}
 }
 
 // LoadStats summarizes a load run (a local report, not a wire type —
@@ -49,6 +109,10 @@ type LoadStats struct {
 	Tries    int64
 	Removes  int64
 	Elapsed  time.Duration
+	// Per-op-class latency percentiles: reads ride the lock-free
+	// snapshot path, writes the session actor.
+	ReadLatency  LatencySummary
+	WriteLatency LatencySummary
 }
 
 // Throughput is requests per second.
@@ -61,9 +125,10 @@ func (ls *LoadStats) Throughput() float64 {
 
 // String renders the run for CLI output.
 func (ls *LoadStats) String() string {
-	return fmt.Sprintf("%d requests in %v (%.0f req/s): %d admitted, %d rejected, %d tries, %d removes, %d errors",
+	return fmt.Sprintf("%d requests in %v (%.0f req/s): %d admitted, %d rejected, %d tries, %d removes, %d errors\n  reads  (snapshot path): %v\n  writes (actor path):    %v",
 		ls.Requests, ls.Elapsed.Round(time.Millisecond), ls.Throughput(),
-		ls.Admitted, ls.Rejected, ls.Tries, ls.Removes, ls.Errors)
+		ls.Admitted, ls.Rejected, ls.Tries, ls.Removes, ls.Errors,
+		ls.ReadLatency, ls.WriteLatency)
 }
 
 // RunLoad drives a mixed admission workload — admit, try, remove,
@@ -92,7 +157,11 @@ func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats,
 	if cfg.TasksPerSession <= 0 {
 		cfg.TasksPerSession = 12
 	}
-	lg := &loadGen{cfg: cfg, c: c}
+	readPct, err := parseMix(cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	lg := &loadGen{cfg: cfg, c: c, readPct: readPct}
 	if err := lg.seed(ctx); err != nil {
 		return nil, err
 	}
@@ -100,6 +169,9 @@ func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats,
 	var wg sync.WaitGroup
 	per := cfg.Requests / cfg.Workers
 	extra := cfg.Requests % cfg.Workers
+	// Per-worker latency samples (contention-free; merged at the end).
+	readLat := make([][]time.Duration, cfg.Workers)
+	writeLat := make([][]time.Duration, cfg.Workers)
 	for wi := 0; wi < cfg.Workers; wi++ {
 		n := per
 		if wi < extra {
@@ -110,12 +182,26 @@ func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats,
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(wi)*7919))
 			for i := 0; i < n && ctx.Err() == nil; i++ {
-				lg.one(ctx, rng)
+				t0 := time.Now()
+				isRead := lg.one(ctx, rng)
+				d := time.Since(t0)
+				if isRead {
+					readLat[wi] = append(readLat[wi], d)
+				} else {
+					writeLat[wi] = append(writeLat[wi], d)
+				}
 			}
 		}(wi, n)
 	}
 	wg.Wait()
 	lg.stats.Elapsed = time.Since(start)
+	var allR, allW []time.Duration
+	for wi := range readLat {
+		allR = append(allR, readLat[wi]...)
+		allW = append(allW, writeLat[wi]...)
+	}
+	lg.stats.ReadLatency = summarize(allR)
+	lg.stats.WriteLatency = summarize(allW)
 	lg.stats.Requests = lg.requests.Load()
 	lg.stats.Errors = lg.errors.Load()
 	lg.stats.Admitted = lg.admitted.Load()
@@ -129,8 +215,9 @@ func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats,
 }
 
 type loadGen struct {
-	cfg LoadConfig
-	c   *client.Client
+	cfg     LoadConfig
+	c       *client.Client
+	readPct int // percentage of requests that are reads
 
 	// sessions holds one shared handle per seeded session; nextID[s]
 	// hands out unique task IDs, and a rolling window of recent IDs
@@ -184,62 +271,71 @@ func (lg *loadGen) seed(ctx context.Context) error {
 	return nil
 }
 
-// one issues a single request from the mix.
-func (lg *loadGen) one(ctx context.Context, rng *rand.Rand) {
+// one issues a single request from the mix; reports whether it was a
+// read (snapshot path) or a write (actor path).
+func (lg *loadGen) one(ctx context.Context, rng *rand.Rand) bool {
 	si := rng.Intn(lg.cfg.Sessions)
 	sess := lg.sessions[si]
 	var err error
-	switch kind := rng.Intn(10); {
-	case kind < 2: // admit (first-fit) a small task, then forget about it later
-		id := lg.nextID[si].Add(1)
-		var v api.Verdict
-		v, err = sess.Admit(ctx, api.AdmitRequest{Task: lg.smallTask(id, rng)})
-		if err == nil {
-			if v.Admitted {
-				lg.admitted.Add(1)
-			} else {
-				lg.rejected.Add(1)
-			}
+	isRead := rng.Intn(100) < lg.readPct
+	if isRead {
+		switch kind := rng.Intn(10); {
+		case kind < 7: // try (probe-only): the snapshot-path hot loop
+			id := int64(1 << 40) // never admitted, so never a duplicate
+			_, err = sess.Try(ctx, api.AdmitRequest{Task: lg.smallTask(id, rng)})
+			lg.tries.Add(1)
+		case kind < 9: // state
+			_, err = sess.State(ctx)
+		default: // stats
+			_, err = sess.Stats(ctx)
 		}
-	case kind < 4: // remove one of the recently admitted tasks
+	} else {
+		// Writes alternate: admit a fresh small task, or remove one of
+		// the recently admitted (an expected miss is not an error).
 		lo := int64(lg.cfg.TasksPerSession) + 1000
 		hi := lg.nextID[si].Load()
-		if hi <= lo {
-			_, err = sess.State(ctx)
-			break
+		if rng.Intn(2) == 0 || hi <= lo {
+			id := lg.nextID[si].Add(1)
+			var v api.Verdict
+			v, err = sess.Admit(ctx, api.AdmitRequest{Task: lg.smallTask(id, rng)})
+			if err == nil {
+				if v.Admitted {
+					lg.admitted.Add(1)
+				} else {
+					lg.rejected.Add(1)
+				}
+			}
+		} else {
+			id := lo + 1 + rng.Int63n(hi-lo)
+			_, err = sess.Remove(ctx, id)
+			if api.IsCode(err, api.CodeUnknownTask) {
+				err = nil // already removed / never admitted: an expected miss
+			}
+			lg.removes.Add(1)
 		}
-		id := lo + 1 + rng.Int63n(hi-lo)
-		_, err = sess.Remove(ctx, id)
-		if api.IsCode(err, api.CodeUnknownTask) {
-			err = nil // already removed / never admitted: an expected miss
-		}
-		lg.removes.Add(1)
-	case kind < 8: // try (probe-only): the warm-path hot loop
-		id := int64(1 << 40) // never admitted, so never a duplicate
-		_, err = sess.Try(ctx, api.AdmitRequest{Task: lg.smallTask(id, rng)})
-		lg.tries.Add(1)
-	case kind < 9: // state
-		_, err = sess.State(ctx)
-	default: // stats
-		_, err = sess.Stats(ctx)
 	}
 	lg.requests.Add(1)
 	if err != nil {
 		lg.errors.Add(1)
 	}
+	return isRead
 }
 
-// smallTask draws a light task (≤2% core utilization) so sessions
-// stay schedulable while the mix churns.
+// smallTask draws a light task (≤2% core utilization) from a finite
+// catalog of task classes — discrete periods, budgets and priority
+// bands, the shape of real admission traffic (task *types*, not
+// unique tasks). Sessions stay schedulable while the mix churns, and
+// repeated try probes of the same class hit the server's snapshot
+// probe memo the way production traffic would.
 func (lg *loadGen) smallTask(id int64, rng *rand.Rand) api.Task {
-	periodMs := int64(20 + rng.Intn(200))
+	periodMs := int64(20 * (1 + rng.Intn(10))) // 20ms..200ms in 20ms steps
 	period := periodMs * int64(time.Millisecond)
-	wcet := period / int64(50+rng.Intn(50))
+	wcet := period / int64(50+10*rng.Intn(5))
 	if wcet < 1000 {
 		wcet = 1000
 	}
 	return api.Task{
 		ID: id, WCETNs: wcet, PeriodNs: period,
-		Priority: int(1000 + id%1000), WSS: 64 << 10,
+		Priority: int(1000 + id%16), WSS: 64 << 10,
 	}
 }

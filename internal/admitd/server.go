@@ -70,7 +70,7 @@ func New(cfg Config) (*Server, error) {
 		}
 		return sess.admitLocked(req)
 	}))
-	s.mux.HandleFunc(op(api.OpTry), s.sessionVerdict((*Session).tryLocked))
+	s.mux.HandleFunc(op(api.OpTry), s.handleTry)
 	s.mux.HandleFunc(op(api.OpSplit), s.handleSplit)
 	s.mux.HandleFunc(op(api.OpCommit), s.handleResolve((*Session).commitLocked))
 	s.mux.HandleFunc(op(api.OpRollback), s.handleResolve((*Session).rollbackLocked))
@@ -206,13 +206,16 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, api.SessionList{Sessions: names, Count: len(names)})
 }
 
+// handleState serves committed state from the published snapshot —
+// the lock-free read path; it never enters the session actor.
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(w, r)
 	if sess == nil {
 		return
 	}
-	var resp api.State
-	if !callSession(w, sess, func() { resp = sess.stateLocked() }) {
+	resp, err := sess.stateRead()
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, resp)
@@ -251,6 +254,36 @@ func (s *Server) sessionVerdict(op func(*Session, api.AdmitRequest) (api.Verdict
 		}
 		writeJSON(w, http.StatusOK, resp)
 	}
+}
+
+// handleTry routes admission queries: a non-holding try is a pure
+// read, served concurrently from the published snapshot without
+// entering the actor (a held probe elsewhere does not block it); a
+// holding try mutates held-probe state and stays on the actor.
+func (s *Server) handleTry(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	var req api.AdmitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	var resp api.Verdict
+	var opErr error
+	if req.Hold {
+		if !callSession(w, sess, func() { resp, opErr = sess.tryLocked(req) }) {
+			return
+		}
+	} else {
+		resp, opErr = sess.tryRead(req)
+	}
+	if opErr != nil {
+		writeError(w, opErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSplit(w http.ResponseWriter, r *http.Request) {
@@ -318,25 +351,27 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 
 // --- stats -----------------------------------------------------------
 
+// handleSessionStats serves session counters lock-free: every field
+// is an atomic, the republished writer-side counters, or the read
+// path's own collector — no actor round trip.
 func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(w, r)
 	if sess == nil {
 		return
 	}
-	var resp api.SessionStats
-	if !callSession(w, sess, func() {
-		resp = api.SessionStats{
-			Name:      sess.name,
-			Tasks:     len(sess.tasks),
-			Admitted:  sess.admitted.Load(),
-			Rejected:  sess.rejected.Load(),
-			Removed:   sess.removed.Load(),
-			Admission: report.AdmissionJSON(sess.statsLocked()),
-		}
-	}) {
+	admission, err := sess.statsRead()
+	if err != nil {
+		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, api.SessionStats{
+		Name:      sess.name,
+		Tasks:     int(sess.nTasks.Load()),
+		Admitted:  sess.admitted.Load(),
+		Rejected:  sess.rejected.Load(),
+		Removed:   sess.removed.Load(),
+		Admission: report.AdmissionJSON(admission),
+	})
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -372,21 +407,34 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
+	streaming := false
+	emit := func(v api.Verdict) {
+		streaming = true
+		_ = enc.Encode(v) //nolint:errcheck // stream best-effort; summary still lands
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	var sum api.BatchSummary
 	var opErr error
-	ok := callSession(w, sess, func() {
-		sum, opErr = sess.batchLocked(r.Context(), req, func(v api.Verdict) {
-			_ = enc.Encode(v) //nolint:errcheck // stream best-effort; summary still lands
-			if flusher != nil {
-				flusher.Flush()
-			}
-		})
-	})
-	if !ok {
+	if req.TryOnly {
+		// Read path: probes fan out over a worker pool against one
+		// snapshot; nothing enters the actor, nothing commits.
+		sum, opErr = sess.batchTryRead(r.Context(), req, emit)
+	} else if !callSession(w, sess, func() {
+		sum, opErr = sess.batchLocked(r.Context(), req, emit)
+	}) {
 		return
 	}
 	if opErr != nil {
-		// Headers are sent; deliver the error envelope as the final line.
+		if !streaming {
+			// Nothing emitted yet (a pre-flight rejection such as
+			// probe_pending): the envelope can carry its real status.
+			writeError(w, opErr)
+			return
+		}
+		// Mid-stream failure: headers are sent; deliver the error
+		// envelope as the final NDJSON line.
 		_ = enc.Encode(toAPIError(opErr)) //nolint:errcheck
 		return
 	}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -38,22 +39,38 @@ const (
 	pendSplit
 )
 
-// Session is one live cluster session: an evolving assignment, the
-// incremental admission context bound to it, and the actor goroutine
-// that serializes every request against them. All fields below mu are
-// owned by the actor; the HTTP layer only ever touches them through
-// call.
+// Session is one live cluster session, split into two paths:
+//
+//   - The write path — admit, split, commit, rollback, remove, and
+//     anything touching the held-probe protocol — is serialized by
+//     the actor goroutine, exactly as before.
+//   - The read path — non-holding try, state, stats, and try-only
+//     batches — never enters the actor: it forks the context's
+//     latest published snapshot (analysis.Snapshot, an atomic load)
+//     and answers from that immutable committed state, so any number
+//     of goroutines read concurrently while the actor commits.
+//
+// Mutable fields the read path needs are mirrored in atomics
+// (pendFlag, nTasks, pubStats) or concurrent structures (tasks); the
+// actor owns their updates. Everything else below mu is actor-owned.
 type Session struct {
 	name   string
 	policy task.Policy
 	model  *overhead.Model
 
-	a     *task.Assignment
-	actx  analysis.Context
-	tasks map[task.ID]bool
+	a    *task.Assignment
+	actx analysis.Context
 
-	// Held-probe state (the two-phase try/commit|rollback protocol).
+	// tasks is the committed task-ID set: actor-written, read
+	// lock-free by the read path's duplicate checks. nTasks mirrors
+	// its size.
+	tasks  sync.Map // task.ID -> struct{}
+	nTasks atomic.Int64
+
+	// Held-probe state (the two-phase try/commit|rollback protocol);
+	// actor-owned, with pendFlag mirroring pendKind for the read path.
 	pendKind  int
+	pendFlag  atomic.Int32
 	pendFits  bool
 	pendTask  *task.Task
 	pendSplit *task.Split
@@ -64,13 +81,32 @@ type Session struct {
 	// baseStats carries admission counters restored from a snapshot,
 	// so eviction/restore cycles don't zero the reported totals.
 	baseStats analysis.AdmissionStats
+	// pubStats is the writer-side context counters as of the last
+	// actor operation, republished by the actor loop so the stats
+	// read path never touches the actor-owned context counters.
+	pubStats atomic.Pointer[analysis.AdmissionStats]
+
+	// stateCache memoizes the rendered committed state per snapshot
+	// sequence, so repeated state reads between commits are O(1).
+	stateCache atomic.Pointer[stateCacheEntry]
 
 	lastUsed atomic.Int64 // store's logical clock at last touch
 
 	mu     sync.Mutex
 	closed bool
-	reqs   chan *sessionCall
-	done   chan struct{}
+	// closedFlag mirrors closed for the read path, which never takes
+	// mu: reads against an evicted/deleted session get the same
+	// session_closed contract as writes.
+	closedFlag atomic.Bool
+	reqs       chan *sessionCall
+	done       chan struct{}
+}
+
+// stateCacheEntry is one rendered committed state (body only; the
+// probe-pending overlay is stamped per request).
+type stateCacheEntry struct {
+	seq int64
+	st  api.State
 }
 
 type sessionCall struct {
@@ -89,7 +125,6 @@ func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assig
 		model:  model,
 		a:      a,
 		actx:   analysis.ForPolicy(p).NewContext(a, model),
-		tasks:  make(map[task.ID]bool),
 		reqs:   make(chan *sessionCall, 16),
 		done:   make(chan struct{}),
 	}
@@ -98,21 +133,47 @@ func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assig
 	}
 	for _, ts := range a.Normal {
 		for _, t := range ts {
-			s.tasks[t.ID] = true
+			s.registerTask(t.ID)
 		}
 	}
 	for _, sp := range a.Splits {
-		s.tasks[sp.Task.ID] = true
+		s.registerTask(sp.Task.ID)
 	}
+	s.pubStats.Store(&analysis.AdmissionStats{})
+	// Engage snapshot publication before any reader can reach the
+	// session (the first Fork must not race the actor).
+	s.actx.Fork()
 	go s.loop()
 	return s
 }
 
+// registerTask / unregisterTask maintain the lock-free committed
+// task-ID set (actor side, except during construction).
+func (s *Session) registerTask(id task.ID) {
+	s.tasks.Store(id, struct{}{})
+	s.nTasks.Add(1)
+}
+
+func (s *Session) unregisterTask(id task.ID) {
+	s.tasks.Delete(id)
+	s.nTasks.Add(-1)
+}
+
+// hasTask is the read-path duplicate check.
+func (s *Session) hasTask(id task.ID) bool {
+	_, ok := s.tasks.Load(id)
+	return ok
+}
+
 // loop is the actor: it owns the context and runs every request in
-// arrival order, so per-session state needs no further locking.
+// arrival order, so per-session state needs no further locking. After
+// each request it republishes the writer-side admission counters for
+// the lock-free stats read path.
 func (s *Session) loop() {
 	for c := range s.reqs {
 		c.f()
+		st := s.actx.Stats()
+		s.pubStats.Store(&st)
 		close(c.done)
 	}
 	close(s.done)
@@ -139,6 +200,7 @@ func (s *Session) close() {
 	s.mu.Lock()
 	if !s.closed {
 		s.closed = true
+		s.closedFlag.Store(true)
 		close(s.reqs)
 	}
 	s.mu.Unlock()
@@ -157,7 +219,7 @@ func (s *Session) admitLocked(req api.AdmitRequest) (api.Verdict, error) {
 	if err != nil {
 		return api.Verdict{}, err
 	}
-	if s.tasks[t.ID] {
+	if s.hasTask(t.ID) {
 		return api.Verdict{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
 	}
 	resp := api.Verdict{TaskID: int64(t.ID), Core: -1}
@@ -202,13 +264,13 @@ func (s *Session) tryLocked(req api.AdmitRequest) (api.Verdict, error) {
 	if err != nil {
 		return api.Verdict{}, err
 	}
-	if s.tasks[t.ID] {
+	if s.hasTask(t.ID) {
 		return api.Verdict{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
 	}
 	resp := api.Verdict{TaskID: int64(t.ID), Core: -1}
 	hold := func(c int) {
 		resp.Pending = true
-		s.pendKind = pendPlace
+		s.setPend(pendPlace)
 		s.pendFits = resp.Admitted
 		s.pendTask, s.pendCore = t, c
 	}
@@ -254,7 +316,7 @@ func (s *Session) splitLocked(req api.SplitRequest, hold bool) (api.Verdict, err
 	if err != nil {
 		return api.Verdict{}, err
 	}
-	if s.tasks[sp.Task.ID] {
+	if s.hasTask(sp.Task.ID) {
 		return api.Verdict{}, fmt.Errorf("%w: %d", ErrDuplicateTask, sp.Task.ID)
 	}
 	for _, p := range sp.Parts {
@@ -277,15 +339,19 @@ func (s *Session) resolveProbe(resp *api.Verdict, hold bool, t *task.Task, sp *t
 		s.pendFits = resp.Admitted
 		s.pendTask, s.pendSplit, s.pendCore = t, sp, core
 		if sp != nil {
-			s.pendKind = pendSplit
+			s.setPend(pendSplit)
 		} else {
-			s.pendKind = pendPlace
+			s.setPend(pendPlace)
 		}
 		return
 	}
 	if resp.Admitted {
-		s.actx.Commit()
+		// Register before Commit publishes the grown snapshot: a
+		// concurrent read in the window then sees duplicate_task —
+		// linearizable as ordered after the admission — rather than a
+		// snapshot containing a task the duplicate check missed.
 		s.registerAdmitted(t, sp)
+		s.actx.Commit()
 	} else {
 		s.actx.Rollback()
 		s.rejected.Add(1)
@@ -295,9 +361,9 @@ func (s *Session) resolveProbe(resp *api.Verdict, hold bool, t *task.Task, sp *t
 // registerAdmitted records a committed admission.
 func (s *Session) registerAdmitted(t *task.Task, sp *task.Split) {
 	if sp != nil {
-		s.tasks[sp.Task.ID] = true
+		s.registerTask(sp.Task.ID)
 	} else {
-		s.tasks[t.ID] = true
+		s.registerTask(t.ID)
 	}
 	s.admitted.Add(1)
 }
@@ -322,8 +388,9 @@ func (s *Session) commitLocked() (api.Verdict, error) {
 	} else {
 		resp.TaskID = int64(s.pendTask.ID)
 	}
-	s.actx.Commit()
+	// Register before the publishing Commit (see resolveProbe).
 	s.registerAdmitted(s.pendTask, s.pendSplit)
+	s.actx.Commit()
 	s.clearPending()
 	return resp, nil
 }
@@ -346,7 +413,8 @@ func (s *Session) rollbackLocked() (api.Verdict, error) {
 }
 
 func (s *Session) clearPending() {
-	s.pendKind, s.pendFits = pendNone, false
+	s.setPend(pendNone)
+	s.pendFits = false
 	s.pendTask, s.pendSplit, s.pendCore = nil, nil, -1
 }
 
@@ -356,77 +424,128 @@ func (s *Session) removeLocked(id task.ID) error {
 	if s.pendKind != pendNone {
 		return ErrProbePending
 	}
-	if !s.tasks[id] {
+	if !s.hasTask(id) {
 		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
 	}
 	if !s.actx.Remove(id) {
 		return fmt.Errorf("%w: %d", ErrUnknownTask, id)
 	}
-	delete(s.tasks, id)
+	// Unregister after Remove published the shrunken snapshot: a
+	// concurrent read of the same ID in the window sees
+	// duplicate_task, linearizable as ordered before the removal
+	// (the inverse of the admit ordering in resolveProbe).
+	s.unregisterTask(id)
 	s.removed.Add(1)
 	return nil
 }
 
-// stateLocked renders the committed assignment. A held probe's
-// tentative mutation lives provisionally inside the assignment
-// (TryPlace/TrySplit mutate in place until Commit/Rollback), so it
-// is filtered out here: state always describes committed state only.
-func (s *Session) stateLocked() api.State {
-	resp := api.State{
-		Name:         s.name,
-		Cores:        s.a.NumCores,
-		Policy:       policyName(s.policy),
-		ProbePending: s.pendKind != pendNone,
-	}
-	tentTask, tentSplit := s.pendTask, s.pendSplit
-	for c := 0; c < s.a.NumCores; c++ {
-		u := 0.0
-		for _, t := range s.a.Normal[c] {
-			if t == tentTask {
-				continue
-			}
-			resp.Tasks = append(resp.Tasks, fromTask(t, c))
-			u += t.Utilization()
-		}
-		for _, sp := range s.a.Splits {
-			if sp == tentSplit {
-				continue
-			}
-			for _, p := range sp.Parts {
-				if p.Core == c {
-					u += float64(p.Budget) / float64(sp.Task.Period)
-				}
-			}
-		}
-		resp.CoreUtilization = append(resp.CoreUtilization, u)
-	}
-	for _, sp := range s.a.Splits {
-		if sp == tentSplit {
-			continue
-		}
-		resp.Splits = append(resp.Splits, fromSplit(sp))
-	}
-	if s.pendKind == pendNone {
-		ok := s.actx.Schedulable()
-		resp.Schedulable = &ok
-	}
-	return resp
+// setPend records the held-probe kind, mirroring it into the atomic
+// flag the read path consults. Actor-only.
+func (s *Session) setPend(kind int) {
+	s.pendKind = kind
+	s.pendFlag.Store(int32(kind))
 }
 
-// statsLocked returns this session's admission counters: the live
-// context counters plus whatever a snapshot restore carried over.
-func (s *Session) statsLocked() analysis.AdmissionStats {
-	st := s.actx.Stats()
-	b := s.baseStats
-	return analysis.AdmissionStats{
-		Probes:       st.Probes + b.Probes,
-		FullTests:    st.FullTests + b.FullTests,
-		CoreTests:    st.CoreTests + b.CoreTests,
-		VerdictHits:  st.VerdictHits + b.VerdictHits,
-		FPSolves:     st.FPSolves + b.FPSolves,
-		FPIterations: st.FPIterations + b.FPIterations,
-		WarmStarts:   st.WarmStarts + b.WarmStarts,
+// --- the lock-free read path -----------------------------------------
+//
+// Everything below runs on arbitrary goroutines, concurrently with
+// the actor: it only ever touches the context's published snapshot
+// (analysis.Snapshot — immutable), the session's atomics and the
+// concurrent task-ID set. A held probe never blocks reads — its
+// tentative mutation is uncommitted, so the committed snapshot is
+// exactly the state reads should describe.
+
+// tryRead answers a non-holding admission query from the latest
+// published snapshot, without entering the actor.
+func (s *Session) tryRead(req api.AdmitRequest) (api.Verdict, error) {
+	if s.closedFlag.Load() {
+		return api.Verdict{}, ErrSessionClosed
 	}
+	t, err := toTask(req.Task, s.policy)
+	if err != nil {
+		return api.Verdict{}, err
+	}
+	if s.hasTask(t.ID) {
+		return api.Verdict{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
+	}
+	snap := s.actx.Fork()
+	resp := api.Verdict{TaskID: int64(t.ID), Core: -1}
+	if req.Core != nil {
+		c := *req.Core
+		if c < 0 || c >= snap.NumCores() {
+			return api.Verdict{}, fmt.Errorf("core %d out of range (%d cores)", c, snap.NumCores())
+		}
+		resp.Probes = 1
+		resp.Admitted = snap.TryPlace(t, c)
+		if resp.Admitted {
+			resp.Core = c
+		}
+		return resp, nil
+	}
+	for c := 0; c < snap.NumCores(); c++ {
+		resp.Probes++
+		if snap.TryPlace(t, c) {
+			resp.Admitted, resp.Core = true, c
+			return resp, nil
+		}
+	}
+	return resp, nil
+}
+
+// stateRead renders the committed assignment from the latest
+// published snapshot. The body is memoized per snapshot sequence —
+// repeated reads between commits are O(1) — with the probe-pending
+// overlay stamped per request (the full test is omitted while a
+// probe is held, matching the historical actor-path contract).
+func (s *Session) stateRead() (api.State, error) {
+	if s.closedFlag.Load() {
+		return api.State{}, ErrSessionClosed
+	}
+	snap := s.actx.Fork()
+	var body api.State
+	if e := s.stateCache.Load(); e != nil && e.seq == snap.Seq() {
+		body = e.st
+	} else {
+		body = api.State{
+			Name:   s.name,
+			Cores:  snap.NumCores(),
+			Policy: policyName(s.policy),
+		}
+		snap.RangeTasks(func(t *task.Task, c int) {
+			body.Tasks = append(body.Tasks, fromTask(t, c))
+		})
+		snap.RangeSplits(func(sp *task.Split) {
+			body.Splits = append(body.Splits, fromSplit(sp))
+		})
+		body.CoreUtilization = snap.CoreUtilization()
+		s.stateCache.Store(&stateCacheEntry{seq: snap.Seq(), st: body})
+	}
+	if s.pendFlag.Load() == pendNone {
+		ok := snap.Schedulable()
+		body.Schedulable = &ok
+	} else {
+		body.Schedulable = nil
+		body.ProbePending = true
+	}
+	return body, nil
+}
+
+// statsRead returns the session's admission counters without the
+// actor: the writer-side counters as republished after the last actor
+// operation, the read path's own counters, and whatever a snapshot
+// restore carried over.
+func (s *Session) statsRead() (analysis.AdmissionStats, error) {
+	if s.closedFlag.Load() {
+		return analysis.AdmissionStats{}, ErrSessionClosed
+	}
+	return s.pubStats.Load().Add(s.actx.ReadStats()).Add(s.baseStats), nil
+}
+
+// statsLocked returns this session's admission counters on the actor
+// (snapshotting uses it: it must see the very latest writer counters,
+// not the last republished ones).
+func (s *Session) statsLocked() analysis.AdmissionStats {
+	return s.actx.Stats().Add(s.actx.ReadStats()).Add(s.baseStats)
 }
 
 // batchLocked admits a whole set task by task, emitting one verdict
@@ -435,41 +554,9 @@ func (s *Session) batchLocked(ctx context.Context, req api.BatchRequest, emit fu
 	if s.pendKind != pendNone {
 		return api.BatchSummary{}, ErrProbePending
 	}
-	var wire []api.Task
-	switch {
-	case req.Generate != nil && len(req.Tasks) > 0:
-		return api.BatchSummary{}, fmt.Errorf("batch: tasks and generate are mutually exclusive")
-	case req.Generate != nil:
-		cfg, err := toTaskGen(req.Generate)
-		if err != nil {
-			return api.BatchSummary{}, err
-		}
-		if err := cfg.Validate(); err != nil {
-			return api.BatchSummary{}, err
-		}
-		set := taskgen.New(cfg).Next()
-		base := s.nextFreeID()
-		for i, t := range set.Tasks {
-			j := fromTask(t, -1)
-			j.ID = base + int64(i)
-			wire = append(wire, j)
-		}
-	case len(req.Tasks) > 0:
-		wire = req.Tasks
-	default:
-		return api.BatchSummary{}, fmt.Errorf("batch: need tasks or generate")
-	}
-	if req.Order == "util-desc" {
-		sort.SliceStable(wire, func(i, k int) bool {
-			ui := float64(wire[i].WCETNs) / float64(wire[i].PeriodNs)
-			uk := float64(wire[k].WCETNs) / float64(wire[k].PeriodNs)
-			if ui != uk {
-				return ui > uk
-			}
-			return wire[i].ID < wire[k].ID
-		})
-	} else if req.Order != "" && req.Order != "input" {
-		return api.BatchSummary{}, fmt.Errorf("batch: unknown order %q (input|util-desc)", req.Order)
+	wire, err := s.batchWire(req)
+	if err != nil {
+		return api.BatchSummary{}, err
 	}
 	sum := api.BatchSummary{Done: true}
 	for _, j := range wire {
@@ -491,7 +578,141 @@ func (s *Session) batchLocked(ctx context.Context, req api.BatchRequest, emit fu
 		}
 	}
 	sum.Schedulable = s.actx.Schedulable()
-	sum.TaskCount = len(s.tasks)
+	sum.TaskCount = int(s.nTasks.Load())
+	return sum, nil
+}
+
+// batchWire resolves a batch request to the ordered wire task list:
+// explicit tasks or a server-side generated set, optionally reordered
+// by decreasing utilization. Safe off the actor (the ID scan reads
+// the concurrent task set).
+func (s *Session) batchWire(req api.BatchRequest) ([]api.Task, error) {
+	var wire []api.Task
+	switch {
+	case req.Generate != nil && len(req.Tasks) > 0:
+		return nil, fmt.Errorf("batch: tasks and generate are mutually exclusive")
+	case req.Generate != nil:
+		cfg, err := toTaskGen(req.Generate)
+		if err != nil {
+			return nil, err
+		}
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		set := taskgen.New(cfg).Next()
+		base := s.nextFreeID()
+		for i, t := range set.Tasks {
+			j := fromTask(t, -1)
+			j.ID = base + int64(i)
+			wire = append(wire, j)
+		}
+	case len(req.Tasks) > 0:
+		wire = req.Tasks
+	default:
+		return nil, fmt.Errorf("batch: need tasks or generate")
+	}
+	if req.Order == "util-desc" {
+		sorted := append([]api.Task(nil), wire...)
+		sort.SliceStable(sorted, func(i, k int) bool {
+			ui := float64(sorted[i].WCETNs) / float64(sorted[i].PeriodNs)
+			uk := float64(sorted[k].WCETNs) / float64(sorted[k].PeriodNs)
+			if ui != uk {
+				return ui > uk
+			}
+			return sorted[i].ID < sorted[k].ID
+		})
+		wire = sorted
+	} else if req.Order != "" && req.Order != "input" {
+		return nil, fmt.Errorf("batch: unknown order %q (input|util-desc)", req.Order)
+	}
+	return wire, nil
+}
+
+// batchTryRead is the read-path batch: every task probed first-fit
+// against ONE forked snapshot, fanned across a bounded worker pool,
+// with nothing committed. Verdicts are independent "would this task
+// fit the committed state right now, alone?" answers — successive
+// tasks do not see each other, which is exactly what makes the fan-out
+// safe. Verdicts stream in input order; ctx aborts the remainder.
+func (s *Session) batchTryRead(ctx context.Context, req api.BatchRequest, emit func(api.Verdict)) (api.BatchSummary, error) {
+	if s.closedFlag.Load() {
+		return api.BatchSummary{}, ErrSessionClosed
+	}
+	wire, err := s.batchWire(req)
+	if err != nil {
+		return api.BatchSummary{}, err
+	}
+	// Validate serially first (cheap), so a malformed task fails the
+	// batch the way the actor path would, not mid-stream.
+	tasks := make([]*task.Task, len(wire))
+	for i, j := range wire {
+		t, err := toTask(j, s.policy)
+		if err != nil {
+			return api.BatchSummary{}, err
+		}
+		tasks[i] = t
+	}
+	snap := s.actx.Fork()
+	verdicts := make([]api.Verdict, len(wire))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if workers > len(wire) {
+		workers = len(wire)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(tasks) || ctx.Err() != nil {
+					return
+				}
+				t := tasks[i]
+				v := api.Verdict{TaskID: int64(t.ID), Core: -1}
+				if s.hasTask(t.ID) {
+					// Already admitted: the committed state can't take a
+					// duplicate; report it as not admissible.
+					verdicts[i] = v
+					continue
+				}
+				for c := 0; c < snap.NumCores(); c++ {
+					v.Probes++
+					if snap.TryPlace(t, c) {
+						v.Admitted, v.Core = true, c
+						break
+					}
+				}
+				verdicts[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+	sum := api.BatchSummary{Done: true, TryOnly: true}
+	for i := range verdicts {
+		if verdicts[i].TaskID == 0 {
+			// A worker never reached it: the context was canceled.
+			sum.Canceled = true
+			break
+		}
+		if verdicts[i].Admitted {
+			sum.Admitted++
+		} else {
+			sum.Rejected++
+		}
+		if emit != nil {
+			emit(verdicts[i])
+		}
+	}
+	sum.Schedulable = snap.Schedulable()
+	sum.TaskCount = int(s.nTasks.Load())
 	return sum, nil
 }
 
@@ -499,10 +720,11 @@ func (s *Session) batchLocked(ctx context.Context, req api.BatchRequest, emit fu
 // generated batches never collide with admitted tasks.
 func (s *Session) nextFreeID() int64 {
 	max := int64(0)
-	for id := range s.tasks {
-		if int64(id) > max {
-			max = int64(id)
+	s.tasks.Range(func(k, _ any) bool {
+		if id := int64(k.(task.ID)); id > max {
+			max = id
 		}
-	}
+		return true
+	})
 	return max + 1
 }

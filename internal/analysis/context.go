@@ -94,6 +94,23 @@ type Context interface {
 	// assignment — the finalize check — reusing every per-core verdict
 	// that no mutation invalidated.
 	Schedulable() bool
+	// Fork returns the latest published Snapshot of the committed
+	// state: an immutable view any number of goroutines may probe
+	// concurrently, lock-free. Publication is engaged by the first
+	// Fork — which must therefore run on the owning goroutine (or
+	// before any concurrent use, as admitd does at session creation);
+	// contexts that never fork pay nothing. Once engaged, every
+	// committed mutation (Commit, Place, AddSplit, Remove) publishes a
+	// fresh snapshot — a fork taken between commits is the same
+	// pointer — at O(cores), not O(tasks), thanks to the contexts'
+	// copy-on-write state discipline. After the first call, Fork is a
+	// single atomic load, safe from any goroutine at any time,
+	// including while the owner probes or commits.
+	Fork() Snapshot
+	// ReadStats returns the admission counters accumulated by the
+	// read path — probes served from forked snapshots — since
+	// creation (or the last Flush). Safe to call concurrently.
+	ReadStats() AdmissionStats
 	// Stats returns the counters accumulated by this context since
 	// creation (or the last Flush).
 	Stats() AdmissionStats
@@ -122,6 +139,19 @@ type AdmissionStats struct {
 	// the iterations they took, WarmStarts the solves that began from
 	// a previously converged value.
 	FPSolves, FPIterations, WarmStarts int64
+}
+
+// Add returns s + o, for folding read-path counters into a view.
+func (s AdmissionStats) Add(o AdmissionStats) AdmissionStats {
+	return AdmissionStats{
+		Probes:       s.Probes + o.Probes,
+		FullTests:    s.FullTests + o.FullTests,
+		CoreTests:    s.CoreTests + o.CoreTests,
+		VerdictHits:  s.VerdictHits + o.VerdictHits,
+		FPSolves:     s.FPSolves + o.FPSolves,
+		FPIterations: s.FPIterations + o.FPIterations,
+		WarmStarts:   s.WarmStarts + o.WarmStarts,
+	}
 }
 
 // Sub returns s − o, for before/after snapshots around a sweep.
@@ -203,6 +233,21 @@ func (c *Collector) Snapshot() AdmissionStats {
 	}
 }
 
+// Drain atomically moves the totals out of the collector, returning
+// them and leaving it zeroed. Concurrent Adds are never lost — they
+// land either in the returned stats or in the zeroed collector.
+func (c *Collector) Drain() AdmissionStats {
+	return AdmissionStats{
+		Probes:       c.probes.Swap(0),
+		FullTests:    c.fullTests.Swap(0),
+		CoreTests:    c.coreTests.Swap(0),
+		VerdictHits:  c.verdictHits.Swap(0),
+		FPSolves:     c.fpSolves.Swap(0),
+		FPIterations: c.fpIterations.Swap(0),
+		WarmStarts:   c.warmStarts.Swap(0),
+	}
+}
+
 // totals is the process-wide aggregate, updated by every Flush
 // regardless of attached collectors, so StatsSnapshot remains a
 // whole-process view.
@@ -259,6 +304,17 @@ type ctxBase struct {
 	stats AdmissionStats
 	coll  *Collector // optional per-context sink (SetCollector)
 
+	// readStats accumulates the read path's counters: probes served
+	// from forked snapshots fold their work here atomically. Flush
+	// drains it alongside the writer-side stats.
+	readStats Collector
+
+	// publishing is engaged by the first Fork: until then committed
+	// mutations skip snapshot publication entirely, so fork-free
+	// consumers (the partitioners' packing loops, the sweep pipeline)
+	// pay nothing for the read path.
+	publishing atomic.Bool
+
 	maxN      int   // committed MaxTasksPerCore
 	commitSeq int64 // bumped on every committed mutation
 }
@@ -266,12 +322,14 @@ type ctxBase struct {
 func (b *ctxBase) Analyzer() Analyzer           { return b.an }
 func (b *ctxBase) Assignment() *task.Assignment { return b.a }
 func (b *ctxBase) Stats() AdmissionStats        { return b.stats }
+func (b *ctxBase) ReadStats() AdmissionStats    { return b.readStats.Snapshot() }
 func (b *ctxBase) SetCollector(c *Collector)    { b.coll = c }
 
 func (b *ctxBase) Flush() {
-	totals.Add(b.stats)
+	s := b.stats.Add(b.readStats.Drain())
+	totals.Add(s)
 	if b.coll != nil {
-		b.coll.Add(b.stats)
+		b.coll.Add(s)
 	}
 	b.stats = AdmissionStats{}
 }
@@ -308,14 +366,21 @@ type checkedContext struct {
 
 func (cc *checkedContext) Analyzer() Analyzer           { return cc.ctx.Analyzer() }
 func (cc *checkedContext) Assignment() *task.Assignment { return cc.ctx.Assignment() }
-func (cc *checkedContext) Place(t *task.Task, c int)    { cc.ctx.Place(t, c) }
-func (cc *checkedContext) AddSplit(sp *task.Split)      { cc.ctx.AddSplit(sp) }
-func (cc *checkedContext) Commit()                      { cc.ctx.Commit() }
-func (cc *checkedContext) Rollback()                    { cc.ctx.Rollback() }
-func (cc *checkedContext) Remove(id task.ID) bool       { return cc.ctx.Remove(id) }
-func (cc *checkedContext) Stats() AdmissionStats        { return cc.ctx.Stats() }
-func (cc *checkedContext) SetCollector(c *Collector)    { cc.ctx.SetCollector(c) }
-func (cc *checkedContext) Flush()                       { cc.ctx.Flush() }
+func (cc *checkedContext) ReadStats() AdmissionStats    { return cc.ctx.ReadStats() }
+
+// Fork wraps the inner snapshot so forked decisions are shadowed by
+// the stateless analyzer too.
+func (cc *checkedContext) Fork() Snapshot {
+	return &checkedSnapshot{Snapshot: cc.ctx.Fork(), m: cc.m}
+}
+func (cc *checkedContext) Place(t *task.Task, c int) { cc.ctx.Place(t, c) }
+func (cc *checkedContext) AddSplit(sp *task.Split)   { cc.ctx.AddSplit(sp) }
+func (cc *checkedContext) Commit()                   { cc.ctx.Commit() }
+func (cc *checkedContext) Rollback()                 { cc.ctx.Rollback() }
+func (cc *checkedContext) Remove(id task.ID) bool    { return cc.ctx.Remove(id) }
+func (cc *checkedContext) Stats() AdmissionStats     { return cc.ctx.Stats() }
+func (cc *checkedContext) SetCollector(c *Collector) { cc.ctx.SetCollector(c) }
+func (cc *checkedContext) Flush()                    { cc.ctx.Flush() }
 
 func (cc *checkedContext) TryPlace(t *task.Task, c int) bool {
 	got := cc.ctx.TryPlace(t, c)

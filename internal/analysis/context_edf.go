@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"sync/atomic"
+
 	"repro/internal/overhead"
 	"repro/internal/task"
 	"repro/internal/timeq"
@@ -22,6 +24,12 @@ type edfContext struct {
 
 	lastProbe []edfProbeRecord
 	pend      edfPending
+
+	// pub holds the latest published snapshot (the lock-free read
+	// path), swapped atomically on every committed mutation. EDF
+	// per-core records are O(1) slice headers and memo pointers, so a
+	// publish is O(cores) with no dirty tracking.
+	pub atomic.Pointer[edfSnapshot]
 
 	// scratch
 	probeBuf [][]*Entity
@@ -87,6 +95,53 @@ func newEDFContext(an Analyzer, a *task.Assignment, m *overhead.Model) *edfConte
 	return x
 }
 
+// Fork returns the latest published snapshot; the first call engages
+// publication and must run on the owning goroutine (see the
+// interface contract). Fork-free contexts never publish.
+func (x *edfContext) Fork() Snapshot {
+	if !x.publishing.Load() {
+		x.publish(pubUnknown, false)
+		x.publishing.Store(true)
+	}
+	return x.pub.Load()
+}
+
+// publish builds and atomically installs a fresh snapshot of the
+// committed state. Runs on the owner after every committed mutation.
+// EDF entities are immutable once adopted (no jitters, no warm slots
+// — acceleration lives in the per-core memos, which are never
+// mutated after publication), so every published record shares the
+// committed slices and memo pointers directly.
+func (x *edfContext) publish(hint pubHint, fits bool) {
+	nc := len(x.cores)
+	s := &edfSnapshot{cores: make([]edfSnapCore, nc)}
+	s.captureView(&x.ctxBase, x.commitSeq)
+	s.maxN = x.maxN
+	prev := x.pub.Load()
+	for c := 0; c < nc; c++ {
+		st := &x.cores[c]
+		var memo *edfDemandMemo
+		if x.mono {
+			memo = st.memo
+		}
+		rec := edfSnapCore{ents: st.ents, nNormals: st.nNormals, cacheMax: st.cacheMax, memo: memo, rev: st.rev}
+		// Carry the probe memo over while the core's content and the
+		// global queue bound are unchanged; fresh otherwise.
+		if prev != nil && prev.cores[c].rev == st.rev && prev.maxN == s.maxN && prev.cores[c].probes != nil {
+			rec.probes = prev.cores[c].probes
+		} else {
+			rec.probes = &probeCache{}
+		}
+		s.cores[c] = rec
+	}
+	if prev != nil {
+		s.deriveSched(&prev.snapView, hint, fits, false)
+	} else {
+		s.deriveSched(nil, hint, fits, false)
+	}
+	x.pub.Store(s)
+}
+
 // newEDFEntity mirrors the whole-task entity of edfEntities.
 func newEDFEntity(t *task.Task) *Entity {
 	return &Entity{Task: t, C: t.WCET, T: t.Period, D: t.EffectiveDeadline()}
@@ -118,12 +173,16 @@ func edfSplitEntities(sp *task.Split) ([]*Entity, []int) {
 }
 
 // adoptNormal commits a whole-task entity onto core c, before the
-// split parts (canonical order).
+// split parts (canonical order). Copy-on-write: the committed slice
+// may be shared with published snapshots, so the insert builds a
+// fresh slice instead of shifting in place.
 func (x *edfContext) adoptNormal(e *Entity, c int) {
 	s := &x.cores[c]
-	s.ents = append(s.ents, nil)
-	copy(s.ents[s.nNormals+1:], s.ents[s.nNormals:])
-	s.ents[s.nNormals] = e
+	out := make([]*Entity, len(s.ents)+1)
+	copy(out, s.ents[:s.nNormals])
+	out[s.nNormals] = e
+	copy(out[s.nNormals+1:], s.ents[s.nNormals:])
+	s.ents = out
 	s.nNormals++
 	x.adopted(e, s)
 }
@@ -253,7 +312,14 @@ func (x *edfContext) Commit() {
 		// The probe's entity set is now the committed one.
 		s.memo = x.pend.memo
 	}
+	hint, fits := pubUnknown, false
+	if x.pend.kind == pendPlace {
+		hint, fits = pubAdmitted, x.pend.fits
+	}
 	x.pend = edfPending{}
+	if x.publishing.Load() {
+		x.publish(hint, fits)
+	}
 }
 
 func (x *edfContext) Rollback() {
@@ -292,9 +358,18 @@ func (x *edfContext) Place(t *task.Task, c int) {
 			// adopted entity has identical (D, T), so its enumerated
 			// points and raw count carry over — only the identity in
 			// the covered set must be swapped.
+			// rec.memo was built by the probe and never published, so
+			// the identity swap may mutate it in place.
 			delete(rec.memo.covered, rec.tent)
 			rec.memo.covered[e] = true
 			s.memo = rec.memo
+		}
+	}
+	if x.publishing.Load() {
+		if promote {
+			x.publish(pubAdmitted, true)
+		} else {
+			x.publish(pubUnknown, false)
 		}
 	}
 }
@@ -307,6 +382,9 @@ func (x *edfContext) AddSplit(sp *task.Split) {
 		x.adoptPart(e, cores[i])
 	}
 	x.commitSeq++
+	if x.publishing.Load() {
+		x.publish(pubUnknown, false)
+	}
 }
 
 // dropped records the removal of an entity from core c: CacheMax may
@@ -345,11 +423,11 @@ search:
 			if t.ID != id {
 				continue
 			}
-			x.a.Normal[c] = append(x.a.Normal[c][:i], x.a.Normal[c][i+1:]...)
+			x.a.Normal[c] = removeAtCOW(x.a.Normal[c], i)
 			s := &x.cores[c]
 			for j := 0; j < s.nNormals; j++ {
 				if s.ents[j].Task.ID == id {
-					s.ents = append(s.ents[:j], s.ents[j+1:]...)
+					s.ents = removeAtCOW(s.ents, j)
 					s.nNormals--
 					break
 				}
@@ -364,12 +442,12 @@ search:
 			if sp.Task.ID != id {
 				continue
 			}
-			x.a.Splits = append(x.a.Splits[:si], x.a.Splits[si+1:]...)
+			x.a.Splits = removeAtCOW(x.a.Splits, si)
 			for _, p := range sp.Parts {
 				s := &x.cores[p.Core]
 				for j := s.nNormals; j < len(s.ents); j++ {
 					if s.ents[j].Task.ID == id {
-						s.ents = append(s.ents[:j], s.ents[j+1:]...)
+						s.ents = removeAtCOW(s.ents, j)
 						break
 					}
 				}
@@ -397,6 +475,9 @@ search:
 		}
 	}
 	x.commitSeq++
+	if x.publishing.Load() {
+		x.publish(pubRemoved, false)
+	}
 	return true
 }
 

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/overhead"
 	"repro/internal/task"
@@ -47,6 +48,16 @@ type fpContext struct {
 	lastFailed map[*Entity]bool
 
 	pend fpPending
+
+	// Snapshot publication (the lock-free read path): pub holds the
+	// latest published snapshot, swapped atomically on every committed
+	// mutation; snapDirty marks cores whose published record (entity
+	// slice or warm vector) must be rebuilt rather than reused from
+	// the previous snapshot. Cores hosting chain entities are always
+	// rebuilt (their published entities are clones carrying the
+	// committed jitters).
+	pub       atomic.Pointer[fpSnapshot]
+	snapDirty []bool
 
 	// scratch (reused across probes)
 	views       []*CoreSet
@@ -138,6 +149,7 @@ func newFPContext(an Analyzer, a *task.Assignment, m *overhead.Model) *fpContext
 		views:     make([]*CoreSet, nc),
 		probeBuf:  make([][]*Entity, nc),
 		probeCS:   make([]CoreSet, nc),
+		snapDirty: make([]bool, nc),
 	}
 	x.resolveSeq = -1
 	for c := 0; c < nc; c++ {
@@ -159,6 +171,106 @@ func newFPContext(an Analyzer, a *task.Assignment, m *overhead.Model) *fpContext
 	}
 	return x
 }
+
+// Fork returns the latest published snapshot. The first call engages
+// publication (and must run on the owning goroutine — see the
+// interface contract); afterwards it is a lock-free atomic load from
+// any goroutine. Contexts that never fork never publish: the
+// fork-free packing and sweep hot loops pay nothing.
+func (x *fpContext) Fork() Snapshot {
+	if !x.publishing.Load() {
+		x.publish(pubUnknown, false)
+		x.publishing.Store(true)
+	}
+	return x.pub.Load()
+}
+
+// publish builds and atomically installs a fresh snapshot of the
+// committed state. Runs on the owner after every committed mutation
+// once forking is engaged. Cores neither dirtied nor hosting chain
+// entities reuse the previous snapshot's record — copy-on-write, so
+// the steady-state cost is O(cores) plus the dirtied cores' warm
+// vectors.
+func (x *fpContext) publish(hint pubHint, fits bool) {
+	prev := x.pub.Load()
+	nc := len(x.sets)
+	s := &fpSnapshot{cores: make([]fpSnapCore, nc)}
+	s.captureView(&x.ctxBase, x.commitSeq)
+	s.maxN = x.maxN
+
+	// Clone chain entities once per publish: the owner keeps mutating
+	// the originals' jitters and warm slots, so readers get private
+	// copies with the committed values baked in.
+	var chainCore []bool
+	var cloneOf map[*Entity]*Entity
+	if len(x.chains) > 0 {
+		chainCore = make([]bool, nc)
+		for _, ch := range x.chains {
+			for _, c := range ch.cores {
+				chainCore[c] = true
+			}
+		}
+		cloneOf = make(map[*Entity]*Entity)
+		s.chains = make([]fpSnapChain, 0, len(x.chains))
+		for _, ch := range x.chains {
+			sc := fpSnapChain{sp: ch.sp, cores: ch.cores, ents: make([]*Entity, len(ch.ents))}
+			for i, e := range ch.ents {
+				ce := new(Entity)
+				*ce = *e
+				sc.ents[i] = ce
+				cloneOf[e] = ce
+			}
+			s.chains = append(s.chains, sc)
+		}
+	}
+	for c := 0; c < nc; c++ {
+		onChain := chainCore != nil && chainCore[c]
+		if prev != nil && !x.snapDirty[c] && !onChain && len(prev.cores[c].ents) == len(x.sets[c].Entities) {
+			// Unchanged record: reuse it, probe memo included — but a
+			// changed global queue bound invalidates every memoized
+			// verdict (probeN depends on it).
+			s.cores[c] = prev.cores[c]
+			if s.maxN != prev.maxN {
+				s.cores[c].probes = &probeCache{}
+			}
+			continue
+		}
+		ents := x.sets[c].Entities
+		if onChain {
+			swapped := make([]*Entity, len(ents))
+			for i, e := range ents {
+				if ce, ok := cloneOf[e]; ok {
+					swapped[i] = ce
+				} else {
+					swapped[i] = e
+				}
+			}
+			ents = swapped
+		}
+		rec := fpSnapCore{ents: ents, cacheMax: x.sets[c].CacheMax, probes: &probeCache{}}
+		if x.mono {
+			rec.warm = make([]timeq.Time, len(ents))
+			for i, e := range x.sets[c].Entities {
+				rec.warm[i] = e.warmR
+			}
+		}
+		s.cores[c] = rec
+		x.snapDirty[c] = false
+	}
+	s.deriveSched(prevView(prev), hint, fits, len(x.chains) > 0)
+	x.pub.Store(s)
+}
+
+// prevView unwraps the previous snapshot's shared view (nil-safe).
+func prevView(prev *fpSnapshot) *snapView {
+	if prev == nil {
+		return nil
+	}
+	return &prev.snapView
+}
+
+// markDirty flags core c for rebuild at the next publish.
+func (x *fpContext) markDirty(c int) { x.snapDirty[c] = true }
 
 // newFPEntity mirrors the whole-task entity of BuildCores.
 func newFPEntity(t *task.Task) *Entity {
@@ -198,10 +310,13 @@ func buildFPChain(sp *task.Split) *fpChain {
 	return ch
 }
 
-// adoptEntity commits e onto core c's live set.
+// adoptEntity commits e onto core c's live set. The insert is
+// copy-on-write: committed entity slices are shared with published
+// snapshots, so they are never shifted in place.
 func (x *fpContext) adoptEntity(e *Entity, c int) {
 	s := x.sets[c]
-	s.Entities = insertByPriority(s.Entities, e)
+	s.Entities = insertByPriorityCOW(s.Entities, e)
+	x.markDirty(c)
 	s.invalidateCosts()
 	if d := x.m.Cache.MaxDelay(e.Task.WSS); d > s.CacheMax {
 		s.CacheMax = d
@@ -214,13 +329,26 @@ func (x *fpContext) adoptEntity(e *Entity, c int) {
 
 // insertByPriority inserts e into a priority-sorted entity slice,
 // after any equal-priority entities (matching the stable sort of
-// NewCoreSet over the canonical build order).
+// NewCoreSet over the canonical build order). In place — only for
+// probe scratch buffers no snapshot can reference.
 func insertByPriority(ents []*Entity, e *Entity) []*Entity {
 	i := sort.Search(len(ents), func(k int) bool { return ents[k].LocalPriority > e.LocalPriority })
 	ents = append(ents, nil)
 	copy(ents[i+1:], ents[i:])
 	ents[i] = e
 	return ents
+}
+
+// insertByPriorityCOW is insertByPriority into a freshly allocated
+// slice, leaving the input untouched (it may be shared with published
+// snapshots).
+func insertByPriorityCOW(ents []*Entity, e *Entity) []*Entity {
+	i := sort.Search(len(ents), func(k int) bool { return ents[k].LocalPriority > e.LocalPriority })
+	out := make([]*Entity, len(ents)+1)
+	copy(out, ents[:i])
+	out[i] = e
+	copy(out[i+1:], ents[i:])
+	return out
 }
 
 func (x *fpContext) ensureNoPending(op string) { x.checkNoPending(x.pend.kind, op) }
@@ -500,8 +628,21 @@ func (x *fpContext) Commit() {
 	}
 	pc := x.pend.probeCore
 	x.verdicts[pc] = fpVerdict{valid: true, ok: x.pend.fits, rev: x.revs[pc], n: x.maxN, jGen: x.coreJGen[pc]}
+	// Warm values were promoted on the probed and mutated cores:
+	// their published warm vectors must be recaptured.
+	x.markDirty(pc)
+	for _, d := range x.pend.addCores {
+		x.markDirty(d)
+	}
+	hint, fits := pubUnknown, false
+	if x.pend.kind == pendPlace {
+		hint, fits = pubAdmitted, x.pend.fits
+	}
 	x.inProbe = false
 	x.pend = fpPending{}
+	if x.publishing.Load() {
+		x.publish(hint, fits)
+	}
 }
 
 func (x *fpContext) Rollback() {
@@ -580,6 +721,13 @@ func (x *fpContext) Place(t *task.Task, c int) {
 	} else {
 		x.verdicts[c] = fpVerdict{}
 	}
+	if x.publishing.Load() {
+		if promote {
+			x.publish(pubAdmitted, true)
+		} else {
+			x.publish(pubUnknown, false)
+		}
+	}
 }
 
 func (x *fpContext) AddSplit(sp *task.Split) {
@@ -592,19 +740,24 @@ func (x *fpContext) AddSplit(sp *task.Split) {
 	}
 	x.chains = append(x.chains, ch)
 	x.commitSeq++
+	if x.publishing.Load() {
+		x.publish(pubUnknown, false)
+	}
 }
 
 // dropEntity deletes the first entity on core c matching the
 // predicate, recomputing the core's CacheMax (removal can lower it)
-// and bumping its content revision.
+// and bumping its content revision. Copy-on-write: the committed
+// slice may be shared with published snapshots.
 func (x *fpContext) dropEntity(c int, match func(*Entity) bool) {
 	s := x.sets[c]
 	for i, e := range s.Entities {
 		if match(e) {
-			s.Entities = append(s.Entities[:i], s.Entities[i+1:]...)
+			s.Entities = removeAtCOW(s.Entities, i)
 			break
 		}
 	}
+	x.markDirty(c)
 	s.CacheMax = 0
 	for _, e := range s.Entities {
 		if d := x.m.Cache.MaxDelay(e.Task.WSS); d > s.CacheMax {
@@ -635,7 +788,7 @@ search:
 	for c := range x.a.Normal {
 		for i, t := range x.a.Normal[c] {
 			if t.ID == id {
-				x.a.Normal[c] = append(x.a.Normal[c][:i], x.a.Normal[c][i+1:]...)
+				x.a.Normal[c] = removeAtCOW(x.a.Normal[c], i)
 				x.dropEntity(c, func(e *Entity) bool {
 					return e.Task.ID == id && !e.MigrIn && !e.MigrOut
 				})
@@ -650,7 +803,7 @@ search:
 			if sp.Task.ID != id {
 				continue
 			}
-			x.a.Splits = append(x.a.Splits[:si], x.a.Splits[si+1:]...)
+			x.a.Splits = removeAtCOW(x.a.Splits, si)
 			for ci, ch := range x.chains {
 				if ch.sp != sp {
 					continue
@@ -685,6 +838,7 @@ search:
 				e.warmR, e.warmProbe, e.warmSeq = 0, 0, 0
 			}
 			x.verdicts[d] = fpVerdict{}
+			x.markDirty(d) // published warm vectors must drop to the reset values
 		}
 		for _, ch := range x.chains {
 			for _, e := range ch.ents {
@@ -700,7 +854,22 @@ search:
 		}
 		x.verdicts[affected] = fpVerdict{}
 	}
+	if x.publishing.Load() {
+		x.publish(pubRemoved, false)
+	}
 	return true
+}
+
+// removeAtCOW splices element i out into a fresh slice, leaving the
+// input untouched. Every committed slice (entity sets, the
+// assignment's task and split lists) is shared with published
+// snapshots, so removal must never shift in place — all removal
+// paths go through this one helper to keep that invariant in one
+// place.
+func removeAtCOW[T any](xs []T, i int) []T {
+	out := make([]T, 0, len(xs)-1)
+	out = append(out, xs[:i]...)
+	return append(out, xs[i+1:]...)
 }
 
 func (x *fpContext) Schedulable() bool {

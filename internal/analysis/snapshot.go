@@ -1,0 +1,834 @@
+// Copy-on-write admission snapshots: the lock-free concurrent read
+// path of the analysis layer.
+//
+// A Context serializes every mutation behind one owner goroutine, so
+// a service front-ending it (admitd) could only ever answer as fast
+// as that single goroutine. Admission workloads are overwhelmingly
+// read probes — "would this task fit right now?" — punctuated by
+// rare commits, which is exactly the shape read-copy-update exploits:
+// the owner publishes an immutable Snapshot of the committed state on
+// every committed mutation, and any number of goroutines probe the
+// latest snapshot concurrently, without locks and without entering
+// the owner's serialization.
+//
+// # Copy-on-write discipline
+//
+// Publication is cheap because the contexts maintain their committed
+// state copy-on-write: committed per-core entity slices, the
+// assignment's per-core task lists and the split list are never
+// mutated in place once published — an insert or removal builds a
+// fresh slice, and tail-appends only ever write beyond every
+// published length. A publish therefore copies O(cores) slice
+// headers, not O(tasks) entities; only state a mutation dirtied is
+// rebuilt (a core's warm-value vector, a chain's entity clones).
+//
+// # What readers may touch
+//
+// Shared entities have two classes of fields: the immutable analysis
+// parameters (C, T, D, priority, part flags) and the owner's mutable
+// accelerator slots (warm fixed-point values, chain jitters). Readers
+// never touch the latter on shared entities: warm values are captured
+// into the snapshot's own per-core vectors at publish time, and chain
+// entities — whose Jitter the owner's resolutions rewrite — are
+// cloned at publish time with the committed jitters baked in. A probe
+// that needs to run its own jitter resolution clones the chains again
+// probe-locally, so concurrent probes on one snapshot never share
+// mutable state.
+//
+// # Decision identity
+//
+// Snapshot verdicts are bit-identical to the stateless Analyzer on
+// the snapshot's assignment, by the same arguments as the owning
+// Context: warm starts are converged values of the committed system,
+// which a probe only extends (monotone fixed points converge to the
+// same least fixed point from any value at or below it), and
+// non-monotone overhead models disable warm starts entirely. The
+// fork differential and racing fuzz tests enforce this.
+package analysis
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// Snapshot is an immutable, concurrently shareable view of a
+// Context's committed state. All methods are safe to call from any
+// number of goroutines; none of them mutate the owning context or
+// the snapshot. Probes answer exactly as the stateless Analyzer
+// would on the snapshot's assignment.
+type Snapshot interface {
+	// Analyzer returns the analyzer whose test this snapshot runs.
+	Analyzer() Analyzer
+	// Seq is the committed-mutation sequence number the snapshot was
+	// published at; two forks with equal Seq are the same snapshot.
+	Seq() int64
+	// NumCores returns the assignment's core count.
+	NumCores() int
+	// NumTasks returns the number of committed tasks (whole + split).
+	NumTasks() int
+	// TryPlace reports whether core c would still admit t, without
+	// changing any state.
+	TryPlace(t *task.Task, c int) bool
+	// TrySplit reports whether core c would still admit with the
+	// split installed, without changing any state.
+	TrySplit(sp *task.Split, c int) bool
+	// Schedulable runs the full admission test on the committed
+	// state. It is computed at most once per snapshot and cached.
+	Schedulable() bool
+	// RangeTasks calls f for every committed whole-task placement.
+	RangeTasks(f func(t *task.Task, core int))
+	// RangeSplits calls f for every committed split.
+	RangeSplits(f func(sp *task.Split))
+	// CoreUtilization returns the committed per-core budget
+	// utilizations (freshly allocated; the caller owns it).
+	CoreUtilization() []float64
+	// CloneAssignment materializes a private copy of the committed
+	// assignment: fresh per-core and split slices sharing the
+	// immutable task/split objects. Safe to mutate and analyze with
+	// the stateless Analyzer (the differential tests replay snapshot
+	// verdicts through it).
+	CloneAssignment() *task.Assignment
+	// Stats returns the owning context's writer-side admission
+	// counters as of publication. Read-side work is accounted
+	// separately (Context.ReadStats).
+	Stats() AdmissionStats
+}
+
+// snapView is the assignment view and bookkeeping shared by both
+// concrete snapshots.
+type snapView struct {
+	an     Analyzer
+	m      *overhead.Model
+	mono   bool
+	seq    int64
+	ncores int
+	maxN   int
+
+	normal [][]*task.Task // committed per-core task lists (immutable)
+	splits []*task.Split  // committed splits (immutable)
+
+	stats AdmissionStats
+	rs    *Collector // read-side counters, shared with the owning context
+
+	// The full-test verdict: derived by the publisher when the
+	// mutation allows it (see deriveSched), otherwise computed at most
+	// once by the first reader that asks. schedDone is set after
+	// schedOK is, so a true load of schedDone makes schedOK safe to
+	// read from any goroutine.
+	schedOnce sync.Once
+	schedOK   bool
+	schedDone atomic.Bool
+}
+
+// pubHint tells the publisher what the committed mutation was, so the
+// new snapshot can inherit the full-test verdict instead of leaving
+// it to a reader's lazy recomputation.
+type pubHint int
+
+const (
+	// pubUnknown derives nothing (splits, unprobed placements,
+	// restores).
+	pubUnknown pubHint = iota
+	// pubAdmitted is a committed whole-task probe with a known
+	// verdict.
+	pubAdmitted
+	// pubRemoved is a committed removal.
+	pubRemoved
+)
+
+// deriveSched inherits the full-test verdict across one committed
+// mutation when that is sound:
+//
+//   - A whole-task commit with no split chains: the cores are
+//     decoupled except through the shared queue bound N, so if N did
+//     not change, every other core's test is literally unchanged and
+//     the new core's verdict is the probe's. A failing probe makes
+//     the whole state unschedulable regardless of N.
+//   - A removal under a monotone model: shrinking the system only
+//     shrinks every interference, blocking and queue-cost term, so a
+//     schedulable state stays schedulable.
+//
+// Anything else leaves the verdict to the lazy reader-side compute.
+func (v *snapView) deriveSched(prev *snapView, hint pubHint, fits, chains bool) {
+	know := func(ok bool) {
+		v.schedOK = ok
+		v.schedDone.Store(true)
+	}
+	switch hint {
+	case pubAdmitted:
+		if chains {
+			return
+		}
+		if !fits {
+			know(false)
+			return
+		}
+		if prev != nil && prev.schedDone.Load() && v.maxN == prev.maxN {
+			know(prev.schedOK)
+		}
+	case pubRemoved:
+		if v.mono && prev != nil && prev.schedDone.Load() && prev.schedOK {
+			know(true)
+		}
+	}
+}
+
+func (v *snapView) Analyzer() Analyzer    { return v.an }
+func (v *snapView) Seq() int64            { return v.seq }
+func (v *snapView) NumCores() int         { return v.ncores }
+func (v *snapView) Stats() AdmissionStats { return v.stats }
+
+func (v *snapView) NumTasks() int {
+	n := len(v.splits)
+	for _, ts := range v.normal {
+		n += len(ts)
+	}
+	return n
+}
+
+func (v *snapView) RangeTasks(f func(t *task.Task, core int)) {
+	for c, ts := range v.normal {
+		for _, t := range ts {
+			f(t, c)
+		}
+	}
+}
+
+func (v *snapView) RangeSplits(f func(sp *task.Split)) {
+	for _, sp := range v.splits {
+		f(sp)
+	}
+}
+
+func (v *snapView) CoreUtilization() []float64 {
+	u := make([]float64, v.ncores)
+	for c, ts := range v.normal {
+		for _, t := range ts {
+			u[c] += t.Utilization()
+		}
+	}
+	for _, sp := range v.splits {
+		for _, p := range sp.Parts {
+			u[p.Core] += float64(p.Budget) / float64(sp.Task.Period)
+		}
+	}
+	return u
+}
+
+func (v *snapView) CloneAssignment() *task.Assignment {
+	a := task.NewAssignment(v.ncores)
+	a.Policy = v.an.Policy()
+	for c, ts := range v.normal {
+		a.Normal[c] = append([]*task.Task(nil), ts...)
+	}
+	a.Splits = append([]*task.Split(nil), v.splits...)
+	return a
+}
+
+// captureView fills the shared view fields from a context's committed
+// state; runs on the owner.
+func (v *snapView) captureView(b *ctxBase, seq int64) {
+	v.an, v.m, v.mono = b.an, b.m, b.mono
+	v.seq = seq
+	v.ncores = b.a.NumCores
+	if v.normal == nil {
+		v.normal = make([][]*task.Task, v.ncores)
+	}
+	copy(v.normal, b.a.Normal)
+	v.splits = b.a.Splits[:len(b.a.Splits):len(b.a.Splits)]
+	v.stats = b.stats
+	v.rs = &b.readStats
+}
+
+// --- probe verdict memoization ---------------------------------------
+
+// probeKey identifies a whole-task probe up to everything its verdict
+// depends on besides the (immutable) core state: the task's analysis
+// parameters. Two tasks with equal parameters get identical verdicts
+// on the same snapshot core — admission is a pure function — so the
+// verdict can be memoized. This is an optimization only immutability
+// makes trivially correct: the mutable context would need
+// invalidation bookkeeping on every commit, the snapshot's cache
+// simply dies with (or outlives, see publish) the core record.
+type probeKey struct {
+	c, t, d timeq.Time
+	prio    int
+	wss     int64
+}
+
+func probeKeyOf(t *task.Task) probeKey {
+	return probeKey{c: t.WCET, t: t.Period, d: t.EffectiveDeadline(), prio: t.Priority, wss: t.WSS}
+}
+
+// probeCache memoizes per-core whole-task probe verdicts. It is
+// shared by every goroutine probing the snapshot, and carried over to
+// the next snapshot for cores whose published record (and the global
+// queue bound) did not change — repeated admission tries of the same
+// task shapes, the bread and butter of admission control traffic,
+// then cost a map lookup. Size-capped as a backstop against unbounded
+// task-shape diversity.
+type probeCache struct {
+	m sync.Map // probeKey -> bool
+	n atomic.Int64
+}
+
+const probeCacheCap = 8192
+
+func (pc *probeCache) lookup(k probeKey) (bool, bool) {
+	v, ok := pc.m.Load(k)
+	if !ok {
+		return false, false
+	}
+	return v.(bool), true
+}
+
+func (pc *probeCache) store(k probeKey, verdict bool) {
+	if pc.n.Load() >= probeCacheCap {
+		return
+	}
+	if _, loaded := pc.m.LoadOrStore(k, verdict); !loaded {
+		pc.n.Add(1)
+	}
+}
+
+// --- fixed-priority snapshot -----------------------------------------
+
+// fpSnapCore is one core's published state: the priority-sorted
+// committed entities (chain entities replaced by snapshot-owned
+// clones), the committed converged response times parallel to ents
+// (nil under a non-monotone model), and the core's probe-verdict
+// memo.
+type fpSnapCore struct {
+	ents     []*Entity
+	warm     []timeq.Time
+	cacheMax timeq.Time
+	probes   *probeCache
+}
+
+// fpSnapChain is one published split chain: snapshot-owned entity
+// clones (committed jitters baked in) and their host cores.
+type fpSnapChain struct {
+	sp    *task.Split
+	ents  []*Entity
+	cores []int
+}
+
+type fpSnapshot struct {
+	snapView
+	cores  []fpSnapCore
+	chains []fpSnapChain
+}
+
+// fpProbe is the goroutine-local scratch of one snapshot probe: a
+// per-core view of the probe state (committed entities, chain clones
+// and tentative entities merged in) with a probe-local warm vector.
+type fpProbe struct {
+	s      *fpSnapshot
+	views  []probeView
+	chains []fpSnapChain    // probe-local clones (jitters mutable)
+	failed map[*Entity]bool // lazily allocated by resolve
+	stats  AdmissionStats   // folded into s.rs at the end
+}
+
+type probeView struct {
+	cs   CoreSet
+	warm []timeq.Time
+}
+
+func (s *fpSnapshot) TryPlace(t *task.Task, c int) bool {
+	if c < 0 || c >= s.ncores {
+		return false
+	}
+	// Whole-task probes on chain-free snapshots are pure per-core
+	// functions of the task parameters: serve repeats from the memo.
+	pc := s.cores[c].probes
+	useMemo := pc != nil && len(s.chains) == 0
+	var key probeKey
+	if useMemo {
+		key = probeKeyOf(t)
+		if ok, hit := pc.lookup(key); hit {
+			s.rs.Add(AdmissionStats{Probes: 1, CoreTests: 1, VerdictHits: 1})
+			return ok
+		}
+	}
+	p := fpProbe{s: s}
+	p.stats.Probes++
+	e := newFPEntity(t)
+	ok := p.run([]*Entity{e}, []int{c}, nil, c)
+	s.rs.Add(p.stats)
+	if useMemo {
+		pc.store(key, ok)
+	}
+	return ok
+}
+
+func (s *fpSnapshot) TrySplit(sp *task.Split, c int) bool {
+	if c < 0 || c >= s.ncores {
+		return false
+	}
+	p := fpProbe{s: s}
+	p.stats.Probes++
+	ch := buildFPChain(sp)
+	ok := p.run(ch.ents, ch.cores, ch, c)
+	s.rs.Add(p.stats)
+	return ok
+}
+
+// probeN mirrors fpContext.probeN on the snapshot state: the
+// committed bound, raised by any core the probe tentatively grows
+// past it.
+func (s *fpSnapshot) probeN(addCores []int) int {
+	n := s.maxN
+	for c := range s.cores {
+		grow := 0
+		for _, d := range addCores {
+			if d == c {
+				grow++
+			}
+		}
+		if k := len(s.cores[c].ents) + grow; k > n {
+			n = k
+		}
+	}
+	return n
+}
+
+// viewPool recycles single-core probe views across snapshot probes:
+// the hot no-chain path then runs allocation-free (the CoreSet keeps
+// its cost buffers; fillView re-keys them).
+var viewPool = sync.Pool{New: func() any { return new(probeView) }}
+
+// run evaluates one probe: tentative entities add placed on addCores
+// (and, for splits, the tentative chain), verdict for probeCore. It
+// mirrors fpContext.TryPlace/TrySplit on the probe state, with every
+// mutable accelerator probe-local.
+func (p *fpProbe) run(add []*Entity, addCores []int, tentChain *fpChain, probeCore int) bool {
+	s := p.s
+	probeN := s.probeN(addCores)
+	if len(s.chains) == 0 && tentChain == nil {
+		// No chains, no cross-core coupling: probe core c alone
+		// (mirrors the stateless fast path and the context's),
+		// with pooled scratch.
+		v := viewPool.Get().(*probeView)
+		p.fillView(v, probeCore, add, addCores, probeN)
+		ok := p.evalCore(v, nil)
+		viewPool.Put(v)
+		return ok
+	}
+	// Build views for every core; clone the chains probe-locally so
+	// the resolution below never writes shared state.
+	p.views = make([]probeView, s.ncores)
+	for c := range p.views {
+		p.views[c] = *p.buildView(c, add, addCores, probeN)
+	}
+	p.chains = make([]fpSnapChain, 0, len(s.chains)+1)
+	for _, ch := range s.chains {
+		clone := fpSnapChain{sp: ch.sp, cores: ch.cores, ents: make([]*Entity, len(ch.ents))}
+		for i, e := range ch.ents {
+			ce := new(Entity)
+			*ce = *e // committed jitter baked in at publish
+			clone.ents[i] = ce
+			p.swapEntity(ch.cores[i], e, ce)
+		}
+		p.chains = append(p.chains, clone)
+	}
+	if tentChain != nil {
+		p.chains = append(p.chains, fpSnapChain{sp: tentChain.sp, ents: tentChain.ents, cores: tentChain.cores})
+	}
+	p.resolve()
+	return p.evalCore(&p.views[probeCore], p.failed)
+}
+
+// buildView assembles core c's probe-state view: committed entities
+// plus any tentative entities hosted there, with the probe-local warm
+// vector initialized from the snapshot's committed values.
+func (p *fpProbe) buildView(c int, add []*Entity, addCores []int, probeN int) *probeView {
+	v := new(probeView)
+	p.fillView(v, c, add, addCores, probeN)
+	return v
+}
+
+// fillView is buildView into caller-provided (possibly pooled)
+// scratch; the view's cost caches are invalidated, never trusted.
+func (p *fpProbe) fillView(v *probeView, c int, add []*Entity, addCores []int, probeN int) {
+	s := p.s
+	base := &s.cores[c]
+	ents := append(v.cs.Entities[:0], base.ents...)
+	warm := v.warm[:0]
+	if s.mono && base.warm != nil {
+		warm = append(warm, base.warm...)
+	} else {
+		for range base.ents {
+			warm = append(warm, 0)
+		}
+	}
+	cm := base.cacheMax
+	for i, e := range add {
+		if addCores[i] != c {
+			continue
+		}
+		ents, warm = insertByPriorityWarm(ents, warm, e, 0)
+		if d := s.m.Cache.MaxDelay(e.Task.WSS); d > cm {
+			cm = d
+		}
+	}
+	v.warm = warm
+	v.cs.Entities = ents
+	v.cs.N = probeN
+	v.cs.CacheMax = cm
+	v.cs.invalidateCosts()
+}
+
+// insertByPriorityWarm is insertByPriority keeping a warm vector
+// parallel to the entity slice.
+func insertByPriorityWarm(ents []*Entity, warm []timeq.Time, e *Entity, w timeq.Time) ([]*Entity, []timeq.Time) {
+	i := 0
+	for i < len(ents) && ents[i].LocalPriority <= e.LocalPriority {
+		i++
+	}
+	ents = append(ents, nil)
+	copy(ents[i+1:], ents[i:])
+	ents[i] = e
+	warm = append(warm, 0)
+	copy(warm[i+1:], warm[i:])
+	warm[i] = w
+	return ents, warm
+}
+
+// swapEntity replaces a shared chain entity with its probe-local
+// clone in core c's view, carrying the warm value over.
+func (p *fpProbe) swapEntity(c int, old, clone *Entity) {
+	v := &p.views[c]
+	for i, e := range v.cs.Entities {
+		if e == old {
+			v.cs.Entities[i] = clone
+			return
+		}
+	}
+}
+
+// solve runs one response-time fixed point warm-started from the
+// probe-local vector, recording the converged value back into it.
+func (p *fpProbe) solve(v *probeView, idx int) (timeq.Time, bool) {
+	var start timeq.Time
+	if p.s.mono {
+		start = v.warm[idx]
+	}
+	e := v.cs.Entities[idx]
+	r, ok, iters := v.cs.responseTime(e, p.s.m, start)
+	p.stats.FPSolves++
+	p.stats.FPIterations += int64(iters)
+	if start > 0 {
+		p.stats.WarmStarts++
+	}
+	if ok && p.s.mono {
+		v.warm[idx] = r
+	}
+	return r, ok
+}
+
+// evalCore mirrors fpContext.evalCore on a probe view.
+func (p *fpProbe) evalCore(v *probeView, failed map[*Entity]bool) bool {
+	p.stats.CoreTests++
+	for i, e := range v.cs.Entities {
+		if failed != nil && failed[e] {
+			return false
+		}
+		if _, ok := p.solve(v, i); !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// resolve runs the split-chain jitter fixed point over the probe
+// views, mirroring fpContext.resolve: warm-started from the committed
+// jitters under a monotone model, cold from zero otherwise.
+func (p *fpProbe) resolve() {
+	const maxPasses = 1000
+	if len(p.chains) == 0 {
+		return
+	}
+	if !p.s.mono {
+		for _, ch := range p.chains {
+			for _, e := range ch.ents {
+				e.Jitter = 0
+			}
+		}
+	}
+	for pass := 0; pass < maxPasses; pass++ {
+		changed := false
+		for _, ch := range p.chains {
+			cum := timeq.Time(0)
+			for i, e := range ch.ents {
+				if e.Jitter != cum {
+					e.Jitter = cum
+					changed = true
+				}
+				v := &p.views[ch.cores[i]]
+				idx := -1
+				for k, o := range v.cs.Entities {
+					if o == e {
+						idx = k
+						break
+					}
+				}
+				r, ok := p.solve(v, idx)
+				if !ok {
+					if p.failed == nil {
+						p.failed = make(map[*Entity]bool)
+					}
+					p.failed[e] = true
+					r = e.D
+				} else {
+					delete(p.failed, e)
+				}
+				cum = timeq.AddSat(cum, r)
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+}
+
+// Schedulable returns the full-test verdict of the committed state:
+// inherited from the previous snapshot when publication could derive
+// it, otherwise computed (warm-started, every core) at most once per
+// snapshot by the first asker.
+func (s *fpSnapshot) Schedulable() bool {
+	if s.schedDone.Load() {
+		return s.schedOK
+	}
+	s.schedOnce.Do(func() {
+		p := fpProbe{s: s}
+		p.stats.FullTests++
+		s.schedOK = p.fullTest()
+		s.rs.Add(p.stats)
+		s.schedDone.Store(true)
+	})
+	return s.schedOK
+}
+
+func (p *fpProbe) fullTest() bool {
+	s := p.s
+	p.views = make([]probeView, s.ncores)
+	for c := range p.views {
+		p.views[c] = *p.buildView(c, nil, nil, s.maxN)
+	}
+	p.chains = make([]fpSnapChain, 0, len(s.chains))
+	for _, ch := range s.chains {
+		clone := fpSnapChain{sp: ch.sp, cores: ch.cores, ents: make([]*Entity, len(ch.ents))}
+		for i, e := range ch.ents {
+			ce := new(Entity)
+			*ce = *e
+			clone.ents[i] = ce
+			p.swapEntity(ch.cores[i], e, ce)
+		}
+		p.chains = append(p.chains, clone)
+	}
+	p.resolve()
+	if len(p.failed) > 0 {
+		return false
+	}
+	for c := range p.views {
+		if !p.evalCore(&p.views[c], nil) {
+			return false
+		}
+	}
+	return true
+}
+
+// --- EDF snapshot ----------------------------------------------------
+
+// edfSnapCore is one core's published state under EDF: the canonical
+// entity order (normals, then split parts), the committed demand memo
+// (immutable once published; nil under a non-monotone model) and the
+// cache bound.
+type edfSnapCore struct {
+	ents     []*Entity
+	nNormals int
+	cacheMax timeq.Time
+	memo     *edfDemandMemo
+	rev      int64 // committed content revision (cache carryover check)
+	probes   *probeCache
+}
+
+type edfSnapshot struct {
+	snapView
+	cores []edfSnapCore
+}
+
+func (s *edfSnapshot) probeN(addCores []int) int {
+	n := s.maxN
+	for c := range s.cores {
+		grow := 0
+		for _, d := range addCores {
+			if d == c {
+				grow++
+			}
+		}
+		if k := len(s.cores[c].ents) + grow; k > n {
+			n = k
+		}
+	}
+	return n
+}
+
+// evalProbe mirrors edfContext.evalProbe on the snapshot: the probe
+// set assembled in the canonical order, the committed memo reused
+// read-only (concurrent readers may share it — nothing writes it).
+func (s *edfSnapshot) evalProbe(c int, place *Entity, parts []*Entity, partCores []int, probeN int) bool {
+	st := &s.cores[c]
+	var buf []*Entity
+	cm := st.cacheMax
+	if place != nil {
+		buf = make([]*Entity, 0, len(st.ents)+1)
+		buf = append(buf, st.ents[:st.nNormals]...)
+		buf = append(buf, place)
+		buf = append(buf, st.ents[st.nNormals:]...)
+		if d := s.m.Cache.MaxDelay(place.Task.WSS); d > cm {
+			cm = d
+		}
+	} else {
+		buf = make([]*Entity, 0, len(st.ents)+len(parts))
+		buf = append(buf, st.ents...)
+		for i, e := range parts {
+			if partCores[i] != c {
+				continue
+			}
+			buf = append(buf, e)
+			if d := s.m.Cache.MaxDelay(e.Task.WSS); d > cm {
+				cm = d
+			}
+		}
+	}
+	var cs CoreSet
+	cs.Entities = buf
+	cs.N = probeN
+	cs.CacheMax = cm
+	var memo *edfDemandMemo
+	if s.mono {
+		memo = st.memo
+	}
+	var stats AdmissionStats
+	stats.Probes, stats.CoreTests = 1, 1
+	ok, _ := cs.edfSchedulable(s.m, memo, false)
+	s.rs.Add(stats)
+	return ok
+}
+
+func (s *edfSnapshot) TryPlace(t *task.Task, c int) bool {
+	if c < 0 || c >= s.ncores {
+		return false
+	}
+	pc := s.cores[c].probes
+	var key probeKey
+	if pc != nil {
+		key = probeKeyOf(t)
+		if ok, hit := pc.lookup(key); hit {
+			s.rs.Add(AdmissionStats{Probes: 1, CoreTests: 1, VerdictHits: 1})
+			return ok
+		}
+	}
+	e := newEDFEntity(t)
+	ok := s.evalProbe(c, e, nil, nil, s.probeN([]int{c}))
+	if pc != nil {
+		pc.store(key, ok)
+	}
+	return ok
+}
+
+func (s *edfSnapshot) TrySplit(sp *task.Split, c int) bool {
+	if c < 0 || c >= s.ncores {
+		return false
+	}
+	ents, cores := edfSplitEntities(sp)
+	return s.evalProbe(c, nil, ents, cores, s.probeN(cores))
+}
+
+// Schedulable mirrors edfContext.Schedulable without its verdict
+// cache: windows required on every split, then the per-core demand
+// test. Inherited from the previous snapshot when publication could
+// derive it; computed at most once per snapshot otherwise.
+func (s *edfSnapshot) Schedulable() bool {
+	if s.schedDone.Load() {
+		return s.schedOK
+	}
+	s.schedOnce.Do(func() {
+		var stats AdmissionStats
+		stats.FullTests++
+		s.schedOK = func() bool {
+			for _, sp := range s.splits {
+				if !sp.HasWindows() {
+					return false // EDF requires window-split tasks
+				}
+			}
+			for c := range s.cores {
+				st := &s.cores[c]
+				var cs CoreSet
+				cs.Entities = st.ents
+				cs.N = s.maxN
+				cs.CacheMax = st.cacheMax
+				var memo *edfDemandMemo
+				if s.mono {
+					memo = st.memo
+				}
+				stats.CoreTests++
+				if ok, _ := cs.edfSchedulable(s.m, memo, false); !ok {
+					return false
+				}
+			}
+			return true
+		}()
+		s.rs.Add(stats)
+		s.schedDone.Store(true)
+	})
+	return s.schedOK
+}
+
+// --- SelfCheck shadow ------------------------------------------------
+
+// checkedSnapshot shadows every snapshot decision with the stateless
+// analyzer on a freshly materialized copy of the snapshot state; a
+// divergence panics with both verdicts. Enabled by the same SelfCheck
+// flag as checkedContext; test-only.
+type checkedSnapshot struct {
+	Snapshot
+	m *overhead.Model
+}
+
+func (cs *checkedSnapshot) TryPlace(t *task.Task, c int) bool {
+	got := cs.Snapshot.TryPlace(t, c)
+	a := cs.CloneAssignment()
+	a.Place(t, c)
+	want := cs.Analyzer().CoreSchedulable(a, c, cs.m)
+	if got != want {
+		panic("analysis: snapshot TryPlace diverged from stateless CoreSchedulable")
+	}
+	return got
+}
+
+func (cs *checkedSnapshot) TrySplit(sp *task.Split, c int) bool {
+	got := cs.Snapshot.TrySplit(sp, c)
+	a := cs.CloneAssignment()
+	a.Splits = append(a.Splits, sp)
+	want := cs.Analyzer().CoreSchedulable(a, c, cs.m)
+	if got != want {
+		panic("analysis: snapshot TrySplit diverged from stateless CoreSchedulable")
+	}
+	return got
+}
+
+func (cs *checkedSnapshot) Schedulable() bool {
+	got := cs.Snapshot.Schedulable()
+	want := cs.Analyzer().Schedulable(cs.CloneAssignment(), cs.m)
+	if got != want {
+		panic("analysis: snapshot Schedulable diverged from stateless Schedulable")
+	}
+	return got
+}

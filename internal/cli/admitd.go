@@ -21,6 +21,7 @@ import (
 //	spadmitd serve [-addr :7007] [-snapshots dir] [-max-sessions 1024]
 //	spadmitd load  [-addr http://host:7007] [-sessions 64] [-requests 100000]
 //	               [-workers 0] [-cores 4] [-tasks 12] [-policy fp] [-seed 1]
+//	               [-mix 90/10]
 //
 // `load` without -addr runs against an in-process server — a
 // self-contained smoke/throughput run needing no listener.
@@ -90,6 +91,7 @@ func admitdLoad(args []string, w io.Writer) error {
 		tasks    = fs.Int("tasks", 12, "resident tasks seeded per session")
 		policy   = fs.String("policy", "fp", "session policy: fp|edf")
 		seed     = fs.Int64("seed", 1, "workload seed")
+		mix      = fs.String("mix", "", `read/write mix as "R/W" percentages, e.g. 90/10 (default 60/40); reads ride the lock-free snapshot path`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -102,6 +104,7 @@ func admitdLoad(args []string, w io.Writer) error {
 		TasksPerSession: *tasks,
 		Policy:          *policy,
 		Seed:            *seed,
+		Mix:             *mix,
 	}
 	var c *client.Client
 	if *addr == "" {

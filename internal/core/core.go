@@ -73,6 +73,13 @@ type (
 	// caches, warm-started fixed points and memoized verdicts, with
 	// decisions bit-identical to the stateless Analyzer path.
 	AdmissionContext = analysis.Context
+	// AdmissionSnapshot is an immutable copy-on-write fork of an
+	// AdmissionContext's committed state (AdmissionContext.Fork): any
+	// number of goroutines may probe it concurrently, lock-free, with
+	// verdicts bit-identical to the stateless Analyzer. Forks are
+	// republished on every committed mutation — the RCU-style read
+	// path behind admitd's concurrent try/state/stats serving.
+	AdmissionSnapshot = analysis.Snapshot
 	// AdmissionStats counts admission work (probes, cache hits,
 	// fixed-point iterations); see AdmissionStatsSnapshot.
 	AdmissionStats = analysis.AdmissionStats

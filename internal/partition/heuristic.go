@@ -103,37 +103,9 @@ func (h *Heuristic) PartitionOpts(s *task.Set, m int, model *overhead.Model, o O
 		if err := o.err(); err != nil {
 			return nil, err
 		}
-		best := -1
-		var bestU float64
-		for c := 0; c < m; c++ {
-			fits := ctx.TryPlace(t, c)
-			ctx.Rollback()
-			if !fits {
-				continue
-			}
-			u := a.CoreUtilization(c)
-			switch h.Fit {
-			case FirstFit:
-				best = c
-			case BestFit:
-				if best == -1 || u > bestU {
-					best, bestU = c, u
-				}
-			case WorstFit:
-				if best == -1 || u < bestU {
-					best, bestU = c, u
-				}
-			}
-			if h.Fit == FirstFit {
-				break
-			}
-		}
-		if best == -1 {
+		if !placeByFit(ctx, a, t, h.Fit, m, o.Speculative) {
 			return nil, ErrUnschedulable
 		}
-		// The winning core was probed in this committed epoch, so the
-		// context promotes that probe's verdict and warm values.
-		ctx.Place(t, best)
 	}
 	return finalize(ctx, a)
 }

@@ -1,0 +1,73 @@
+package partition
+
+import (
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/taskgen"
+)
+
+// TestSpeculativeScanIdentical pins Options.Speculative: for every
+// bin-packing heuristic (FP and EDF), packing with the forked-
+// snapshot candidate scan must produce exactly the assignment of the
+// serial probe/rollback scan — same placements, same rejections —
+// across a utilization range that exercises both outcomes.
+func TestSpeculativeScanIdentical(t *testing.T) {
+	algs := []Algorithm{FFD, WFD, BFD, FF, EDFFFD, EDFWFD}
+	models := []*overhead.Model{overhead.Zero(), overhead.PaperModel()}
+	const cores = 4
+	for _, alg := range algs {
+		for mi, model := range models {
+			for _, util := range []float64{1.8, 2.6, 3.4, 3.9} {
+				for seed := int64(1); seed <= 5; seed++ {
+					set := taskgen.New(taskgen.Config{N: 14, TotalUtilization: util, Seed: seed}).Next()
+					serial, serr := alg.PartitionOpts(set.Clone(), cores, model, Options{})
+					spec, perr := alg.PartitionOpts(set.Clone(), cores, model, Options{Speculative: true})
+					if (serr == nil) != (perr == nil) {
+						t.Fatalf("%s/model%d/u%.1f/seed%d: serial err %v, speculative err %v",
+							alg.Name(), mi, util, seed, serr, perr)
+					}
+					if serr != nil {
+						continue
+					}
+					if got, want := spec.String(), serial.String(); got != want {
+						t.Fatalf("%s/model%d/u%.1f/seed%d: assignments diverge\nspeculative: %s\nserial:      %s",
+							alg.Name(), mi, util, seed, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSpeculativeForkMidPack forks a packing context mid-run and
+// checks the snapshot keeps answering the committed prefix while the
+// packer mutates on — the partitioner-side view of the concurrent
+// read path.
+func TestSpeculativeForkMidPack(t *testing.T) {
+	set := taskgen.New(taskgen.Config{N: 10, TotalUtilization: 2.0, Seed: 3}).Next()
+	model := overhead.Normalize(overhead.PaperModel())
+	a := task.NewAssignment(4)
+	ctx := newContext(FFD, a, model, Options{})
+	defer ctx.Flush()
+	tasks := set.SortedByUtilizationDesc()
+	half := tasks[:5]
+	for _, tk := range half {
+		if !placeByFit(ctx, a, tk, FirstFit, 4, false) {
+			t.Fatalf("seed half unschedulable")
+		}
+	}
+	snap := ctx.Fork()
+	wantTasks := snap.NumTasks()
+	// Keep packing on the live context; the fork must not move.
+	for _, tk := range tasks[5:] {
+		placeByFit(ctx, a, tk, FirstFit, 4, true)
+	}
+	if snap.NumTasks() != wantTasks || snap.NumTasks() != 5 {
+		t.Fatalf("fork drifted: %d tasks, want 5", snap.NumTasks())
+	}
+	if !snap.Schedulable() {
+		t.Fatal("committed prefix must be schedulable")
+	}
+}

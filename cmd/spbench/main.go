@@ -1,0 +1,388 @@
+// Command spbench is the multi-core performance rig: it drives the
+// admission-control hot paths — the parallel session read mix, full
+// loadgen throughput, the batched try-only verdict path, the
+// Section-4 sweep and the raw partition-probe rate — across a ladder
+// of GOMAXPROCS settings, and records the results in BENCH_admitd.json
+// under a stable schema with a per-PR trend history.
+//
+// Usage:
+//
+//	spbench [-out BENCH_admitd.json] [-procs 1,2,4,8] [-pr N]
+//	        [-requests 20000] [-quick] [-check] [-tolerance 0.10]
+//
+// Default mode runs the rig, appends this run's summary to the file's
+// "history" array (creating it from a legacy file's summary when
+// upgrading), and rewrites the file. With -check the rig instead
+// compares against the committed file and exits nonzero if any
+// benchmark present in both regressed by more than -tolerance — the
+// CI perf gate — leaving the file untouched.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/admitd"
+	"repro/internal/core"
+)
+
+type hostInfo struct {
+	CPU        string `json:"cpu"`
+	CPUs       int    `json:"cpus"`
+	Go         string `json:"go"`
+	Note       string `json:"note,omitempty"`
+	GOMAXPROCS int    `json:"gomaxprocs,omitempty"` // legacy field, read-only
+}
+
+// historyEntry is one PR's summary in the trend history.
+type historyEntry struct {
+	PR                  int     `json:"pr"`
+	Recorded            string  `json:"recorded"`
+	ReadPathSpeedup     float64 `json:"read_path_speedup,omitempty"`
+	ThroughputReqPerSec float64 `json:"throughput_req_per_sec,omitempty"`
+	ReadScaling1ToMax   float64 `json:"read_scaling_1_to_max,omitempty"`
+	BatchTryAllocsPerOp float64 `json:"batch_try_allocs_per_op"`
+	Note                string  `json:"note,omitempty"`
+}
+
+// benchDoc is the BENCH_admitd.json schema (version 2): flat results
+// across GOMAXPROCS, derived headline ratios, and the per-PR history.
+type benchDoc struct {
+	Schema     int                `json:"schema"`
+	Recorded   string             `json:"recorded"`
+	PR         int                `json:"pr"`
+	Host       hostInfo           `json:"host"`
+	Results    []admitd.RigResult `json:"results"`
+	Derived    map[string]float64 `json:"derived"`
+	Acceptance string             `json:"acceptance"`
+	History    []historyEntry     `json:"history"`
+
+	// Legacy (schema < 2) fields, read for the history upgrade only.
+	Benchmarks map[string]json.RawMessage `json:"benchmarks,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "spbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("spbench", flag.ContinueOnError)
+	var (
+		out       = fs.String("out", "BENCH_admitd.json", "results file (read for history/baseline, rewritten unless -check)")
+		procsFlag = fs.String("procs", "1,2,4,8", "comma-separated GOMAXPROCS ladder")
+		pr        = fs.Int("pr", 6, "PR number recorded in the history entry")
+		requests  = fs.Int("requests", 20000, "loadgen requests per throughput run")
+		quick     = fs.Bool("quick", false, "smaller iteration counts (CI smoke: ~10x faster, noisier)")
+		check     = fs.Bool("check", false, "gate mode: compare against -out, exit 1 on regression, write nothing")
+		tol       = fs.Float64("tolerance", 0.10, "allowed fractional ns/op regression in -check mode")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		return err
+	}
+	reqs := *requests
+	sweepSets := 60
+	if *quick {
+		if reqs > 4000 {
+			reqs = 4000
+		}
+		sweepSets = 20
+	}
+
+	prev, prevErr := readDoc(*out)
+	if prevErr != nil && !os.IsNotExist(prevErr) {
+		return fmt.Errorf("reading %s: %w", *out, prevErr)
+	}
+
+	doc := &benchDoc{
+		Schema:   2,
+		Recorded: time.Now().UTC().Format("2006-01-02"),
+		PR:       *pr,
+		Host: hostInfo{
+			CPU:  cpuModel(),
+			CPUs: runtime.NumCPU(),
+			Go:   runtime.Version() + " " + runtime.GOOS + "/" + runtime.GOARCH,
+		},
+		Derived:    map[string]float64{},
+		Acceptance: "read_mix readpath/actor speedup >= 3.0 at every GOMAXPROCS; read-path probes 0 allocs/op; with more CPUs than GOMAXPROCS points, readpath ops/s scales >= 3x from 1 to max procs",
+	}
+	if maxP := procs[len(procs)-1]; doc.Host.CPUs < maxP {
+		doc.Host.Note = fmt.Sprintf("host has %d CPU(s): GOMAXPROCS ladder beyond that measures scheduling overhead, not parallel speedup — scaling ratios are only meaningful up to the CPU count", doc.Host.CPUs)
+	}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0)) // restore on exit
+	for _, p := range procs {
+		runtime.GOMAXPROCS(p)
+		fmt.Printf("== GOMAXPROCS=%d\n", p)
+		var rs []admitd.RigResult
+		for _, variant := range []string{"readpath", "actor"} {
+			r, err := admitd.RigReadMix(variant)
+			if err != nil {
+				return err
+			}
+			rs = append(rs, r)
+		}
+		thr, err := admitd.RigThroughput(reqs)
+		if err != nil {
+			return err
+		}
+		rs = append(rs, thr)
+		bt, err := admitd.RigBatchTry(64)
+		if err != nil {
+			return err
+		}
+		rs = append(rs, bt, section4Result(sweepSets), probesResult())
+		for i := range rs {
+			rs[i].GOMAXPROCS = p
+			fmt.Printf("  %-22s %12.0f ns/op %14.0f ops/s %8.2f allocs/op\n",
+				rs[i].Name, rs[i].NsPerOp, rs[i].OpsPerSec, rs[i].AllocsPerOp)
+		}
+		doc.Results = append(doc.Results, rs...)
+		doc.Derived[fmt.Sprintf("read_path_speedup_p%d", p)] =
+			round2(find(rs, "read_mix/actor").NsPerOp / find(rs, "read_mix/readpath").NsPerOp)
+	}
+	p1 := findAt(doc.Results, "read_mix/readpath", procs[0])
+	pMax := findAt(doc.Results, "read_mix/readpath", procs[len(procs)-1])
+	if p1.OpsPerSec > 0 {
+		doc.Derived[fmt.Sprintf("read_scaling_%d_to_%d", procs[0], procs[len(procs)-1])] =
+			round2(pMax.OpsPerSec / p1.OpsPerSec)
+	}
+
+	if *check {
+		return gate(prev, doc, *tol)
+	}
+
+	// Re-running within the same PR replaces that PR's entry: history
+	// is one line per PR, not one per invocation.
+	for _, e := range upgradeHistory(prev) {
+		if e.PR != *pr {
+			doc.History = append(doc.History, e)
+		}
+	}
+	// The history line records the best throughput across the ladder:
+	// on hosts with fewer CPUs than the top GOMAXPROCS setting, the
+	// oversubscribed points measure scheduling overhead, not capacity.
+	best := 0.0
+	for _, p := range procs {
+		if r := findAt(doc.Results, fmt.Sprintf("admitd_throughput/n=%d", reqs), p); r.OpsPerSec > best {
+			best = r.OpsPerSec
+		}
+	}
+	doc.History = append(doc.History, historyEntry{
+		PR:                  *pr,
+		Recorded:            doc.Recorded,
+		ReadPathSpeedup:     doc.Derived[fmt.Sprintf("read_path_speedup_p%d", procs[0])],
+		ThroughputReqPerSec: round2(best),
+		ReadScaling1ToMax:   doc.Derived[fmt.Sprintf("read_scaling_%d_to_%d", procs[0], procs[len(procs)-1])],
+		BatchTryAllocsPerOp: round2(findAt(doc.Results, "batch_try/k=64", procs[0]).AllocsPerOp),
+	})
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d results, history of %d PRs)\n", *out, len(doc.Results), len(doc.History))
+	return nil
+}
+
+// gate compares the fresh run against the committed baseline: any
+// benchmark present in both (same name and GOMAXPROCS) failing ns/op
+// by more than tol fails the gate. A baseline without comparable
+// results (legacy schema, different ladder) passes with a notice.
+func gate(prev, cur *benchDoc, tol float64) error {
+	if prev == nil || len(prev.Results) == 0 {
+		fmt.Println("check: no comparable baseline results (legacy or missing file); gate passes vacuously")
+		return nil
+	}
+	base := map[string]float64{}
+	for _, r := range prev.Results {
+		base[fmt.Sprintf("%s@%d", r.Name, r.GOMAXPROCS)] = r.NsPerOp
+	}
+	var failed int
+	for _, r := range cur.Results {
+		b, ok := base[fmt.Sprintf("%s@%d", r.Name, r.GOMAXPROCS)]
+		if !ok || b <= 0 {
+			continue
+		}
+		ratio := r.NsPerOp / b
+		status := "ok"
+		if ratio > 1+tol {
+			status = "REGRESSION"
+			failed++
+		}
+		fmt.Printf("check: %-22s @%d  %.0f -> %.0f ns/op (%+.1f%%) %s\n",
+			r.Name, r.GOMAXPROCS, b, r.NsPerOp, 100*(ratio-1), status)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%% vs baseline", failed, 100*tol)
+	}
+	return nil
+}
+
+// upgradeHistory carries the baseline file's history forward,
+// synthesizing the first entry from a legacy (schema < 2) file's
+// headline numbers.
+func upgradeHistory(prev *benchDoc) []historyEntry {
+	if prev == nil {
+		return nil
+	}
+	if len(prev.History) > 0 {
+		return prev.History
+	}
+	if prev.PR == 0 {
+		return nil
+	}
+	e := historyEntry{PR: prev.PR, Recorded: prev.Recorded,
+		Note: "synthesized from the legacy single-GOMAXPROCS harness; throughput not comparable to spbench runs"}
+	if raw, ok := prev.Benchmarks["read_path_speedup"]; ok {
+		json.Unmarshal(raw, &e.ReadPathSpeedup) //nolint:errcheck // best-effort legacy upgrade
+	}
+	if raw, ok := prev.Benchmarks["BenchmarkAdmitdThroughput"]; ok {
+		var t struct {
+			ReqPerSec float64 `json:"req_per_sec"`
+		}
+		json.Unmarshal(raw, &t) //nolint:errcheck // best-effort legacy upgrade
+		e.ThroughputReqPerSec = t.ReqPerSec
+	}
+	return []historyEntry{e}
+}
+
+// section4Result times the paper's Section-4 acceptance-ratio sweep
+// (zero + measured overheads), the fork-free analysis hot path.
+func section4Result(sets int) admitd.RigResult {
+	sweep := func(m *core.OverheadModel) {
+		core.Sweep(core.SweepConfig{
+			Cores: 4, Tasks: 12, SetsPerPoint: sets,
+			Utilizations: []float64{2.8, 3.0, 3.2, 3.4, 3.6, 3.8},
+			Model:        m, Seed: 42,
+		})
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 3; i++ {
+		t0 := time.Now()
+		sweep(core.ZeroOverheads())
+		sweep(core.PaperOverheads())
+		if d := time.Since(t0); d < best {
+			best = d
+		}
+	}
+	// The set count is part of the name: a -quick run must never be
+	// compared against a full-size baseline in gate mode.
+	return admitd.RigResult{
+		Name:      fmt.Sprintf("section4_sweep/sets=%d", sets),
+		NsPerOp:   float64(best.Nanoseconds()),
+		OpsPerSec: 1e9 / float64(best.Nanoseconds()),
+		Desc:      fmt.Sprintf("one full Section-4 sweep pair (zero + paper overheads, %d sets/point; fork-free analysis hot path)", sets),
+	}
+}
+
+// probesResult measures the raw admission probe rate across all nine
+// partitioning algorithms (the incremental-context regression guard).
+func probesResult() admitd.RigResult {
+	algs := []core.Algorithm{
+		core.FPTS, core.FFD, core.WFD, core.BFD,
+		core.SPA1, core.SPA2,
+		core.EDFWM, core.EDFFFD, core.EDFWFD,
+	}
+	var sets []*core.TaskSet
+	for _, u := range []float64{3.0, 3.4, 3.7} {
+		sets = append(sets, core.GenerateTaskSets(core.GenConfig{N: 12, TotalUtilization: u, Seed: int64(1000 * u)}, 4)...)
+	}
+	model := core.PaperOverheads()
+	before := core.AdmissionStatsSnapshot()
+	t0 := time.Now()
+	// Loop for at least a second: a single pass is short enough that
+	// scheduler noise dominates on small hosts.
+	for elapsed := time.Duration(0); elapsed < time.Second; elapsed = time.Since(t0) {
+		for _, set := range sets {
+			for _, alg := range algs {
+				_, _ = alg.Partition(set.Clone(), 4, model) //nolint:errcheck // rejections expected at high U
+			}
+		}
+	}
+	elapsed := time.Since(t0)
+	probes := core.AdmissionStatsSnapshot().Sub(before).Probes
+	perProbe := float64(elapsed.Nanoseconds()) / float64(probes)
+	return admitd.RigResult{
+		Name:      "partition_probes",
+		NsPerOp:   perProbe,
+		OpsPerSec: 1e9 / perProbe,
+		Desc:      "one placement probe across the nine partitioning algorithms (fork-free packing loop)",
+	}
+}
+
+func parseProcs(s string) ([]int, error) {
+	var ps []int
+	for _, f := range strings.Split(s, ",") {
+		p, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || p < 1 {
+			return nil, fmt.Errorf("bad -procs %q", s)
+		}
+		ps = append(ps, p)
+	}
+	if len(ps) == 0 {
+		return nil, fmt.Errorf("empty -procs")
+	}
+	return ps, nil
+}
+
+func readDoc(path string) (*benchDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc benchDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, err
+	}
+	return &doc, nil
+}
+
+func find(rs []admitd.RigResult, name string) admitd.RigResult {
+	for _, r := range rs {
+		if r.Name == name {
+			return r
+		}
+	}
+	return admitd.RigResult{}
+}
+
+func findAt(rs []admitd.RigResult, name string, procs int) admitd.RigResult {
+	for _, r := range rs {
+		if r.Name == name && r.GOMAXPROCS == procs {
+			return r
+		}
+	}
+	return admitd.RigResult{}
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}
+
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return runtime.GOARCH
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return runtime.GOARCH
+}

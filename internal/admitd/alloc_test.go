@@ -1,0 +1,132 @@
+package admitd
+
+import (
+	"context"
+	"testing"
+
+	"repro/api"
+	"repro/internal/overhead"
+	"repro/internal/task"
+)
+
+// Allocation-regression guards for the service read path, the admitd
+// half of the analysis-layer guards in internal/analysis/alloc_test.go:
+// a non-holding try, a cache-hit state render, and a try-only batch
+// must not allocate in steady state. These are the endpoints loadgen
+// hammers; a single alloc per request shows up directly as GC time on
+// the multi-core rig.
+//
+// testing.AllocsPerRun pins GOMAXPROCS to 1 during measurement, so
+// the batch guard exercises the inline single-worker path — the
+// worker fan-out itself (goroutines, WaitGroup) allocates by nature
+// and is covered by the race suite instead.
+
+// allocSession seeds a 4-core fixed-priority session with a dozen
+// resident tasks, mirroring benchSession's steady-state shape.
+func allocSession(tb testing.TB) *Session {
+	tb.Helper()
+	s := newSession("alloc", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil)
+	id := int64(1)
+	admit := func(core int) {
+		req := api.AdmitRequest{Task: benchTask(id), Core: &core}
+		var v api.Verdict
+		var err error
+		s.call(func() { v, err = s.admitLocked(req) }) //nolint:errcheck // checked below
+		if err != nil || !v.Admitted {
+			tb.Fatalf("seed %d on core %d: %+v %v", id, core, v, err)
+		}
+		id++
+	}
+	for i := 0; i < 6; i++ {
+		admit(3)
+	}
+	for c := 0; c < 3; c++ {
+		admit(c)
+		admit(c)
+	}
+	return s
+}
+
+func sessAssertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc guards are meaningless under -race: sync.Pool drops Puts to randomize reuse")
+	}
+	for i := 0; i < 5; i++ {
+		f() // warm pools, caches and verdict memos
+	}
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", name, n)
+	}
+}
+
+// TestTryReadAllocFree guards the non-holding admission query: wire
+// conversion into pooled scratch, the COW duplicate check, and a
+// first-fit probe through one pinned prober.
+func TestTryReadAllocFree(t *testing.T) {
+	s := allocSession(t)
+	defer s.close()
+	req := api.AdmitRequest{Task: benchTask(1 << 40)}
+	sessAssertZeroAllocs(t, "tryRead/first-fit", func() {
+		if _, err := s.tryRead(req); err != nil {
+			t.Fatal(err)
+		}
+	})
+	core := 2
+	reqCore := api.AdmitRequest{Task: benchTask(1<<40 + 1), Core: &core}
+	sessAssertZeroAllocs(t, "tryRead/explicit-core", func() {
+		if _, err := s.tryRead(reqCore); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestStateReadAllocFree guards the memoized state render: between
+// commits, repeat reads are a cache hit plus the shared schedulable
+// pointer — no render, no allocation.
+func TestStateReadAllocFree(t *testing.T) {
+	s := allocSession(t)
+	defer s.close()
+	sessAssertZeroAllocs(t, "stateRead/cache-hit", func() {
+		if _, err := s.stateRead(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestStatsReadAllocFree guards the stats read: three atomic loads
+// and struct arithmetic.
+func TestStatsReadAllocFree(t *testing.T) {
+	s := allocSession(t)
+	defer s.close()
+	sessAssertZeroAllocs(t, "statsRead", func() {
+		if _, err := s.statsRead(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestBatchTryReadAllocFree guards the try-only batch: K wire tasks
+// convert into the pooled slab and probe first-fit against one
+// snapshot through one prober, with verdicts written into the pooled
+// slab. Under AllocsPerRun's GOMAXPROCS=1 this is the inline
+// single-worker path.
+func TestBatchTryReadAllocFree(t *testing.T) {
+	s := allocSession(t)
+	defer s.close()
+	tasks := make([]api.Task, 8)
+	for i := range tasks {
+		tasks[i] = benchTask(1<<41 + int64(i))
+	}
+	req := api.BatchRequest{Tasks: tasks, TryOnly: true}
+	ctx := context.Background()
+	sessAssertZeroAllocs(t, "batchTryRead", func() {
+		sum, err := s.batchTryRead(ctx, req, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum.Admitted+sum.Rejected != len(tasks) {
+			t.Fatalf("batch summary %+v, want %d verdicts", sum, len(tasks))
+		}
+	})
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -109,6 +110,12 @@ type LoadStats struct {
 	Tries    int64
 	Removes  int64
 	Elapsed  time.Duration
+	// AllocsPerOp is the process-wide heap allocations per request
+	// over the timed window (runtime mallocs delta / requests). With
+	// the in-process transport it covers client and server both — the
+	// number the allocation-free read path is accountable to; over
+	// HTTP it only sees the client side.
+	AllocsPerOp float64
 	// Per-op-class latency percentiles: reads ride the lock-free
 	// snapshot path, writes the session actor.
 	ReadLatency  LatencySummary
@@ -125,8 +132,8 @@ func (ls *LoadStats) Throughput() float64 {
 
 // String renders the run for CLI output.
 func (ls *LoadStats) String() string {
-	return fmt.Sprintf("%d requests in %v (%.0f req/s): %d admitted, %d rejected, %d tries, %d removes, %d errors\n  reads  (snapshot path): %v\n  writes (actor path):    %v",
-		ls.Requests, ls.Elapsed.Round(time.Millisecond), ls.Throughput(),
+	return fmt.Sprintf("%d requests in %v (%.0f req/s, %.1f allocs/op): %d admitted, %d rejected, %d tries, %d removes, %d errors\n  reads  (snapshot path): %v\n  writes (actor path):    %v",
+		ls.Requests, ls.Elapsed.Round(time.Millisecond), ls.Throughput(), ls.AllocsPerOp,
 		ls.Admitted, ls.Rejected, ls.Tries, ls.Removes, ls.Errors,
 		ls.ReadLatency, ls.WriteLatency)
 }
@@ -165,13 +172,27 @@ func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats,
 	if err := lg.seed(ctx); err != nil {
 		return nil, err
 	}
-	start := time.Now()
 	var wg sync.WaitGroup
 	per := cfg.Requests / cfg.Workers
 	extra := cfg.Requests % cfg.Workers
 	// Per-worker latency samples (contention-free; merged at the end).
+	// Every buffer is sized up front — a worker issues at most n
+	// requests — so the timed window never grows a sample slice: the
+	// reported allocs/op charges the admission paths, not the
+	// measurement harness.
 	readLat := make([][]time.Duration, cfg.Workers)
 	writeLat := make([][]time.Duration, cfg.Workers)
+	for wi := 0; wi < cfg.Workers; wi++ {
+		n := per
+		if wi < extra {
+			n++
+		}
+		readLat[wi] = make([]time.Duration, 0, n)
+		writeLat[wi] = make([]time.Duration, 0, n)
+	}
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
 	for wi := 0; wi < cfg.Workers; wi++ {
 		n := per
 		if wi < extra {
@@ -195,7 +216,9 @@ func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats,
 	}
 	wg.Wait()
 	lg.stats.Elapsed = time.Since(start)
-	var allR, allW []time.Duration
+	runtime.ReadMemStats(&m1)
+	allR := make([]time.Duration, 0, cfg.Requests)
+	allW := make([]time.Duration, 0, cfg.Requests)
 	for wi := range readLat {
 		allR = append(allR, readLat[wi]...)
 		allW = append(allW, writeLat[wi]...)
@@ -203,6 +226,9 @@ func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats,
 	lg.stats.ReadLatency = summarize(allR)
 	lg.stats.WriteLatency = summarize(allW)
 	lg.stats.Requests = lg.requests.Load()
+	if lg.stats.Requests > 0 {
+		lg.stats.AllocsPerOp = float64(m1.Mallocs-m0.Mallocs) / float64(lg.stats.Requests)
+	}
 	lg.stats.Errors = lg.errors.Load()
 	lg.stats.Admitted = lg.admitted.Load()
 	lg.stats.Rejected = lg.rejected.Load()

@@ -1,0 +1,5 @@
+//go:build !race
+
+package admitd
+
+const raceEnabled = false

@@ -3,10 +3,6 @@ package admitd
 import (
 	"sync/atomic"
 	"testing"
-
-	"repro/api"
-	"repro/internal/overhead"
-	"repro/internal/task"
 )
 
 // BenchmarkSessionParallelReads is the read-path regression guard: N
@@ -15,13 +11,13 @@ import (
 // pairs through the actor in both variants. The two sub-benchmarks
 // differ only in how reads are served:
 //
-//	readpath — the lock-free snapshot path (this PR)
+//	readpath — the lock-free snapshot path
 //	actor    — every read serialized through the session actor,
 //	           recomputed per call (the pre-fork behavior)
 //
-// Try requests draw from 16 task classes — admission traffic is
-// task *types*, not unique shapes — so the snapshot's per-core probe
-// memo gets the hit rate a real front end would see.
+// The workload itself lives in perfrig.go (readMixLoop), shared with
+// cmd/spbench — the multi-core rig that runs this same mix across
+// GOMAXPROCS settings and records BENCH_admitd.json.
 //
 // The acceptance bar is readpath ≥ 3x actor throughput on this mix
 // (see BENCH_admitd.json for the recorded trajectory). The win has
@@ -35,148 +31,17 @@ import (
 func BenchmarkSessionParallelReads(b *testing.B) {
 	for _, variant := range []string{"readpath", "actor"} {
 		b.Run(variant, func(b *testing.B) {
-			s := benchSession(b)
+			s, err := rigSession()
+			if err != nil {
+				b.Fatal(err)
+			}
 			defer s.close()
-			var ids atomic.Int64
-			ids.Store(1 << 20)
-			b.SetParallelism(8) // goroutines per GOMAXPROCS
-			b.ResetTimer()
-			b.RunParallel(func(pb *testing.PB) {
-				g := ids.Add(1)
-				var outstanding int64 // ≤1 churn task per goroutine
-				i := int(g % 100)
-				for pb.Next() {
-					i++
-					op := i % 100
-					switch {
-					case op < 10:
-						// 10% writes through the actor in both variants:
-						// admit a churn task on a rotating core, remove it
-						// on the next write — the session stays in steady
-						// state instead of ballooning with b.N.
-						if outstanding != 0 {
-							rm := outstanding
-							outstanding = 0
-							if err := s.call(func() { s.removeLocked(task.ID(rm)) }); err != nil { //nolint:errcheck // churn
-								b.Error(err)
-								return
-							}
-						} else {
-							id := ids.Add(1)
-							wc := int(id % 3) // churn cores 0..2; core 3 pins N
-							req := api.AdmitRequest{Task: benchTask(id), Core: &wc}
-							var v api.Verdict
-							if err := s.call(func() { v, _ = s.admitLocked(req) }); err != nil {
-								b.Error(err)
-								return
-							}
-							if v.Admitted {
-								outstanding = id
-							}
-						}
-					case op < 50:
-						// 40% try, drawn from 16 task classes against a
-						// rotating explicit core (placement probing).
-						tc := i % 4
-						req := api.AdmitRequest{Task: benchTask(1<<40 + (g+int64(i))%16), Core: &tc}
-						if variant == "readpath" {
-							if _, err := s.tryRead(req); err != nil {
-								b.Error(err)
-								return
-							}
-						} else {
-							var err error
-							if cerr := s.call(func() { _, err = s.tryLocked(req) }); cerr != nil || err != nil {
-								b.Error(cerr, err)
-								return
-							}
-						}
-					case op < 90: // 40% state
-						if variant == "readpath" {
-							s.stateRead()
-						} else {
-							s.call(func() { stateOnActor(s) }) //nolint:errcheck // bench
-						}
-					default: // 10% stats
-						if variant == "readpath" {
-							s.statsRead()
-						} else {
-							s.call(func() { s.statsLocked() }) //nolint:errcheck // bench
-						}
-					}
-				}
-			})
+			b.ReportAllocs()
+			var errs atomic.Int64
+			readMixLoop(b, s, variant, &errs)
+			if n := errs.Load(); n > 0 {
+				b.Fatalf("%d request errors in %s mix", n, variant)
+			}
 		})
 	}
-}
-
-// benchSession seeds one 4-core session with 14 resident tasks: 8 on
-// core 3 — a loaded core that pins the global queue bound N, the
-// steady-state shape of a cluster under sustained load — and 2 on
-// each churn core, so the 10%-write churn (cores 0–2, ±1 task) never
-// moves N and the per-core caches behave as they would in
-// production.
-func benchSession(b *testing.B) *Session {
-	b.Helper()
-	s := newSession("bench", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil)
-	admit := func(id int64, core int) {
-		req := api.AdmitRequest{Task: benchTask(id), Core: &core}
-		var v api.Verdict
-		var err error
-		s.call(func() { v, err = s.admitLocked(req) }) //nolint:errcheck // checked below
-		if err != nil || !v.Admitted {
-			b.Fatalf("seed %d on core %d: %+v %v", id, core, v, err)
-		}
-	}
-	id := int64(1)
-	for i := 0; i < 8; i++ {
-		admit(id, 3)
-		id++
-	}
-	for c := 0; c < 3; c++ {
-		admit(id, c)
-		id++
-		admit(id, c)
-		id++
-	}
-	return s
-}
-
-// benchTask is a deterministic light task (≤1.5% core utilization).
-func benchTask(id int64) api.Task {
-	period := int64(20+id%180) * 1_000_000
-	wcet := period / 80
-	return api.Task{ID: id, WCETNs: wcet, PeriodNs: period, Priority: int(100 + id%4000), WSS: 64 << 10}
-}
-
-// stateOnActor recomputes the committed state on the actor the way
-// the pre-fork server did: full render plus the context's cached full
-// test per call, no snapshot memoization. Bench baseline only.
-func stateOnActor(s *Session) api.State {
-	resp := api.State{
-		Name:   s.name,
-		Cores:  s.a.NumCores,
-		Policy: policyName(s.policy),
-	}
-	for c := 0; c < s.a.NumCores; c++ {
-		u := 0.0
-		for _, t := range s.a.Normal[c] {
-			resp.Tasks = append(resp.Tasks, fromTask(t, c))
-			u += t.Utilization()
-		}
-		for _, sp := range s.a.Splits {
-			for _, p := range sp.Parts {
-				if p.Core == c {
-					u += float64(p.Budget) / float64(sp.Task.Period)
-				}
-			}
-		}
-		resp.CoreUtilization = append(resp.CoreUtilization, u)
-	}
-	for _, sp := range s.a.Splits {
-		resp.Splits = append(resp.Splits, fromSplit(sp))
-	}
-	ok := s.actx.Schedulable()
-	resp.Schedulable = &ok
-	return resp
 }

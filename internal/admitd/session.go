@@ -61,10 +61,12 @@ type Session struct {
 	a    *task.Assignment
 	actx analysis.Context
 
-	// tasks is the committed task-ID set: actor-written, read
-	// lock-free by the read path's duplicate checks. nTasks mirrors
-	// its size.
-	tasks  sync.Map // task.ID -> struct{}
+	// tasks is the committed task-ID set (see idSet): actor-written
+	// with O(1) lock-free writes, read lock-free and allocation-free
+	// by the read path's duplicate checks — sync.Map.Load would box
+	// the int64-backed key on every call, and a clone-per-write COW
+	// map costs O(n) per admit. nTasks mirrors its size.
+	tasks  *idSet
 	nTasks atomic.Int64
 
 	// Held-probe state (the two-phase try/commit|rollback protocol);
@@ -131,6 +133,7 @@ func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assig
 	if coll != nil {
 		s.actx.SetCollector(coll)
 	}
+	s.tasks = newIDSet()
 	for _, ts := range a.Normal {
 		for _, t := range ts {
 			s.registerTask(t.ID)
@@ -147,22 +150,23 @@ func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assig
 	return s
 }
 
-// registerTask / unregisterTask maintain the lock-free committed
-// task-ID set (actor side, except during construction).
+// registerTask / unregisterTask maintain the committed task-ID set.
+// Writers are serialized already (the actor, or construction before
+// the session is reachable); both are O(1) amortized.
 func (s *Session) registerTask(id task.ID) {
-	s.tasks.Store(id, struct{}{})
+	s.tasks.add(id)
 	s.nTasks.Add(1)
 }
 
 func (s *Session) unregisterTask(id task.ID) {
-	s.tasks.Delete(id)
+	s.tasks.remove(id)
 	s.nTasks.Add(-1)
 }
 
-// hasTask is the read-path duplicate check.
+// hasTask is the read-path duplicate check: an atomic table load plus
+// a linear probe, no lock, no allocation.
 func (s *Session) hasTask(id task.ID) bool {
-	_, ok := s.tasks.Load(id)
-	return ok
+	return s.tasks.has(id)
 }
 
 // loop is the actor: it owns the context and runs every request in
@@ -455,14 +459,24 @@ func (s *Session) setPend(kind int) {
 // tentative mutation is uncommitted, so the committed snapshot is
 // exactly the state reads should describe.
 
+// taskPool recycles the wire-to-internal task conversions on the
+// probe-only read paths. A pooled task is only ever handed to
+// snapshot probes, which copy what they need (the probe key, the
+// tentative entity) and never retain the pointer — commit paths keep
+// using heap tasks, because an admitted task lives in the assignment.
+var taskPool = sync.Pool{New: func() any { return new(task.Task) }}
+
 // tryRead answers a non-holding admission query from the latest
-// published snapshot, without entering the actor.
+// published snapshot, without entering the actor. Steady-state it
+// does not allocate: the task converts into pooled scratch and the
+// first-fit loop pins one pooled prober across all cores.
 func (s *Session) tryRead(req api.AdmitRequest) (api.Verdict, error) {
 	if s.closedFlag.Load() {
 		return api.Verdict{}, ErrSessionClosed
 	}
-	t, err := toTask(req.Task, s.policy)
-	if err != nil {
+	t := taskPool.Get().(*task.Task)
+	defer taskPool.Put(t)
+	if err := toTaskInto(t, req.Task, s.policy); err != nil {
 		return api.Verdict{}, err
 	}
 	if s.hasTask(t.ID) {
@@ -482,9 +496,11 @@ func (s *Session) tryRead(req api.AdmitRequest) (api.Verdict, error) {
 		}
 		return resp, nil
 	}
+	pr := snap.Prober()
+	defer pr.Close()
 	for c := 0; c < snap.NumCores(); c++ {
 		resp.Probes++
-		if snap.TryPlace(t, c) {
+		if pr.TryPlace(t, c) {
 			resp.Admitted, resp.Core = true, c
 			return resp, nil
 		}
@@ -502,33 +518,52 @@ func (s *Session) stateRead() (api.State, error) {
 		return api.State{}, ErrSessionClosed
 	}
 	snap := s.actx.Fork()
-	var body api.State
-	if e := s.stateCache.Load(); e != nil && e.seq == snap.Seq() {
-		body = e.st
-	} else {
-		body = api.State{
-			Name:   s.name,
-			Cores:  snap.NumCores(),
-			Policy: policyName(s.policy),
-		}
-		snap.RangeTasks(func(t *task.Task, c int) {
-			body.Tasks = append(body.Tasks, fromTask(t, c))
-		})
-		snap.RangeSplits(func(sp *task.Split) {
-			body.Splits = append(body.Splits, fromSplit(sp))
-		})
-		body.CoreUtilization = snap.CoreUtilization()
-		s.stateCache.Store(&stateCacheEntry{seq: snap.Seq(), st: body})
+	e := s.stateCache.Load()
+	if e == nil || e.seq != snap.Seq() {
+		// Render in a separate frame: the range closures there take
+		// the body's address, and hoisting them out of this function
+		// keeps the cache-hit path's copy on the stack (zero allocs).
+		e = &stateCacheEntry{seq: snap.Seq(), st: s.renderState(snap)}
+		s.stateCache.Store(e)
 	}
+	body := e.st
 	if s.pendFlag.Load() == pendNone {
-		ok := snap.Schedulable()
-		body.Schedulable = &ok
+		if snap.Schedulable() {
+			body.Schedulable = &schedTrue
+		} else {
+			body.Schedulable = &schedFalse
+		}
 	} else {
 		body.Schedulable = nil
 		body.ProbePending = true
 	}
 	return body, nil
 }
+
+// renderState builds the committed-state body from a snapshot (the
+// stateCache miss path).
+func (s *Session) renderState(snap analysis.Snapshot) api.State {
+	body := api.State{
+		Name:   s.name,
+		Cores:  snap.NumCores(),
+		Policy: policyName(s.policy),
+	}
+	snap.RangeTasks(func(t *task.Task, c int) {
+		body.Tasks = append(body.Tasks, fromTask(t, c))
+	})
+	snap.RangeSplits(func(sp *task.Split) {
+		body.Splits = append(body.Splits, fromSplit(sp))
+	})
+	body.CoreUtilization = snap.CoreUtilization()
+	return body
+}
+
+// Shared pointees for the optional schedulability verdict, so a
+// cache-hit state render allocates nothing. Never written through.
+var (
+	schedTrue  = true
+	schedFalse = false
+)
 
 // statsRead returns the session's admission counters without the
 // actor: the writer-side counters as republished after the last actor
@@ -628,6 +663,34 @@ func (s *Session) batchWire(req api.BatchRequest) ([]api.Task, error) {
 	return wire, nil
 }
 
+// batchScratch recycles a try-only batch's buffers: the converted
+// task slab and the verdict slab grow to the largest batch seen and
+// are reused across requests.
+type batchScratch struct {
+	taskSlab []task.Task
+	verdicts []api.Verdict
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// probeFirstFit probes one task first-fit across the snapshot's cores
+// through the shared prober, writing the verdict in place.
+func (s *Session) probeFirstFit(pr analysis.Prober, snap analysis.Snapshot, t *task.Task, v *api.Verdict) {
+	v.TaskID, v.Core = int64(t.ID), -1
+	if s.hasTask(t.ID) {
+		// Already admitted: the committed state can't take a
+		// duplicate; report it as not admissible.
+		return
+	}
+	for c := 0; c < snap.NumCores(); c++ {
+		v.Probes++
+		if pr.TryPlace(t, c) {
+			v.Admitted, v.Core = true, c
+			return
+		}
+	}
+}
+
 // batchTryRead is the read-path batch: every task probed first-fit
 // against ONE forked snapshot, fanned across a bounded worker pool,
 // with nothing committed. Verdicts are independent "would this task
@@ -642,59 +705,66 @@ func (s *Session) batchTryRead(ctx context.Context, req api.BatchRequest, emit f
 	if err != nil {
 		return api.BatchSummary{}, err
 	}
+	n := len(wire)
+	bb := batchScratchPool.Get().(*batchScratch)
+	defer batchScratchPool.Put(bb)
+	if cap(bb.taskSlab) < n {
+		bb.taskSlab = make([]task.Task, n)
+		bb.verdicts = make([]api.Verdict, n)
+	}
+	slab, verdicts := bb.taskSlab[:n], bb.verdicts[:n]
+	// The verdict slab is recycled and TaskID == 0 is the "a worker
+	// never reached it" cancellation marker below (wire IDs are
+	// validated nonzero), so it must start zeroed.
+	clear(verdicts)
 	// Validate serially first (cheap), so a malformed task fails the
 	// batch the way the actor path would, not mid-stream.
-	tasks := make([]*task.Task, len(wire))
 	for i, j := range wire {
-		t, err := toTask(j, s.policy)
-		if err != nil {
+		if err := toTaskInto(&slab[i], j, s.policy); err != nil {
 			return api.BatchSummary{}, err
 		}
-		tasks[i] = t
 	}
 	snap := s.actx.Fork()
-	verdicts := make([]api.Verdict, len(wire))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {
 		workers = 8
 	}
-	if workers > len(wire) {
-		workers = len(wire)
+	if workers > n {
+		workers = n
 	}
 	if workers < 1 {
 		workers = 1
 	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(tasks) || ctx.Err() != nil {
-					return
-				}
-				t := tasks[i]
-				v := api.Verdict{TaskID: int64(t.ID), Core: -1}
-				if s.hasTask(t.ID) {
-					// Already admitted: the committed state can't take a
-					// duplicate; report it as not admissible.
-					verdicts[i] = v
-					continue
-				}
-				for c := 0; c < snap.NumCores(); c++ {
-					v.Probes++
-					if snap.TryPlace(t, c) {
-						v.Admitted, v.Core = true, c
-						break
+	if workers == 1 {
+		// Inline fast path: no goroutine, no closure, one pooled
+		// prober's scratch shared across all K probes.
+		pr := snap.Prober()
+		for i := 0; i < n && ctx.Err() == nil; i++ {
+			s.probeFirstFit(pr, snap, &slab[i], &verdicts[i])
+		}
+		pr.Close()
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// One prober per worker: K/workers probes share its
+				// scratch, nothing is allocated per probe.
+				pr := snap.Prober()
+				defer pr.Close()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n || ctx.Err() != nil {
+						return
 					}
+					s.probeFirstFit(pr, snap, &slab[i], &verdicts[i])
 				}
-				verdicts[i] = v
-			}
-		}()
+			}()
+		}
+		wg.Wait()
 	}
-	wg.Wait()
 	sum := api.BatchSummary{Done: true, TryOnly: true}
 	for i := range verdicts {
 		if verdicts[i].TaskID == 0 {
@@ -720,11 +790,10 @@ func (s *Session) batchTryRead(ctx context.Context, req api.BatchRequest, emit f
 // generated batches never collide with admitted tasks.
 func (s *Session) nextFreeID() int64 {
 	max := int64(0)
-	s.tasks.Range(func(k, _ any) bool {
-		if id := int64(k.(task.ID)); id > max {
+	s.tasks.each(func(k task.ID) {
+		if id := int64(k); id > max {
 			max = id
 		}
-		return true
 	})
 	return max + 1
 }

@@ -37,7 +37,19 @@ import (
 // sessions require an explicit priority: admission is online, so
 // there is no whole set to run rate-monotonic assignment over.
 func toTask(j api.Task, p task.Policy) (*task.Task, error) {
-	t := &task.Task{
+	t := new(task.Task)
+	if err := toTaskInto(t, j, p); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// toTaskInto is toTask into caller-provided storage, so the read path
+// can convert into pooled scratch. The filled task must only be
+// retained by callers that own t; probe paths that recycle t must not
+// hand it to anything that keeps the pointer past the probe.
+func toTaskInto(t *task.Task, j api.Task, p task.Policy) error {
+	*t = task.Task{
 		ID:       task.ID(j.ID),
 		Name:     j.Name,
 		WCET:     timeq.Time(j.WCETNs),
@@ -47,15 +59,15 @@ func toTask(j api.Task, p task.Policy) (*task.Task, error) {
 		WSS:      j.WSS,
 	}
 	if j.ID == 0 {
-		return nil, fmt.Errorf("task needs a nonzero id")
+		return fmt.Errorf("task needs a nonzero id")
 	}
 	if err := t.Validate(); err != nil {
-		return nil, err
+		return err
 	}
 	if p == task.FixedPriority && t.Priority == 0 {
-		return nil, fmt.Errorf("task %d: fixed-priority sessions need an explicit priority (smaller = higher)", j.ID)
+		return fmt.Errorf("task %d: fixed-priority sessions need an explicit priority (smaller = higher)", j.ID)
 	}
-	return t, nil
+	return nil
 }
 
 // fromTask converts a task back to the wire form.

@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/overhead"
+	"repro/internal/task"
+	"repro/internal/timeq"
+)
+
+// Allocation-regression guards for the snapshot read path. The
+// admission hot loop is TryPlace/TrySplit on a published snapshot;
+// after the SoA kernels and the pooled probe scratch these must not
+// allocate at all in steady state — a single alloc per probe caps
+// throughput on the multi-core rig long before the arithmetic does.
+//
+// testing.AllocsPerRun averages over every run and does not warm up,
+// so each guard first runs its probe a few times to populate the
+// scratch pools and verdict memos.
+
+// allocSnapshot builds a committed context with a few admitted tasks
+// (and optionally a split chain), engages publication, and returns
+// the snapshot plus a probe task that is NOT in any verdict memo
+// core-0 path yet.
+func allocSnapshot(t *testing.T, pol task.Policy, withSplit bool) (Snapshot, *task.Task) {
+	t.Helper()
+	m := overhead.PaperModel()
+	a := task.NewAssignment(4)
+	a.Policy = pol
+	ctx := ForPolicy(pol).NewContext(a, m)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 12; i++ {
+		tk := probeTask(rng, int64(i+1))
+		if ctx.TryPlace(tk, i%4) {
+			ctx.Commit()
+		} else {
+			ctx.Rollback()
+		}
+	}
+	if withSplit {
+		sp := &task.Split{
+			Task:  &task.Task{ID: 900, WCET: ms(4), Period: ms(40), Priority: 40000, WSS: 64 << 10},
+			Parts: []task.Part{{Core: 0, Budget: ms(2)}, {Core: 1, Budget: ms(2)}},
+		}
+		if pol == task.EDF {
+			sp.Windows = []timeq.Time{ms(20), ms(20)}
+		}
+		ctx.AddSplit(sp)
+	}
+	return ctx.Fork(), probeTask(rng, 500)
+}
+
+// probeSplit is a fresh two-part split to probe with (never committed).
+func probeSplit(pol task.Policy) *task.Split {
+	sp := &task.Split{
+		Task:  &task.Task{ID: 901, WCET: ms(2), Period: ms(50), Priority: 41000, WSS: 32 << 10},
+		Parts: []task.Part{{Core: 1, Budget: ms(1)}, {Core: 2, Budget: ms(1)}},
+	}
+	if pol == task.EDF {
+		sp.Windows = []timeq.Time{ms(25), ms(25)}
+	}
+	return sp
+}
+
+func assertZeroAllocs(t *testing.T, name string, f func()) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("alloc guards are meaningless under -race: sync.Pool drops Puts to randomize reuse")
+	}
+	for i := 0; i < 5; i++ {
+		f() // warm pools, cost caches and verdict memos
+	}
+	if n := testing.AllocsPerRun(100, f); n != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", name, n)
+	}
+}
+
+// TestSnapshotTryPlaceAllocFree guards the memoized whole-task probe:
+// after the first miss stores the verdict, repeats are a lock-free
+// hash lookup with zero allocations.
+func TestSnapshotTryPlaceAllocFree(t *testing.T) {
+	for _, pol := range []task.Policy{task.FixedPriority, task.EDF} {
+		snap, tk := allocSnapshot(t, pol, false)
+		assertZeroAllocs(t, pol.String()+"/TryPlace", func() {
+			snap.TryPlace(tk, 0)
+		})
+	}
+}
+
+// TestSnapshotTryPlaceSolveAllocFree guards the full solve path: a
+// fixed-priority snapshot with a committed split chain disables the
+// verdict memo, so every probe builds per-core views, clones the
+// chains and runs the jitter resolution — all from pooled scratch.
+func TestSnapshotTryPlaceSolveAllocFree(t *testing.T) {
+	snap, tk := allocSnapshot(t, task.FixedPriority, true)
+	assertZeroAllocs(t, "FP/TryPlace+chains", func() {
+		snap.TryPlace(tk, 2)
+	})
+}
+
+// TestSnapshotTrySplitAllocFree guards split probes, which never use
+// the verdict memo: FP runs the chain path, EDF the demand test, both
+// from pooled scratch.
+func TestSnapshotTrySplitAllocFree(t *testing.T) {
+	for _, pol := range []task.Policy{task.FixedPriority, task.EDF} {
+		snap, _ := allocSnapshot(t, pol, pol == task.FixedPriority)
+		sp := probeSplit(pol)
+		assertZeroAllocs(t, pol.String()+"/TrySplit", func() {
+			snap.TrySplit(sp, 1)
+		})
+	}
+}
+
+// TestSnapshotProberBatchAllocFree guards the batched-verdict shape
+// admitd uses: one Prober pinned across K probes.
+func TestSnapshotProberBatchAllocFree(t *testing.T) {
+	snap, tk := allocSnapshot(t, task.FixedPriority, true)
+	sp := probeSplit(task.FixedPriority)
+	assertZeroAllocs(t, "FP/Prober batch", func() {
+		p := snap.Prober()
+		for c := 0; c < snap.NumCores(); c++ {
+			p.TryPlace(tk, c)
+		}
+		p.TrySplit(sp, 1)
+		p.Close()
+	})
+}
+
+// TestSnapshotSchedulableAllocFree guards the state-render read: the
+// full-test verdict is computed at most once per snapshot, so repeat
+// reads are one atomic load.
+func TestSnapshotSchedulableAllocFree(t *testing.T) {
+	for _, pol := range []task.Policy{task.FixedPriority, task.EDF} {
+		snap, _ := allocSnapshot(t, pol, false)
+		assertZeroAllocs(t, pol.String()+"/Schedulable", func() {
+			snap.Schedulable()
+		})
+	}
+}

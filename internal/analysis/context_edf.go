@@ -144,7 +144,13 @@ func (x *edfContext) publish(hint pubHint, fits bool) {
 
 // newEDFEntity mirrors the whole-task entity of edfEntities.
 func newEDFEntity(t *task.Task) *Entity {
-	return &Entity{Task: t, C: t.WCET, T: t.Period, D: t.EffectiveDeadline()}
+	return newEDFEntityInto(new(Entity), t)
+}
+
+// newEDFEntityInto fills e in place (scratch reuse on the probe path).
+func newEDFEntityInto(e *Entity, t *task.Task) *Entity {
+	*e = Entity{Task: t, C: t.WCET, T: t.Period, D: t.EffectiveDeadline()}
+	return e
 }
 
 // edfSplitEntities mirrors the split-part entities of edfEntities.

@@ -249,10 +249,11 @@ func (x *fpContext) publish(hint pubHint, fits bool) {
 		}
 		rec := fpSnapCore{ents: ents, cacheMax: x.sets[c].CacheMax, probes: &probeCache{}}
 		if x.mono {
-			rec.warm = make([]timeq.Time, len(ents))
+			warm := make([]timeq.Time, len(ents))
 			for i, e := range x.sets[c].Entities {
-				rec.warm[i] = e.warmR
+				warm[i] = e.warmR
 			}
+			rec.warm = warm
 		}
 		s.cores[c] = rec
 		x.snapDirty[c] = false

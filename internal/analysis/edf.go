@@ -1,7 +1,7 @@
 package analysis
 
 import (
-	"sort"
+	"slices"
 
 	"repro/internal/overhead"
 	"repro/internal/task"
@@ -70,15 +70,22 @@ func (cs *CoreSet) edfSchedulable(m *overhead.Model, memo *edfDemandMemo, keep b
 	cs.ensureCosts(m)
 	infl := cs.infl
 	rel := cs.relCost
+	// The inner loops below iterate the flat struct-of-arrays mirrors
+	// (periods, deadlines, migration flags) filled by ensureCosts; the
+	// summation order matches the entity order exactly, so the
+	// order-sensitive floating-point utilization sum is bit-identical
+	// to the entity walk.
+	k := len(cs.Entities)
+	periods, deadlines, migr := cs.soaT[:k], cs.soaD[:k], cs.soaMigr[:k]
 	uNum := 0.0
-	for i, e := range cs.Entities {
-		uNum += float64(infl[i]) / float64(e.T)
-		if !e.MigrIn && rel > 0 {
+	for i := 0; i < k; i++ {
+		uNum += float64(infl[i]) / float64(periods[i])
+		if !migr[i] && rel > 0 {
 			// Double-charge the release path as unconditional load;
 			// conservative (see rta.go for the FP analog).
-			uNum += float64(rel) / float64(e.T)
+			uNum += float64(rel) / float64(periods[i])
 		}
-		if e.D < infl[i] {
+		if deadlines[i] < infl[i] {
 			return false, nil
 		}
 	}
@@ -101,19 +108,21 @@ func (cs *CoreSet) edfSchedulable(m *overhead.Model, memo *edfDemandMemo, keep b
 	}
 	for _, t := range pts {
 		var demand timeq.Time
-		for i, e := range cs.Entities {
-			if t < e.D {
+		ti := int64(t)
+		for i := 0; i < k; i++ {
+			d := deadlines[i]
+			if t < d {
 				continue
 			}
-			n := (int64(t)-int64(e.D))/int64(e.T) + 1
+			n := (ti-int64(d))/int64(periods[i]) + 1
 			demand = timeq.AddSat(demand, timeq.MulCount(infl[i], n))
 		}
 		if rel > 0 {
-			for _, e := range cs.Entities {
-				if e.MigrIn {
+			for i := 0; i < k; i++ {
+				if migr[i] {
 					continue
 				}
-				demand = timeq.AddSat(demand, timeq.MulCount(rel, timeq.CeilDiv(t, e.T)))
+				demand = timeq.AddSat(demand, timeq.MulCount(rel, timeq.CeilDiv(t, periods[i])))
 			}
 		}
 		if timeq.AddSat(demand, b) > t {
@@ -127,7 +136,10 @@ func (cs *CoreSet) edfSchedulable(m *overhead.Model, memo *edfDemandMemo, keep b
 	for _, e := range cs.Entities {
 		cov[e] = true
 	}
-	return true, &edfDemandMemo{busyWarm: busyConverged, pts: pts, rawPts: raw, ptsL: l, covered: cov}
+	// Memos are published and shared across probes, so they must own
+	// their point slice — pts may alias the CoreSet's reusable scratch.
+	own := append([]timeq.Time(nil), pts...)
+	return true, &edfDemandMemo{busyWarm: busyConverged, pts: own, rawPts: raw, ptsL: l, covered: cov}
 }
 
 // edfMaxBlocking is max over entities of edfBlocking, computed in one
@@ -203,20 +215,24 @@ func (cs *CoreSet) edfBusyPeriod(infl []timeq.Time, rel, b, start timeq.Time) (t
 	if start > w {
 		w = start
 	}
+	// Iterate the flat mirrors (the caller ran ensureCosts — infl is
+	// its cache, so the mirrors are filled and parallel).
+	k := len(cs.Entities)
+	periods, migr := cs.soaT[:k], cs.soaMigr[:k]
 	for iter := 0; iter < 10000; iter++ {
 		next := b
-		for i, e := range cs.Entities {
-			n := timeq.CeilDiv(w, e.T)
+		for i := 0; i < k; i++ {
+			n := timeq.CeilDiv(w, periods[i])
 			next = timeq.AddSat(next, timeq.MulCount(infl[i], n))
-			if rel > 0 && !e.MigrIn {
+			if rel > 0 && !migr[i] {
 				next = timeq.AddSat(next, timeq.MulCount(rel, n))
 			}
 		}
 		if next == w {
 			converged := w
 			// Also cover the largest relative deadline.
-			for _, e := range cs.Entities {
-				w = timeq.Max(w, e.D)
+			for i := 0; i < k; i++ {
+				w = timeq.Max(w, cs.soaD[i])
 			}
 			return w, converged
 		}
@@ -231,6 +247,11 @@ func (cs *CoreSet) edfBusyPeriod(infl []timeq.Time, rel, b, start timeq.Time) (t
 // reach it).
 const deadlinePointCap = 2_000_000
 
+// ptsScratchMax bounds the deadline-point scratch retained on a
+// CoreSet between evaluations (pooled probe scratch would otherwise
+// pin pathological enumerations near deadlinePointCap forever).
+const ptsScratchMax = 1 << 16
+
 // deadlinePointsMemo enumerates the absolute deadlines ≤ l, sorted
 // and deduplicated, plus the pre-deduplication count (for the cap);
 // the final result is false when the cap was exceeded. With a memo
@@ -238,12 +259,21 @@ const deadlinePointCap = 2_000_000
 // cached horizon (and those of entities the memo does not cover) are
 // generated and merged — the resulting point set, raw count and
 // verdict are identical to the cold enumeration.
+//
+// The returned slice may alias the CoreSet's scratch buffers (reused
+// across evaluations, so the probe path allocates nothing steady
+// state); callers that retain points beyond the evaluation must copy
+// them (see the keep path of edfSchedulable — memos always own
+// private slices, which is what makes the merge target below safe).
 func (cs *CoreSet) deadlinePointsMemo(l timeq.Time, memo *edfDemandMemo) ([]timeq.Time, int, bool) {
+	k := len(cs.Entities)
+	deadlines, periods := cs.soaD[:k], cs.soaT[:k]
 	if memo == nil || memo.covered == nil || l < memo.ptsL {
-		var pts []timeq.Time
+		pts := cs.ptsBuf[:0]
 		raw := 0
-		for _, e := range cs.Entities {
-			for t := e.D; t <= l; t += e.T {
+		for i := 0; i < k; i++ {
+			p := periods[i]
+			for t := deadlines[i]; t <= l; t += p {
 				pts = append(pts, t)
 				raw++
 				if raw > deadlinePointCap {
@@ -251,7 +281,12 @@ func (cs *CoreSet) deadlinePointsMemo(l timeq.Time, memo *edfDemandMemo) ([]time
 				}
 			}
 		}
-		sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
+		if cap(pts) <= ptsScratchMax {
+			cs.ptsBuf = pts[:0]
+		} else {
+			cs.ptsBuf = nil
+		}
+		slices.Sort(pts)
 		// Deduplicate.
 		out := pts[:0]
 		var prev timeq.Time = -1
@@ -264,15 +299,16 @@ func (cs *CoreSet) deadlinePointsMemo(l timeq.Time, memo *edfDemandMemo) ([]time
 		return out, raw, true
 	}
 	raw := memo.rawPts
-	var extra []timeq.Time
-	for _, e := range cs.Entities {
-		t0 := e.D
-		if memo.covered[e] && e.D <= memo.ptsL {
+	extra := cs.extraBuf[:0]
+	for i := 0; i < k; i++ {
+		d, p := deadlines[i], periods[i]
+		t0 := d
+		if memo.covered[cs.Entities[i]] && d <= memo.ptsL {
 			// Resume just past the cached horizon.
-			k := (int64(memo.ptsL)-int64(e.D))/int64(e.T) + 1
-			t0 = e.D + timeq.Time(k)*e.T
+			n := (int64(memo.ptsL)-int64(d))/int64(p) + 1
+			t0 = d + timeq.Time(n)*p
 		}
-		for t := t0; t <= l; t += e.T {
+		for t := t0; t <= l; t += p {
 			extra = append(extra, t)
 			raw++
 			if raw > deadlinePointCap {
@@ -280,12 +316,18 @@ func (cs *CoreSet) deadlinePointsMemo(l timeq.Time, memo *edfDemandMemo) ([]time
 			}
 		}
 	}
+	if cap(extra) <= ptsScratchMax {
+		cs.extraBuf = extra[:0]
+	} else {
+		cs.extraBuf = nil
+	}
 	if len(extra) == 0 {
 		return memo.pts, raw, true
 	}
-	sort.Slice(extra, func(i, j int) bool { return extra[i] < extra[j] })
-	// Merge the two sorted runs, deduplicating.
-	out := make([]timeq.Time, 0, len(memo.pts)+len(extra))
+	slices.Sort(extra)
+	// Merge the two sorted runs, deduplicating, into the points
+	// scratch (never aliased by memo.pts: memos own private copies).
+	out := cs.ptsBuf[:0]
 	i, j := 0, 0
 	var prev timeq.Time = -1
 	for i < len(memo.pts) || j < len(extra) {
@@ -308,6 +350,11 @@ func (cs *CoreSet) deadlinePointsMemo(l timeq.Time, memo *edfDemandMemo) ([]time
 			out = append(out, t)
 			prev = t
 		}
+	}
+	if cap(out) <= ptsScratchMax {
+		cs.ptsBuf = out[:0]
+	} else {
+		cs.ptsBuf = nil
 	}
 	return out, raw, true
 }

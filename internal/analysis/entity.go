@@ -125,6 +125,36 @@ type CoreSet struct {
 	maxArr     timeq.Time
 	perRelease timeq.Time
 	nonMigr    int
+
+	// Struct-of-arrays mirrors of the immutable entity parameters,
+	// filled by the same ensureCosts pass and parallel to Entities:
+	// the response-time and demand-bound inner loops iterate these
+	// flat slices instead of chasing *Entity pointers, so the
+	// fixed-point hot path touches contiguous memory and performs no
+	// per-iteration loads through entity headers. Jitter is NOT
+	// mirrored here: the owner's chain resolution mutates it without
+	// invalidating this cache, so responseTime refreshes soaJ per
+	// solve instead.
+	soaT    []timeq.Time
+	soaD    []timeq.Time
+	soaPrio []int32
+	soaMigr []bool
+	// prioNarrow reports that every LocalPriority fit int32; the
+	// solver falls back to the entity walk otherwise (priorities are
+	// small in practice — RM ranks and the split boost — so the
+	// fallback is defensive only).
+	prioNarrow bool
+
+	// Solver scratch, valid only within one responseTime call: the
+	// per-solve jitter refresh and the per-entity interference
+	// coefficients classified against the solved entity's priority.
+	soaJ    []timeq.Time
+	soaCoef []timeq.Time
+
+	// Deadline-point scratch for the EDF demand test (reused across
+	// evaluations; see deadlinePointsMemo).
+	ptsBuf   []timeq.Time
+	extraBuf []timeq.Time
 }
 
 // invalidateCosts drops the evaluation-cost cache; callers that
@@ -146,9 +176,18 @@ func (cs *CoreSet) ensureCosts(m *overhead.Model) {
 	if cap(cs.infl) < k {
 		cs.infl = make([]timeq.Time, k)
 		cs.blocking = make([]timeq.Time, k)
+		cs.soaT = make([]timeq.Time, k)
+		cs.soaD = make([]timeq.Time, k)
+		cs.soaPrio = make([]int32, k)
+		cs.soaMigr = make([]bool, k)
 	}
 	cs.infl = cs.infl[:k]
 	cs.blocking = cs.blocking[:k]
+	cs.soaT = cs.soaT[:k]
+	cs.soaD = cs.soaD[:k]
+	cs.soaPrio = cs.soaPrio[:k]
+	cs.soaMigr = cs.soaMigr[:k]
+	cs.prioNarrow = true
 	// The six queue-operation costs at this N, interpolated once and
 	// reused for every entity (arrivalCost/departureCost/ReleaseCost
 	// spelled out with the shared constants).
@@ -162,6 +201,13 @@ func (cs *CoreSet) ensureCosts(m *overhead.Model) {
 	cs.maxDep, cs.maxArr = 0, 0
 	cs.nonMigr = 0
 	for i, e := range cs.Entities {
+		cs.soaT[i] = e.T
+		cs.soaD[i] = e.D
+		cs.soaMigr[i] = e.MigrIn
+		cs.soaPrio[i] = int32(e.LocalPriority)
+		if int(cs.soaPrio[i]) != e.LocalPriority {
+			cs.prioNarrow = false
+		}
 		var arr timeq.Time
 		if e.MigrIn {
 			arr = m.Sched + m.Cache.Delay(e.Task.WSS, true)
@@ -197,18 +243,38 @@ func (cs *CoreSet) ensureCosts(m *overhead.Model) {
 		}
 	} else {
 		cs.perRelease = m.Release + dSleepDelL + dReadyAddL
-		for i, e := range cs.Entities {
-			n := 0
-			for _, o := range cs.Entities {
-				if o != e && o.LocalPriority > e.LocalPriority && !o.MigrIn {
-					n++
+		if cs.prioNarrow {
+			// Count lower-priority timer-released entities over the flat
+			// mirrors (index inequality equals pointer inequality:
+			// entities are unique within a set).
+			for i := 0; i < k; i++ {
+				pi := cs.soaPrio[i]
+				n := 0
+				for j := 0; j < k; j++ {
+					if j != i && cs.soaPrio[j] > pi && !cs.soaMigr[j] {
+						n++
+					}
 				}
+				batch := cs.perRelease * timeq.Time(n)
+				if batch > 0 {
+					batch += m.Sched
+				}
+				cs.blocking[i] = batch + cs.maxDep + cs.maxArr
 			}
-			batch := cs.perRelease * timeq.Time(n)
-			if batch > 0 {
-				batch += m.Sched
+		} else {
+			for i, e := range cs.Entities {
+				n := 0
+				for _, o := range cs.Entities {
+					if o != e && o.LocalPriority > e.LocalPriority && !o.MigrIn {
+						n++
+					}
+				}
+				batch := cs.perRelease * timeq.Time(n)
+				if batch > 0 {
+					batch += m.Sched
+				}
+				cs.blocking[i] = batch + cs.maxDep + cs.maxArr
 			}
-			cs.blocking[i] = batch + cs.maxDep + cs.maxArr
 		}
 	}
 	cs.costsOK = true

@@ -1,0 +1,9 @@
+//go:build race
+
+package analysis
+
+// raceEnabled gates the allocation guards: under the race detector
+// sync.Pool intentionally drops a fraction of Puts (to randomize
+// reuse), so pooled scratch allocates and AllocsPerRun counts are
+// meaningless.
+const raceEnabled = true

@@ -59,26 +59,68 @@ func (cs *CoreSet) responseTime(e *Entity, m *overhead.Model, start timeq.Time) 
 	}
 	relCost := cs.relCost
 	ep := e.LocalPriority
+	// Per-solve struct-of-arrays setup: classify every entity's
+	// interference against e once — coef[j] is the inflated budget for
+	// higher-priority entities, the release-path cost for
+	// lower-priority timer releases, and 0 for everything inert (e
+	// itself, equal priorities, migrated lower-priority arrivals) —
+	// and refresh the jitter mirror (chain resolution mutates Jitter
+	// without invalidating the cost cache, so it cannot live there).
+	// The fixed-point loop below then touches only flat slices: a
+	// skipped zero coefficient contributes exactly the zero the
+	// entity-walk formulation added, so verdicts are bit-identical.
+	k := len(cs.Entities)
+	if cap(cs.soaJ) < k {
+		cs.soaJ = make([]timeq.Time, k)
+		cs.soaCoef = make([]timeq.Time, k)
+	}
+	jit := cs.soaJ[:k]
+	coef := cs.soaCoef[:k]
+	if cs.prioNarrow {
+		ep32 := int32(ep)
+		for j, o := range cs.Entities {
+			jit[j] = o.Jitter
+			p := cs.soaPrio[j]
+			switch {
+			case j == self:
+				coef[j] = 0
+			case p < ep32:
+				coef[j] = cs.infl[j]
+			case relCost > 0 && p > ep32 && !cs.soaMigr[j]:
+				coef[j] = relCost
+			default:
+				coef[j] = 0
+			}
+		}
+	} else {
+		for j, o := range cs.Entities {
+			jit[j] = o.Jitter
+			switch {
+			case j == self:
+				coef[j] = 0
+			case o.LocalPriority < ep:
+				coef[j] = cs.infl[j]
+			case relCost > 0 && o.LocalPriority > ep && !o.MigrIn:
+				coef[j] = relCost
+			default:
+				coef[j] = 0
+			}
+		}
+	}
+	periods := cs.soaT[:k]
 	r := base
 	if start > r {
 		r = start
 	}
 	for iter := 0; iter < 10000; iter++ {
 		total := base
-		for j, o := range cs.Entities {
-			if j == self {
+		for j := 0; j < k; j++ {
+			c := coef[j]
+			if c == 0 {
 				continue
 			}
-			if o.LocalPriority < ep {
-				// Higher-priority interference with inflated budgets.
-				n := timeq.CeilDiv(r+o.Jitter, o.T)
-				total = timeq.AddSat(total, timeq.MulCount(cs.infl[j], n))
-			} else if relCost > 0 && o.LocalPriority > ep && !o.MigrIn {
-				// Lower-priority timer releases interfere with their
-				// release-path cost regardless of priority.
-				n := timeq.CeilDiv(r+o.Jitter, o.T)
-				total = timeq.AddSat(total, timeq.MulCount(relCost, n))
-			}
+			n := timeq.CeilDiv(r+jit[j], periods[j])
+			total = timeq.AddSat(total, timeq.MulCount(c, n))
 		}
 		if total == r {
 			// A cold start can only converge at r ≤ limit (larger

@@ -76,6 +76,13 @@ type Snapshot interface {
 	// TrySplit reports whether core c would still admit with the
 	// split installed, without changing any state.
 	TrySplit(sp *task.Split, c int) bool
+	// Prober returns a probe evaluator bound to this snapshot that
+	// answers exactly like TryPlace/TrySplit but pins one set of
+	// goroutine-local scratch across calls, so a batch of K probes
+	// runs without per-probe pool traffic. A Prober is not safe for
+	// concurrent use; Close returns the scratch (the snapshot itself
+	// remains valid).
+	Prober() Prober
 	// Schedulable runs the full admission test on the committed
 	// state. It is computed at most once per snapshot and cached.
 	Schedulable() bool
@@ -269,29 +276,135 @@ func probeKeyOf(t *task.Task) probeKey {
 // the next snapshot for cores whose published record (and the global
 // queue bound) did not change — repeated admission tries of the same
 // task shapes, the bread and butter of admission control traffic,
-// then cost a map lookup. Size-capped as a backstop against unbounded
-// task-shape diversity.
+// then cost a hash lookup. Size-capped as a backstop against
+// unbounded task-shape diversity.
+//
+// The cache is an insert-only open-addressing hash table tuned for
+// the read path: a lookup is linear probing over a published slot
+// array with one atomic load per slot and zero allocations (a
+// sync.Map here would box the struct key on every Load — one heap
+// allocation per probe on the hottest path in the system). Writers
+// run on the miss path, which just paid a full admission solve, so
+// they simply serialize on a mutex; each entry becomes visible
+// through a release store of its slot state that reader acquire
+// loads observe, and nothing is ever deleted or moved within a
+// table, so a reader either finds a fully published entry or stops
+// at an empty slot and reports a miss.
 type probeCache struct {
-	m sync.Map // probeKey -> bool
-	n atomic.Int64
+	tab atomic.Pointer[probeTable]
+	mu  sync.Mutex // serializes store and growth
 }
 
-const probeCacheCap = 8192
+type probeTable struct {
+	slots []probeSlot // power-of-two length
+	used  int         // completed inserts; guarded by probeCache.mu
+}
+
+type probeSlot struct {
+	state   atomic.Uint32 // slotEmpty or slotReady
+	verdict bool
+	key     probeKey
+}
+
+const (
+	slotEmpty uint32 = iota
+	slotReady
+)
+
+const (
+	probeCacheCap  = 8192 // max memoized verdicts per core record
+	probeTableInit = 8    // initial slot count (see store)
+)
+
+// hash mixes the key's five words Fibonacci-style; quality only
+// affects probe-chain length, not correctness.
+func (k probeKey) hash() uint64 {
+	const m = 0x9e3779b97f4a7c15
+	h := (uint64(k.c) ^ 0x8f1bbcdcbfa53e0b) * m
+	h = (h ^ uint64(k.t)) * m
+	h = (h ^ uint64(k.d)) * m
+	h = (h ^ uint64(k.prio)) * m
+	h = (h ^ uint64(k.wss)) * m
+	return h ^ (h >> 32)
+}
 
 func (pc *probeCache) lookup(k probeKey) (bool, bool) {
-	v, ok := pc.m.Load(k)
-	if !ok {
+	t := pc.tab.Load()
+	if t == nil {
 		return false, false
 	}
-	return v.(bool), true
+	mask := uint64(len(t.slots) - 1)
+	h := k.hash()
+	for i := 0; i < len(t.slots); i++ {
+		s := &t.slots[(h+uint64(i))&mask]
+		if s.state.Load() != slotReady {
+			// Insert-only: an empty slot ends k's probe chain. (The
+			// entry may be mid-publication by a concurrent writer —
+			// that is a plain miss; the storer re-checks under the
+			// mutex, so no duplicate is inserted.)
+			return false, false
+		}
+		if s.key == k {
+			return s.verdict, true
+		}
+	}
+	return false, false
 }
 
+// store publishes a solved verdict. The initial table is deliberately
+// tiny: a core dirtied by steady commit churn gets a fresh probeCache
+// every publish and sees only a handful of distinct probes before the
+// next commit discards it, so the common table is a few hundred bytes
+// of short-lived garbage, not a kilobytes-scale slab (a 64-slot
+// initial table measured ~10% of the session read mix in allocation
+// and cold-write cost). Long-lived records grow by doubling as their
+// memo fills.
 func (pc *probeCache) store(k probeKey, verdict bool) {
-	if pc.n.Load() >= probeCacheCap {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	t := pc.tab.Load()
+	if t == nil {
+		t = &probeTable{slots: make([]probeSlot, probeTableInit)}
+		pc.tab.Store(t)
+	}
+	if t.used >= probeCacheCap {
 		return
 	}
-	if _, loaded := pc.m.LoadOrStore(k, verdict); !loaded {
-		pc.n.Add(1)
+	// Grow at 3/4 load: readers keep probing the old table until the
+	// new one is published; entries are copied, never mutated.
+	if t.used >= len(t.slots)*3/4 {
+		nt := &probeTable{slots: make([]probeSlot, 2*len(t.slots)), used: 0}
+		for i := range t.slots {
+			s := &t.slots[i]
+			if s.state.Load() == slotReady && nt.insert(s.key, s.verdict) {
+				nt.used++
+			}
+		}
+		pc.tab.Store(nt)
+		t = nt
+	}
+	if t.insert(k, verdict) {
+		t.used++
+	}
+}
+
+// insert publishes (k, verdict) in the first free slot of k's probe
+// chain; false if the key is already present. Caller holds the mutex
+// (or owns the table exclusively, during growth).
+func (t *probeTable) insert(k probeKey, verdict bool) bool {
+	mask := uint64(len(t.slots) - 1)
+	for h := k.hash(); ; h++ {
+		s := &t.slots[h&mask]
+		if s.state.Load() == slotReady {
+			if s.key == k {
+				return false
+			}
+			continue
+		}
+		s.key = k
+		s.verdict = verdict
+		s.state.Store(slotReady) // release: payload above is now visible
+		return true
 	}
 }
 
@@ -300,8 +413,8 @@ func (pc *probeCache) store(k probeKey, verdict bool) {
 // fpSnapCore is one core's published state: the priority-sorted
 // committed entities (chain entities replaced by snapshot-owned
 // clones), the committed converged response times parallel to ents
-// (nil under a non-monotone model), and the core's probe-verdict
-// memo.
+// (nil under a non-monotone model; backed by the refcounted wbuf),
+// and the core's probe-verdict memo.
 type fpSnapCore struct {
 	ents     []*Entity
 	warm     []timeq.Time
@@ -323,23 +436,91 @@ type fpSnapshot struct {
 	chains []fpSnapChain
 }
 
-// fpProbe is the goroutine-local scratch of one snapshot probe: a
-// per-core view of the probe state (committed entities, chain clones
-// and tentative entities merged in) with a probe-local warm vector.
-type fpProbe struct {
-	s      *fpSnapshot
-	views  []probeView
-	chains []fpSnapChain    // probe-local clones (jitters mutable)
-	failed map[*Entity]bool // lazily allocated by resolve
-	stats  AdmissionStats   // folded into s.rs at the end
+// Prober is a goroutine-local probe evaluator bound to one snapshot;
+// see Snapshot.Prober.
+type Prober interface {
+	TryPlace(t *task.Task, c int) bool
+	TrySplit(sp *task.Split, c int) bool
+	Close()
 }
 
-type probeView struct {
-	cs   CoreSet
-	warm []timeq.Time
+// fpProbeScratch is the pooled allocation behind every fixed-priority
+// snapshot probe: the tentative entity and its one-element placement
+// slices, the single-core probe view of the no-chain fast path, and
+// the per-core views, chain-clone slabs and failure map of the chain
+// path. Everything a probe touches lives here or in the (immutable)
+// snapshot, so steady-state probes allocate nothing.
+type fpProbeScratch struct {
+	ent      Entity
+	addEnts  [1]*Entity
+	addCores [1]int
+	view     probeView // no-chain single-core path
+
+	// chain-path scratch
+	views     []probeView
+	chains    []fpSnapChain
+	cloneSlab []Entity  // chain-entity clones (jitters mutable)
+	clonePtrs []*Entity // pointers into cloneSlab, sliced per chain
+	failed    map[*Entity]bool
+
+	// tentative split chain (TrySplit)
+	split      fpChain
+	splitEnts  []Entity
+	splitPtrs  []*Entity
+	splitCores []int
 }
 
-func (s *fpSnapshot) TryPlace(t *task.Task, c int) bool {
+// buildChain is buildFPChain into the scratch slabs; the entities'
+// analysis parameters are filled identically.
+func (sc *fpProbeScratch) buildChain(sp *task.Split) *fpChain {
+	n := len(sp.Parts)
+	if cap(sc.splitEnts) < n {
+		sc.splitEnts = make([]Entity, n)
+		sc.splitPtrs = make([]*Entity, n)
+		sc.splitCores = make([]int, n)
+	}
+	ents, ptrs, cores := sc.splitEnts[:n], sc.splitPtrs[:n], sc.splitCores[:n]
+	last := n - 1
+	for i, p := range sp.Parts {
+		ents[i] = Entity{
+			Task:           sp.Task,
+			C:              p.Budget,
+			T:              sp.Task.Period,
+			D:              sp.Task.EffectiveDeadline(),
+			LocalPriority:  sp.LocalPriority(),
+			PartIndex:      i,
+			MigrIn:         i > 0,
+			MigrOut:        i < last,
+			RemoteSleepAdd: i == last,
+		}
+		ptrs[i] = &ents[i]
+		cores[i] = p.Core
+	}
+	sc.split = fpChain{sp: sp, ents: ptrs, cores: cores}
+	return &sc.split
+}
+
+// fpProber binds pooled scratch to one snapshot across many probes.
+type fpProber struct {
+	s  *fpSnapshot
+	sc *fpProbeScratch
+}
+
+var fpProberPool = sync.Pool{New: func() any { return &fpProber{sc: new(fpProbeScratch)} }}
+
+func (s *fpSnapshot) Prober() Prober {
+	p := fpProberPool.Get().(*fpProber)
+	p.s = s
+	return p
+}
+
+func (p *fpProber) Close() {
+	p.s = nil
+	fpProberPool.Put(p)
+}
+
+func (p *fpProber) TryPlace(t *task.Task, c int) bool {
+	s := p.s
 	if c < 0 || c >= s.ncores {
 		return false
 	}
@@ -355,26 +536,60 @@ func (s *fpSnapshot) TryPlace(t *task.Task, c int) bool {
 			return ok
 		}
 	}
-	p := fpProbe{s: s}
-	p.stats.Probes++
-	e := newFPEntity(t)
-	ok := p.run([]*Entity{e}, []int{c}, nil, c)
-	s.rs.Add(p.stats)
+	run := fpProbe{s: s, sc: p.sc}
+	run.stats.Probes++
+	e := newFPEntityInto(&p.sc.ent, t)
+	p.sc.addEnts[0], p.sc.addCores[0] = e, c
+	ok := run.run(p.sc.addEnts[:], p.sc.addCores[:], nil, c)
+	s.rs.Add(run.stats)
 	if useMemo {
 		pc.store(key, ok)
 	}
 	return ok
 }
 
-func (s *fpSnapshot) TrySplit(sp *task.Split, c int) bool {
+func (p *fpProber) TrySplit(sp *task.Split, c int) bool {
+	s := p.s
 	if c < 0 || c >= s.ncores {
 		return false
 	}
-	p := fpProbe{s: s}
-	p.stats.Probes++
-	ch := buildFPChain(sp)
-	ok := p.run(ch.ents, ch.cores, ch, c)
-	s.rs.Add(p.stats)
+	run := fpProbe{s: s, sc: p.sc}
+	run.stats.Probes++
+	ch := p.sc.buildChain(sp)
+	ok := run.run(ch.ents, ch.cores, ch, c)
+	s.rs.Add(run.stats)
+	return ok
+}
+
+// fpProbe is the state of one snapshot probe evaluation: a per-core
+// view of the probe state (committed entities, chain clones and
+// tentative entities merged in) with a probe-local warm vector, all
+// backed by the pooled scratch.
+type fpProbe struct {
+	s      *fpSnapshot
+	sc     *fpProbeScratch
+	views  []probeView
+	chains []fpSnapChain    // probe-local clones (jitters mutable)
+	failed map[*Entity]bool // cleared scratch map; grown by resolve
+	stats  AdmissionStats   // folded into s.rs at the end
+}
+
+type probeView struct {
+	cs   CoreSet
+	warm []timeq.Time
+}
+
+func (s *fpSnapshot) TryPlace(t *task.Task, c int) bool {
+	p := s.Prober().(*fpProber)
+	ok := p.TryPlace(t, c)
+	p.Close()
+	return ok
+}
+
+func (s *fpSnapshot) TrySplit(sp *task.Split, c int) bool {
+	p := s.Prober().(*fpProber)
+	ok := p.TrySplit(sp, c)
+	p.Close()
 	return ok
 }
 
@@ -397,59 +612,87 @@ func (s *fpSnapshot) probeN(addCores []int) int {
 	return n
 }
 
-// viewPool recycles single-core probe views across snapshot probes:
-// the hot no-chain path then runs allocation-free (the CoreSet keeps
-// its cost buffers; fillView re-keys them).
-var viewPool = sync.Pool{New: func() any { return new(probeView) }}
-
 // run evaluates one probe: tentative entities add placed on addCores
 // (and, for splits, the tentative chain), verdict for probeCore. It
 // mirrors fpContext.TryPlace/TrySplit on the probe state, with every
-// mutable accelerator probe-local.
+// mutable accelerator probe-local (backed by the pooled scratch, so
+// steady-state probes allocate nothing on either path).
 func (p *fpProbe) run(add []*Entity, addCores []int, tentChain *fpChain, probeCore int) bool {
 	s := p.s
 	probeN := s.probeN(addCores)
 	if len(s.chains) == 0 && tentChain == nil {
 		// No chains, no cross-core coupling: probe core c alone
 		// (mirrors the stateless fast path and the context's),
-		// with pooled scratch.
-		v := viewPool.Get().(*probeView)
+		// in the scratch view (the CoreSet keeps its cost buffers;
+		// fillView re-keys them).
+		v := &p.sc.view
 		p.fillView(v, probeCore, add, addCores, probeN)
-		ok := p.evalCore(v, nil)
-		viewPool.Put(v)
-		return ok
+		return p.evalCore(v, nil)
 	}
 	// Build views for every core; clone the chains probe-locally so
 	// the resolution below never writes shared state.
-	p.views = make([]probeView, s.ncores)
-	for c := range p.views {
-		p.views[c] = *p.buildView(c, add, addCores, probeN)
+	p.buildViews(add, addCores, probeN)
+	p.cloneChains(tentChain)
+	p.resolve()
+	ok := p.evalCore(&p.views[probeCore], p.failed)
+	p.sc.failed = p.failed // retain the lazily grown map
+	return ok
+}
+
+// buildViews assembles every core's probe-state view (committed
+// entities plus any tentative entities hosted there, probe-local warm
+// vectors initialized from the snapshot's committed values) in the
+// scratch view slab.
+func (p *fpProbe) buildViews(add []*Entity, addCores []int, probeN int) {
+	s, sc := p.s, p.sc
+	if cap(sc.views) < s.ncores {
+		sc.views = make([]probeView, s.ncores)
 	}
-	p.chains = make([]fpSnapChain, 0, len(s.chains)+1)
+	sc.views = sc.views[:s.ncores]
+	p.views = sc.views
+	for c := range p.views {
+		p.fillView(&p.views[c], c, add, addCores, probeN)
+	}
+}
+
+// cloneChains clones the snapshot's chains into the scratch slabs
+// (committed jitters baked in at publish; the resolution mutates the
+// clones' jitters), swaps the clones into the views, appends the
+// tentative chain if any, and hands the cleared failure map to the
+// resolution.
+func (p *fpProbe) cloneChains(tentChain *fpChain) {
+	s, sc := p.s, p.sc
+	nclone := 0
 	for _, ch := range s.chains {
-		clone := fpSnapChain{sp: ch.sp, cores: ch.cores, ents: make([]*Entity, len(ch.ents))}
+		nclone += len(ch.ents)
+	}
+	if cap(sc.cloneSlab) < nclone {
+		sc.cloneSlab = make([]Entity, nclone)
+		sc.clonePtrs = make([]*Entity, nclone)
+	}
+	clones, ptrs := sc.cloneSlab[:nclone], sc.clonePtrs[:nclone]
+	p.chains = sc.chains[:0]
+	off := 0
+	for _, ch := range s.chains {
+		n := len(ch.ents)
+		cents := ptrs[off : off+n : off+n]
 		for i, e := range ch.ents {
-			ce := new(Entity)
-			*ce = *e // committed jitter baked in at publish
-			clone.ents[i] = ce
+			ce := &clones[off+i]
+			*ce = *e
+			cents[i] = ce
 			p.swapEntity(ch.cores[i], e, ce)
 		}
-		p.chains = append(p.chains, clone)
+		off += n
+		p.chains = append(p.chains, fpSnapChain{sp: ch.sp, cores: ch.cores, ents: cents})
 	}
 	if tentChain != nil {
 		p.chains = append(p.chains, fpSnapChain{sp: tentChain.sp, ents: tentChain.ents, cores: tentChain.cores})
 	}
-	p.resolve()
-	return p.evalCore(&p.views[probeCore], p.failed)
-}
-
-// buildView assembles core c's probe-state view: committed entities
-// plus any tentative entities hosted there, with the probe-local warm
-// vector initialized from the snapshot's committed values.
-func (p *fpProbe) buildView(c int, add []*Entity, addCores []int, probeN int) *probeView {
-	v := new(probeView)
-	p.fillView(v, c, add, addCores, probeN)
-	return v
+	sc.chains = p.chains[:0]
+	if sc.failed != nil {
+		clear(sc.failed)
+	}
+	p.failed = sc.failed
 }
 
 // fillView is buildView into caller-provided (possibly pooled)
@@ -605,10 +848,12 @@ func (s *fpSnapshot) Schedulable() bool {
 		return s.schedOK
 	}
 	s.schedOnce.Do(func() {
-		p := fpProbe{s: s}
+		pr := s.Prober().(*fpProber)
+		p := fpProbe{s: s, sc: pr.sc}
 		p.stats.FullTests++
 		s.schedOK = p.fullTest()
 		s.rs.Add(p.stats)
+		pr.Close()
 		s.schedDone.Store(true)
 	})
 	return s.schedOK
@@ -616,22 +861,10 @@ func (s *fpSnapshot) Schedulable() bool {
 
 func (p *fpProbe) fullTest() bool {
 	s := p.s
-	p.views = make([]probeView, s.ncores)
-	for c := range p.views {
-		p.views[c] = *p.buildView(c, nil, nil, s.maxN)
-	}
-	p.chains = make([]fpSnapChain, 0, len(s.chains))
-	for _, ch := range s.chains {
-		clone := fpSnapChain{sp: ch.sp, cores: ch.cores, ents: make([]*Entity, len(ch.ents))}
-		for i, e := range ch.ents {
-			ce := new(Entity)
-			*ce = *e
-			clone.ents[i] = ce
-			p.swapEntity(ch.cores[i], e, ce)
-		}
-		p.chains = append(p.chains, clone)
-	}
+	p.buildViews(nil, nil, s.maxN)
+	p.cloneChains(nil)
 	p.resolve()
+	p.sc.failed = p.failed
 	if len(p.failed) > 0 {
 		return false
 	}
@@ -679,50 +912,74 @@ func (s *edfSnapshot) probeN(addCores []int) int {
 	return n
 }
 
-// evalProbe mirrors edfContext.evalProbe on the snapshot: the probe
-// set assembled in the canonical order, the committed memo reused
-// read-only (concurrent readers may share it — nothing writes it).
-func (s *edfSnapshot) evalProbe(c int, place *Entity, parts []*Entity, partCores []int, probeN int) bool {
-	st := &s.cores[c]
-	var buf []*Entity
-	cm := st.cacheMax
-	if place != nil {
-		buf = make([]*Entity, 0, len(st.ents)+1)
-		buf = append(buf, st.ents[:st.nNormals]...)
-		buf = append(buf, place)
-		buf = append(buf, st.ents[st.nNormals:]...)
-		if d := s.m.Cache.MaxDelay(place.Task.WSS); d > cm {
-			cm = d
-		}
-	} else {
-		buf = make([]*Entity, 0, len(st.ents)+len(parts))
-		buf = append(buf, st.ents...)
-		for i, e := range parts {
-			if partCores[i] != c {
-				continue
-			}
-			buf = append(buf, e)
-			if d := s.m.Cache.MaxDelay(e.Task.WSS); d > cm {
-				cm = d
-			}
-		}
-	}
-	var cs CoreSet
-	cs.Entities = buf
-	cs.N = probeN
-	cs.CacheMax = cm
-	var memo *edfDemandMemo
-	if s.mono {
-		memo = st.memo
-	}
-	var stats AdmissionStats
-	stats.Probes, stats.CoreTests = 1, 1
-	ok, _ := cs.edfSchedulable(s.m, memo, false)
-	s.rs.Add(stats)
-	return ok
+// edfProbeScratch is the pooled allocation behind EDF snapshot
+// probes: the tentative entity, the canonical-order entity buffer,
+// one CoreSet whose cost and deadline-point buffers persist across
+// probes, the one-element placement core slice, and the split-part
+// slabs.
+type edfProbeScratch struct {
+	ent      Entity
+	addCores [1]int
+	buf      []*Entity
+	cs       CoreSet
+
+	splitEnts  []Entity
+	splitPtrs  []*Entity
+	splitCores []int
 }
 
-func (s *edfSnapshot) TryPlace(t *task.Task, c int) bool {
+// splitEntities is edfSplitEntities into the scratch slabs.
+func (sc *edfProbeScratch) splitEntities(sp *task.Split) ([]*Entity, []int) {
+	n := len(sp.Parts)
+	if cap(sc.splitEnts) < n {
+		sc.splitEnts = make([]Entity, n)
+		sc.splitPtrs = make([]*Entity, n)
+		sc.splitCores = make([]int, n)
+	}
+	ents, ptrs, cores := sc.splitEnts[:n], sc.splitPtrs[:n], sc.splitCores[:n]
+	last := n - 1
+	for i, p := range sp.Parts {
+		d := sp.Task.EffectiveDeadline()
+		if sp.HasWindows() {
+			d = sp.Windows[i]
+		}
+		ents[i] = Entity{
+			Task:           sp.Task,
+			C:              p.Budget,
+			T:              sp.Task.Period,
+			D:              d,
+			PartIndex:      i,
+			MigrIn:         i > 0,
+			MigrOut:        i < last,
+			RemoteSleepAdd: i == last,
+		}
+		ptrs[i] = &ents[i]
+		cores[i] = p.Core
+	}
+	return ptrs, cores
+}
+
+// edfProber binds pooled scratch to one snapshot across many probes.
+type edfProber struct {
+	s  *edfSnapshot
+	sc *edfProbeScratch
+}
+
+var edfProberPool = sync.Pool{New: func() any { return &edfProber{sc: new(edfProbeScratch)} }}
+
+func (s *edfSnapshot) Prober() Prober {
+	p := edfProberPool.Get().(*edfProber)
+	p.s = s
+	return p
+}
+
+func (p *edfProber) Close() {
+	p.s = nil
+	edfProberPool.Put(p)
+}
+
+func (p *edfProber) TryPlace(t *task.Task, c int) bool {
+	s := p.s
 	if c < 0 || c >= s.ncores {
 		return false
 	}
@@ -735,20 +992,82 @@ func (s *edfSnapshot) TryPlace(t *task.Task, c int) bool {
 			return ok
 		}
 	}
-	e := newEDFEntity(t)
-	ok := s.evalProbe(c, e, nil, nil, s.probeN([]int{c}))
+	sc := p.sc
+	e := newEDFEntityInto(&sc.ent, t)
+	sc.addCores[0] = c
+	ok := s.evalProbe(sc, c, e, nil, nil, s.probeN(sc.addCores[:]))
 	if pc != nil {
 		pc.store(key, ok)
 	}
 	return ok
 }
 
-func (s *edfSnapshot) TrySplit(sp *task.Split, c int) bool {
+func (p *edfProber) TrySplit(sp *task.Split, c int) bool {
+	s := p.s
 	if c < 0 || c >= s.ncores {
 		return false
 	}
-	ents, cores := edfSplitEntities(sp)
-	return s.evalProbe(c, nil, ents, cores, s.probeN(cores))
+	ents, cores := p.sc.splitEntities(sp)
+	return s.evalProbe(p.sc, c, nil, ents, cores, s.probeN(cores))
+}
+
+// evalProbe mirrors edfContext.evalProbe on the snapshot: the probe
+// set assembled in the canonical order within the scratch buffers,
+// the committed memo reused read-only (concurrent readers may share
+// it — nothing writes it, and the scratch CoreSet's point buffers
+// never leak into a memo: memos own private slices).
+func (s *edfSnapshot) evalProbe(sc *edfProbeScratch, c int, place *Entity, parts []*Entity, partCores []int, probeN int) bool {
+	st := &s.cores[c]
+	buf := sc.buf[:0]
+	cm := st.cacheMax
+	if place != nil {
+		buf = append(buf, st.ents[:st.nNormals]...)
+		buf = append(buf, place)
+		buf = append(buf, st.ents[st.nNormals:]...)
+		if d := s.m.Cache.MaxDelay(place.Task.WSS); d > cm {
+			cm = d
+		}
+	} else {
+		buf = append(buf, st.ents...)
+		for i, e := range parts {
+			if partCores[i] != c {
+				continue
+			}
+			buf = append(buf, e)
+			if d := s.m.Cache.MaxDelay(e.Task.WSS); d > cm {
+				cm = d
+			}
+		}
+	}
+	sc.buf = buf[:0]
+	cs := &sc.cs
+	cs.Entities = buf
+	cs.N = probeN
+	cs.CacheMax = cm
+	cs.invalidateCosts()
+	var memo *edfDemandMemo
+	if s.mono {
+		memo = st.memo
+	}
+	var stats AdmissionStats
+	stats.Probes, stats.CoreTests = 1, 1
+	ok, _ := cs.edfSchedulable(s.m, memo, false)
+	s.rs.Add(stats)
+	return ok
+}
+
+func (s *edfSnapshot) TryPlace(t *task.Task, c int) bool {
+	p := s.Prober().(*edfProber)
+	ok := p.TryPlace(t, c)
+	p.Close()
+	return ok
+}
+
+func (s *edfSnapshot) TrySplit(sp *task.Split, c int) bool {
+	p := s.Prober().(*edfProber)
+	ok := p.TrySplit(sp, c)
+	p.Close()
+	return ok
 }
 
 // Schedulable mirrors edfContext.Schedulable without its verdict
@@ -832,3 +1151,13 @@ func (cs *checkedSnapshot) Schedulable() bool {
 	}
 	return got
 }
+
+// Prober routes every probe through the checked snapshot so batched
+// probes are shadow-verified too (test-only; allocates freely).
+func (cs *checkedSnapshot) Prober() Prober { return &checkedProber{cs: cs} }
+
+type checkedProber struct{ cs *checkedSnapshot }
+
+func (p *checkedProber) TryPlace(t *task.Task, c int) bool   { return p.cs.TryPlace(t, c) }
+func (p *checkedProber) TrySplit(sp *task.Split, c int) bool { return p.cs.TrySplit(sp, c) }
+func (p *checkedProber) Close()                              {}

@@ -6,8 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 	"time"
 
@@ -19,9 +22,10 @@ import (
 // and its load generator (driven through the typed client SDK).
 //
 //	spadmitd serve [-addr :7007] [-snapshots dir] [-max-sessions 1024]
+//	               [-pprof localhost:6060]
 //	spadmitd load  [-addr http://host:7007] [-sessions 64] [-requests 100000]
 //	               [-workers 0] [-cores 4] [-tasks 12] [-policy fp] [-seed 1]
-//	               [-mix 90/10]
+//	               [-mix 90/10] [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // `load` without -addr runs against an in-process server — a
 // self-contained smoke/throughput run needing no listener.
@@ -46,9 +50,10 @@ func admitdServe(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("spadmitd serve", flag.ContinueOnError)
 	fs.SetOutput(w)
 	var (
-		addr     = fs.String("addr", ":7007", "listen address")
-		snapshot = fs.String("snapshots", "", "session snapshot directory (enables persistence)")
-		maxSess  = fs.Int("max-sessions", 1024, "live-session cap (LRU eviction beyond it)")
+		addr      = fs.String("addr", ":7007", "listen address")
+		snapshot  = fs.String("snapshots", "", "session snapshot directory (enables persistence)")
+		maxSess   = fs.Int("max-sessions", 1024, "live-session cap (LRU eviction beyond it)")
+		pprofAddr = fs.String("pprof", "", "serve /debug/pprof on this side address (e.g. localhost:6060); empty = off")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +61,22 @@ func admitdServe(args []string, w io.Writer) error {
 	srv, err := admitd.New(admitd.Config{MaxSessions: *maxSess, SnapshotDir: *snapshot})
 	if err != nil {
 		return err
+	}
+	if *pprofAddr != "" {
+		// Profiling is opt-in and on a side listener, so the handlers
+		// never ride the service port.
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, mux); err != nil { //nolint:gosec // debug side listener, opt-in
+				fmt.Fprintf(w, "spadmitd: pprof listener: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(w, "spadmitd pprof on http://%s/debug/pprof/\n", *pprofAddr)
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -92,9 +113,22 @@ func admitdLoad(args []string, w io.Writer) error {
 		policy   = fs.String("policy", "fp", "session policy: fp|edf")
 		seed     = fs.Int64("seed", 1, "workload seed")
 		mix      = fs.String("mix", "", `read/write mix as "R/W" percentages, e.g. 90/10 (default 60/40); reads ride the lock-free snapshot path`)
+		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the load run to this file")
+		memprof  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return err
+		}
+		defer f.Close() //nolint:errcheck // profile file
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
 	}
 	cfg := admitd.LoadConfig{
 		Sessions:        *sessions,
@@ -123,6 +157,20 @@ func admitdLoad(args []string, w io.Writer) error {
 	stats, err := admitd.RunLoad(context.Background(), c, cfg)
 	if err != nil {
 		return err
+	}
+	if *memprof != "" {
+		f, ferr := os.Create(*memprof)
+		if ferr != nil {
+			return ferr
+		}
+		runtime.GC() // settle: profile live retained memory, not garbage
+		if ferr := pprof.WriteHeapProfile(f); ferr != nil {
+			f.Close() //nolint:errcheck // already failing
+			return ferr
+		}
+		if ferr := f.Close(); ferr != nil {
+			return ferr
+		}
 	}
 	fmt.Fprintln(w, stats)
 	if stats.Errors > 0 {

@@ -1,0 +1,28 @@
+#!/bin/sh
+# escape-check.sh — escape-analysis spot-check for the two analysis
+# kernel files (rta.go, edf.go).
+#
+# The FP response-time and EDF demand-bound inner loops are written to
+# keep every per-iteration value on the stack; the allocation guards
+# (alloc_test.go) prove the steady state, and this check catches the
+# compiler-level cause early: a local in a kernel file being "moved to
+# heap" means some refactor made scratch escape, and the next bench run
+# would pay an allocation per probe.
+#
+# Intentional heap allocations remain: memo/entity construction on the
+# setup path and panic-message strings report "escapes to heap" and are
+# fine. Only "moved to heap" — a stack local forced off the stack — is
+# a regression.
+set -eu
+cd "$(dirname "$0")/.."
+
+out="$(go build -gcflags='-m' ./internal/analysis/ 2>&1 |
+	grep -E '^(\./)?internal/analysis/(rta|edf)\.go' |
+	grep 'moved to heap' || true)"
+
+if [ -n "$out" ]; then
+	echo "escape-check: kernel locals moved to heap:" >&2
+	echo "$out" >&2
+	exit 1
+fi
+echo "escape-check: rta.go and edf.go kernels keep their locals on the stack"

@@ -180,6 +180,25 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 			return err
 		}
 	}
+	os := opPool.Get().(*opScratch)
+	defer opPool.Put(os)
+	status, body, err := c.doRaw(ctx, os, method, path, payload)
+	if err != nil {
+		return err
+	}
+	if status >= http.StatusBadRequest {
+		return api.DecodeError(status, body)
+	}
+	if out != nil {
+		return json.Unmarshal(body, out)
+	}
+	return nil
+}
+
+// doRaw is the transport under do: one exchange through the pooled
+// scratch, retrying idempotent methods per WithRetry on transport
+// errors and 5xx responses. The returned body aliases os.
+func (c *Client) doRaw(ctx context.Context, os *opScratch, method, path string, payload []byte) (int, []byte, error) {
 	idempotent := method == http.MethodGet || method == http.MethodDelete
 	attempts := 1
 	if idempotent {
@@ -190,39 +209,22 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if attempt > 0 {
 			select {
 			case <-ctx.Done():
-				return lastErr
+				return 0, nil, lastErr
 			case <-time.After(c.backoff << (attempt - 1)):
 			}
 		}
-		req, err := c.newRequest(ctx, method, path, payload)
-		if err != nil {
-			return err
-		}
-		resp, err := c.doer.Do(req)
+		status, body, err := c.roundTrip(ctx, os, method, path, payload)
 		if err != nil {
 			lastErr = err
 			continue
 		}
-		body, err := io.ReadAll(resp.Body)
-		resp.Body.Close() //nolint:errcheck // read-side close
-		if err != nil {
-			lastErr = err
+		if status >= http.StatusInternalServerError && attempt+1 < attempts {
+			lastErr = api.DecodeError(status, body)
 			continue
 		}
-		if resp.StatusCode >= http.StatusBadRequest {
-			ae := api.DecodeError(resp.StatusCode, body)
-			if resp.StatusCode >= http.StatusInternalServerError {
-				lastErr = ae
-				continue
-			}
-			return ae
-		}
-		if out != nil {
-			return json.Unmarshal(body, out)
-		}
-		return nil
+		return status, body, nil
 	}
-	return lastErr
+	return 0, nil, lastErr
 }
 
 // stream POSTs a request and hands back the NDJSON response body.
@@ -263,13 +265,13 @@ func (c *Client) CreateSession(ctx context.Context, req api.CreateSessionRequest
 	if err := c.do(ctx, http.MethodPost, api.PathSessions, req, &created); err != nil {
 		return nil, err
 	}
-	return &Session{c: c, name: req.Name}, nil
+	return newSession(c, req.Name), nil
 }
 
 // Session is the handle of an existing session (no request is made;
 // a missing name surfaces as api.CodeSessionNotFound on first use).
 func (c *Client) Session(name string) *Session {
-	return &Session{c: c, name: name}
+	return newSession(c, name)
 }
 
 // ListSessions names the live sessions.

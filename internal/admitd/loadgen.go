@@ -202,9 +202,12 @@ func RunLoad(ctx context.Context, c *client.Client, cfg LoadConfig) (*LoadStats,
 		go func(wi, n int) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(wi)*7919))
+			// Worker-owned state scratch: StateInto reuses its slices
+			// across polls, keeping the read mix allocation-free.
+			var st api.State
 			for i := 0; i < n && ctx.Err() == nil; i++ {
 				t0 := time.Now()
-				isRead := lg.one(ctx, rng)
+				isRead := lg.one(ctx, rng, &st)
 				d := time.Since(t0)
 				if isRead {
 					readLat[wi] = append(readLat[wi], d)
@@ -299,7 +302,7 @@ func (lg *loadGen) seed(ctx context.Context) error {
 
 // one issues a single request from the mix; reports whether it was a
 // read (snapshot path) or a write (actor path).
-func (lg *loadGen) one(ctx context.Context, rng *rand.Rand) bool {
+func (lg *loadGen) one(ctx context.Context, rng *rand.Rand, st *api.State) bool {
 	si := rng.Intn(lg.cfg.Sessions)
 	sess := lg.sessions[si]
 	var err error
@@ -311,7 +314,7 @@ func (lg *loadGen) one(ctx context.Context, rng *rand.Rand) bool {
 			_, err = sess.Try(ctx, api.AdmitRequest{Task: lg.smallTask(id, rng)})
 			lg.tries.Add(1)
 		case kind < 9: // state
-			_, err = sess.State(ctx)
+			err = sess.StateInto(ctx, st)
 		default: // stats
 			_, err = sess.Stats(ctx)
 		}

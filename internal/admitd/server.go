@@ -213,12 +213,12 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	resp, err := sess.stateRead()
+	body, err := sess.stateReadBytes()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeRaw(w, body)
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
@@ -232,16 +232,29 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 // --- admission -------------------------------------------------------
 
 // sessionVerdict adapts a session operation taking an AdmitRequest.
+// The wire round trip runs on pooled scratch: fast decode into a
+// stack request (core backing included), fast verdict encode out.
 func (s *Server) sessionVerdict(op func(*Session, api.AdmitRequest) (api.Verdict, error)) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		sess := s.session(w, r)
 		if sess == nil {
 			return
 		}
-		var req api.AdmitRequest
-		if err := decodeBody(r, &req); err != nil {
+		ws := wirePool.Get().(*wireScratch)
+		defer wirePool.Put(ws)
+		body, err := ws.readBody(r)
+		if err != nil {
 			writeError(w, err)
 			return
+		}
+		var req api.AdmitRequest
+		core, corePresent, err := decodeAdmit(body, &req)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		if corePresent {
+			req.Core = &core
 		}
 		var resp api.Verdict
 		var opErr error
@@ -252,7 +265,7 @@ func (s *Server) sessionVerdict(op func(*Session, api.AdmitRequest) (api.Verdict
 			writeError(w, opErr)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		ws.writeVerdict(w, &resp)
 	}
 }
 
@@ -265,25 +278,53 @@ func (s *Server) handleTry(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
-	var req api.AdmitRequest
-	if err := decodeBody(r, &req); err != nil {
+	ws := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(ws)
+	body, err := ws.readBody(r)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
+	var req api.AdmitRequest
+	core, corePresent, err := decodeAdmit(body, &req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if req.Hold {
+		// The actor closure captures its arguments; keeping the hold
+		// branch in a separate function (which attaches its own core
+		// backing) keeps this frame's request and core off the heap on
+		// the lock-free non-holding path.
+		s.tryHold(w, ws, sess, req, core, corePresent)
+		return
+	}
+	if corePresent {
+		req.Core = &core
+	}
+	resp, opErr := sess.tryRead(req)
+	if opErr != nil {
+		writeError(w, opErr)
+		return
+	}
+	ws.writeVerdict(w, &resp)
+}
+
+// tryHold serves the holding try on the session actor.
+func (s *Server) tryHold(w http.ResponseWriter, ws *wireScratch, sess *Session, req api.AdmitRequest, core int, corePresent bool) {
+	if corePresent {
+		req.Core = &core
+	}
 	var resp api.Verdict
 	var opErr error
-	if req.Hold {
-		if !callSession(w, sess, func() { resp, opErr = sess.tryLocked(req) }) {
-			return
-		}
-	} else {
-		resp, opErr = sess.tryRead(req)
+	if !callSession(w, sess, func() { resp, opErr = sess.tryLocked(req) }) {
+		return
 	}
 	if opErr != nil {
 		writeError(w, opErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	ws.writeVerdict(w, &resp)
 }
 
 func (s *Server) handleSplit(w http.ResponseWriter, r *http.Request) {
@@ -324,7 +365,9 @@ func (s *Server) handleResolve(op func(*Session) (api.Verdict, error)) http.Hand
 			writeError(w, opErr)
 			return
 		}
-		writeJSON(w, http.StatusOK, resp)
+		ws := wirePool.Get().(*wireScratch)
+		ws.writeVerdict(w, &resp)
+		wirePool.Put(ws)
 	}
 }
 
@@ -333,8 +376,15 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	ws := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(ws)
+	body, err := ws.readBody(r)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
 	var req api.RemoveRequest
-	if err := decodeBody(r, &req); err != nil {
+	if err := decodeRemove(body, &req); err != nil {
 		writeError(w, err)
 		return
 	}
@@ -346,7 +396,7 @@ func (s *Server) handleRemove(w http.ResponseWriter, r *http.Request) {
 		writeError(w, opErr)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.Removed{Removed: true, ID: req.ID})
+	ws.writeRemoved(w, &api.Removed{Removed: true, ID: req.ID})
 }
 
 // --- stats -----------------------------------------------------------
@@ -364,14 +414,23 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, api.SessionStats{
+	st := api.SessionStats{
 		Name:      sess.name,
 		Tasks:     int(sess.nTasks.Load()),
 		Admitted:  sess.admitted.Load(),
 		Rejected:  sess.rejected.Load(),
 		Removed:   sess.removed.Load(),
 		Admission: report.AdmissionJSON(admission),
-	})
+	}
+	ws := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(ws)
+	if b, ok := api.AppendSessionStats(ws.out[:0], &st); ok {
+		ws.out = append(b, '\n')
+		writeRaw(w, ws.out)
+		return
+	}
+	cold := st // keep st off the heap on the fast path; writeJSON boxes
+	writeJSON(w, http.StatusOK, cold)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -408,9 +467,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
 	streaming := false
+	// Verdict lines stream through one reused buffer — the fast
+	// encoder never declines a Verdict, so bytes stay identical to
+	// enc.Encode while the per-line Encoder round trip disappears.
+	ws := wirePool.Get().(*wireScratch)
+	defer wirePool.Put(ws)
 	emit := func(v api.Verdict) {
 		streaming = true
-		_ = enc.Encode(v) //nolint:errcheck // stream best-effort; summary still lands
+		ws.out = api.AppendVerdict(ws.out[:0], &v)
+		ws.out = append(ws.out, '\n')
+		_, _ = w.Write(ws.out) //nolint:errcheck // stream best-effort; summary still lands
 		if flusher != nil {
 			flusher.Flush()
 		}

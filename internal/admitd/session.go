@@ -2,6 +2,7 @@ package admitd
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"runtime"
@@ -94,6 +95,13 @@ type Session struct {
 
 	lastUsed atomic.Int64 // store's logical clock at last touch
 
+	// Drain state (actor-owned): inDrain is set while the actor works
+	// through one mailbox drain under a context group commit;
+	// drainUnreg collects task-ID unregistrations deferred until the
+	// drain's one snapshot publish (see removeLocked).
+	inDrain    bool
+	drainUnreg []task.ID
+
 	mu     sync.Mutex
 	closed bool
 	// closedFlag mirrors closed for the read path, which never takes
@@ -105,15 +113,34 @@ type Session struct {
 }
 
 // stateCacheEntry is one rendered committed state (body only; the
-// probe-pending overlay is stamped per request).
+// probe-pending overlay is stamped per request). enc caches the
+// marshaled response body per overlay variant, so a state read that
+// hits both caches writes precomputed bytes and never touches
+// encoding/json.
 type stateCacheEntry struct {
 	seq int64
 	st  api.State
+	enc [3]atomic.Pointer[[]byte] // indexed by stateVariant*
 }
 
+// Overlay variants for stateCacheEntry.enc.
+const (
+	stateVariantSchedTrue = iota
+	stateVariantSchedFalse
+	stateVariantPending
+)
+
+// sessionCall is one queued actor operation. Calls are pooled: done
+// is a reusable one-slot channel (the actor sends one token per call,
+// the caller receives exactly one), so the steady-state write path
+// allocates neither the call nor the channel.
 type sessionCall struct {
 	f    func()
 	done chan struct{}
+}
+
+var callPool = sync.Pool{
+	New: func() any { return &sessionCall{done: make(chan struct{}, 1)} },
 }
 
 // newSession builds a session over an already-populated assignment
@@ -150,17 +177,13 @@ func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assig
 	return s
 }
 
-// registerTask / unregisterTask maintain the committed task-ID set.
-// Writers are serialized already (the actor, or construction before
-// the session is reachable); both are O(1) amortized.
+// registerTask maintains the committed task-ID set. Writers are
+// serialized already (the actor, or construction before the session
+// is reachable); O(1) amortized. The inverse lives in removeLocked,
+// where the ID-set removal is ordered against the snapshot publish.
 func (s *Session) registerTask(id task.ID) {
 	s.tasks.add(id)
 	s.nTasks.Add(1)
-}
-
-func (s *Session) unregisterTask(id task.ID) {
-	s.tasks.remove(id)
-	s.nTasks.Add(-1)
 }
 
 // hasTask is the read-path duplicate check: an atomic table load plus
@@ -169,31 +192,76 @@ func (s *Session) hasTask(id task.ID) bool {
 	return s.tasks.has(id)
 }
 
-// loop is the actor: it owns the context and runs every request in
-// arrival order, so per-session state needs no further locking. After
-// each request it republishes the writer-side admission counters for
-// the lock-free stats read path.
+// maxDrain bounds one mailbox drain: enough to coalesce a deep queue
+// into one publish, small enough that the first caller in a drain is
+// never held behind an unbounded backlog.
+const maxDrain = 32
+
+// loop is the actor: it owns the context and runs requests in arrival
+// order, so per-session state needs no further locking. The mailbox
+// drains in groups: each blocking receive is topped up with whatever
+// else is already queued (up to maxDrain), the whole drain runs under
+// one context group commit — every verdict still computed and
+// returned per operation, exactly as ungrouped — and the committed
+// state publishes ONE snapshot at EndGroup instead of one per
+// mutation. Deferred unregistrations and the stats republish follow
+// the publish; completion is signaled last, so a caller never
+// observes its own mutation missing from the published snapshot.
 func (s *Session) loop() {
+	var batch [maxDrain]*sessionCall
 	for c := range s.reqs {
-		c.f()
+		batch[0] = c
+		n := 1
+	drain:
+		for n < maxDrain {
+			select {
+			case c2, ok := <-s.reqs:
+				if !ok {
+					break drain // closed; finish this drain, then exit
+				}
+				batch[n] = c2
+				n++
+			default:
+				break drain
+			}
+		}
+		s.inDrain = true
+		s.actx.BeginGroup()
+		for i := 0; i < n; i++ {
+			batch[i].f()
+		}
+		s.actx.EndGroup()
+		s.inDrain = false
+		for _, id := range s.drainUnreg {
+			s.tasks.remove(id)
+		}
+		s.drainUnreg = s.drainUnreg[:0]
 		st := s.actx.Stats()
 		s.pubStats.Store(&st)
-		close(c.done)
+		for i := 0; i < n; i++ {
+			batch[i].done <- struct{}{}
+			batch[i] = nil
+		}
 	}
 	close(s.done)
 }
 
 // call runs f on the actor and waits for it.
 func (s *Session) call(f func()) error {
-	c := &sessionCall{f: f, done: make(chan struct{})}
+	c := callPool.Get().(*sessionCall)
+	c.f = f
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		c.f = nil
+		callPool.Put(c)
 		return ErrSessionClosed
 	}
 	s.reqs <- c
 	s.mu.Unlock()
 	<-c.done
+	c.f = nil
+	callPool.Put(c)
 	return nil
 }
 
@@ -437,8 +505,18 @@ func (s *Session) removeLocked(id task.ID) error {
 	// Unregister after Remove published the shrunken snapshot: a
 	// concurrent read of the same ID in the window sees
 	// duplicate_task, linearizable as ordered before the removal
-	// (the inverse of the admit ordering in resolveProbe).
-	s.unregisterTask(id)
+	// (the inverse of the admit ordering in resolveProbe). Inside a
+	// drain the publish itself is deferred to EndGroup, so the ID-set
+	// removal defers with it; an admit of the same ID later in the
+	// drain then reports duplicate_task — linearizable as ordered
+	// before this removal completed. The summary task count updates
+	// immediately: it is a counter, not part of the ordering contract.
+	s.nTasks.Add(-1)
+	if s.inDrain {
+		s.drainUnreg = append(s.drainUnreg, id)
+	} else {
+		s.tasks.remove(id)
+	}
 	s.removed.Add(1)
 	return nil
 }
@@ -538,6 +616,51 @@ func (s *Session) stateRead() (api.State, error) {
 		body.ProbePending = true
 	}
 	return body, nil
+}
+
+// stateReadBytes is stateRead pre-marshaled: the JSON response body
+// (trailing newline included, byte-identical to json.Encoder output)
+// cached per (snapshot sequence, overlay variant). Steady-state reads
+// between commits return shared bytes without encoding anything. The
+// returned slice is immutable and safe to write concurrently.
+func (s *Session) stateReadBytes() ([]byte, error) {
+	if s.closedFlag.Load() {
+		return nil, ErrSessionClosed
+	}
+	snap := s.actx.Fork()
+	e := s.stateCache.Load()
+	if e == nil || e.seq != snap.Seq() {
+		e = &stateCacheEntry{seq: snap.Seq(), st: s.renderState(snap)}
+		s.stateCache.Store(e)
+	}
+	variant := stateVariantPending
+	if s.pendFlag.Load() == pendNone {
+		if snap.Schedulable() {
+			variant = stateVariantSchedTrue
+		} else {
+			variant = stateVariantSchedFalse
+		}
+	}
+	if p := e.enc[variant].Load(); p != nil {
+		return *p, nil
+	}
+	body := e.st
+	switch variant {
+	case stateVariantSchedTrue:
+		body.Schedulable = &schedTrue
+	case stateVariantSchedFalse:
+		body.Schedulable = &schedFalse
+	default:
+		body.ProbePending = true
+	}
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	buf = append(buf, '\n')
+	// Concurrent misses may both store; the bytes are identical.
+	e.enc[variant].Store(&buf)
+	return buf, nil
 }
 
 // renderState builds the committed-state body from a snapshot (the
@@ -665,10 +788,50 @@ func (s *Session) batchWire(req api.BatchRequest) ([]api.Task, error) {
 
 // batchScratch recycles a try-only batch's buffers: the converted
 // task slab and the verdict slab grow to the largest batch seen and
-// are reused across requests.
+// are reused across requests. The worker fan-out state is resident
+// too — cursor, wait group, and the one closure handed to `go` — so a
+// multi-worker batch allocates nothing per call (each of those
+// escaped to the heap per batch when they were locals).
 type batchScratch struct {
 	taskSlab []task.Task
 	verdicts []api.Verdict
+
+	next atomic.Int64
+	wg   sync.WaitGroup
+	work func() // built once per scratch, reads the fields below
+	// Per-batch inputs for the resident closure; nil'd after Wait so
+	// the pool never pins a snapshot or session.
+	s    *Session
+	snap analysis.Snapshot
+	ctx  context.Context
+	n    int
+}
+
+// runWorkers fans the current batch across w workers through the
+// resident closure.
+func (bb *batchScratch) runWorkers(w int) {
+	if bb.work == nil {
+		bb.work = func() {
+			defer bb.wg.Done()
+			// One prober per worker: K/workers probes share its
+			// scratch, nothing is allocated per probe.
+			pr := bb.snap.Prober()
+			defer pr.Close()
+			for {
+				i := int(bb.next.Add(1)) - 1
+				if i >= bb.n || bb.ctx.Err() != nil {
+					return
+				}
+				bb.s.probeFirstFit(pr, bb.snap, &bb.taskSlab[i], &bb.verdicts[i])
+			}
+		}
+	}
+	bb.next.Store(0)
+	bb.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go bb.work()
+	}
+	bb.wg.Wait()
 }
 
 var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
@@ -744,26 +907,9 @@ func (s *Session) batchTryRead(ctx context.Context, req api.BatchRequest, emit f
 		}
 		pr.Close()
 	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				// One prober per worker: K/workers probes share its
-				// scratch, nothing is allocated per probe.
-				pr := snap.Prober()
-				defer pr.Close()
-				for {
-					i := int(next.Add(1)) - 1
-					if i >= n || ctx.Err() != nil {
-						return
-					}
-					s.probeFirstFit(pr, snap, &slab[i], &verdicts[i])
-				}
-			}()
-		}
-		wg.Wait()
+		bb.s, bb.snap, bb.ctx, bb.n = s, snap, ctx, n
+		bb.runWorkers(workers)
+		bb.s, bb.snap, bb.ctx = nil, nil, nil
 	}
 	sum := api.BatchSummary{Done: true, TryOnly: true}
 	for i := range verdicts {

@@ -107,6 +107,21 @@ type Context interface {
 	// single atomic load, safe from any goroutine at any time,
 	// including while the owner probes or commits.
 	Fork() Snapshot
+	// BeginGroup opens a group commit: committed mutations between
+	// BeginGroup and EndGroup apply to the context immediately (every
+	// verdict is returned exactly as ungrouped) but publish no
+	// snapshots; EndGroup publishes once, with the group's coalesced
+	// derivation hint. Owner-only, like every mutation; groups do not
+	// nest. Readers forked during the group simply keep the pre-group
+	// snapshot — the same view they would race into between any two
+	// ungrouped commits.
+	BeginGroup()
+	// EndGroup closes the group and publishes the committed state
+	// once, if any mutation committed since BeginGroup. If a held
+	// probe is pending (its tentative mutation must not be captured),
+	// the publish is deferred once more and settled by the probe's
+	// Commit or Rollback.
+	EndGroup()
 	// ReadStats returns the admission counters accumulated by the
 	// read path — probes served from forked snapshots — since
 	// creation (or the last Flush). Safe to call concurrently.
@@ -315,6 +330,19 @@ type ctxBase struct {
 	// pay nothing for the read path.
 	publishing atomic.Bool
 
+	// Group-commit state (owner-only): between BeginGroup and
+	// EndGroup, pubHold defers snapshot publication; pubAny records
+	// whether any mutation committed, and groupHint/groupFits carry
+	// the coalesced derivation hint EndGroup publishes with. pubOwed
+	// marks a publish EndGroup had to defer past a held probe (the
+	// tentative mutation must not be captured); the probe's Commit or
+	// Rollback settles the debt.
+	pubHold   bool
+	pubAny    bool
+	pubOwed   bool
+	groupHint pubHint
+	groupFits bool
+
 	maxN      int   // committed MaxTasksPerCore
 	commitSeq int64 // bumped on every committed mutation
 }
@@ -340,6 +368,103 @@ func (b *ctxBase) checkNoPending(kind int, op string) {
 	if kind != pendNone {
 		panic(fmt.Sprintf("analysis: %s with an unresolved probe pending (Commit or Rollback first)", op))
 	}
+}
+
+// BeginGroup opens a group commit (see the interface contract). The
+// hold is pure owner-side bookkeeping, so it lives here; the matching
+// EndGroup is on the concrete contexts, which own publish.
+func (b *ctxBase) BeginGroup() {
+	if b.pubHold {
+		panic("analysis: BeginGroup inside an open group (groups do not nest)")
+	}
+	b.pubHold = true
+	// An unsettled debt from a previous group folds into this one: its
+	// hint is already in groupHint/groupFits, so seeding pubAny makes
+	// new mutations coalesce onto it and EndGroup publish both.
+	b.pubAny = b.pubOwed
+	b.pubOwed = false
+}
+
+// coalesce folds one more committed mutation's hint into the group
+// hint. Two shapes chain (see commitPub); anything else degrades to
+// pubUnknown, which is always sound.
+func (b *ctxBase) coalesce(hint pubHint, fits bool) {
+	switch {
+	case b.groupHint == pubAdmitted && b.groupFits && hint == pubAdmitted && fits:
+		// still all-admitted, all-fitting
+	case b.groupHint == pubRemoved && hint == pubRemoved:
+		// still all-removals
+	default:
+		b.groupHint, b.groupFits = pubUnknown, false
+	}
+}
+
+// commitPub is called by the concrete contexts after every committed
+// mutation with that mutation's derivation hint. It reports whether a
+// snapshot should be published right now, and with what hint: outside
+// a group that is every committed mutation once publication is
+// engaged; inside a group the hint is coalesced and publication
+// deferred to EndGroup.
+func (b *ctxBase) commitPub(hint pubHint, fits bool) (pubHint, bool, bool) {
+	if !b.publishing.Load() {
+		return pubUnknown, false, false
+	}
+	if !b.pubHold {
+		if b.pubOwed {
+			// Settle the deferred-past-a-probe publish along with this
+			// mutation: one publish covering both, hint coalesced.
+			b.pubOwed = false
+			b.coalesce(hint, fits)
+			return b.groupHint, b.groupFits, true
+		}
+		return hint, fits, true
+	}
+	// Coalesce: the one publish at EndGroup must derive only what a
+	// chain of per-mutation derivations could. Two shapes chain:
+	// admitted whole-task placements that all fit (the committed
+	// queue bound is nondecreasing across them, so deriveSched's
+	// end-vs-start maxN comparison subsumes every per-step one), and
+	// pure removals (each preserves schedulability under a monotone
+	// model). Any mix, a failed fit, or a hint deriveSched ignores
+	// falls back to pubUnknown — always sound: the full-test verdict
+	// is simply recomputed lazily by the first reader that asks.
+	if !b.pubAny {
+		b.pubAny = true
+		b.groupHint, b.groupFits = hint, fits
+		return pubUnknown, false, false
+	}
+	b.coalesce(hint, fits)
+	return pubUnknown, false, false
+}
+
+// endGroup closes the hold and reports whether (and with what hint)
+// the caller should publish now. pendPending says a held probe's
+// tentative mutation is in the assignment: publishing would capture
+// uncommitted state, so the publish becomes a debt (pubOwed) that the
+// probe's Commit (via commitPub) or Rollback (rollbackPub) settles.
+func (b *ctxBase) endGroup(pendPending bool) (pubHint, bool, bool) {
+	if !b.pubHold {
+		panic("analysis: EndGroup without BeginGroup")
+	}
+	b.pubHold = false
+	pub := b.pubAny && b.publishing.Load()
+	b.pubAny = false
+	if pub && pendPending {
+		b.pubOwed = true
+		return pubUnknown, false, false
+	}
+	return b.groupHint, b.groupFits, pub
+}
+
+// rollbackPub is called by the concrete contexts after a Rollback
+// restored committed state: a rollback publishes nothing of its own,
+// but it must settle a deferred-past-this-probe publish debt.
+func (b *ctxBase) rollbackPub() (pubHint, bool, bool) {
+	if b.pubOwed && !b.pubHold && b.publishing.Load() {
+		b.pubOwed = false
+		return b.groupHint, b.groupFits, true
+	}
+	return pubUnknown, false, false
 }
 
 // SelfCheck, when true, wraps every new Context so each decision is
@@ -373,6 +498,8 @@ func (cc *checkedContext) ReadStats() AdmissionStats    { return cc.ctx.ReadStat
 func (cc *checkedContext) Fork() Snapshot {
 	return &checkedSnapshot{Snapshot: cc.ctx.Fork(), m: cc.m}
 }
+func (cc *checkedContext) BeginGroup()               { cc.ctx.BeginGroup() }
+func (cc *checkedContext) EndGroup()                 { cc.ctx.EndGroup() }
 func (cc *checkedContext) Place(t *task.Task, c int) { cc.ctx.Place(t, c) }
 func (cc *checkedContext) AddSplit(sp *task.Split)   { cc.ctx.AddSplit(sp) }
 func (cc *checkedContext) Commit()                   { cc.ctx.Commit() }

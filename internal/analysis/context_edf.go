@@ -323,8 +323,8 @@ func (x *edfContext) Commit() {
 		hint, fits = pubAdmitted, x.pend.fits
 	}
 	x.pend = edfPending{}
-	if x.publishing.Load() {
-		x.publish(hint, fits)
+	if h, f, now := x.commitPub(hint, fits); now {
+		x.publish(h, f)
 	}
 }
 
@@ -346,6 +346,9 @@ func (x *edfContext) Rollback() {
 		x.a.Splits = x.a.Splits[:len(x.a.Splits)-1]
 	}
 	x.pend = edfPending{}
+	if h, f, now := x.rollbackPub(); now {
+		x.publish(h, f)
+	}
 }
 
 func (x *edfContext) Place(t *task.Task, c int) {
@@ -371,12 +374,12 @@ func (x *edfContext) Place(t *task.Task, c int) {
 			s.memo = rec.memo
 		}
 	}
-	if x.publishing.Load() {
-		if promote {
-			x.publish(pubAdmitted, true)
-		} else {
-			x.publish(pubUnknown, false)
-		}
+	hint, fits := pubUnknown, false
+	if promote {
+		hint, fits = pubAdmitted, true
+	}
+	if h, f, now := x.commitPub(hint, fits); now {
+		x.publish(h, f)
 	}
 }
 
@@ -388,8 +391,8 @@ func (x *edfContext) AddSplit(sp *task.Split) {
 		x.adoptPart(e, cores[i])
 	}
 	x.commitSeq++
-	if x.publishing.Load() {
-		x.publish(pubUnknown, false)
+	if h, f, now := x.commitPub(pubUnknown, false); now {
+		x.publish(h, f)
 	}
 }
 
@@ -481,10 +484,20 @@ search:
 		}
 	}
 	x.commitSeq++
-	if x.publishing.Load() {
-		x.publish(pubRemoved, false)
+	if h, f, now := x.commitPub(pubRemoved, false); now {
+		x.publish(h, f)
 	}
 	return true
+}
+
+// EndGroup closes a group commit and publishes the committed state
+// once — unless a held probe's tentative mutation is in the
+// assignment, in which case the publish is deferred as a debt the
+// probe's Commit or Rollback settles.
+func (x *edfContext) EndGroup() {
+	if h, f, now := x.endGroup(x.pend.kind != pendNone); now {
+		x.publish(h, f)
+	}
 }
 
 func (x *edfContext) Schedulable() bool {

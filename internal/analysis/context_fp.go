@@ -641,8 +641,8 @@ func (x *fpContext) Commit() {
 	}
 	x.inProbe = false
 	x.pend = fpPending{}
-	if x.publishing.Load() {
-		x.publish(hint, fits)
+	if h, f, now := x.commitPub(hint, fits); now {
+		x.publish(h, f)
 	}
 }
 
@@ -680,6 +680,9 @@ func (x *fpContext) Rollback() {
 	}
 	x.inProbe = false
 	x.pend = fpPending{}
+	if h, f, now := x.rollbackPub(); now {
+		x.publish(h, f)
+	}
 }
 
 // beginProbe opens a fresh warm-tag epoch for the pending probe.
@@ -722,12 +725,12 @@ func (x *fpContext) Place(t *task.Task, c int) {
 	} else {
 		x.verdicts[c] = fpVerdict{}
 	}
-	if x.publishing.Load() {
-		if promote {
-			x.publish(pubAdmitted, true)
-		} else {
-			x.publish(pubUnknown, false)
-		}
+	hint, fits := pubUnknown, false
+	if promote {
+		hint, fits = pubAdmitted, true
+	}
+	if h, f, now := x.commitPub(hint, fits); now {
+		x.publish(h, f)
 	}
 }
 
@@ -741,8 +744,8 @@ func (x *fpContext) AddSplit(sp *task.Split) {
 	}
 	x.chains = append(x.chains, ch)
 	x.commitSeq++
-	if x.publishing.Load() {
-		x.publish(pubUnknown, false)
+	if h, f, now := x.commitPub(pubUnknown, false); now {
+		x.publish(h, f)
 	}
 }
 
@@ -855,10 +858,20 @@ search:
 		}
 		x.verdicts[affected] = fpVerdict{}
 	}
-	if x.publishing.Load() {
-		x.publish(pubRemoved, false)
+	if h, f, now := x.commitPub(pubRemoved, false); now {
+		x.publish(h, f)
 	}
 	return true
+}
+
+// EndGroup closes a group commit and publishes the committed state
+// once — unless a held probe's tentative mutation is in the
+// assignment, in which case the publish is deferred as a debt the
+// probe's Commit or Rollback settles.
+func (x *fpContext) EndGroup() {
+	if h, f, now := x.endGroup(x.pend.kind != pendNone); now {
+		x.publish(h, f)
+	}
 }
 
 // removeAtCOW splices element i out into a fresh slice, leaving the

@@ -119,6 +119,14 @@ type CoreSet struct {
 	costsN     int
 	costsLen   int
 	relCost    timeq.Time
+	// Queue-op cost memo keyed (model, N) only: it survives
+	// invalidateCosts — swapping entities does not move these six
+	// interpolations — so the per-probe cache refill skips the log₂
+	// interpolation entirely while the queue bound is stable.
+	qcOK       bool
+	qcModel    *overhead.Model
+	qcN        int
+	qc         [6]timeq.Time
 	infl       []timeq.Time
 	blocking   []timeq.Time
 	maxDep     timeq.Time
@@ -191,16 +199,29 @@ func (cs *CoreSet) ensureCosts(m *overhead.Model) {
 	// The six queue-operation costs at this N, interpolated once and
 	// reused for every entity (arrivalCost/departureCost/ReleaseCost
 	// spelled out with the shared constants).
-	dReadyAddL := m.QueueOpCost(overhead.ReadyAdd, cs.N, false)
-	dReadyDelL := m.QueueOpCost(overhead.ReadyDelete, cs.N, false)
-	dReadyAddR := m.QueueOpCost(overhead.ReadyAdd, cs.N, true)
-	dSleepAddL := m.QueueOpCost(overhead.SleepAdd, cs.N, false)
-	dSleepAddR := m.QueueOpCost(overhead.SleepAdd, cs.N, true)
-	dSleepDelL := m.QueueOpCost(overhead.SleepDelete, cs.N, false)
+	if !cs.qcOK || cs.qcModel != m || cs.qcN != cs.N {
+		cs.qc[0] = m.QueueOpCost(overhead.ReadyAdd, cs.N, false)
+		cs.qc[1] = m.QueueOpCost(overhead.ReadyDelete, cs.N, false)
+		cs.qc[2] = m.QueueOpCost(overhead.ReadyAdd, cs.N, true)
+		cs.qc[3] = m.QueueOpCost(overhead.SleepAdd, cs.N, false)
+		cs.qc[4] = m.QueueOpCost(overhead.SleepAdd, cs.N, true)
+		cs.qc[5] = m.QueueOpCost(overhead.SleepDelete, cs.N, false)
+		cs.qcOK, cs.qcModel, cs.qcN = true, m, cs.N
+	}
+	dReadyAddL := cs.qc[0]
+	dReadyDelL := cs.qc[1]
+	dReadyAddR := cs.qc[2]
+	dSleepAddL := cs.qc[3]
+	dSleepAddR := cs.qc[4]
+	dSleepDelL := cs.qc[5]
 	cs.relCost = m.Release + dSleepDelL + dReadyAddL + m.Sched
 	cs.maxDep, cs.maxArr = 0, 0
 	cs.nonMigr = 0
+	sorted := true
 	for i, e := range cs.Entities {
+		if i > 0 && cs.Entities[i-1].LocalPriority > e.LocalPriority {
+			sorted = false
+		}
 		cs.soaT[i] = e.T
 		cs.soaD[i] = e.D
 		cs.soaMigr[i] = e.MigrIn
@@ -243,7 +264,35 @@ func (cs *CoreSet) ensureCosts(m *overhead.Model) {
 		}
 	} else {
 		cs.perRelease = m.Release + dSleepDelL + dReadyAddL
-		if cs.prioNarrow {
+		if sorted {
+			// Entities are priority-sorted (NewCoreSet's stable sort,
+			// maintained by insertByPriority), so every member of a
+			// priority tie group shares one strictly-lower-priority
+			// non-migrated count: the non-migrated suffix beyond the
+			// group. A right-to-left group scan computes the same
+			// counts as the pairwise walks below in O(k).
+			suffix := 0
+			for i := k - 1; i >= 0; {
+				j := i
+				groupNM := 0
+				for j >= 0 && cs.Entities[j].LocalPriority == cs.Entities[i].LocalPriority {
+					if !cs.soaMigr[j] {
+						groupNM++
+					}
+					j--
+				}
+				batch := cs.perRelease * timeq.Time(suffix)
+				if batch > 0 {
+					batch += m.Sched
+				}
+				bval := batch + cs.maxDep + cs.maxArr
+				for t := j + 1; t <= i; t++ {
+					cs.blocking[t] = bval
+				}
+				suffix += groupNM
+				i = j
+			}
+		} else if cs.prioNarrow {
 			// Count lower-priority timer-released entities over the flat
 			// mirrors (index inequality equals pointer inequality:
 			// entities are unique within a set).

@@ -43,7 +43,16 @@ const (
 	PathSweep    = "/" + Version + "/sweep"
 	PathStats    = "/" + Version + "/stats"
 	PathHealth   = "/healthz"
+	// PathMetrics is the Prometheus text-format exposition endpoint.
+	// Unversioned by convention: scrapers expect the bare path, and
+	// the exposition format carries its own compatibility contract.
+	PathMetrics = "/metrics"
 )
+
+// TraceHeader carries the per-request trace ID: clients may supply
+// one (echoed on the response and threaded into the server's event
+// log); servers running with tracing enabled generate one otherwise.
+const TraceHeader = "Admitd-Trace-Id"
 
 // Session-scoped operation names (the {op} path segment).
 const (
@@ -55,6 +64,9 @@ const (
 	OpRemove   = "remove"
 	OpStats    = "stats"
 	OpBatch    = "batch"
+	// OpFeed is the SSE change feed: GET, text/event-stream, one
+	// sequence-numbered event per committed mutation.
+	OpFeed = "feed"
 )
 
 // SessionPath is the route of one named session (path-escaped, so

@@ -788,6 +788,10 @@ func AppendSessionStats(b []byte, s *SessionStats) ([]byte, bool) {
 	b = strconv.AppendInt(b, s.Rejected, 10)
 	b = append(b, `,"removed":`...)
 	b = strconv.AppendInt(b, s.Removed, 10)
+	b = append(b, `,"state_cache_hits":`...)
+	b = strconv.AppendInt(b, s.StateCacheHits, 10)
+	b = append(b, `,"state_cache_misses":`...)
+	b = strconv.AppendInt(b, s.StateCacheMisses, 10)
 	b = append(b, `,"admission":`...)
 	b, ok := appendAdmissionStats(b, &s.Admission)
 	if !ok {
@@ -827,7 +831,7 @@ func appendAdmissionStats(b []byte, a *AdmissionStats) ([]byte, bool) {
 	return append(b, '}'), true
 }
 
-var sessionStatsFieldNames = []string{"name", "tasks", "admitted", "rejected", "removed", "admission"}
+var sessionStatsFieldNames = []string{"name", "tasks", "admitted", "rejected", "removed", "state_cache_hits", "state_cache_misses", "admission"}
 var admissionFieldNames = []string{"probes", "full_tests", "core_tests", "verdict_hits", "fp_solves", "fp_iterations", "warm_starts", "cache_hit_rate", "mean_fp_iterations", "warm_start_rate"}
 
 // ParseSessionStats parses data into dst on the fast path. On !ok dst
@@ -854,6 +858,10 @@ func ParseSessionStats(data []byte, dst *SessionStats) bool {
 			dst.Rejected, ok = s.integer()
 		case "removed":
 			dst.Removed, ok = s.integer()
+		case "state_cache_hits":
+			dst.StateCacheHits, ok = s.integer()
+		case "state_cache_misses":
+			dst.StateCacheMisses, ok = s.integer()
 		case "admission":
 			return true, s.parseAdmissionInto(&dst.Admission)
 		default:

@@ -498,6 +498,7 @@ func randSessionStats(rng *rand.Rand) SessionStats {
 		Name:     []string{"rack1", "s", "", "a\"b", "αβ"}[rng.Intn(5)],
 		Tasks:    rng.Intn(100),
 		Admitted: i64(), Rejected: i64(), Removed: i64(),
+		StateCacheHits: i64(), StateCacheMisses: i64(),
 		Admission: AdmissionStats{
 			Probes: i64(), FullTests: i64(), CoreTests: i64(),
 			VerdictHits: i64(), FPSolves: i64(), FPIterations: i64(),

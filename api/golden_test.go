@@ -113,8 +113,9 @@ var goldenCases = []struct {
 	{
 		"SessionStats",
 		SessionStats{Name: "rack1", Tasks: 3, Admitted: 5, Rejected: 2, Removed: 1,
+			StateCacheHits: 8, StateCacheMisses: 2,
 			Admission: AdmissionStats{Probes: 10, FullTests: 1, CoreTests: 9, VerdictHits: 4, FPSolves: 6, FPIterations: 18, WarmStarts: 3, CacheHitRate: 0.4, MeanFPIterations: 3, WarmStartRate: 0.5}},
-		`{"name":"rack1","tasks":3,"admitted":5,"rejected":2,"removed":1,"admission":{"probes":10,"full_tests":1,"core_tests":9,"verdict_hits":4,"fp_solves":6,"fp_iterations":18,"warm_starts":3,"cache_hit_rate":0.4,"mean_fp_iterations":3,"warm_start_rate":0.5}}`,
+		`{"name":"rack1","tasks":3,"admitted":5,"rejected":2,"removed":1,"state_cache_hits":8,"state_cache_misses":2,"admission":{"probes":10,"full_tests":1,"core_tests":9,"verdict_hits":4,"fp_solves":6,"fp_iterations":18,"warm_starts":3,"cache_hit_rate":0.4,"mean_fp_iterations":3,"warm_start_rate":0.5}}`,
 	},
 	{
 		"ServerStats",

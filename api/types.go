@@ -114,12 +114,17 @@ type State struct {
 
 // SessionStats is one session's request and admission counters.
 type SessionStats struct {
-	Name      string         `json:"name"`
-	Tasks     int            `json:"tasks"`
-	Admitted  int64          `json:"admitted"`
-	Rejected  int64          `json:"rejected"`
-	Removed   int64          `json:"removed"`
-	Admission AdmissionStats `json:"admission"`
+	Name     string `json:"name"`
+	Tasks    int    `json:"tasks"`
+	Admitted int64  `json:"admitted"`
+	Rejected int64  `json:"rejected"`
+	Removed  int64  `json:"removed"`
+	// State-cache counters report the per-snapshot rendered-body
+	// memo on the state read path: a hit served bytes cached on the
+	// current snapshot, a miss re-rendered (new snapshot sequence).
+	StateCacheHits   int64          `json:"state_cache_hits"`
+	StateCacheMisses int64          `json:"state_cache_misses"`
+	Admission        AdmissionStats `json:"admission"`
 }
 
 // ServerStats are the server-wide counters. AdmissionFlushed

@@ -288,6 +288,23 @@ func (c *Client) ServerStats(ctx context.Context) (api.ServerStats, error) {
 	return out, err
 }
 
+// Metrics fetches the raw Prometheus text exposition from /metrics.
+// The returned bytes are an independent copy, safe to keep.
+func (c *Client) Metrics(ctx context.Context) ([]byte, error) {
+	ctx, cancel := c.withDeadline(ctx)
+	defer cancel()
+	os := opPool.Get().(*opScratch)
+	defer opPool.Put(os)
+	status, body, err := c.doRaw(ctx, os, http.MethodGet, api.PathMetrics, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, api.DecodeError(status, body)
+	}
+	return append([]byte(nil), body...), nil
+}
+
 // Health checks liveness.
 func (c *Client) Health(ctx context.Context) error {
 	var out api.Health

@@ -79,7 +79,7 @@ func run(args []string) error {
 	var (
 		out       = fs.String("out", "BENCH_admitd.json", "results file (read for history/baseline, rewritten unless -check)")
 		procsFlag = fs.String("procs", "1,2,4,8", "comma-separated GOMAXPROCS ladder")
-		pr        = fs.Int("pr", 7, "PR number recorded in the history entry")
+		pr        = fs.Int("pr", 8, "PR number recorded in the history entry")
 		requests  = fs.Int("requests", 20000, "loadgen requests per throughput run")
 		quick     = fs.Bool("quick", false, "smaller iteration counts (CI smoke: ~10x faster, noisier)")
 		check     = fs.Bool("check", false, "gate mode: compare against -out, exit 1 on regression, write nothing")
@@ -181,7 +181,11 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
-		rs = append(rs, bt, section4Result(sweepSets), probesResult())
+		ms, err := admitd.RigMetricsScrape()
+		if err != nil {
+			return err
+		}
+		rs = append(rs, bt, ms, section4Result(sweepSets), probesResult())
 		for i := range rs {
 			rs[i].GOMAXPROCS = p
 			fmt.Printf("  %-22s %12.0f ns/op %14.0f ops/s %8.2f allocs/op\n",

@@ -25,7 +25,7 @@ import (
 // resident tasks, mirroring benchSession's steady-state shape.
 func allocSession(tb testing.TB) *Session {
 	tb.Helper()
-	s := newSession("alloc", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil)
+	s := newSession("alloc", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil, nil)
 	id := int64(1)
 	admit := func(core int) {
 		req := api.AdmitRequest{Task: benchTask(id), Core: &core}

@@ -1,0 +1,301 @@
+package admitd
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/task"
+)
+
+// The SSE change feed is the daemon's first push surface: every
+// committed mutation — and only committed ones — becomes one event
+// carrying the snapshot sequence number that mutation published, so
+// a subscriber can mirror session state with the same linearizable
+// contract the read path gives. Events are staged on the actor
+// during a drain and flushed after the drain's snapshot publish
+// (Session.feedFlush from the actor loop): a subscriber never
+// observes a sequence number before the snapshot carrying it is
+// readable, and within one subscription sequence numbers are
+// strictly increasing with no committed mutation skipped.
+//
+// Slow-consumer policy: every subscriber owns a bounded buffer
+// (feedSubBuffer events). The actor never blocks on a subscriber —
+// when a buffer is full the subscription is dropped: removed from
+// the hub and its channel closed, which the handler reports to the
+// client as a terminal "dropped" event. Reconnecting re-syncs via
+// the hello event's sequence number and a state read.
+
+// feedOp tags a change event.
+type feedOp uint8
+
+const (
+	feedAdmit feedOp = iota
+	feedSplit
+	feedRemove
+)
+
+func (op feedOp) String() string {
+	switch op {
+	case feedSplit:
+		return "split"
+	case feedRemove:
+		return "remove"
+	default:
+		return "admit"
+	}
+}
+
+// feedEvent is one committed mutation, stamped with the sequence
+// number its snapshot published.
+type feedEvent struct {
+	seq   int64
+	task  int64
+	core  int32 // -1 for splits and removes
+	tasks int32 // committed task count after the mutation
+	op    feedOp
+}
+
+// feedSubBuffer bounds one subscriber's event backlog; a feed that
+// falls this far behind is dropped rather than ever back-pressuring
+// the actor.
+const feedSubBuffer = 256
+
+// feedSub is one subscription: a buffered channel the actor sends
+// into and the handler drains. after filters events already covered
+// by the subscriber's hello sequence number.
+type feedSub struct {
+	ch    chan feedEvent
+	after int64
+}
+
+// feedHub fans events out to a session's subscribers. The mutex
+// guards the subscriber set only; it is taken by the actor once per
+// drain that produced events, and by subscribe/unsubscribe.
+type feedHub struct {
+	mu   sync.Mutex
+	subs map[*feedSub]struct{}
+}
+
+// publish fans one drain's events out, applying the drop policy.
+// Runs on the actor.
+func (h *feedHub) publish(events []feedEvent, m *serverMetrics) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for sub := range h.subs {
+		if !sub.send(events) {
+			// Buffer full: drop the subscription, never the actor's
+			// latency. Closing the channel is the terminal signal
+			// the handler relays as a "dropped" event.
+			delete(h.subs, sub)
+			close(sub.ch)
+			if m != nil {
+				m.feedDropped.Inc()
+			}
+		}
+	}
+}
+
+// send enqueues the events newer than the subscription anchor,
+// reporting false on overflow.
+func (sub *feedSub) send(events []feedEvent) bool {
+	for _, ev := range events {
+		if ev.seq <= sub.after {
+			continue
+		}
+		select {
+		case sub.ch <- ev:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// feedNote stages one committed admission (whole task or split) for
+// the drain's flush. Actor-only; a single nil check when no
+// subscriber ever attached.
+func (s *Session) feedNote(t *task.Task, sp *task.Split, core int) {
+	if s.feed.Load() == nil {
+		return
+	}
+	ev := feedEvent{seq: s.actx.CommitSeq(), tasks: int32(s.nTasks.Load()), core: int32(core)}
+	if sp != nil {
+		ev.op = feedSplit
+		ev.task = int64(sp.Task.ID)
+		ev.core = -1
+	} else {
+		ev.task = int64(t.ID)
+	}
+	s.feedPend = append(s.feedPend, ev)
+}
+
+// feedNoteRemove stages one committed removal. Actor-only.
+func (s *Session) feedNoteRemove(id task.ID) {
+	if s.feed.Load() == nil {
+		return
+	}
+	s.feedPend = append(s.feedPend, feedEvent{
+		seq: s.actx.CommitSeq(), op: feedRemove,
+		task: int64(id), core: -1, tasks: int32(s.nTasks.Load()),
+	})
+}
+
+// feedFlush hands the drain's staged events to the hub. Runs on the
+// actor, after the drain's snapshot publish.
+func (s *Session) feedFlush() {
+	if len(s.feedPend) == 0 {
+		return
+	}
+	if h := s.feed.Load(); h != nil {
+		h.publish(s.feedPend, s.met)
+		if m := s.met; m != nil {
+			m.feedEvents.Add(int64(len(s.feedPend)))
+		}
+	}
+	s.feedPend = s.feedPend[:0]
+}
+
+// feedSubscribe attaches a subscriber through the actor: the hub
+// attach and the sequence-number capture are atomic with respect to
+// mutations, so the stream is gapless from the returned sequence on.
+func (s *Session) feedSubscribe() (*feedSub, int64, error) {
+	sub := &feedSub{ch: make(chan feedEvent, feedSubBuffer)}
+	err := s.call(func() {
+		h := s.feed.Load()
+		if h == nil {
+			h = &feedHub{subs: make(map[*feedSub]struct{})}
+			s.feed.Store(h)
+		}
+		sub.after = s.actx.CommitSeq()
+		h.subs[sub] = struct{}{}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return sub, sub.after, nil
+}
+
+// feedUnsubscribe detaches (client disconnect). Safe against a
+// concurrent drop: the hub tolerates removing an absent subscriber.
+func (s *Session) feedUnsubscribe(sub *feedSub) {
+	h := s.feed.Load()
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	delete(h.subs, sub)
+	h.mu.Unlock()
+}
+
+// --- HTTP ------------------------------------------------------------
+
+// feedHeartbeat keeps intermediaries from timing out an idle stream.
+const feedHeartbeat = 15 * time.Second
+
+// errStreamingUnsupported is returned when the transport cannot
+// flush incrementally (no http.Flusher).
+var errStreamingUnsupported = fmt.Errorf("admitd: transport does not support streaming")
+
+// handleFeed serves GET /v1/sessions/{name}/feed: an SSE stream of
+// committed-mutation events. The hello event carries the sequence
+// number the subscription is anchored at; every subsequent change
+// event's seq is strictly increasing with no committed mutation
+// missing.
+func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
+	sess := s.session(w, r)
+	if sess == nil {
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errStreamingUnsupported)
+		return
+	}
+	sub, seq, err := sess.feedSubscribe()
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	defer sess.feedUnsubscribe(sub)
+	s.met.feedSubs.Inc()
+	defer s.met.feedSubs.Dec()
+
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	buf := make([]byte, 0, 256)
+	buf = append(buf, "event: hello\ndata: "...)
+	buf = appendFeedHello(buf, sess.name, seq, sess.nTasks.Load())
+	buf = append(buf, "\n\n"...)
+	if _, err := w.Write(buf); err != nil {
+		return
+	}
+	flusher.Flush()
+
+	hb := time.NewTicker(feedHeartbeat)
+	defer hb.Stop()
+	for {
+		select {
+		case ev, open := <-sub.ch:
+			if !open {
+				// Dropped by the slow-consumer policy.
+				_, _ = w.Write([]byte("event: dropped\ndata: {}\n\n"))
+				flusher.Flush()
+				return
+			}
+			buf = buf[:0]
+			buf = append(buf, "id: "...)
+			buf = strconv.AppendInt(buf, ev.seq, 10)
+			buf = append(buf, "\nevent: change\ndata: "...)
+			buf = appendFeedEvent(buf, ev)
+			buf = append(buf, "\n\n"...)
+			if _, err := w.Write(buf); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-hb.C:
+			if _, err := w.Write([]byte(": hb\n\n")); err != nil {
+				return
+			}
+			flusher.Flush()
+		case <-sess.done:
+			_, _ = w.Write([]byte("event: closed\ndata: {}\n\n"))
+			flusher.Flush()
+			return
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func appendFeedHello(b []byte, name string, seq, tasks int64) []byte {
+	b = append(b, `{"name":`...)
+	// Session names on the feed path came through the router; quote
+	// defensively anyway.
+	b = strconv.AppendQuote(b, name)
+	b = append(b, `,"seq":`...)
+	b = strconv.AppendInt(b, seq, 10)
+	b = append(b, `,"tasks":`...)
+	b = strconv.AppendInt(b, tasks, 10)
+	return append(b, '}')
+}
+
+func appendFeedEvent(b []byte, ev feedEvent) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendInt(b, ev.seq, 10)
+	b = append(b, `,"op":"`...)
+	b = append(b, ev.op.String()...)
+	b = append(b, `","task":`...)
+	b = strconv.AppendInt(b, ev.task, 10)
+	b = append(b, `,"core":`...)
+	b = strconv.AppendInt(b, int64(ev.core), 10)
+	b = append(b, `,"tasks":`...)
+	b = strconv.AppendInt(b, int64(ev.tasks), 10)
+	return append(b, '}')
+}

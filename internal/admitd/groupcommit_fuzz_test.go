@@ -75,7 +75,7 @@ func FuzzGroupCommitCoalescing(f *testing.F) {
 		analysis.SelfCheck = true
 		defer func() { analysis.SelfCheck = prevCheck }()
 
-		live := newSession("gc", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil)
+		live := newSession("gc", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil, nil)
 		defer live.close()
 
 		// Phase 1: racing writers. The actor runs closures one at a
@@ -137,7 +137,7 @@ func FuzzGroupCommitCoalescing(f *testing.F) {
 
 		// Phase 2: sequential replay of the recorded linearization,
 		// one drain per op.
-		replay := newSession("gc", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil)
+		replay := newSession("gc", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil, nil)
 		defer replay.close()
 		for i, op := range log {
 			got := &gcOp{kind: op.kind, id: op.id, core: op.core}

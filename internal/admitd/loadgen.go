@@ -14,6 +14,7 @@ import (
 
 	"repro/api"
 	"repro/client"
+	"repro/internal/telemetry"
 )
 
 // The load generator drives the server exclusively through the
@@ -136,6 +137,51 @@ func (ls *LoadStats) String() string {
 		ls.Requests, ls.Elapsed.Round(time.Millisecond), ls.Throughput(), ls.AllocsPerOp,
 		ls.Admitted, ls.Rejected, ls.Tries, ls.Removes, ls.Errors,
 		ls.ReadLatency, ls.WriteLatency)
+}
+
+// CrossCheckMetrics compares the client-observed latency
+// percentiles of a finished load run against the server's scraped
+// histograms (admitd_http_request_duration_seconds, path="read" and
+// "actor"). The two views measure different spans — the client adds
+// transport, the server buckets at powers of two — so agreement is
+// asserted only to bucket resolution: the client percentile must lie
+// within [bound/4, bound*4] of the server's bucketed quantile.
+// Divergence is a warning (one message per failed percentile), not
+// an error: it flags a broken instrument or a pathological
+// transport, both worth a human look and neither worth failing a
+// load run over.
+func CrossCheckMetrics(expo []byte, st *LoadStats) []string {
+	var warns []string
+	check := func(path string, sum LatencySummary) {
+		if sum.N == 0 {
+			return
+		}
+		h := telemetry.ExtractHistogram(expo, "admitd_http_request_duration_seconds", `path="`+path+`"`)
+		if h == nil {
+			warns = append(warns, fmt.Sprintf("metrics cross-check: no %s-path histogram in scrape", path))
+			return
+		}
+		if h.Count == 0 {
+			warns = append(warns, fmt.Sprintf("metrics cross-check: %s-path histogram empty (client saw %d ops)", path, sum.N))
+			return
+		}
+		for _, pc := range []struct {
+			q      float64
+			name   string
+			client time.Duration
+		}{{0.50, "p50", sum.P50}, {0.95, "p95", sum.P95}, {0.99, "p99", sum.P99}} {
+			bound := h.Quantile(pc.q) // seconds, bucket upper bound
+			cs := pc.client.Seconds()
+			if cs > bound*4 || cs < bound/16 {
+				warns = append(warns, fmt.Sprintf(
+					"metrics cross-check: %s-path %s diverges: client %v vs server bucket ≤%.3gs",
+					path, pc.name, pc.client, bound))
+			}
+		}
+	}
+	check("read", st.ReadLatency)
+	check("actor", st.WriteLatency)
+	return warns
 }
 
 // RunLoad drives a mixed admission workload — admit, try, remove,

@@ -1,0 +1,202 @@
+package admitd
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/telemetry"
+)
+
+// serverMetrics is the daemon's telemetry plane: every instrument
+// the transport, the session actors, the read path, the store and
+// the analysis collectors report into, owned by one per-server
+// registry (GET /metrics). Hot-path instruments are sharded
+// counters/histograms — pure atomic adds, no allocation — so the
+// lock-free read path stays 0 allocs/op with telemetry enabled;
+// occupancy-style values are computed at scrape time from the same
+// atomics the handlers already maintain.
+type serverMetrics struct {
+	reg *telemetry.Registry
+
+	// Transport: per-route request counters (created per route at
+	// registration), one latency histogram per path class, and the
+	// in-flight gauge.
+	inflight *telemetry.Gauge
+	latRead  *telemetry.Histogram
+	latActor *telemetry.Histogram
+
+	// Actor plane: group-commit drain sizes and snapshot activity.
+	drainSize *telemetry.Histogram
+	publishes *telemetry.Counter
+	forks     *telemetry.Counter
+
+	// stateRead's per-snapshot rendered-body memo (server-wide
+	// totals; the per-session split rides the session stats
+	// response).
+	stateHits   *telemetry.Counter
+	stateMisses *telemetry.Counter
+
+	// Fixed-point iteration distribution, observed per read-path
+	// probe via the analysis Collector hook (group grain: exact
+	// sum/count, buckets at the per-probe mean).
+	fpIters *telemetry.Histogram
+
+	// SSE feed plane.
+	feedSubs    *telemetry.Gauge
+	feedEvents  *telemetry.Counter
+	feedDropped *telemetry.Counter
+
+	// Scrape-time aggregate of admission stats: collector totals
+	// flushed by closed sessions plus every live session's view.
+	agg analysis.AdmissionStats
+}
+
+// Histogram shapes. Latencies span 256ns–2.1s in powers of two;
+// drain sizes 1–32 (maxDrain); fixed-point iterations 1–4096.
+const (
+	latMinShift  = 8
+	latMaxShift  = 31
+	drainMaxLog2 = 5
+	fpMaxLog2    = 12
+)
+
+func newServerMetrics(store *Store) *serverMetrics {
+	reg := telemetry.NewRegistry()
+	m := &serverMetrics{reg: reg}
+
+	m.inflight = reg.NewGauge("admitd_http_inflight",
+		"Requests currently being served.")
+	m.latRead = reg.NewHistogram("admitd_http_request_duration_seconds",
+		"Request latency by path class: read is the lock-free snapshot path (try/state/stats/batch try-only), actor the serialized write path.",
+		telemetry.UnitSeconds, latMinShift, latMaxShift, telemetry.Label{Key: "path", Value: "read"})
+	m.latActor = reg.NewHistogram("admitd_http_request_duration_seconds",
+		"Request latency by path class: read is the lock-free snapshot path (try/state/stats/batch try-only), actor the serialized write path.",
+		telemetry.UnitSeconds, latMinShift, latMaxShift, telemetry.Label{Key: "path", Value: "actor"})
+
+	m.drainSize = reg.NewHistogram("admitd_group_commit_drain_size",
+		"Mailbox calls coalesced per actor drain (one snapshot publish each).",
+		telemetry.UnitCount, 0, drainMaxLog2)
+	m.publishes = reg.NewCounter("admitd_snapshot_publishes_total",
+		"Snapshot publications (drains that committed at least one mutation).")
+	m.forks = reg.NewCounter("admitd_snapshot_forks_total",
+		"Snapshot forks taken by the lock-free read path.")
+
+	m.stateHits = reg.NewCounter("admitd_state_cache_hits_total",
+		"State reads served from the per-snapshot rendered-body memo.")
+	m.stateMisses = reg.NewCounter("admitd_state_cache_misses_total",
+		"State reads that re-rendered the committed assignment (fresh snapshot sequence).")
+
+	m.fpIters = reg.NewHistogram("admitd_fp_iterations",
+		"Fixed-point iterations per solve on the read path (bucketed at per-probe mean; sum and count exact).",
+		telemetry.UnitCount, 0, fpMaxLog2)
+
+	// Admission-stats aggregate: refreshed once per scrape so the
+	// series below are mutually consistent.
+	reg.OnScrape(func() {
+		agg := store.coll.Snapshot()
+		store.Range(func(sess *Session) {
+			if st, err := sess.statsRead(); err == nil {
+				agg = agg.Add(st)
+			}
+		})
+		m.agg = agg
+	})
+	admission := func(name, help string, f func() float64) {
+		reg.NewCounterFunc(name, help, f)
+	}
+	admission("admitd_admission_probes_total",
+		"TryPlace/TrySplit probes across all sessions (live and flushed).",
+		func() float64 { return float64(m.agg.Probes) })
+	admission("admitd_admission_full_tests_total",
+		"Full schedulability tests across all sessions.",
+		func() float64 { return float64(m.agg.FullTests) })
+	admission("admitd_admission_core_tests_total",
+		"Single-core admission evaluations requested.",
+		func() float64 { return float64(m.agg.CoreTests) })
+	admission("admitd_admission_verdict_hits_total",
+		"Core tests served from the per-core verdict memo.",
+		func() float64 { return float64(m.agg.VerdictHits) })
+	admission("admitd_admission_fp_solves_total",
+		"Response-time fixed points solved.",
+		func() float64 { return float64(m.agg.FPSolves) })
+	admission("admitd_admission_fp_iterations_total",
+		"Iterations those solves took.",
+		func() float64 { return float64(m.agg.FPIterations) })
+	admission("admitd_admission_warm_starts_total",
+		"Solves that began from a previously converged value.",
+		func() float64 { return float64(m.agg.WarmStarts) })
+
+	m.feedSubs = reg.NewGauge("admitd_feed_subscribers",
+		"Live SSE change-feed subscriptions.")
+	m.feedEvents = reg.NewCounter("admitd_feed_events_total",
+		"Change events published to SSE subscribers.")
+	m.feedDropped = reg.NewCounter("admitd_feed_dropped_subscribers_total",
+		"SSE subscriptions disconnected by the slow-consumer drop policy.")
+
+	// Store occupancy: live counts from the registry's atomics, plus
+	// per-shard map sizes sampled once per scrape.
+	reg.NewGaugeFunc("admitd_sessions_live",
+		"Live sessions in the store.",
+		func() float64 { return float64(store.count.Load()) })
+	reg.NewCounterFunc("admitd_sessions_created_total",
+		"Sessions ever created.",
+		func() float64 { return float64(store.created.Load()) })
+	reg.NewCounterFunc("admitd_sessions_evicted_total",
+		"Sessions evicted by the LRU cap.",
+		func() float64 { return float64(store.evicted.Load()) })
+	reg.NewCounterFunc("admitd_sessions_restored_total",
+		"Sessions restored from snapshots.",
+		func() float64 { return float64(store.restored.Load()) })
+	reg.NewCounterFunc("admitd_sessions_deleted_total",
+		"Sessions explicitly deleted.",
+		func() float64 { return float64(store.deleted.Load()) })
+	reg.NewGaugeFunc("admitd_session_tasks",
+		"Committed tasks across live sessions (ID-set occupancy).",
+		func() float64 {
+			var n int64
+			store.Range(func(sess *Session) { n += sess.nTasks.Load() })
+			return float64(n)
+		})
+	reg.NewGaugeFunc("admitd_state_memo_sessions",
+		"Live sessions holding a rendered state memo.",
+		func() float64 {
+			var n int64
+			store.Range(func(sess *Session) {
+				if sess.stateCache.Load() != nil {
+					n++
+				}
+			})
+			return float64(n)
+		})
+	var shardSizes [numShards]int
+	reg.OnScrape(func() { store.shardSizes(&shardSizes) })
+	for i := range shardSizes {
+		i := i
+		reg.NewGaugeFunc("admitd_store_shard_sessions",
+			"Sessions per store shard (map striping balance).",
+			func() float64 { return float64(shardSizes[i]) },
+			telemetry.Label{Key: "shard", Value: shardLabel(i)})
+	}
+
+	telemetry.RegisterRuntime(reg)
+	return m
+}
+
+// routeCounter registers one per-route series of the request-count
+// family (called once per route at server construction).
+func (m *serverMetrics) routeCounter(route string) *telemetry.Counter {
+	return m.reg.NewCounter("admitd_http_requests_total",
+		"Requests served, by route.",
+		telemetry.Label{Key: "route", Value: route})
+}
+
+// fpObserver is the Collector hook attached to every session's
+// read-stats collector (allocation-free: one closure per server).
+func (m *serverMetrics) fpObserver() func(iterations, solves int64) {
+	h := m.fpIters
+	return func(iterations, solves int64) { h.ObserveGroup(iterations, solves) }
+}
+
+func shardLabel(i int) string {
+	// Two digits keep lexical and numeric order identical in scrape
+	// output (00..15).
+	return string([]byte{'0' + byte(i/10), '0' + byte(i%10)})
+}

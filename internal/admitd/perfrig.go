@@ -55,7 +55,7 @@ func benchTask(id int64) api.Task {
 // each churn core, so the 10%-write churn (cores 0–2, ±1 task) never
 // moves N and the per-core caches behave as they would in production.
 func rigSession() (*Session, error) {
-	s := newSession("bench", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil)
+	s := newSession("bench", task.FixedPriority, overhead.PaperModel(), task.NewAssignment(4), nil, nil)
 	admit := func(id int64, core int) error {
 		req := api.AdmitRequest{Task: benchTask(id), Core: &core}
 		var v api.Verdict
@@ -345,6 +345,59 @@ func RigWire() ([]RigResult, error) {
 
 // RigBatchTry measures the batched verdict path: one try-only batch
 // of k tasks against a warm session, per op.
+// RigMetricsScrape measures one full /metrics render — every
+// registered family merged from its shards and written in Prometheus
+// text format into a reused buffer — against a server populated with
+// live sessions, so scrape-time costs (shard merges, store Range
+// walks, MemStats refresh) are the production ones. The scrape is
+// off the hot path; this pins its cost so a 1 Hz scraper is visibly
+// harmless.
+func RigMetricsScrape() (RigResult, error) {
+	srv, err := New(Config{})
+	if err != nil {
+		return RigResult{}, err
+	}
+	defer srv.Close()
+	id := int64(1)
+	for i := 0; i < 8; i++ {
+		sess, err := srv.store.Create(fmt.Sprintf("scrape-%d", i), 4, task.FixedPriority, overhead.PaperModel())
+		if err != nil {
+			return RigResult{}, err
+		}
+		for c := 0; c < 4; c++ {
+			core := c
+			req := api.AdmitRequest{Task: benchTask(id), Core: &core}
+			id++
+			var v api.Verdict
+			var aerr error
+			if cerr := sess.call(func() { v, aerr = sess.admitLocked(req) }); cerr != nil {
+				return RigResult{}, cerr
+			}
+			if aerr != nil || !v.Admitted {
+				return RigResult{}, fmt.Errorf("scrape seed: %+v %v", v, aerr)
+			}
+		}
+	}
+	reg := srv.met.reg
+	buf := make([]byte, 0, 32<<10)
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf = reg.WritePrometheus(buf[:0])
+		}
+	})
+	res := RigResult{
+		Name:        "metrics_scrape",
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: float64(r.AllocsPerOp()),
+		Desc:        "one /metrics exposition render (all families, shard merge + store walk + MemStats) into a reused buffer, 8 live sessions",
+	}
+	if res.NsPerOp > 0 {
+		res.OpsPerSec = 1e9 / res.NsPerOp
+	}
+	return res, nil
+}
+
 func RigBatchTry(k int) (RigResult, error) {
 	s, err := rigSession()
 	if err != nil {

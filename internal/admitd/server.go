@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"sort"
 	"sync/atomic"
+	"time"
 
 	"repro/api"
 	"repro/internal/experiment"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/partition"
 	"repro/internal/report"
 	"repro/internal/task"
+	"repro/internal/telemetry"
 )
 
 // Config parameterizes a Server.
@@ -23,6 +25,16 @@ type Config struct {
 	// SnapshotDir, when set, persists evicted sessions and snapshots
 	// everything live on Close.
 	SnapshotDir string
+	// Trace, when set, mints a trace ID for every request that did
+	// not supply one via the Admitd-Trace-Id header. IDs supplied by
+	// clients are always echoed on the response; generation is
+	// opt-in because it costs two allocations per request, which the
+	// default configuration keeps off the measured handler path.
+	Trace bool
+	// EventLog, when non-nil, receives one structured NDJSON event
+	// per request (and server lifecycle events), trace-ID stamped.
+	// Nil disables logging at the cost of one branch per request.
+	EventLog *telemetry.EventLog
 }
 
 // Server is the admission-control transport: a thin HTTP layer that
@@ -49,6 +61,10 @@ type Server struct {
 	store *Store
 	mux   *http.ServeMux
 
+	met   *serverMetrics
+	elog  *telemetry.EventLog
+	trace bool
+
 	requests atomic.Int64
 }
 
@@ -58,38 +74,107 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Server{store: store, mux: http.NewServeMux()}
-	s.mux.HandleFunc("POST "+api.PathSessions, s.handleCreate)
-	s.mux.HandleFunc("GET "+api.PathSessions, s.handleList)
-	s.mux.HandleFunc("GET "+api.PathSessions+"/{name}", s.handleState)
-	s.mux.HandleFunc("DELETE "+api.PathSessions+"/{name}", s.handleDelete)
+	s := &Server{store: store, mux: http.NewServeMux(), elog: cfg.EventLog, trace: cfg.Trace}
+	s.met = newServerMetrics(store)
+	store.met = s.met
+	s.handle("POST "+api.PathSessions, "create", classActor, s.handleCreate)
+	s.handle("GET "+api.PathSessions, "list", classRead, s.handleList)
+	s.handle("GET "+api.PathSessions+"/{name}", "state", classRead, s.handleState)
+	s.handle("DELETE "+api.PathSessions+"/{name}", "delete", classActor, s.handleDelete)
 	op := func(name string) string { return "POST " + api.PathSessions + "/{name}/" + name }
-	s.mux.HandleFunc(op(api.OpAdmit), s.sessionVerdict(func(sess *Session, req api.AdmitRequest) (api.Verdict, error) {
+	s.handle(op(api.OpAdmit), api.OpAdmit, classActor, s.sessionVerdict(func(sess *Session, req api.AdmitRequest) (api.Verdict, error) {
 		if req.Hold {
 			return api.Verdict{}, fmt.Errorf("hold is only valid on try (admit commits immediately)")
 		}
 		return sess.admitLocked(req)
 	}))
-	s.mux.HandleFunc(op(api.OpTry), s.handleTry)
-	s.mux.HandleFunc(op(api.OpSplit), s.handleSplit)
-	s.mux.HandleFunc(op(api.OpCommit), s.handleResolve((*Session).commitLocked))
-	s.mux.HandleFunc(op(api.OpRollback), s.handleResolve((*Session).rollbackLocked))
-	s.mux.HandleFunc(op(api.OpRemove), s.handleRemove)
-	s.mux.HandleFunc("GET "+api.PathSessions+"/{name}/"+api.OpStats, s.handleSessionStats)
-	s.mux.HandleFunc(op(api.OpBatch), s.handleBatch)
-	s.mux.HandleFunc("POST "+api.PathSweep, s.handleSweep)
-	s.mux.HandleFunc("GET "+api.PathStats, s.handleStats)
-	s.mux.HandleFunc("GET "+api.PathHealth, func(w http.ResponseWriter, r *http.Request) {
+	s.handle(op(api.OpTry), api.OpTry, classRead, s.handleTry)
+	s.handle(op(api.OpSplit), api.OpSplit, classActor, s.handleSplit)
+	s.handle(op(api.OpCommit), api.OpCommit, classActor, s.handleResolve((*Session).commitLocked))
+	s.handle(op(api.OpRollback), api.OpRollback, classActor, s.handleResolve((*Session).rollbackLocked))
+	s.handle(op(api.OpRemove), api.OpRemove, classActor, s.handleRemove)
+	s.handle("GET "+api.PathSessions+"/{name}/"+api.OpStats, "session_stats", classRead, s.handleSessionStats)
+	s.handle(op(api.OpBatch), api.OpBatch, classActor, s.handleBatch)
+	s.handle("GET "+api.PathSessions+"/{name}/"+api.OpFeed, api.OpFeed, classStream, s.handleFeed)
+	s.handle("POST "+api.PathSweep, "sweep", classStream, s.handleSweep)
+	s.handle("GET "+api.PathStats, "stats", classRead, s.handleStats)
+	s.handle("GET "+api.PathHealth, "health", classRead, func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, api.Health{Status: "ok"})
 	})
+	s.handle("GET "+api.PathMetrics, "metrics", classStream, s.met.reg.ServeHTTP)
 	return s, nil
 }
+
+// Path classes split the request latency histogram the way the
+// architecture splits request handling: classRead is the lock-free
+// snapshot path, classActor the serialized write path. classStream
+// routes (feed, sweep, metrics) are counted but excluded from the
+// latency histograms — a subscription's lifetime is not a latency.
+const (
+	classRead = iota
+	classActor
+	classStream
+)
+
+// handle registers one instrumented route: per-route request
+// counter, path-class latency histogram, in-flight gauge, and the
+// optional per-request NDJSON event. The instruments are sharded
+// atomics — the wrapper adds no allocation to the handler path.
+func (s *Server) handle(pattern, route string, class int, h http.HandlerFunc) {
+	count := s.met.routeCounter(route)
+	var lat *telemetry.Histogram
+	switch class {
+	case classRead:
+		lat = s.met.latRead
+	case classActor:
+		lat = s.met.latActor
+	}
+	m := s.met
+	elog := s.elog
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		m.inflight.Inc()
+		start := time.Now()
+		h(w, r)
+		d := time.Since(start)
+		if lat != nil {
+			lat.Observe(d)
+		}
+		count.Inc()
+		m.inflight.Dec()
+		if elog.Enabled(telemetry.LevelInfo) {
+			elog.Event(telemetry.LevelInfo, "request").
+				Str("route", route).
+				Str("trace", r.Header.Get(api.TraceHeader)).
+				Dur("latency_us", d).
+				Send()
+		}
+	})
+}
+
+// Metrics exposes the server's telemetry registry so embedders can
+// mount the exposition elsewhere (the -pprof side listener does).
+func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
 
 // ServeHTTP implements http.Handler. Every response is stamped with
 // the schema version so clients can detect what they talk to.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	w.Header().Set(api.VersionHeader, api.Version)
+	// Trace correlation: a valid client-supplied ID is echoed (and
+	// visible to the event log downstream); with Config.Trace set,
+	// requests without one get a generated ID. The no-ID, no-Trace
+	// path touches nothing — zero allocations.
+	if id := r.Header.Get(api.TraceHeader); id != "" {
+		if telemetry.ValidTraceID(id) {
+			w.Header().Set(api.TraceHeader, id)
+		} else {
+			r.Header.Del(api.TraceHeader) // never log or echo garbage
+		}
+	} else if s.trace {
+		id = telemetry.NewTraceID()
+		r.Header.Set(api.TraceHeader, id)
+		w.Header().Set(api.TraceHeader, id)
+	}
 	s.mux.ServeHTTP(w, r)
 }
 
@@ -415,12 +500,14 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	st := api.SessionStats{
-		Name:      sess.name,
-		Tasks:     int(sess.nTasks.Load()),
-		Admitted:  sess.admitted.Load(),
-		Rejected:  sess.rejected.Load(),
-		Removed:   sess.removed.Load(),
-		Admission: report.AdmissionJSON(admission),
+		Name:             sess.name,
+		Tasks:            int(sess.nTasks.Load()),
+		Admitted:         sess.admitted.Load(),
+		Rejected:         sess.rejected.Load(),
+		Removed:          sess.removed.Load(),
+		StateCacheHits:   sess.stateHits.Load(),
+		StateCacheMisses: sess.stateMisses.Load(),
+		Admission:        report.AdmissionJSON(admission),
 	}
 	ws := wirePool.Get().(*wireScratch)
 	defer wirePool.Put(ws)
@@ -539,6 +626,13 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		Seed:         req.Seed,
 		Utilizations: req.Utilizations,
 	}
+	if r.Header.Get("Accept") == "text/event-stream" {
+		// SSE negotiation: the same progress stream (the Progress/
+		// Wilson aggregator's cell updates) framed as event-stream
+		// for browser EventSource consumers; Stream is implied.
+		s.sweepSSE(w, r, cfg)
+		return
+	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	enc := json.NewEncoder(w)
 	if req.Stream {
@@ -552,4 +646,30 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	}
 	res := experiment.RunContext(r.Context(), cfg)
 	_ = enc.Encode(report.SweepResultJSON(res)) //nolint:errcheck
+}
+
+// sweepSSE streams sweep progress as Server-Sent Events: one
+// "progress" event per aggregator cell update, a final "result"
+// event with the full sweep result.
+func (s *Server) sweepSSE(w http.ResponseWriter, r *http.Request, cfg experiment.Config) {
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, errStreamingUnsupported)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	emit := func(event string, v any) {
+		data, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		_, _ = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+		flusher.Flush()
+	}
+	cfg.Progress = func(u experiment.CellUpdate) { emit("progress", report.ProgressJSON(u)) }
+	res := experiment.RunContext(r.Context(), cfg)
+	emit("result", report.SweepResultJSON(res))
 }

@@ -91,7 +91,27 @@ type Session struct {
 
 	// stateCache memoizes the rendered committed state per snapshot
 	// sequence, so repeated state reads between commits are O(1).
-	stateCache atomic.Pointer[stateCacheEntry]
+	// stateHits/stateMisses count reads served from (vs. rendering
+	// into) the memo — surfaced in the session stats response and,
+	// via the server-wide counters in met, on /metrics.
+	stateCache  atomic.Pointer[stateCacheEntry]
+	stateHits   atomic.Int64
+	stateMisses atomic.Int64
+
+	// met is the owning server's telemetry plane; nil when the
+	// session runs without one (direct construction in tests). Every
+	// use is a nil-checked atomic op — never an allocation.
+	met *serverMetrics
+
+	// feed is the SSE change-feed hub, created lazily by the first
+	// subscriber; nil means no subscribers ever attached and the
+	// write path pays one atomic load per committed mutation.
+	// feedPend stages events within one actor drain (actor-owned);
+	// they flush to the hub after the drain's snapshot publish, so a
+	// subscriber never learns a sequence number before the snapshot
+	// carrying it is readable.
+	feed     atomic.Pointer[feedHub]
+	feedPend []feedEvent
 
 	lastUsed atomic.Int64 // store's logical clock at last touch
 
@@ -146,7 +166,7 @@ var callPool = sync.Pool{
 // newSession builds a session over an already-populated assignment
 // (empty for fresh sessions, rebuilt for restores) and starts its
 // actor.
-func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assignment, coll *analysis.Collector) *Session {
+func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assignment, coll *analysis.Collector, met *serverMetrics) *Session {
 	a.Policy = p
 	s := &Session{
 		name:   name,
@@ -154,11 +174,17 @@ func newSession(name string, p task.Policy, model *overhead.Model, a *task.Assig
 		model:  model,
 		a:      a,
 		actx:   analysis.ForPolicy(p).NewContext(a, model),
+		met:    met,
 		reqs:   make(chan *sessionCall, 16),
 		done:   make(chan struct{}),
 	}
 	if coll != nil {
 		s.actx.SetCollector(coll)
+	}
+	if met != nil {
+		// Live fixed-point iteration histogram: observed per
+		// read-path probe as its stats fold into the collector.
+		s.actx.ReadCollector().SetFPObserver(met.fpObserver())
 	}
 	s.tasks = newIDSet()
 	for _, ts := range a.Normal {
@@ -226,6 +252,7 @@ func (s *Session) loop() {
 			}
 		}
 		s.inDrain = true
+		seqBefore := s.actx.CommitSeq()
 		s.actx.BeginGroup()
 		for i := 0; i < n; i++ {
 			batch[i].f()
@@ -238,6 +265,15 @@ func (s *Session) loop() {
 		s.drainUnreg = s.drainUnreg[:0]
 		st := s.actx.Stats()
 		s.pubStats.Store(&st)
+		if m := s.met; m != nil {
+			m.drainSize.ObserveInt(int64(n))
+			if s.actx.CommitSeq() != seqBefore {
+				m.publishes.Inc()
+			}
+		}
+		// Flush staged change events after the drain's publish: every
+		// sequence number a subscriber sees is already readable.
+		s.feedFlush()
 		for i := 0; i < n; i++ {
 			batch[i].done <- struct{}{}
 			batch[i] = nil
@@ -424,6 +460,7 @@ func (s *Session) resolveProbe(resp *api.Verdict, hold bool, t *task.Task, sp *t
 		// snapshot containing a task the duplicate check missed.
 		s.registerAdmitted(t, sp)
 		s.actx.Commit()
+		s.feedNote(t, sp, core)
 	} else {
 		s.actx.Rollback()
 		s.rejected.Add(1)
@@ -463,6 +500,7 @@ func (s *Session) commitLocked() (api.Verdict, error) {
 	// Register before the publishing Commit (see resolveProbe).
 	s.registerAdmitted(s.pendTask, s.pendSplit)
 	s.actx.Commit()
+	s.feedNote(s.pendTask, s.pendSplit, s.pendCore)
 	s.clearPending()
 	return resp, nil
 }
@@ -518,6 +556,7 @@ func (s *Session) removeLocked(id task.ID) error {
 		s.tasks.remove(id)
 	}
 	s.removed.Add(1)
+	s.feedNoteRemove(id)
 	return nil
 }
 
@@ -561,6 +600,9 @@ func (s *Session) tryRead(req api.AdmitRequest) (api.Verdict, error) {
 		return api.Verdict{}, fmt.Errorf("%w: %d", ErrDuplicateTask, t.ID)
 	}
 	snap := s.actx.Fork()
+	if m := s.met; m != nil {
+		m.forks.Inc()
+	}
 	resp := api.Verdict{TaskID: int64(t.ID), Core: -1}
 	if req.Core != nil {
 		c := *req.Core
@@ -596,6 +638,9 @@ func (s *Session) stateRead() (api.State, error) {
 		return api.State{}, ErrSessionClosed
 	}
 	snap := s.actx.Fork()
+	if m := s.met; m != nil {
+		m.forks.Inc()
+	}
 	e := s.stateCache.Load()
 	if e == nil || e.seq != snap.Seq() {
 		// Render in a separate frame: the range closures there take
@@ -603,6 +648,9 @@ func (s *Session) stateRead() (api.State, error) {
 		// keeps the cache-hit path's copy on the stack (zero allocs).
 		e = &stateCacheEntry{seq: snap.Seq(), st: s.renderState(snap)}
 		s.stateCache.Store(e)
+		s.noteStateMemo(false)
+	} else {
+		s.noteStateMemo(true)
 	}
 	body := e.st
 	if s.pendFlag.Load() == pendNone {
@@ -628,10 +676,16 @@ func (s *Session) stateReadBytes() ([]byte, error) {
 		return nil, ErrSessionClosed
 	}
 	snap := s.actx.Fork()
+	if m := s.met; m != nil {
+		m.forks.Inc()
+	}
 	e := s.stateCache.Load()
 	if e == nil || e.seq != snap.Seq() {
 		e = &stateCacheEntry{seq: snap.Seq(), st: s.renderState(snap)}
 		s.stateCache.Store(e)
+		s.noteStateMemo(false)
+	} else {
+		s.noteStateMemo(true)
 	}
 	variant := stateVariantPending
 	if s.pendFlag.Load() == pendNone {
@@ -679,6 +733,24 @@ func (s *Session) renderState(snap analysis.Snapshot) api.State {
 	})
 	body.CoreUtilization = snap.CoreUtilization()
 	return body
+}
+
+// noteStateMemo records one state read against the rendered-body
+// memo: the per-session atomic feeds the session stats response, the
+// server-wide sharded counter feeds /metrics. Pure atomic adds.
+func (s *Session) noteStateMemo(hit bool) {
+	if hit {
+		s.stateHits.Add(1)
+	} else {
+		s.stateMisses.Add(1)
+	}
+	if m := s.met; m != nil {
+		if hit {
+			m.stateHits.Inc()
+		} else {
+			m.stateMisses.Inc()
+		}
+	}
 }
 
 // Shared pointees for the optional schedulability verdict, so a
@@ -888,6 +960,9 @@ func (s *Session) batchTryRead(ctx context.Context, req api.BatchRequest, emit f
 		}
 	}
 	snap := s.actx.Fork()
+	if m := s.met; m != nil {
+		m.forks.Inc()
+	}
 	workers := runtime.GOMAXPROCS(0)
 	if workers > 8 {
 		workers = 8

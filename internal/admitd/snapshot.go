@@ -32,6 +32,10 @@ type sessionSnapshot struct {
 	Admitted int64 `json:"admitted"`
 	Rejected int64 `json:"rejected"`
 	Removed  int64 `json:"removed"`
+	// State-memo read counters (see Session.stateHits); omitempty
+	// keeps pre-telemetry snapshots readable.
+	StateCacheHits   int64 `json:"state_cache_hits,omitempty"`
+	StateCacheMisses int64 `json:"state_cache_misses,omitempty"`
 	// Admission carries the session's cumulative admission counters
 	// across eviction/restore cycles.
 	Admission analysis.AdmissionStats `json:"admission"`
@@ -48,14 +52,16 @@ func (s *Session) snapshotLocked() (*sessionSnapshot, error) {
 		return nil, err
 	}
 	snap := &sessionSnapshot{
-		Name:      s.name,
-		Cores:     s.a.NumCores,
-		Policy:    policyName(s.policy),
-		Model:     model,
-		Admitted:  s.admitted.Load(),
-		Rejected:  s.rejected.Load(),
-		Removed:   s.removed.Load(),
-		Admission: s.statsLocked(),
+		Name:             s.name,
+		Cores:            s.a.NumCores,
+		Policy:           policyName(s.policy),
+		Model:            model,
+		Admitted:         s.admitted.Load(),
+		Rejected:         s.rejected.Load(),
+		Removed:          s.removed.Load(),
+		StateCacheHits:   s.stateHits.Load(),
+		StateCacheMisses: s.stateMisses.Load(),
+		Admission:        s.statsLocked(),
 	}
 	for c := 0; c < s.a.NumCores; c++ {
 		for _, t := range s.a.Normal[c] {
@@ -72,7 +78,7 @@ func (s *Session) snapshotLocked() (*sessionSnapshot, error) {
 // is reconstructed in canonical order and a fresh (cold) context is
 // opened over it — decisions are bit-identical to the stateless
 // analyzer, hence to the warm context that was evicted.
-func restoreSession(snap *sessionSnapshot, coll *analysis.Collector) (*Session, error) {
+func restoreSession(snap *sessionSnapshot, coll *analysis.Collector, met *serverMetrics) (*Session, error) {
 	p, err := parsePolicy(snap.Policy)
 	if err != nil {
 		return nil, err
@@ -106,10 +112,12 @@ func restoreSession(snap *sessionSnapshot, coll *analysis.Collector) (*Session, 
 	if err := a.Validate(); err != nil {
 		return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
 	}
-	s := newSession(snap.Name, p, model, a, coll)
+	s := newSession(snap.Name, p, model, a, coll, met)
 	s.admitted.Store(snap.Admitted)
 	s.rejected.Store(snap.Rejected)
 	s.removed.Store(snap.Removed)
+	s.stateHits.Store(snap.StateCacheHits)
+	s.stateMisses.Store(snap.StateCacheMisses)
 	s.baseStats = snap.Admission
 	return s, nil
 }

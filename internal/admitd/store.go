@@ -46,6 +46,11 @@ type Store struct {
 	// coll aggregates admission stats across every session the store
 	// ever hosted — the server-wide /stats view.
 	coll *analysis.Collector
+
+	// met is the owning server's telemetry plane, stamped on every
+	// session the store creates or restores; nil when the store is
+	// used without a Server (tests, embedders).
+	met *serverMetrics
 }
 
 // StoreConfig parameterizes a Store.
@@ -89,6 +94,17 @@ func (st *Store) touch(s *Session) {
 	s.lastUsed.Store(st.clock.Add(1))
 }
 
+// shardSizes samples every shard's live-session count (scrape-time
+// striping-balance gauge; locks each shard briefly, one at a time).
+func (st *Store) shardSizes(sizes *[numShards]int) {
+	for i := range st.shards {
+		sh := &st.shards[i]
+		sh.mu.Lock()
+		sizes[i] = len(sh.m)
+		sh.mu.Unlock()
+	}
+}
+
 // Create opens a fresh session. The eviction loop runs before the
 // shard lock is taken (evicting scans all shards), so the cap can
 // transiently overshoot under concurrent creates — it is a resource
@@ -116,7 +132,7 @@ func (st *Store) Create(name string, cores int, p task.Policy, model *overhead.M
 			return nil, fmt.Errorf("%w: %q (snapshotted)", ErrSessionExists, name)
 		}
 	}
-	s := newSession(name, p, overhead.Normalize(model), task.NewAssignment(cores), st.coll)
+	s := newSession(name, p, overhead.Normalize(model), task.NewAssignment(cores), st.coll, st.met)
 	st.touch(s)
 	sh.m[name] = s
 	st.count.Add(1)
@@ -146,7 +162,7 @@ func (st *Store) Get(name string) (*Session, error) {
 		}
 		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, name)
 	}
-	s, err := restoreSession(snap, st.coll)
+	s, err := restoreSession(snap, st.coll, st.met)
 	if err != nil {
 		sh.mu.Unlock()
 		return nil, err

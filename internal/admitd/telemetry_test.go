@@ -1,0 +1,526 @@
+package admitd
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/api"
+	"repro/client"
+	"repro/internal/telemetry"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata goldens")
+
+// scrapeMetrics fetches /metrics through the in-process handler.
+func scrapeMetrics(t *testing.T, srv *Server) []byte {
+	t.Helper()
+	return mustStatus(t, srv, "GET", api.PathMetrics, nil, http.StatusOK)
+}
+
+// sampleValue finds the value of the exposition line with the given
+// name-plus-labels prefix (e.g. `admitd_sessions_live` or
+// `admitd_http_requests_total{route="try"}`).
+func sampleValue(t *testing.T, expo []byte, series string) string {
+	t.Helper()
+	for _, line := range strings.Split(string(expo), "\n") {
+		if rest, ok := strings.CutPrefix(line, series+" "); ok {
+			return rest
+		}
+	}
+	t.Fatalf("series %s not in scrape:\n%s", series, expo)
+	return ""
+}
+
+// maskExpo replaces every sample value with V, leaving names, labels
+// and comment lines intact — the golden pins the schema of the
+// exposition (families, help text, types, series and bucket grids),
+// not the measurements.
+func maskExpo(expo []byte) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(string(expo), "\n"), "\n") {
+		if line == "" || line[0] == '#' {
+			b.WriteString(line)
+		} else if sp := strings.LastIndexByte(line, ' '); sp >= 0 {
+			b.WriteString(line[:sp])
+			b.WriteString(" V")
+		} else {
+			b.WriteString(line)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestMetricsGolden runs a fixed request script and pins the whole
+// telemetry surface: the masked exposition schema against a golden
+// file, exact values for the scripted counters, Prometheus-syntax
+// lint cleanliness, and the session-stats view of the state-memo
+// counters agreeing with /metrics.
+func TestMetricsGolden(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "g", Cores: 2}, http.StatusCreated)
+	core0 := 0
+	admit := func(id int64, core *int) {
+		body := mustStatus(t, srv, "POST", "/v1/sessions/g/admit",
+			api.AdmitRequest{Task: benchTask(id), Core: core}, http.StatusOK)
+		if !strings.Contains(string(body), `"admitted":true`) {
+			t.Fatalf("script admit %d: %s", id, body)
+		}
+	}
+	admit(1, &core0)
+	admit(2, nil)
+	mustStatus(t, srv, "POST", "/v1/sessions/g/try", api.AdmitRequest{Task: benchTask(3)}, http.StatusOK)
+	mustStatus(t, srv, "GET", "/v1/sessions/g", nil, http.StatusOK) // render: memo miss
+	mustStatus(t, srv, "GET", "/v1/sessions/g", nil, http.StatusOK) // same snapshot: memo hit
+	statsBody := mustStatus(t, srv, "GET", "/v1/sessions/g/stats", nil, http.StatusOK)
+	mustStatus(t, srv, "GET", "/v1/stats", nil, http.StatusOK)
+	mustStatus(t, srv, "GET", "/healthz", nil, http.StatusOK)
+	mustStatus(t, srv, "POST", "/v1/sessions/g/remove", api.RemoveRequest{ID: 1}, http.StatusOK)
+
+	expo := scrapeMetrics(t, srv)
+	if issues := telemetry.Lint(expo); len(issues) != 0 {
+		t.Fatalf("exposition lint: %v", issues)
+	}
+
+	for series, want := range map[string]string{
+		`admitd_http_requests_total{route="create"}`:               "1",
+		`admitd_http_requests_total{route="admit"}`:                "2",
+		`admitd_http_requests_total{route="try"}`:                  "1",
+		`admitd_http_requests_total{route="state"}`:                "2",
+		`admitd_http_requests_total{route="session_stats"}`:        "1",
+		`admitd_http_requests_total{route="stats"}`:                "1",
+		`admitd_http_requests_total{route="health"}`:               "1",
+		`admitd_http_requests_total{route="remove"}`:               "1",
+		`admitd_http_requests_total{route="metrics"}`:              "0", // counted after the handler ran
+		`admitd_sessions_live`:                                     "1",
+		`admitd_sessions_created_total`:                            "1",
+		`admitd_session_tasks`:                                     "1", // 2 admitted - 1 removed
+		`admitd_state_cache_hits_total`:                            "1",
+		`admitd_state_cache_misses_total`:                          "1",
+		`admitd_snapshot_publishes_total`:                          "3", // 2 admits + 1 remove
+		`admitd_http_request_duration_seconds_count{path="read"}`:  "6",
+		`admitd_http_request_duration_seconds_count{path="actor"}`: "4",
+	} {
+		if got := sampleValue(t, expo, series); got != want {
+			t.Errorf("%s = %s, want %s", series, got, want)
+		}
+	}
+	if v := sampleValue(t, expo, "admitd_admission_probes_total"); v == "0" {
+		t.Errorf("admission aggregate empty after scripted probes")
+	}
+
+	// Satellite check: the per-session stats response reports the
+	// same state-memo traffic the server-wide counters saw.
+	var st api.SessionStats
+	if !api.ParseSessionStats(statsBody, &st) {
+		t.Fatalf("stats response: %s", statsBody)
+	}
+	// The stats snapshot above preceded the second state read; read
+	// again now for the settled counts.
+	var final api.SessionStats
+	if !api.ParseSessionStats(mustStatus(t, srv, "GET", "/v1/sessions/g/stats", nil, http.StatusOK), &final) {
+		t.Fatal("re-read stats")
+	}
+	if final.StateCacheHits != 1 || final.StateCacheMisses != 1 {
+		t.Errorf("session stats memo counters: hits=%d misses=%d, want 1/1", final.StateCacheHits, final.StateCacheMisses)
+	}
+
+	golden := "testdata/metrics.golden"
+	masked := maskExpo(expo)
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(masked), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to record)", err)
+	}
+	if masked != string(want) {
+		t.Errorf("masked exposition drifted from %s (run with -update after intentional changes)\n got:\n%s", golden, masked)
+	}
+}
+
+// sseEvent is one parsed server-sent event.
+type sseEvent struct {
+	id, event, data string
+}
+
+// readSSE parses events off an SSE stream, sending each on out;
+// returns on stream end.
+func readSSE(r *bufio.Reader, out chan<- sseEvent) {
+	defer close(out)
+	var ev sseEvent
+	for {
+		line, err := r.ReadString('\n')
+		if err != nil {
+			return
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case line == "":
+			if ev.event != "" || ev.data != "" {
+				out <- ev
+			}
+			ev = sseEvent{}
+		case strings.HasPrefix(line, "id: "):
+			ev.id = line[4:]
+		case strings.HasPrefix(line, "event: "):
+			ev.event = line[7:]
+		case strings.HasPrefix(line, "data: "):
+			ev.data = line[6:]
+		}
+	}
+}
+
+// TestFeedGaplessOrdering subscribes to a session's SSE change feed
+// over real HTTP, then commits mutations while reading: the
+// subscriber must observe every committed mutation exactly once, in
+// order, with contiguous sequence numbers starting right after the
+// hello anchor.
+func TestFeedGaplessOrdering(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "f", Cores: 4}, http.StatusCreated)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/sessions/f/feed", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("feed content type %q", ct)
+	}
+	events := make(chan sseEvent, 1024)
+	go readSSE(bufio.NewReader(resp.Body), events)
+
+	hello, ok := <-events
+	if !ok || hello.event != "hello" {
+		t.Fatalf("first event: %+v", hello)
+	}
+	var anchor struct {
+		Seq int64 `json:"seq"`
+	}
+	if err := json.Unmarshal([]byte(hello.data), &anchor); err != nil {
+		t.Fatal(err)
+	}
+
+	// Commit mutations after the subscription is live: admits onto a
+	// 4-core session (tiny utilization, all admit) plus removes.
+	const admits = 30
+	committed := 0
+	for i := int64(0); i < admits; i++ {
+		body := mustStatus(t, srv, "POST", "/v1/sessions/f/admit",
+			api.AdmitRequest{Task: benchTask(100 + i)}, http.StatusOK)
+		if strings.Contains(string(body), `"admitted":true`) {
+			committed++
+		}
+	}
+	for i := int64(0); i < 5; i++ {
+		mustStatus(t, srv, "POST", "/v1/sessions/f/remove",
+			api.RemoveRequest{ID: 100 + i}, http.StatusOK)
+		committed++
+	}
+
+	var got []sseEvent
+	deadline := time.After(10 * time.Second)
+	for len(got) < committed {
+		select {
+		case ev, open := <-events:
+			if !open {
+				t.Fatalf("stream ended after %d/%d events", len(got), committed)
+			}
+			if ev.event == "change" {
+				got = append(got, ev)
+			}
+		case <-deadline:
+			t.Fatalf("timeout: %d/%d events", len(got), committed)
+		}
+	}
+
+	removes := 0
+	for i, ev := range got {
+		seq, err := strconv.ParseInt(ev.id, 10, 64)
+		if err != nil {
+			t.Fatalf("event %d id %q: %v", i, ev.id, err)
+		}
+		if want := anchor.Seq + int64(i) + 1; seq != want {
+			t.Fatalf("event %d: seq %d, want %d (gapless from hello anchor %d)", i, seq, want, anchor.Seq)
+		}
+		if !strings.Contains(ev.data, fmt.Sprintf(`"seq":%d`, seq)) {
+			t.Fatalf("event %d: id/data seq mismatch: %s", i, ev.data)
+		}
+		if strings.Contains(ev.data, `"op":"remove"`) {
+			removes++
+		}
+	}
+	if removes != 5 {
+		t.Fatalf("saw %d remove events, want 5", removes)
+	}
+}
+
+// TestFeedSlowConsumerDropped checks the backpressure policy: a
+// subscriber that never drains its buffer is disconnected with a
+// terminal dropped event instead of stalling the actor.
+func TestFeedSlowConsumerDropped(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	mustStatus(t, srv, "POST", "/v1/sessions", api.CreateSessionRequest{Name: "slow", Cores: 4}, http.StatusCreated)
+	sess, err := srv.store.Get("slow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _, err := sess.feedSubscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Never read sub.ch; overflow the buffer with committed churn
+	// (admit+remove pairs so the session never fills up).
+	for i := int64(0); i < feedSubBuffer+8; i++ {
+		mustStatus(t, srv, "POST", "/v1/sessions/slow/admit",
+			api.AdmitRequest{Task: benchTask(1000 + i)}, http.StatusOK)
+		mustStatus(t, srv, "POST", "/v1/sessions/slow/remove",
+			api.RemoveRequest{ID: 1000 + i}, http.StatusOK)
+	}
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case _, open := <-sub.ch:
+			if !open {
+				if d := sampleValue(t, scrapeMetrics(t, srv), "admitd_feed_dropped_subscribers_total"); d != "1" {
+					t.Fatalf("dropped counter %s, want 1", d)
+				}
+				return // dropped, as the policy promises
+			}
+		case <-deadline:
+			t.Fatal("slow subscriber never dropped")
+		}
+	}
+}
+
+// TestSweepSSE exercises the Accept-negotiated SSE framing of the
+// sweep endpoint: progress events followed by a terminal result.
+func TestSweepSSE(t *testing.T) {
+	srv := newTestServer(t, Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	payload := `{"cores":2,"tasks":6,"sets_per_point":2,"algorithms":["ffd"],"model":"zero","utilizations":[1.2],"seed":3}`
+	req, err := http.NewRequest("POST", ts.URL+"/v1/sweep", strings.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("sweep SSE content type %q", ct)
+	}
+	events := make(chan sseEvent, 256)
+	go readSSE(bufio.NewReader(resp.Body), events)
+	var progress, results int
+	for ev := range events {
+		switch ev.event {
+		case "progress":
+			progress++
+		case "result":
+			results++
+			if !strings.Contains(ev.data, `"series"`) {
+				t.Fatalf("result payload: %s", ev.data)
+			}
+		}
+	}
+	if progress == 0 || results != 1 {
+		t.Fatalf("sweep SSE: %d progress, %d results", progress, results)
+	}
+}
+
+// TestTraceIDs pins the trace contract: valid client IDs are echoed
+// verbatim, garbage is not, and with Config.Trace the server mints
+// IDs for bare requests.
+func TestTraceIDs(t *testing.T) {
+	srv := newTestServer(t, Config{Trace: true})
+	hdr := func(traceIn string) string {
+		req := httptest.NewRequest("GET", "/healthz", nil)
+		if traceIn != "" {
+			req.Header.Set(api.TraceHeader, traceIn)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Header().Get(api.TraceHeader)
+	}
+	if got := hdr("abc123"); got != "abc123" {
+		t.Fatalf("client trace id not echoed: %q", got)
+	}
+	if got := hdr("bad\"id"); got != "" && got != "bad\"id" {
+		t.Fatalf("unexpected echo %q", got)
+	}
+	if got := hdr("bad\"id"); got == "bad\"id" {
+		t.Fatal("invalid trace id echoed")
+	}
+	minted := hdr("")
+	if !telemetry.ValidTraceID(minted) || len(minted) != 32 {
+		t.Fatalf("minted trace id %q", minted)
+	}
+	if again := hdr(""); again == minted {
+		t.Fatal("trace ids repeat")
+	}
+
+	// Untraced server: bare requests stay bare.
+	plain := newTestServer(t, Config{})
+	req := httptest.NewRequest("GET", "/healthz", nil)
+	rec := httptest.NewRecorder()
+	plain.ServeHTTP(rec, req)
+	if got := rec.Header().Get(api.TraceHeader); got != "" {
+		t.Fatalf("untraced server minted %q", got)
+	}
+}
+
+// TestTelemetrySmoke is the CI smoke: a live TCP server under
+// loadgen write/read traffic with a concurrent SSE subscriber and a
+// steady /metrics scraper — the whole telemetry plane exercised at
+// once (run under -race in CI). It ends with the loadgen cross-check
+// of client percentiles against the scraped histograms.
+func TestTelemetrySmoke(t *testing.T) {
+	srv := newTestServer(t, Config{Trace: true})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	c, err := client.New(ts.URL, client.WithTimeout(30*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := LoadConfig{Sessions: 4, Requests: 4000, Workers: 8, Cores: 4, TasksPerSession: 8, Seed: 7}
+	if testing.Short() {
+		cfg.Requests = 800
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	var scrapes, feedEvents atomic.Int64
+
+	// Scraper: steady exposition pulls while the load runs; every
+	// payload must stay lint-clean under concurrency.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-done:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			expo, err := c.Metrics(context.Background())
+			if err != nil {
+				t.Errorf("scrape: %v", err)
+				return
+			}
+			if issues := telemetry.Lint(expo); len(issues) != 0 {
+				t.Errorf("concurrent scrape lint: %v", issues)
+				return
+			}
+			scrapes.Add(1)
+		}
+	}()
+
+	// SSE subscriber on one loadgen session (created by RunLoad's
+	// seeding phase; retry until it exists).
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
+		go func() { <-done; cancel() }()
+		var resp *http.Response
+		for {
+			req, rerr := http.NewRequestWithContext(ctx, "GET", ts.URL+"/v1/sessions/load-0000/feed", nil)
+			if rerr != nil {
+				t.Errorf("feed request: %v", rerr)
+				return
+			}
+			r, derr := http.DefaultClient.Do(req)
+			if derr != nil {
+				return // load finished before the session appeared
+			}
+			if r.StatusCode == http.StatusOK {
+				resp = r
+				break
+			}
+			r.Body.Close()
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(10 * time.Millisecond):
+			}
+		}
+		defer resp.Body.Close()
+		events := make(chan sseEvent, 1024)
+		go readSSE(bufio.NewReader(resp.Body), events)
+		var last int64
+		for ev := range events {
+			if ev.event != "change" {
+				continue
+			}
+			seq, perr := strconv.ParseInt(ev.id, 10, 64)
+			if perr != nil {
+				t.Errorf("feed id %q: %v", ev.id, perr)
+				return
+			}
+			if seq <= last {
+				t.Errorf("feed seq went backwards: %d after %d", seq, last)
+				return
+			}
+			last = seq
+			feedEvents.Add(1)
+		}
+	}()
+
+	stats, err := RunLoad(context.Background(), c, cfg)
+	close(done)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Errors != 0 {
+		t.Fatalf("load errors: %d", stats.Errors)
+	}
+	t.Logf("load: %v", stats)
+	t.Logf("telemetry: %d scrapes, %d feed events observed", scrapes.Load(), feedEvents.Load())
+
+	expo, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, warn := range CrossCheckMetrics(expo, stats) {
+		t.Logf("%s", warn)
+	}
+	if v := sampleValue(t, expo, `admitd_http_request_duration_seconds_count{path="read"}`); v == "0" {
+		t.Fatal("read-path latency histogram empty after load")
+	}
+	if v := sampleValue(t, expo, `admitd_http_request_duration_seconds_count{path="actor"}`); v == "0" {
+		t.Fatal("actor-path latency histogram empty after load")
+	}
+}

@@ -126,6 +126,15 @@ type Context interface {
 	// read path — probes served from forked snapshots — since
 	// creation (or the last Flush). Safe to call concurrently.
 	ReadStats() AdmissionStats
+	// ReadCollector exposes the collector behind ReadStats — the sink
+	// every snapshot probe folds its per-probe counters into — so an
+	// observability layer can attach per-contribution observers
+	// (Collector.SetFPObserver) without the context knowing about it.
+	ReadCollector() *Collector
+	// CommitSeq returns the number of mutations committed since
+	// creation — the sequence number the next published snapshot
+	// carries (Snapshot.Seq). Owner-only, like Stats.
+	CommitSeq() int64
 	// Stats returns the counters accumulated by this context since
 	// creation (or the last Flush).
 	Stats() AdmissionStats
@@ -222,6 +231,23 @@ func (s AdmissionStats) String() string {
 // other the way diffing the process-global totals did.
 type Collector struct {
 	probes, fullTests, coreTests, verdictHits, fpSolves, fpIterations, warmStarts atomic.Int64
+
+	// fpObs, when set, observes every folded contribution that
+	// carried fixed-point solves — the telemetry plane's hook for a
+	// live iteration histogram, at per-Add grain (per probe on the
+	// read path). Atomic pointer: SetFPObserver may race Adds.
+	fpObs atomic.Pointer[func(iterations, solves int64)]
+}
+
+// SetFPObserver attaches fn to every subsequent Add that carries
+// fixed-point solves (nil detaches). fn must be lock-free and
+// allocation-free: it runs inline on the read path's stat fold.
+func (c *Collector) SetFPObserver(fn func(iterations, solves int64)) {
+	if fn == nil {
+		c.fpObs.Store(nil)
+		return
+	}
+	c.fpObs.Store(&fn)
 }
 
 // Add folds s into the collector.
@@ -233,6 +259,11 @@ func (c *Collector) Add(s AdmissionStats) {
 	c.fpSolves.Add(s.FPSolves)
 	c.fpIterations.Add(s.FPIterations)
 	c.warmStarts.Add(s.WarmStarts)
+	if s.FPSolves > 0 {
+		if f := c.fpObs.Load(); f != nil {
+			(*f)(s.FPIterations, s.FPSolves)
+		}
+	}
 }
 
 // Snapshot returns the totals folded in so far.
@@ -351,6 +382,8 @@ func (b *ctxBase) Analyzer() Analyzer           { return b.an }
 func (b *ctxBase) Assignment() *task.Assignment { return b.a }
 func (b *ctxBase) Stats() AdmissionStats        { return b.stats }
 func (b *ctxBase) ReadStats() AdmissionStats    { return b.readStats.Snapshot() }
+func (b *ctxBase) ReadCollector() *Collector    { return &b.readStats }
+func (b *ctxBase) CommitSeq() int64             { return b.commitSeq }
 func (b *ctxBase) SetCollector(c *Collector)    { b.coll = c }
 
 func (b *ctxBase) Flush() {
@@ -492,6 +525,8 @@ type checkedContext struct {
 func (cc *checkedContext) Analyzer() Analyzer           { return cc.ctx.Analyzer() }
 func (cc *checkedContext) Assignment() *task.Assignment { return cc.ctx.Assignment() }
 func (cc *checkedContext) ReadStats() AdmissionStats    { return cc.ctx.ReadStats() }
+func (cc *checkedContext) ReadCollector() *Collector    { return cc.ctx.ReadCollector() }
+func (cc *checkedContext) CommitSeq() int64             { return cc.ctx.CommitSeq() }
 
 // Fork wraps the inner snapshot so forked decisions are shadowed by
 // the stateless analyzer too.

@@ -14,15 +14,18 @@ import (
 	"syscall"
 	"time"
 
+	"repro/api"
 	"repro/client"
 	"repro/internal/admitd"
+	"repro/internal/telemetry"
 )
 
 // Admitd is the spadmitd entry point: the admission-control daemon
 // and its load generator (driven through the typed client SDK).
 //
 //	spadmitd serve [-addr :7007] [-snapshots dir] [-max-sessions 1024]
-//	               [-pprof localhost:6060]
+//	               [-pprof localhost:6060] [-trace] [-events log.ndjson]
+//	               [-events-level info]
 //	spadmitd load  [-addr http://host:7007] [-sessions 64] [-requests 100000]
 //	               [-workers 0] [-cores 4] [-tasks 12] [-policy fp] [-seed 1]
 //	               [-mix 90/10] [-cpuprofile cpu.out] [-memprofile mem.out]
@@ -53,12 +56,29 @@ func admitdServe(args []string, w io.Writer) error {
 		addr      = fs.String("addr", ":7007", "listen address")
 		snapshot  = fs.String("snapshots", "", "session snapshot directory (enables persistence)")
 		maxSess   = fs.Int("max-sessions", 1024, "live-session cap (LRU eviction beyond it)")
-		pprofAddr = fs.String("pprof", "", "serve /debug/pprof on this side address (e.g. localhost:6060); empty = off")
+		pprofAddr = fs.String("pprof", "", "serve /debug/pprof and /metrics on this side address (e.g. localhost:6060); empty = off")
+		trace     = fs.Bool("trace", true, "generate Admitd-Trace-Id for requests that did not supply one")
+		events    = fs.String("events", "", "append structured NDJSON request events to this file (- for stderr); empty = off")
+		evLevel   = fs.String("events-level", "info", "minimum event level: debug|info|warn|error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	srv, err := admitd.New(admitd.Config{MaxSessions: *maxSess, SnapshotDir: *snapshot})
+	var elog *telemetry.EventLog
+	if *events != "" {
+		lv := telemetry.ParseLevel(*evLevel)
+		sink := io.Writer(os.Stderr)
+		if *events != "-" {
+			f, err := os.OpenFile(*events, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+			if err != nil {
+				return err
+			}
+			defer f.Close() //nolint:errcheck // event log, best-effort
+			sink = f
+		}
+		elog = telemetry.NewEventLog(sink, lv)
+	}
+	srv, err := admitd.New(admitd.Config{MaxSessions: *maxSess, SnapshotDir: *snapshot, Trace: *trace, EventLog: elog})
 	if err != nil {
 		return err
 	}
@@ -71,6 +91,9 @@ func admitdServe(args []string, w io.Writer) error {
 		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		// The exposition rides the side listener too, so scrapers
+		// need not touch the service port.
+		mux.Handle(api.PathMetrics, srv.Metrics())
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, mux); err != nil { //nolint:gosec // debug side listener, opt-in
 				fmt.Fprintf(w, "spadmitd: pprof listener: %v\n", err)
@@ -157,6 +180,16 @@ func admitdLoad(args []string, w io.Writer) error {
 	stats, err := admitd.RunLoad(context.Background(), c, cfg)
 	if err != nil {
 		return err
+	}
+	// End-of-run cross-check: scrape the server's histograms and
+	// verify the client-observed percentiles land in the same
+	// buckets. Warnings only — the run's verdict is the error count.
+	if expo, merr := c.Metrics(context.Background()); merr == nil {
+		for _, warn := range admitd.CrossCheckMetrics(expo, stats) {
+			fmt.Fprintln(w, "warning:", warn)
+		}
+	} else {
+		fmt.Fprintf(w, "warning: metrics scrape failed: %v\n", merr)
 	}
 	if *memprof != "" {
 		f, ferr := os.Create(*memprof)

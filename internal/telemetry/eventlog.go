@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"io"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Level orders event severities.
+type Level int8
+
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String returns the lowercase level name.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return "info"
+	}
+}
+
+// ParseLevel maps a flag value to a Level ("debug", "info", "warn",
+// "error"); unknown strings default to info.
+func ParseLevel(s string) Level {
+	switch s {
+	case "debug":
+		return LevelDebug
+	case "warn":
+		return LevelWarn
+	case "error":
+		return LevelError
+	default:
+		return LevelInfo
+	}
+}
+
+// EventLog is an optional structured NDJSON event stream: one JSON
+// object per line, appended to a writer under a mutex. A nil
+// *EventLog is a valid, fully disabled log — every method no-ops —
+// so instrumented code carries no conditionals beyond the nil check
+// the method call itself performs, and the hot path pays one
+// predictable branch when tracing is off.
+type EventLog struct {
+	mu  sync.Mutex
+	w   io.Writer
+	min Level
+	// clock is stubbed by tests for deterministic timestamps.
+	clock func() time.Time
+}
+
+// NewEventLog builds a log emitting events at or above min to w.
+func NewEventLog(w io.Writer, min Level) *EventLog {
+	return &EventLog{w: w, min: min, clock: time.Now}
+}
+
+// Enabled reports whether events at level lv would be written.
+func (l *EventLog) Enabled(lv Level) bool {
+	return l != nil && lv >= l.min
+}
+
+// entryPool recycles event builders; an Entry lives from Event() to
+// Send() on one goroutine.
+var entryPool = sync.Pool{New: func() any { return &Entry{buf: make([]byte, 0, 256)} }}
+
+// Entry accumulates one event's fields. Obtain via EventLog.Event;
+// finish with Send. All methods are nil-safe so disabled logs cost
+// only the nil checks.
+type Entry struct {
+	l   *EventLog
+	buf []byte
+}
+
+// Event starts an entry: {"ts":"…","level":"…","event":name,….
+// Returns nil (a valid no-op entry) when the log is disabled or the
+// level is below the threshold.
+func (l *EventLog) Event(lv Level, name string) *Entry {
+	if !l.Enabled(lv) {
+		return nil
+	}
+	e := entryPool.Get().(*Entry)
+	e.l = l
+	e.buf = append(e.buf[:0], `{"ts":"`...)
+	e.buf = l.clock().UTC().AppendFormat(e.buf, time.RFC3339Nano)
+	e.buf = append(e.buf, `","level":"`...)
+	e.buf = append(e.buf, lv.String()...)
+	e.buf = append(e.buf, `","event":`...)
+	e.buf = appendJSONString(e.buf, name)
+	return e
+}
+
+// Str adds a string field.
+func (e *Entry) Str(key, v string) *Entry {
+	if e == nil {
+		return nil
+	}
+	e.key(key)
+	e.buf = appendJSONString(e.buf, v)
+	return e
+}
+
+// Int adds an integer field.
+func (e *Entry) Int(key string, v int64) *Entry {
+	if e == nil {
+		return nil
+	}
+	e.key(key)
+	e.buf = strconv.AppendInt(e.buf, v, 10)
+	return e
+}
+
+// Dur adds a duration field in integer microseconds (key should end
+// in _us by convention).
+func (e *Entry) Dur(key string, d time.Duration) *Entry {
+	return e.Int(key, d.Microseconds())
+}
+
+// Bool adds a boolean field.
+func (e *Entry) Bool(key string, v bool) *Entry {
+	if e == nil {
+		return nil
+	}
+	e.key(key)
+	if v {
+		e.buf = append(e.buf, "true"...)
+	} else {
+		e.buf = append(e.buf, "false"...)
+	}
+	return e
+}
+
+func (e *Entry) key(k string) {
+	e.buf = append(e.buf, ',')
+	e.buf = appendJSONString(e.buf, k)
+	e.buf = append(e.buf, ':')
+}
+
+// Send terminates and writes the event line. The entry is recycled;
+// it must not be used afterwards.
+func (e *Entry) Send() {
+	if e == nil {
+		return
+	}
+	e.buf = append(e.buf, "}\n"...)
+	l := e.l
+	l.mu.Lock()
+	_, _ = l.w.Write(e.buf)
+	l.mu.Unlock()
+	e.l = nil
+	entryPool.Put(e)
+}
+
+// appendJSONString renders a JSON string literal with the minimal
+// escaping NDJSON consumers need (quotes, backslashes, control
+// bytes). Field keys and event names are ASCII by construction;
+// values pass through UTF-8 untouched.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; {
+		case c == '"':
+			b = append(b, `\"`...)
+		case c == '\\':
+			b = append(b, `\\`...)
+		case c == '\n':
+			b = append(b, `\n`...)
+		case c == '\r':
+			b = append(b, `\r`...)
+		case c == '\t':
+			b = append(b, `\t`...)
+		case c < 0x20:
+			b = append(b, `\u00`...)
+			b = append(b, hexDigits[c>>4], hexDigits[c&0xf])
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}

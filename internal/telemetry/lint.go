@@ -1,0 +1,221 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Lint checks a text-format exposition for structural validity and
+// returns one message per problem (empty means clean). Enforced:
+// every sample's family is declared with # HELP and # TYPE before
+// its first sample; TYPE is counter, gauge or histogram; sample
+// lines parse (name, optional {labels}, numeric value); histogram
+// families carry _bucket/_sum/_count samples with le-monotone,
+// cumulative bucket counts ending in +Inf; counter values are
+// non-negative. It is a test/CI helper, not a full parser — scrapes
+// are produced by WritePrometheus, linted here from the outside.
+func Lint(expo []byte) []string {
+	var probs []string
+	help := map[string]bool{}
+	typ := map[string]string{}
+	sampled := map[string]bool{}
+	histState := map[string]*histLint{}
+	for ln, line := range strings.Split(string(expo), "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found || !validMetricName(name) {
+				probs = append(probs, fmt.Sprintf("line %d: malformed HELP", lineNo))
+				continue
+			}
+			if sampled[name] {
+				probs = append(probs, fmt.Sprintf("line %d: HELP for %s after its samples", lineNo, name))
+			}
+			help[name] = true
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, t, found := strings.Cut(rest, " ")
+			if !found || !validMetricName(name) {
+				probs = append(probs, fmt.Sprintf("line %d: malformed TYPE", lineNo))
+				continue
+			}
+			switch t {
+			case "counter", "gauge", "histogram":
+			default:
+				probs = append(probs, fmt.Sprintf("line %d: %s has unknown type %q", lineNo, name, t))
+			}
+			typ[name] = t
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // comment
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			probs = append(probs, fmt.Sprintf("line %d: %v", lineNo, err))
+			continue
+		}
+		fam := name
+		suffix := ""
+		for _, sfx := range []string{"_bucket", "_sum", "_count"} {
+			if base, ok := strings.CutSuffix(name, sfx); ok && typ[base] == "histogram" {
+				fam, suffix = base, sfx
+				break
+			}
+		}
+		sampled[fam] = true
+		if !help[fam] {
+			probs = append(probs, fmt.Sprintf("line %d: %s has no # HELP", lineNo, fam))
+		}
+		t, ok := typ[fam]
+		if !ok {
+			probs = append(probs, fmt.Sprintf("line %d: %s has no # TYPE", lineNo, fam))
+			continue
+		}
+		switch t {
+		case "counter":
+			if value < 0 {
+				probs = append(probs, fmt.Sprintf("line %d: counter %s is negative", lineNo, fam))
+			}
+		case "histogram":
+			if suffix == "" {
+				probs = append(probs, fmt.Sprintf("line %d: histogram %s sample lacks _bucket/_sum/_count suffix", lineNo, fam))
+				continue
+			}
+			key := fam + "{" + stripLE(labels) + "}"
+			st := histState[key]
+			if st == nil {
+				st = &histLint{}
+				histState[key] = st
+			}
+			switch suffix {
+			case "_bucket":
+				le, ok := labelValue(labels, "le")
+				if !ok {
+					probs = append(probs, fmt.Sprintf("line %d: %s_bucket lacks le label", lineNo, fam))
+					continue
+				}
+				if value < st.lastCum {
+					probs = append(probs, fmt.Sprintf("line %d: %s buckets not cumulative", lineNo, fam))
+				}
+				st.lastCum = value
+				st.sawInf = st.sawInf || le == "+Inf"
+				if le == "+Inf" {
+					st.infCum = value
+				}
+			case "_count":
+				st.count = value
+				st.sawCount = true
+			case "_sum":
+				st.sawSum = true
+			}
+		}
+	}
+	for key, st := range histState {
+		if !st.sawInf {
+			probs = append(probs, fmt.Sprintf("histogram %s has no +Inf bucket", key))
+		}
+		if !st.sawSum || !st.sawCount {
+			probs = append(probs, fmt.Sprintf("histogram %s lacks _sum/_count", key))
+		}
+		if st.sawInf && st.sawCount && st.infCum != st.count {
+			probs = append(probs, fmt.Sprintf("histogram %s: +Inf bucket %v != count %v", key, st.infCum, st.count))
+		}
+	}
+	return probs
+}
+
+type histLint struct {
+	lastCum, infCum, count float64
+	sawInf, sawSum         bool
+	sawCount               bool
+}
+
+// parseSample splits `name{labels} value` (labels optional).
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	if i := strings.IndexByte(rest, '{'); i >= 0 {
+		name = rest[:i]
+		j := strings.IndexByte(rest, '}')
+		if j < i {
+			return "", "", 0, fmt.Errorf("unbalanced braces in %q", line)
+		}
+		labels = rest[i+1 : j]
+		rest = strings.TrimPrefix(rest[j+1:], " ")
+	} else {
+		var found bool
+		name, rest, found = strings.Cut(rest, " ")
+		if !found {
+			return "", "", 0, fmt.Errorf("no value in %q", line)
+		}
+	}
+	if !validMetricName(name) {
+		return "", "", 0, fmt.Errorf("invalid metric name %q", name)
+	}
+	for _, pair := range splitLabels(labels) {
+		k, v, found := strings.Cut(pair, "=")
+		if !found || !strings.HasPrefix(v, `"`) || !strings.HasSuffix(v, `"`) || len(v) < 2 {
+			return "", "", 0, fmt.Errorf("malformed label %q in %q", pair, line)
+		}
+		if k != "le" && !validLabelName(k) {
+			return "", "", 0, fmt.Errorf("invalid label name %q in %q", k, line)
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	v, perr := strconv.ParseFloat(rest, 64)
+	if perr != nil && rest != "+Inf" && rest != "-Inf" && rest != "NaN" {
+		return "", "", 0, fmt.Errorf("bad value %q in %q", rest, line)
+	}
+	return name, labels, v, nil
+}
+
+// splitLabels splits `k="v",k2="v2"` on commas outside quotes.
+func splitLabels(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	return append(out, s[start:])
+}
+
+// labelValue extracts one label's (unquoted) value.
+func labelValue(labels, key string) (string, bool) {
+	for _, pair := range splitLabels(labels) {
+		if k, v, ok := strings.Cut(pair, "="); ok && k == key {
+			return strings.Trim(v, `"`), true
+		}
+	}
+	return "", false
+}
+
+// stripLE removes the le pair so histogram lines group per series.
+func stripLE(labels string) string {
+	pairs := splitLabels(labels)
+	kept := pairs[:0]
+	for _, p := range pairs {
+		if !strings.HasPrefix(p, "le=") {
+			kept = append(kept, p)
+		}
+	}
+	return strings.Join(kept, ",")
+}

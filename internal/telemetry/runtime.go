@@ -1,0 +1,51 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntime wires Go runtime observability into the registry:
+// goroutine count, heap, and GC activity. MemStats is refreshed once
+// per scrape (a single OnScrape hook), so the series within one
+// exposition are mutually consistent; ReadMemStats stops the world
+// for microseconds, which a pull-based scraper amortizes to nothing.
+func RegisterRuntime(r *Registry) {
+	var (
+		mu sync.Mutex
+		ms runtime.MemStats
+	)
+	r.OnScrape(func() {
+		mu.Lock()
+		runtime.ReadMemStats(&ms)
+		mu.Unlock()
+	})
+	stat := func(f func() float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f()
+		}
+	}
+	r.NewGaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.NewGaugeFunc("go_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		stat(func() float64 { return float64(ms.HeapAlloc) }))
+	r.NewGaugeFunc("go_heap_objects",
+		"Number of allocated heap objects.",
+		stat(func() float64 { return float64(ms.HeapObjects) }))
+	r.NewGaugeFunc("go_heap_sys_bytes",
+		"Bytes of heap memory obtained from the OS.",
+		stat(func() float64 { return float64(ms.HeapSys) }))
+	r.NewGaugeFunc("go_next_gc_bytes",
+		"Heap size target of the next GC cycle.",
+		stat(func() float64 { return float64(ms.NextGC) }))
+	r.NewCounterFunc("go_gc_cycles_total",
+		"Completed GC cycles since process start.",
+		stat(func() float64 { return float64(ms.NumGC) }))
+	r.NewCounterFunc("go_gc_pause_seconds_total",
+		"Cumulative stop-the-world GC pause time.",
+		stat(func() float64 { return float64(ms.PauseTotalNs) / 1e9 }))
+}

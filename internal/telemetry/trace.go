@@ -1,0 +1,41 @@
+package telemetry
+
+import (
+	"math/rand/v2"
+)
+
+// NewTraceID mints a 128-bit correlation ID as 32 lowercase hex
+// characters. IDs are for log/response correlation, not security:
+// math/rand/v2's per-thread generator keeps minting lock-free and
+// seed-independent across goroutines. One allocation (the string).
+func NewTraceID() string {
+	var b [32]byte
+	putHex64(b[0:16], rand.Uint64())
+	putHex64(b[16:32], rand.Uint64())
+	return string(b[:])
+}
+
+const hexDigits = "0123456789abcdef"
+
+func putHex64(dst []byte, v uint64) {
+	for i := 15; i >= 0; i-- {
+		dst[i] = hexDigits[v&0xf]
+		v >>= 4
+	}
+}
+
+// ValidTraceID reports whether a client-supplied ID is safe to echo
+// and log: 1–64 visible ASCII characters, no quotes or backslashes
+// (so it splices into JSON and headers without escaping).
+func ValidTraceID(s string) bool {
+	if len(s) == 0 || len(s) > 64 {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c <= ' ' || c > '~' || c == '"' || c == '\\' {
+			return false
+		}
+	}
+	return true
+}

@@ -65,9 +65,23 @@ const (
 	OpStats    = "stats"
 	OpBatch    = "batch"
 	// OpFeed is the SSE change feed: GET, text/event-stream, one
-	// sequence-numbered event per committed mutation.
+	// sequence-numbered event per committed mutation. With durability
+	// on, the from_seq query parameter replays the commit log's tail
+	// (from_seq exclusive) before splicing onto the live stream.
 	OpFeed = "feed"
+	// OpAudit replays the commit log: GET with a seq query parameter
+	// rebuilds the session at seq-1 and re-runs the logged mutation's
+	// probe with the collector on. Requires durability (-data-dir).
+	OpAudit = "audit"
 )
+
+// FeedFromSeqParam is OpFeed's resume query parameter: the last
+// sequence number the subscriber has already seen.
+const FeedFromSeqParam = "from_seq"
+
+// AuditSeqParam is OpAudit's query parameter: the sequence number of
+// the logged mutation to audit.
+const AuditSeqParam = "seq"
 
 // SessionPath is the route of one named session (path-escaped, so
 // any name is safe on the wire).

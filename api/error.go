@@ -36,6 +36,11 @@ const (
 	CodeDuplicateTask Code = "duplicate_task"
 	// CodeUnknownTask: remove named an ID the session does not host.
 	CodeUnknownTask Code = "unknown_task"
+	// CodeSeqTruncated: the requested sequence range predates the
+	// commit log's retained window (checkpoint compaction removed
+	// it), or the session has no commit log at all. Feed resumers
+	// re-sync via a fresh subscription plus a state read.
+	CodeSeqTruncated Code = "seq_truncated"
 	// CodeInternal is an unexpected server-side failure.
 	CodeInternal Code = "internal"
 )
@@ -49,7 +54,7 @@ func (c Code) HTTPStatus() int {
 	case CodeSessionExists, CodeProbePending, CodeNoProbePending,
 		CodeProbeRejected, CodeDuplicateTask:
 		return http.StatusConflict
-	case CodeSessionClosed:
+	case CodeSessionClosed, CodeSeqTruncated:
 		return http.StatusGone
 	case CodeInternal:
 		return http.StatusInternalServerError

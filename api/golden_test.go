@@ -8,8 +8,9 @@ import (
 	"testing"
 )
 
-func intp(v int) *int    { return &v }
-func boolp(v bool) *bool { return &v }
+func intp(v int) *int       { return &v }
+func boolp(v bool) *bool    { return &v }
+func int64p(v int64) *int64 { return &v }
 
 // goldenCases pins the v1 wire schema: one populated value and its
 // exact JSON for every type that crosses the wire. A failure here
@@ -171,6 +172,44 @@ var goldenCases = []struct {
 		`{"algorithm":"FFD","total_utilization":1.2,"accepted":3,"total":4,"ratio":0.75,"wilson_lo":0.3,"wilson_hi":0.95,"done_shards":2,"total_shards":8,"admission":{"probes":5,"full_tests":0,"core_tests":0,"verdict_hits":0,"fp_solves":0,"fp_iterations":0,"warm_starts":0,"cache_hit_rate":0,"mean_fp_iterations":0,"warm_start_rate":0}}`,
 	},
 	{
+		"FeedHello",
+		FeedHello{Name: "rack1", Seq: 42, Tasks: 7},
+		`{"name":"rack1","seq":42,"tasks":7}`,
+	},
+	{
+		"FeedHello-resume",
+		FeedHello{Name: "rack1", Seq: 42, Tasks: 7, ResumeFrom: int64p(17)},
+		`{"name":"rack1","seq":42,"tasks":7,"resume_from":17}`,
+	},
+	{
+		"FeedEvent",
+		FeedEvent{Seq: 43, Op: "admit", Task: 9, Core: 2, Tasks: 8},
+		`{"seq":43,"op":"admit","task":9,"core":2,"tasks":8}`,
+	},
+	{
+		"FeedEvent-remove",
+		FeedEvent{Seq: 44, Op: "remove", Task: 9, Core: -1, Tasks: 7},
+		`{"seq":44,"op":"remove","task":9,"core":-1,"tasks":7}`,
+	},
+	{
+		"AuditReport",
+		AuditReport{Name: "rack1", Seq: 5, Op: "admit", TaskID: 9, Core: 1, Tasks: 4, Admitted: true, Schedulable: true,
+			Task:      &Task{ID: 9, WCETNs: 1e6, PeriodNs: 1e7, Priority: 2},
+			Admission: AdmissionStats{Probes: 1, FullTests: 1, FPSolves: 2, FPIterations: 6, MeanFPIterations: 3}},
+		`{"name":"rack1","seq":5,"op":"admit","task_id":9,"core":1,"tasks":4,"admitted":true,"schedulable":true,"task":{"id":9,"wcet_ns":1000000,"period_ns":10000000,"priority":2},"admission":{"probes":1,"full_tests":1,"core_tests":0,"verdict_hits":0,"fp_solves":2,"fp_iterations":6,"warm_starts":0,"cache_hit_rate":0,"mean_fp_iterations":3,"warm_start_rate":0}}`,
+	},
+	{
+		"AuditReport-remove",
+		AuditReport{Name: "rack1", Seq: 6, Op: "remove", TaskID: 9, Core: -1, Tasks: 4, Admitted: true, Schedulable: true,
+			Admission: AdmissionStats{}},
+		`{"name":"rack1","seq":6,"op":"remove","task_id":9,"core":-1,"tasks":4,"admitted":true,"schedulable":true,"admission":{"probes":0,"full_tests":0,"core_tests":0,"verdict_hits":0,"fp_solves":0,"fp_iterations":0,"warm_starts":0,"cache_hit_rate":0,"mean_fp_iterations":0,"warm_start_rate":0}}`,
+	},
+	{
+		"Error-seq-truncated",
+		Error{Code: CodeSeqTruncated, Message: "admitd: seq 3 predates the retained commit log"},
+		`{"code":"seq_truncated","message":"admitd: seq 3 predates the retained commit log"}`,
+	},
+	{
 		"Error",
 		Error{Code: CodeDuplicateTask, Message: "admitd: task id already admitted: 7"},
 		`{"code":"duplicate_task","message":"admitd: task id already admitted: 7"}`,
@@ -249,6 +288,7 @@ func TestErrorCodeStatuses(t *testing.T) {
 		CodeProbeRejected:       http.StatusConflict,
 		CodeDuplicateTask:       http.StatusConflict,
 		CodeSessionClosed:       http.StatusGone,
+		CodeSeqTruncated:        http.StatusGone,
 		CodeInternal:            http.StatusInternalServerError,
 		Code("from_the_future"): http.StatusBadRequest,
 	}

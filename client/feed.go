@@ -1,0 +1,209 @@
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/api"
+)
+
+// Audit replays the commit log: the server rebuilds the session's
+// state as of just before durable sequence seq, re-runs that
+// mutation's probe with the stats collector attached, and reports
+// what the analysis concluded. Requires a server started with
+// durability on (api.CodeSeqTruncated otherwise, also returned when
+// seq predates the retained log).
+func (s *Session) Audit(ctx context.Context, seq int64) (api.AuditReport, error) {
+	var out api.AuditReport
+	path := api.SessionOpPath(s.name, api.OpAudit) + "?" + api.AuditSeqParam + "=" + strconv.FormatInt(seq, 10)
+	err := s.c.do(ctx, http.MethodGet, path, nil, &out)
+	return out, err
+}
+
+// Feed subscribes to the session's SSE change feed from its current
+// state: the hello frame anchors the stream at the session's durable
+// sequence, and every later committed mutation follows as one event,
+// gaplessly. Cancel ctx or Close the stream to unsubscribe.
+func (s *Session) Feed(ctx context.Context) (*FeedStream, error) {
+	return s.feed(ctx, -1)
+}
+
+// FeedFrom is Feed resuming after durable sequence fromSeq: events in
+// (fromSeq, now] are replayed from the commit log before live events
+// follow, so a reader that remembers its last seen seq misses
+// nothing across its own restarts — or the server's. Requires
+// durability on the server (api.CodeSeqTruncated when the range
+// predates the retained log).
+func (s *Session) FeedFrom(ctx context.Context, fromSeq int64) (*FeedStream, error) {
+	if fromSeq < 0 {
+		return nil, fmt.Errorf("client: feed resume needs from_seq >= 0, got %d", fromSeq)
+	}
+	return s.feed(ctx, fromSeq)
+}
+
+func (s *Session) feed(ctx context.Context, fromSeq int64) (*FeedStream, error) {
+	ctx, cancel := s.c.withDeadline(ctx)
+	path := api.SessionOpPath(s.name, api.OpFeed)
+	if fromSeq >= 0 {
+		path += "?" + api.FeedFromSeqParam + "=" + strconv.FormatInt(fromSeq, 10)
+	}
+	req, err := s.c.newRequest(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp, err := s.c.doer.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	if resp.StatusCode >= http.StatusBadRequest {
+		body, _ := io.ReadAll(resp.Body) //nolint:errcheck // best-effort error body
+		resp.Body.Close()                //nolint:errcheck // read-side close
+		cancel()
+		return nil, api.DecodeError(resp.StatusCode, body)
+	}
+	f := &FeedStream{body: resp.Body, done: cancel, sc: newLineScanner(resp.Body)}
+	// The hello frame is the subscription handshake: read it eagerly
+	// so Hello is valid on return and a refused subscription errors
+	// here, not on the first Next.
+	event, data, err := f.frame()
+	if err != nil {
+		f.Close() //nolint:errcheck,gosec // surfacing the read error
+		return nil, err
+	}
+	if event != "hello" {
+		f.Close() //nolint:errcheck,gosec // surfacing the protocol error
+		return nil, fmt.Errorf("client: feed opened with %q, want hello", event)
+	}
+	if err := json.Unmarshal(data, &f.hello); err != nil {
+		f.Close() //nolint:errcheck,gosec // surfacing the decode error
+		return nil, fmt.Errorf("client: bad feed hello: %w", err)
+	}
+	return f, nil
+}
+
+// FeedStream iterates an SSE change-feed subscription.
+//
+//	feed, err := sess.Feed(ctx)
+//	...
+//	defer feed.Close()
+//	last := feed.Hello().Seq
+//	for feed.Next() {
+//		ev := feed.Event()
+//		last = ev.Seq
+//		...
+//	}
+//	err = feed.Err() // nil on session close / context cancel
+type FeedStream struct {
+	body  io.ReadCloser
+	done  func()
+	sc    *bufio.Scanner
+	hello api.FeedHello
+	ev    api.FeedEvent
+	err   error
+	ended bool
+}
+
+// ErrFeedDropped reports a subscription the server disconnected under
+// its slow-consumer drop policy: the reader fell too far behind the
+// session's commit rate. Resume with FeedFrom(last seen seq).
+var ErrFeedDropped = fmt.Errorf("client: feed subscription dropped (slow consumer)")
+
+// Hello is the subscription handshake: the sequence the stream is
+// anchored at (and, on FeedFrom, the resume point).
+func (f *FeedStream) Hello() api.FeedHello { return f.hello }
+
+// frame reads one SSE frame, returning its event name and data line.
+func (f *FeedStream) frame() (string, []byte, error) {
+	var event string
+	var data []byte
+	for f.sc.Scan() {
+		line := f.sc.Bytes()
+		switch {
+		case len(bytes.TrimSpace(line)) == 0:
+			if event != "" || data != nil {
+				return event, data, nil
+			}
+		case bytes.HasPrefix(line, []byte("event: ")):
+			event = string(line[len("event: "):])
+		case bytes.HasPrefix(line, []byte("data: ")):
+			data = line[len("data: "):]
+		}
+		// id: and comment lines carry no information the data line
+		// does not repeat; skip them.
+	}
+	if err := f.sc.Err(); err != nil {
+		return "", nil, err
+	}
+	return "", nil, io.EOF
+}
+
+// Next advances to the next change event, reporting false when the
+// stream ends: cleanly (session closed, context canceled — Err is
+// nil) or not (ErrFeedDropped, transport errors).
+func (f *FeedStream) Next() bool {
+	if f.err != nil || f.ended {
+		return false
+	}
+	for {
+		event, data, err := f.frame()
+		if err != nil {
+			f.ended = true
+			// EOF and a canceled context are clean ends: the server
+			// closed the session or the reader hung up.
+			if err != io.EOF && !errorsIsContextDone(err) {
+				f.err = err
+			}
+			return false
+		}
+		switch event {
+		case "change":
+			if err := json.Unmarshal(data, &f.ev); err != nil {
+				f.ended = true
+				f.err = fmt.Errorf("client: bad feed event: %w", err)
+				return false
+			}
+			return true
+		case "closed":
+			f.ended = true
+			return false
+		case "dropped":
+			f.ended = true
+			f.err = ErrFeedDropped
+			return false
+		default:
+			// Unknown event types are the schema's forward-compat
+			// rule: skip them.
+		}
+	}
+}
+
+// errorsIsContextDone reports a context cancellation/deadline error,
+// including ones wrapped by the transport.
+func errorsIsContextDone(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Event is the change event Next advanced to.
+func (f *FeedStream) Event() api.FeedEvent { return f.ev }
+
+// Err is the stream's terminal error; nil after a clean end.
+func (f *FeedStream) Err() error { return f.err }
+
+// Close unsubscribes; safe to call at any point.
+func (f *FeedStream) Close() error {
+	err := f.body.Close()
+	if f.done != nil {
+		f.done()
+		f.done = nil
+	}
+	return err
+}

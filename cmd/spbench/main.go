@@ -79,7 +79,7 @@ func run(args []string) error {
 	var (
 		out       = fs.String("out", "BENCH_admitd.json", "results file (read for history/baseline, rewritten unless -check)")
 		procsFlag = fs.String("procs", "1,2,4,8", "comma-separated GOMAXPROCS ladder")
-		pr        = fs.Int("pr", 8, "PR number recorded in the history entry")
+		pr        = fs.Int("pr", 9, "PR number recorded in the history entry")
 		requests  = fs.Int("requests", 20000, "loadgen requests per throughput run")
 		quick     = fs.Bool("quick", false, "smaller iteration counts (CI smoke: ~10x faster, noisier)")
 		check     = fs.Bool("check", false, "gate mode: compare against -out, exit 1 on regression, write nothing")
@@ -170,13 +170,24 @@ func run(args []string) error {
 			if err != nil {
 				return err
 			}
-			rs = append(rs, thr, wm)
+			// The durable run measures the commit log's tax on the same
+			// load: acceptance is within 15% of the plain run above.
+			dur, err := admitd.RigThroughputDurable(sz)
+			if err != nil {
+				return err
+			}
+			rs = append(rs, thr, wm, dur)
 		}
 		wire, err := admitd.RigWire()
 		if err != nil {
 			return err
 		}
 		rs = append(rs, wire...)
+		walRs, err := admitd.RigWal()
+		if err != nil {
+			return err
+		}
+		rs = append(rs, walRs...)
 		bt, err := admitd.RigBatchTry(64)
 		if err != nil {
 			return err

@@ -1,13 +1,16 @@
 package admitd
 
 import (
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"sync"
 	"time"
 
+	"repro/api"
 	"repro/internal/task"
+	"repro/internal/wal"
 )
 
 // The SSE change feed is the daemon's first push surface: every
@@ -72,15 +75,17 @@ type feedSub struct {
 }
 
 // feedHub fans events out to a session's subscribers. The mutex
-// guards the subscriber set only; it is taken by the actor once per
-// drain that produced events, and by subscribe/unsubscribe.
+// guards the subscriber set only; it is taken once per drain that
+// produced events (by the commit handoff for durable sessions, by the
+// actor otherwise), and by subscribe/unsubscribe.
 type feedHub struct {
 	mu   sync.Mutex
 	subs map[*feedSub]struct{}
 }
 
 // publish fans one drain's events out, applying the drop policy.
-// Runs on the actor.
+// Runs on the commit-handoff goroutine for durable sessions (in drain
+// order — handoffs chain), on the actor otherwise.
 func (h *feedHub) publish(events []feedEvent, m *serverMetrics) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -121,7 +126,7 @@ func (s *Session) feedNote(t *task.Task, sp *task.Split, core int) {
 	if s.feed.Load() == nil {
 		return
 	}
-	ev := feedEvent{seq: s.actx.CommitSeq(), tasks: int32(s.nTasks.Load()), core: int32(core)}
+	ev := feedEvent{seq: s.durableSeq(), tasks: int32(s.nTasks.Load()), core: int32(core)}
 	if sp != nil {
 		ev.op = feedSplit
 		ev.task = int64(sp.Task.ID)
@@ -138,7 +143,7 @@ func (s *Session) feedNoteRemove(id task.ID) {
 		return
 	}
 	s.feedPend = append(s.feedPend, feedEvent{
-		seq: s.actx.CommitSeq(), op: feedRemove,
+		seq: s.durableSeq(), op: feedRemove,
 		task: int64(id), core: -1, tasks: int32(s.nTasks.Load()),
 	})
 }
@@ -169,13 +174,64 @@ func (s *Session) feedSubscribe() (*feedSub, int64, error) {
 			h = &feedHub{subs: make(map[*feedSub]struct{})}
 			s.feed.Store(h)
 		}
-		sub.after = s.actx.CommitSeq()
+		// The anchor capture runs on the actor (atomic with respect to
+		// mutations); the attach locks the hub because publishes run on
+		// commit-handoff goroutines. A handoff still in flight carries
+		// only events at or below the anchor — send filters those.
+		h.mu.Lock()
+		sub.after = s.durableSeq()
 		h.subs[sub] = struct{}{}
+		h.mu.Unlock()
 	})
 	if err != nil {
 		return nil, 0, err
 	}
 	return sub, sub.after, nil
+}
+
+// feedReplay synthesizes the change events in (from, to] from the
+// session's commit-log stream — every record carries the placement
+// and the task count after the mutation, so no state rebuild is
+// needed. Sequence numbers are dense, so the range is verified by
+// counting: a shortfall means compaction already removed part of it
+// (or durability is off), reported as seq_truncated.
+func (s *Session) feedReplay(from, to int64) ([]feedEvent, error) {
+	if from == to {
+		return nil, nil
+	}
+	if s.wlog == nil {
+		return nil, fmt.Errorf("%w: feed resume needs durability (start with -data-dir)", ErrSeqTruncated)
+	}
+	evs := make([]feedEvent, 0, to-from)
+	err := s.wlog.ReplayStream(s.wstream, from, func(r wal.Record) error {
+		if r.Seq > to {
+			return errWalStop
+		}
+		rec, derr := walDecode(r.Payload)
+		if derr != nil {
+			return derr
+		}
+		ev := feedEvent{seq: r.Seq, tasks: rec.tasks, core: -1}
+		switch rec.kind {
+		case walKindAdmit:
+			ev.op, ev.task, ev.core = feedAdmit, rec.task.ID, rec.core
+		case walKindSplit:
+			ev.op, ev.task = feedSplit, rec.split.Task.ID
+		case walKindRemove:
+			ev.op, ev.task = feedRemove, rec.id
+		default:
+			return nil // create/tombstone records are not feed events
+		}
+		evs = append(evs, ev)
+		return nil
+	})
+	if err != nil && !errors.Is(err, errWalStop) {
+		return nil, err
+	}
+	if int64(len(evs)) != to-from {
+		return nil, fmt.Errorf("%w: events (%d, %d] are no longer fully retained", ErrSeqTruncated, from, to)
+	}
+	return evs, nil
 }
 
 // feedUnsubscribe detaches (client disconnect). Safe against a
@@ -204,6 +260,14 @@ var errStreamingUnsupported = fmt.Errorf("admitd: transport does not support str
 // number the subscription is anchored at; every subsequent change
 // event's seq is strictly increasing with no committed mutation
 // missing.
+//
+// With durability on, ?from_seq=N resumes a broken subscription
+// gaplessly: the subscription is anchored first (so nothing can slip
+// between replay and live), then events (N, anchor] are synthesized
+// from the commit log and written ahead of the live stream. The
+// replayed range is verified dense by counting — a gap means
+// compaction outran the resumer, reported as seq_truncated (410) so
+// the client re-syncs via a fresh subscription plus a state read.
 func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 	sess := s.session(w, r)
 	if sess == nil {
@@ -214,12 +278,32 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 		writeError(w, errStreamingUnsupported)
 		return
 	}
+	fromSeq := int64(-1)
+	if v := r.URL.Query().Get(api.FeedFromSeqParam); v != "" {
+		n, perr := strconv.ParseInt(v, 10, 64)
+		if perr != nil || n < 0 {
+			writeError(w, fmt.Errorf("bad %s %q: want a sequence number >= 0", api.FeedFromSeqParam, v))
+			return
+		}
+		fromSeq = n
+	}
 	sub, seq, err := sess.feedSubscribe()
 	if err != nil {
 		writeError(w, err)
 		return
 	}
 	defer sess.feedUnsubscribe(sub)
+	var replayed []feedEvent
+	if fromSeq >= 0 {
+		if fromSeq > seq {
+			writeError(w, fmt.Errorf("%s %d is ahead of the session (at seq %d)", api.FeedFromSeqParam, fromSeq, seq))
+			return
+		}
+		if replayed, err = sess.feedReplay(fromSeq, seq); err != nil {
+			writeError(w, err)
+			return
+		}
+	}
 	s.met.feedSubs.Inc()
 	defer s.met.feedSubs.Dec()
 
@@ -231,10 +315,20 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 
 	buf := make([]byte, 0, 256)
 	buf = append(buf, "event: hello\ndata: "...)
-	buf = appendFeedHello(buf, sess.name, seq, sess.nTasks.Load())
+	if fromSeq >= 0 {
+		buf = appendFeedHelloResume(buf, sess.name, seq, sess.nTasks.Load(), fromSeq)
+	} else {
+		buf = appendFeedHello(buf, sess.name, seq, sess.nTasks.Load())
+	}
 	buf = append(buf, "\n\n"...)
 	if _, err := w.Write(buf); err != nil {
 		return
+	}
+	for _, ev := range replayed {
+		buf = appendFeedFrame(buf[:0], ev)
+		if _, err := w.Write(buf); err != nil {
+			return
+		}
 	}
 	flusher.Flush()
 
@@ -249,12 +343,7 @@ func (s *Server) handleFeed(w http.ResponseWriter, r *http.Request) {
 				flusher.Flush()
 				return
 			}
-			buf = buf[:0]
-			buf = append(buf, "id: "...)
-			buf = strconv.AppendInt(buf, ev.seq, 10)
-			buf = append(buf, "\nevent: change\ndata: "...)
-			buf = appendFeedEvent(buf, ev)
-			buf = append(buf, "\n\n"...)
+			buf = appendFeedFrame(buf[:0], ev)
 			if _, err := w.Write(buf); err != nil {
 				return
 			}
@@ -284,6 +373,27 @@ func appendFeedHello(b []byte, name string, seq, tasks int64) []byte {
 	b = append(b, `,"tasks":`...)
 	b = strconv.AppendInt(b, tasks, 10)
 	return append(b, '}')
+}
+
+// appendFeedHelloResume is appendFeedHello plus the resume_from
+// field: the client's from_seq, echoed so the subscriber knows the
+// replayed range (resume_from, seq] precedes the live stream.
+func appendFeedHelloResume(b []byte, name string, seq, tasks, from int64) []byte {
+	b = appendFeedHello(b, name, seq, tasks)
+	b = b[:len(b)-1] // reopen the object
+	b = append(b, `,"resume_from":`...)
+	b = strconv.AppendInt(b, from, 10)
+	return append(b, '}')
+}
+
+// appendFeedFrame renders one change event as a full SSE frame (id,
+// event type, data).
+func appendFeedFrame(b []byte, ev feedEvent) []byte {
+	b = append(b, "id: "...)
+	b = strconv.AppendInt(b, ev.seq, 10)
+	b = append(b, "\nevent: change\ndata: "...)
+	b = appendFeedEvent(b, ev)
+	return append(b, "\n\n"...)
 }
 
 func appendFeedEvent(b []byte, ev feedEvent) []byte {

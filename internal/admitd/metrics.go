@@ -3,6 +3,7 @@ package admitd
 import (
 	"repro/internal/analysis"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // serverMetrics is the daemon's telemetry plane: every instrument
@@ -44,6 +45,16 @@ type serverMetrics struct {
 	feedEvents  *telemetry.Counter
 	feedDropped *telemetry.Counter
 
+	// Durability plane: commit-log activity. The counters/histograms
+	// are registered unconditionally (zero without -data-dir) so the
+	// exposition schema does not depend on configuration; the rates
+	// and occupancy series read the wal plane at scrape time.
+	walFsyncLat     *telemetry.Histogram
+	walRecsPerDrain *telemetry.Histogram
+	walPayloadBytes *telemetry.Counter
+	walErrors       *telemetry.Counter
+	walCheckpoints  *telemetry.Counter
+
 	// Scrape-time aggregate of admission stats: collector totals
 	// flushed by closed sessions plus every live session's view.
 	agg analysis.AdmissionStats
@@ -56,6 +67,9 @@ const (
 	latMaxShift  = 31
 	drainMaxLog2 = 5
 	fpMaxLog2    = 12
+	// Commit-log records staged per drain: a single batch call can
+	// append far more than maxDrain records.
+	walRecsMaxLog2 = 12
 )
 
 func newServerMetrics(store *Store) *serverMetrics {
@@ -131,6 +145,59 @@ func newServerMetrics(store *Store) *serverMetrics {
 	m.feedDropped = reg.NewCounter("admitd_feed_dropped_subscribers_total",
 		"SSE subscriptions disconnected by the slow-consumer drop policy.")
 
+	// Durability plane (zero-valued without -data-dir).
+	m.walFsyncLat = reg.NewHistogram("admitd_wal_fsync_duration_seconds",
+		"Commit-log fsync latency (background committer under the group policy, ack-path batches under always).",
+		telemetry.UnitSeconds, latMinShift, latMaxShift)
+	m.walRecsPerDrain = reg.NewHistogram("admitd_wal_records_per_drain",
+		"Commit-log records staged by one actor drain (one commit boundary).",
+		telemetry.UnitCount, 0, walRecsMaxLog2)
+	m.walPayloadBytes = reg.NewCounter("admitd_wal_payload_bytes_total",
+		"Commit-log record payload bytes appended by session mutations.")
+	m.walErrors = reg.NewCounter("admitd_wal_errors_total",
+		"Commit-log append/fsync/compaction failures (durability degraded, admission unaffected).")
+	m.walCheckpoints = reg.NewCounter("admitd_wal_checkpoints_total",
+		"Session checkpoints written by the periodic snapshot-compaction driver.")
+	plane := store.plane
+	walStat := func(f func(wal.Stats) float64) func() float64 {
+		return func() float64 {
+			if plane == nil {
+				return 0
+			}
+			return f(plane.stats())
+		}
+	}
+	reg.NewCounterFunc("admitd_wal_appends_total",
+		"Records appended to the commit logs since open (create/admit/split/remove/delete).",
+		walStat(func(s wal.Stats) float64 { return float64(s.Appends) }))
+	reg.NewCounterFunc("admitd_wal_fsyncs_total",
+		"Commit-log fsyncs since open.",
+		walStat(func(s wal.Stats) float64 { return float64(s.Fsyncs) }))
+	reg.NewGaugeFunc("admitd_wal_segments",
+		"Live commit-log segments across all shards (shrinks as compaction truncates).",
+		walStat(func(s wal.Stats) float64 { return float64(s.Segments) }))
+	reg.NewGaugeFunc("admitd_wal_bytes",
+		"Bytes held by the commit-log segments across all shards.",
+		walStat(func(s wal.Stats) float64 { return float64(s.Bytes) }))
+	reg.NewGaugeFunc("admitd_wal_streams",
+		"Live (non-deleted) durable session streams.",
+		func() float64 {
+			if plane == nil {
+				return 0
+			}
+			live, _ := plane.streamCounts()
+			return float64(live)
+		})
+	reg.NewGaugeFunc("admitd_wal_checkpointed_sessions",
+		"Durable session streams with an on-disk checkpoint bounding their replay.",
+		func() float64 {
+			if plane == nil {
+				return 0
+			}
+			_, ckpt := plane.streamCounts()
+			return float64(ckpt)
+		})
+
 	// Store occupancy: live counts from the registry's atomics, plus
 	// per-shard map sizes sampled once per scrape.
 	reg.NewGaugeFunc("admitd_sessions_live",
@@ -177,6 +244,9 @@ func newServerMetrics(store *Store) *serverMetrics {
 	}
 
 	telemetry.RegisterRuntime(reg)
+	if plane != nil {
+		plane.met.Store(m)
+	}
 	return m
 }
 

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"os"
 	"strings"
 	"sync/atomic"
 	"testing"
@@ -12,6 +13,7 @@ import (
 	"repro/client"
 	"repro/internal/overhead"
 	"repro/internal/task"
+	"repro/internal/wal"
 )
 
 // The perf rig: the session read-mix benchmark and the loadgen
@@ -288,6 +290,178 @@ func RigThroughputMix(requests int, mix string) (RigResult, error) {
 	}
 	if res.OpsPerSec > 0 {
 		res.NsPerOp = 1e9 / res.OpsPerSec
+	}
+	return res, nil
+}
+
+// RigThroughputDurable is the throughput run with the durability
+// plane on (fsync=group): the same 16-session default-mix load, every
+// committed mutation appended to the commit log, dirty logs fsynced
+// by the background committer once per interval (the bounded-loss
+// group policy). The /fsync=group name suffix keeps durable runs from
+// ever gating against non-durable baselines; the acceptance bar
+// (within 15% of the plain run at the same size) is checked by eye
+// against the matching admitd_throughput/n=N entry.
+func RigThroughputDurable(requests int) (RigResult, error) {
+	var best *LoadStats
+	for i := 0; i < 3; i++ {
+		dir, err := os.MkdirTemp("", "spbench-durable-*")
+		if err != nil {
+			return RigResult{}, err
+		}
+		srv, err := New(Config{MaxSessions: 64, DataDir: dir, Fsync: "group"})
+		if err != nil {
+			os.RemoveAll(dir) //nolint:errcheck,gosec // bench scratch
+			return RigResult{}, err
+		}
+		stats, err := RunLoad(context.Background(), client.InProcess(srv), LoadConfig{
+			Sessions: 16, Requests: requests, Cores: 4, TasksPerSession: 12, Seed: 1,
+		})
+		srv.Close()
+		os.RemoveAll(dir) //nolint:errcheck,gosec // bench scratch
+		if err != nil {
+			return RigResult{}, err
+		}
+		if stats.Errors > 0 {
+			return RigResult{}, fmt.Errorf("durable throughput run: %d load errors", stats.Errors)
+		}
+		if best == nil || stats.Throughput() > best.Throughput() {
+			best = stats
+		}
+	}
+	res := RigResult{
+		Name:        fmt.Sprintf("admitd_throughput/n=%d/fsync=group", requests),
+		OpsPerSec:   best.Throughput(),
+		AllocsPerOp: best.AllocsPerOp,
+		Desc:        fmt.Sprintf("one load request with the durability plane on (commit log, background fsync each 5ms interval; 16 sessions x %d requests, 60/40 mix; best of 3 passes)", requests),
+	}
+	if res.OpsPerSec > 0 {
+		res.NsPerOp = 1e9 / res.OpsPerSec
+	}
+	return res, nil
+}
+
+// RigWal measures the commit log in isolation: one record append per
+// op under each fsync policy (group commits once per 32 appends —
+// the actor-drain boundary; always fsyncs per record; off never
+// syncs), plus recovery replay cost over a written log.
+func RigWal() ([]RigResult, error) {
+	payload := make([]byte, 96) // a realistic admit-record payload size
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	var out []RigResult
+	for _, pc := range []struct {
+		pol  wal.SyncPolicy
+		name string
+	}{{wal.SyncOff, "off"}, {wal.SyncGroup, "group"}, {wal.SyncAlways, "always"}} {
+		dir, err := os.MkdirTemp("", "spbench-wal-*")
+		if err != nil {
+			return nil, err
+		}
+		l, _, err := wal.Open(wal.Options{Dir: dir, Policy: pc.pol})
+		if err != nil {
+			os.RemoveAll(dir) //nolint:errcheck,gosec // bench scratch
+			return nil, err
+		}
+		var seq int64
+		var aerr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				seq++
+				if _, err := l.Append("bench/1", seq, payload); err != nil {
+					aerr = err
+					return
+				}
+				if pc.pol == wal.SyncAlways || seq%32 == 0 {
+					if err := l.Commit(); err != nil {
+						aerr = err
+						return
+					}
+				}
+			}
+		})
+		l.Close()         //nolint:errcheck,gosec // bench scratch
+		os.RemoveAll(dir) //nolint:errcheck,gosec // bench scratch
+		if aerr != nil {
+			return nil, aerr
+		}
+		res := RigResult{
+			Name:        "wal_append/fsync=" + pc.name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: float64(r.AllocsPerOp()),
+			Desc:        fmt.Sprintf("one %d-byte commit-log record append under fsync=%s (group syncs once per 32 appends — the actor-drain boundary)", len(payload), pc.name),
+		}
+		if res.NsPerOp > 0 {
+			res.OpsPerSec = 1e9 / res.NsPerOp
+		}
+		out = append(out, res)
+	}
+	replay, err := rigWalReplay(payload)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, replay), nil
+}
+
+// rigWalReplay writes a fixed-size log once, then measures full
+// recovery passes (open + CRC-checked scan of every record) over it.
+func rigWalReplay(payload []byte) (RigResult, error) {
+	const records = 50_000
+	dir, err := os.MkdirTemp("", "spbench-walreplay-*")
+	if err != nil {
+		return RigResult{}, err
+	}
+	defer os.RemoveAll(dir) //nolint:errcheck // bench scratch
+	l, _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncOff})
+	if err != nil {
+		return RigResult{}, err
+	}
+	for seq := int64(1); seq <= records; seq++ {
+		if _, err := l.Append("bench/1", seq, payload); err != nil {
+			l.Close() //nolint:errcheck,gosec // already failing
+			return RigResult{}, err
+		}
+	}
+	logBytes := l.Stats().Bytes
+	if err := l.Close(); err != nil {
+		return RigResult{}, err
+	}
+	var rerr error
+	r := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l2, _, oerr := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncOff})
+			if oerr != nil {
+				rerr = oerr
+				return
+			}
+			n := 0
+			if err := l2.Replay(func(wal.Record) error { n++; return nil }); err != nil {
+				rerr = err
+				l2.Close() //nolint:errcheck,gosec // already failing
+				return
+			}
+			l2.Close() //nolint:errcheck,gosec // bench scratch
+			if n != records {
+				rerr = fmt.Errorf("replay saw %d records, want %d", n, records)
+				return
+			}
+		}
+	})
+	if rerr != nil {
+		return RigResult{}, rerr
+	}
+	perRecord := float64(r.NsPerOp()) / float64(records)
+	res := RigResult{
+		Name:        "wal_replay",
+		NsPerOp:     perRecord,
+		AllocsPerOp: float64(r.AllocsPerOp()) / float64(records),
+		Desc:        fmt.Sprintf("one record replayed during recovery (full open + CRC-checked scan of a %d-record, %d-byte log per pass)", records, logBytes),
+	}
+	if perRecord > 0 {
+		res.OpsPerSec = 1e9 / perRecord
 	}
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -15,6 +16,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/task"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // Config parameterizes a Server.
@@ -25,6 +27,21 @@ type Config struct {
 	// SnapshotDir, when set, persists evicted sessions and snapshots
 	// everything live on Close.
 	SnapshotDir string
+	// DataDir, when set, turns on the durability plane: every
+	// committed session mutation is appended to a per-shard commit
+	// log under DataDir/wal, checkpoints land in DataDir/ckpt, and
+	// restart replays acked writes back. Supersedes SnapshotDir.
+	DataDir string
+	// Fsync picks the commit-log sync policy: "group" (default: ack
+	// at apply, background fsync each interval), "always" (fsync
+	// covers every ack), or "off" (OS-cached).
+	Fsync string
+	// FsyncInterval is the group policy's background commit cadence
+	// and therefore its crash loss window (0 or negative means 5ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery is the snapshot-compaction period (0 means 30s,
+	// negative disables the driver; Store.Checkpoint still works).
+	CheckpointEvery time.Duration
 	// Trace, when set, mints a trace ID for every request that did
 	// not supply one via the Admitd-Trace-Id header. IDs supplied by
 	// clients are always echoed on the response; generation is
@@ -70,7 +87,18 @@ type Server struct {
 
 // New builds a Server (and its snapshot directory, when configured).
 func New(cfg Config) (*Server, error) {
-	store, err := NewStore(StoreConfig{MaxSessions: cfg.MaxSessions, SnapshotDir: cfg.SnapshotDir})
+	policy, err := wal.ParseSyncPolicy(cfg.Fsync)
+	if err != nil {
+		return nil, err
+	}
+	store, err := NewStore(StoreConfig{
+		MaxSessions:     cfg.MaxSessions,
+		SnapshotDir:     cfg.SnapshotDir,
+		DataDir:         cfg.DataDir,
+		Fsync:           policy,
+		FsyncInterval:   cfg.FsyncInterval,
+		CheckpointEvery: cfg.CheckpointEvery,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -96,6 +124,7 @@ func New(cfg Config) (*Server, error) {
 	s.handle("GET "+api.PathSessions+"/{name}/"+api.OpStats, "session_stats", classRead, s.handleSessionStats)
 	s.handle(op(api.OpBatch), api.OpBatch, classActor, s.handleBatch)
 	s.handle("GET "+api.PathSessions+"/{name}/"+api.OpFeed, api.OpFeed, classStream, s.handleFeed)
+	s.handle("GET "+api.PathSessions+"/{name}/"+api.OpAudit, api.OpAudit, classRead, s.handleAudit)
 	s.handle("POST "+api.PathSweep, "sweep", classStream, s.handleSweep)
 	s.handle("GET "+api.PathStats, "stats", classRead, s.handleStats)
 	s.handle("GET "+api.PathHealth, "health", classRead, func(w http.ResponseWriter, r *http.Request) {
@@ -518,6 +547,24 @@ func (s *Server) handleSessionStats(w http.ResponseWriter, r *http.Request) {
 	}
 	cold := st // keep st off the heap on the fast path; writeJSON boxes
 	writeJSON(w, http.StatusOK, cold)
+}
+
+// handleAudit replays the commit log: rebuild the session's state as
+// of just before durable sequence seq, re-run that mutation's probe
+// with the collector on, and report what the analysis concluded.
+func (s *Server) handleAudit(w http.ResponseWriter, r *http.Request) {
+	raw := r.URL.Query().Get(api.AuditSeqParam)
+	seq, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		writeError(w, fmt.Errorf("audit: bad %s %q: want a positive integer", api.AuditSeqParam, raw))
+		return
+	}
+	rep, err := s.store.Audit(r.PathValue("name"), seq)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {

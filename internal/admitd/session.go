@@ -15,6 +15,7 @@ import (
 	"repro/internal/overhead"
 	"repro/internal/task"
 	"repro/internal/taskgen"
+	"repro/internal/wal"
 )
 
 // Errors surfaced to the HTTP layer with distinct status codes.
@@ -112,6 +113,29 @@ type Session struct {
 	// carrying it is readable.
 	feed     atomic.Pointer[feedHub]
 	feedPend []feedEvent
+
+	// Durability plane (nil/zero when the store runs without one).
+	// Set by attachWal before the session is reachable; the actor
+	// owns every use. Each committed mutation appends one record to
+	// the store-shard commit log at its durable sequence number
+	// (seqBase + CommitSeq — seqBase restores the dense numbering
+	// across restarts), and the actor loop commits the log once per
+	// drain, before completion tokens: an acked write is a durable
+	// write under the group fsync policy.
+	wlog      *wal.Log
+	wplane    *walPlane // owner of wlog; routes drain commits to the group batcher
+	wstream   string
+	walGen    uint64
+	seqBase   int64
+	walEnt    *streamState
+	walBuf    []byte // actor-owned record-encode scratch
+	walStaged int64  // records appended in the current drain
+
+	// walTail is the previous drain handoff's completion channel
+	// (actor-owned; nil before the first durable drain). Handoffs
+	// chain on it so acks and feed publishes release in drain order
+	// even though each drain's fsync wait runs off the actor.
+	walTail <-chan struct{}
 
 	lastUsed atomic.Int64 // store's logical clock at last touch
 
@@ -235,6 +259,7 @@ const maxDrain = 32
 // observes its own mutation missing from the published snapshot.
 func (s *Session) loop() {
 	var batch [maxDrain]*sessionCall
+	var staged [maxDrain]int64 // cumulative walStaged after each op
 	for c := range s.reqs {
 		batch[0] = c
 		n := 1
@@ -256,6 +281,7 @@ func (s *Session) loop() {
 		s.actx.BeginGroup()
 		for i := 0; i < n; i++ {
 			batch[i].f()
+			staged[i] = s.walStaged
 		}
 		s.actx.EndGroup()
 		s.inDrain = false
@@ -271,8 +297,55 @@ func (s *Session) loop() {
 				m.publishes.Inc()
 			}
 		}
-		// Flush staged change events after the drain's publish: every
-		// sequence number a subscriber sees is already readable.
+		// Close the drain's commit boundary on the durability plane.
+		// Under the always policy the fsync wait is handed off the
+		// actor: the completion tokens of the ops that staged records
+		// and the drain's staged feed events travel with it and
+		// release only after the covering fsync — the actor keeps
+		// draining while the cross-actor batcher accumulates. Ops
+		// that staged nothing (reads, rejections) release
+		// immediately: they make no durability claim. Handoffs chain
+		// FIFO per session, so acks and feed publishes still land in
+		// drain order, and a sequence number is never acked, and
+		// never reaches a subscriber, before it is durable.
+		//
+		// Under group and off, acks never wait for the device —
+		// records were appended (buffered) by the ops themselves and
+		// the plane's background committer (group) or the OS (off)
+		// carries them down; the drain falls through to the immediate
+		// release path like a non-durable session.
+		if s.wlog != nil && s.walStaged > 0 {
+			if m := s.met; m != nil {
+				m.walRecsPerDrain.ObserveInt(s.walStaged)
+			}
+			s.walStaged = 0
+			if s.wplane.syncOnDrain {
+				calls := make([]*sessionCall, 0, n)
+				var prev int64
+				for i := 0; i < n; i++ {
+					if staged[i] != prev {
+						calls = append(calls, batch[i])
+					} else {
+						batch[i].done <- struct{}{}
+					}
+					prev = staged[i]
+					batch[i] = nil
+				}
+				h := &walHandoff{
+					calls: calls,
+					feed:  s.feedPend,
+					prev:  s.walTail,
+					done:  make(chan struct{}),
+				}
+				s.feedPend = nil
+				s.walTail = h.done
+				go s.commitHandoff(h)
+				continue
+			}
+		}
+		// Immediate release: read-only, non-durable, or bounded-loss
+		// drains. The feed flush still runs after the drain's publish —
+		// every sequence number a subscriber sees is already readable.
 		s.feedFlush()
 		for i := 0; i < n; i++ {
 			batch[i].done <- struct{}{}
@@ -280,6 +353,43 @@ func (s *Session) loop() {
 		}
 	}
 	close(s.done)
+}
+
+// walHandoff carries one drain's durability wait off the actor: the
+// completion tokens and staged feed events that may release only after
+// the covering fsync. prev is the preceding drain's handoff (nil for
+// the first), giving per-session FIFO release.
+type walHandoff struct {
+	calls []*sessionCall
+	feed  []feedEvent
+	prev  <-chan struct{}
+	done  chan struct{}
+}
+
+// commitHandoff completes one drain off the actor: wait for the
+// covering fsync, then — in drain order — publish the staged feed
+// events and release the completion tokens. Commit errors latch the
+// session's failure flag but still release the tokens (the callers
+// already hold their verdicts; subsequent mutations will refuse).
+func (s *Session) commitHandoff(h *walHandoff) {
+	if err := s.wplane.commitLog(s.wlog); err != nil {
+		s.walFail()
+	}
+	if h.prev != nil {
+		<-h.prev
+	}
+	if len(h.feed) > 0 {
+		if hub := s.feed.Load(); hub != nil {
+			hub.publish(h.feed, s.met)
+			if m := s.met; m != nil {
+				m.feedEvents.Add(int64(len(h.feed)))
+			}
+		}
+	}
+	for _, c := range h.calls {
+		c.done <- struct{}{}
+	}
+	close(h.done)
 }
 
 // call runs f on the actor and waits for it.
@@ -313,6 +423,11 @@ func (s *Session) close() {
 	}
 	s.mu.Unlock()
 	<-s.done
+	// The actor has exited (so walTail is stable); wait out the last
+	// in-flight commit handoff before the caller snapshots or deletes.
+	if s.walTail != nil {
+		<-s.walTail
+	}
 	s.actx.Flush()
 }
 
@@ -460,6 +575,7 @@ func (s *Session) resolveProbe(resp *api.Verdict, hold bool, t *task.Task, sp *t
 		// snapshot containing a task the duplicate check missed.
 		s.registerAdmitted(t, sp)
 		s.actx.Commit()
+		s.walNoteAdmit(t, sp, core)
 		s.feedNote(t, sp, core)
 	} else {
 		s.actx.Rollback()
@@ -500,6 +616,7 @@ func (s *Session) commitLocked() (api.Verdict, error) {
 	// Register before the publishing Commit (see resolveProbe).
 	s.registerAdmitted(s.pendTask, s.pendSplit)
 	s.actx.Commit()
+	s.walNoteAdmit(s.pendTask, s.pendSplit, s.pendCore)
 	s.feedNote(s.pendTask, s.pendSplit, s.pendCore)
 	s.clearPending()
 	return resp, nil
@@ -556,8 +673,83 @@ func (s *Session) removeLocked(id task.ID) error {
 		s.tasks.remove(id)
 	}
 	s.removed.Add(1)
+	s.walNoteRemove(id)
 	s.feedNoteRemove(id)
 	return nil
+}
+
+// --- durability hooks (actor-only) -----------------------------------
+
+// attachWal wires the session to its commit-log stream. Must run
+// before the session is reachable (between newSession/restoreSession
+// and the store-map insert): the first actor call's channel send
+// publishes the fields to the actor goroutine.
+func (s *Session) attachWal(p *walPlane, l *wal.Log, stream string, gen uint64, ent *streamState, seqBase int64) {
+	s.wlog = l
+	s.wplane = p
+	s.wstream = stream
+	s.walGen = gen
+	s.walEnt = ent
+	s.seqBase = seqBase
+}
+
+// durableSeq is the session's dense durable sequence number: the
+// restart base plus the live context's committed-mutation count.
+// Actor-only (CommitSeq is actor state).
+func (s *Session) durableSeq() int64 {
+	return s.seqBase + s.actx.CommitSeq()
+}
+
+// walNoteAdmit appends one committed admission (whole task or split)
+// to the commit log at its durable sequence number. Runs right after
+// actx.Commit bumped CommitSeq; the append is buffered — the drain
+// boundary's log commit makes it (and the whole drain) durable.
+func (s *Session) walNoteAdmit(t *task.Task, sp *task.Split, core int) {
+	if s.wlog == nil {
+		return
+	}
+	b := s.walBuf[:0]
+	if sp != nil {
+		wire := fromSplit(sp)
+		b = walEncodeSplit(b, s.nTasks.Load(), &wire)
+	} else {
+		wire := fromTask(t, core)
+		b = walEncodeAdmit(b, core, s.nTasks.Load(), &wire)
+	}
+	s.walBuf = b
+	s.walAppend(b)
+}
+
+// walNoteRemove appends one committed removal.
+func (s *Session) walNoteRemove(id task.ID) {
+	if s.wlog == nil {
+		return
+	}
+	b := walEncodeRemove(s.walBuf[:0], s.nTasks.Load(), int64(id))
+	s.walBuf = b
+	s.walAppend(b)
+}
+
+func (s *Session) walAppend(payload []byte) {
+	seq := s.durableSeq()
+	if _, err := s.wlog.Append(s.wstream, seq, payload); err != nil {
+		s.walFail()
+		return
+	}
+	s.walStaged++
+	s.walEnt.lastSeq.Store(seq)
+	if m := s.met; m != nil {
+		m.walPayloadBytes.Add(int64(len(payload)))
+	}
+}
+
+// walFail records a commit-log append/fsync failure. The session
+// keeps serving — durability degrades, admission does not — and the
+// failure surfaces on /metrics (admitd_wal_errors_total).
+func (s *Session) walFail() {
+	if m := s.met; m != nil {
+		m.walErrors.Inc()
+	}
 }
 
 // setPend records the held-probe kind, mirroring it into the atomic

@@ -11,6 +11,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/task"
+	"repro/internal/wal"
 )
 
 // sessionSnapshot is the on-disk form of one session: enough to
@@ -39,6 +40,14 @@ type sessionSnapshot struct {
 	// Admission carries the session's cumulative admission counters
 	// across eviction/restore cycles.
 	Admission analysis.AdmissionStats `json:"admission"`
+
+	// Durability-plane checkpoint stamp: Seq is the highest durable
+	// mutation sequence this snapshot covers (commit-log records at or
+	// below it are compactable), Gen the session generation whose
+	// stream it belongs to. Both zero when durability is off —
+	// omitempty keeps plain eviction snapshots byte-stable.
+	Seq int64  `json:"seq,omitempty"`
+	Gen uint64 `json:"gen,omitempty"`
 }
 
 // snapshotLocked captures the session's committed state; it must run
@@ -63,6 +72,10 @@ func (s *Session) snapshotLocked() (*sessionSnapshot, error) {
 		StateCacheMisses: s.stateMisses.Load(),
 		Admission:        s.statsLocked(),
 	}
+	if s.wlog != nil {
+		snap.Seq = s.durableSeq()
+		snap.Gen = s.walGen
+	}
 	for c := 0; c < s.a.NumCores; c++ {
 		for _, t := range s.a.Normal[c] {
 			snap.Tasks = append(snap.Tasks, fromTask(t, c))
@@ -74,43 +87,55 @@ func (s *Session) snapshotLocked() (*sessionSnapshot, error) {
 	return snap, nil
 }
 
-// restoreSession rebuilds a session from its snapshot: the assignment
-// is reconstructed in canonical order and a fresh (cold) context is
-// opened over it — decisions are bit-identical to the stateless
-// analyzer, hence to the warm context that was evicted.
-func restoreSession(snap *sessionSnapshot, coll *analysis.Collector, met *serverMetrics) (*Session, error) {
+// buildAssignment reconstructs a snapshot's assignment in canonical
+// order (tasks per core in placement order, splits in install order)
+// and resolves its policy and overhead model. Shared by the session
+// restore path and the commit-log audit path.
+func buildAssignment(snap *sessionSnapshot) (task.Policy, *overhead.Model, *task.Assignment, error) {
 	p, err := parsePolicy(snap.Policy)
 	if err != nil {
-		return nil, err
+		return 0, nil, nil, err
 	}
 	if snap.Cores <= 0 {
-		return nil, fmt.Errorf("admitd: snapshot %q: %d cores", snap.Name, snap.Cores)
+		return 0, nil, nil, fmt.Errorf("admitd: snapshot %q: %d cores", snap.Name, snap.Cores)
 	}
 	model := &overhead.Model{}
 	if err := json.Unmarshal(snap.Model, model); err != nil {
-		return nil, fmt.Errorf("admitd: snapshot %q model: %w", snap.Name, err)
+		return 0, nil, nil, fmt.Errorf("admitd: snapshot %q model: %w", snap.Name, err)
 	}
 	model = overhead.Normalize(model)
 	a := task.NewAssignment(snap.Cores)
 	for _, j := range snap.Tasks {
 		t, err := toTask(j, p)
 		if err != nil {
-			return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
+			return 0, nil, nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
 		}
 		if j.Core < 0 || j.Core >= snap.Cores {
-			return nil, fmt.Errorf("admitd: snapshot %q: task %d on core %d", snap.Name, j.ID, j.Core)
+			return 0, nil, nil, fmt.Errorf("admitd: snapshot %q: task %d on core %d", snap.Name, j.ID, j.Core)
 		}
 		a.Place(t, j.Core)
 	}
 	for _, j := range snap.Splits {
 		sp, err := toSplit(j, p)
 		if err != nil {
-			return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
+			return 0, nil, nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
 		}
 		a.Splits = append(a.Splits, sp)
 	}
 	if err := a.Validate(); err != nil {
-		return nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
+		return 0, nil, nil, fmt.Errorf("admitd: snapshot %q: %w", snap.Name, err)
+	}
+	return p, model, a, nil
+}
+
+// restoreSession rebuilds a session from its snapshot: the assignment
+// is reconstructed in canonical order and a fresh (cold) context is
+// opened over it — decisions are bit-identical to the stateless
+// analyzer, hence to the warm context that was evicted.
+func restoreSession(snap *sessionSnapshot, coll *analysis.Collector, met *serverMetrics) (*Session, error) {
+	p, model, a, err := buildAssignment(snap)
+	if err != nil {
+		return nil, err
 	}
 	s := newSession(snap.Name, p, model, a, coll, met)
 	s.admitted.Store(snap.Admitted)
@@ -128,18 +153,17 @@ func snapshotPath(dir, name string) string {
 	return filepath.Join(dir, url.PathEscape(name)+".json")
 }
 
-// writeSnapshot persists one snapshot atomically (write + rename).
+// writeSnapshot persists one snapshot atomically AND durably: write
+// to a temp file, fsync it, rename into place, fsync the directory.
+// The earlier write+rename-only version could lose both file and
+// rename to a crash — fatal once the commit log compacts on the
+// assumption the checkpoint is on disk.
 func writeSnapshot(dir string, snap *sessionSnapshot) error {
 	data, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
 	}
-	path := snapshotPath(dir, snap.Name)
-	tmp := path + ".tmp"
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
-		return err
-	}
-	return os.Rename(tmp, path)
+	return wal.WriteFileAtomic(snapshotPath(dir, snap.Name), data, 0o644)
 }
 
 // readSnapshot loads one snapshot; a missing file returns (nil, nil).

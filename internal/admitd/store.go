@@ -1,16 +1,19 @@
 package admitd
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/fnv"
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/task"
+	"repro/internal/wal"
 )
 
 // numShards stripes the session map so unrelated sessions never
@@ -38,6 +41,17 @@ type Store struct {
 	maxSessions int
 	dir         string // "" disables persistence
 
+	// plane is the durability plane (nil when DataDir is unset): one
+	// commit log per shard plus the checkpoint registry. With a plane,
+	// dir points at its checkpoint directory.
+	plane *walPlane
+
+	// Periodic checkpoint + compaction driver (plane only).
+	ckptTick *time.Ticker
+	ckptStop chan struct{}
+	ckptDone chan struct{}
+	ckptOnce sync.Once
+
 	clock atomic.Int64 // logical LRU clock, bumped per touch
 	count atomic.Int64
 
@@ -61,24 +75,81 @@ type StoreConfig struct {
 	MaxSessions int
 	// SnapshotDir, when non-empty, persists evicted sessions and
 	// everything live at Close; missing sessions are restored from it
-	// transparently.
+	// transparently. Ignored when DataDir is set (checkpoints live
+	// under the data directory then).
 	SnapshotDir string
+	// DataDir, when non-empty, turns the durability plane on: every
+	// committed mutation is written to a per-shard commit log under
+	// DataDir/wal, checkpoints land under DataDir/checkpoints, and a
+	// crashed store recovers to exactly the acknowledged state.
+	DataDir string
+	// Fsync picks the commit policy (default wal.SyncGroup): always
+	// fsyncs every commit boundary before the ack; group acks at
+	// apply time and background-syncs once per FsyncInterval (bounded
+	// loss window); off leaves flushing to the OS.
+	Fsync wal.SyncPolicy
+	// FsyncInterval is the group policy's background commit cadence:
+	// dirty logs are fsynced once per interval, bounding the loss
+	// window of a crash to about one interval of acked writes.
+	// 0 or negative means 5ms. Ignored by the always/off policies.
+	FsyncInterval time.Duration
+	// CheckpointEvery is the snapshot-compaction period: 0 means 30s,
+	// negative disables the periodic driver (Checkpoint can still be
+	// called directly; eviction and Close checkpoint regardless).
+	CheckpointEvery time.Duration
 }
 
-// NewStore builds the registry (and the snapshot directory, if any).
+// defaultCheckpointEvery is the checkpoint-compaction period when
+// the config leaves it zero.
+const defaultCheckpointEvery = 30 * time.Second
+
+// defaultFsyncInterval is the group policy's background commit
+// cadence when the config leaves it unset: a ~5ms loss window and
+// zero added ack latency. The cadence is a direct throughput knob
+// on virtualized disks, where every flush costs ~150-200µs of
+// device barrier regardless of how little data is dirty — 1ms ticks
+// measured ~20% off admitd's single-core write throughput, 5ms ~4%.
+// (For scale: PostgreSQL's wal_writer_delay defaults to 200ms,
+// Redis appendfsync everysec to 1s.)
+const defaultFsyncInterval = 5 * time.Millisecond
+
+// NewStore builds the registry, the snapshot directory (if any), and
+// — with DataDir set — opens the durability plane, running crash
+// recovery on its commit logs before the store serves anything.
 func NewStore(cfg StoreConfig) (*Store, error) {
 	max := cfg.MaxSessions
 	if max <= 0 {
 		max = 1024
 	}
-	if cfg.SnapshotDir != "" {
+	st := &Store{maxSessions: max, dir: cfg.SnapshotDir, coll: &analysis.Collector{}}
+	if cfg.DataDir != "" {
+		window := cfg.FsyncInterval
+		if window <= 0 {
+			window = defaultFsyncInterval
+		}
+		plane, err := openWalPlane(cfg.DataDir, cfg.Fsync, window)
+		if err != nil {
+			return nil, err
+		}
+		st.plane = plane
+		st.dir = plane.ckptDir
+	} else if cfg.SnapshotDir != "" {
 		if err := os.MkdirAll(cfg.SnapshotDir, 0o755); err != nil {
 			return nil, err
 		}
 	}
-	st := &Store{maxSessions: max, dir: cfg.SnapshotDir, coll: &analysis.Collector{}}
 	for i := range st.shards {
 		st.shards[i].m = make(map[string]*Session)
+	}
+	if st.plane != nil && cfg.CheckpointEvery >= 0 {
+		every := cfg.CheckpointEvery
+		if every == 0 {
+			every = defaultCheckpointEvery
+		}
+		st.ckptTick = time.NewTicker(every)
+		st.ckptStop = make(chan struct{})
+		st.ckptDone = make(chan struct{})
+		go st.checkpointLoop()
 	}
 	return st, nil
 }
@@ -127,12 +198,32 @@ func (st *Store) Create(name string, cores int, p task.Policy, model *overhead.M
 	if _, ok := sh.m[name]; ok {
 		return nil, fmt.Errorf("%w: %q", ErrSessionExists, name)
 	}
-	if st.dir != "" {
+	if st.plane != nil {
+		if st.plane.exists(name) {
+			return nil, fmt.Errorf("%w: %q (durable)", ErrSessionExists, name)
+		}
+	} else if st.dir != "" {
 		if snap, _ := readSnapshot(st.dir, name); snap != nil {
 			return nil, fmt.Errorf("%w: %q (snapshotted)", ErrSessionExists, name)
 		}
 	}
-	s := newSession(name, p, overhead.Normalize(model), task.NewAssignment(cores), st.coll, st.met)
+	model = overhead.Normalize(model)
+	s := newSession(name, p, model, task.NewAssignment(cores), st.coll, st.met)
+	if st.plane != nil {
+		// The create record is appended and committed before the
+		// session becomes reachable: an acked create survives a crash.
+		modelJSON, err := json.Marshal(model)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		stream, ent, l, err := st.plane.create(name, cores, policyName(p), modelJSON)
+		if err != nil {
+			s.close()
+			return nil, err
+		}
+		s.attachWal(st.plane, l, stream, ent.gen, ent, 0)
+	}
 	st.touch(s)
 	sh.m[name] = s
 	st.count.Add(1)
@@ -154,15 +245,22 @@ func (st *Store) Get(name string) (*Session, error) {
 		sh.mu.Unlock()
 		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, name)
 	}
-	snap, err := readSnapshot(st.dir, name)
-	if err != nil || snap == nil {
-		sh.mu.Unlock()
-		if err != nil {
-			return nil, err
+	var s *Session
+	var err error
+	if st.plane != nil {
+		// Durable restore: newest gen-matched checkpoint + commit-log
+		// tail replay (restoreDurable attaches the WAL stream).
+		s, err = st.restoreDurable(name)
+	} else {
+		var snap *sessionSnapshot
+		snap, err = readSnapshot(st.dir, name)
+		if err == nil && snap == nil {
+			err = fmt.Errorf("%w: %q", ErrSessionNotFound, name)
 		}
-		return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, name)
+		if err == nil {
+			s, err = restoreSession(snap, st.coll, st.met)
+		}
 	}
-	s, err := restoreSession(snap, st.coll, st.met)
 	if err != nil {
 		sh.mu.Unlock()
 		return nil, err
@@ -181,7 +279,12 @@ func (st *Store) Get(name string) (*Session, error) {
 	return s, nil
 }
 
-// Delete closes and forgets a session, snapshot included.
+// Delete closes and forgets a session, snapshot included. With the
+// durability plane, the actor drains first, then the tombstone
+// record retires the generation (committed per the plane's policy)
+// and the
+// checkpoint file goes away — recovery will never resurrect the
+// name, and recreating it opens a fresh generation.
 func (st *Store) Delete(name string) error {
 	sh := st.shardFor(name)
 	sh.mu.Lock()
@@ -192,13 +295,17 @@ func (st *Store) Delete(name string) error {
 	}
 	sh.mu.Unlock()
 	found := ok
-	if st.dir != "" {
+	if s != nil {
+		s.close()
+	}
+	if st.plane != nil {
+		if st.plane.delete(name) {
+			found = true
+		}
+	} else if st.dir != "" {
 		if err := os.Remove(snapshotPath(st.dir, name)); err == nil {
 			found = true
 		}
-	}
-	if s != nil {
-		s.close()
 	}
 	if !found {
 		return fmt.Errorf("%w: %q", ErrSessionNotFound, name)
@@ -248,8 +355,15 @@ func (st *Store) snapshotAndClose(s *Session) {
 		var serr error
 		if err := s.call(func() { snap, serr = s.snapshotLocked() }); err == nil && serr == nil && snap != nil {
 			serr = writeSnapshot(st.dir, snap)
+			if serr == nil && st.plane != nil && snap.Gen != 0 {
+				// The checkpoint covers the stream up to Seq: advance
+				// the compaction watermark.
+				st.plane.setCkpt(snap.Name, snap.Gen, snap.Seq)
+			}
 		}
-		_ = serr // a failed snapshot loses the session's state, not the server
+		// A failed snapshot does not lose durable state: with the
+		// plane on, the commit log still holds every mutation.
+		_ = serr
 	}
 	s.close()
 }
@@ -271,8 +385,12 @@ func (st *Store) Range(f func(*Session)) {
 }
 
 // Close snapshots every live session and stops all actors — the
-// graceful-shutdown path.
+// graceful-shutdown path. With the durability plane, the periodic
+// checkpoint driver stops first, the final per-session checkpoints
+// land, the logs compact down to those checkpoints, and the shard
+// logs close (flushing and syncing their tails).
 func (st *Store) Close() {
+	st.stopCheckpoints()
 	for i := range st.shards {
 		sh := &st.shards[i]
 		sh.mu.Lock()
@@ -287,4 +405,20 @@ func (st *Store) Close() {
 			st.snapshotAndClose(s)
 		}
 	}
+	if st.plane != nil {
+		st.plane.compact()
+		st.plane.closeLogs()
+	}
+}
+
+// stopCheckpoints halts the periodic checkpoint driver (idempotent).
+func (st *Store) stopCheckpoints() {
+	if st.ckptStop == nil {
+		return
+	}
+	st.ckptOnce.Do(func() {
+		close(st.ckptStop)
+		<-st.ckptDone
+		st.ckptTick.Stop()
+	})
 }

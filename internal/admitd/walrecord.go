@@ -1,0 +1,251 @@
+package admitd
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"repro/api"
+)
+
+// WAL record payloads: the durable form of one committed session
+// mutation. Every record is a kind byte followed by fixed-width
+// little-endian fields (strings and the model JSON length-prefixed),
+// so encoding appends into reused scratch with zero allocations and
+// decoding never touches encoding/json except for the create
+// record's embedded overhead model.
+//
+// The payload deliberately carries denormalized context — the
+// committed task count after the mutation, the placement core — so
+// the feed-resume path can synthesize change events from the log
+// alone, without rebuilding session state.
+const (
+	walKindCreate byte = 1 // cores, policy, model JSON
+	walKindAdmit  byte = 2 // core, tasks-after, task
+	walKindSplit  byte = 3 // tasks-after, split (task+parts+windows)
+	walKindRemove byte = 4 // tasks-after, removed task ID
+	walKindDelete byte = 5 // tombstone: the session was deleted
+)
+
+// walRec is one decoded record.
+type walRec struct {
+	kind   byte
+	cores  int32
+	policy string
+	model  json.RawMessage
+	core   int32
+	tasks  int32 // committed task count after the mutation
+	task   api.Task
+	split  api.Split
+	id     int64 // remove target
+}
+
+// --- encoding (append-based, actor-side scratch) ---------------------
+
+func walAppendU16(b []byte, v uint16) []byte {
+	return append(b, byte(v), byte(v>>8))
+}
+
+func walAppendI32(b []byte, v int32) []byte {
+	return binary.LittleEndian.AppendUint32(b, uint32(v))
+}
+
+func walAppendI64(b []byte, v int64) []byte {
+	return binary.LittleEndian.AppendUint64(b, uint64(v))
+}
+
+func walAppendString(b []byte, s string) []byte {
+	b = walAppendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+func walAppendTask(b []byte, j *api.Task) []byte {
+	b = walAppendI64(b, j.ID)
+	b = walAppendI64(b, j.WCETNs)
+	b = walAppendI64(b, j.PeriodNs)
+	b = walAppendI64(b, j.DeadlineNs)
+	b = walAppendI64(b, int64(j.Priority))
+	b = walAppendI64(b, j.WSS)
+	return walAppendString(b, j.Name)
+}
+
+func walEncodeCreate(b []byte, cores int, policy string, model []byte) []byte {
+	b = append(b, walKindCreate)
+	b = walAppendI32(b, int32(cores))
+	b = walAppendString(b, policy)
+	b = binary.LittleEndian.AppendUint32(b, uint32(len(model)))
+	return append(b, model...)
+}
+
+func walEncodeAdmit(b []byte, core int, tasks int64, j *api.Task) []byte {
+	b = append(b, walKindAdmit)
+	b = walAppendI32(b, int32(core))
+	b = walAppendI32(b, int32(tasks))
+	return walAppendTask(b, j)
+}
+
+func walEncodeSplit(b []byte, tasks int64, j *api.Split) []byte {
+	b = append(b, walKindSplit)
+	b = walAppendI32(b, int32(tasks))
+	b = walAppendTask(b, &j.Task)
+	b = walAppendU16(b, uint16(len(j.Parts)))
+	for _, p := range j.Parts {
+		b = walAppendI32(b, int32(p.Core))
+		b = walAppendI64(b, p.BudgetNs)
+	}
+	b = walAppendU16(b, uint16(len(j.WindowsNs)))
+	for _, w := range j.WindowsNs {
+		b = walAppendI64(b, w)
+	}
+	return b
+}
+
+func walEncodeRemove(b []byte, tasks int64, id int64) []byte {
+	b = append(b, walKindRemove)
+	b = walAppendI32(b, int32(tasks))
+	return walAppendI64(b, id)
+}
+
+func walEncodeDelete(b []byte) []byte {
+	return append(b, walKindDelete)
+}
+
+// --- decoding --------------------------------------------------------
+
+// walReader is a bounds-checked cursor over one record payload. Any
+// over-read latches err; the caller checks once at the end.
+type walReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *walReader) fail() {
+	if r.err == nil {
+		r.err = fmt.Errorf("admitd: truncated wal record payload at byte %d", r.off)
+	}
+}
+
+func (r *walReader) take(n int) []byte {
+	if r.err != nil || r.off+n > len(r.b) {
+		r.fail()
+		return nil
+	}
+	s := r.b[r.off : r.off+n]
+	r.off += n
+	return s
+}
+
+func (r *walReader) u16() uint16 {
+	s := r.take(2)
+	if s == nil {
+		return 0
+	}
+	return uint16(s[0]) | uint16(s[1])<<8
+}
+
+func (r *walReader) i32() int32 {
+	s := r.take(4)
+	if s == nil {
+		return 0
+	}
+	return int32(binary.LittleEndian.Uint32(s))
+}
+
+func (r *walReader) i64() int64 {
+	s := r.take(8)
+	if s == nil {
+		return 0
+	}
+	return int64(binary.LittleEndian.Uint64(s))
+}
+
+func (r *walReader) str() string {
+	n := int(r.u16())
+	s := r.take(n)
+	if s == nil {
+		return ""
+	}
+	return string(s)
+}
+
+func (r *walReader) bytes32() []byte {
+	s := r.take(4)
+	if s == nil {
+		return nil
+	}
+	n := int(binary.LittleEndian.Uint32(s))
+	p := r.take(n)
+	if p == nil {
+		return nil
+	}
+	// Copy: the replay buffer is reused across records.
+	return append([]byte(nil), p...)
+}
+
+func (r *walReader) task(j *api.Task) {
+	j.ID = r.i64()
+	j.WCETNs = r.i64()
+	j.PeriodNs = r.i64()
+	j.DeadlineNs = r.i64()
+	j.Priority = int(r.i64())
+	j.WSS = r.i64()
+	j.Name = r.str()
+}
+
+// walDecode parses one record payload. The returned walRec owns its
+// memory (strings and the model are copied out of the replay buffer).
+func walDecode(payload []byte) (walRec, error) {
+	if len(payload) == 0 {
+		return walRec{}, fmt.Errorf("admitd: empty wal record payload")
+	}
+	rec := walRec{kind: payload[0]}
+	r := &walReader{b: payload, off: 1}
+	switch rec.kind {
+	case walKindCreate:
+		rec.cores = r.i32()
+		rec.policy = r.str()
+		rec.model = r.bytes32()
+	case walKindAdmit:
+		rec.core = r.i32()
+		rec.tasks = r.i32()
+		r.task(&rec.task)
+	case walKindSplit:
+		rec.tasks = r.i32()
+		r.task(&rec.split.Task)
+		for n := int(r.u16()); n > 0 && r.err == nil; n-- {
+			rec.split.Parts = append(rec.split.Parts, api.Part{
+				Core: int(r.i32()), BudgetNs: r.i64(),
+			})
+		}
+		for n := int(r.u16()); n > 0 && r.err == nil; n-- {
+			rec.split.WindowsNs = append(rec.split.WindowsNs, r.i64())
+		}
+	case walKindRemove:
+		rec.tasks = r.i32()
+		rec.id = r.i64()
+	case walKindDelete:
+		// Tombstone: kind byte only.
+	default:
+		return walRec{}, fmt.Errorf("admitd: unknown wal record kind %d", rec.kind)
+	}
+	if r.err != nil {
+		return walRec{}, r.err
+	}
+	if r.off != len(payload) {
+		return walRec{}, fmt.Errorf("admitd: wal record payload has %d trailing bytes", len(payload)-r.off)
+	}
+	return rec, nil
+}
+
+// walOpName maps a record kind to the feed op name.
+func walOpName(kind byte) string {
+	switch kind {
+	case walKindSplit:
+		return "split"
+	case walKindRemove:
+		return "remove"
+	default:
+		return "admit"
+	}
+}

@@ -183,6 +183,8 @@ func toAPIError(err error) *api.Error {
 		code = api.CodeDuplicateTask
 	case errors.Is(err, ErrSessionClosed):
 		code = api.CodeSessionClosed
+	case errors.Is(err, ErrSeqTruncated):
+		code = api.CodeSeqTruncated
 	}
 	return &api.Error{Code: code, Message: err.Error()}
 }

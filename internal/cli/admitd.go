@@ -23,12 +23,15 @@ import (
 // Admitd is the spadmitd entry point: the admission-control daemon
 // and its load generator (driven through the typed client SDK).
 //
-//	spadmitd serve [-addr :7007] [-snapshots dir] [-max-sessions 1024]
+//	spadmitd serve [-addr :7007] [-data-dir dir] [-fsync group]
+//	               [-fsync-interval 5ms] [-checkpoint-every 30s]
+//	               [-snapshots dir] [-max-sessions 1024]
 //	               [-pprof localhost:6060] [-trace] [-events log.ndjson]
 //	               [-events-level info]
 //	spadmitd load  [-addr http://host:7007] [-sessions 64] [-requests 100000]
 //	               [-workers 0] [-cores 4] [-tasks 12] [-policy fp] [-seed 1]
-//	               [-mix 90/10] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	               [-mix 90/10] [-data-dir dir] [-fsync group]
+//	               [-cpuprofile cpu.out] [-memprofile mem.out]
 //
 // `load` without -addr runs against an in-process server — a
 // self-contained smoke/throughput run needing no listener.
@@ -54,6 +57,10 @@ func admitdServe(args []string, w io.Writer) error {
 	fs.SetOutput(w)
 	var (
 		addr      = fs.String("addr", ":7007", "listen address")
+		dataDir   = fs.String("data-dir", "", "durability directory (enables the commit log + crash recovery; supersedes -snapshots)")
+		fsync     = fs.String("fsync", "group", "commit policy: group (ack at apply, background fsync each interval) | always (fsync before ack) | off")
+		fsyncInt  = fs.Duration("fsync-interval", 0, "group policy: background fsync cadence = crash loss window (<=0: 5ms default)")
+		ckptEvery = fs.Duration("checkpoint-every", 0, "snapshot-compaction period (0: 30s default; negative: off)")
 		snapshot  = fs.String("snapshots", "", "session snapshot directory (enables persistence)")
 		maxSess   = fs.Int("max-sessions", 1024, "live-session cap (LRU eviction beyond it)")
 		pprofAddr = fs.String("pprof", "", "serve /debug/pprof and /metrics on this side address (e.g. localhost:6060); empty = off")
@@ -78,7 +85,16 @@ func admitdServe(args []string, w io.Writer) error {
 		}
 		elog = telemetry.NewEventLog(sink, lv)
 	}
-	srv, err := admitd.New(admitd.Config{MaxSessions: *maxSess, SnapshotDir: *snapshot, Trace: *trace, EventLog: elog})
+	srv, err := admitd.New(admitd.Config{
+		MaxSessions:     *maxSess,
+		SnapshotDir:     *snapshot,
+		DataDir:         *dataDir,
+		Fsync:           *fsync,
+		FsyncInterval:   *fsyncInt,
+		CheckpointEvery: *ckptEvery,
+		Trace:           *trace,
+		EventLog:        elog,
+	})
 	if err != nil {
 		return err
 	}
@@ -106,7 +122,12 @@ func admitdServe(args []string, w io.Writer) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	fmt.Fprintf(w, "spadmitd listening on %s (max sessions %d, snapshots %q)\n", *addr, *maxSess, *snapshot)
+	switch {
+	case *dataDir != "":
+		fmt.Fprintf(w, "spadmitd listening on %s (max sessions %d, data dir %q, fsync %s)\n", *addr, *maxSess, *dataDir, *fsync)
+	default:
+		fmt.Fprintf(w, "spadmitd listening on %s (max sessions %d, snapshots %q)\n", *addr, *maxSess, *snapshot)
+	}
 	select {
 	case err := <-errc:
 		srv.Close()
@@ -136,6 +157,8 @@ func admitdLoad(args []string, w io.Writer) error {
 		policy   = fs.String("policy", "fp", "session policy: fp|edf")
 		seed     = fs.Int64("seed", 1, "workload seed")
 		mix      = fs.String("mix", "", `read/write mix as "R/W" percentages, e.g. 90/10 (default 60/40); reads ride the lock-free snapshot path`)
+		dataDir  = fs.String("data-dir", "", "in-process runs: durability directory for the embedded server")
+		fsync    = fs.String("fsync", "group", "in-process runs: commit-log sync policy (group|always|off)")
 		cpuprof  = fs.String("cpuprofile", "", "write a CPU profile of the load run to this file")
 		memprof  = fs.String("memprofile", "", "write a post-run heap profile to this file")
 	)
@@ -165,7 +188,7 @@ func admitdLoad(args []string, w io.Writer) error {
 	}
 	var c *client.Client
 	if *addr == "" {
-		srv, err := admitd.New(admitd.Config{MaxSessions: 2 * *sessions})
+		srv, err := admitd.New(admitd.Config{MaxSessions: 2 * *sessions, DataDir: *dataDir, Fsync: *fsync})
 		if err != nil {
 			return err
 		}

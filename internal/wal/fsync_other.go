@@ -1,0 +1,11 @@
+//go:build !unix
+
+package wal
+
+// Non-unix hosts have no cheap descriptor clone; Sync falls back to
+// fsyncing under the log mutex.
+func dupFD(fd uintptr) (int, bool) { return -1, false }
+
+func fsyncFD(fd int) error { return nil }
+
+func closeFD(fd int) {}

@@ -1,0 +1,10 @@
+//go:build !linux
+
+package wal
+
+import "time"
+
+// sleepPrecise falls back to the runtime timer where nanosleep is not
+// available; group-commit windows below the platform timer resolution
+// degrade to that resolution.
+func sleepPrecise(d time.Duration) { time.Sleep(d) }

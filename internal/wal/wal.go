@@ -1,0 +1,1017 @@
+// Package wal is the durability plane's commit log: an append-only,
+// segmented record log with CRC32C framing, monotonic log sequence
+// numbers, a configurable fsync policy, and truncate-at-last-valid-
+// record crash recovery. It depends on nothing outside the standard
+// library and knows nothing about sessions: callers append opaque
+// payloads keyed by a (stream, seq) pair and get them back, in order,
+// from Replay.
+//
+// # Framing
+//
+// Every record is one length-prefixed frame:
+//
+//	u32  length   — bytes after the crc field (lsn..payload)
+//	u32  crc32c   — Castagnoli checksum of those bytes
+//	u64  lsn      — log sequence number, +1 per append, log-wide
+//	u64  seq      — caller's per-stream sequence number (opaque here)
+//	u16  streamLen
+//	     stream   — the stream key (a session, for admitd)
+//	     payload  — opaque caller bytes
+//
+// Frames live in segment files named wal-%016x.log (the hex of the
+// first LSN the segment holds), each opened with a 16-byte header
+// (magic + first LSN). Appends go to the newest ("active") segment;
+// when it passes Options.SegmentBytes it is sealed and a new one
+// started. Compact removes a fully-covered prefix of sealed segments
+// — the low-water truncation that pairs with checkpointing.
+//
+// # Fsync policy
+//
+// SyncAlways fsyncs every append; SyncGroup buffers appends and
+// fsyncs once per Commit (admitd calls Commit at the group-commit
+// drain boundary, so durability piggybacks on the existing batching);
+// SyncOff never fsyncs (the OS flushes when it likes) but still
+// writes on Commit, so a clean process exit loses nothing.
+//
+// # Recovery invariant
+//
+// Open scans every segment front to back, verifying the header, the
+// per-frame checksum, and LSN continuity (segments are contiguous:
+// compaction only ever removes a prefix). At the FIRST anomaly — a
+// torn tail write, a flipped bit, a zero-filled page, a duplicated
+// or foreign segment file — the log is truncated at the last valid
+// record: the offending bytes and every later segment are dropped,
+// and the Recovery report says where and why. Everything before the
+// truncation point is intact and appendable.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SyncPolicy picks when appends reach stable storage.
+type SyncPolicy uint8
+
+const (
+	// SyncGroup (the default) buffers appends and fsyncs once per
+	// Commit, however many records are pending. Callers that want
+	// batching across goroutines use a GroupSync, or skip Commit
+	// entirely and drive Sync from a background committer (admitd's
+	// bounded-loss group policy).
+	SyncGroup SyncPolicy = iota
+	// SyncAlways fsyncs inside every Append.
+	SyncAlways
+	// SyncOff never fsyncs; Commit still writes buffered frames to
+	// the file, so only an OS crash (not a process crash) loses data.
+	SyncOff
+)
+
+// String is the canonical flag spelling (always|group|off).
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncAlways:
+		return "always"
+	case SyncOff:
+		return "off"
+	default:
+		return "group"
+	}
+}
+
+// ParseSyncPolicy maps the flag spelling; "" means SyncGroup.
+func ParseSyncPolicy(s string) (SyncPolicy, error) {
+	switch s {
+	case "", "group":
+		return SyncGroup, nil
+	case "always":
+		return SyncAlways, nil
+	case "off":
+		return SyncOff, nil
+	default:
+		return SyncGroup, fmt.Errorf("wal: unknown fsync policy %q (always|group|off)", s)
+	}
+}
+
+// Options parameterizes Open.
+type Options struct {
+	// Dir holds the segment files (created if missing).
+	Dir string
+	// SegmentBytes seals the active segment once it grows past this;
+	// 0 means 4 MiB.
+	SegmentBytes int64
+	// Policy is the fsync policy (default SyncGroup).
+	Policy SyncPolicy
+	// OnFsync, when non-nil, observes every fsync's duration —
+	// the telemetry hook (called without the log's lock held state
+	// exposed; keep it cheap).
+	OnFsync func(time.Duration)
+}
+
+// Record is one replayed log entry. Payload aliases the replay
+// buffer: it is valid only inside the Replay callback — copy it to
+// keep it.
+type Record struct {
+	LSN     uint64
+	Seq     int64
+	Stream  string
+	Payload []byte
+}
+
+// Recovery reports what Open found: how much of the log was valid
+// and, when an anomaly forced truncation, where and why.
+type Recovery struct {
+	Segments int    // segment files kept
+	Records  uint64 // valid records found
+	NextLSN  uint64 // first LSN the reopened log will assign
+
+	Truncated       bool   // an anomaly truncated the log
+	Reason          string // first anomaly ("crc mismatch", ...)
+	File            string // segment file holding the anomaly
+	Offset          int64  // byte offset of the anomaly in File
+	DroppedBytes    int64  // bytes discarded at and after the anomaly
+	DroppedSegments int    // whole segment files discarded
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Segments int   // live segment files (sealed + active)
+	Bytes    int64 // logical bytes appended over the log's lifetime
+	Appends  uint64
+	Fsyncs   uint64
+}
+
+const (
+	segMagic   = "SPWALSEG"
+	headerSize = 16
+	// frameFixed is the fixed part of the CRC-covered region:
+	// lsn (8) + seq (8) + streamLen (2).
+	frameFixed = 18
+	// maxFrame bounds one frame's length field — anything bigger is
+	// garbage, not a record.
+	maxFrame = 16 << 20
+	// flushThreshold bounds the in-memory append buffer between
+	// Commits.
+	flushThreshold = 1 << 20
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// seqRange is the [min, max] caller sequence span one segment holds
+// for one stream — the compaction coverage index.
+type seqRange struct{ min, max int64 }
+
+type segment struct {
+	path     string
+	firstLSN uint64
+	lastLSN  uint64 // firstLSN-1 when empty
+	records  int64
+	size     int64 // logical bytes (header + frames, buffered included)
+	streams  map[string]seqRange
+}
+
+func (s *segment) note(stream string, seq int64) {
+	r, ok := s.streams[stream]
+	if !ok {
+		s.streams[stream] = seqRange{min: seq, max: seq}
+		return
+	}
+	if seq < r.min {
+		r.min = seq
+	}
+	if seq > r.max {
+		r.max = seq
+	}
+	s.streams[stream] = r
+}
+
+// Log is one open commit log. All methods are safe for concurrent
+// use; Append serializes under one mutex (admitd shares one Log per
+// store shard).
+type Log struct {
+	mu     sync.Mutex
+	opts   Options
+	sealed []*segment
+	active *segment
+	f      *os.File
+	buf    []byte // appended frames not yet written to f
+	dirty  bool   // bytes written to f since the last fsync
+	closed bool
+
+	nextLSN uint64
+	appends uint64
+	fsyncs  uint64
+	bytes   int64
+}
+
+func segName(firstLSN uint64) string {
+	return fmt.Sprintf("wal-%016x.log", firstLSN)
+}
+
+func segNameLSN(name string) (uint64, bool) {
+	if !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, "wal-"), ".log")
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// parseFrame decodes one frame at data[off:]. A "" reason with size 0
+// is the clean end of data; a non-empty reason names the anomaly.
+func parseFrame(data []byte, off int) (rec Record, size int, reason string) {
+	rest := data[off:]
+	if len(rest) == 0 {
+		return Record{}, 0, ""
+	}
+	if len(rest) < 8 {
+		return Record{}, 0, "truncated frame header"
+	}
+	l := binary.LittleEndian.Uint32(rest)
+	if l < frameFixed || l > maxFrame {
+		return Record{}, 0, fmt.Sprintf("bad frame length %d", l)
+	}
+	if len(rest) < 8+int(l) {
+		return Record{}, 0, "truncated frame body"
+	}
+	crc := binary.LittleEndian.Uint32(rest[4:])
+	body := rest[8 : 8+l]
+	if crc32.Checksum(body, castagnoli) != crc {
+		return Record{}, 0, "crc mismatch"
+	}
+	sl := int(binary.LittleEndian.Uint16(body[16:]))
+	if frameFixed+sl > int(l) {
+		return Record{}, 0, "bad stream length"
+	}
+	rec = Record{
+		LSN:     binary.LittleEndian.Uint64(body),
+		Seq:     int64(binary.LittleEndian.Uint64(body[8:])),
+		Stream:  string(body[frameFixed : frameFixed+sl]),
+		Payload: body[frameFixed+sl:],
+	}
+	return rec, 8 + int(l), ""
+}
+
+// scanSegment validates one segment file front to back, returning the
+// valid-prefix description and, when the scan hit an anomaly, its
+// reason and offset. An I/O error aborts the open instead.
+func scanSegment(path string) (seg *segment, reason string, offset int64, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, "", 0, err
+	}
+	nameLSN, ok := segNameLSN(filepath.Base(path))
+	if !ok {
+		return nil, "bad segment name", 0, nil
+	}
+	if len(data) < headerSize {
+		return nil, "truncated segment header", 0, nil
+	}
+	if string(data[:8]) != segMagic {
+		return nil, "bad segment magic", 0, nil
+	}
+	first := binary.LittleEndian.Uint64(data[8:])
+	if first != nameLSN {
+		return nil, "segment header/name mismatch", 0, nil
+	}
+	seg = &segment{
+		path:     path,
+		firstLSN: first,
+		lastLSN:  first - 1,
+		size:     headerSize,
+		streams:  make(map[string]seqRange),
+	}
+	off := headerSize
+	for {
+		rec, n, bad := parseFrame(data, off)
+		if bad != "" {
+			return seg, bad, int64(off), nil
+		}
+		if n == 0 {
+			return seg, "", 0, nil
+		}
+		if rec.LSN != seg.lastLSN+1 {
+			return seg, fmt.Sprintf("lsn discontinuity (%d after %d)", rec.LSN, seg.lastLSN), int64(off), nil
+		}
+		seg.lastLSN = rec.LSN
+		seg.records++
+		seg.note(rec.Stream, rec.Seq)
+		seg.size += int64(n)
+		off += n
+	}
+}
+
+// Open opens (or creates) the log in opts.Dir, running recovery over
+// whatever is on disk. It never fails on corrupt data — corruption
+// truncates, and the Recovery report says so — only on I/O errors.
+func Open(opts Options) (*Log, *Recovery, error) {
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = 4 << 20
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(opts.Dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if _, ok := segNameLSN(e.Name()); ok {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names) // %016x: name order is LSN order
+
+	l := &Log{opts: opts}
+	rec := &Recovery{}
+	lastLSN := uint64(0) // last assigned LSN (empty segments count: firstLSN-1)
+	haveSeg := false
+	drop := func(i int, reason string, file string, offset int64) error {
+		// First anomaly: record it, then discard the offending bytes
+		// and every later segment.
+		rec.Truncated = true
+		rec.Reason = reason
+		rec.File = file
+		rec.Offset = offset
+		for _, name := range names[i:] {
+			p := filepath.Join(opts.Dir, name)
+			if fi, err := os.Stat(p); err == nil {
+				rec.DroppedBytes += fi.Size()
+			}
+			if err := os.Remove(p); err != nil {
+				return err
+			}
+			rec.DroppedSegments++
+		}
+		return syncDir(opts.Dir)
+	}
+scan:
+	for i, name := range names {
+		path := filepath.Join(opts.Dir, name)
+		seg, reason, offset, err := scanSegment(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		if seg != nil && reason == "" {
+			// Continuity across segments: compaction removes prefixes
+			// only, so survivors are contiguous. An empty segment is
+			// only ever the active tail.
+			wrongStart := haveSeg && seg.firstLSN != lastLSN+1
+			emptyMid := seg.records == 0 && i != len(names)-1
+			if wrongStart || emptyMid {
+				why := "segment lsn discontinuity"
+				if emptyMid {
+					why = "empty non-final segment"
+				}
+				if err := drop(i, why, name, 0); err != nil {
+					return nil, nil, err
+				}
+				break scan
+			}
+			l.sealed = append(l.sealed, seg)
+			lastLSN = seg.lastLSN
+			haveSeg = true
+			rec.Records += uint64(seg.records)
+			continue
+		}
+		// Anomaly inside this segment: keep its valid prefix if it
+		// holds records, then drop the rest of the log.
+		keep := seg != nil && seg.records > 0 &&
+			(!haveSeg || seg.firstLSN == lastLSN+1)
+		if keep {
+			fi, err := os.Stat(path)
+			if err != nil {
+				return nil, nil, err
+			}
+			rec.Truncated = true
+			rec.Reason = reason
+			rec.File = name
+			rec.Offset = offset
+			rec.DroppedBytes += fi.Size() - seg.size
+			if err := truncateFile(path, seg.size); err != nil {
+				return nil, nil, err
+			}
+			l.sealed = append(l.sealed, seg)
+			lastLSN = seg.lastLSN
+			rec.Records += uint64(seg.records)
+			if err := drop(i+1, reason, name, offset); err != nil {
+				return nil, nil, err
+			}
+		} else if err := drop(i, reason, name, offset); err != nil {
+			return nil, nil, err
+		}
+		break scan
+	}
+
+	l.nextLSN = lastLSN + 1
+	rec.Segments = len(l.sealed)
+	rec.NextLSN = l.nextLSN
+
+	// The newest surviving segment becomes active again; a fresh log
+	// (or a fully-dropped one) starts a new segment.
+	if n := len(l.sealed); n > 0 {
+		l.active = l.sealed[n-1]
+		l.sealed = l.sealed[:n-1]
+		f, err := os.OpenFile(l.active.path, os.O_WRONLY, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.Seek(l.active.size, 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.f = f
+	} else if err := l.newSegmentLocked(); err != nil {
+		return nil, nil, err
+	}
+	for _, s := range l.sealed {
+		l.bytes += s.size
+	}
+	l.bytes += l.active.size
+	return l, rec, nil
+}
+
+func truncateFile(path string, size int64) error {
+	if err := os.Truncate(path, size); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// newSegmentLocked creates and activates the next segment file.
+func (l *Log) newSegmentLocked() error {
+	first := l.nextLSN
+	if first == 0 {
+		first = 1
+		l.nextLSN = 1
+	}
+	path := filepath.Join(l.opts.Dir, segName(first))
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [headerSize]byte
+	copy(hdr[:], segMagic)
+	binary.LittleEndian.PutUint64(hdr[8:], first)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.dirty = true
+	l.active = &segment{
+		path:     path,
+		firstLSN: first,
+		lastLSN:  first - 1,
+		size:     headerSize,
+		streams:  make(map[string]seqRange),
+	}
+	l.bytes += headerSize
+	if err := syncDir(l.opts.Dir); err != nil {
+		return err
+	}
+	if l.opts.Policy == SyncAlways {
+		return l.syncLocked()
+	}
+	return nil
+}
+
+var errClosed = fmt.Errorf("wal: log closed")
+
+// Append stages one record. Under SyncAlways it is durable on
+// return; under SyncGroup/SyncOff it is buffered until Commit (or
+// the buffer threshold). Returns the record's LSN.
+func (l *Log) Append(stream string, seq int64, payload []byte) (uint64, error) {
+	if len(stream) > 1<<16-1 {
+		return 0, fmt.Errorf("wal: stream key too long (%d bytes)", len(stream))
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errClosed
+	}
+	lsn := l.nextLSN
+	l.nextLSN++
+
+	frameLen := frameFixed + len(stream) + len(payload)
+	start := len(l.buf)
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, uint32(frameLen))
+	crcAt := len(l.buf)
+	l.buf = binary.LittleEndian.AppendUint32(l.buf, 0)
+	body := len(l.buf)
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, lsn)
+	l.buf = binary.LittleEndian.AppendUint64(l.buf, uint64(seq))
+	l.buf = binary.LittleEndian.AppendUint16(l.buf, uint16(len(stream)))
+	l.buf = append(l.buf, stream...)
+	l.buf = append(l.buf, payload...)
+	binary.LittleEndian.PutUint32(l.buf[crcAt:], crc32.Checksum(l.buf[body:], castagnoli))
+
+	n := int64(len(l.buf) - start)
+	l.active.size += n
+	l.active.lastLSN = lsn
+	l.active.records++
+	l.active.note(stream, seq)
+	l.appends++
+	l.bytes += n
+
+	var err error
+	switch {
+	case l.opts.Policy == SyncAlways:
+		err = l.syncLocked()
+	case len(l.buf) >= flushThreshold:
+		err = l.flushLocked()
+	}
+	if err == nil && l.active.size >= l.opts.SegmentBytes {
+		err = l.rotateLocked()
+	}
+	return lsn, err
+}
+
+// flushLocked writes buffered frames to the active file.
+func (l *Log) flushLocked() error {
+	if len(l.buf) == 0 {
+		return nil
+	}
+	if _, err := l.f.Write(l.buf); err != nil {
+		return err
+	}
+	l.buf = l.buf[:0]
+	l.dirty = true
+	return nil
+}
+
+// syncLocked flushes and fsyncs (if anything reached the file since
+// the last fsync — concurrent committers coalesce on this check).
+func (l *Log) syncLocked() error {
+	if err := l.flushLocked(); err != nil {
+		return err
+	}
+	if !l.dirty {
+		return nil
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.dirty = false
+	l.fsyncs++
+	if l.opts.OnFsync != nil {
+		l.opts.OnFsync(time.Since(start))
+	}
+	return nil
+}
+
+// Commit makes everything appended so far as durable as the policy
+// promises: SyncGroup fsyncs (once, however many records are
+// pending), SyncOff and SyncAlways just ensure the file is written.
+// admitd calls this at each actor drain's group-commit boundary,
+// before acknowledging the drained requests.
+func (l *Log) Commit() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	if l.opts.Policy == SyncGroup {
+		return l.syncLocked()
+	}
+	return l.flushLocked()
+}
+
+// Flush writes buffered frames to the active segment file without
+// fsyncing — the first half of a cross-log group commit; pair with
+// Sync (GroupSync drives both).
+func (l *Log) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	return l.flushLocked()
+}
+
+// Sync flushes and fsyncs if anything reached the file since the
+// last fsync. Unlike Commit it ignores the configured policy: the
+// caller (a GroupSync batch or the background committer) has already
+// decided a sync must happen. The fsync itself runs on a dup'ed
+// descriptor with the log mutex released, so appenders are never
+// stalled behind the device flush — records that land mid-sync set
+// the dirty flag again and ride the next sync.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	if !l.dirty {
+		l.mu.Unlock()
+		return nil
+	}
+	fd, ok := dupFD(l.f.Fd())
+	if !ok {
+		defer l.mu.Unlock()
+		return l.syncLocked()
+	}
+	l.dirty = false
+	l.mu.Unlock()
+
+	start := time.Now()
+	err := fsyncFD(fd)
+	closeFD(fd)
+	elapsed := time.Since(start)
+
+	l.mu.Lock()
+	if err != nil {
+		l.dirty = true
+	} else {
+		l.fsyncs++
+	}
+	l.mu.Unlock()
+	if err == nil && l.opts.OnFsync != nil {
+		l.opts.OnFsync(elapsed)
+	}
+	return err
+}
+
+// rotateLocked seals the active segment and starts the next one.
+func (l *Log) rotateLocked() error {
+	if l.active.records == 0 {
+		return nil
+	}
+	if l.opts.Policy == SyncOff {
+		if err := l.flushLocked(); err != nil {
+			return err
+		}
+	} else if err := l.syncLocked(); err != nil {
+		// A sealed segment is never written again: sync it on the way
+		// out so compaction and recovery can trust it.
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, l.active)
+	return l.newSegmentLocked()
+}
+
+// Rotate seals the active segment (a no-op when it holds no records)
+// so a following Compact can consider its records. The checkpoint
+// loop calls this before compacting.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return errClosed
+	}
+	return l.rotateLocked()
+}
+
+// Compact removes the longest fully-covered prefix of sealed
+// segments: a segment goes when covered(stream, maxSeq) is true for
+// every stream it holds records of — i.e. every record in it is
+// reflected in a checkpoint. Returns how many segments were removed.
+func (l *Log) Compact(covered func(stream string, maxSeq int64) bool) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, errClosed
+	}
+	removed := 0
+	for len(l.sealed) > 0 {
+		seg := l.sealed[0]
+		ok := true
+		for stream, r := range seg.streams {
+			if !covered(stream, r.max) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return removed, err
+		}
+		l.sealed = l.sealed[1:]
+		removed++
+	}
+	if removed > 0 {
+		return removed, syncDir(l.opts.Dir)
+	}
+	return 0, nil
+}
+
+// replaySpan is one file's worth of replay work, captured under the
+// lock so reads run without it.
+type replaySpan struct {
+	path  string
+	limit int64
+}
+
+// Replay streams every record, oldest first, into fn. Payload bytes
+// alias the read buffer — valid only during the callback. Replay
+// runs concurrently with appends: it sees everything appended (and
+// flushed) before the call. A sealed segment compacted away mid-read
+// is skipped — its records were checkpoint-covered by definition.
+func (l *Log) Replay(fn func(Record) error) error {
+	return l.replay("", -1<<62, fn)
+}
+
+// ReplayStream is Replay filtered to one stream's records with
+// seq > afterSeq; segments whose index shows nothing newer for the
+// stream are skipped without being read.
+func (l *Log) ReplayStream(stream string, afterSeq int64, fn func(Record) error) error {
+	return l.replay(stream, afterSeq, fn)
+}
+
+func (l *Log) replay(stream string, afterSeq int64, fn func(Record) error) error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errClosed
+	}
+	if err := l.flushLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	want := func(seg *segment) bool {
+		if stream == "" {
+			return seg.records > 0
+		}
+		r, ok := seg.streams[stream]
+		return ok && r.max > afterSeq
+	}
+	var spans []replaySpan
+	for _, seg := range l.sealed {
+		if want(seg) {
+			spans = append(spans, replaySpan{seg.path, seg.size})
+		}
+	}
+	if want(l.active) {
+		spans = append(spans, replaySpan{l.active.path, l.active.size})
+	}
+	l.mu.Unlock()
+
+	for _, sp := range spans {
+		data, err := os.ReadFile(sp.path)
+		if err != nil {
+			if os.IsNotExist(err) {
+				continue // compacted under us: covered records
+			}
+			return err
+		}
+		if int64(len(data)) > sp.limit {
+			data = data[:sp.limit]
+		}
+		off := headerSize
+		for {
+			rec, n, bad := parseFrame(data, off)
+			if n == 0 {
+				if bad != "" {
+					// Only pre-validated bytes are read; reaching this
+					// means the file changed underneath us.
+					return fmt.Errorf("wal: replay %s at %d: %s", sp.path, off, bad)
+				}
+				break
+			}
+			off += n
+			if stream != "" && (rec.Stream != stream || rec.Seq <= afterSeq) {
+				continue
+			}
+			if err := fn(rec); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Stats snapshots the log's counters.
+func (l *Log) Stats() Stats {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Stats{
+		Segments: len(l.sealed) + 1,
+		Bytes:    l.bytes,
+		Appends:  l.appends,
+		Fsyncs:   l.fsyncs,
+	}
+}
+
+// Close flushes (and, unless SyncOff, fsyncs) and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	var err error
+	if l.opts.Policy == SyncOff {
+		err = l.flushLocked()
+	} else {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.closed = true
+	return err
+}
+
+// --- cross-log group commit -------------------------------------------
+
+// GroupSync coalesces concurrent committers — possibly on different
+// Logs — into shared fsync batches, optionally rate-limited to one
+// sync start per window. A committer flushes its log, joins the
+// accumulating batch, and waits for that batch's fsyncs. The first
+// committer of a batch leads it: if the previous batch's fsync
+// started less than a window ago, the leader sleeps out the
+// remainder — the batch keeps filling with every committer that
+// arrives — then detaches the batch and fsyncs its logs (concurrent
+// fsyncs of distinct files merge under one journal transaction on
+// ext4-like filesystems). An idle committer therefore pays one
+// immediate fsync; a loaded system pays one fsync per window,
+// however many committers pile in.
+//
+// The window is the commit-delay throughput/latency dial (Postgres
+// commit_delay, MySQL binlog sync-delay): on hardware where an fsync
+// burns ~150µs of CPU, an unthrottled fsync-per-drain spends the
+// whole core on syncs; a 1ms window caps that at ~15% while acks
+// still mean durable — they wait for the covering sync.
+type GroupSync struct {
+	mu        sync.Mutex
+	window    time.Duration
+	next      *syncBatch      // accumulating batch; nil until a committer joins
+	last      <-chan struct{} // previous batch's ready channel; chains batch order
+	lastStart time.Time       // when the last batch's fsyncs started
+}
+
+type syncBatch struct {
+	logs  map[*Log]struct{}
+	prev  <-chan struct{} // previous batch's ready; fsyncs start after it closes
+	ready chan struct{}   // closed once err is set; each follower blocks here once
+	err   error           // first fsync error of the batch, reported to every waiter
+}
+
+// NewGroupSync returns a scheduler that starts at most one fsync
+// batch per window (0 = no throttle: every batch syncs as soon as
+// the previous one finishes). The zero value is not usable.
+func NewGroupSync(window time.Duration) *GroupSync {
+	return &GroupSync{window: window}
+}
+
+// Commit makes everything appended to l so far durable, sharing
+// fsyncs with every other Commit in flight on this scheduler. Safe
+// for concurrent use; returns the first error of the batch that
+// covered the call (an error on any log fails the whole batch's
+// waiters — durability was not established for the batch window).
+//
+// Completion is a per-batch closed channel, not a condvar: every
+// waiter blocks exactly once and wakes exactly once. A Broadcast
+// design wakes every in-flight committer on every batch completion —
+// with hundreds of pipelined commits on a small host, that scheduler
+// churn costs more than the fsyncs the window saves.
+func (g *GroupSync) Commit(l *Log) error {
+	// Flush before joining: any batch that starts after this point
+	// covers the flushed bytes.
+	if err := l.Flush(); err != nil {
+		return err
+	}
+	g.mu.Lock()
+	if b := g.next; b != nil {
+		// Follow: the batch's leader fsyncs for us.
+		b.logs[l] = struct{}{}
+		g.mu.Unlock()
+		<-b.ready
+		return b.err
+	}
+	// Lead a new batch. Sleep out the window remainder first — the
+	// batch stays attached, so latecomers keep joining it — then
+	// detach, wait out the previous batch's fsyncs (batches complete
+	// in order), and fsync outside the lock.
+	b := &syncBatch{
+		logs:  map[*Log]struct{}{l: {}},
+		prev:  g.last,
+		ready: make(chan struct{}),
+	}
+	g.next = b
+	g.last = b.ready
+	if wait := g.window - time.Since(g.lastStart); g.window > 0 && wait > 0 {
+		g.mu.Unlock()
+		sleepPrecise(wait)
+		g.mu.Lock()
+	}
+	g.next = nil
+	g.lastStart = time.Now()
+	g.mu.Unlock()
+	if b.prev != nil {
+		<-b.prev
+	}
+	b.err = syncAll(b.logs)
+	close(b.ready)
+	return b.err
+}
+
+// syncAll fsyncs every log of a batch, concurrently when there is
+// more than one — separate files cannot share one fsync call, but
+// parallel fsyncs commit under one journal transaction on ext4-like
+// filesystems.
+func syncAll(logs map[*Log]struct{}) error {
+	if len(logs) == 1 {
+		for l := range logs {
+			return l.Sync()
+		}
+	}
+	var (
+		wg    sync.WaitGroup
+		errMu sync.Mutex
+		first error
+	)
+	for l := range logs {
+		wg.Add(1)
+		go func(l *Log) {
+			defer wg.Done()
+			if err := l.Sync(); err != nil {
+				errMu.Lock()
+				if first == nil {
+					first = err
+				}
+				errMu.Unlock()
+			}
+		}(l)
+	}
+	wg.Wait()
+	return first
+}
+
+// --- shared durable-write helpers -------------------------------------
+
+// WriteFileAtomic writes data to path through a temp file + rename,
+// with the fsync pair that makes the rename crash-durable: the file
+// is fsynced before the rename (so the new name never points at
+// partial bytes) and the parent directory after (so the rename
+// itself survives a crash). admitd's checkpoint writer shares it.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, perm)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory, making renames/creates/removes in it
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

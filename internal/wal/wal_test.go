@@ -1,0 +1,690 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// openT opens a log in dir, failing the test on I/O errors.
+func openT(t *testing.T, dir string, opts Options) (*Log, *Recovery) {
+	t.Helper()
+	opts.Dir = dir
+	l, rec, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return l, rec
+}
+
+// collect replays the whole log into a slice (payloads copied).
+func collect(t *testing.T, l *Log) []Record {
+	t.Helper()
+	var out []Record
+	if err := l.Replay(func(r Record) error {
+		r.Payload = append([]byte(nil), r.Payload...)
+		out = append(out, r)
+		return nil
+	}); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return out
+}
+
+func appendN(t *testing.T, l *Log, stream string, from, to int64) {
+	t.Helper()
+	for seq := from; seq <= to; seq++ {
+		if _, err := l.Append(stream, seq, []byte(fmt.Sprintf("payload-%s-%d", stream, seq))); err != nil {
+			t.Fatalf("Append(%s, %d): %v", stream, seq, err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l, rec := openT(t, dir, Options{Policy: SyncOff})
+	if rec.Truncated || rec.Records != 0 {
+		t.Fatalf("fresh log recovery: %+v", rec)
+	}
+	appendN(t, l, "a", 1, 50)
+	appendN(t, l, "b", 1, 30)
+	got := collect(t, l)
+	if len(got) != 80 {
+		t.Fatalf("replayed %d records, want 80", len(got))
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d: lsn %d", i, r.LSN)
+		}
+		want := fmt.Sprintf("payload-%s-%d", r.Stream, r.Seq)
+		if string(r.Payload) != want {
+			t.Fatalf("record %d: payload %q, want %q", i, r.Payload, want)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: everything survives a clean close, appends continue.
+	l2, rec2 := openT(t, dir, Options{Policy: SyncOff})
+	defer l2.Close()
+	if rec2.Truncated {
+		t.Fatalf("clean reopen truncated: %+v", rec2)
+	}
+	if rec2.Records != 80 || rec2.NextLSN != 81 {
+		t.Fatalf("reopen recovery: %+v", rec2)
+	}
+	appendN(t, l2, "a", 51, 60)
+	if got := collect(t, l2); len(got) != 90 || got[89].LSN != 90 {
+		t.Fatalf("after reopen+append: %d records, last lsn %d", len(got), got[len(got)-1].LSN)
+	}
+}
+
+func TestReplayStreamFilters(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Options{Policy: SyncOff})
+	defer l.Close()
+	appendN(t, l, "a", 1, 20)
+	appendN(t, l, "b", 1, 20)
+	appendN(t, l, "a", 21, 40)
+	var seqs []int64
+	if err := l.ReplayStream("a", 15, func(r Record) error {
+		if r.Stream != "a" {
+			t.Fatalf("stream %q leaked through", r.Stream)
+		}
+		seqs = append(seqs, r.Seq)
+		return nil
+	}); err != nil {
+		t.Fatalf("ReplayStream: %v", err)
+	}
+	if len(seqs) != 25 || seqs[0] != 16 || seqs[24] != 40 {
+		t.Fatalf("filtered seqs: %v", seqs)
+	}
+}
+
+func TestRotationAndCompaction(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments: force many rotations.
+	l, _ := openT(t, dir, Options{Policy: SyncOff, SegmentBytes: 1 << 10})
+	appendN(t, l, "a", 1, 200)
+	st := l.Stats()
+	if st.Segments < 3 {
+		t.Fatalf("expected several segments, got %d", st.Segments)
+	}
+	// Nothing covered: nothing removed.
+	if n, err := l.Compact(func(string, int64) bool { return false }); err != nil || n != 0 {
+		t.Fatalf("Compact(none) = %d, %v", n, err)
+	}
+	// Cover seqs <= 150: a strict prefix of segments goes.
+	n, err := l.Compact(func(_ string, maxSeq int64) bool { return maxSeq <= 150 })
+	if err != nil || n == 0 {
+		t.Fatalf("Compact(<=150) = %d, %v", n, err)
+	}
+	got := collect(t, l)
+	if len(got) == 0 || got[len(got)-1].Seq != 200 {
+		t.Fatalf("tail lost after compaction: %d records", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Seq != got[i-1].Seq+1 {
+			t.Fatalf("gap after compaction: %d then %d", got[i-1].Seq, got[i].Seq)
+		}
+	}
+	// Retained records must include everything > 150.
+	if got[0].Seq > 151 {
+		t.Fatalf("compaction dropped uncovered seq %d..", got[0].Seq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Survivors stay contiguous across reopen.
+	l2, rec := openT(t, dir, Options{Policy: SyncOff, SegmentBytes: 1 << 10})
+	defer l2.Close()
+	if rec.Truncated {
+		t.Fatalf("reopen after compaction truncated: %+v", rec)
+	}
+	if int(rec.Records) != len(got) {
+		t.Fatalf("reopen found %d records, want %d", rec.Records, len(got))
+	}
+}
+
+// --- corruption torture suite ----------------------------------------
+
+// buildLog writes records and closes the log, returning the segment
+// file paths in LSN order.
+func buildLog(t *testing.T, dir string, n int64, segBytes int64) []string {
+	t.Helper()
+	l, _ := openT(t, dir, Options{Policy: SyncOff, SegmentBytes: segBytes})
+	appendN(t, l, "s", 1, n)
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, e := range ents {
+		if _, ok := segNameLSN(e.Name()); ok {
+			paths = append(paths, filepath.Join(dir, e.Name()))
+		}
+	}
+	return paths
+}
+
+// reopenExpectTrunc reopens a damaged log and asserts recovery
+// truncated with the expected surviving record count, and that the
+// log still appends and replays cleanly afterward.
+func reopenExpectTrunc(t *testing.T, dir string, wantRecords uint64, wantReason string) *Recovery {
+	t.Helper()
+	l, rec := openT(t, dir, Options{Policy: SyncOff})
+	if !rec.Truncated {
+		t.Fatalf("recovery did not truncate: %+v", rec)
+	}
+	if rec.Records != wantRecords {
+		t.Fatalf("recovered %d records, want %d (%+v)", rec.Records, wantRecords, rec)
+	}
+	if wantReason != "" && rec.Reason != wantReason {
+		t.Fatalf("reason %q, want %q", rec.Reason, wantReason)
+	}
+	if rec.File == "" {
+		t.Fatalf("truncation point not reported: %+v", rec)
+	}
+	// The surviving prefix is intact and the log is appendable.
+	got := collect(t, l)
+	if uint64(len(got)) != wantRecords {
+		t.Fatalf("replay after recovery: %d records, want %d", len(got), wantRecords)
+	}
+	for i, r := range got {
+		if r.LSN != uint64(i+1) || r.Seq != int64(i+1) {
+			t.Fatalf("survivor %d: lsn %d seq %d", i, r.LSN, r.Seq)
+		}
+	}
+	if _, err := l.Append("s", int64(wantRecords+1), []byte("after")); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatalf("commit after recovery: %v", err)
+	}
+	if got := collect(t, l); uint64(len(got)) != wantRecords+1 {
+		t.Fatalf("append after recovery lost: %d records", len(got))
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return rec
+}
+
+func TestTortureTruncatedTailRecord(t *testing.T) {
+	dir := t.TempDir()
+	paths := buildLog(t, dir, 10, 1<<20)
+	last := paths[len(paths)-1]
+	fi, err := os.Stat(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Chop mid-way through the final record: a torn append.
+	if err := os.Truncate(last, fi.Size()-7); err != nil {
+		t.Fatal(err)
+	}
+	rec := reopenExpectTrunc(t, dir, 9, "truncated frame body")
+	if rec.Offset == 0 {
+		t.Fatalf("no truncation offset: %+v", rec)
+	}
+}
+
+func TestTortureFlippedCRCByte(t *testing.T) {
+	dir := t.TempDir()
+	paths := buildLog(t, dir, 10, 1<<20)
+	last := paths[len(paths)-1]
+	data, err := os.ReadFile(last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte in the 6th record: CRC catches it, the
+	// 5 records before survive, the 5 at-and-after drop.
+	off := headerSize
+	for i := 0; i < 5; i++ {
+		_, n, bad := parseFrame(data, off)
+		if bad != "" || n == 0 {
+			t.Fatalf("pre-damage parse at %d: %q", off, bad)
+		}
+		off += n
+	}
+	data[off+30] ^= 0x40
+	if err := os.WriteFile(last, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reopenExpectTrunc(t, dir, 5, "crc mismatch")
+}
+
+func TestTortureZeroFilledPage(t *testing.T) {
+	dir := t.TempDir()
+	paths := buildLog(t, dir, 10, 1<<20)
+	last := paths[len(paths)-1]
+	f, err := os.OpenFile(last, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A preallocated-but-never-written page at the tail: all zeros.
+	if _, err := f.Write(make([]byte, 4096)); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	rec := reopenExpectTrunc(t, dir, 10, "")
+	// A zero length field is rejected as a bad frame length.
+	if rec.Reason != "bad frame length 0" {
+		t.Fatalf("reason %q", rec.Reason)
+	}
+}
+
+func TestTortureDuplicateSegment(t *testing.T) {
+	dir := t.TempDir()
+	paths := buildLog(t, dir, 60, 512) // several sealed segments
+	if len(paths) < 3 {
+		t.Fatalf("want >=3 segments, got %d", len(paths))
+	}
+	// Copy the first segment under a name sorting after the last: a
+	// botched restore/copy. Its header LSN contradicts the name, so
+	// recovery drops it (and everything after it — nothing is).
+	data, err := os.ReadFile(paths[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup := filepath.Join(dir, segName(1<<40))
+	if err := os.WriteFile(dup, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, rec := openT(t, dir, Options{Policy: SyncOff})
+	if !rec.Truncated || rec.Reason != "segment header/name mismatch" {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if rec.Records != 60 || rec.DroppedSegments != 1 {
+		t.Fatalf("recovery: %+v", rec)
+	}
+	if got := collect(t, l); len(got) != 60 {
+		t.Fatalf("replay: %d records, want 60", len(got))
+	}
+	if _, err := os.Stat(dup); !os.IsNotExist(err) {
+		t.Fatalf("duplicate segment not removed")
+	}
+	l.Close()
+
+	// Variant: a byte-identical duplicate of an interior segment file
+	// (same header, colliding LSNs) injected between real ones.
+	dir2 := t.TempDir()
+	paths2 := buildLog(t, dir2, 60, 512)
+	data2, err := os.ReadFile(paths2[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give it a self-consistent header so only the cross-segment LSN
+	// continuity check can catch it.
+	first, _ := segNameLSN(filepath.Base(paths2[len(paths2)-1]))
+	dup2 := filepath.Join(dir2, segName(first+1<<20))
+	hdr := append([]byte(nil), data2...)
+	copy(hdr[:8], segMagic)
+	for i := 0; i < 8; i++ {
+		hdr[8+i] = byte((first + 1<<20) >> (8 * i))
+	}
+	if err := os.WriteFile(dup2, hdr, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l2, rec2 := openT(t, dir2, Options{Policy: SyncOff})
+	defer l2.Close()
+	if !rec2.Truncated {
+		t.Fatalf("interior duplicate not detected: %+v", rec2)
+	}
+	if rec2.Records != 60 {
+		t.Fatalf("recovered %d, want 60: %+v", rec2.Records, rec2)
+	}
+}
+
+// --- map-model differential fuzz --------------------------------------
+
+// modelRec is the pure-Go model of one retained record.
+type modelRec struct {
+	stream string
+	seq    int64
+	body   string
+}
+
+// TestFuzzMapModelDifferential drives random append/rotate/compact/
+// reopen schedules against an in-memory model of what the log must
+// retain, checking full-replay equivalence after every reopen and at
+// the end. Compaction may legally drop any checkpoint-covered prefix,
+// so the model tracks the covered watermark per stream and accepts
+// either retention or removal for covered records — but never a
+// dropped uncovered record, and never reordering.
+func TestFuzzMapModelDifferential(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		round := round
+		t.Run(fmt.Sprintf("round=%d", round), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(0xda7a + round)))
+			dir := t.TempDir()
+			opts := Options{Policy: SyncOff, SegmentBytes: 256 + int64(rng.Intn(2048))}
+			l, _ := openT(t, dir, opts)
+
+			streams := []string{"s0", "s1", "s2"}
+			next := map[string]int64{}
+			ckpt := map[string]int64{} // covered watermark per stream
+			var model []modelRec
+
+			check := func() {
+				t.Helper()
+				got := collect(t, l)
+				// Drop the model's covered prefix lazily: compaction may
+				// or may not have removed covered records (segment
+				// granularity), so align the model to what the log kept.
+				gi := 0
+				for _, m := range model {
+					if gi < len(got) && got[gi].Stream == m.stream && got[gi].Seq == m.seq {
+						if string(got[gi].Payload) != m.body {
+							t.Fatalf("payload drift at %s/%d", m.stream, m.seq)
+						}
+						gi++
+						continue
+					}
+					// The log dropped it: legal only when covered.
+					if m.seq > ckpt[m.stream] {
+						t.Fatalf("uncovered record %s/%d lost (covered to %d)", m.stream, m.seq, ckpt[m.stream])
+					}
+					if gi < len(got) && got[gi].LSN <= 0 {
+						t.Fatalf("bad lsn")
+					}
+				}
+				if gi != len(got) {
+					t.Fatalf("log has %d extra records", len(got)-gi)
+				}
+			}
+
+			for op := 0; op < 400; op++ {
+				switch k := rng.Intn(100); {
+				case k < 70: // append
+					s := streams[rng.Intn(len(streams))]
+					next[s]++
+					body := fmt.Sprintf("%s#%d#%d", s, next[s], rng.Int63())
+					if _, err := l.Append(s, next[s], []byte(body)); err != nil {
+						t.Fatalf("append: %v", err)
+					}
+					model = append(model, modelRec{s, next[s], body})
+				case k < 78: // commit
+					if err := l.Commit(); err != nil {
+						t.Fatalf("commit: %v", err)
+					}
+				case k < 85: // rotate
+					if err := l.Rotate(); err != nil {
+						t.Fatalf("rotate: %v", err)
+					}
+				case k < 93: // checkpoint + compact
+					for _, s := range streams {
+						if rng.Intn(2) == 0 {
+							ckpt[s] = next[s]
+						}
+					}
+					if _, err := l.Compact(func(stream string, maxSeq int64) bool {
+						return maxSeq <= ckpt[stream]
+					}); err != nil {
+						t.Fatalf("compact: %v", err)
+					}
+					// The model prunes records all of whose segment
+					// peers are covered only via check()'s alignment;
+					// here just drop the provably-gone prefix: nothing
+					// (segment boundaries are the log's business).
+				default: // reopen
+					if err := l.Close(); err != nil {
+						t.Fatalf("close: %v", err)
+					}
+					var rec *Recovery
+					l, rec = openT(t, dir, opts)
+					if rec.Truncated {
+						t.Fatalf("clean reopen truncated: %+v", rec)
+					}
+					check()
+				}
+			}
+			check()
+			l.Close()
+		})
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "x.json")
+	if err := WriteFileAtomic(path, []byte("one"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFileAtomic(path, []byte("two"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || !bytes.Equal(data, []byte("two")) {
+		t.Fatalf("read back %q, %v", data, err)
+	}
+	if _, err := os.Stat(path + ".tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp file left behind")
+	}
+}
+
+func TestSyncPolicyParse(t *testing.T) {
+	for in, want := range map[string]SyncPolicy{
+		"": SyncGroup, "group": SyncGroup, "always": SyncAlways, "off": SyncOff,
+	} {
+		got, err := ParseSyncPolicy(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseSyncPolicy(%q) = %v, %v", in, got, err)
+		}
+		if in != "" && got.String() != in {
+			t.Fatalf("round trip %q -> %q", in, got.String())
+		}
+	}
+	if _, err := ParseSyncPolicy("sometimes"); err == nil {
+		t.Fatalf("bad policy accepted")
+	}
+}
+
+func TestSyncAlwaysDurablePerAppend(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Policy: SyncAlways})
+	for seq := int64(1); seq <= 5; seq++ {
+		if _, err := l.Append("s", seq, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := l.Stats()
+	if st.Fsyncs < 5 {
+		t.Fatalf("SyncAlways fsynced %d times for 5 appends", st.Fsyncs)
+	}
+	// No Close, no Commit: simulate a crash by reopening the dir in a
+	// second log handle — every append must already be on disk.
+	l2, rec := openT(t, dir, Options{Policy: SyncAlways})
+	defer l2.Close()
+	if rec.Records != 5 {
+		t.Fatalf("recovered %d records, want 5", rec.Records)
+	}
+	l.Close()
+}
+
+func TestGroupCommitFsyncCoalesces(t *testing.T) {
+	l, _ := openT(t, t.TempDir(), Options{Policy: SyncGroup})
+	defer l.Close()
+	for seq := int64(1); seq <= 64; seq++ {
+		if _, err := l.Append("s", seq, []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Commit(); err != nil { // nothing new: must coalesce
+		t.Fatal(err)
+	}
+	st := l.Stats()
+	if st.Fsyncs != 1 {
+		t.Fatalf("group commit fsynced %d times for 64 appends + 2 commits, want 1", st.Fsyncs)
+	}
+}
+
+// TestGroupSyncConcurrentCommits hammers one scheduler from many
+// goroutines across several logs: every commit must succeed, every
+// committed record must survive a reopen, and the batcher must never
+// fsync more often than committers ask.
+func TestGroupSyncConcurrentCommits(t *testing.T) {
+	const (
+		nLogs   = 4
+		workers = 8
+		perW    = 25
+	)
+	dir := t.TempDir()
+	logs := make([]*Log, nLogs)
+	for i := range logs {
+		l, _ := openT(t, filepath.Join(dir, fmt.Sprintf("l%d", i)), Options{Policy: SyncGroup})
+		logs[i] = l
+	}
+	g := NewGroupSync(0)
+	errs := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			l := logs[w%nLogs]
+			stream := fmt.Sprintf("w%d", w)
+			for i := 0; i < perW; i++ {
+				if _, err := l.Append(stream, int64(i), []byte("payload")); err != nil {
+					errs <- err
+					return
+				}
+				if err := g.Commit(l); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("group commit: %v", err)
+	}
+	var fsyncs uint64
+	for _, l := range logs {
+		fsyncs += l.Stats().Fsyncs
+		if err := l.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	}
+	if fsyncs > workers*perW {
+		t.Fatalf("%d fsyncs for %d commits: the batcher amplified syncs", fsyncs, workers*perW)
+	}
+	// Every committed record is on disk.
+	for i := range logs {
+		l, rec := openT(t, filepath.Join(dir, fmt.Sprintf("l%d", i)), Options{})
+		if rec.Truncated {
+			t.Fatalf("log %d truncated on reopen: %+v", i, rec)
+		}
+		want := uint64(perW * (workers / nLogs))
+		if rec.Records != want {
+			t.Fatalf("log %d: %d records survived, want %d", i, rec.Records, want)
+		}
+		l.Close()
+	}
+}
+
+// TestGroupSyncSingleCommitter: alone, the batcher degenerates to
+// one fsync per commit with pending bytes — no batching overhead, no
+// extra syncs.
+func TestGroupSyncSingleCommitter(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Policy: SyncGroup})
+	defer l.Close()
+	g := NewGroupSync(0)
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append("s", int64(i), []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Commit(l); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A commit with nothing new pending must not fsync again.
+	if err := g.Commit(l); err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Stats().Fsyncs; got != 10 {
+		t.Fatalf("%d fsyncs for 10 dirty commits", got)
+	}
+}
+
+// TestGroupSyncClosedLog: committing a closed log reports the error
+// without wedging the scheduler for other logs.
+func TestGroupSyncClosedLog(t *testing.T) {
+	dir := t.TempDir()
+	l1, _ := openT(t, filepath.Join(dir, "a"), Options{Policy: SyncGroup})
+	l2, _ := openT(t, filepath.Join(dir, "b"), Options{Policy: SyncGroup})
+	defer l2.Close()
+	g := NewGroupSync(0)
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(l1); err == nil {
+		t.Fatal("commit on a closed log succeeded")
+	}
+	if _, err := l2.Append("s", 1, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Commit(l2); err != nil {
+		t.Fatalf("scheduler wedged after a closed-log commit: %v", err)
+	}
+}
+
+// TestGroupSyncWindowCoalesces: with a sync window, concurrent
+// committers arriving within one window share a single sync batch —
+// the fsync count stays far below the commit count.
+func TestGroupSyncWindowCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	l, _ := openT(t, dir, Options{Policy: SyncGroup})
+	defer l.Close()
+	g := NewGroupSync(5 * time.Millisecond)
+	const workers = 8
+	const perW = 5
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if _, err := l.Append(fmt.Sprintf("w%d", w), int64(i), []byte("x")); err != nil {
+					errs <- err
+					return
+				}
+				if err := g.Commit(l); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("windowed commit: %v", err)
+	}
+	// 40 commits in well under a handful of 5ms windows: the throttle
+	// must have merged most of them. Generous bound to stay unflaky.
+	if got := l.Stats().Fsyncs; got > workers*perW/2 {
+		t.Fatalf("%d fsyncs for %d windowed commits: no coalescing", got, workers*perW)
+	}
+	got := collect(t, l)
+	if len(got) != workers*perW {
+		t.Fatalf("replayed %d records, want %d", len(got), workers*perW)
+	}
+}

@@ -79,7 +79,7 @@ func run(args []string) error {
 	var (
 		out       = fs.String("out", "BENCH_admitd.json", "results file (read for history/baseline, rewritten unless -check)")
 		procsFlag = fs.String("procs", "1,2,4,8", "comma-separated GOMAXPROCS ladder")
-		pr        = fs.Int("pr", 9, "PR number recorded in the history entry")
+		pr        = fs.Int("pr", 10, "PR number recorded in the history entry")
 		requests  = fs.Int("requests", 20000, "loadgen requests per throughput run")
 		quick     = fs.Bool("quick", false, "smaller iteration counts (CI smoke: ~10x faster, noisier)")
 		check     = fs.Bool("check", false, "gate mode: compare against -out, exit 1 on regression, write nothing")
@@ -326,29 +326,45 @@ func upgradeHistory(prev *benchDoc) []historyEntry {
 // section4Result times the paper's Section-4 acceptance-ratio sweep
 // (zero + measured overheads), the fork-free analysis hot path.
 func section4Result(sets int) admitd.RigResult {
-	sweep := func(m *core.OverheadModel) {
+	sweep := func(m *core.OverheadModel, sc *core.SweepSetCache) {
 		core.Sweep(core.SweepConfig{
 			Cores: 4, Tasks: 12, SetsPerPoint: sets,
 			Utilizations: []float64{2.8, 3.0, 3.2, 3.4, 3.6, 3.8},
-			Model:        m, Seed: 42,
+			Model:        m, Seed: 42, SetCache: sc,
 		})
 	}
 	best := time.Duration(1<<63 - 1)
+	before := core.AdmissionStatsSnapshot()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	for i := 0; i < 3; i++ {
+		// The set cache is scoped to one iteration: the pair's second
+		// sweep reuses the first's generated sets (as the spexp CLI
+		// does for paired runs), while iterations stay independent.
+		sc := core.NewSweepSetCache()
 		t0 := time.Now()
-		sweep(core.ZeroOverheads())
-		sweep(core.PaperOverheads())
+		sweep(core.ZeroOverheads(), sc)
+		sweep(core.PaperOverheads(), sc)
 		if d := time.Since(t0); d < best {
 			best = d
 		}
 	}
+	runtime.ReadMemStats(&m1)
+	// Allocation regression guard for the arena-recycled inner loop:
+	// heap allocations per admission probe, a deterministic count, so
+	// the gate's +0.5 slack is meaningful at any sweep size.
+	allocsPerProbe := 0.0
+	if probes := core.AdmissionStatsSnapshot().Sub(before).Probes; probes > 0 {
+		allocsPerProbe = float64(m1.Mallocs-m0.Mallocs) / float64(probes)
+	}
 	// The set count is part of the name: a -quick run must never be
 	// compared against a full-size baseline in gate mode.
 	return admitd.RigResult{
-		Name:      fmt.Sprintf("section4_sweep/sets=%d", sets),
-		NsPerOp:   float64(best.Nanoseconds()),
-		OpsPerSec: 1e9 / float64(best.Nanoseconds()),
-		Desc:      fmt.Sprintf("one full Section-4 sweep pair (zero + paper overheads, %d sets/point; fork-free analysis hot path)", sets),
+		Name:        fmt.Sprintf("section4_sweep/sets=%d", sets),
+		NsPerOp:     float64(best.Nanoseconds()),
+		OpsPerSec:   1e9 / float64(best.Nanoseconds()),
+		AllocsPerOp: allocsPerProbe,
+		Desc:        fmt.Sprintf("one full Section-4 sweep pair (zero + paper overheads, %d sets/point; arena-recycled contexts, cross-algorithm verdict sharing, paired set generation; allocs counted per admission probe)", sets),
 	}
 }
 

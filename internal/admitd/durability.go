@@ -101,6 +101,12 @@ type walPlane struct {
 	mu      sync.Mutex
 	streams map[string]*streamState
 
+	// encMu guards encBuf, the recycled create/tombstone record
+	// scratch (wal.Log.Append copies the payload into its group
+	// buffer synchronously, so the scratch is free again on return).
+	encMu  sync.Mutex
+	encBuf []byte
+
 	// Recovery summary across all shards (surfaced as metrics).
 	recoveredRecords  uint64
 	truncatedSegments int
@@ -372,12 +378,17 @@ func (p *walPlane) create(name string, cores int, policy string, modelJSON []byt
 
 	key := streamKey(name, gen)
 	l := p.logFor(name)
-	payload := walEncodeCreate(nil, cores, policy, modelJSON)
-	if _, err := l.Append(key, 0, payload); err != nil {
+	p.encMu.Lock()
+	payload := walEncodeCreate(p.encBuf[:0], cores, policy, modelJSON)
+	_, err := l.Append(key, 0, payload)
+	n := len(payload)
+	p.encBuf = payload
+	p.encMu.Unlock()
+	if err != nil {
 		p.noteError()
 		return "", nil, nil, err
 	}
-	p.appendedBytes.Add(int64(len(payload)))
+	p.appendedBytes.Add(int64(n))
 	if err := p.commitLog(l); err != nil {
 		p.noteError()
 		return "", nil, nil, err
@@ -403,7 +414,12 @@ func (p *walPlane) delete(name string) bool {
 	p.mu.Unlock()
 
 	l := p.logFor(name)
-	if _, err := l.Append(streamKey(name, gen), seq, walEncodeDelete(nil)); err != nil {
+	p.encMu.Lock()
+	payload := walEncodeDelete(p.encBuf[:0])
+	_, err := l.Append(streamKey(name, gen), seq, payload)
+	p.encBuf = payload
+	p.encMu.Unlock()
+	if err != nil {
 		p.noteError()
 	} else if err := p.commitLog(l); err != nil {
 		p.noteError()

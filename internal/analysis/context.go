@@ -94,6 +94,22 @@ type Context interface {
 	// assignment — the finalize check — reusing every per-core verdict
 	// that no mutation invalidated.
 	Schedulable() bool
+	// Reset rebinds the context to a new assignment (and model),
+	// recycling every slab the context owns — entity pools, per-core
+	// sets with their warm vectors and SoA mirrors, verdict memos,
+	// probe scratch — instead of reallocating, so one long-lived
+	// context serves an entire sweep of task sets. It leaves the
+	// context exactly as Analyzer().NewContext(a, m) would, minus the
+	// allocations; decision identity is untouched because every cached
+	// value is invalidated or re-tagged. Owner-only; no probe may be
+	// pending. Snapshots forked before the Reset stay valid (they are
+	// self-contained); publication is disengaged until the next Fork.
+	Reset(a *task.Assignment, m *overhead.Model)
+	// SetSweepCache attaches a cross-context probe-verdict memo (nil
+	// detaches): whole-task probe verdicts become shareable with other
+	// contexts probing identically built cores — the sweep's nine
+	// partitioners probing the same task set. See SweepCache.
+	SetSweepCache(*SweepCache)
 	// Fork returns the latest published Snapshot of the committed
 	// state: an immutable view any number of goroutines may probe
 	// concurrently, lock-free. Publication is engaged by the first
@@ -543,6 +559,12 @@ func (cc *checkedContext) Remove(id task.ID) bool    { return cc.ctx.Remove(id) 
 func (cc *checkedContext) Stats() AdmissionStats     { return cc.ctx.Stats() }
 func (cc *checkedContext) SetCollector(c *Collector) { cc.ctx.SetCollector(c) }
 func (cc *checkedContext) Flush()                    { cc.ctx.Flush() }
+
+func (cc *checkedContext) Reset(a *task.Assignment, m *overhead.Model) {
+	cc.ctx.Reset(a, m)
+	cc.m = overhead.Normalize(m) // mirror the concrete Reset's normalization
+}
+func (cc *checkedContext) SetSweepCache(sc *SweepCache) { cc.ctx.SetSweepCache(sc) }
 
 func (cc *checkedContext) TryPlace(t *task.Task, c int) bool {
 	got := cc.ctx.TryPlace(t, c)

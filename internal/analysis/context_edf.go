@@ -34,6 +34,25 @@ type edfContext struct {
 	// scratch
 	probeBuf [][]*Entity
 	probeCS  []CoreSet
+
+	// Probe scratch: the tentative whole-task entity lives in a reused
+	// slot (Commit clones it), split probes draw pooled entities into
+	// reusable slices.
+	scratchEnt Entity
+	placeEnts  [1]*Entity
+	placeCores [1]int
+	splitEnts  []*Entity
+	splitCores []int
+
+	// Slab recycling (Reset) and cross-context verdict sharing; see the
+	// fpContext counterparts. EDF deadline windows decouple the cores,
+	// so sharing stays on even with committed split parts — only
+	// Remove disables it until the next Reset.
+	entFree    []*Entity
+	sweep      *SweepCache
+	sweepNodes []*sweepNode
+	sweepRevs  []int64 // core rev the cached node reflects; -1 = stale
+	sweepOff   bool
 }
 
 // edfCoreState is one core's committed entity list (normals in
@@ -179,16 +198,24 @@ func edfSplitEntities(sp *task.Split) ([]*Entity, []int) {
 }
 
 // adoptNormal commits a whole-task entity onto core c, before the
-// split parts (canonical order). Copy-on-write: the committed slice
-// may be shared with published snapshots, so the insert builds a
-// fresh slice instead of shifting in place.
+// split parts (canonical order). Once publication is engaged the
+// insert is copy-on-write — the committed slice may be shared with
+// published snapshots, so it is never shifted in place. Before the
+// first Fork no snapshot exists, so the fork-free sweep hot loop
+// inserts in place and reuses slice capacity.
 func (x *edfContext) adoptNormal(e *Entity, c int) {
 	s := &x.cores[c]
-	out := make([]*Entity, len(s.ents)+1)
-	copy(out, s.ents[:s.nNormals])
-	out[s.nNormals] = e
-	copy(out[s.nNormals+1:], s.ents[s.nNormals:])
-	s.ents = out
+	if x.publishing.Load() {
+		out := make([]*Entity, len(s.ents)+1)
+		copy(out, s.ents[:s.nNormals])
+		out[s.nNormals] = e
+		copy(out[s.nNormals+1:], s.ents[s.nNormals:])
+		s.ents = out
+	} else {
+		s.ents = append(s.ents, nil)
+		copy(s.ents[s.nNormals+1:], s.ents[s.nNormals:])
+		s.ents[s.nNormals] = e
+	}
 	s.nNormals++
 	x.adopted(e, s)
 }
@@ -199,6 +226,87 @@ func (x *edfContext) adoptPart(e *Entity, c int) {
 	s := &x.cores[c]
 	s.ents = append(s.ents, e)
 	x.adopted(e, s)
+}
+
+// newEntity returns an entity from the recycle pool; callers
+// overwrite every field.
+func (x *edfContext) newEntity() *Entity {
+	if n := len(x.entFree); n > 0 {
+		e := x.entFree[n-1]
+		x.entFree = x.entFree[:n-1]
+		return e
+	}
+	return new(Entity)
+}
+
+// splitEntitiesInto is edfSplitEntities drawing pooled entities into
+// the context's reusable probe slices.
+func (x *edfContext) splitEntitiesInto(sp *task.Split) ([]*Entity, []int) {
+	ents := x.splitEnts[:0]
+	cores := x.splitCores[:0]
+	last := len(sp.Parts) - 1
+	for i, p := range sp.Parts {
+		d := sp.Task.EffectiveDeadline()
+		if sp.HasWindows() {
+			d = sp.Windows[i]
+		}
+		e := x.newEntity()
+		*e = Entity{
+			Task:           sp.Task,
+			C:              p.Budget,
+			T:              sp.Task.Period,
+			D:              d,
+			PartIndex:      i,
+			MigrIn:         i > 0,
+			MigrOut:        i < last,
+			RemoteSleepAdd: i == last,
+		}
+		ents = append(ents, e)
+		cores = append(cores, p.Core)
+	}
+	x.splitEnts, x.splitCores = ents, cores
+	return ents, cores
+}
+
+// sweepNode returns core c's interned committed state, or nil when
+// sharing is unavailable. The fold runs lazily, once per committed
+// revision. EDF cores fold in the canonical slice order — the
+// processor-demand test's floating-point utilization sum is
+// order-sensitive, and every context builds the same
+// normals-then-parts order, so identical contents reach the same
+// node. Split parts carry nonzero migration flags while normals carry
+// none, so the fold also pins the position a tentative normal would
+// be inserted at (after the leading zero-flag run), making probe keys
+// unambiguous.
+func (x *edfContext) sweepNode(c int) *sweepNode {
+	if x.sweep == nil || x.sweepOff {
+		return nil
+	}
+	s := &x.cores[c]
+	if x.sweepRevs[c] != s.rev {
+		x.sweepNodes[c] = x.sweep.fold(s.ents)
+		x.sweepRevs[c] = s.rev
+	}
+	return x.sweepNodes[c]
+}
+
+// sweepDisable turns off cross-context sharing until the next Reset.
+func (x *edfContext) sweepDisable() {
+	if x.sweep == nil || x.sweepOff {
+		return
+	}
+	x.sweepOff = true
+	for i := range x.sweepNodes {
+		x.sweepNodes[i] = nil
+	}
+}
+
+// sweepInvalidate drops every cached fold; the next sweepNode call
+// per core refolds against the (possibly rebuilt) cache tries.
+func (x *edfContext) sweepInvalidate() {
+	for i := range x.sweepRevs {
+		x.sweepRevs[i] = -1
+	}
 }
 
 func (x *edfContext) adopted(e *Entity, s *edfCoreState) {
@@ -281,10 +389,30 @@ func (x *edfContext) TryPlace(t *task.Task, c int) bool {
 	x.ensureNoPending("TryPlace")
 	x.stats.Probes++
 	x.a.Place(t, c)
-	e := newEDFEntity(t)
-	x.pend = edfPending{kind: pendPlace, probeCore: c, addEnts: []*Entity{e}, addCores: []int{c}}
+	// The tentative entity lives in a reused scratch slot; Commit
+	// clones it onto the heap before adopting it.
+	e := newEDFEntityInto(&x.scratchEnt, t)
+	x.placeEnts[0], x.placeCores[0] = e, c
+	x.pend = edfPending{kind: pendPlace, probeCore: c, addEnts: x.placeEnts[:], addCores: x.placeCores[:]}
 	x.pend.probeN = x.probeN(x.pend.addCores)
+	// The per-core demand verdict is a pure function of (core state,
+	// probed shape, queue bound): the shared sweep memo can answer
+	// before any demand-bound enumeration runs.
+	node := x.sweepNode(c)
+	var shape sweepShape
+	if node != nil {
+		shape = sweepShapeOf(e)
+		if v, hit := x.sweep.lookup(node, x.pend.probeN, shape); hit {
+			x.stats.CoreTests++
+			x.stats.VerdictHits++
+			x.pend.fits = v
+			return v
+		}
+	}
 	x.pend.fits = x.evalProbe(c)
+	if node != nil {
+		x.sweep.store(node, x.pend.probeN, shape, x.pend.fits)
+	}
 	return x.pend.fits
 }
 
@@ -292,7 +420,7 @@ func (x *edfContext) TrySplit(sp *task.Split, c int) bool {
 	x.ensureNoPending("TrySplit")
 	x.stats.Probes++
 	x.a.Splits = append(x.a.Splits, sp)
-	ents, cores := edfSplitEntities(sp)
+	ents, cores := x.splitEntitiesInto(sp)
 	x.pend = edfPending{kind: pendSplit, probeCore: c, addEnts: ents, addCores: cores}
 	x.pend.probeN = x.probeN(cores)
 	x.pend.fits = x.evalProbe(c)
@@ -305,7 +433,18 @@ func (x *edfContext) Commit() {
 	}
 	pc := x.pend.probeCore
 	if x.pend.kind == pendPlace {
-		x.adoptNormal(x.pend.addEnts[0], pc)
+		// The tentative entity is the reused scratch slot: clone it
+		// onto a pooled entity, and move the probe memo's covered
+		// identity along with it (the memo was built by this probe and
+		// never published, so the in-place swap is safe — mirrors the
+		// promotion in Place).
+		e := x.newEntity()
+		*e = *x.pend.addEnts[0]
+		if x.pend.memo != nil {
+			delete(x.pend.memo.covered, x.pend.addEnts[0])
+			x.pend.memo.covered[e] = true
+		}
+		x.adoptNormal(e, pc)
 	} else {
 		for i, e := range x.pend.addEnts {
 			x.adoptPart(e, x.pend.addCores[i])
@@ -344,6 +483,9 @@ func (x *edfContext) Rollback() {
 		}
 	case pendSplit:
 		x.a.Splits = x.a.Splits[:len(x.a.Splits)-1]
+		// The tentative part entities were never published: recycle
+		// them (the discarded probe memo is the only other referent).
+		x.entFree = append(x.entFree, x.pend.addEnts...)
 	}
 	x.pend = edfPending{}
 	if h, f, now := x.rollbackPub(); now {
@@ -354,7 +496,7 @@ func (x *edfContext) Rollback() {
 func (x *edfContext) Place(t *task.Task, c int) {
 	x.ensureNoPending("Place")
 	x.a.Place(t, c)
-	e := newEDFEntity(t)
+	e := newEDFEntityInto(x.newEntity(), t)
 	rec := x.lastProbe[c]
 	promote := x.mono && rec.ok && rec.seq == x.commitSeq && rec.key == fpKey(e)
 	x.adoptNormal(e, c)
@@ -386,7 +528,7 @@ func (x *edfContext) Place(t *task.Task, c int) {
 func (x *edfContext) AddSplit(sp *task.Split) {
 	x.ensureNoPending("AddSplit")
 	x.a.Splits = append(x.a.Splits, sp)
-	ents, cores := edfSplitEntities(sp)
+	ents, cores := x.splitEntitiesInto(sp)
 	for i, e := range ents {
 		x.adoptPart(e, cores[i])
 	}
@@ -424,6 +566,7 @@ func (x *edfContext) dropped(c int) {
 // utilization sum — stay bit-identical to the stateless build.
 func (x *edfContext) Remove(id task.ID) bool {
 	x.ensureNoPending("Remove")
+	x.sweepDisable()
 	oldMaxN := x.maxN
 	found := false
 search:
@@ -518,6 +661,20 @@ func (x *edfContext) Schedulable() bool {
 			}
 			continue
 		}
+		// The committed full-core test is also a pure function of
+		// (state, N): share it across contexts via the sweep memo.
+		node := x.sweepNode(c)
+		if node != nil {
+			if sv, hit := x.sweep.lookup(node, x.maxN, sweepShape{flags: sweepCoreTest}); hit {
+				x.stats.CoreTests++
+				x.stats.VerdictHits++
+				s.verdict = fpVerdict{valid: true, ok: sv, rev: s.rev, n: x.maxN}
+				if !sv {
+					return false
+				}
+				continue
+			}
+		}
 		cs := &x.probeCS[c]
 		cs.Entities = s.ents
 		cs.N = x.maxN
@@ -532,10 +689,99 @@ func (x *edfContext) Schedulable() bool {
 		if x.mono && out != nil {
 			s.memo = out
 		}
+		if node != nil {
+			x.sweep.store(node, x.maxN, sweepShape{flags: sweepCoreTest}, ok)
+		}
 		s.verdict = fpVerdict{valid: true, ok: ok, rev: s.rev, n: x.maxN}
 		if !ok {
 			return false
 		}
 	}
 	return true
+}
+
+// Reset rebinds the context to a new assignment and model, recycling
+// every owned slab (see the Context interface contract). commitSeq
+// keeps running so stale lastProbe records can never match.
+func (x *edfContext) Reset(a *task.Assignment, m *overhead.Model) {
+	x.ensureNoPending("Reset")
+	m = overhead.Normalize(m)
+	nc := a.NumCores
+	if x.publishing.Load() || nc != len(x.cores) {
+		// Committed slices and entities are shared with published
+		// snapshots (or the core count changed): drop every slab and
+		// start fresh. Old snapshots stay valid — they are
+		// self-contained — and publication disengages until the next
+		// Fork.
+		x.publishing.Store(false)
+		x.pub.Store(nil)
+		x.cores = make([]edfCoreState, nc)
+		x.lastProbe = make([]edfProbeRecord, nc)
+		x.probeBuf = make([][]*Entity, nc)
+		x.probeCS = make([]CoreSet, nc)
+		x.entFree = nil
+		x.splitEnts, x.splitCores = nil, nil
+	} else {
+		// Fork was never called: no snapshot references the committed
+		// slabs, so entities (split parts included — they live in the
+		// per-core slices) go back to the pool and the cores keep
+		// their capacity.
+		for c := range x.cores {
+			s := &x.cores[c]
+			x.entFree = append(x.entFree, s.ents...)
+			s.ents = s.ents[:0]
+			s.nNormals = 0
+			s.cacheMax = 0
+			s.rev++ // recycled cores must never match old verdicts
+			s.verdict = fpVerdict{}
+			s.memo = nil
+			x.lastProbe[c] = edfProbeRecord{}
+		}
+	}
+	x.a = a
+	x.m = m
+	x.mono = modelMonotone(m)
+	x.maxN = 0
+	x.pubHold, x.pubAny, x.pubOwed = false, false, false
+	x.groupHint, x.groupFits = pubUnknown, false
+	x.sweepOff = false
+	if x.sweep != nil {
+		if len(x.sweepNodes) != nc {
+			x.sweepNodes = make([]*sweepNode, nc)
+			x.sweepRevs = make([]int64, nc)
+		}
+		x.sweepInvalidate()
+	}
+	// Adopt whatever the new assignment already contains, mirroring
+	// newEDFContext over the recycled slabs.
+	for c := 0; c < nc; c++ {
+		for _, t := range a.Normal[c] {
+			x.adoptNormal(newEDFEntityInto(x.newEntity(), t), c)
+		}
+	}
+	for _, sp := range a.Splits {
+		ents, cores := x.splitEntitiesInto(sp)
+		for i, e := range ents {
+			x.adoptPart(e, cores[i])
+		}
+	}
+}
+
+// SetSweepCache attaches (or, with nil, detaches) the cross-context
+// probe-verdict memo; committed state is interned lazily at the first
+// consultation.
+func (x *edfContext) SetSweepCache(sc *SweepCache) {
+	x.sweep = sc
+	if sc == nil {
+		x.sweepNodes = nil
+		x.sweepRevs = nil
+		x.sweepOff = false
+		return
+	}
+	if len(x.sweepNodes) != len(x.cores) {
+		x.sweepNodes = make([]*sweepNode, len(x.cores))
+		x.sweepRevs = make([]int64, len(x.cores))
+	}
+	x.sweepOff = false
+	x.sweepInvalidate()
 }

@@ -70,6 +70,24 @@ type fpContext struct {
 	scratchEnt  Entity
 	placeEnts   [1]*Entity
 	placeCores  [1]int
+
+	// Slab recycling (Reset) and cross-context verdict sharing. entFree
+	// and chainFree hold reclaimed objects — only ever objects no
+	// published snapshot can reference (rolled-back probe chains, and
+	// committed slabs of a context that never engaged publication).
+	entFree   []*Entity
+	chainFree []*fpChain
+	sweep     *SweepCache
+	// sweepNodes[c] is core c's interned committed state, folded
+	// lazily at the first memo consultation after a mutation:
+	// sweepRevs[c] remembers which revs[c] the cached node reflects
+	// (-1 = never folded), so adoptions pay nothing and cores that are
+	// never probed again are never folded. sweepOff disables sharing
+	// until the next Reset once chains or removals make per-core
+	// verdicts non-local.
+	sweepNodes []*sweepNode
+	sweepRevs  []int64
+	sweepOff   bool
 }
 
 // fpWarmKey identifies one schedulable entity stably across probes: a
@@ -311,12 +329,18 @@ func buildFPChain(sp *task.Split) *fpChain {
 	return ch
 }
 
-// adoptEntity commits e onto core c's live set. The insert is
-// copy-on-write: committed entity slices are shared with published
-// snapshots, so they are never shifted in place.
+// adoptEntity commits e onto core c's live set. Once publication is
+// engaged the insert is copy-on-write — committed entity slices are
+// shared with published snapshots, so they are never shifted in
+// place. Before the first Fork no snapshot exists, so the fork-free
+// sweep hot loop inserts in place and reuses slice capacity.
 func (x *fpContext) adoptEntity(e *Entity, c int) {
 	s := x.sets[c]
-	s.Entities = insertByPriorityCOW(s.Entities, e)
+	if x.publishing.Load() {
+		s.Entities = insertByPriorityCOW(s.Entities, e)
+	} else {
+		s.Entities = insertByPriority(s.Entities, e)
+	}
 	x.markDirty(c)
 	s.invalidateCosts()
 	if d := x.m.Cache.MaxDelay(e.Task.WSS); d > s.CacheMax {
@@ -326,6 +350,97 @@ func (x *fpContext) adoptEntity(e *Entity, c int) {
 		x.maxN = n
 	}
 	x.revs[c]++
+}
+
+// newEntity returns an entity from the recycle pool (Reset and
+// rolled-back split probes refill it); callers overwrite every field.
+func (x *fpContext) newEntity() *Entity {
+	if n := len(x.entFree); n > 0 {
+		e := x.entFree[n-1]
+		x.entFree = x.entFree[:n-1]
+		return e
+	}
+	return new(Entity)
+}
+
+// newChain is buildFPChain from the recycle pools: rolled-back split
+// probes return their chain and entities, so the packing loops'
+// budget searches stop allocating per probe. Every entity field is
+// overwritten, erasing stale warm and jitter state.
+func (x *fpContext) newChain(sp *task.Split) *fpChain {
+	var ch *fpChain
+	if n := len(x.chainFree); n > 0 {
+		ch, x.chainFree = x.chainFree[n-1], x.chainFree[:n-1]
+	} else {
+		ch = &fpChain{}
+	}
+	ch.sp = sp
+	ch.ents = ch.ents[:0]
+	ch.cores = ch.cores[:0]
+	last := len(sp.Parts) - 1
+	for i, p := range sp.Parts {
+		e := x.newEntity()
+		*e = Entity{
+			Task:           sp.Task,
+			C:              p.Budget,
+			T:              sp.Task.Period,
+			D:              sp.Task.EffectiveDeadline(),
+			LocalPriority:  sp.LocalPriority(),
+			PartIndex:      i,
+			MigrIn:         i > 0,
+			MigrOut:        i < last,
+			RemoteSleepAdd: i == last,
+		}
+		ch.ents = append(ch.ents, e)
+		ch.cores = append(ch.cores, p.Core)
+	}
+	return ch
+}
+
+// freeChain returns a rolled-back probe chain and its (never
+// published) entities to the pools.
+func (x *fpContext) freeChain(ch *fpChain) {
+	x.entFree = append(x.entFree, ch.ents...)
+	ch.sp = nil
+	ch.ents = ch.ents[:0]
+	ch.cores = ch.cores[:0]
+	x.chainFree = append(x.chainFree, ch)
+}
+
+// sweepNode returns core c's interned committed state, or nil when
+// sharing is unavailable (no cache attached, or disabled by chains or
+// removals). The fold runs lazily, once per committed revision:
+// entity slices are priority-sorted with unique priorities within a
+// task set, so the fold order — hence the node — is determined by the
+// core's contents alone, however a context arrived at them.
+func (x *fpContext) sweepNode(c int) *sweepNode {
+	if x.sweep == nil || x.sweepOff {
+		return nil
+	}
+	if x.sweepRevs[c] != x.revs[c] {
+		x.sweepNodes[c] = x.sweep.fold(x.sets[c].Entities)
+		x.sweepRevs[c] = x.revs[c]
+	}
+	return x.sweepNodes[c]
+}
+
+// sweepDisable turns off cross-context sharing until the next Reset.
+func (x *fpContext) sweepDisable() {
+	if x.sweep == nil || x.sweepOff {
+		return
+	}
+	x.sweepOff = true
+	for i := range x.sweepNodes {
+		x.sweepNodes[i] = nil
+	}
+}
+
+// sweepInvalidate drops every cached fold; the next sweepNode call
+// per core refolds against the (possibly rebuilt) cache tries.
+func (x *fpContext) sweepInvalidate() {
+	for i := range x.sweepRevs {
+		x.sweepRevs[i] = -1
+	}
 }
 
 // insertByPriority inserts e into a priority-sorted entity slice,
@@ -510,9 +625,25 @@ func (x *fpContext) TryPlace(t *task.Task, c int) bool {
 	x.pend.probeN = x.probeN(x.pend.addCores)
 	if len(x.chains) == 0 {
 		// No chains, no cross-core coupling: probe core c alone
-		// (mirrors the stateless fast path).
+		// (mirrors the stateless fast path). The verdict is a pure
+		// function of (core state, probed shape, queue bound), so the
+		// shared sweep memo can answer before any fixed point runs.
+		node := x.sweepNode(c)
+		var shape sweepShape
+		if node != nil {
+			shape = sweepShapeOf(e)
+			if v, hit := x.sweep.lookup(node, x.pend.probeN, shape); hit {
+				x.stats.CoreTests++
+				x.stats.VerdictHits++
+				x.pend.fits = v
+				return v
+			}
+		}
 		ps := x.probeSet(c, x.pend.addEnts, x.pend.addCores, x.pend.probeN)
 		x.pend.fits = x.evalCore(ps, nil)
+		if node != nil {
+			x.sweep.store(node, x.pend.probeN, shape, x.pend.fits)
+		}
 	} else {
 		x.pend.fits = x.probeWithChains()
 	}
@@ -523,7 +654,7 @@ func (x *fpContext) TrySplit(sp *task.Split, c int) bool {
 	x.ensureNoPending("TrySplit")
 	x.stats.Probes++
 	x.a.Splits = append(x.a.Splits, sp)
-	ch := buildFPChain(sp)
+	ch := x.newChain(sp)
 	x.pend = fpPending{
 		kind:      pendSplit,
 		probeCore: c,
@@ -603,11 +734,15 @@ func (x *fpContext) Commit() {
 		}
 	}
 	if x.pend.kind == pendPlace {
-		// The tentative entity is the reused scratch slot: clone it.
-		e := new(Entity)
+		// The tentative entity is the reused scratch slot: clone it
+		// (onto a pooled entity — fully overwritten by the copy).
+		e := x.newEntity()
 		*e = *x.pend.addEnts[0]
 		x.adoptEntity(e, x.pend.addCores[0])
 	} else {
+		// A committed chain couples its host cores through the jitter
+		// resolution: per-core verdicts stop being shareable.
+		x.sweepDisable()
 		for i, e := range x.pend.addEnts {
 			x.adoptEntity(e, x.pend.addCores[i])
 		}
@@ -668,6 +803,8 @@ func (x *fpContext) Rollback() {
 		}
 	case pendSplit:
 		x.a.Splits = x.a.Splits[:len(x.a.Splits)-1]
+		// The tentative chain was never published: recycle it.
+		x.freeChain(x.pend.chain)
 	}
 	if x.pend.resolved {
 		i := 0
@@ -705,7 +842,7 @@ func (x *fpContext) promoteWarm(seq int64, ents []*Entity) {
 func (x *fpContext) Place(t *task.Task, c int) {
 	x.ensureNoPending("Place")
 	x.a.Place(t, c)
-	e := newFPEntity(t)
+	e := newFPEntityInto(x.newEntity(), t)
 	rec := x.lastProbe[c]
 	promote := x.mono && rec.valid && rec.ok && rec.seq == x.commitSeq && rec.key == fpKey(e)
 	if promote {
@@ -737,7 +874,8 @@ func (x *fpContext) Place(t *task.Task, c int) {
 func (x *fpContext) AddSplit(sp *task.Split) {
 	x.ensureNoPending("AddSplit")
 	x.a.Splits = append(x.a.Splits, sp)
-	ch := buildFPChain(sp)
+	x.sweepDisable()
+	ch := x.newChain(sp)
 	for i, e := range ch.ents {
 		x.adoptEntity(e, ch.cores[i])
 		x.verdicts[ch.cores[i]] = fpVerdict{}
@@ -784,6 +922,7 @@ func (x *fpContext) dropEntity(c int, match func(*Entity) bool) {
 // bit-identical to the stateless build of the shrunken assignment.
 func (x *fpContext) Remove(id task.ID) bool {
 	x.ensureNoPending("Remove")
+	x.sweepDisable()
 	oldMaxN := x.maxN
 	removedSplit := false
 	affected := -1
@@ -916,11 +1055,139 @@ func (x *fpContext) Schedulable() bool {
 			}
 			continue
 		}
+		// The committed full-core test is also a pure function of
+		// (state, N): share it across contexts via the sweep memo.
+		node := x.sweepNode(c)
+		if node != nil {
+			if sv, hit := x.sweep.lookup(node, x.maxN, sweepShape{flags: sweepCoreTest}); hit {
+				x.stats.CoreTests++
+				x.stats.VerdictHits++
+				x.verdicts[c] = fpVerdict{valid: true, ok: sv, rev: x.revs[c], n: x.maxN, jGen: x.coreJGen[c]}
+				if !sv {
+					return false
+				}
+				continue
+			}
+		}
 		ok := x.evalCore(x.sets[c], nil)
+		if node != nil {
+			x.sweep.store(node, x.maxN, sweepShape{flags: sweepCoreTest}, ok)
+		}
 		x.verdicts[c] = fpVerdict{valid: true, ok: ok, rev: x.revs[c], n: x.maxN, jGen: x.coreJGen[c]}
 		if !ok {
 			return false
 		}
 	}
 	return true
+}
+
+// Reset rebinds the context to a new assignment and model, recycling
+// every owned slab (see the Context interface contract). Sequence
+// counters (commitSeq, probeSeq, jEpoch) keep running so stale
+// tag-guarded records from before the Reset can never match.
+func (x *fpContext) Reset(a *task.Assignment, m *overhead.Model) {
+	x.ensureNoPending("Reset")
+	m = overhead.Normalize(m)
+	nc := a.NumCores
+	if x.publishing.Load() || nc != len(x.sets) {
+		// Committed slices and entities are shared with published
+		// snapshots (or the core count changed): drop every slab and
+		// start fresh. Old snapshots stay valid — they are
+		// self-contained — and publication disengages until the next
+		// Fork.
+		x.publishing.Store(false)
+		x.pub.Store(nil)
+		x.sets = make([]*CoreSet, nc)
+		for c := 0; c < nc; c++ {
+			x.sets[c] = &CoreSet{}
+		}
+		x.revs = make([]int64, nc)
+		x.coreJGen = make([]int64, nc)
+		x.verdicts = make([]fpVerdict, nc)
+		x.lastProbe = make([]fpProbeRecord, nc)
+		x.views = make([]*CoreSet, nc)
+		x.probeBuf = make([][]*Entity, nc)
+		x.probeCS = make([]CoreSet, nc)
+		x.snapDirty = make([]bool, nc)
+		x.chains = nil
+		x.entFree = nil
+		x.chainFree = nil
+	} else {
+		// Fork was never called: no snapshot references the committed
+		// slabs, so entities go back to the pool and the per-core sets
+		// keep their capacity.
+		for c := 0; c < nc; c++ {
+			s := x.sets[c]
+			x.entFree = append(x.entFree, s.Entities...)
+			s.Entities = s.Entities[:0]
+			s.N = 0
+			s.CacheMax = 0
+			s.invalidateCosts()
+			x.revs[c]++ // recycled cores must never match old verdicts
+			x.coreJGen[c] = 0
+			x.verdicts[c] = fpVerdict{}
+			x.lastProbe[c] = fpProbeRecord{}
+			x.snapDirty[c] = false
+		}
+		// Chain entities were reclaimed with their host sets above;
+		// recycle the chain headers alone.
+		for _, ch := range x.chains {
+			ch.sp = nil
+			ch.ents = ch.ents[:0]
+			ch.cores = ch.cores[:0]
+			x.chainFree = append(x.chainFree, ch)
+		}
+		x.chains = x.chains[:0]
+	}
+	x.a = a
+	x.m = m
+	x.mono = modelMonotone(m)
+	x.maxN = 0
+	x.inProbe = false
+	x.resolveSeq = -1
+	x.lastFailed = nil
+	x.pubHold, x.pubAny, x.pubOwed = false, false, false
+	x.groupHint, x.groupFits = pubUnknown, false
+	x.sweepOff = false
+	if x.sweep != nil {
+		if len(x.sweepNodes) != nc {
+			x.sweepNodes = make([]*sweepNode, nc)
+			x.sweepRevs = make([]int64, nc)
+		}
+		x.sweepInvalidate()
+	}
+	// Adopt whatever the new assignment already contains, mirroring
+	// newFPContext over the recycled slabs.
+	for c := 0; c < nc; c++ {
+		for _, t := range a.Normal[c] {
+			x.adoptEntity(newFPEntityInto(x.newEntity(), t), c)
+		}
+	}
+	for _, sp := range a.Splits {
+		x.sweepDisable()
+		ch := x.newChain(sp)
+		for i, e := range ch.ents {
+			x.adoptEntity(e, ch.cores[i])
+		}
+		x.chains = append(x.chains, ch)
+	}
+}
+
+// SetSweepCache attaches (or, with nil, detaches) the cross-context
+// probe-verdict memo; committed state is interned lazily at the first
+// consultation.
+func (x *fpContext) SetSweepCache(sc *SweepCache) {
+	x.sweep = sc
+	if sc == nil {
+		x.sweepNodes = nil
+		x.sweepRevs = nil
+		x.sweepOff = false
+		return
+	}
+	if len(x.sweepNodes) != len(x.sets) {
+		x.sweepNodes = make([]*sweepNode, len(x.sets))
+		x.sweepRevs = make([]int64, len(x.sets))
+	}
+	x.sweepOff = len(x.chains) > 0
+	x.sweepInvalidate()
 }

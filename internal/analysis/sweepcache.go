@@ -1,0 +1,143 @@
+package analysis
+
+import (
+	"repro/internal/timeq"
+)
+
+// SweepCache shares whole-task probe verdicts across admission
+// contexts. The sweep pipeline runs nine partitioning algorithms over
+// the same task set, and their packing loops probe the same task
+// shapes against cores that — especially in the early, pre-divergence
+// phase of the packing — hold exactly the same contents. A core's
+// admission verdict is a pure function of (entity sequence, queue
+// bound N, model), so once one algorithm has paid for a probe, every
+// other algorithm reaching the identical core state gets the verdict
+// for a map lookup: cross-partitioner hits are free acceptance tests.
+//
+// Identity, not hashing: core states are hash-consed into a trie of
+// interned nodes — child(parent, shape) compares the parent pointer
+// and the full entity shape exactly — so two equal state pointers mean
+// two byte-identical analysis inputs. Shared verdicts are therefore
+// exact, never probabilistic; decision identity with the stateless
+// analyzer is preserved unconditionally (and the SelfCheck suite
+// shadows it).
+//
+// Scope: one SweepCache is valid for one (task set, model, policy)
+// cell — shapes do not encode the model or the tasks' identities, so
+// the owner must Begin() it whenever either changes. Contexts attach
+// it with Context.SetSweepCache; it is single-goroutine, like the
+// contexts themselves (each sweep worker owns one per policy).
+type SweepCache struct {
+	nodes    map[sweepEdge]*sweepNode
+	verdicts map[sweepProbeKey]bool
+	root     sweepNode
+}
+
+// sweepShape is the full analytic fingerprint of one entity: every
+// field the per-core admission test reads. Two entities with equal
+// shapes are interchangeable inputs to the analysis.
+type sweepShape struct {
+	c, t, d timeq.Time
+	wss     int64
+	prio    int32
+	flags   uint8
+}
+
+const (
+	sweepMigrIn uint8 = 1 << iota
+	sweepMigrOut
+	sweepSleepAdd
+	// sweepCoreTest keys a committed full-core test (Schedulable's
+	// per-core pass) rather than a probe with an added entity. No real
+	// entity shape collides with it: tasks have C > 0.
+	sweepCoreTest
+)
+
+func sweepShapeOf(e *Entity) sweepShape {
+	var f uint8
+	if e.MigrIn {
+		f |= sweepMigrIn
+	}
+	if e.MigrOut {
+		f |= sweepMigrOut
+	}
+	if e.RemoteSleepAdd {
+		f |= sweepSleepAdd
+	}
+	return sweepShape{c: e.C, t: e.T, d: e.D, wss: e.Task.WSS, prio: int32(e.LocalPriority), flags: f}
+}
+
+// sweepNode is an interned core state; pointer equality is state
+// equality. The struct must have nonzero size so distinct nodes get
+// distinct addresses.
+type sweepNode struct {
+	depth int32
+}
+
+// sweepEdge is the interning key: the exact state the core held
+// before, plus the exact shape appended to it.
+type sweepEdge struct {
+	parent *sweepNode
+	shape  sweepShape
+}
+
+// sweepProbeKey identifies one memoized verdict: the committed core
+// state, the queue bound the evaluation ran under, and the probed
+// entity's shape (or sweepCoreTest for the committed full-core test).
+type sweepProbeKey struct {
+	state *sweepNode
+	n     int32
+	shape sweepShape
+}
+
+// NewSweepCache returns an empty cache; Begin recycles it for the
+// next (task set, model, policy) cell without reallocating the maps.
+func NewSweepCache() *SweepCache {
+	return &SweepCache{
+		nodes:    make(map[sweepEdge]*sweepNode, 64),
+		verdicts: make(map[sweepProbeKey]bool, 128),
+	}
+}
+
+// Begin invalidates every interned state and verdict, keeping the map
+// storage. Call it before each new task set (or model) the attached
+// contexts are Reset to.
+func (sc *SweepCache) Begin() {
+	clear(sc.nodes)
+	clear(sc.verdicts)
+}
+
+// child interns the state reached by appending shape to parent.
+func (sc *SweepCache) child(parent *sweepNode, shape sweepShape) *sweepNode {
+	k := sweepEdge{parent: parent, shape: shape}
+	if n := sc.nodes[k]; n != nil {
+		return n
+	}
+	n := &sweepNode{depth: parent.depth + 1}
+	sc.nodes[k] = n
+	return n
+}
+
+// fold interns the state of an entity sequence, in order. Callers
+// must fold a canonical order — fixed-priority sets are sorted by
+// priority (unique within a task set), EDF cores keep the canonical
+// build order — so identical core contents fold to the same node in
+// every context.
+func (sc *SweepCache) fold(ents []*Entity) *sweepNode {
+	n := &sc.root
+	for _, e := range ents {
+		n = sc.child(n, sweepShapeOf(e))
+	}
+	return n
+}
+
+// lookup returns a memoized verdict for (state, n, shape).
+func (sc *SweepCache) lookup(state *sweepNode, n int, shape sweepShape) (verdict, hit bool) {
+	v, ok := sc.verdicts[sweepProbeKey{state: state, n: int32(n), shape: shape}]
+	return v, ok
+}
+
+// store memoizes a computed verdict for (state, n, shape).
+func (sc *SweepCache) store(state *sweepNode, n int, shape sweepShape, ok bool) {
+	sc.verdicts[sweepProbeKey{state: state, n: int32(n), shape: shape}] = ok
+}

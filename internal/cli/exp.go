@@ -65,6 +65,10 @@ func Exp(args []string, w io.Writer) error {
 	case *edf:
 		algs = []core.Algorithm{core.EDFWM, core.EDFFFD, core.FPTS}
 	}
+	// Paired runs (-overheads both) share one set cache: the second
+	// sweep analyzes the same generated sets under the other model
+	// instead of re-generating them.
+	setCache := core.NewSweepSetCache()
 	run := func(model *core.OverheadModel, label string) {
 		cfg := core.SweepConfig{
 			Cores:        *cores,
@@ -75,6 +79,7 @@ func Exp(args []string, w io.Writer) error {
 			Model:        model,
 			Seed:         *seed,
 			SimHorizon:   timeq.FromDuration(*validate),
+			SetCache:     setCache,
 		}
 		if *progress {
 			cfg.Progress = func(u core.SweepProgress) {

@@ -59,6 +59,9 @@ type (
 	GenConfig = taskgen.Config
 	// SweepConfig parameterizes an acceptance-ratio experiment.
 	SweepConfig = experiment.Config
+	// SweepSetCache shares generated task sets across paired sweeps
+	// (SweepConfig.SetCache).
+	SweepSetCache = taskgen.SetCache
 	// SweepProgress is one streaming partial-result update of a sweep.
 	SweepProgress = experiment.CellUpdate
 	// SweepResults is the outcome of an acceptance-ratio experiment.
@@ -209,6 +212,9 @@ func Simulate(a *Assignment, cfg SimConfig) (*SimResult, error) { return sched.R
 
 // Sweep runs an acceptance-ratio experiment (the Section 4 evaluation).
 func Sweep(cfg SweepConfig) *SweepResults { return experiment.Run(cfg) }
+
+// NewSweepSetCache returns an empty task-set cache for paired sweeps.
+func NewSweepSetCache() *SweepSetCache { return taskgen.NewSetCache() }
 
 // SweepContext is Sweep with cancellation: when ctx is canceled the
 // pipeline aborts between placements and returns partial results with

@@ -30,12 +30,14 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/analysis"
 	"repro/internal/overhead"
 	"repro/internal/partition"
 	"repro/internal/sched"
 	"repro/internal/stats"
+	"repro/internal/task"
 	"repro/internal/taskgen"
 	"repro/internal/timeq"
 )
@@ -78,6 +80,12 @@ type Config struct {
 	// and records deadline-miss violations (an end-to-end soundness
 	// check; expected zero).
 	SimHorizon timeq.Time
+	// SetCache, when non-nil, memoizes generated task sets across the
+	// runs that share it: paired sweeps (the same grid under the zero
+	// and measured overhead models) then generate each set once
+	// instead of once per model. Results are identical either way —
+	// generation is deterministic per (Seed, grid point, set index).
+	SetCache *taskgen.SetCache
 }
 
 // CellUpdate is one streaming partial result: the state of a single
@@ -126,11 +134,12 @@ func (c *Config) withDefaults() Config {
 		out.Workers = runtime.GOMAXPROCS(0)
 	}
 	if out.ShardSize <= 0 {
-		// Aim for several shards per worker over the whole sweep so
-		// the pool stays busy even at small SetsPerPoint, without
-		// degenerating into one-set shards on big sweeps.
+		// Fine-grained shards: with work stealing the only cost of a
+		// small shard is one aggregator fold, and high-utilization
+		// shards can run many times longer than low-utilization ones —
+		// coarse shards leave workers idle at the tail.
 		total := out.SetsPerPoint * len(out.Utilizations)
-		out.ShardSize = total / (4 * out.Workers)
+		out.ShardSize = total / (16 * out.Workers)
 		if out.ShardSize < 1 {
 			out.ShardSize = 1
 		}
@@ -282,13 +291,42 @@ func (ag *aggregator) fold(sh shard, partial []cell) {
 }
 
 // Run executes the sweep as a streaming sharded pipeline: a fixed
-// worker pool consumes (grid point × set range) shards from a channel;
-// each worker generates its sets on the fly, offers every set to every
-// algorithm (clones keep the comparison paired), optionally simulates
-// accepted assignments under their own policy, and folds the shard
-// into the aggregator.
+// worker pool consumes (grid point × set range) shards from per-worker
+// queues with work stealing; each worker generates its sets on the fly
+// into a recycled slab (one generation per set, shared across every
+// algorithm and both policies — the comparison is paired), offers
+// every set to every algorithm through its long-lived partition.Arena,
+// optionally simulates accepted assignments under their own policy,
+// and folds the shard into the aggregator.
 func Run(cfg Config) *Results {
 	return RunContext(context.Background(), cfg)
+}
+
+// workerState is one worker's long-lived scratch: a reconfigurable
+// generator and task-set slab (taskgen pooling), and a partition
+// arena holding one recycled admission context per policy plus the
+// cross-algorithm probe-verdict memo.
+type workerState struct {
+	gen   *taskgen.Generator
+	set   *task.Set
+	arena *partition.Arena
+}
+
+// shardQueue is one worker's share of the sweep with an atomic take
+// cursor, so idle workers steal from the tail of busy workers'
+// queues. Per-set seeding makes results independent of who runs what.
+type shardQueue struct {
+	shards []shard
+	next   atomic.Int64
+}
+
+// take pops the next unclaimed shard, reporting false when drained.
+func (q *shardQueue) take() (shard, bool) {
+	i := q.next.Add(1) - 1
+	if i >= int64(len(q.shards)) {
+		return shard{}, false
+	}
+	return q.shards[i], true
 }
 
 // RunContext is Run with cancellation: when ctx is canceled, workers
@@ -311,29 +349,39 @@ func RunContext(ctx context.Context, cfg Config) *Results {
 	}
 	ag := newAggregator(&cfg, len(shards))
 
-	work := make(chan shard)
+	// Deal the shards round-robin into per-worker queues; workers
+	// drain their own queue first, then steal from the others. The
+	// atomic take cursor makes stealing lock-free, and per-(point,
+	// index) seeding keeps results identical however shards migrate.
+	queues := make([]*shardQueue, cfg.Workers)
+	for w := range queues {
+		queues[w] = &shardQueue{}
+	}
+	for i, sh := range shards {
+		q := queues[i%cfg.Workers]
+		q.shards = append(q.shards, sh)
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for sh := range work {
-				if ctx.Err() != nil {
-					continue // drain without working
+			ws := &workerState{arena: partition.NewArena()}
+			for qi := 0; qi < cfg.Workers; qi++ {
+				q := queues[(w+qi)%cfg.Workers]
+				for {
+					sh, ok := q.take()
+					if !ok {
+						break
+					}
+					if ctx.Err() != nil {
+						continue // drain without working
+					}
+					ag.fold(sh, runShard(ctx, &cfg, sh, ag.coll, ws))
 				}
-				ag.fold(sh, runShard(ctx, &cfg, sh, ag.coll))
 			}
-		}()
+		}(w)
 	}
-feed:
-	for _, sh := range shards {
-		select {
-		case work <- sh:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(work)
 	wg.Wait()
 
 	res := &Results{Config: cfg, Admission: ag.coll.Snapshot(), Canceled: ctx.Err() != nil}
@@ -369,25 +417,43 @@ feed:
 // it and thread it through; see analysis.Context), so a cell does
 // O(changed-core) admission work per probe; the contexts flush their
 // probe/cache/fixed-point counters into the sweep's Admission totals.
-func runShard(ctx context.Context, cfg *Config, sh shard, coll *analysis.Collector) []cell {
+func runShard(ctx context.Context, cfg *Config, sh shard, coll *analysis.Collector, ws *workerState) []cell {
 	partial := make([]cell, len(cfg.Algorithms))
 	u := cfg.Utilizations[sh.ui]
-	opts := partition.Options{Ctx: ctx, Stats: coll}
+	opts := partition.Options{Ctx: ctx, Stats: coll, Arena: ws.arena}
 	for si := sh.lo; si < sh.hi; si++ {
 		if ctx.Err() != nil {
 			return partial // partial cells; the run is canceled anyway
 		}
-		set := taskgen.New(taskgen.Config{
+		gcfg := taskgen.Config{
 			N:                cfg.Tasks,
 			TotalUtilization: u,
 			Periods:          cfg.Periods,
 			PeriodMin:        cfg.PeriodMin,
 			PeriodMax:        cfg.PeriodMax,
 			Seed:             setSeed(cfg.Seed, sh.ui, si),
-		}).Next()
+		}
+		// One generation per set, into the worker's recycled slab; the
+		// set is shared by every algorithm and both policies (tasks are
+		// immutable once generated, so no defensive clones are needed —
+		// partitioners sort into private copies). A caller-scoped
+		// SetCache additionally shares the generation itself across
+		// paired sweeps.
+		if cfg.SetCache != nil {
+			ws.set = cfg.SetCache.FirstInto(gcfg, ws.set)
+		} else {
+			if ws.gen == nil {
+				ws.gen = taskgen.New(gcfg)
+			} else {
+				ws.gen.Reconfigure(gcfg)
+			}
+			ws.set = ws.gen.NextInto(ws.set)
+		}
+		set := ws.set
+		ws.arena.BeginSet()
 		for ai, alg := range cfg.Algorithms {
 			c := &partial[ai]
-			a, err := alg.PartitionOpts(set.Clone(), cfg.Cores, cfg.Model, opts)
+			a, err := alg.PartitionOpts(set, cfg.Cores, cfg.Model, opts)
 			if err != nil {
 				if ctx.Err() != nil {
 					return partial // canceled mid-set: don't count it

@@ -63,7 +63,7 @@ func (h *EDFHeuristic) PartitionOpts(s *task.Set, m int, model *overhead.Model, 
 	if err := validateInput(s, m, h.Policy()); err != nil {
 		return nil, err
 	}
-	a := task.NewAssignment(m)
+	a := o.newAssignment(h.Policy(), m)
 	ctx := newContext(h, a, model, o)
 	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {
@@ -108,7 +108,7 @@ func (w *EDFWM) PartitionOpts(s *task.Set, m int, model *overhead.Model, o Optio
 	if err := validateInput(s, m, w.Policy()); err != nil {
 		return nil, err
 	}
-	a := task.NewAssignment(m)
+	a := o.newAssignment(w.Policy(), m)
 	ctx := newContext(w, a, model, o)
 	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {

@@ -69,7 +69,7 @@ func (f *FPTS) PartitionOpts(s *task.Set, m int, model *overhead.Model, o Option
 	if err := validateInput(s, m, f.Policy()); err != nil {
 		return nil, err
 	}
-	a := task.NewAssignment(m)
+	a := o.newAssignment(f.Policy(), m)
 	ctx := newContext(f, a, model, o)
 	defer ctx.Flush()
 	for _, t := range s.SortedByUtilizationDesc() {

@@ -96,7 +96,7 @@ func (h *Heuristic) PartitionOpts(s *task.Set, m int, model *overhead.Model, o O
 	default:
 		order = s.SortedByUtilizationDesc()
 	}
-	a := task.NewAssignment(m)
+	a := o.newAssignment(h.Policy(), m)
 	ctx := newContext(h, a, model, o)
 	defer ctx.Flush()
 	for _, t := range order {

@@ -65,6 +65,21 @@ type Options struct {
 	// pipeline already saturates cores with whole placements, so the
 	// serial scan is kept.
 	Speculative bool
+	// Arena, when non-nil, supplies the call's assignment and
+	// admission context from per-worker recycled slabs and shares
+	// probe verdicts across the algorithms of one task-set cell; see
+	// Arena. Decisions are unchanged. The returned assignment is only
+	// valid until the next call with the same arena.
+	Arena *Arena
+}
+
+// newAssignment returns the assignment the packing loop will grow:
+// arena-recycled when an arena is attached, fresh otherwise.
+func (o Options) newAssignment(p task.Policy, m int) *task.Assignment {
+	if o.Arena != nil {
+		return o.Arena.assignment(p, m)
+	}
+	return task.NewAssignment(m)
 }
 
 // err reports the cancellation state.
@@ -130,6 +145,11 @@ func ByName(name string) (Algorithm, error) {
 // attached so the call's admission work lands in the caller's
 // collector.
 func newContext(alg Algorithm, a *task.Assignment, model *overhead.Model, o Options) analysis.Context {
+	if o.Arena != nil {
+		// Long-lived per-policy context, rebound with Reset: entity
+		// slabs, warm vectors and verdict memos recycle across calls.
+		return o.Arena.context(alg.Policy(), a, model, o.Stats)
+	}
 	ctx := analysis.ForPolicy(alg.Policy()).NewContext(a, model)
 	if o.Stats != nil {
 		ctx.SetCollector(o.Stats)

@@ -77,7 +77,7 @@ func (alg *SPA) PartitionOpts(s *task.Set, m int, model *overhead.Model, o Optio
 	if err := validateInput(s, m, alg.Policy()); err != nil {
 		return nil, err
 	}
-	a := task.NewAssignment(m)
+	a := o.newAssignment(alg.Policy(), m)
 	ctx := newContext(alg, a, model, o)
 	defer ctx.Flush()
 

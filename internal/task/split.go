@@ -162,13 +162,72 @@ func (a *Assignment) Validate() error {
 	if len(a.Normal) != a.NumCores {
 		return fmt.Errorf("assignment: Normal has %d cores, NumCores is %d", len(a.Normal), a.NumCores)
 	}
-	seen := map[ID]string{}
+	// Duplicate detection stays allocation-free on the happy path: the
+	// sweep validates thousands of assignments per second, so the seen
+	// set lives on the stack for realistic sizes and the per-location
+	// strings are only built once a duplicate is actually found.
+	n := len(a.Splits)
+	for _, ts := range a.Normal {
+		n += len(ts)
+	}
+	var stack [64]ID
+	var small []ID
+	var seen map[ID]bool
+	if n <= len(stack) {
+		small = stack[:0]
+	} else {
+		seen = make(map[ID]bool, n)
+	}
+	// dup records id's location (core index, or -1 for split) and
+	// errors if it was already recorded; the first location is
+	// recovered by re-scanning only on the error path.
+	dup := func(id ID, at int) error {
+		if seen == nil {
+			fresh := true
+			for _, prev := range small {
+				if prev == id {
+					fresh = false
+					break
+				}
+			}
+			if fresh {
+				small = append(small, id)
+				return nil
+			}
+		} else if !seen[id] {
+			seen[id] = true
+			return nil
+		}
+		loc := func(at int) string {
+			if at < 0 {
+				return "split"
+			}
+			return fmt.Sprintf("core %d", at)
+		}
+		var t *Task
+		prev := at
+		for c := len(a.Normal) - 1; c >= 0; c-- {
+			for _, u := range a.Normal[c] {
+				if u.ID == id {
+					t, prev = u, c
+				}
+			}
+		}
+		if t == nil {
+			for _, sp := range a.Splits {
+				if sp.Task.ID == id {
+					t, prev = sp.Task, -1
+					break
+				}
+			}
+		}
+		return fmt.Errorf("task %s assigned twice (%s and %s)", t.label(), loc(prev), loc(at))
+	}
 	for c, ts := range a.Normal {
 		for _, t := range ts {
-			if where, dup := seen[t.ID]; dup {
-				return fmt.Errorf("task %s assigned twice (%s and core %d)", t.label(), where, c)
+			if err := dup(t.ID, c); err != nil {
+				return err
 			}
-			seen[t.ID] = fmt.Sprintf("core %d", c)
 		}
 	}
 	for _, sp := range a.Splits {
@@ -180,10 +239,9 @@ func (a *Assignment) Validate() error {
 				return fmt.Errorf("split %s: core %d out of range (%d cores)", sp.Task.label(), p.Core, a.NumCores)
 			}
 		}
-		if where, dup := seen[sp.Task.ID]; dup {
-			return fmt.Errorf("task %s assigned twice (%s and split)", sp.Task.label(), where)
+		if err := dup(sp.Task.ID, -1); err != nil {
+			return err
 		}
-		seen[sp.Task.ID] = "split"
 	}
 	return nil
 }

@@ -106,11 +106,26 @@ func NewSet(tasks ...*Task) *Set {
 
 // Validate checks every task and that IDs are unique.
 func (s *Set) Validate() error {
-	seen := make(map[ID]bool, len(s.Tasks))
 	for _, t := range s.Tasks {
 		if err := t.Validate(); err != nil {
 			return err
 		}
+	}
+	// Duplicate-ID check. Task sets are small (the Section-4 grid uses
+	// a dozen tasks), so the pairwise scan avoids allocating a set on
+	// the hot sweep path; large sets fall back to a map.
+	if len(s.Tasks) <= 64 {
+		for i, t := range s.Tasks {
+			for _, u := range s.Tasks[:i] {
+				if u.ID == t.ID {
+					return fmt.Errorf("duplicate task ID %d", t.ID)
+				}
+			}
+		}
+		return nil
+	}
+	seen := make(map[ID]bool, len(s.Tasks))
+	for _, t := range s.Tasks {
 		if seen[t.ID] {
 			return fmt.Errorf("duplicate task ID %d", t.ID)
 		}
@@ -190,6 +205,32 @@ func (s *Set) SortedByUtilizationDesc() []*Task {
 
 // Clone deep-copies the set (tasks are copied, so priority assignment
 // on the clone does not affect the original).
+// CloneInto deep-copies s into dst's recycled slabs and returns dst,
+// allocating only when dst (which may be nil) lacks capacity. It is
+// the zero-garbage Clone the sweep engine uses to hand cached task
+// sets to workers.
+func (s *Set) CloneInto(dst *Set) *Set {
+	if dst == nil {
+		dst = &Set{}
+	}
+	old := dst.Tasks[:cap(dst.Tasks)]
+	if cap(dst.Tasks) < len(s.Tasks) {
+		dst.Tasks = make([]*Task, len(s.Tasks))
+	} else {
+		dst.Tasks = dst.Tasks[:len(s.Tasks)]
+	}
+	for i, t := range s.Tasks {
+		if i < len(old) && old[i] != nil {
+			dst.Tasks[i] = old[i]
+		}
+		if dst.Tasks[i] == nil {
+			dst.Tasks[i] = new(Task)
+		}
+		*dst.Tasks[i] = *t
+	}
+	return dst
+}
+
 func (s *Set) Clone() *Set {
 	out := &Set{Tasks: make([]*Task, len(s.Tasks))}
 	for i, t := range s.Tasks {

@@ -1,0 +1,52 @@
+package taskgen
+
+import (
+	"sync"
+
+	"repro/internal/task"
+)
+
+// SetCache memoizes the first draw of deterministic configurations so
+// paired sweeps — the same grid analyzed under two overhead models,
+// or re-run across benchmark iterations — generate each task set
+// once. Seeding math/rand's lagged-Fibonacci source costs ~1.9k LCG
+// steps per set, which the Section-4 profile shows is ~17% of a
+// sweep; the second sweep of a pair serves every cell from the cache
+// instead.
+//
+// The cache is safe for concurrent use by the sweep worker pool. It
+// holds one private copy per distinct Config; callers receive deep
+// copies into their own recycled slabs, so cached sets are never
+// aliased by mutable state. Scope a SetCache to the paired runs that
+// share it (it does not evict) — typically one per benchmark
+// iteration or CLI invocation.
+type SetCache struct {
+	mu  sync.Mutex
+	m   map[Config]*task.Set
+	gen *Generator
+}
+
+// NewSetCache returns an empty cache.
+func NewSetCache() *SetCache { return &SetCache{m: make(map[Config]*task.Set)} }
+
+// FirstInto returns cfg's first draw — Generator(cfg).Next() —
+// generating and memoizing it on first request, deep-copied into
+// dst's recycled slabs (dst may be nil). Misses generate under the
+// cache lock: a miss is once per distinct cell and generation is
+// microseconds-scale, so contention stays negligible while every
+// config is generated exactly once.
+func (sc *SetCache) FirstInto(cfg Config, dst *task.Set) *task.Set {
+	sc.mu.Lock()
+	s, ok := sc.m[cfg]
+	if !ok {
+		if sc.gen == nil {
+			sc.gen = New(cfg)
+		} else {
+			sc.gen.Reconfigure(cfg)
+		}
+		s = sc.gen.Next()
+		sc.m[cfg] = s
+	}
+	sc.mu.Unlock()
+	return s.CloneInto(dst)
+}

@@ -167,6 +167,7 @@ func (c *Config) Validate() error {
 type Generator struct {
 	cfg Config
 	rng *rand.Rand
+	uu  []float64 // UUniFast scratch, reused across draws
 }
 
 // New returns a Generator; it panics if the config is invalid (a
@@ -179,11 +180,30 @@ func New(cfg Config) *Generator {
 	return &Generator{cfg: d, rng: rand.New(rand.NewSource(d.Seed))}
 }
 
+// Reconfigure rebinds the generator to a new config, reseeding the
+// random stream in place. The generator behaves exactly as a fresh
+// New(cfg) — same draws for the same seed — but keeps its scratch
+// slabs, so sweep workers can serve every (utilization, set) point
+// from one long-lived Generator. Panics on invalid config, like New.
+func (g *Generator) Reconfigure(cfg Config) {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	g.cfg = cfg.withDefaults()
+	g.rng.Seed(g.cfg.Seed)
+}
+
 // UUniFast draws n utilizations summing to u, uniformly over the
 // simplex (Bini & Buttazzo, "Measuring the performance of
 // schedulability tests").
 func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
-	out := make([]float64, n)
+	return uuniFastInto(rng, make([]float64, n), u)
+}
+
+// uuniFastInto is UUniFast writing into caller-owned scratch; it
+// consumes the rng in exactly the order UUniFast does.
+func uuniFastInto(rng *rand.Rand, out []float64, u float64) []float64 {
+	n := len(out)
 	sum := u
 	for i := 1; i < n; i++ {
 		next := sum * math.Pow(rng.Float64(), 1/float64(n-i))
@@ -196,8 +216,11 @@ func UUniFast(rng *rand.Rand, n int, u float64) []float64 {
 
 // uuniFastDiscard redraws until every utilization is ≤ cap.
 func (g *Generator) uuniFastDiscard() []float64 {
+	if cap(g.uu) < g.cfg.N {
+		g.uu = make([]float64, g.cfg.N)
+	}
 	for attempt := 0; ; attempt++ {
-		us := UUniFast(g.rng, g.cfg.N, g.cfg.TotalUtilization)
+		us := uuniFastInto(g.rng, g.uu[:g.cfg.N], g.cfg.TotalUtilization)
 		ok := true
 		for _, u := range us {
 			if u > g.cfg.MaxTaskUtilization || u <= 0 {
@@ -255,8 +278,28 @@ func (g *Generator) wss() int64 {
 
 // Next generates one task set with RM priorities assigned.
 func (g *Generator) Next() *task.Set {
+	return g.NextInto(nil)
+}
+
+// NextInto generates the next task set into s, reusing its task slab
+// (the Tasks slice and the Task structs it points to) instead of
+// allocating a fresh set. A nil s allocates one. The produced set is
+// byte-identical to what Next would have returned at the same point
+// of the random stream — NextInto consumes the rng in exactly Next's
+// order — so pooled and unpooled generation are interchangeable.
+//
+// The caller must be done with the previous contents of s: the Task
+// structs are overwritten in place, so any assignment still holding
+// their pointers sees the new set's parameters.
+func (g *Generator) NextInto(s *task.Set) *task.Set {
+	if s == nil {
+		s = &task.Set{}
+	}
 	us := g.uuniFastDiscard()
-	tasks := make([]*task.Task, g.cfg.N)
+	if cap(s.Tasks) < g.cfg.N {
+		s.Tasks = make([]*task.Task, g.cfg.N)
+	}
+	s.Tasks = s.Tasks[:g.cfg.N]
 	for i, u := range us {
 		t := g.period()
 		c := timeq.Time(math.Round(u * float64(t)))
@@ -266,14 +309,18 @@ func (g *Generator) Next() *task.Set {
 		if c > t {
 			c = t
 		}
-		tasks[i] = &task.Task{
+		tk := s.Tasks[i]
+		if tk == nil {
+			tk = new(task.Task)
+			s.Tasks[i] = tk
+		}
+		*tk = task.Task{
 			ID:     task.ID(i + 1),
 			WCET:   c,
 			Period: t,
 			WSS:    g.wss(),
 		}
 	}
-	s := &task.Set{Tasks: tasks}
 	s.AssignRM()
 	return s
 }

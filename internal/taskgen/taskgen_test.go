@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/task"
 	"repro/internal/timeq"
 )
 
@@ -209,5 +210,56 @@ func TestAutomotiveSetsSchedulable(t *testing.T) {
 	s := g.Next()
 	if err := s.Validate(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestNextIntoMatchesNext is the golden-seed determinism guard for
+// pooled generation: a recycled set filled by NextInto must be
+// byte-identical to the set a fresh generator's Next produces, across
+// every period distribution and across many sets drawn from one
+// recycled slab (stale-state bugs only show up from the second set
+// on).
+func TestNextIntoMatchesNext(t *testing.T) {
+	dists := []PeriodDist{LogUniform, Uniform, Harmonic, Automotive}
+	for _, dist := range dists {
+		t.Run(dist.String(), func(t *testing.T) {
+			cfg := Config{N: 12, TotalUtilization: 3.1, Periods: dist, Seed: 9000 + int64(dist)}
+			fresh := New(cfg)
+			pooled := New(cfg)
+			var recycled *task.Set
+			for k := 0; k < 10; k++ {
+				want := fresh.Next()
+				recycled = pooled.NextInto(recycled)
+				if recycled.Len() != want.Len() {
+					t.Fatalf("set %d: %d tasks, want %d", k, recycled.Len(), want.Len())
+				}
+				for i := range want.Tasks {
+					if *recycled.Tasks[i] != *want.Tasks[i] {
+						t.Fatalf("set %d task %d: %+v, want %+v", k, i, recycled.Tasks[i], want.Tasks[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestReconfigureMatchesNew pins that one long-lived generator,
+// Reconfigured per (seed, utilization) point, replays exactly what a
+// fresh New at each point would draw.
+func TestReconfigureMatchesNew(t *testing.T) {
+	g := New(Config{N: 4, TotalUtilization: 1.0, Seed: 1})
+	var set *task.Set
+	for _, u := range []float64{1.5, 2.5, 3.5} {
+		for seed := int64(100); seed < 103; seed++ {
+			cfg := Config{N: 10, TotalUtilization: u, Periods: Harmonic, Seed: seed}
+			g.Reconfigure(cfg)
+			set = g.NextInto(set)
+			want := New(cfg).Next()
+			for i := range want.Tasks {
+				if *set.Tasks[i] != *want.Tasks[i] {
+					t.Fatalf("u=%v seed=%d task %d: %+v, want %+v", u, seed, i, set.Tasks[i], want.Tasks[i])
+				}
+			}
+		}
 	}
 }

@@ -1,0 +1,22 @@
+//go:build linux
+
+package wal
+
+import (
+	"os"
+	"syscall"
+)
+
+// fallocKeepSize is FALLOC_FL_KEEP_SIZE: reserve blocks without
+// changing the file's logical size. Keeping the size is load-bearing
+// — recovery scans to EOF, so a zero-filled logical tail would parse
+// as a torn frame and report a spurious truncation.
+const fallocKeepSize = 0x01
+
+// preallocate best-effort reserves n bytes for the segment so appends
+// extend into already-allocated extents instead of taking a block
+// allocation (and the associated metadata journaling) inside the
+// fsync window. Filesystems without fallocate support just decline.
+func preallocate(f *os.File, n int64) {
+	_ = syscall.Fallocate(int(f.Fd()), fallocKeepSize, 0, n)
+}

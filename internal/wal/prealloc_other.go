@@ -1,0 +1,9 @@
+//go:build !linux
+
+package wal
+
+import "os"
+
+// preallocate is a no-op where fallocate is unavailable; appends
+// extend the segment on demand.
+func preallocate(*os.File, int64) {}

@@ -470,6 +470,9 @@ func (l *Log) newSegmentLocked() error {
 	if err != nil {
 		return err
 	}
+	// Reserve the segment's extents up front (keeping the logical
+	// size) so the fsync-per-commit path never pays block allocation.
+	preallocate(f, l.opts.SegmentBytes)
 	var hdr [headerSize]byte
 	copy(hdr[:], segMagic)
 	binary.LittleEndian.PutUint64(hdr[8:], first)
